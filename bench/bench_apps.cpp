@@ -1,0 +1,175 @@
+// F2/F3/F4 — the applications end to end: help (snapshot 2), messages
+// reading with embedded content (snapshot 3), composing + delivering
+// multi-media mail (snapshot 4), a typescript command loop, and EZ under a
+// generated editing session — the workloads the 3000-user campus generated.
+
+#include <benchmark/benchmark.h>
+
+#include "src/apps/ez_app.h"
+#include "src/apps/help_app.h"
+#include "src/apps/messages_app.h"
+#include "src/apps/standard_modules.h"
+#include "src/apps/typescript_app.h"
+#include "src/class_system/loader.h"
+#include "src/workload/workload.h"
+
+namespace atk {
+namespace {
+
+void Setup() {
+  static bool done = [] {
+    RegisterStandardModules();
+    PinToolkitBase();
+    for (const char* module : {"table", "drawing", "equation", "raster", "animation"}) {
+      Loader::Instance().Require(module);
+    }
+    return true;
+  }();
+  (void)done;
+}
+
+void BM_HelpOpenSearchAndShow(benchmark::State& state) {
+  Setup();
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  for (auto _ : state) {
+    HelpApp help;
+    std::unique_ptr<InteractionManager> im = help.Start(*ws, {"help"});
+    im->RunOnce();
+    std::vector<std::string> hits = help.Search("editor");
+    benchmark::DoNotOptimize(hits);
+    help.ShowTopic("toolkit");
+    im->RunOnce();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HelpOpenSearchAndShow);
+
+void BM_MailFolderBrowseByMailboxSize(benchmark::State& state) {
+  Setup();
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  MessagesApp app;
+  WorkloadRng rng(30);
+  GenerateMailbox(rng, app.store(), static_cast<int>(state.range(0)), 8, 0.3);
+  std::unique_ptr<InteractionManager> im = app.Start(*ws, {"messages"});
+  im->RunOnce();
+  int folder = 0;
+  for (auto _ : state) {
+    app.folder_list()->Select(folder % static_cast<int>(app.store().folders().size()));
+    app.caption_list()->Select(folder % 8);
+    im->RunOnce();
+    ++folder;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["folders"] = static_cast<double>(app.store().folders().size());
+}
+BENCHMARK(BM_MailFolderBrowseByMailboxSize)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_MailOpenMessageWithEmbeds(benchmark::State& state) {
+  Setup();
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  MessagesApp app;
+  WorkloadRng rng(31);
+  GenerateMailbox(rng, app.store(), 2, 12, 1.0);  // Every body embeds media.
+  std::unique_ptr<InteractionManager> im = app.Start(*ws, {"messages"});
+  im->RunOnce();
+  app.folder_list()->Select(2);  // First generated board.
+  im->RunOnce();
+  int index = 0;
+  for (auto _ : state) {
+    app.caption_list()->Select(index % 12);  // Parse body + build child views.
+    im->RunOnce();
+    ++index;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MailOpenMessageWithEmbeds);
+
+void BM_ComposeAndDeliverMultiMedia(benchmark::State& state) {
+  Setup();
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  MessagesApp app;
+  std::unique_ptr<InteractionManager> im = app.Start(*ws, {"messages"});
+  WorkloadRng rng(32);
+  for (auto _ : state) {
+    auto composer = app.NewComposer();
+    composer->to().SetText("palay@andrew");
+    composer->subject().SetText("Big Cat");
+    composer->body().SetText("Knowing your fondness for big cats...\n");
+    composer->body().InsertObject(composer->body().size(), GenerateRaster(rng, 24, 16));
+    bool sent = composer->Send("mail");
+    benchmark::DoNotOptimize(sent);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["delivered"] = app.store().FindFolder("mail")->messages.size();
+}
+BENCHMARK(BM_ComposeAndDeliverMultiMedia);
+
+void BM_TypescriptCommandLoop(benchmark::State& state) {
+  Setup();
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  TypescriptApp app;
+  std::unique_ptr<InteractionManager> im = app.Start(*ws, {"typescript"});
+  im->RunOnce();
+  const char* const commands[] = {"echo benchmarking the shell", "ls", "cat readme",
+                                  "whoami"};
+  size_t index = 0;
+  for (auto _ : state) {
+    std::string out = app.view()->RunCommand(commands[index % 4]);
+    benchmark::DoNotOptimize(out);
+    im->RunOnce();
+    ++index;
+    if (app.transcript()->size() > 100000) {
+      state.PauseTiming();
+      app.transcript()->DeleteRange(0, app.transcript()->size() - 100);
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TypescriptCommandLoop);
+
+void BM_EzEditingSessionTrace(benchmark::State& state) {
+  Setup();
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  EzApp ez;
+  std::unique_ptr<InteractionManager> im = ez.Start(*ws, {"ez"});
+  WorkloadRng rng(33);
+  std::unique_ptr<TextData> doc = GenerateCompoundDocument(rng, CompoundDocumentSpec{});
+  ez.LoadDocumentString(WriteDocument(*doc));
+  im->RunOnce();
+  std::vector<InputEvent> trace = GenerateEventTrace(rng, 64, 560, 400, 0.6);
+  for (auto _ : state) {
+    for (const InputEvent& event : trace) {
+      im->ProcessEvent(event);
+    }
+    im->RunOnce();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(trace.size()));
+}
+BENCHMARK(BM_EzEditingSessionTrace);
+
+void BM_EzOpenCompoundDocument(benchmark::State& state) {
+  Setup();
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  WorkloadRng rng(34);
+  CompoundDocumentSpec spec;
+  spec.paragraphs = 12;
+  spec.tables = 2;
+  spec.drawings = 2;
+  spec.rasters = 1;
+  std::unique_ptr<TextData> doc = GenerateCompoundDocument(rng, spec);
+  std::string serialized = WriteDocument(*doc);
+  EzApp ez;
+  std::unique_ptr<InteractionManager> im = ez.Start(*ws, {"ez"});
+  for (auto _ : state) {
+    ez.LoadDocumentString(serialized);  // Parse + rebuild child views.
+    im->RunOnce();
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(serialized.size()));
+}
+BENCHMARK(BM_EzOpenCompoundDocument);
+
+}  // namespace
+}  // namespace atk
+
+BENCHMARK_MAIN();

@@ -1,0 +1,166 @@
+// E2 — §5's external representation: write/read throughput, nesting-depth
+// sweeps, and the headline structural property — finding an object's extent
+// by bracket matching (SkipObject) versus fully parsing it.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "src/apps/standard_modules.h"
+#include "src/base/data_object.h"
+#include "src/class_system/loader.h"
+#include "src/workload/workload.h"
+
+namespace atk {
+namespace {
+
+void Setup() {
+  static bool done = [] {
+    RegisterStandardModules();
+    Loader::Instance().Require("text");
+    Loader::Instance().Require("table");
+    Loader::Instance().Require("drawing");
+    Loader::Instance().Require("equation");
+    Loader::Instance().Require("raster");
+    return true;
+  }();
+  (void)done;
+}
+
+std::string MakeDocument(int paragraphs, int nesting) {
+  WorkloadRng rng(1988);
+  CompoundDocumentSpec spec;
+  spec.paragraphs = paragraphs;
+  spec.nesting_depth = nesting;
+  spec.tables = 1;
+  spec.drawings = 1;
+  spec.equations = 1;
+  spec.rasters = 1;
+  std::unique_ptr<TextData> doc = GenerateCompoundDocument(rng, spec);
+  return WriteDocument(*doc);
+}
+
+void BM_WriteDocumentBySize(benchmark::State& state) {
+  Setup();
+  WorkloadRng rng(7);
+  std::unique_ptr<TextData> doc = GenerateDocument(rng, static_cast<int>(state.range(0)));
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    std::ostringstream out;
+    DataStreamWriter writer(out);
+    doc->Write(writer);
+    bytes = writer.bytes_written();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+  state.counters["doc_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_WriteDocumentBySize)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ReadDocumentBySize(benchmark::State& state) {
+  Setup();
+  WorkloadRng rng(7);
+  std::unique_ptr<TextData> doc = GenerateDocument(rng, static_cast<int>(state.range(0)));
+  std::string serialized = WriteDocument(*doc);
+  for (auto _ : state) {
+    ReadContext ctx;
+    std::unique_ptr<DataObject> read = ReadDocument(serialized, &ctx);
+    benchmark::DoNotOptimize(read);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(serialized.size()));
+}
+BENCHMARK(BM_ReadDocumentBySize)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_RoundTripCompoundByNesting(benchmark::State& state) {
+  Setup();
+  std::string serialized = MakeDocument(4, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    ReadContext ctx;
+    std::unique_ptr<DataObject> read = ReadDocument(serialized, &ctx);
+    std::string rewritten = WriteDocument(*read);
+    benchmark::DoNotOptimize(rewritten);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(serialized.size()));
+  state.counters["nesting"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_RoundTripCompoundByNesting)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// The §5 property: skipping an unknown object needs no component code and
+// no content parsing.  Compare against a full parse of the same bytes.
+void BM_SkipObjectVsFullParse_Skip(benchmark::State& state) {
+  Setup();
+  std::string serialized = MakeDocument(static_cast<int>(state.range(0)), 2);
+  for (auto _ : state) {
+    DataStreamReader reader(serialized);
+    DataStreamReader::Token token = reader.Next();
+    std::string raw;
+    reader.SkipObject(token.type, token.id, &raw);
+    benchmark::DoNotOptimize(raw);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(serialized.size()));
+}
+BENCHMARK(BM_SkipObjectVsFullParse_Skip)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SkipObjectVsFullParse_Parse(benchmark::State& state) {
+  Setup();
+  std::string serialized = MakeDocument(static_cast<int>(state.range(0)), 2);
+  for (auto _ : state) {
+    ReadContext ctx;
+    std::unique_ptr<DataObject> read = ReadDocument(serialized, &ctx);
+    benchmark::DoNotOptimize(read);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(serialized.size()));
+}
+BENCHMARK(BM_SkipObjectVsFullParse_Parse)->Arg(16)->Arg(64)->Arg(256);
+
+// Escaping overhead: text heavy in backslashes/high bytes vs plain prose.
+void BM_EscapingPlainProse(benchmark::State& state) {
+  Setup();
+  WorkloadRng rng(3);
+  std::string prose = GenerateProse(rng, 2000);
+  for (auto _ : state) {
+    std::ostringstream out;
+    DataStreamWriter writer(out);
+    writer.WriteText(prose);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(prose.size()));
+}
+BENCHMARK(BM_EscapingPlainProse);
+
+void BM_EscapingHostileBytes(benchmark::State& state) {
+  Setup();
+  std::string hostile;
+  for (int i = 0; i < 8000; ++i) {
+    hostile += static_cast<char>(i % 7 == 0 ? '\\' : (i % 11 == 0 ? 0xE9 : 'a' + i % 26));
+  }
+  for (auto _ : state) {
+    std::ostringstream out;
+    DataStreamWriter writer(out);
+    writer.WriteText(hostile);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(hostile.size()));
+}
+BENCHMARK(BM_EscapingHostileBytes);
+
+// Truncation recovery: parse documents chopped at every quartile.
+void BM_TruncatedDocumentRecovery(benchmark::State& state) {
+  Setup();
+  std::string serialized = MakeDocument(32, 2);
+  for (auto _ : state) {
+    for (int quartile = 1; quartile <= 3; ++quartile) {
+      std::string chopped = serialized.substr(0, serialized.size() * quartile / 4);
+      ReadContext ctx;
+      std::unique_ptr<DataObject> read = ReadDocument(std::move(chopped), &ctx);
+      benchmark::DoNotOptimize(read);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_TruncatedDocumentRecovery);
+
+}  // namespace
+}  // namespace atk
+
+BENCHMARK_MAIN();

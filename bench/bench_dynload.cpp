@@ -1,0 +1,217 @@
+// E3 — §6/§7: dynamic loading and the runapp sharing model.
+//
+// Before the timed benchmarks, main() prints the §7 accounting table: for
+// each application, the memory footprint under three regimes —
+//   (a) static linking: every app binary carries the toolkit + components;
+//   (b) runapp: one resident base, apps (and components) demand-loaded;
+//   (c) runapp after first use: only the modules actually touched.
+// The paper's claims (less paging, smaller VM, smaller files, shared code)
+// fall out of the totals.  Timed benchmarks then measure first-embed load
+// latency and name-resolution cost.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/apps/standard_modules.h"
+#include "src/base/application.h"
+#include "src/class_system/loader.h"
+#include "src/wm/window_system.h"
+#include "src/workload/workload.h"
+
+namespace atk {
+
+const char* const kApps[] = {"ez", "messages", "help", "typescript", "console", "preview"};
+
+size_t SpecBytes(const char* module) {
+  const ModuleSpec* spec = Loader::Instance().FindSpec(module);
+  return spec == nullptr ? 0 : spec->text_bytes + spec->data_bytes;
+}
+
+// Transitive footprint of a module and its dependencies.
+size_t ClosureBytes(const std::string& module, std::vector<std::string>& seen) {
+  for (const std::string& name : seen) {
+    if (name == module) {
+      return 0;
+    }
+  }
+  seen.push_back(module);
+  const ModuleSpec* spec = Loader::Instance().FindSpec(module);
+  if (spec == nullptr) {
+    return 0;
+  }
+  size_t total = spec->text_bytes + spec->data_bytes;
+  for (const std::string& dep : spec->depends_on) {
+    total += ClosureBytes(dep, seen);
+  }
+  return total;
+}
+
+void PrintRunappTable() {
+  Loader& loader = Loader::Instance();
+  size_t base = SpecBytes("toolkit-base");
+  // Component set a static link would bundle (every component, as the 1988
+  // statically-linked binaries did).
+  const char* const kAllComponents[] = {"text",   "table", "drawing", "equation",
+                                        "raster", "animation", "scroll", "frame", "widgets"};
+  size_t all_components = 0;
+  for (const char* component : kAllComponents) {
+    all_components += SpecBytes(component);
+  }
+
+  std::printf("=== E3: runapp vs static linking (simulated 1988 footprints) ===\n");
+  std::printf("%-12s %18s %18s %22s\n", "app", "static binary (KB)", "runapp full (KB)",
+              "runapp demand (KB)");
+  size_t static_total = 0;
+  size_t runapp_marginal_total = 0;
+  for (const char* app : kApps) {
+    std::string module = std::string("app-") + app;
+    // (a) static: base + all components + the app.
+    size_t static_size = base + all_components + SpecBytes(module.c_str());
+    // (b) runapp, everything loaded: base shared; marginal cost = closure.
+    std::vector<std::string> seen = {"toolkit-base"};
+    size_t closure = ClosureBytes(module, seen);
+    // (c) demand: app + its declared deps only (what first launch touches).
+    static_total += static_size;
+    runapp_marginal_total += closure;
+    std::printf("%-12s %18zu %18zu %22zu\n", app, static_size / 1024,
+                (base + closure) / 1024, closure / 1024);
+  }
+  std::printf("%-12s %18zu %18zu %22zu\n", "ALL 6 APPS", static_total / 1024,
+              (base + all_components +
+               [] {
+                 size_t apps = 0;
+                 for (const char* app : kApps) {
+                   apps += SpecBytes((std::string("app-") + app).c_str());
+                 }
+                 return apps;
+               }()) /
+                  1024,
+              (base + runapp_marginal_total) / 1024);
+  std::printf("shared resident base: %zu KB counted once under runapp, %d times "
+              "under static linking\n\n",
+              base / 1024, static_cast<int>(sizeof(kApps) / sizeof(kApps[0])));
+  (void)loader;
+}
+
+void PrintFirstUseLatencies() {
+  Loader& loader = Loader::Instance();
+  loader.UnloadAllForTest();
+  loader.ClearLoadLog();
+  std::printf("=== E3: simulated first-embed load latency (dlopen + page-in model) ===\n");
+  for (const char* cls : {"text", "table", "draw", "eq", "raster", "animation"}) {
+    loader.EnsureClass(cls);
+  }
+  for (const auto& record : loader.load_log()) {
+    std::printf("  load %-12s %6zu KB text  ~%llu us%s\n", record.module.c_str(),
+                record.text_bytes / 1024,
+                static_cast<unsigned long long>(record.simulated_cost_us),
+                record.as_dependency ? "  (dependency)" : "");
+  }
+  std::printf("\n");
+}
+
+void BM_EnsureClassAlreadyLoaded(benchmark::State& state) {
+  Loader& loader = Loader::Instance();
+  loader.Require("text");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loader.EnsureClass("textview"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnsureClassAlreadyLoaded);
+
+void BM_EnsureClassWithModuleLoad(benchmark::State& state) {
+  Loader& loader = Loader::Instance();
+  for (auto _ : state) {
+    state.PauseTiming();
+    loader.UnloadAllForTest();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(loader.EnsureClass("raster"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnsureClassWithModuleLoad);
+
+void BM_NamedConstructionThroughRegistry(benchmark::State& state) {
+  Loader& loader = Loader::Instance();
+  loader.Require("table");
+  for (auto _ : state) {
+    std::unique_ptr<Object> obj = loader.NewObject("table");
+    benchmark::DoNotOptimize(obj);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NamedConstructionThroughRegistry);
+
+void BM_RunAppColdStart(benchmark::State& state) {
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  for (auto _ : state) {
+    state.PauseTiming();
+    Loader::Instance().UnloadAllForTest();
+    state.ResumeTiming();
+    std::unique_ptr<InteractionManager> im = RunApp("console", *ws);
+    benchmark::DoNotOptimize(im);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RunAppColdStart);
+
+void BM_RunAppWarmStart(benchmark::State& state) {
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  Loader::Instance().Require("app-console");
+  for (auto _ : state) {
+    std::unique_ptr<InteractionManager> im = RunApp("console", *ws);
+    benchmark::DoNotOptimize(im);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RunAppWarmStart);
+
+// Reading a document whose components must all be demand-loaded vs all hot.
+void BM_ReadCompoundDocumentCold(benchmark::State& state) {
+  WorkloadRng rng(11);
+  CompoundDocumentSpec spec;
+  spec.rasters = 1;
+  Loader::Instance().Require("text");
+  std::unique_ptr<TextData> doc = GenerateCompoundDocument(rng, spec);
+  std::string serialized = WriteDocument(*doc);
+  doc.reset();
+  for (auto _ : state) {
+    state.PauseTiming();
+    Loader::Instance().UnloadAllForTest();
+    state.ResumeTiming();
+    ReadContext ctx;
+    std::unique_ptr<DataObject> read = ReadDocument(serialized, &ctx);
+    benchmark::DoNotOptimize(read);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadCompoundDocumentCold);
+
+void BM_ReadCompoundDocumentWarm(benchmark::State& state) {
+  WorkloadRng rng(11);
+  CompoundDocumentSpec spec;
+  spec.rasters = 1;
+  Loader::Instance().Require("text");
+  std::unique_ptr<TextData> doc = GenerateCompoundDocument(rng, spec);
+  std::string serialized = WriteDocument(*doc);
+  for (auto _ : state) {
+    ReadContext ctx;
+    std::unique_ptr<DataObject> read = ReadDocument(serialized, &ctx);
+    benchmark::DoNotOptimize(read);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadCompoundDocumentWarm);
+
+}  // namespace atk
+
+int main(int argc, char** argv) {
+  atk::RegisterStandardModules();
+  atk::PrintRunappTable();
+  atk::PrintFirstUseLatencies();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

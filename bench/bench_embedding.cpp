@@ -1,0 +1,203 @@
+// F3/F5 — embedding scalability: redraw and event cost for compound
+// documents as the number of embedded components and the nesting depth
+// grow, including a faithful rebuild of snapshot 5's document.
+
+#include <benchmark/benchmark.h>
+
+#include "src/apps/standard_modules.h"
+#include "src/base/interaction_manager.h"
+#include "src/base/print.h"
+#include "src/class_system/loader.h"
+#include "src/components/table/table_data.h"
+#include "src/components/text/text_view.h"
+#include "src/wm/window_system.h"
+#include "src/workload/workload.h"
+
+namespace atk {
+namespace {
+
+void Setup() {
+  static bool done = [] {
+    RegisterStandardModules();
+    for (const char* module :
+         {"text", "table", "drawing", "equation", "raster", "animation"}) {
+      Loader::Instance().Require(module);
+    }
+    return true;
+  }();
+  (void)done;
+}
+
+void BM_RedrawByEmbedCount(benchmark::State& state) {
+  Setup();
+  int embeds = static_cast<int>(state.range(0));
+  WorkloadRng rng(20);
+  auto doc = std::make_unique<TextData>();
+  doc->SetText(GenerateProse(rng, 100));
+  for (int i = 0; i < embeds; ++i) {
+    int64_t pos = static_cast<int64_t>(rng.Below(static_cast<uint64_t>(doc->size())));
+    switch (i % 3) {
+      case 0:
+        doc->InsertObject(pos, GenerateDrawing(rng, 4, 80, 50));
+        break;
+      case 1:
+        doc->InsertObject(pos, GenerateRaster(rng, 16, 12));
+        break;
+      default:
+        doc->InsertObject(pos, GenerateSpreadsheet(rng, 3, 3));
+        break;
+    }
+  }
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  auto im = InteractionManager::Create(*ws, 500, 400, "embeds");
+  TextView view;
+  view.SetText(doc.get());
+  im->SetChild(&view);
+  im->RunOnce();
+  for (auto _ : state) {
+    view.PostUpdate();
+    im->RunOnce();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["embedded"] = embeds;
+  view.SetText(nullptr);
+}
+BENCHMARK(BM_RedrawByEmbedCount)->Arg(0)->Arg(2)->Arg(8)->Arg(24);
+
+// Tables nested inside table cells, `depth` levels deep.
+std::unique_ptr<TextData> MakeNestedDoc(int depth) {
+  WorkloadRng rng(21);
+  CompoundDocumentSpec spec;
+  spec.paragraphs = 2;
+  spec.tables = 1;
+  spec.drawings = 0;
+  spec.equations = 0;
+  spec.nesting_depth = depth;
+  return GenerateCompoundDocument(rng, spec);
+}
+
+void BM_RedrawByNestingDepth(benchmark::State& state) {
+  Setup();
+  std::unique_ptr<TextData> doc = MakeNestedDoc(static_cast<int>(state.range(0)));
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  auto im = InteractionManager::Create(*ws, 500, 400, "nesting");
+  TextView view;
+  view.SetText(doc.get());
+  im->SetChild(&view);
+  im->RunOnce();
+  for (auto _ : state) {
+    view.PostUpdate();
+    im->RunOnce();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["depth"] = static_cast<double>(state.range(0));
+  view.SetText(nullptr);
+}
+BENCHMARK(BM_RedrawByNestingDepth)->Arg(1)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_EventThroughNestedEmbeds(benchmark::State& state) {
+  Setup();
+  std::unique_ptr<TextData> doc = MakeNestedDoc(static_cast<int>(state.range(0)));
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  auto im = InteractionManager::Create(*ws, 500, 400, "hit");
+  TextView view;
+  view.SetText(doc.get());
+  im->SetChild(&view);
+  im->RunOnce();
+  // Find the deepest view to aim at.
+  View* deepest = &view;
+  while (!deepest->children().empty()) {
+    deepest = deepest->children().front();
+  }
+  Point target = deepest->DeviceBounds().center();
+  for (auto _ : state) {
+    im->ProcessEvent(InputEvent::MouseAt(EventType::kMouseDown, target));
+    im->ProcessEvent(InputEvent::MouseAt(EventType::kMouseUp, target));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  state.counters["depth"] = static_cast<double>(deepest->TreeDepth());
+  view.SetText(nullptr);
+}
+BENCHMARK(BM_EventThroughNestedEmbeds)->Arg(1)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_Snapshot5FullRedraw(benchmark::State& state) {
+  Setup();
+  std::unique_ptr<TextData> doc = BuildPascalCompoundDocument();
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  auto im = InteractionManager::Create(*ws, 560, 420, "snapshot 5");
+  TextView view;
+  view.SetText(doc.get());
+  im->SetChild(&view);
+  im->RunOnce();
+  for (auto _ : state) {
+    view.PostUpdate();
+    im->RunOnce();
+  }
+  state.SetItemsProcessed(state.iterations());
+  view.SetText(nullptr);
+}
+BENCHMARK(BM_Snapshot5FullRedraw);
+
+void BM_Snapshot5AnimationTick(benchmark::State& state) {
+  Setup();
+  std::unique_ptr<TextData> doc = BuildPascalCompoundDocument();
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  auto im = InteractionManager::Create(*ws, 560, 420, "animate");
+  TextView view;
+  view.SetText(doc.get());
+  im->SetChild(&view);
+  im->RunOnce();
+  // Reach the anim view inside the table inside the text.
+  View* anim_view = nullptr;
+  for (View* child : view.children().front()->children()) {
+    if (child->IsA("animview")) {
+      anim_view = child;
+    }
+  }
+  for (auto _ : state) {
+    // A frame advance damages only the animation cell.
+    anim_view->PostUpdate();
+    im->RunOnce();
+  }
+  state.SetItemsProcessed(state.iterations());
+  view.SetText(nullptr);
+}
+BENCHMARK(BM_Snapshot5AnimationTick);
+
+void BM_Snapshot5SaveLoad(benchmark::State& state) {
+  Setup();
+  std::unique_ptr<TextData> doc = BuildPascalCompoundDocument();
+  std::string serialized = WriteDocument(*doc);
+  for (auto _ : state) {
+    ReadContext ctx;
+    std::unique_ptr<DataObject> read = ReadDocument(serialized, &ctx);
+    std::string rewritten = WriteDocument(*read);
+    benchmark::DoNotOptimize(rewritten);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(serialized.size()));
+}
+BENCHMARK(BM_Snapshot5SaveLoad);
+
+void BM_Snapshot5Print(benchmark::State& state) {
+  Setup();
+  std::unique_ptr<TextData> doc = BuildPascalCompoundDocument();
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  auto im = InteractionManager::Create(*ws, 560, 420, "print");
+  TextView view;
+  view.SetText(doc.get());
+  im->SetChild(&view);
+  im->RunOnce();
+  for (auto _ : state) {
+    PrintJob job(560, 420, 12);
+    PrintView(view, job);
+    benchmark::DoNotOptimize(job);
+  }
+  state.SetItemsProcessed(state.iterations());
+  view.SetText(nullptr);
+}
+BENCHMARK(BM_Snapshot5Print);
+
+}  // namespace
+}  // namespace atk
+
+BENCHMARK_MAIN();

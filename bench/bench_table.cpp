@@ -1,0 +1,164 @@
+// F5 (spreadsheet side) — the table component: Pascal's-Triangle
+// recalculation as the triangle grows, dependency-chain depth sweeps,
+// formula parsing, cycle detection, and cell-edit-to-repaint latency.
+
+#include <benchmark/benchmark.h>
+
+#include "src/apps/standard_modules.h"
+#include "src/base/interaction_manager.h"
+#include "src/class_system/loader.h"
+#include "src/components/table/table_view.h"
+#include "src/wm/window_system.h"
+#include "src/workload/workload.h"
+
+namespace atk {
+namespace {
+
+void Setup() {
+  static bool done = [] {
+    RegisterStandardModules();
+    Loader::Instance().Require("table");
+    return true;
+  }();
+  (void)done;
+}
+
+void BM_PascalRecalcByRows(benchmark::State& state) {
+  Setup();
+  std::unique_ptr<TableData> pascal = GeneratePascalTriangle(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    pascal->Recalculate();
+    benchmark::DoNotOptimize(pascal->Value(static_cast<int>(state.range(0)) - 1, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * pascal->last_recalc_evaluations());
+  state.counters["formula_cells"] = pascal->last_recalc_evaluations();
+}
+BENCHMARK(BM_PascalRecalcByRows)->Arg(4)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_LinearDependencyChain(benchmark::State& state) {
+  Setup();
+  int n = static_cast<int>(state.range(0));
+  TableData table;
+  table.Resize(1, n);
+  table.SetNumber(0, 0, 1);
+  for (int c = 1; c < n; ++c) {
+    table.SetFormula(0, c, CellRef{0, c - 1}.ToA1() + "+1");
+  }
+  for (auto _ : state) {
+    table.Recalculate();
+    benchmark::DoNotOptimize(table.Value(0, n - 1));
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 1));
+}
+BENCHMARK(BM_LinearDependencyChain)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_RangeHeavySheet(benchmark::State& state) {
+  Setup();
+  WorkloadRng rng(12);
+  std::unique_ptr<TableData> sheet =
+      GenerateSpreadsheet(rng, static_cast<int>(state.range(0)), 8, 0.4);
+  for (auto _ : state) {
+    sheet->Recalculate();
+    benchmark::DoNotOptimize(sheet->recalc_count());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["rows"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_RangeHeavySheet)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_FormulaParse(benchmark::State& state) {
+  Setup();
+  const char* formulas[] = {"A1+B2*3", "SUM(A1:D8)/COUNT(A1:D8)",
+                            "IF(B3>100,SUM(A1:A9),MAX(C1,C2,C3))", "SQRT(ABS(A1-B1))"};
+  size_t index = 0;
+  for (auto _ : state) {
+    ParsedFormula parsed = ParseFormula(formulas[index % 4]);
+    benchmark::DoNotOptimize(parsed);
+    ++index;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FormulaParse);
+
+void BM_CycleDetectionWorstCase(benchmark::State& state) {
+  Setup();
+  int n = static_cast<int>(state.range(0));
+  TableData table;
+  table.Resize(1, n);
+  // A full cycle through every cell.
+  for (int c = 0; c < n; ++c) {
+    table.SetFormula(0, c, CellRef{0, (c + 1) % n}.ToA1());
+  }
+  for (auto _ : state) {
+    table.Recalculate();
+    benchmark::DoNotOptimize(table.at(0, 0).error);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CycleDetectionWorstCase)->Arg(8)->Arg(64);
+
+void BM_CellEditToRepaint(benchmark::State& state) {
+  Setup();
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  auto im = InteractionManager::Create(*ws, 400, 280, "sheet");
+  std::unique_ptr<TableData> pascal = GeneratePascalTriangle(10);
+  TableView view;
+  view.SetDataObject(pascal.get());
+  im->SetChild(&view);
+  im->RunOnce();
+  double apex = 1;
+  for (auto _ : state) {
+    // One cell edit: full recalculation + notify + clipped repaint.
+    pascal->SetNumber(0, 0, apex);
+    apex = apex == 1 ? 2 : 1;
+    im->RunOnce();
+  }
+  state.SetItemsProcessed(state.iterations());
+  view.SetDataObject(nullptr);
+}
+BENCHMARK(BM_CellEditToRepaint);
+
+void BM_KeyboardSpreadsheetEntry(benchmark::State& state) {
+  Setup();
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  auto im = InteractionManager::Create(*ws, 400, 280, "entry");
+  TableData table;
+  table.Resize(20, 6);
+  TableView view;
+  view.SetDataObject(&table);
+  im->SetChild(&view);
+  im->SetInputFocus(&view);
+  im->RunOnce();
+  for (auto _ : state) {
+    state.PauseTiming();
+    view.SelectCell(0, 0);
+    state.ResumeTiming();
+    for (char ch : std::string("=1+2\r42\r")) {  // A formula, then a number.
+      im->ProcessEvent(InputEvent::KeyPress(ch));
+    }
+    im->RunOnce();
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  view.SetDataObject(nullptr);
+}
+BENCHMARK(BM_KeyboardSpreadsheetEntry);
+
+void BM_TableRoundTripByShape(benchmark::State& state) {
+  Setup();
+  WorkloadRng rng(13);
+  std::unique_ptr<TableData> sheet =
+      GenerateSpreadsheet(rng, static_cast<int>(state.range(0)), 8, 0.3);
+  std::string serialized = WriteDocument(*sheet);
+  for (auto _ : state) {
+    ReadContext ctx;
+    std::unique_ptr<DataObject> read = ReadDocument(serialized, &ctx);
+    benchmark::DoNotOptimize(read);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(serialized.size()));
+}
+BENCHMARK(BM_TableRoundTripByShape)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace atk
+
+BENCHMARK_MAIN();

@@ -1,0 +1,173 @@
+// E1 — §2's multiple-views claims: the delayed-update / observer machinery.
+//
+//   * notify cost as the number of views observing one data object grows
+//     (the PageMaker-style many-views-one-buffer scenario);
+//   * the auxiliary-object chain (table -> ChartData -> chart views);
+//   * damage coalescing: N scattered WantUpdate posts, one update cycle.
+
+#include <benchmark/benchmark.h>
+
+#include "src/apps/standard_modules.h"
+#include "src/base/interaction_manager.h"
+#include "src/class_system/loader.h"
+#include "src/components/table/chart.h"
+#include "src/components/text/text_view.h"
+#include "src/wm/window_system.h"
+
+namespace atk {
+namespace {
+
+void Setup() {
+  static bool done = [] {
+    RegisterStandardModules();
+    Loader::Instance().Require("text");
+    Loader::Instance().Require("table");
+    return true;
+  }();
+  (void)done;
+}
+
+// A grid host giving every child a slot.
+class GridHost : public View {
+ public:
+  void Layout() override {
+    if (graphic() == nullptr || children().empty()) {
+      return;
+    }
+    Rect b = graphic()->LocalBounds();
+    int n = static_cast<int>(children().size());
+    int cols = 1;
+    while (cols * cols < n) {
+      ++cols;
+    }
+    int cw = std::max(8, b.width / cols);
+    int ch = std::max(8, b.height / cols);
+    for (int i = 0; i < n; ++i) {
+      children()[static_cast<size_t>(i)]->Allocate(
+          Rect{(i % cols) * cw, (i / cols) * ch, cw, ch}, graphic());
+    }
+  }
+};
+
+void BM_NotifyNViewsOfOneDataObject(benchmark::State& state) {
+  Setup();
+  int n = static_cast<int>(state.range(0));
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  auto im = InteractionManager::Create(*ws, 512, 512, "views");
+  TextData shared;
+  shared.SetText("shared buffer under many views\n");
+  GridHost host;
+  std::vector<std::unique_ptr<TextView>> views;
+  for (int i = 0; i < n; ++i) {
+    views.push_back(std::make_unique<TextView>());
+    views.back()->SetText(&shared);
+    host.AddChild(views.back().get());
+  }
+  im->SetChild(&host);
+  im->RunOnce();
+  for (auto _ : state) {
+    // One edit notifies all N views; one cycle repaints them all.
+    shared.InsertString(0, "x");
+    shared.DeleteRange(0, 1);
+    im->RunOnce();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["views"] = n;
+  state.counters["views_updated_per_cycle"] = static_cast<double>(
+      im->stats().views_updated) / std::max<uint64_t>(im->stats().update_cycles, 1);
+  for (auto& view : views) {
+    view->SetText(nullptr);
+  }
+}
+BENCHMARK(BM_NotifyNViewsOfOneDataObject)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ObserverChainTableToChartViews(benchmark::State& state) {
+  Setup();
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  auto im = InteractionManager::Create(*ws, 400, 200, "charts");
+  TableData table;
+  table.Resize(6, 2);
+  for (int r = 0; r < 6; ++r) {
+    table.SetText(r, 0, "row" + std::to_string(r));
+    table.SetNumber(r, 1, r * 10 + 5);
+  }
+  ChartData chart;
+  chart.SetSource(&table);
+  chart.SetTitle("bench");
+  GridHost host;
+  PieChartView pie;
+  BarChartView bar;
+  pie.SetDataObject(&chart);
+  bar.SetDataObject(&chart);
+  host.AddChild(&pie);
+  host.AddChild(&bar);
+  im->SetChild(&host);
+  im->RunOnce();
+  double value = 1;
+  for (auto _ : state) {
+    // table -> ChartData -> two chart views, repainted in one cycle.
+    table.SetNumber(2, 1, value);
+    value += 1;
+    im->RunOnce();
+  }
+  state.SetItemsProcessed(state.iterations());
+  pie.SetDataObject(nullptr);
+  bar.SetDataObject(nullptr);
+}
+BENCHMARK(BM_ObserverChainTableToChartViews);
+
+void BM_DamageCoalescingNPosts(benchmark::State& state) {
+  Setup();
+  int posts = static_cast<int>(state.range(0));
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  auto im = InteractionManager::Create(*ws, 512, 512, "damage");
+  TextData text;
+  text.SetText("damage target\n");
+  TextView view;
+  view.SetText(&text);
+  im->SetChild(&view);
+  im->RunOnce();
+  uint64_t seed = 9;
+  auto next = [&seed]() {
+    seed ^= seed << 13;
+    seed ^= seed >> 7;
+    seed ^= seed << 17;
+    return seed;
+  };
+  for (auto _ : state) {
+    for (int i = 0; i < posts; ++i) {
+      int x = static_cast<int>(next() % 480);
+      int y = static_cast<int>(next() % 480);
+      view.PostUpdate(Rect{x, y, 32, 32});
+    }
+    im->RunOnce();  // All posts collapse into one pass.
+  }
+  state.SetItemsProcessed(state.iterations() * posts);
+  state.counters["posts_per_cycle"] = posts;
+  view.SetText(nullptr);
+}
+BENCHMARK(BM_DamageCoalescingNPosts)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_ObserverAddRemove(benchmark::State& state) {
+  Setup();
+  TextData data;
+  std::vector<std::unique_ptr<TextView>> views(64);
+  for (auto& view : views) {
+    view = std::make_unique<TextView>();
+  }
+  for (auto _ : state) {
+    for (auto& view : views) {
+      data.AddObserver(view.get());
+    }
+    for (auto& view : views) {
+      data.RemoveObserver(view.get());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_ObserverAddRemove);
+
+}  // namespace
+}  // namespace atk
+
+BENCHMARK_MAIN();

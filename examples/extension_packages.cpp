@@ -1,0 +1,95 @@
+// §1's extension packages in action: "a C-language programming component, a
+// compile package, a tags package, a spelling checker, a style editor and a
+// filter mechanism" — every one a dormant module that loads on first use,
+// operating on the stock EZ editor.
+
+#include <cstdio>
+
+#include "src/apps/ez_app.h"
+#include "src/apps/standard_modules.h"
+#include "src/apps/style_editor.h"
+#include "src/base/proctable.h"
+#include "src/class_system/loader.h"
+#include "src/wm/window_system.h"
+
+int main() {
+  using namespace atk;
+  RegisterStandardModules();
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open();
+
+  EzApp ez;
+  std::unique_ptr<InteractionManager> im = ez.Start(*ws, {"ez"});
+
+  auto loaded = [](const char* module) {
+    return Loader::Instance().IsLoaded(module) ? "loaded" : "dormant";
+  };
+
+  // ---- The C-language component (a ctext document in the stock editor) ----
+  std::printf("ctext module before open: %s\n", loaded("ctext"));
+  std::unique_ptr<DataObject> code_obj =
+      ObjectCast<DataObject>(Loader::Instance().NewObject("ctext"));
+  TextData* code = ObjectCast<TextData>(code_obj.get());
+  code->SetText(
+      "/* pascal row */\n"
+      "int row(int n) {\n"
+      "  int v = choose(n, 2)\n"  // <- missing semicolon, found below
+      "  return v;\n"
+      "}\n"
+      "int choose(int n, int k) {\n"
+      "  return k == 0 ? 1 : choose(n - 1, k - 1) * n / k;\n"
+      "}\n");
+  ez.LoadDocumentString(WriteDocument(*code_obj));
+  im->RunOnce();
+  std::printf("ctext module after open:  %s (document type: %s)\n", loaded("ctext"),
+              std::string(ez.document()->DataTypeName()).c_str());
+  std::printf("syntax styles in the buffer: keyword at 'int' -> %s, comment -> %s\n",
+              ez.document()->StyleNameAt(18).c_str(), ez.document()->StyleNameAt(2).c_str());
+
+  // ---- compile package: load-on-invoke, error jump ----
+  std::printf("\ncompile package before invoke: %s\n", loaded("proc:compile"));
+  ProcTable::Instance().Invoke("compile-check", ez.text_view());
+  std::printf("compile package after invoke:  %s\n", loaded("proc:compile"));
+  std::printf("message line: %s\n", ez.frame()->message_line()->message().c_str());
+  std::printf("caret jumped to line %lld\n",
+              static_cast<long long>(ez.document()->LineOfPos(ez.text_view()->dot_pos()) + 1));
+
+  // ---- tags package: jump to a definition ----
+  int64_t call_site = static_cast<int64_t>(ez.document()->GetAllText().rfind("choose(n - 1"));
+  ez.text_view()->SetDot(call_site + 1);
+  ProcTable::Instance().Invoke("tags-find-definition", ez.text_view());
+  std::printf("\ntags: caret now at line %lld (%s)\n",
+              static_cast<long long>(ez.document()->LineOfPos(ez.text_view()->dot_pos()) + 1),
+              ez.frame()->message_line()->message().c_str());
+
+  // ---- spelling checker ----
+  ez.text_view()->SetDot(0, 0);
+  ProcTable::Instance().Invoke("spell-check-region", ez.text_view());
+  std::printf("\nspell: %s\n", ez.frame()->message_line()->message().c_str());
+
+  // ---- filter mechanism ----
+  ez.text_view()->SetDot(0, ez.document()->size());
+  im->InvokeMenu("Region~Upcase");
+  std::printf("\nfilter-upcase over the buffer: first line now \"%.16s\"\n",
+              ez.document()->GetAllText().c_str());
+
+  // ---- style editor: redefine "typewriter" for this document ----
+  Loader::Instance().Require("styleeditor");
+  std::unique_ptr<View> editor_obj =
+      ObjectCast<View>(Loader::Instance().NewObject("styleeditor"));
+  StyleEditorView* editor = ObjectCast<StyleEditorView>(editor_obj.get());
+  editor->SetTarget(ez.document());
+  auto editor_im = InteractionManager::Create(*ws, 240, 160, "styles");
+  editor_im->SetChild(editor);
+  editor_im->RunOnce();
+  editor->SelectStyle("typewriter");
+  editor->GrowFont(+10);
+  im->RunOnce();
+  std::printf("\nstyle editor: typewriter font is now %d pt across every view\n",
+              ez.document()->styles().Get("typewriter").font.size);
+
+  std::printf("\nmodules now resident:\n");
+  for (const std::string& name : Loader::Instance().LoadedModules()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// The help browser (snapshot 2) and the typescript shell (§1) side by side,
+// plus the console monitor — the "basic applications" suite, all running
+// from one process on one window system, sharing the resident toolkit.
+
+#include <cstdio>
+
+#include "src/apps/console_app.h"
+#include "src/apps/help_app.h"
+#include "src/apps/standard_modules.h"
+#include "src/apps/typescript_app.h"
+#include "src/class_system/loader.h"
+#include "src/wm/window_system.h"
+
+int main() {
+  using namespace atk;
+  RegisterStandardModules();
+  PinToolkitBase();
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open();
+
+  // ---- help ----
+  HelpApp help;
+  std::unique_ptr<InteractionManager> help_im = help.Start(*ws, {"help"});
+  help_im->RunOnce();
+  std::printf("help topics:");
+  for (const std::string& topic : help.TopicNames()) {
+    std::printf(" %s", topic.c_str());
+  }
+  std::printf("\nsearch 'editor' ->");
+  for (const std::string& hit : help.Search("editor")) {
+    std::printf(" %s", hit.c_str());
+  }
+  help.ShowTopic("toolkit");
+  help_im->RunOnce();
+  std::printf("\nshowing '%s': %.60s...\n\n", help.current_topic().c_str(),
+              help.doc_view()->text()->GetAllText().c_str());
+
+  // ---- typescript ----
+  TypescriptApp shell;
+  std::unique_ptr<InteractionManager> shell_im = shell.Start(*ws, {"typescript"});
+  shell_im->RunOnce();
+  for (const char* cmd : {"whoami", "ls", "wc paper.txt", "echo toolkit demo", "history"}) {
+    std::string out = shell.view()->RunCommand(cmd);
+    std::printf("%% %s\n%s", cmd, out.c_str());
+  }
+  shell_im->RunOnce();
+
+  // ---- console ----
+  ConsoleApp console;
+  std::unique_ptr<InteractionManager> console_im = console.Start(*ws, {"console"});
+  for (int minute = 0; minute < 5; ++minute) {
+    ConsoleSample sample;
+    sample.hour = 9;
+    sample.minute = 30 + minute;
+    sample.cpu_load = 0.2 + 0.15 * minute;
+    sample.filesystems = {{"/", 0.62}, {"vice", 0.47}};
+    console.data().Update(sample);
+    console_im->RunOnce();
+  }
+  std::printf("\nconsole after 5 samples: load history of %zu entries, last %.2f\n",
+              console.data().load_history().size(), console.data().load_history().back());
+
+  std::printf("\nresident modules shared by all three apps:\n");
+  for (const std::string& name : Loader::Instance().LoadedModules()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  return 0;
+}

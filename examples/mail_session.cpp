@@ -1,0 +1,76 @@
+// A full messages session (snapshots 3 and 4): generate a campus mailbox,
+// read a folder, open a message containing an embedded drawing, compose a
+// reply with a raster image, and send it — verifying the §5 mailability
+// guarantee along the way.
+
+#include <cstdio>
+
+#include "src/apps/messages_app.h"
+#include "src/apps/standard_modules.h"
+#include "src/class_system/loader.h"
+#include "src/wm/window_system.h"
+#include "src/workload/workload.h"
+
+int main() {
+  using namespace atk;
+  RegisterStandardModules();
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open();
+  Loader::Instance().Require("text");
+  Loader::Instance().Require("scroll");
+  Loader::Instance().Require("frame");
+  Loader::Instance().Require("widgets");
+
+  MessagesApp app;
+  WorkloadRng rng(1988);
+  GenerateMailbox(rng, app.store(), 5, 6, 0.4);
+  std::unique_ptr<InteractionManager> im = app.Start(*ws, {"messages"});
+  im->RunOnce();
+
+  std::printf("folders:\n");
+  for (const std::string& item : app.folder_list()->items()) {
+    std::printf("  %s\n", item.c_str());
+  }
+
+  // Read the third folder like snapshot 3.
+  app.folder_list()->Select(2);
+  im->RunOnce();
+  std::printf("\ncaptions in %s:\n", app.current_folder().c_str());
+  for (const std::string& caption : app.caption_list()->items()) {
+    std::printf("  %s\n", caption.c_str());
+  }
+
+  // Open the first message whose body embeds a component.
+  MailFolder* folder = app.store().FindFolder(app.current_folder());
+  for (size_t index = 0; index < folder->messages.size(); ++index) {
+    if (folder->messages[index].body.find("\\begindata{draw") != std::string::npos ||
+        folder->messages[index].body.find("\\begindata{raster") != std::string::npos) {
+      app.caption_list()->Select(static_cast<int>(index));
+      break;
+    }
+  }
+  im->RunOnce();
+  std::printf("\ndisplaying message %d: body has %zu embedded component(s)\n",
+              app.current_message(),
+              app.body_view()->text() != nullptr ? app.body_view()->text()->embedded_count()
+                                                 : 0);
+
+  // Compose like snapshot 4: a note with a raster image.
+  auto composer = app.NewComposer();
+  std::unique_ptr<InteractionManager> compose_im = composer->OpenWindow(*ws);
+  composer->to().SetText("Andrew Palay <ap1o@andrew.cmu.edu>");
+  composer->subject().SetText("Big Cat");
+  composer->body().SetText("Knowing your fondness for big cats, here's a picture:\n");
+  composer->body().InsertObject(composer->body().size(), GenerateRaster(rng, 48, 32));
+  compose_im->RunOnce();
+  bool sent = composer->Send("mail");
+  std::printf("\ncompose window: send %s\n", sent ? "succeeded" : "failed");
+
+  MailFolder* inbox = app.store().FindFolder("mail");
+  const MailMessage& delivered = inbox->messages.back();
+  std::printf("delivered \"%s\" (%zu bytes), mailable=%s, raster block present=%s\n",
+              delivered.subject.c_str(), delivered.body.size(),
+              MailStore::IsMailable(delivered.body) ? "yes" : "no",
+              delivered.body.find("\\begindata{raster,") != std::string::npos ? "yes" : "no");
+  std::printf("\ntotal messages in store: %d\n", app.store().total_messages());
+  return 0;
+}

@@ -1,0 +1,101 @@
+// §2's headline demonstration: multiple simultaneous views of one data
+// object.
+//   * two text windows editing the same buffer, edits reflected in both;
+//   * a semi-WYSIWYG view and the paper-like paged view on the same text;
+//   * a table shown as a spreadsheet, a pie chart and a bar chart at once,
+//     with the chart's stable state (title, columns) kept in the auxiliary
+//     ChartData that observes the table.
+
+#include <cstdio>
+
+#include "src/apps/standard_modules.h"
+#include "src/base/interaction_manager.h"
+#include "src/class_system/loader.h"
+#include "src/components/table/chart.h"
+#include "src/components/table/table_view.h"
+#include "src/components/text/paged_text_view.h"
+#include "src/components/text/text_view.h"
+#include "src/wm/window_system.h"
+
+int main() {
+  using namespace atk;
+  RegisterStandardModules();
+  Loader::Instance().Require("text");
+  Loader::Instance().Require("table");
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open();
+
+  // ---- Two text views, two windows, one buffer ----
+  TextData story;
+  story.SetText("The toolkit provides multiple views of one data object.\n");
+  TextView editor_view;
+  PagedTextView page_view;
+  editor_view.SetText(&story);
+  page_view.SetText(&story);
+  auto editor = InteractionManager::Create(*ws, 300, 120, "editor (WYSLRN)");
+  auto preview = InteractionManager::Create(*ws, 300, 220, "preview (WYSIWYG)");
+  editor->SetChild(&editor_view);
+  preview->SetChild(&page_view);
+  editor->RunOnce();
+  preview->RunOnce();
+
+  editor_view.SetDot(story.size());
+  editor_view.InsertText("This line was typed into the editor window.\n");
+  editor->RunOnce();
+  preview->RunOnce();  // The page view repainted via the observer chain.
+  std::printf("both views show %lld lines (page view reports %d page(s))\n",
+              static_cast<long long>(story.LineCount()), page_view.PageCount());
+
+  // ---- Table + two chart types ----
+  TableData table;
+  table.Resize(4, 2);
+  const char* fruit[] = {"apples", "pears", "plums", "figs"};
+  const double amounts[] = {30, 50, 20, 40};
+  for (int r = 0; r < 4; ++r) {
+    table.SetText(r, 0, fruit[r]);
+    table.SetNumber(r, 1, amounts[r]);
+  }
+  ChartData chart;  // The §2 auxiliary data object.
+  chart.SetSource(&table);
+  chart.SetTitle("Harvest");
+  chart.SetColumns(0, 1);
+
+  TableView sheet_view;
+  PieChartView pie_view;
+  BarChartView bar_view;
+  sheet_view.SetDataObject(&table);
+  pie_view.SetDataObject(&chart);
+  bar_view.SetDataObject(&chart);
+
+  auto sheet_im = InteractionManager::Create(*ws, 200, 100, "table");
+  auto pie_im = InteractionManager::Create(*ws, 160, 130, "pie chart");
+  auto bar_im = InteractionManager::Create(*ws, 160, 130, "bar chart");
+  sheet_im->SetChild(&sheet_view);
+  pie_im->SetChild(&pie_view);
+  bar_im->SetChild(&bar_view);
+  sheet_im->RunOnce();
+  pie_im->RunOnce();
+  bar_im->RunOnce();
+
+  uint64_t pie_before = pie_im->window()->Display().Hash();
+  uint64_t bar_before = bar_im->window()->Display().Hash();
+  std::printf("editing the table: pears 50 -> 200\n");
+  table.SetNumber(1, 1, 200);
+  pie_im->RunOnce();
+  bar_im->RunOnce();
+  sheet_im->RunOnce();
+  std::printf("pie chart repainted: %s; bar chart repainted: %s\n",
+              pie_im->window()->Display().Hash() != pie_before ? "yes" : "no",
+              bar_im->window()->Display().Hash() != bar_before ? "yes" : "no");
+  std::printf("chart series now:");
+  for (const auto& slice : chart.Series()) {
+    std::printf(" %s=%.0f", slice.label.c_str(), slice.value);
+  }
+  std::printf("\n");
+
+  editor_view.SetText(nullptr);
+  page_view.SetText(nullptr);
+  sheet_view.SetDataObject(nullptr);
+  pie_view.SetDataObject(nullptr);
+  bar_view.SetDataObject(nullptr);
+  return 0;
+}

@@ -1,0 +1,239 @@
+// The compile and tags packages (§1's extension list), as demand-loaded
+// proc modules over the C-language component.
+//
+//  * "compile-check" runs a toy C checker (the substituted stand-in for
+//    invoking cc through typescript) over a ctext/text view: unbalanced
+//    braces/parens and statement lines missing ';' become diagnostics; the
+//    caret jumps to the first error and the frame's message line reports
+//    the count.
+//  * "tags-find-definition" builds a tag table from function-definition
+//    lines and jumps the caret to the definition of the identifier under
+//    the caret — the classic tags navigation.
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "src/apps/standard_modules.h"
+#include "src/base/proctable.h"
+#include "src/class_system/loader.h"
+#include "src/components/frame/frame_view.h"
+#include "src/components/text/text_view.h"
+
+namespace atk {
+
+// Exposed for tests.
+struct CompileDiagnostic {
+  int64_t line = 0;  // 0-based.
+  std::string message;
+};
+
+std::vector<CompileDiagnostic> CheckCSource(const std::string& source) {
+  std::vector<CompileDiagnostic> diagnostics;
+  int brace_depth = 0;
+  int paren_depth = 0;
+  int64_t line = 0;
+  std::string current;
+  auto check_line = [&](const std::string& text) {
+    // Heuristic: an indented statement line that ends in an identifier,
+    // number or ')' needs a ';'.
+    if (text.empty() || text[0] != ' ') {
+      return;
+    }
+    size_t last = text.find_last_not_of(" \t");
+    if (last == std::string::npos) {
+      return;
+    }
+    char end = text[last];
+    bool statementish = std::isalnum(static_cast<unsigned char>(end)) || end == ')';
+    bool flow_keyword = text.find("if ") != std::string::npos ||
+                        text.find("else") != std::string::npos ||
+                        text.find("while ") != std::string::npos ||
+                        text.find("for ") != std::string::npos;
+    if (statementish && !flow_keyword) {
+      diagnostics.push_back(CompileDiagnostic{line, "missing ';'"});
+    }
+  };
+  for (char ch : source) {
+    if (ch == '\n') {
+      check_line(current);
+      current.clear();
+      ++line;
+      continue;
+    }
+    current += ch;
+    switch (ch) {
+      case '{':
+        ++brace_depth;
+        break;
+      case '}':
+        --brace_depth;
+        if (brace_depth < 0) {
+          diagnostics.push_back(CompileDiagnostic{line, "unmatched '}'"});
+          brace_depth = 0;
+        }
+        break;
+      case '(':
+        ++paren_depth;
+        break;
+      case ')':
+        --paren_depth;
+        if (paren_depth < 0) {
+          diagnostics.push_back(CompileDiagnostic{line, "unmatched ')'"});
+          paren_depth = 0;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  check_line(current);
+  if (brace_depth > 0) {
+    diagnostics.push_back(CompileDiagnostic{line, "unclosed '{'"});
+  }
+  if (paren_depth > 0) {
+    diagnostics.push_back(CompileDiagnostic{line, "unclosed '('"});
+  }
+  return diagnostics;
+}
+
+// A tag: a function definition "name(" found at the start of a line.
+struct SourceTag {
+  std::string name;
+  int64_t pos = 0;
+};
+
+std::vector<SourceTag> BuildTagTable(const std::string& source) {
+  std::vector<SourceTag> tags;
+  size_t line_start = 0;
+  while (line_start < source.size()) {
+    size_t line_end = source.find('\n', line_start);
+    if (line_end == std::string::npos) {
+      line_end = source.size();
+    }
+    // A definition line starts at column 0 with `type name(args)` — find the
+    // identifier immediately before '('.
+    if (line_start < line_end && source[line_start] != ' ' &&
+        source[line_start] != '\t' && source[line_start] != '#' &&
+        source[line_start] != '/') {
+      size_t paren = source.find('(', line_start);
+      if (paren != std::string::npos && paren < line_end) {
+        size_t name_end = paren;
+        size_t name_start = name_end;
+        while (name_start > line_start &&
+               (std::isalnum(static_cast<unsigned char>(source[name_start - 1])) ||
+                source[name_start - 1] == '_')) {
+          --name_start;
+        }
+        if (name_end > name_start) {
+          tags.push_back(SourceTag{source.substr(name_start, name_end - name_start),
+                                   static_cast<int64_t>(name_start)});
+        }
+      }
+    }
+    line_start = line_end + 1;
+  }
+  return tags;
+}
+
+namespace {
+
+FrameView* EnclosingFrameOf(View* view) {
+  for (View* v = view; v != nullptr; v = v->parent()) {
+    if (FrameView* frame = ObjectCast<FrameView>(v)) {
+      return frame;
+    }
+  }
+  return nullptr;
+}
+
+void CompileCheck(View* view, long) {
+  TextView* tv = ObjectCast<TextView>(view);
+  if (tv == nullptr || tv->text() == nullptr) {
+    return;
+  }
+  std::vector<CompileDiagnostic> diagnostics = CheckCSource(tv->text()->GetAllText());
+  FrameView* frame = EnclosingFrameOf(view);
+  if (diagnostics.empty()) {
+    if (frame != nullptr) {
+      frame->SetMessage("no errors");
+    }
+    return;
+  }
+  // Jump to the first error's line.
+  tv->SetDot(tv->text()->PosOfLine(diagnostics.front().line));
+  if (frame != nullptr) {
+    frame->SetMessage(std::to_string(diagnostics.size()) + " error(s); first: line " +
+                      std::to_string(diagnostics.front().line + 1) + " " +
+                      diagnostics.front().message);
+  }
+}
+
+void TagsFindDefinition(View* view, long) {
+  TextView* tv = ObjectCast<TextView>(view);
+  if (tv == nullptr || tv->text() == nullptr) {
+    return;
+  }
+  TextData* data = tv->text();
+  // The identifier under (or just before) the caret.
+  int64_t pos = tv->dot_pos();
+  auto is_ident = [&](int64_t p) {
+    char ch = data->CharAt(p);
+    return std::isalnum(static_cast<unsigned char>(ch)) || ch == '_';
+  };
+  if (pos > 0 && !is_ident(pos)) {
+    --pos;
+  }
+  int64_t start = pos;
+  while (start > 0 && is_ident(start - 1)) {
+    --start;
+  }
+  int64_t end = pos;
+  while (end < data->size() && is_ident(end)) {
+    ++end;
+  }
+  std::string word = data->GetText(start, end - start);
+  FrameView* frame = EnclosingFrameOf(view);
+  if (word.empty()) {
+    return;
+  }
+  for (const SourceTag& tag : BuildTagTable(data->GetAllText())) {
+    if (tag.name == word) {
+      tv->SetDot(tag.pos);
+      if (frame != nullptr) {
+        frame->SetMessage("tag: " + word);
+      }
+      return;
+    }
+  }
+  if (frame != nullptr) {
+    frame->SetMessage("no tag for " + word);
+  }
+}
+
+}  // namespace
+
+void RegisterCompilePackageModule() {
+  static bool done = [] {
+    ModuleSpec compile;
+    compile.name = "proc:compile";
+    compile.text_bytes = 10 * 1024;
+    compile.data_bytes = 512;
+    compile.init = [] { ProcTable::Instance().Register("compile-check", CompileCheck); };
+    compile.fini = [] { ProcTable::Instance().Unregister("compile-check"); };
+    Loader::Instance().DeclareModule(std::move(compile));
+
+    ModuleSpec tags;
+    tags.name = "proc:tags";
+    tags.text_bytes = 8 * 1024;
+    tags.data_bytes = 512;
+    tags.init = [] {
+      ProcTable::Instance().Register("tags-find-definition", TagsFindDefinition);
+    };
+    tags.fini = [] { ProcTable::Instance().Unregister("tags-find-definition"); };
+    return Loader::Instance().DeclareModule(std::move(tags));
+  }();
+  (void)done;
+}
+
+}  // namespace atk

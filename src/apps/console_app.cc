@@ -1,0 +1,141 @@
+#include "src/apps/console_app.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/class_system/loader.h"
+
+namespace atk {
+
+ATK_DEFINE_CLASS(ConsoleData, DataObject, "console")
+ATK_DEFINE_CLASS(ConsoleView, View, "consoleview")
+ATK_DEFINE_CLASS(ConsoleApp, Application, "consoleapp")
+
+void ConsoleData::Update(const ConsoleSample& sample) {
+  sample_ = sample;
+  load_history_.push_back(sample.cpu_load);
+  while (load_history_.size() > kLoadHistory) {
+    load_history_.pop_front();
+  }
+  Change change;
+  change.kind = Change::Kind::kModified;
+  NotifyObservers(change);
+}
+
+void ConsoleData::WriteBody(DataStreamWriter& writer) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d", sample_.hour, sample_.minute,
+                sample_.second);
+  writer.WriteDirective("consoletime", buf);
+  writer.WriteNewline();
+}
+
+bool ConsoleData::ReadBody(DataStreamReader& reader, ReadContext& context) {
+  (void)context;
+  return ConsumeUntilEndData(reader);
+}
+
+void ConsoleView::FullUpdate() {
+  Graphic* g = graphic();
+  if (g == nullptr) {
+    return;
+  }
+  g->Clear();
+  ConsoleData* data = console();
+  if (data == nullptr) {
+    return;
+  }
+  const ConsoleSample& sample = data->sample();
+  g->SetForeground(kBlack);
+  g->SetFont(FontSpec{"andy", 10, kPlain});
+
+  // Clock face (analog) top-left.
+  Rect clock_box{4, 4, 48, 48};
+  g->DrawEllipse(clock_box);
+  Point center = clock_box.center();
+  double minute_angle = 2 * M_PI * sample.minute / 60.0 - M_PI / 2;
+  double hour_angle = 2 * M_PI * ((sample.hour % 12) + sample.minute / 60.0) / 12.0 - M_PI / 2;
+  g->DrawLine(center, Point{center.x + static_cast<int>(18 * std::cos(minute_angle)),
+                            center.y + static_cast<int>(18 * std::sin(minute_angle))});
+  g->DrawLine(center, Point{center.x + static_cast<int>(12 * std::cos(hour_angle)),
+                            center.y + static_cast<int>(12 * std::sin(hour_angle))});
+  // Digital time and date beside it.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d", sample.hour, sample.minute, sample.second);
+  g->DrawString(Point{60, 10}, buf);
+  g->DrawString(Point{60, 24}, sample.date);
+
+  // Load history bar graph.
+  int graph_y = 58;
+  int graph_h = 30;
+  g->DrawString(Point{4, graph_y - 2}, "CPU");
+  Rect graph_box{34, graph_y, g->width() - 40, graph_h};
+  g->DrawRect(graph_box);
+  const auto& history = data->load_history();
+  int n = static_cast<int>(history.size());
+  if (n > 0) {
+    int bar_w = std::max(1, graph_box.width / static_cast<int>(ConsoleData::kLoadHistory));
+    for (int i = 0; i < n; ++i) {
+      double load = std::clamp(history[static_cast<size_t>(i)], 0.0, 1.0);
+      int h = static_cast<int>(load * (graph_h - 2));
+      g->FillRect(Rect{graph_box.x + 1 + i * bar_w, graph_box.bottom() - 1 - h, bar_w, h});
+    }
+  }
+
+  // File system gauges.
+  int fs_y = graph_y + graph_h + 8;
+  for (const auto& fs : sample.filesystems) {
+    g->DrawString(Point{4, fs_y}, fs.name);
+    Rect gauge{60, fs_y, g->width() - 66, 9};
+    g->DrawRect(gauge);
+    int fill = static_cast<int>(std::clamp(fs.used_fraction, 0.0, 1.0) * (gauge.width - 2));
+    g->FillRect(Rect{gauge.x + 1, gauge.y + 1, fill, gauge.height - 2});
+    fs_y += 14;
+  }
+}
+
+Size ConsoleView::DesiredSize(Size available) {
+  Size desired{200, 140};
+  if (available.width > 0) {
+    desired.width = std::min(desired.width, available.width);
+  }
+  if (available.height > 0) {
+    desired.height = std::min(desired.height, available.height);
+  }
+  return desired;
+}
+
+ConsoleApp::ConsoleApp() { view_.SetDataObject(&data_); }
+
+ConsoleApp::~ConsoleApp() = default;
+
+std::unique_ptr<InteractionManager> ConsoleApp::Start(WindowSystem& ws,
+                                                      const std::vector<std::string>& args) {
+  (void)args;
+  auto im = InteractionManager::Create(ws, 220, 160, "console");
+  im->SetChild(&view_);
+  ConsoleSample sample;
+  sample.filesystems = {{"/", 0.62}, {"/usr", 0.81}, {"vice", 0.47}};
+  data_.Update(sample);
+  return im;
+}
+
+void RegisterConsoleAppModule() {
+  static bool done = [] {
+    ModuleSpec spec;
+    spec.name = "app-console";
+    spec.provides = {"consoleapp", "console", "consoleview"};
+    spec.text_bytes = 18 * 1024;
+    spec.data_bytes = 1 * 1024;
+    spec.init = [] {
+      ClassRegistry::Instance().Register(ConsoleApp::StaticClassInfo());
+      ClassRegistry::Instance().Register(ConsoleData::StaticClassInfo());
+      ClassRegistry::Instance().Register(ConsoleView::StaticClassInfo());
+    };
+    return Loader::Instance().DeclareModule(std::move(spec));
+  }();
+  (void)done;
+}
+
+}  // namespace atk

@@ -1,0 +1,83 @@
+// Console — the system monitor (§1): "displays status information such as
+// the time, date, CPU load and file system information."
+//
+// The machine statistics come from an injectable StatsSource (deterministic
+// in tests and benches); ConsoleData is the observable data object holding
+// the latest sample, and ConsoleView renders a clock face, a load bar graph
+// with history, and per-filesystem usage gauges.
+
+#ifndef ATK_SRC_APPS_CONSOLE_APP_H_
+#define ATK_SRC_APPS_CONSOLE_APP_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/application.h"
+#include "src/base/data_object.h"
+#include "src/base/view.h"
+
+namespace atk {
+
+struct ConsoleSample {
+  int hour = 9;
+  int minute = 30;
+  int second = 0;
+  std::string date = "Feb 11 1988";
+  double cpu_load = 0.0;  // 0..1
+  struct FileSystem {
+    std::string name;
+    double used_fraction = 0.0;
+  };
+  std::vector<FileSystem> filesystems;
+};
+
+class ConsoleData : public DataObject {
+  ATK_DECLARE_CLASS(ConsoleData)
+
+ public:
+  static constexpr size_t kLoadHistory = 32;
+
+  void Update(const ConsoleSample& sample);
+  const ConsoleSample& sample() const { return sample_; }
+  const std::deque<double>& load_history() const { return load_history_; }
+
+  void WriteBody(DataStreamWriter& writer) const override;
+  bool ReadBody(DataStreamReader& reader, ReadContext& context) override;
+
+ private:
+  ConsoleSample sample_;
+  std::deque<double> load_history_;
+};
+
+class ConsoleView : public View {
+  ATK_DECLARE_CLASS(ConsoleView)
+
+ public:
+  ConsoleData* console() const { return ObjectCast<ConsoleData>(data_object()); }
+  void FullUpdate() override;
+  Size DesiredSize(Size available) override;
+};
+
+class ConsoleApp : public Application {
+  ATK_DECLARE_CLASS(ConsoleApp)
+
+ public:
+  ConsoleApp();
+  ~ConsoleApp() override;
+
+  std::unique_ptr<InteractionManager> Start(WindowSystem& ws,
+                                            const std::vector<std::string>& args) override;
+
+  ConsoleData& data() { return data_; }
+  ConsoleView* view() { return &view_; }
+
+ private:
+  ConsoleData data_;
+  ConsoleView view_;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_APPS_CONSOLE_APP_H_

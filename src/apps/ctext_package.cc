@@ -1,0 +1,163 @@
+// The C-language programming component (§1's extension-package list; §10:
+// "the object oriented nature of the system allows programmers to easily
+// develop new specialized objects out of existing objects such as the C
+// language component").
+//
+// CTextData subclasses TextData, inheriting storage, styles, embedding and
+// the external representation, and adds syntax highlighting: keywords bold,
+// comments italic, string literals typewriter.  CTextView subclasses
+// TextView and re-highlights after every edit.  Packaged as the dormant
+// module "ctext".
+
+#include <cctype>
+
+#include "src/apps/standard_modules.h"
+#include "src/base/default_views.h"
+#include "src/class_system/loader.h"
+#include "src/components/modules.h"
+#include "src/components/text/text_view.h"
+
+namespace atk {
+
+class CTextData : public TextData {
+  ATK_DECLARE_CLASS(CTextData)
+
+ public:
+  // Recomputes all syntax styles from the raw text.  One Attributes
+  // notification at the end (via the last ApplyStyle).
+  void HighlightSyntax();
+
+  // Documents highlight themselves as they load, so the stock editor shows
+  // colored code even through the plain text view.
+  bool ReadBody(DataStreamReader& reader, ReadContext& context) override {
+    bool ok = TextData::ReadBody(reader, context);
+    HighlightSyntax();
+    return ok;
+  }
+
+  // Number of keyword/comment/string spans found by the last highlight.
+  int highlighted_spans() const { return highlighted_spans_; }
+
+  static bool IsKeyword(const std::string& word);
+
+ private:
+  int highlighted_spans_ = 0;
+};
+
+ATK_DEFINE_CLASS(CTextData, TextData, "ctext")
+
+bool CTextData::IsKeyword(const std::string& word) {
+  static const char* const kKeywords[] = {
+      "auto",   "break",  "case",    "char",   "continue", "default", "do",
+      "double", "else",   "enum",    "extern", "float",    "for",     "goto",
+      "if",     "int",    "long",    "register", "return", "short",   "sizeof",
+      "static", "struct", "switch",  "typedef", "union",   "unsigned", "void",
+      "while"};
+  for (const char* keyword : kKeywords) {
+    if (word == keyword) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CTextData::HighlightSyntax() {
+  ClearStyles(0, size());
+  highlighted_spans_ = 0;
+  std::string content = GetAllText();
+  size_t i = 0;
+  while (i < content.size()) {
+    char ch = content[i];
+    // Comments: /* ... */ and // ... (the ITC compiled both by 1988).
+    if (ch == '/' && i + 1 < content.size() && content[i + 1] == '*') {
+      size_t end = content.find("*/", i + 2);
+      end = end == std::string::npos ? content.size() : end + 2;
+      ApplyStyle(static_cast<int64_t>(i), static_cast<int64_t>(end - i), "italic");
+      ++highlighted_spans_;
+      i = end;
+      continue;
+    }
+    if (ch == '/' && i + 1 < content.size() && content[i + 1] == '/') {
+      size_t end = content.find('\n', i);
+      end = end == std::string::npos ? content.size() : end;
+      ApplyStyle(static_cast<int64_t>(i), static_cast<int64_t>(end - i), "italic");
+      ++highlighted_spans_;
+      i = end;
+      continue;
+    }
+    // String literals.
+    if (ch == '"') {
+      size_t end = i + 1;
+      while (end < content.size() && content[end] != '"' && content[end] != '\n') {
+        if (content[end] == '\\') {
+          ++end;
+        }
+        ++end;
+      }
+      end = std::min(end + 1, content.size());
+      ApplyStyle(static_cast<int64_t>(i), static_cast<int64_t>(end - i), "typewriter");
+      ++highlighted_spans_;
+      i = end;
+      continue;
+    }
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '_') {
+      size_t end = i;
+      while (end < content.size() &&
+             (std::isalnum(static_cast<unsigned char>(content[end])) || content[end] == '_')) {
+        ++end;
+      }
+      if (IsKeyword(content.substr(i, end - i))) {
+        ApplyStyle(static_cast<int64_t>(i), static_cast<int64_t>(end - i), "bold");
+        ++highlighted_spans_;
+      }
+      i = end;
+      continue;
+    }
+    ++i;
+  }
+}
+
+class CTextView : public TextView {
+  ATK_DECLARE_CLASS(CTextView)
+
+ public:
+  CTextData* ctext() const { return ObjectCast<CTextData>(data_object()); }
+
+  // Re-highlight after content edits (attribute changes would recurse).
+  void ObservedChanged(Observable* changed, const Change& change) override {
+    if ((change.kind == Change::Kind::kInserted || change.kind == Change::Kind::kDeleted) &&
+        ctext() != nullptr && !rehighlighting_) {
+      rehighlighting_ = true;
+      ctext()->HighlightSyntax();
+      rehighlighting_ = false;
+    }
+    TextView::ObservedChanged(changed, change);
+  }
+
+ private:
+  bool rehighlighting_ = false;
+};
+
+ATK_DEFINE_CLASS(CTextView, TextView, "ctextview")
+
+void RegisterCTextPackageModule() {
+  static bool done = [] {
+    RegisterTextModule();
+    ModuleSpec spec;
+    spec.name = "ctext";
+    spec.provides = {"ctext", "ctextview"};
+    spec.depends_on = {"text"};
+    spec.text_bytes = 16 * 1024;
+    spec.data_bytes = 1 * 1024;
+    spec.init = [] {
+      ClassRegistry::Instance().Register(CTextData::StaticClassInfo());
+      ClassRegistry::Instance().Register(CTextView::StaticClassInfo());
+      SetDefaultViewName("ctext", "ctextview");
+    };
+    return Loader::Instance().DeclareModule(std::move(spec));
+  }();
+  (void)done;
+}
+
+}  // namespace atk

@@ -1,0 +1,145 @@
+#include "src/apps/ez_app.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/base/proctable.h"
+#include "src/class_system/loader.h"
+
+namespace atk {
+
+ATK_DEFINE_CLASS(EzApp, Application, "ezapp")
+
+EzApp::EzApp() : document_(std::make_unique<TextData>()) {
+  text_view_.SetText(document_.get());
+  scrollbar_.SetBody(&text_view_);
+  frame_.SetBody(&scrollbar_);
+  BuildMenus();
+  frame_.AddAppMenu("Insert~Table", "ez-insert-table");
+  frame_.AddAppMenu("Insert~Drawing", "ez-insert-drawing");
+  frame_.AddAppMenu("Insert~Equation", "ez-insert-equation");
+  frame_.AddAppMenu("Insert~Raster", "ez-insert-raster");
+  frame_.AddAppMenu("Insert~Animation", "ez-insert-animation");
+  frame_.AddAppMenu("Region~Upcase", "filter-upcase");
+  frame_.AddAppMenu("Region~Sort Lines", "filter-sort-lines");
+}
+
+EzApp::~EzApp() = default;
+
+void EzApp::BuildMenus() {
+  // EZ's extension commands live in the proc table so menus can reference
+  // them before any module is loaded.
+  ProcTable& procs = ProcTable::Instance();
+  procs.Register("ez-insert-table", [](View* view, long) {
+    if (TextView* tv = ObjectCast<TextView>(view)) {
+      std::unique_ptr<DataObject> obj =
+          ObjectCast<DataObject>(Loader::Instance().NewObject("table"));
+      if (obj != nullptr) {
+        tv->InsertObjectAtDot(std::move(obj));
+      }
+    }
+  });
+  auto insert_proc = [](const char* type) {
+    return [type](View* view, long) {
+      if (TextView* tv = ObjectCast<TextView>(view)) {
+        std::unique_ptr<DataObject> obj =
+            ObjectCast<DataObject>(Loader::Instance().NewObject(type));
+        if (obj != nullptr) {
+          tv->InsertObjectAtDot(std::move(obj));
+        }
+      }
+    };
+  };
+  procs.Register("ez-insert-drawing", insert_proc("draw"));
+  procs.Register("ez-insert-equation", insert_proc("eq"));
+  procs.Register("ez-insert-raster", insert_proc("raster"));
+  procs.Register("ez-insert-animation", insert_proc("animation"));
+}
+
+std::unique_ptr<InteractionManager> EzApp::Start(WindowSystem& ws,
+                                                 const std::vector<std::string>& args) {
+  std::string title = "ez";
+  if (args.size() > 1) {
+    OpenFile(args[1]);
+    title = "ez: " + args[1];
+  }
+  auto im = InteractionManager::Create(ws, 560, 400, title);
+  im->SetChild(&frame_);
+  im->SetInputFocus(&text_view_);
+  frame_.SetMessage("EZ: a document editor");
+  return im;
+}
+
+bool EzApp::LoadDocumentString(const std::string& content) {
+  ReadContext ctx;
+  std::unique_ptr<DataObject> root = ReadDocument(content, &ctx);
+  std::unique_ptr<TextData> next;
+  if (root == nullptr) {
+    // Not a datastream: treat as plain text.
+    next = std::make_unique<TextData>();
+    next->SetText(content);
+  } else if (TextData* as_text = ObjectCast<TextData>(root.get())) {
+    root.release();
+    next.reset(as_text);
+  } else {
+    // A bare non-text component: wrap it in a text document (EZ is generic).
+    next = std::make_unique<TextData>();
+    next->InsertObject(0, std::move(root));
+  }
+  text_view_.SetText(nullptr);
+  document_ = std::move(next);
+  text_view_.SetText(document_.get());
+  return true;
+}
+
+bool EzApp::OpenFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    frame_.SetMessage("cannot open " + path);
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  current_path_ = path;
+  return LoadDocumentString(buffer.str());
+}
+
+std::string EzApp::SaveToString() const { return WriteDocument(*document_); }
+
+bool EzApp::SaveFile(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    frame_.SetMessage("cannot write " + path);
+    return false;
+  }
+  out << SaveToString();
+  current_path_ = path;
+  frame_.SetMessage("wrote " + path);
+  return out.good();
+}
+
+DataObject* EzApp::InsertComponent(const std::string& data_type) {
+  std::unique_ptr<DataObject> obj =
+      ObjectCast<DataObject>(Loader::Instance().NewObject(data_type));
+  if (obj == nullptr) {
+    frame_.SetMessage("no component: " + data_type);
+    return nullptr;
+  }
+  return text_view_.InsertObjectAtDot(std::move(obj));
+}
+
+void RegisterEzAppModule() {
+  static bool done = [] {
+    ModuleSpec spec;
+    spec.name = "app-ez";
+    spec.provides = {"ezapp"};
+    spec.depends_on = {"text", "scroll", "frame"};
+    spec.text_bytes = 40 * 1024;
+    spec.data_bytes = 4 * 1024;
+    spec.init = [] { ClassRegistry::Instance().Register(EzApp::StaticClassInfo()); };
+    return Loader::Instance().DeclareModule(std::move(spec));
+  }();
+  (void)done;
+}
+
+}  // namespace atk

@@ -1,0 +1,63 @@
+// EZ — the generic multi-media document editor (§1, §2, snapshot 1).
+//
+// A frame (message line + divider) around a scroll bar around a text view.
+// EZ "can edit a wide variety of components by loading the appropriate code
+// when needed": inserting or opening a document containing any component
+// pulls the component's module in through the Loader; EZ itself never names
+// the component classes.
+
+#ifndef ATK_SRC_APPS_EZ_APP_H_
+#define ATK_SRC_APPS_EZ_APP_H_
+
+#include <memory>
+#include <string>
+
+#include "src/base/application.h"
+#include "src/components/frame/frame_view.h"
+#include "src/components/scroll/scrollbar_view.h"
+#include "src/components/text/text_data.h"
+#include "src/components/text/text_view.h"
+
+namespace atk {
+
+class EzApp : public Application {
+  ATK_DECLARE_CLASS(EzApp)
+
+ public:
+  EzApp();
+  ~EzApp() override;
+
+  // args: {"ez", [path]} — opens `path` when given.
+  std::unique_ptr<InteractionManager> Start(WindowSystem& ws,
+                                            const std::vector<std::string>& args) override;
+
+  // ---- Document management ----
+  TextData* document() { return document_.get(); }
+  TextView* text_view() { return &text_view_; }
+  FrameView* frame() { return &frame_; }
+
+  // Parses a datastream document; non-text roots are wrapped: a fresh text
+  // document embedding the object.  Unparseable input becomes plain text.
+  bool LoadDocumentString(const std::string& content);
+  bool OpenFile(const std::string& path);
+  bool SaveFile(const std::string& path);
+  std::string SaveToString() const;
+  const std::string& current_path() const { return current_path_; }
+
+  // "Insert X" commands: embed a fresh component at the caret, dynamically
+  // loading its module (the user-visible §1 extension story).
+  DataObject* InsertComponent(const std::string& data_type);
+
+ private:
+  void BuildMenus();
+
+  std::unique_ptr<TextData> document_;
+  FrameView frame_;
+  ScrollBarView scrollbar_;
+  TextView text_view_;
+  std::string current_path_;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_APPS_EZ_APP_H_

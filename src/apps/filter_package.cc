@@ -1,0 +1,122 @@
+// The filter extension package (§1, footnote 1: "the filter mechanism gives
+// the user the ability to use standard tools on regions of text").
+//
+// Packaged as the dormant module "proc:filter": nothing registers these
+// commands until the first invocation, when ProcTable::Invoke derives the
+// module name from the proc prefix and loads it — §7's load-on-invoke
+// extension commands.
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "src/apps/standard_modules.h"
+#include "src/base/proctable.h"
+#include "src/class_system/loader.h"
+#include "src/components/text/text_view.h"
+
+namespace atk {
+namespace {
+
+// Applies a text filter to the selection (or the whole document when
+// nothing is selected), replacing the region with the filter's output.
+void FilterRegion(View* view, const std::function<std::string(const std::string&)>& filter) {
+  TextView* tv = ObjectCast<TextView>(view);
+  if (tv == nullptr || tv->text() == nullptr) {
+    return;
+  }
+  TextData* data = tv->text();
+  int64_t pos = tv->HasSelection() ? tv->dot_pos() : 0;
+  int64_t len = tv->HasSelection() ? tv->dot_len() : data->size();
+  std::string region = data->GetText(pos, len);
+  std::string replaced = filter(region);
+  data->DeleteRange(pos, len);
+  data->InsertString(pos, replaced);
+  tv->SetDot(pos, static_cast<int64_t>(replaced.size()));
+}
+
+std::string Upcase(const std::string& in) {
+  std::string out = in;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char ch) { return static_cast<char>(std::toupper(ch)); });
+  return out;
+}
+
+std::string Downcase(const std::string& in) {
+  std::string out = in;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char ch) { return static_cast<char>(std::tolower(ch)); });
+  return out;
+}
+
+std::string SortLines(const std::string& in) {
+  std::vector<std::string> lines;
+  std::istringstream stream(in);
+  std::string line;
+  bool trailing_newline = !in.empty() && in.back() == '\n';
+  while (std::getline(stream, line)) {
+    lines.push_back(line);
+  }
+  std::sort(lines.begin(), lines.end());
+  std::ostringstream out;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    out << lines[i];
+    if (i + 1 < lines.size() || trailing_newline) {
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string ReverseLines(const std::string& in) {
+  std::vector<std::string> lines;
+  std::istringstream stream(in);
+  std::string line;
+  bool trailing_newline = !in.empty() && in.back() == '\n';
+  while (std::getline(stream, line)) {
+    lines.push_back(line);
+  }
+  std::reverse(lines.begin(), lines.end());
+  std::ostringstream out;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    out << lines[i];
+    if (i + 1 < lines.size() || trailing_newline) {
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace
+
+void RegisterFilterPackageModule() {
+  static bool done = [] {
+    ModuleSpec spec;
+    spec.name = "proc:filter";
+    spec.text_bytes = 9 * 1024;
+    spec.data_bytes = 512;
+    spec.init = [] {
+      ProcTable& procs = ProcTable::Instance();
+      procs.Register("filter-upcase",
+                     [](View* view, long) { FilterRegion(view, Upcase); });
+      procs.Register("filter-downcase",
+                     [](View* view, long) { FilterRegion(view, Downcase); });
+      procs.Register("filter-sort-lines",
+                     [](View* view, long) { FilterRegion(view, SortLines); });
+      procs.Register("filter-reverse-lines",
+                     [](View* view, long) { FilterRegion(view, ReverseLines); });
+    };
+    spec.fini = [] {
+      ProcTable& procs = ProcTable::Instance();
+      procs.Unregister("filter-upcase");
+      procs.Unregister("filter-downcase");
+      procs.Unregister("filter-sort-lines");
+      procs.Unregister("filter-reverse-lines");
+    };
+    return Loader::Instance().DeclareModule(std::move(spec));
+  }();
+  (void)done;
+}
+
+}  // namespace atk

@@ -1,0 +1,71 @@
+// Help — the campus help system (snapshot 2): a topic index on the right, a
+// document pane on the left, and a search box via the frame dialog.  Help
+// documents are datastream files, so they display through the ordinary text
+// component with full multi-media support.
+
+#ifndef ATK_SRC_APPS_HELP_APP_H_
+#define ATK_SRC_APPS_HELP_APP_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/base/application.h"
+#include "src/components/frame/frame_view.h"
+#include "src/components/scroll/scrollbar_view.h"
+#include "src/components/text/text_data.h"
+#include "src/components/text/text_view.h"
+#include "src/components/widgets/widgets.h"
+
+namespace atk {
+
+// Document pane + topic index side by side.
+class HelpLayoutView : public View {
+  ATK_DECLARE_CLASS(HelpLayoutView)
+
+ public:
+  static constexpr int kIndexWidth = 170;
+  void Layout() override;
+  void FullUpdate() override;
+};
+
+class HelpApp : public Application {
+  ATK_DECLARE_CLASS(HelpApp)
+
+ public:
+  HelpApp();
+  ~HelpApp() override;
+
+  std::unique_ptr<InteractionManager> Start(WindowSystem& ws,
+                                            const std::vector<std::string>& args) override;
+
+  // ---- Topic database ----
+  // Adds/overwrites a help document (a datastream string or plain text).
+  void AddTopic(const std::string& name, const std::string& document);
+  std::vector<std::string> TopicNames() const;
+  bool ShowTopic(const std::string& name);
+  const std::string& current_topic() const { return current_topic_; }
+  // Case-insensitive substring search over names and bodies.
+  std::vector<std::string> Search(const std::string& query) const;
+
+  ListView* index_list() { return &index_; }
+  TextView* doc_view() { return &doc_view_; }
+  FrameView* frame() { return &frame_; }
+
+  // Installs the built-in CMU-flavoured topics (EZ, messages, printing...).
+  void LoadBuiltinTopics();
+
+ private:
+  std::map<std::string, std::string> topics_;
+  FrameView frame_;
+  HelpLayoutView layout_;
+  ListView index_;
+  ScrollBarView doc_scroll_;
+  TextView doc_view_;
+  std::unique_ptr<TextData> doc_data_;
+  std::string current_topic_;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_APPS_HELP_APP_H_

@@ -1,0 +1,68 @@
+#include "src/apps/mail_store.h"
+
+namespace atk {
+
+std::string MailMessage::Caption() const {
+  return subject + " - " + from + " (" + std::to_string(body.size()) + ")";
+}
+
+int MailFolder::NewCount() const {
+  int count = 0;
+  for (const MailMessage& message : messages) {
+    count += message.is_new ? 1 : 0;
+  }
+  return count;
+}
+
+MailStore::MailStore() {
+  AddFolder("mail");
+  AddFolder("outgoing");
+}
+
+MailFolder* MailStore::FindFolder(const std::string& name) {
+  for (MailFolder& folder : folders_) {
+    if (folder.name == name) {
+      return &folder;
+    }
+  }
+  return nullptr;
+}
+
+MailFolder& MailStore::AddFolder(const std::string& name) {
+  if (MailFolder* existing = FindFolder(name)) {
+    return *existing;
+  }
+  folders_.push_back(MailFolder{name, {}});
+  return folders_.back();
+}
+
+bool MailStore::IsMailable(const std::string& body) {
+  for (char ch : body) {
+    unsigned char byte = static_cast<unsigned char>(ch);
+    if (byte >= 0x80) {
+      return false;
+    }
+    if (byte < 0x20 && ch != '\n' && ch != '\t' && ch != '\r') {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MailStore::Deliver(const std::string& folder, MailMessage message) {
+  if (!IsMailable(message.body)) {
+    return false;
+  }
+  AddFolder(folder).messages.push_back(std::move(message));
+  return true;
+}
+
+int MailStore::total_messages() const {
+  int total = 0;
+  for (const MailFolder& folder : folders_) {
+    total += static_cast<int>(folder.messages.size());
+  }
+  return total;
+}
+
+}  // namespace atk

@@ -1,0 +1,58 @@
+// The in-memory message store standing in for the Andrew Message System
+// server (Borenstein et al., USENIX 1988 — reference [11] of the paper).
+// Message bodies are full datastream documents, so anything the text
+// component can hold — drawings, rasters, tables — travels in mail exactly
+// as §1 promises ("it can be sent in a mail message as easily as edited in
+// a document"); mailability (7-bit, bounded lines) is checked at delivery.
+
+#ifndef ATK_SRC_APPS_MAIL_STORE_H_
+#define ATK_SRC_APPS_MAIL_STORE_H_
+
+#include <string>
+#include <vector>
+
+namespace atk {
+
+struct MailMessage {
+  std::string from;
+  std::string to;
+  std::string subject;
+  // A complete datastream document (usually \begindata{text,...}).
+  std::string body;
+  bool is_new = true;
+
+  // One line for the caption pane: "subject - from (bytes)".
+  std::string Caption() const;
+};
+
+struct MailFolder {
+  std::string name;
+  std::vector<MailMessage> messages;
+
+  int NewCount() const;
+};
+
+class MailStore {
+ public:
+  MailStore();
+
+  MailFolder* FindFolder(const std::string& name);
+  const std::vector<MailFolder>& folders() const { return folders_; }
+  MailFolder& AddFolder(const std::string& name);
+
+  // Delivers into `folder` (created on demand).  Returns false — and does
+  // not deliver — when the body fails the mailability check.
+  bool Deliver(const std::string& folder, MailMessage message);
+
+  // §5's transport guarantee: 7-bit printable content only.
+  static bool IsMailable(const std::string& body);
+
+  int total_messages() const;
+
+ private:
+  std::vector<MailFolder> folders_;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_APPS_MAIL_STORE_H_

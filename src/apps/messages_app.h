@@ -1,0 +1,110 @@
+// Messages — the mail reader/composer (snapshots 3 and 4).
+//
+// Reading window: a folder list pane on the left, the selected folder's
+// message captions top-right, and the selected message's body bottom-right.
+// Since the body pane is the standard text view, messages "automatically
+// inherit the multi-media functionality of the text component" (§1) — the
+// snapshot-3 drawing inside a message body just works.
+//
+// Compose window (snapshot 4): To/Subject fields and a body editor; Send
+// serializes the body to a datastream (mailability-checked) and delivers it
+// through the MailStore.
+
+#ifndef ATK_SRC_APPS_MESSAGES_APP_H_
+#define ATK_SRC_APPS_MESSAGES_APP_H_
+
+#include <memory>
+#include <string>
+
+#include "src/base/application.h"
+#include "src/apps/mail_store.h"
+#include "src/components/frame/frame_view.h"
+#include "src/components/scroll/scrollbar_view.h"
+#include "src/components/text/text_data.h"
+#include "src/components/text/text_view.h"
+#include "src/components/widgets/widgets.h"
+
+namespace atk {
+
+// The three-pane reading layout (folders | captions / body).
+class MessagesLayoutView : public View {
+  ATK_DECLARE_CLASS(MessagesLayoutView)
+
+ public:
+  void Layout() override;
+  void FullUpdate() override;
+
+  // Children are set by the app: [0] folders, [1] captions, [2] body.
+  static constexpr int kFolderPaneWidth = 180;
+  static constexpr int kCaptionPaneHeight = 120;
+};
+
+class MessagesApp : public Application {
+  ATK_DECLARE_CLASS(MessagesApp)
+
+ public:
+  MessagesApp();
+  ~MessagesApp() override;
+
+  std::unique_ptr<InteractionManager> Start(WindowSystem& ws,
+                                            const std::vector<std::string>& args) override;
+
+  // The store is owned by the app; tests may seed it before Start.
+  MailStore& store() { return store_; }
+
+  // ---- Reading-side operations ----
+  void RefreshFolderList();
+  void SelectFolder(int index);
+  void SelectMessage(int index);
+  const std::string& current_folder() const { return current_folder_; }
+  int current_message() const { return current_message_; }
+  ListView* folder_list() { return &folder_list_; }
+  ListView* caption_list() { return &caption_list_; }
+  TextView* body_view() { return &body_view_; }
+  FrameView* frame() { return &frame_; }
+
+  // ---- Compose side ----
+  class Composer {
+   public:
+    explicit Composer(MessagesApp* app);
+    TextData& to() { return to_; }
+    TextData& subject() { return subject_; }
+    TextData& body() { return body_; }
+    TextView& body_view() { return body_view_; }
+    // Builds a compose window; the returned IM owns nothing of the composer.
+    std::unique_ptr<InteractionManager> OpenWindow(WindowSystem& ws);
+    // Serializes and delivers.  Returns false when undeliverable.
+    bool Send(const std::string& folder = "mail");
+
+   private:
+    MessagesApp* app_;
+    TextData to_;
+    TextData subject_;
+    TextData body_;
+    TextView to_view_;
+    TextView subject_view_;
+    TextView body_view_;
+    FrameView frame_;
+    std::unique_ptr<View> compose_layout_;  // ComposeLayoutView (messages_app.cc).
+    LabelView to_label_;
+    LabelView subject_label_;
+  };
+
+  std::unique_ptr<Composer> NewComposer();
+
+ private:
+  MailStore store_;
+  FrameView frame_;
+  MessagesLayoutView layout_;
+  ListView folder_list_;
+  ListView caption_list_;
+  ScrollBarView body_scroll_;
+  TextView body_view_;
+  std::unique_ptr<TextData> body_data_;
+  std::string current_folder_;
+  int current_message_ = -1;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_APPS_MESSAGES_APP_H_

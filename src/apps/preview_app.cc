@@ -1,0 +1,135 @@
+#include "src/apps/preview_app.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/class_system/loader.h"
+
+namespace atk {
+
+ATK_DEFINE_CLASS(PreviewApp, Application, "previewapp")
+
+std::unique_ptr<TextData> TroffToText(const std::string& troff_source) {
+  auto text = std::make_unique<TextData>();
+  std::istringstream in(troff_source);
+  std::string line;
+  std::string current_style = "default";
+  int center_lines = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '.') {
+      std::istringstream req(line.substr(1));
+      std::string name;
+      req >> name;
+      if (name == "ce") {
+        int n = 1;
+        req >> n;
+        center_lines = n;
+      } else if (name == "sp") {
+        int n = 1;
+        req >> n;
+        for (int i = 0; i < n; ++i) {
+          text->InsertString(text->size(), "\n");
+        }
+      } else if (name == "B") {
+        current_style = "bold";
+        std::string rest;
+        std::getline(req, rest);
+        if (!rest.empty()) {
+          if (rest[0] == ' ') {
+            rest.erase(0, 1);
+          }
+          int64_t start = text->size();
+          text->InsertString(start, rest + "\n");
+          text->ApplyStyle(start, static_cast<int64_t>(rest.size()), "bold");
+          current_style = "default";
+        }
+      } else if (name == "I") {
+        current_style = "italic";
+        std::string rest;
+        std::getline(req, rest);
+        if (!rest.empty()) {
+          if (rest[0] == ' ') {
+            rest.erase(0, 1);
+          }
+          int64_t start = text->size();
+          text->InsertString(start, rest + "\n");
+          text->ApplyStyle(start, static_cast<int64_t>(rest.size()), "italic");
+          current_style = "default";
+        }
+      } else if (name == "R") {
+        current_style = "default";
+      } else if (name == "ft") {
+        std::string font;
+        req >> font;
+        current_style = font == "B" ? "bold" : font == "I" ? "italic" : "default";
+      } else if (name == "TH" || name == "SH") {
+        std::string rest;
+        std::getline(req, rest);
+        if (!rest.empty() && rest[0] == ' ') {
+          rest.erase(0, 1);
+        }
+        int64_t start = text->size();
+        text->InsertString(start, rest + "\n");
+        text->ApplyStyle(start, static_cast<int64_t>(rest.size()), "heading");
+      }
+      // Unknown requests are ignored, as a previewer should.
+      continue;
+    }
+    int64_t start = text->size();
+    text->InsertString(start, line + "\n");
+    int64_t len = static_cast<int64_t>(line.size());
+    if (center_lines > 0) {
+      text->ApplyStyle(start, std::max<int64_t>(len, 1), "center");
+      --center_lines;
+    } else if (current_style != "default" && len > 0) {
+      text->ApplyStyle(start, len, current_style);
+    }
+  }
+  return text;
+}
+
+PreviewApp::PreviewApp() : document_(std::make_unique<TextData>()) {
+  view_.SetText(document_.get());
+  scroll_.SetBody(&view_);
+  frame_.SetBody(&scroll_);
+}
+
+PreviewApp::~PreviewApp() = default;
+
+void PreviewApp::LoadTroff(const std::string& source) {
+  view_.SetText(nullptr);
+  document_ = TroffToText(source);
+  view_.SetText(document_.get());
+}
+
+std::unique_ptr<InteractionManager> PreviewApp::Start(WindowSystem& ws,
+                                                      const std::vector<std::string>& args) {
+  if (args.size() > 1) {
+    std::ifstream in(args[1], std::ios::binary);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      LoadTroff(buffer.str());
+    }
+  }
+  auto im = InteractionManager::Create(ws, 560, 440, "preview");
+  im->SetChild(&frame_);
+  frame_.SetMessage("preview");
+  return im;
+}
+
+void RegisterPreviewAppModule() {
+  static bool done = [] {
+    ModuleSpec spec;
+    spec.name = "app-preview";
+    spec.provides = {"previewapp"};
+    spec.depends_on = {"text", "scroll", "frame"};
+    spec.text_bytes = 26 * 1024;
+    spec.data_bytes = 2 * 1024;
+    spec.init = [] { ClassRegistry::Instance().Register(PreviewApp::StaticClassInfo()); };
+    return Loader::Instance().DeclareModule(std::move(spec));
+  }();
+  (void)done;
+}
+
+}  // namespace atk

@@ -1,0 +1,49 @@
+// Preview — the ditroff previewer (§1).
+//
+// The substituted substrate is a small troff-subset translator: requests
+// .ce (center), .B/.I/.R (font switches), .sp (vertical space), .ti
+// (indent), .ft (font), plain text lines — compiled into a styled TextData
+// shown through the paged (paper-like) text view, which is what a previewer
+// is for.
+
+#ifndef ATK_SRC_APPS_PREVIEW_APP_H_
+#define ATK_SRC_APPS_PREVIEW_APP_H_
+
+#include <memory>
+#include <string>
+
+#include "src/base/application.h"
+#include "src/components/frame/frame_view.h"
+#include "src/components/scroll/scrollbar_view.h"
+#include "src/components/text/paged_text_view.h"
+
+namespace atk {
+
+// Translates troff-subset source into a styled text document.
+std::unique_ptr<TextData> TroffToText(const std::string& troff_source);
+
+class PreviewApp : public Application {
+  ATK_DECLARE_CLASS(PreviewApp)
+
+ public:
+  PreviewApp();
+  ~PreviewApp() override;
+
+  std::unique_ptr<InteractionManager> Start(WindowSystem& ws,
+                                            const std::vector<std::string>& args) override;
+
+  // Loads troff source (replacing the current document).
+  void LoadTroff(const std::string& source);
+  TextData* document() { return document_.get(); }
+  PagedTextView* page_view() { return &view_; }
+
+ private:
+  std::unique_ptr<TextData> document_;
+  FrameView frame_;
+  ScrollBarView scroll_;
+  PagedTextView view_;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_APPS_PREVIEW_APP_H_

@@ -1,0 +1,99 @@
+// The spelling checker (§1's extension-package list), packaged like the
+// filter mechanism as a demand-loaded proc module ("proc:spell").
+//
+// "spell-check-region" scans the selection (or whole document) against a
+// word list, marks unknown words italic, and reports the count through the
+// enclosing frame's message line when one is reachable.
+
+#include <cctype>
+#include <set>
+#include <string>
+
+#include "src/apps/standard_modules.h"
+#include "src/base/proctable.h"
+#include "src/class_system/loader.h"
+#include "src/components/frame/frame_view.h"
+#include "src/components/text/text_view.h"
+
+namespace atk {
+namespace {
+
+const std::set<std::string>& Dictionary() {
+  static const std::set<std::string>* words = new std::set<std::string>{
+      "a",       "an",      "and",    "andrew",  "are",     "at",     "be",     "but",
+      "by",      "can",     "cat",    "cats",    "david",   "dear",   "document", "edit",
+      "editor",  "expenses", "for",   "from",    "have",    "hello",  "help",   "here",
+      "hope",    "in",      "is",     "it",      "kit",     "list",   "mail",   "message",
+      "nice",    "object",  "of",     "our",     "picture", "system", "table",  "text",
+      "the",     "this",    "to",     "tool",    "toolkit", "view",   "window", "with",
+      "world",   "you",     "your"};
+  return *words;
+}
+
+bool IsKnown(std::string word) {
+  for (char& ch : word) {
+    ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  }
+  return Dictionary().count(word) > 0;
+}
+
+FrameView* EnclosingFrame(View* view) {
+  for (View* v = view; v != nullptr; v = v->parent()) {
+    if (FrameView* frame = ObjectCast<FrameView>(v)) {
+      return frame;
+    }
+  }
+  return nullptr;
+}
+
+void SpellCheckRegion(View* view, long) {
+  TextView* tv = ObjectCast<TextView>(view);
+  if (tv == nullptr || tv->text() == nullptr) {
+    return;
+  }
+  TextData* data = tv->text();
+  int64_t start = tv->HasSelection() ? tv->dot_pos() : 0;
+  int64_t end = tv->HasSelection() ? tv->dot_pos() + tv->dot_len() : data->size();
+  int misspelled = 0;
+  int64_t pos = start;
+  while (pos < end) {
+    char ch = data->CharAt(pos);
+    if (!std::isalpha(static_cast<unsigned char>(ch))) {
+      ++pos;
+      continue;
+    }
+    int64_t word_end = pos;
+    std::string word;
+    while (word_end < end && std::isalpha(static_cast<unsigned char>(data->CharAt(word_end)))) {
+      word += data->CharAt(word_end);
+      ++word_end;
+    }
+    if (!IsKnown(word)) {
+      data->ApplyStyle(pos, word_end - pos, "italic");
+      ++misspelled;
+    }
+    pos = word_end;
+  }
+  if (FrameView* frame = EnclosingFrame(view)) {
+    frame->SetMessage(misspelled == 0
+                          ? "no misspellings"
+                          : std::to_string(misspelled) + " word(s) not in dictionary");
+  }
+}
+
+}  // namespace
+
+void RegisterSpellPackageModule() {
+  static bool done = [] {
+    ModuleSpec spec;
+    spec.name = "proc:spell";
+    spec.text_bytes = 12 * 1024;
+    spec.data_bytes = 8 * 1024;  // The word list.
+    spec.init = [] { ProcTable::Instance().Register("spell-check-region", SpellCheckRegion); };
+    spec.fini = [] { ProcTable::Instance().Unregister("spell-check-region"); };
+    return Loader::Instance().DeclareModule(std::move(spec));
+  }();
+  (void)done;
+}
+
+}  // namespace atk

@@ -1,0 +1,56 @@
+#include "src/apps/standard_modules.h"
+
+#include "src/class_system/loader.h"
+#include "src/components/modules.h"
+#include "src/wm/window_system.h"
+
+namespace atk {
+
+void RegisterStandardModules() {
+  static bool done = [] {
+    // The toolkit core as a pseudo-module, so the loader can account for the
+    // resident base (it is statically present in every build, like runapp's
+    // own text segment).
+    ModuleSpec base;
+    base.name = "toolkit-base";
+    base.text_bytes = 160 * 1024;
+    base.data_bytes = 16 * 1024;
+    Loader::Instance().DeclareModule(std::move(base));
+
+    RegisterWindowSystemModules();
+    RegisterTextModule();
+    RegisterTableModule();
+    RegisterDrawingModule();
+    RegisterEquationModule();
+    RegisterRasterModule();
+    RegisterAnimationModule();
+    RegisterScrollModule();
+    RegisterFrameModule();
+    RegisterWidgetsModule();
+    RegisterEzAppModule();
+    RegisterMessagesAppModule();
+    RegisterHelpAppModule();
+    RegisterTypescriptAppModule();
+    RegisterConsoleAppModule();
+    RegisterPreviewAppModule();
+    RegisterFilterPackageModule();
+    RegisterSpellPackageModule();
+    RegisterCTextPackageModule();
+    RegisterStyleEditorModule();
+    RegisterCompilePackageModule();
+    return true;
+  }();
+  (void)done;
+}
+
+void PinToolkitBase() {
+  RegisterStandardModules();
+  Loader& loader = Loader::Instance();
+  loader.Pin("toolkit-base");
+  loader.Pin("text");
+  loader.Pin("scroll");
+  loader.Pin("frame");
+  loader.Pin("widgets");
+}
+
+}  // namespace atk

@@ -1,0 +1,42 @@
+// The resident base program's module table (§7's runapp).
+//
+// RegisterStandardModules declares every component, window-system and
+// application module to the Loader — nothing is loaded yet.  PinToolkitBase
+// marks the modules every application shares (the resident base) as pinned,
+// which is what makes the runapp memory accounting of bench_dynload
+// meaningful.
+
+#ifndef ATK_SRC_APPS_STANDARD_MODULES_H_
+#define ATK_SRC_APPS_STANDARD_MODULES_H_
+
+namespace atk {
+
+void RegisterStandardModules();
+
+// Loads and pins the shared base: the toolkit core pseudo-module plus the
+// chrome every application uses (frame, scroll, widgets, text).
+void PinToolkitBase();
+
+// Application module registrars (also called by RegisterStandardModules).
+void RegisterEzAppModule();
+void RegisterMessagesAppModule();
+void RegisterHelpAppModule();
+void RegisterTypescriptAppModule();
+void RegisterConsoleAppModule();
+void RegisterPreviewAppModule();
+// The filter extension package (§1's footnote: run standard tools over
+// regions of text) — loaded on first invocation via the proc table.
+void RegisterFilterPackageModule();
+// The spelling checker (§1) — a "proc:spell" demand-loaded command module.
+void RegisterSpellPackageModule();
+// The C-language programming component (§1, §10) — TextData subclassed into
+// a syntax-highlighting ctext, packaged as module "ctext".
+void RegisterCTextPackageModule();
+// The style editor (§1) — module "styleeditor".
+void RegisterStyleEditorModule();
+// The compile and tags packages (§1) — modules "proc:compile" / "proc:tags".
+void RegisterCompilePackageModule();
+
+}  // namespace atk
+
+#endif  // ATK_SRC_APPS_STANDARD_MODULES_H_

@@ -1,0 +1,174 @@
+#include "src/apps/style_editor.h"
+
+#include "src/class_system/loader.h"
+
+namespace atk {
+
+ATK_DEFINE_CLASS(StyleEditorView, View, "styleeditor")
+
+StyleEditorView::StyleEditorView()
+    : bold_button_("Bold", ""),
+      italic_button_("Italic", ""),
+      bigger_button_("Bigger", ""),
+      smaller_button_("Smaller", ""),
+      center_button_("Center", "") {
+  AddChild(&style_list_);
+  AddChild(&bold_button_);
+  AddChild(&italic_button_);
+  AddChild(&bigger_button_);
+  AddChild(&smaller_button_);
+  AddChild(&center_button_);
+  style_list_.SetOnSelect([this](int) {
+    if (const std::string* item = style_list_.SelectedItem()) {
+      selected_style_ = *item;
+      PostUpdate();
+    }
+  });
+  bold_button_.SetAction([this] { ToggleBold(); });
+  italic_button_.SetAction([this] { ToggleItalic(); });
+  bigger_button_.SetAction([this] { GrowFont(+4); });
+  smaller_button_.SetAction([this] { GrowFont(-4); });
+  center_button_.SetAction([this] { ToggleCenter(); });
+}
+
+StyleEditorView::~StyleEditorView() {
+  for (View* child : std::vector<View*>(children())) {
+    RemoveChild(child);
+  }
+}
+
+void StyleEditorView::SetTarget(TextData* text) {
+  target_ = text;
+  RefreshList();
+  PostUpdate();
+}
+
+void StyleEditorView::RefreshList() {
+  if (target_ == nullptr) {
+    style_list_.ClearItems();
+    return;
+  }
+  style_list_.SetItems(target_->styles().Names());
+}
+
+void StyleEditorView::SelectStyle(const std::string& name) {
+  selected_style_ = name;
+  const auto& items = style_list_.items();
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i] == name) {
+      style_list_.Select(static_cast<int>(i));
+      break;
+    }
+  }
+  PostUpdate();
+}
+
+void StyleEditorView::Redefine(Style style) {
+  if (target_ == nullptr) {
+    return;
+  }
+  target_->styles().Define(style);
+  // Every run using the style changed appearance: tell the observers.
+  Change change;
+  change.kind = Change::Kind::kAttributes;
+  change.pos = 0;
+  change.removed = target_->size();
+  target_->NotifyObservers(change);
+  PostUpdate();
+}
+
+void StyleEditorView::ToggleBold() {
+  if (target_ == nullptr) {
+    return;
+  }
+  Style style = target_->styles().Get(selected_style_);
+  style.name = selected_style_;
+  style.font.style ^= kBold;
+  Redefine(style);
+}
+
+void StyleEditorView::ToggleItalic() {
+  if (target_ == nullptr) {
+    return;
+  }
+  Style style = target_->styles().Get(selected_style_);
+  style.name = selected_style_;
+  style.font.style ^= kItalic;
+  Redefine(style);
+}
+
+void StyleEditorView::GrowFont(int delta) {
+  if (target_ == nullptr) {
+    return;
+  }
+  Style style = target_->styles().Get(selected_style_);
+  style.name = selected_style_;
+  style.font.size = std::max(6, style.font.size + delta);
+  Redefine(style);
+}
+
+void StyleEditorView::ToggleCenter() {
+  if (target_ == nullptr) {
+    return;
+  }
+  Style style = target_->styles().Get(selected_style_);
+  style.name = selected_style_;
+  style.justify = style.justify == Justification::kCenter ? Justification::kLeft
+                                                          : Justification::kCenter;
+  Redefine(style);
+}
+
+void StyleEditorView::Layout() {
+  if (graphic() == nullptr) {
+    return;
+  }
+  Rect b = graphic()->LocalBounds();
+  int list_w = std::min(120, b.width / 2);
+  style_list_.Allocate(Rect{0, 0, list_w, b.height}, graphic());
+  int x = list_w + 6;
+  int y = 26;  // Room for the preview line above the buttons.
+  ButtonView* buttons[] = {&bold_button_, &italic_button_, &bigger_button_,
+                           &smaller_button_, &center_button_};
+  for (ButtonView* button : buttons) {
+    Size size = button->DesiredSize(Size{b.width - x, 20});
+    button->Allocate(Rect{x, y, size.width, size.height}, graphic());
+    y += size.height + 4;
+  }
+}
+
+void StyleEditorView::FullUpdate() {
+  Graphic* g = graphic();
+  if (g == nullptr) {
+    return;
+  }
+  g->Clear();
+  if (target_ == nullptr) {
+    return;
+  }
+  // Preview line: the selected style rendered in itself.
+  const Style& style = target_->styles().Get(selected_style_);
+  int list_w = std::min(120, g->width() / 2);
+  g->SetFont(style.font);
+  g->SetForeground(style.color);
+  g->DrawString(Point{list_w + 6, 4}, selected_style_);
+  g->SetForeground(kGray);
+  g->DrawLine(Point{list_w + 2, 0}, Point{list_w + 2, g->height() - 1});
+}
+
+void RegisterStyleEditorModule() {
+  static bool done = [] {
+    ModuleSpec spec;
+    spec.name = "styleeditor";
+    spec.provides = {"styleeditor"};
+    spec.depends_on = {"text", "widgets"};
+    spec.text_bytes = 14 * 1024;
+    spec.data_bytes = 1 * 1024;
+    spec.init = [] {
+      ClassRegistry::Instance().Register(StyleEditorView::StaticClassInfo());
+    };
+    return Loader::Instance().DeclareModule(std::move(spec));
+  }();
+  (void)done;
+}
+
+}  // namespace atk

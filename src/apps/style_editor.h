@@ -1,0 +1,61 @@
+// The style editor (§1's extension-package list): edits a document's
+// StyleSheet.  A style list on the left, a live preview and attribute
+// buttons on the right; redefining a style restyles every run using it in
+// every view of the document — the stylesheet is shared state on the data
+// object, so the §2 update machinery does the rest.
+
+#ifndef ATK_SRC_APPS_STYLE_EDITOR_H_
+#define ATK_SRC_APPS_STYLE_EDITOR_H_
+
+#include <memory>
+#include <string>
+
+#include "src/base/view.h"
+#include "src/components/text/text_data.h"
+#include "src/components/widgets/widgets.h"
+
+namespace atk {
+
+class StyleEditorView : public View {
+  ATK_DECLARE_CLASS(StyleEditorView)
+
+ public:
+  StyleEditorView();
+  ~StyleEditorView() override;
+
+  // The document whose stylesheet is edited (not owned).
+  void SetTarget(TextData* text);
+  TextData* target() const { return target_; }
+
+  const std::string& selected_style() const { return selected_style_; }
+  void SelectStyle(const std::string& name);
+
+  // Attribute mutators applied to the selected style (also wired to the
+  // buttons).  Each redefines the style and notifies the document.
+  void ToggleBold();
+  void ToggleItalic();
+  void GrowFont(int delta);
+  void ToggleCenter();
+
+  void Layout() override;
+  void FullUpdate() override;
+
+  ListView* style_list() { return &style_list_; }
+
+ private:
+  void RefreshList();
+  void Redefine(Style style);
+
+  TextData* target_ = nullptr;
+  std::string selected_style_ = "default";
+  ListView style_list_;
+  ButtonView bold_button_;
+  ButtonView italic_button_;
+  ButtonView bigger_button_;
+  ButtonView smaller_button_;
+  ButtonView center_button_;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_APPS_STYLE_EDITOR_H_

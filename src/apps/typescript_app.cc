@@ -1,0 +1,180 @@
+#include "src/apps/typescript_app.h"
+
+#include <sstream>
+
+#include "src/class_system/loader.h"
+
+namespace atk {
+
+ATK_DEFINE_CLASS(TypescriptView, TextView, "typescriptview")
+ATK_DEFINE_CLASS(TypescriptApp, Application, "typescriptapp")
+
+// ---- FakeShell ---------------------------------------------------------------
+
+FakeShell::FakeShell() {
+  AddFile("readme", "Welcome to the Andrew system.\n");
+  AddFile("paper.txt", "The Andrew Toolkit - An Overview\n");
+  AddFile("notes", "ITC, Carnegie Mellon University\n");
+}
+
+void FakeShell::AddFile(const std::string& name, const std::string& contents) {
+  files_[name] = contents;
+}
+
+std::string FakeShell::Execute(const std::string& command_line) {
+  history_.push_back(command_line);
+  std::istringstream in(command_line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd.empty()) {
+    return "";
+  }
+  if (cmd == "echo") {
+    std::string rest;
+    std::getline(in, rest);
+    if (!rest.empty() && rest[0] == ' ') {
+      rest.erase(0, 1);
+    }
+    return rest + "\n";
+  }
+  if (cmd == "date") {
+    return clock_ + "\n";
+  }
+  if (cmd == "whoami") {
+    return "user\n";
+  }
+  if (cmd == "hostname") {
+    return "andrew.cmu.edu\n";
+  }
+  if (cmd == "ls") {
+    std::string out;
+    for (const auto& [name, contents] : files_) {
+      out += name + "\n";
+    }
+    return out;
+  }
+  if (cmd == "cat") {
+    std::string name;
+    std::string out;
+    bool any = false;
+    while (in >> name) {
+      any = true;
+      auto it = files_.find(name);
+      out += it != files_.end() ? it->second : ("cat: " + name + ": no such file\n");
+    }
+    return any ? out : "";
+  }
+  if (cmd == "wc") {
+    std::string name;
+    in >> name;
+    auto it = files_.find(name);
+    if (it == files_.end()) {
+      return "wc: " + name + ": no such file\n";
+    }
+    int64_t lines = 0;
+    for (char ch : it->second) {
+      lines += ch == '\n' ? 1 : 0;
+    }
+    return std::to_string(lines) + " " + std::to_string(it->second.size()) + " " + name + "\n";
+  }
+  if (cmd == "history") {
+    std::string out;
+    for (size_t i = 0; i < history_.size(); ++i) {
+      out += std::to_string(i + 1) + "  " + history_[i] + "\n";
+    }
+    return out;
+  }
+  return cmd + ": Command not found.\n";
+}
+
+// ---- TypescriptView -------------------------------------------------------------
+
+TypescriptView::TypescriptView() = default;
+
+void TypescriptView::ShowPrompt() {
+  TextData* data = text();
+  if (data == nullptr) {
+    return;
+  }
+  data->InsertString(data->size(), kPrompt);
+  input_start_ = data->size();
+  SetDot(data->size());
+}
+
+std::string TypescriptView::RunCommand(const std::string& command) {
+  TextData* data = text();
+  if (data == nullptr || shell_ == nullptr) {
+    return "";
+  }
+  data->InsertString(data->size(), command + "\n");
+  std::string output = shell_->Execute(command);
+  data->InsertString(data->size(), output);
+  ShowPrompt();
+  return output;
+}
+
+bool TypescriptView::HandleKey(char key, unsigned modifiers) {
+  TextData* data = text();
+  if (data == nullptr || shell_ == nullptr) {
+    return TextView::HandleKey(key, modifiers);
+  }
+  if (key == '\r' || key == '\n') {
+    // Execute everything after the last prompt.
+    std::string command = data->GetText(input_start_, data->size() - input_start_);
+    data->InsertString(data->size(), "\n");
+    std::string output = shell_->Execute(command);
+    data->InsertString(data->size(), output);
+    ShowPrompt();
+    return true;
+  }
+  // Keep edits inside the input region: pull a wandering caret to the end.
+  if (dot_pos() < input_start_) {
+    SetDot(data->size());
+  }
+  if ((key == '\b' || key == '\177') && dot_pos() <= input_start_) {
+    return true;  // Never erase the prompt.
+  }
+  return TextView::HandleKey(key, modifiers);
+}
+
+// ---- TypescriptApp ---------------------------------------------------------------
+
+TypescriptApp::TypescriptApp() : transcript_(std::make_unique<TextData>()) {
+  view_.SetText(transcript_.get());
+  view_.SetShell(&shell_);
+  scroll_.SetBody(&view_);
+  frame_.SetBody(&scroll_);
+}
+
+TypescriptApp::~TypescriptApp() = default;
+
+std::unique_ptr<InteractionManager> TypescriptApp::Start(
+    WindowSystem& ws, const std::vector<std::string>& args) {
+  (void)args;
+  auto im = InteractionManager::Create(ws, 520, 340, "typescript");
+  im->SetChild(&frame_);
+  im->SetInputFocus(&view_);
+  transcript_->SetText("Andrew typescript\n");
+  view_.ShowPrompt();
+  frame_.SetMessage("typescript");
+  return im;
+}
+
+void RegisterTypescriptAppModule() {
+  static bool done = [] {
+    ModuleSpec spec;
+    spec.name = "app-typescript";
+    spec.provides = {"typescriptapp", "typescriptview"};
+    spec.depends_on = {"text", "scroll", "frame"};
+    spec.text_bytes = 30 * 1024;
+    spec.data_bytes = 3 * 1024;
+    spec.init = [] {
+      ClassRegistry::Instance().Register(TypescriptApp::StaticClassInfo());
+      ClassRegistry::Instance().Register(TypescriptView::StaticClassInfo());
+    };
+    return Loader::Instance().DeclareModule(std::move(spec));
+  }();
+  (void)done;
+}
+
+}  // namespace atk

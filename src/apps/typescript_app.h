@@ -1,0 +1,90 @@
+// Typescript — "an enhanced interface to the C-shell" (§1).
+//
+// The transcript is an ordinary TextData, so the entire session is editable
+// and searchable like any document.  The shell behind it is simulated: a
+// deterministic command table (echo, date, ls, cat, whoami...) over a tiny
+// in-memory file system — §8's footnote notes typescript was the one
+// OS-dependent application, so the substrate is substituted per DESIGN.md.
+
+#ifndef ATK_SRC_APPS_TYPESCRIPT_APP_H_
+#define ATK_SRC_APPS_TYPESCRIPT_APP_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/base/application.h"
+#include "src/components/frame/frame_view.h"
+#include "src/components/scroll/scrollbar_view.h"
+#include "src/components/text/text_view.h"
+
+namespace atk {
+
+// The simulated shell.
+class FakeShell {
+ public:
+  FakeShell();
+
+  // Runs one command line, returning its output (may be multi-line).
+  std::string Execute(const std::string& command_line);
+
+  // The fake file system backing ls/cat.
+  void AddFile(const std::string& name, const std::string& contents);
+  int history_size() const { return static_cast<int>(history_.size()); }
+  const std::vector<std::string>& history() const { return history_; }
+
+  // Deterministic clock for `date`.
+  void SetClock(std::string date_string) { clock_ = std::move(date_string); }
+
+ private:
+  std::map<std::string, std::string> files_;
+  std::vector<std::string> history_;
+  std::string clock_ = "Thu Feb 11 09:30:00 EST 1988";
+};
+
+// A text view that treats Return as "execute the current input line".
+class TypescriptView : public TextView {
+  ATK_DECLARE_CLASS(TypescriptView)
+
+ public:
+  TypescriptView();
+
+  void SetShell(FakeShell* shell) { shell_ = shell; }
+  // Appends the prompt and positions the caret for input.
+  void ShowPrompt();
+  bool HandleKey(char key, unsigned modifiers) override;
+  // Programmatic command execution (used by tests and the bench).
+  std::string RunCommand(const std::string& command);
+
+  static constexpr const char* kPrompt = "% ";
+
+ private:
+  FakeShell* shell_ = nullptr;
+  int64_t input_start_ = 0;  // Where the editable command line begins.
+};
+
+class TypescriptApp : public Application {
+  ATK_DECLARE_CLASS(TypescriptApp)
+
+ public:
+  TypescriptApp();
+  ~TypescriptApp() override;
+
+  std::unique_ptr<InteractionManager> Start(WindowSystem& ws,
+                                            const std::vector<std::string>& args) override;
+
+  FakeShell& shell() { return shell_; }
+  TypescriptView* view() { return &view_; }
+  TextData* transcript() { return transcript_.get(); }
+
+ private:
+  FakeShell shell_;
+  std::unique_ptr<TextData> transcript_;
+  FrameView frame_;
+  ScrollBarView scroll_;
+  TypescriptView view_;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_APPS_TYPESCRIPT_APP_H_

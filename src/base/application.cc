@@ -1,0 +1,37 @@
+#include "src/base/application.h"
+
+#include "src/class_system/loader.h"
+
+namespace atk {
+
+ATK_DEFINE_ABSTRACT_CLASS(Application, Object, "application")
+
+std::unique_ptr<Application> LoadApplication(std::string_view name) {
+  Loader& loader = Loader::Instance();
+  std::string module = "app-" + std::string(name);
+  if (loader.IsDeclared(module) && !loader.Require(module)) {
+    return nullptr;
+  }
+  std::unique_ptr<Object> obj = loader.NewObject(std::string(name) + "app");
+  return ObjectCast<Application>(std::move(obj));
+}
+
+std::unique_ptr<InteractionManager> RunApp(std::string_view name, WindowSystem& ws,
+                                           const std::vector<std::string>& args) {
+  std::unique_ptr<Application> app = LoadApplication(name);
+  if (app == nullptr) {
+    return nullptr;
+  }
+  std::vector<std::string> full_args;
+  full_args.push_back(std::string(name));
+  full_args.insert(full_args.end(), args.begin(), args.end());
+  std::unique_ptr<InteractionManager> im = app->Start(ws, full_args);
+  if (im != nullptr) {
+    // The application object (and the views it owns) must live as long as
+    // its window.
+    im->Adopt(std::move(app));
+  }
+  return im;
+}
+
+}  // namespace atk

@@ -1,0 +1,50 @@
+// Applications and runapp (§7).
+//
+// Every toolkit application derives from Application and is provided by a
+// loader module; `RunApp` is the resident base program that dynamically
+// loads the requested application's module, instantiates its class by name
+// and starts it.  All applications therefore share the resident toolkit
+// code — the paper's list of wins (less paging, smaller VM, smaller files)
+// is reproduced quantitatively by bench_dynload.
+
+#ifndef ATK_SRC_BASE_APPLICATION_H_
+#define ATK_SRC_BASE_APPLICATION_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/interaction_manager.h"
+#include "src/class_system/object.h"
+#include "src/wm/window_system.h"
+
+namespace atk {
+
+class Application : public Object {
+  ATK_DECLARE_CLASS(Application)
+
+ public:
+  ~Application() override = default;
+
+  // Builds the application's view tree in a window of `ws` and returns its
+  // interaction manager ready to pump.  `args` are command-line style
+  // arguments (args[0] is the app name).
+  virtual std::unique_ptr<InteractionManager> Start(WindowSystem& ws,
+                                                    const std::vector<std::string>& args) = 0;
+
+  virtual std::string AppName() const { return class_name(); }
+};
+
+// The runapp entry point: loads module "app-<name>" on demand, instantiates
+// class "<name>app", and starts it.  Returns nullptr when no such
+// application module is declared.
+std::unique_ptr<Application> LoadApplication(std::string_view name);
+
+// Convenience: LoadApplication + Start.
+std::unique_ptr<InteractionManager> RunApp(std::string_view name, WindowSystem& ws,
+                                           const std::vector<std::string>& args = {});
+
+}  // namespace atk
+
+#endif  // ATK_SRC_BASE_APPLICATION_H_

@@ -1,0 +1,112 @@
+#include "src/base/data_object.h"
+
+#include <sstream>
+
+#include "src/class_system/loader.h"
+
+namespace atk {
+
+ATK_DEFINE_ABSTRACT_CLASS(DataObject, Object, "dataobject")
+ATK_DEFINE_CLASS(UnknownObject, DataObject, "unknown")
+
+int64_t DataObject::Write(DataStreamWriter& writer) const {
+  int64_t id = writer.BeginData(DataTypeName());
+  writer.RegisterObjectId(this, id);
+  WriteBody(writer);
+  writer.EndData();
+  return id;
+}
+
+std::string DataObject::WriteToString() const {
+  std::ostringstream out;
+  DataStreamWriter writer(out);
+  Write(writer);
+  return out.str();
+}
+
+bool DataObject::ConsumeUntilEndData(DataStreamReader& reader) {
+  using Kind = DataStreamReader::Token::Kind;
+  while (true) {
+    DataStreamReader::Token token = reader.Next();
+    switch (token.kind) {
+      case Kind::kEndData:
+        return true;
+      case Kind::kEof:
+        return false;
+      case Kind::kBeginData: {
+        // Embedded object we are not modelling: skip it whole.
+        reader.SkipObject(token.type, token.id);
+        break;
+      }
+      default:
+        break;  // Text, view refs and directives are ignored here.
+    }
+  }
+}
+
+std::unique_ptr<DataObject> ReadObject(DataStreamReader& reader, ReadContext& context) {
+  using Kind = DataStreamReader::Token::Kind;
+  DataStreamReader::Token token = reader.Next();
+  // Leading whitespace-only text before the first marker is tolerated.
+  while (token.kind == Kind::kText &&
+         token.text.find_first_not_of(" \t\r\n") == std::string::npos) {
+    token = reader.Next();
+  }
+  if (token.kind != Kind::kBeginData) {
+    if (token.kind != Kind::kEof) {
+      context.AddError("expected \\begindata, found other content");
+    }
+    return nullptr;
+  }
+  return ReadObjectBody(reader, context, token.type, token.id);
+}
+
+std::unique_ptr<DataObject> ReadObjectBody(DataStreamReader& reader, ReadContext& context,
+                                           const std::string& type, int64_t id) {
+  std::unique_ptr<Object> object = Loader::Instance().NewObject(type);
+  std::unique_ptr<DataObject> data = ObjectCast<DataObject>(std::move(object));
+  if (data == nullptr) {
+    // No module provides `type`: capture raw and keep going (§5).
+    std::string raw;
+    if (!reader.SkipObject(type, id, &raw)) {
+      context.AddError("truncated unknown object: " + type);
+    }
+    auto unknown = std::make_unique<UnknownObject>(type, std::move(raw));
+    context.RegisterObject(id, unknown.get());
+    return unknown;
+  }
+  context.RegisterObject(id, data.get());
+  if (!data->ReadBody(reader, context)) {
+    context.AddError("malformed body for object type: " + type);
+  }
+  return data;
+}
+
+std::string WriteDocument(const DataObject& root) { return root.WriteToString(); }
+
+std::unique_ptr<DataObject> ReadDocument(std::string input, ReadContext* context) {
+  DataStreamReader reader(std::move(input));
+  ReadContext local;
+  ReadContext& ctx = context != nullptr ? *context : local;
+  std::unique_ptr<DataObject> root = ReadObject(reader, ctx);
+  if (reader.truncated() && root != nullptr) {
+    ctx.AddError("document truncated");
+  }
+  return root;
+}
+
+void UnknownObject::WriteBody(DataStreamWriter& writer) const {
+  writer.WriteRaw(raw_body_);
+}
+
+bool UnknownObject::ReadBody(DataStreamReader& reader, ReadContext& context) {
+  (void)context;
+  // Reached only when "unknown" appears literally as a type name; capture
+  // its body like any other unknown content.
+  std::string raw;
+  bool ok = reader.SkipObject(type_, 0, &raw);
+  raw_body_ = std::move(raw);
+  return ok;
+}
+
+}  // namespace atk

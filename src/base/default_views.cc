@@ -1,0 +1,39 @@
+#include "src/base/default_views.h"
+
+#include <map>
+
+#include "src/class_system/loader.h"
+
+namespace atk {
+namespace {
+
+std::map<std::string, std::string, std::less<>>& Table() {
+  static auto* table = new std::map<std::string, std::string, std::less<>>();
+  return *table;
+}
+
+}  // namespace
+
+void SetDefaultViewName(std::string_view data_type, std::string_view view_type) {
+  Table()[std::string(data_type)] = std::string(view_type);
+}
+
+std::string DefaultViewName(std::string_view data_type) {
+  auto it = Table().find(data_type);
+  if (it != Table().end()) {
+    return it->second;
+  }
+  // The pairing is registered by the component's module init; if the module
+  // is merely dormant, load it and look again (the toolkit never needs to
+  // know component names — §7).
+  std::string module = Loader::Instance().ProvidingModule(data_type);
+  if (!module.empty() && Loader::Instance().Require(module)) {
+    it = Table().find(data_type);
+    if (it != Table().end()) {
+      return it->second;
+    }
+  }
+  return std::string(data_type) + "view";
+}
+
+}  // namespace atk

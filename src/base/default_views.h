@@ -1,0 +1,25 @@
+// Data-type -> default-view-type associations.
+//
+// A \view{viewtype,id} reference names the view class explicitly, but when a
+// component embeds a data object programmatically (EZ's "Insert Table"), the
+// toolkit needs a default view class for the data type.  Component modules
+// register their pairing at load time.
+
+#ifndef ATK_SRC_BASE_DEFAULT_VIEWS_H_
+#define ATK_SRC_BASE_DEFAULT_VIEWS_H_
+
+#include <string>
+#include <string_view>
+
+namespace atk {
+
+// Registers `view_type` as the default view class for `data_type`.
+void SetDefaultViewName(std::string_view data_type, std::string_view view_type);
+
+// Returns the registered view class, or "<data_type>view" as the
+// conventional fallback.
+std::string DefaultViewName(std::string_view data_type);
+
+}  // namespace atk
+
+#endif  // ATK_SRC_BASE_DEFAULT_VIEWS_H_

@@ -1,0 +1,362 @@
+#include "src/base/interaction_manager.h"
+
+#include <functional>
+
+#include "src/base/menu_popup.h"
+#include "src/base/proctable.h"
+#include "src/class_system/loader.h"
+
+namespace atk {
+
+ATK_DEFINE_CLASS(InteractionManager, View, "im")
+
+void View::RequestInputFocus() {
+  InteractionManager* im = GetIM();
+  if (im != nullptr) {
+    im->SetInputFocus(this);
+  }
+}
+
+InteractionManager::InteractionManager() = default;
+
+InteractionManager::InteractionManager(std::unique_ptr<WmWindow> window) {
+  AttachWindow(std::move(window));
+}
+
+InteractionManager::~InteractionManager() = default;
+
+std::unique_ptr<InteractionManager> InteractionManager::Create(WindowSystem& ws, int width,
+                                                               int height,
+                                                               const std::string& title) {
+  return std::make_unique<InteractionManager>(ws.CreateWindow(width, height, title));
+}
+
+void InteractionManager::AttachWindow(std::unique_ptr<WmWindow> window) {
+  window_ = std::move(window);
+  if (window_ != nullptr) {
+    AllocateRoot(window_->GetGraphic());
+  }
+}
+
+void InteractionManager::SetChild(View* child) {
+  if (View* existing = this->child()) {
+    RemoveChild(existing);
+  }
+  if (child != nullptr) {
+    AddChild(child);
+    ReallocateChild();
+    // The whole window needs paint.
+    damage_.Add(DeviceBounds());
+  }
+}
+
+void InteractionManager::ReallocateChild() {
+  View* c = child();
+  if (c == nullptr || !HasGraphic()) {
+    return;
+  }
+  c->Allocate(graphic()->LocalBounds(), graphic());
+}
+
+void InteractionManager::Layout() { ReallocateChild(); }
+
+void InteractionManager::RunOnce() {
+  retired_popup_.reset();
+  if (window_ == nullptr) {
+    return;
+  }
+  while (window_->HasEvent()) {
+    ProcessEvent(window_->NextEvent());
+  }
+  RunUpdateCycle();
+  window_->Flush();
+}
+
+void InteractionManager::ProcessEvent(const InputEvent& event) {
+  ++stats_.events;
+  switch (event.type) {
+    case EventType::kKeyDown:
+      ++stats_.key_events;
+      DispatchKey(event);
+      break;
+    case EventType::kMouseDown:
+    case EventType::kMouseUp:
+    case EventType::kMouseMove:
+    case EventType::kMouseDrag:
+      ++stats_.mouse_events;
+      DispatchMouse(event);
+      break;
+    case EventType::kMenuHit:
+      ++stats_.menu_events;
+      InvokeMenu(event.menu_item);
+      break;
+    case EventType::kExpose:
+      damage_.Add(event.rect);
+      break;
+    case EventType::kResize:
+      if (window_ != nullptr) {
+        AllocateRoot(window_->GetGraphic());
+        damage_.Clear();
+        damage_.Add(DeviceBounds());
+      }
+      break;
+    case EventType::kFocusIn:
+    case EventType::kFocusOut:
+    case EventType::kNone:
+      break;
+  }
+}
+
+void InteractionManager::DispatchMouse(const InputEvent& event) {
+  last_mouse_pos_ = event.pos;
+  // While the pop-up menu is raised it owns the mouse.
+  if (popup_ != nullptr) {
+    View* popup = popup_.get();
+    InputEvent local = event;
+    local.pos = event.pos - popup->bounds().origin();
+    popup->Hit(local);  // May call DismissMenus via the choose callback.
+    return;
+  }
+  // The classic Andrew gesture: the right button raises the menus.
+  if (event.type == EventType::kMouseDown && event.button == kRightButton) {
+    PopupMenus(event.pos);
+    return;
+  }
+  // A mouse-down establishes a grab: the rest of the click (drags and the
+  // up) goes straight to the accepting view, as users expect from dragging.
+  if (mouse_grab_ != nullptr &&
+      (event.type == EventType::kMouseDrag || event.type == EventType::kMouseUp)) {
+    Rect grab_bounds = mouse_grab_->DeviceBounds();
+    InputEvent local = event;
+    local.pos = event.pos - grab_bounds.origin();
+    mouse_grab_->Hit(local);
+    if (event.type == EventType::kMouseUp) {
+      mouse_grab_ = nullptr;
+    }
+    UpdateCursor();
+    return;
+  }
+
+  View* handler = nullptr;
+  View* c = child();
+  if (dispatch_mode_ == DispatchMode::kParental) {
+    if (c != nullptr && c->bounds().Contains(event.pos)) {
+      handler = c->Hit(TranslateToChild(event, *c));
+    }
+  } else {
+    handler = GlobalPhysicalPick(event.pos, event);
+  }
+  if (event.type == EventType::kMouseDown) {
+    mouse_grab_ = handler;
+  }
+  UpdateCursor();
+}
+
+View* InteractionManager::GlobalPhysicalPick(Point window_pos, InputEvent event) {
+  // The Base Editor model: pick the deepest view whose rectangle contains
+  // the point, ignoring what its ancestors think.
+  View* best = nullptr;
+  int best_depth = -1;
+  std::function<void(View*)> visit = [&](View* v) {
+    if (v != this && v->HasGraphic() && v->DeviceBounds().Contains(window_pos)) {
+      int depth = v->TreeDepth();
+      if (depth > best_depth) {
+        best = v;
+        best_depth = depth;
+      }
+    }
+    for (View* ch : v->children()) {
+      visit(ch);
+    }
+  };
+  visit(this);
+  if (best == nullptr) {
+    return nullptr;
+  }
+  event.pos = window_pos - best->DeviceBounds().origin();
+  return best->Hit(event);
+}
+
+void InteractionManager::DispatchKey(const InputEvent& event) {
+  View* focus = input_focus_ != nullptr ? input_focus_ : child();
+  if (focus == nullptr) {
+    return;
+  }
+  // Meta-modified keys are spelled as an ESC prefix in sequences.
+  if ((event.modifiers & kMetaMod) != 0) {
+    InputEvent esc = event;
+    esc.key = '\033';
+    esc.modifiers = 0;
+    DispatchKey(esc);
+    InputEvent bare = event;
+    bare.modifiers &= ~kMetaMod;
+    DispatchKey(bare);
+    return;
+  }
+  // Build the keymap chain from the focus view outward.
+  std::vector<const KeyMap*> chain;
+  for (View* v = focus; v != nullptr; v = v->parent()) {
+    if (const KeyMap* map = v->GetKeyMap()) {
+      chain.push_back(map);
+    }
+  }
+  KeyState::Result result = key_state_.Feed(event.key, chain);
+  if (result == KeyState::Result::kComplete) {
+    const KeyBinding* binding = key_state_.binding();
+    if (ProcTable::Instance().Invoke(binding->proc_name, focus, binding->rock)) {
+      ++stats_.proc_invocations;
+    }
+    return;
+  }
+  if (result == KeyState::Result::kPrefix) {
+    return;  // Waiting for the rest of the sequence.
+  }
+  // No binding: offer the raw key to the focus view and its ancestors
+  // (self-insert in text, typically).
+  for (View* v = focus; v != nullptr; v = v->parent()) {
+    if (v->HandleKey(event.key, event.modifiers)) {
+      return;
+    }
+  }
+}
+
+void InteractionManager::WantUpdate(View* requestor, const Rect& device_region) {
+  (void)requestor;
+  ++stats_.damage_posts;
+  damage_.Add(device_region.Intersect(DeviceBounds()));
+}
+
+void InteractionManager::RunUpdateCycle() {
+  if (damage_.IsEmpty()) {
+    return;
+  }
+  ++stats_.update_cycles;
+  Region damage = damage_;
+  damage_.Clear();
+  View* c = child();
+  if (c != nullptr) {
+    UpdatePass(*c, damage);
+  }
+  if (popup_ != nullptr) {
+    UpdatePass(*popup_, damage);  // Painted last: the menu overlays the app.
+  }
+}
+
+void InteractionManager::UpdatePass(View& view, const Region& damage) {
+  if (!view.HasGraphic()) {
+    return;
+  }
+  Rect device = view.DeviceBounds();
+  if (!damage.Intersects(device)) {
+    return;
+  }
+  ++stats_.views_updated;
+  // Clip the view's drawing to the damaged part of its allocation, so a
+  // repaint cannot disturb pixels outside the coalesced damage.
+  Rect damage_local = damage.Bounds().Intersect(device).Translated(-device.x, -device.y);
+  view.graphic()->PushClip(damage_local);
+  view.Update();
+  view.graphic()->PopClip();
+  for (View* child : view.children()) {
+    UpdatePass(*child, damage);
+  }
+}
+
+void InteractionManager::SetInputFocus(View* view) {
+  if (input_focus_ == view) {
+    return;
+  }
+  if (input_focus_ != nullptr) {
+    input_focus_->LoseInputFocus();
+  }
+  input_focus_ = view;
+  key_state_.Reset();
+  if (input_focus_ != nullptr) {
+    input_focus_->ReceiveInputFocus();
+  }
+}
+
+MenuList InteractionManager::ComposeMenus() {
+  MenuList composed;
+  View* focus = input_focus_ != nullptr ? input_focus_ : child();
+  for (View* v = focus; v != nullptr && v != this; v = v->parent()) {
+    MenuList contribution;
+    v->FillMenus(contribution);
+    composed.Append(contribution);
+  }
+  return composed;
+}
+
+bool InteractionManager::InvokeMenu(const std::string& spec) {
+  MenuList menus = ComposeMenus();
+  const MenuItem* item = menus.Find(spec);
+  if (item == nullptr) {
+    return false;
+  }
+  View* focus = input_focus_ != nullptr ? input_focus_ : child();
+  bool invoked = ProcTable::Instance().Invoke(item->proc_name, focus, item->rock);
+  if (invoked) {
+    ++stats_.proc_invocations;
+  }
+  return invoked;
+}
+
+void InteractionManager::PopupMenus(Point at) {
+  DismissMenus();
+  retired_popup_.reset();
+  // The concrete popup class lives in the widgets module; load on demand.
+  std::unique_ptr<MenuPopupView> popup =
+      ObjectCast<MenuPopupView>(Loader::Instance().NewObject("menuview"));
+  if (popup == nullptr || !HasGraphic()) {
+    return;
+  }
+  popup->SetMenus(ComposeMenus());
+  popup->SetOnChoose([this](const std::string& choice) {
+    if (!choice.empty()) {
+      InvokeMenu(choice);
+    }
+    DismissMenus();
+  });
+  Rect window_bounds = graphic()->LocalBounds();
+  Size size = popup->DesiredSize(window_bounds.size());
+  Rect where{std::clamp(at.x, 0, std::max(0, window_bounds.width - size.width)),
+             std::clamp(at.y, 0, std::max(0, window_bounds.height - size.height)),
+             size.width, size.height};
+  View* raw = popup.get();
+  popup_ = std::move(popup);
+  AddChild(raw);
+  raw->Allocate(where, graphic());
+  damage_.Add(raw->DeviceBounds());
+}
+
+void InteractionManager::DismissMenus() {
+  if (popup_ == nullptr) {
+    return;
+  }
+  damage_.Add(popup_->DeviceBounds());
+  RemoveChild(popup_.get());
+  // The popup may still be on the call stack (its Hit invoked the choose
+  // callback); retire it until the next quiescent point.
+  retired_popup_ = std::move(popup_);
+}
+
+View* InteractionManager::popup_menu() const { return popup_.get(); }
+
+void InteractionManager::UpdateCursor() {
+  if (window_ == nullptr) {
+    return;
+  }
+  CursorShape shape = CursorShape::kArrow;
+  View* c = child();
+  if (c != nullptr && c->bounds().Contains(last_mouse_pos_)) {
+    shape = c->CursorAt(last_mouse_pos_ - c->bounds().origin());
+  }
+  WmCursor cursor(shape);
+  window_->SetCursor(cursor);
+}
+
+CursorShape InteractionManager::current_cursor() const {
+  return window_ != nullptr ? window_->cursor_shape() : CursorShape::kArrow;
+}
+
+}  // namespace atk

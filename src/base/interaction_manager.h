@@ -1,0 +1,139 @@
+// The interaction manager — the root of the view tree (§3).
+//
+// "At the top of the tree is a view called the interaction manager which is
+// a window provided by the underlying window system."  It translates window
+// events into view-tree traffic, synchronizes drawing (coalescing posted
+// update requests into one damage region applied in a single top-down
+// pass), and arbitrates the global resources: input focus, menus, the
+// cursor, and the key-state machine.  By design it has exactly one child
+// view, of arbitrary type.
+//
+// Two dispatch modes are provided.  kParental is the toolkit's model:
+// events walk down the tree with each parent deciding.  kGlobalPhysical
+// reproduces the earlier Andrew Base Editor (the baseline the paper argues
+// against): a flat geometric pick that hands the event to the deepest view
+// whose rectangle contains the point, bypassing the parents — which is what
+// made the drawing editor's line-over-text case impossible.
+
+#ifndef ATK_SRC_BASE_INTERACTION_MANAGER_H_
+#define ATK_SRC_BASE_INTERACTION_MANAGER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/base/view.h"
+#include "src/graphics/region.h"
+#include "src/wm/window_system.h"
+
+namespace atk {
+
+class InteractionManager : public View {
+  ATK_DECLARE_CLASS(InteractionManager)
+
+ public:
+  enum class DispatchMode {
+    kParental,
+    kGlobalPhysical,
+  };
+
+  struct Stats {
+    uint64_t events = 0;
+    uint64_t key_events = 0;
+    uint64_t mouse_events = 0;
+    uint64_t menu_events = 0;
+    uint64_t update_cycles = 0;
+    uint64_t views_updated = 0;
+    uint64_t damage_posts = 0;
+    uint64_t proc_invocations = 0;
+  };
+
+  InteractionManager();
+  explicit InteractionManager(std::unique_ptr<WmWindow> window);
+  ~InteractionManager() override;
+
+  // Convenience: open a window on `ws` and root an IM in it.
+  static std::unique_ptr<InteractionManager> Create(WindowSystem& ws, int width, int height,
+                                                    const std::string& title = "");
+
+  void AttachWindow(std::unique_ptr<WmWindow> window);
+  WmWindow* window() const { return window_.get(); }
+
+  // The IM has one child view, of arbitrary type (§3).
+  void SetChild(View* child);
+  View* child() const { return children().empty() ? nullptr : children().front(); }
+
+  InteractionManager* GetIM() override { return this; }
+  // Re-allocates the child whenever the IM itself is (re)allocated.
+  void Layout() override;
+
+  // ---- Event processing ----------------------------------------------------
+  // Drains the window's queue, then runs one update cycle and flushes.
+  void RunOnce();
+  // Routes a single event.
+  void ProcessEvent(const InputEvent& event);
+  // Applies pending damage in one top-down pass.
+  void RunUpdateCycle();
+  bool HasPendingDamage() const { return !damage_.IsEmpty(); }
+  const Region& pending_damage() const { return damage_; }
+
+  // ---- The upward channels --------------------------------------------------
+  void WantUpdate(View* requestor, const Rect& device_region) override;
+  void SetInputFocus(View* view);
+  View* input_focus() const { return input_focus_; }
+
+  // ---- Menus -----------------------------------------------------------------
+  // Composes the menu list along the focus path, innermost view first
+  // (children shadow parents for equal card/label).
+  MenuList ComposeMenus();
+  // Finds `spec` ("Card~Label" or "Label") in the composed menus and invokes
+  // its proc on the contributing view's behalf.
+  bool InvokeMenu(const std::string& spec);
+  // Pop-up menus: the right mouse button raises the composed menu card at
+  // the press point (the classic Andrew gesture); releasing over an item
+  // invokes it.  Tests may call these directly.
+  void PopupMenus(Point at);
+  void DismissMenus();
+  bool menus_visible() const { return popup_ != nullptr; }
+  View* popup_menu() const;
+
+  // ---- Cursor ------------------------------------------------------------------
+  // Re-runs cursor arbitration for the last known mouse position.
+  void UpdateCursor();
+  CursorShape current_cursor() const;
+
+  // ---- Dispatch mode (F1 baseline) ----------------------------------------------
+  void SetDispatchMode(DispatchMode mode) { dispatch_mode_ = mode; }
+  DispatchMode dispatch_mode() const { return dispatch_mode_; }
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+  View* mouse_grab() const { return mouse_grab_; }
+
+  // Ties an object's lifetime to this window (runapp gives the loaded
+  // Application to its IM; applications park their view trees here too).
+  void Adopt(std::unique_ptr<Object> object) { owned_.push_back(std::move(object)); }
+
+ private:
+  void DispatchMouse(const InputEvent& event);
+  void DispatchKey(const InputEvent& event);
+  View* GlobalPhysicalPick(Point window_pos, InputEvent event);
+  void ReallocateChild();
+  void UpdatePass(View& view, const Region& damage);
+
+  std::unique_ptr<WmWindow> window_;
+  std::vector<std::unique_ptr<Object>> owned_;
+  std::unique_ptr<View> popup_;  // MenuView overlay while menus are up.
+  std::unique_ptr<View> retired_popup_;  // Dismissed popup awaiting deletion.
+  Region damage_;
+  View* input_focus_ = nullptr;
+  View* mouse_grab_ = nullptr;
+  Point last_mouse_pos_;
+  KeyState key_state_;
+  DispatchMode dispatch_mode_ = DispatchMode::kParental;
+  Stats stats_;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_BASE_INTERACTION_MANAGER_H_

@@ -1,0 +1,79 @@
+#include "src/base/keymap.h"
+
+namespace atk {
+
+void KeyMap::Bind(std::string_view sequence, std::string_view proc_name, long rock) {
+  if (sequence.empty()) {
+    return;
+  }
+  KeyBinding binding;
+  binding.sequence = std::string(sequence);
+  binding.proc_name = std::string(proc_name);
+  binding.rock = rock;
+  bindings_[binding.sequence] = std::move(binding);
+}
+
+void KeyMap::Unbind(std::string_view sequence) {
+  auto it = bindings_.find(sequence);
+  if (it != bindings_.end()) {
+    bindings_.erase(it);
+  }
+}
+
+const KeyBinding* KeyMap::Lookup(std::string_view sequence) const {
+  auto it = bindings_.find(sequence);
+  return it == bindings_.end() ? nullptr : &it->second;
+}
+
+bool KeyMap::IsPrefix(std::string_view sequence) const {
+  // Bindings are sorted; the first entry not less than `sequence` is the
+  // candidate extension.
+  auto it = bindings_.lower_bound(std::string(sequence));
+  if (it == bindings_.end()) {
+    return false;
+  }
+  const std::string& key = it->first;
+  return key.size() > sequence.size() && key.compare(0, sequence.size(), sequence) == 0;
+}
+
+std::vector<const KeyBinding*> KeyMap::All() const {
+  std::vector<const KeyBinding*> all;
+  all.reserve(bindings_.size());
+  for (const auto& [seq, binding] : bindings_) {
+    all.push_back(&binding);
+  }
+  return all;
+}
+
+KeyState::Result KeyState::Feed(char key, const std::vector<const KeyMap*>& chain) {
+  pending_ += key;
+  binding_ = nullptr;
+  bool any_prefix = false;
+  for (const KeyMap* map : chain) {
+    if (map == nullptr) {
+      continue;
+    }
+    // Innermost keymap wins on exact match (the child's binding shadows the
+    // parent's), so return at the first hit.
+    if (const KeyBinding* binding = map->Lookup(pending_)) {
+      binding_ = binding;
+      pending_.clear();
+      return Result::kComplete;
+    }
+    if (map->IsPrefix(pending_)) {
+      any_prefix = true;
+    }
+  }
+  if (any_prefix) {
+    return Result::kPrefix;
+  }
+  pending_.clear();
+  return Result::kNoMatch;
+}
+
+void KeyState::Reset() {
+  pending_.clear();
+  binding_ = nullptr;
+}
+
+}  // namespace atk

@@ -1,0 +1,71 @@
+// Keymaps and the key-state machine.
+//
+// A KeyMap binds key *sequences* to named procs ("\030\023" = C-x C-s).
+// Sequences are strings; control characters are the bytes 1..26, and a
+// two-character "\033x" prefix spells Meta-x.  The interaction manager keeps
+// one KeyState per window: it accumulates a prefix while it matches some
+// binding reachable from the focus view's keymap chain (§3's "mapping of
+// keyboard symbols" negotiated between children and parents).
+
+#ifndef ATK_SRC_BASE_KEYMAP_H_
+#define ATK_SRC_BASE_KEYMAP_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace atk {
+
+// Builds sequence strings: Ctl('x') == '\030'.
+constexpr char Ctl(char ch) { return static_cast<char>(ch & 0x1F); }
+
+struct KeyBinding {
+  std::string sequence;
+  std::string proc_name;
+  long rock = 0;
+};
+
+class KeyMap {
+ public:
+  void Bind(std::string_view sequence, std::string_view proc_name, long rock = 0);
+  void Unbind(std::string_view sequence);
+
+  // Exact binding for `sequence`, or nullptr.
+  const KeyBinding* Lookup(std::string_view sequence) const;
+  // True when some binding has `sequence` as a strict prefix.
+  bool IsPrefix(std::string_view sequence) const;
+
+  size_t size() const { return bindings_.size(); }
+  std::vector<const KeyBinding*> All() const;
+
+ private:
+  std::map<std::string, KeyBinding, std::less<>> bindings_;
+};
+
+// Resolution across a chain of keymaps (innermost view first).
+class KeyState {
+ public:
+  enum class Result {
+    kNoMatch,   // Sequence matches nothing; prefix has been reset.
+    kPrefix,    // Waiting for more keys.
+    kComplete,  // A binding matched; see binding().
+  };
+
+  // Feeds one key given the active keymap chain.  On kComplete the matched
+  // binding is in binding() and the prefix resets.  On kNoMatch the prefix
+  // resets; the caller typically falls back to self-insert.
+  Result Feed(char key, const std::vector<const KeyMap*>& chain);
+
+  const KeyBinding* binding() const { return binding_; }
+  const std::string& pending() const { return pending_; }
+  void Reset();
+
+ private:
+  std::string pending_;
+  const KeyBinding* binding_ = nullptr;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_BASE_KEYMAP_H_

@@ -1,0 +1,7 @@
+#include "src/base/menu_popup.h"
+
+namespace atk {
+
+ATK_DEFINE_ABSTRACT_CLASS(MenuPopupView, View, "menupopup")
+
+}  // namespace atk

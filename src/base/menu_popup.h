@@ -1,0 +1,31 @@
+// The abstract pop-up menu surface the interaction manager raises.
+//
+// The IM (toolkit core) must not depend on any concrete widget, so it
+// creates the popup through the Loader by class name ("menuview", provided
+// by the widgets module — loaded on first use) and talks to it through this
+// interface.
+
+#ifndef ATK_SRC_BASE_MENU_POPUP_H_
+#define ATK_SRC_BASE_MENU_POPUP_H_
+
+#include <functional>
+#include <string>
+
+#include "src/base/menus.h"
+#include "src/base/view.h"
+
+namespace atk {
+
+class MenuPopupView : public View {
+  ATK_DECLARE_CLASS(MenuPopupView)
+
+ public:
+  // Installs the composed menu list to display.
+  virtual void SetMenus(const MenuList& menus) = 0;
+  // `choice` is "Card~Label", or "" when dismissed without choosing.
+  virtual void SetOnChoose(std::function<void(const std::string&)> on_choose) = 0;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_BASE_MENU_POPUP_H_

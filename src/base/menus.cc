@@ -1,0 +1,98 @@
+#include "src/base/menus.h"
+
+#include <algorithm>
+
+namespace atk {
+namespace {
+
+constexpr char kDefaultCard[] = "Main";
+
+void SplitSpec(std::string_view spec, std::string* card, std::string* label) {
+  size_t tilde = spec.find('~');
+  if (tilde == std::string_view::npos) {
+    *card = kDefaultCard;
+    *label = std::string(spec);
+  } else {
+    *card = std::string(spec.substr(0, tilde));
+    *label = std::string(spec.substr(tilde + 1));
+  }
+}
+
+}  // namespace
+
+std::string MenuList::KeyOf(const MenuItem& item) { return item.card + "~" + item.label; }
+
+void MenuList::Add(std::string_view spec, std::string_view proc_name, long rock,
+                   uint32_t mask) {
+  MenuItem item;
+  SplitSpec(spec, &item.card, &item.label);
+  item.proc_name = std::string(proc_name);
+  item.rock = rock;
+  item.mask = mask;
+  // Replace an existing entry with the same card/label.
+  for (MenuItem& existing : items_) {
+    if (existing.card == item.card && existing.label == item.label) {
+      existing = std::move(item);
+      return;
+    }
+  }
+  items_.push_back(std::move(item));
+}
+
+void MenuList::Remove(std::string_view spec) {
+  std::string card;
+  std::string label;
+  SplitSpec(spec, &card, &label);
+  items_.erase(std::remove_if(items_.begin(), items_.end(),
+                              [&](const MenuItem& item) {
+                                return item.card == card && item.label == label;
+                              }),
+               items_.end());
+}
+
+std::vector<const MenuItem*> MenuList::Visible() const {
+  std::vector<const MenuItem*> visible;
+  for (const MenuItem& item : items_) {
+    if ((item.mask & active_mask_) != 0) {
+      visible.push_back(&item);
+    }
+  }
+  return visible;
+}
+
+void MenuList::Append(const MenuList& other) {
+  for (const MenuItem* item : other.Visible()) {
+    bool shadowed = false;
+    for (const MenuItem& existing : items_) {
+      if (existing.card == item->card && existing.label == item->label) {
+        shadowed = true;
+        break;
+      }
+    }
+    if (!shadowed) {
+      items_.push_back(*item);
+    }
+  }
+}
+
+const MenuItem* MenuList::Find(std::string_view spec) const {
+  std::string card;
+  std::string label;
+  SplitSpec(spec, &card, &label);
+  bool bare = spec.find('~') == std::string_view::npos;
+  for (const MenuItem& item : items_) {
+    if ((item.mask & active_mask_) == 0) {
+      continue;
+    }
+    if (bare) {
+      if (item.label == label) {
+        return &item;
+      }
+    } else if (item.card == card && item.label == label) {
+      return &item;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace atk

@@ -1,0 +1,61 @@
+// Menu lists and their arbitration.
+//
+// §3: the parental-authority channel "is used between children and parents
+// to negotiate the contents of menus".  Every view on the focus path
+// contributes a MenuList; the interaction manager composes them innermost
+// first.  ATK's mask mechanism is reproduced: each item carries a mask and
+// each list an active mask, so a view can switch whole item groups on and
+// off (e.g. "selection" items only while a selection exists).
+
+#ifndef ATK_SRC_BASE_MENUS_H_
+#define ATK_SRC_BASE_MENUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace atk {
+
+struct MenuItem {
+  std::string card;       // Menu card ("File", "Edit").
+  std::string label;      // Item label ("Save").
+  std::string proc_name;  // ProcTable command.
+  long rock = 0;
+  uint32_t mask = 1;      // Item is visible when (mask & list active mask) != 0.
+};
+
+class MenuList {
+ public:
+  // `spec` is "Card~Label" or just "Label" (goes on the default card).
+  void Add(std::string_view spec, std::string_view proc_name, long rock = 0,
+           uint32_t mask = 1);
+  void Remove(std::string_view spec);
+  void Clear() { items_.clear(); }
+
+  void SetActiveMask(uint32_t mask) { active_mask_ = mask; }
+  uint32_t active_mask() const { return active_mask_; }
+
+  // Items visible under the active mask.
+  std::vector<const MenuItem*> Visible() const;
+  const std::vector<MenuItem>& items() const { return items_; }
+  size_t size() const { return items_.size(); }
+
+  // Appends another list's visible items (child lists are appended before
+  // parent lists by the composer).  Items whose "Card~Label" already exists
+  // are shadowed: the earlier (inner) item wins.
+  void Append(const MenuList& other);
+
+  // Finds a visible item by "Card~Label" or bare "Label".
+  const MenuItem* Find(std::string_view spec) const;
+
+  static std::string KeyOf(const MenuItem& item);
+
+ private:
+  std::vector<MenuItem> items_;
+  uint32_t active_mask_ = ~0u;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_BASE_MENUS_H_

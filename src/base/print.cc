@@ -1,0 +1,11 @@
+#include "src/base/print.h"
+
+namespace atk {
+
+void PrintView(View& view, PrintJob& job) {
+  Graphic* page = job.NewPage();
+  view.AllocateRoot(page);
+  RenderSubtree(view);
+}
+
+}  // namespace atk

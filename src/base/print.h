@@ -1,0 +1,23 @@
+// Printing (§4): "When a view receives a print request for a specific type
+// of printer it can temporarily shift its pointer to a drawable for that
+// printer type and do a redraw of its image."
+//
+// PrintView does exactly that: it re-allocates the view subtree onto a
+// PrintJob page drawable, redraws, and restores nothing — callers print
+// either a dedicated view or re-allocate their on-screen view afterwards
+// (the interaction manager re-allocates on the next resize/layout anyway).
+
+#ifndef ATK_SRC_BASE_PRINT_H_
+#define ATK_SRC_BASE_PRINT_H_
+
+#include "src/base/view.h"
+#include "src/wm/printer.h"
+
+namespace atk {
+
+// Renders `view`'s subtree onto a fresh page of `job`.
+void PrintView(View& view, PrintJob& job);
+
+}  // namespace atk
+
+#endif  // ATK_SRC_BASE_PRINT_H_

@@ -1,0 +1,55 @@
+#include "src/base/proctable.h"
+
+#include "src/class_system/loader.h"
+
+namespace atk {
+
+ProcTable& ProcTable::Instance() {
+  static ProcTable* table = new ProcTable();
+  return *table;
+}
+
+void ProcTable::Register(std::string_view name, ProcFn fn) {
+  procs_[std::string(name)] = std::move(fn);
+}
+
+void ProcTable::Unregister(std::string_view name) {
+  auto it = procs_.find(name);
+  if (it != procs_.end()) {
+    procs_.erase(it);
+  }
+}
+
+bool ProcTable::Contains(std::string_view name) const {
+  return procs_.find(name) != procs_.end();
+}
+
+bool ProcTable::Invoke(std::string_view name, View* view, long rock) {
+  auto it = procs_.find(name);
+  if (it == procs_.end()) {
+    // Extension convention: the proc "foo-bar-baz" may live in a dormant
+    // module named "proc:foo".  Load it and retry once.
+    size_t dash = name.find('-');
+    std::string prefix(name.substr(0, dash));
+    if (Loader::Instance().Require("proc:" + prefix)) {
+      it = procs_.find(name);
+    }
+    if (it == procs_.end()) {
+      return false;
+    }
+  }
+  ++invocation_count_;
+  it->second(view, rock);
+  return true;
+}
+
+std::vector<std::string> ProcTable::Names() const {
+  std::vector<std::string> names;
+  names.reserve(procs_.size());
+  for (const auto& [name, fn] : procs_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace atk

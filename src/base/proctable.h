@@ -1,0 +1,55 @@
+// The procedure table: named commands.
+//
+// §7: "Sophisticated users can write code (using the class system) to
+// implement new commands.  These commands can be bound either to key
+// sequences or to menus.  When invoked, the code is loaded and executed."
+// Menu items and keymap entries hold a *name*; the name is resolved here at
+// invocation time, so a command provided by a not-yet-loaded module works:
+// resolution falls back to the Loader when the name is unknown.
+
+#ifndef ATK_SRC_BASE_PROCTABLE_H_
+#define ATK_SRC_BASE_PROCTABLE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace atk {
+
+class View;
+
+// A command: receives the view it was invoked on and an integer "rock"
+// (the classic ATK closure argument).
+using ProcFn = std::function<void(View*, long)>;
+
+class ProcTable {
+ public:
+  static ProcTable& Instance();
+
+  // Registers `fn` under `name` ("textview-delete-next-char" style).
+  // Re-registration replaces (modules may be reloaded).
+  void Register(std::string_view name, ProcFn fn);
+  void Unregister(std::string_view name);
+
+  bool Contains(std::string_view name) const;
+
+  // Invokes `name`.  When the name is unknown, asks the Loader to load the
+  // module "proc:<prefix>" conventionally derived from the name's component
+  // prefix, then retries — load-on-invoke for extension commands.
+  bool Invoke(std::string_view name, View* view, long rock = 0);
+
+  std::vector<std::string> Names() const;
+  uint64_t invocation_count() const { return invocation_count_; }
+
+ private:
+  ProcTable() = default;
+
+  std::map<std::string, ProcFn, std::less<>> procs_;
+  uint64_t invocation_count_ = 0;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_BASE_PROCTABLE_H_

@@ -1,0 +1,171 @@
+#include "src/base/view.h"
+
+#include <algorithm>
+
+namespace atk {
+
+ATK_DEFINE_CLASS(View, Object, "view")
+
+View::View() = default;
+
+View::~View() {
+  if (data_object_ != nullptr) {
+    data_object_->RemoveObserver(this);
+  }
+  if (parent_ != nullptr) {
+    parent_->RemoveChild(this);
+  }
+  for (View* child : children_) {
+    child->parent_ = nullptr;
+  }
+}
+
+void View::AddChild(View* child) {
+  if (child == nullptr || child->parent_ == this) {
+    return;
+  }
+  if (child->parent_ != nullptr) {
+    child->parent_->RemoveChild(child);
+  }
+  child->parent_ = this;
+  children_.push_back(child);
+}
+
+void View::RemoveChild(View* child) {
+  auto it = std::find(children_.begin(), children_.end(), child);
+  if (it != children_.end()) {
+    (*it)->parent_ = nullptr;
+    children_.erase(it);
+  }
+}
+
+InteractionManager* View::GetIM() {
+  return parent_ != nullptr ? parent_->GetIM() : nullptr;
+}
+
+int View::TreeDepth() const {
+  int depth = 0;
+  for (const View* v = parent_; v != nullptr; v = v->parent_) {
+    ++depth;
+  }
+  return depth;
+}
+
+void View::SetDataObject(DataObject* data) {
+  if (data_object_ == data) {
+    return;
+  }
+  if (data_object_ != nullptr) {
+    data_object_->RemoveObserver(this);
+  }
+  data_object_ = data;
+  if (data_object_ != nullptr) {
+    data_object_->AddObserver(this);
+  }
+}
+
+void View::ObservedChanged(Observable* changed, const Change& change) {
+  if (changed == data_object_ && change.kind == Change::Kind::kDestroyed) {
+    data_object_ = nullptr;
+    return;
+  }
+  PostUpdate();
+}
+
+void View::Allocate(const Rect& in_parent, Graphic* parent_graphic) {
+  bounds_ = in_parent;
+  graphic_ = parent_graphic != nullptr ? parent_graphic->CreateSub(in_parent) : nullptr;
+  Layout();
+}
+
+void View::AllocateRoot(Graphic* root_graphic) {
+  if (root_graphic == nullptr) {
+    return;
+  }
+  bounds_ = root_graphic->LocalBounds();
+  graphic_ = root_graphic->CreateSub(bounds_);
+  Layout();
+}
+
+Rect View::DeviceBounds() const {
+  if (graphic_ == nullptr) {
+    return Rect{};
+  }
+  Point origin = graphic_->device_origin();
+  return Rect{origin.x, origin.y, bounds_.width, bounds_.height};
+}
+
+void View::FullUpdate() {
+  if (graphic_ != nullptr) {
+    graphic_->Clear();
+  }
+}
+
+void View::PostUpdate(const Rect& local) {
+  if (graphic_ == nullptr || local.IsEmpty()) {
+    return;
+  }
+  Point origin = graphic_->device_origin();
+  WantUpdate(this, local.Translated(origin.x, origin.y));
+}
+
+void View::WantUpdate(View* requestor, const Rect& device_region) {
+  if (parent_ != nullptr) {
+    parent_->WantUpdate(requestor, device_region);
+  }
+}
+
+View* View::Hit(const InputEvent& event) {
+  View* child = ChildAt(event.pos);
+  if (child != nullptr) {
+    return child->Hit(TranslateToChild(event, *child));
+  }
+  return nullptr;
+}
+
+bool View::HandleKey(char key, unsigned modifiers) {
+  (void)key;
+  (void)modifiers;
+  return false;
+}
+
+void View::FillMenus(MenuList& menus) { (void)menus; }
+
+CursorShape View::CursorAt(Point local) {
+  View* child = ChildAt(local);
+  if (child != nullptr) {
+    return child->CursorAt(local - child->bounds().origin());
+  }
+  return preferred_cursor_;
+}
+
+// View::RequestInputFocus is defined in interaction_manager.cc (it needs the
+// full InteractionManager type).
+
+View* View::ChildAt(Point local) const {
+  // Last-linked child is on top.
+  for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+    if ((*it)->bounds().Contains(local)) {
+      return *it;
+    }
+  }
+  return nullptr;
+}
+
+InputEvent View::TranslateToChild(const InputEvent& event, const View& child) {
+  InputEvent translated = event;
+  translated.pos = event.pos - child.bounds().origin();
+  return translated;
+}
+
+void RenderSubtree(View& view) {
+  if (!view.HasGraphic()) {
+    return;
+  }
+  view.FullUpdate();
+  for (View* child : view.children()) {
+    RenderSubtree(*child);
+  }
+}
+
+}  // namespace atk

@@ -1,0 +1,73 @@
+#include "src/class_system/class_info.h"
+
+#include "src/class_system/object.h"
+
+namespace atk {
+
+bool ClassInfo::DerivesFrom(const ClassInfo& ancestor) const {
+  for (const ClassInfo* c = this; c != nullptr; c = c->parent_) {
+    if (c == &ancestor) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<Object> ClassInfo::NewInstance() const {
+  if (!factory_) {
+    return nullptr;
+  }
+  return factory_();
+}
+
+int ClassInfo::InheritanceDepth() const {
+  int depth = 0;
+  for (const ClassInfo* c = parent_; c != nullptr; c = c->parent()) {
+    ++depth;
+  }
+  return depth;
+}
+
+ClassRegistry& ClassRegistry::Instance() {
+  static ClassRegistry* registry = new ClassRegistry();
+  return *registry;
+}
+
+bool ClassRegistry::Register(const ClassInfo& info) {
+  auto [it, inserted] = classes_.emplace(info.name(), &info);
+  if (!inserted && it->second != &info) {
+    return false;  // First registration wins.
+  }
+  return true;
+}
+
+void ClassRegistry::Unregister(std::string_view name) {
+  auto it = classes_.find(name);
+  if (it != classes_.end()) {
+    classes_.erase(it);
+  }
+}
+
+const ClassInfo* ClassRegistry::Find(std::string_view name) const {
+  auto it = classes_.find(name);
+  return it == classes_.end() ? nullptr : it->second;
+}
+
+std::unique_ptr<Object> ClassRegistry::New(std::string_view name) const {
+  const ClassInfo* info = Find(name);
+  if (info == nullptr) {
+    return nullptr;
+  }
+  return info->NewInstance();
+}
+
+std::vector<std::string> ClassRegistry::RegisteredNames() const {
+  std::vector<std::string> names;
+  names.reserve(classes_.size());
+  for (const auto& [name, info] : classes_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace atk

@@ -1,0 +1,96 @@
+// Runtime class descriptors for the Andrew Class System reproduction.
+//
+// The 1988 toolkit used a C preprocessor ("class") that generated .eh/.ih
+// headers describing each class: its name, its single superclass, its
+// overridable methods and its non-overridable class procedures.  The property
+// the rest of the toolkit depends on is *named construction*: given the string
+// found in a `\begindata{type,id}` marker, the system can instantiate the
+// right data object, loading its module first if necessary.
+//
+// This header provides that runtime: a ClassInfo per class (name, parent,
+// factory) and a process-wide ClassRegistry keyed by name.
+
+#ifndef ATK_SRC_CLASS_SYSTEM_CLASS_INFO_H_
+#define ATK_SRC_CLASS_SYSTEM_CLASS_INFO_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace atk {
+
+class Object;
+
+// Describes one class known to the runtime.  Instances are created once
+// (static storage) and registered; they are never destroyed or moved.
+class ClassInfo {
+ public:
+  using Factory = std::function<std::unique_ptr<Object>()>;
+
+  ClassInfo(std::string name, const ClassInfo* parent, Factory factory)
+      : name_(std::move(name)), parent_(parent), factory_(std::move(factory)) {}
+
+  ClassInfo(const ClassInfo&) = delete;
+  ClassInfo& operator=(const ClassInfo&) = delete;
+
+  const std::string& name() const { return name_; }
+  const ClassInfo* parent() const { return parent_; }
+
+  // True if this class is `ancestor` or inherits from it.
+  bool DerivesFrom(const ClassInfo& ancestor) const;
+
+  // Creates a default-constructed instance, or nullptr when the class is
+  // abstract (no factory was supplied).
+  std::unique_ptr<Object> NewInstance() const;
+
+  bool is_abstract() const { return !factory_; }
+
+  // Depth of the inheritance chain above this class (root == 0).
+  int InheritanceDepth() const;
+
+ private:
+  std::string name_;
+  const ClassInfo* parent_;
+  Factory factory_;
+};
+
+// Process-wide name -> ClassInfo table.  Registration normally happens when
+// the Loader "loads" the module that provides a class; classes belonging to
+// the always-present base may register at static-initialization time.
+class ClassRegistry {
+ public:
+  static ClassRegistry& Instance();
+
+  // Registers `info` under its name.  Re-registering the same ClassInfo is a
+  // no-op; registering a *different* ClassInfo under an existing name is an
+  // error and is ignored (first registration wins, mirroring the original
+  // loader's behaviour).  Returns whether the registration took effect.
+  bool Register(const ClassInfo& info);
+
+  // Removes a class by name (used when a module is unloaded).
+  void Unregister(std::string_view name);
+
+  // Returns the descriptor for `name`, or nullptr when unknown.  Does NOT
+  // trigger dynamic loading; see Loader::EnsureClass for that.
+  const ClassInfo* Find(std::string_view name) const;
+
+  bool IsRegistered(std::string_view name) const { return Find(name) != nullptr; }
+
+  // Instantiates `name` if registered and concrete; nullptr otherwise.
+  std::unique_ptr<Object> New(std::string_view name) const;
+
+  std::vector<std::string> RegisteredNames() const;
+  size_t size() const { return classes_.size(); }
+
+ private:
+  ClassRegistry() = default;
+
+  std::map<std::string, const ClassInfo*, std::less<>> classes_;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_CLASS_SYSTEM_CLASS_INFO_H_

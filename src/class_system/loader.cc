@@ -1,0 +1,209 @@
+#include "src/class_system/loader.h"
+
+#include <algorithm>
+
+#include "src/class_system/object.h"
+
+namespace atk {
+
+Loader& Loader::Instance() {
+  static Loader* loader = new Loader();
+  return *loader;
+}
+
+bool Loader::DeclareModule(ModuleSpec spec) {
+  if (spec.name.empty()) {
+    return false;
+  }
+  std::string name = spec.name;
+  auto [it, inserted] = modules_.emplace(name, ModuleState{std::move(spec), false, false});
+  return inserted;
+}
+
+bool Loader::IsDeclared(std::string_view module) const {
+  return modules_.find(module) != modules_.end();
+}
+
+bool Loader::IsLoaded(std::string_view module) const {
+  auto it = modules_.find(module);
+  return it != modules_.end() && it->second.loaded;
+}
+
+uint64_t Loader::SimulatedCost(const ModuleSpec& spec) const {
+  uint64_t variable =
+      cost_model_.bytes_per_us == 0 ? 0 : spec.text_bytes / cost_model_.bytes_per_us;
+  return cost_model_.fixed_us + variable;
+}
+
+bool Loader::Require(std::string_view module) {
+  std::vector<std::string> in_progress;
+  return RequireInternal(module, /*as_dependency=*/false, in_progress);
+}
+
+bool Loader::RequireInternal(std::string_view module, bool as_dependency,
+                             std::vector<std::string>& in_progress) {
+  auto it = modules_.find(module);
+  if (it == modules_.end()) {
+    return false;
+  }
+  ModuleState& state = it->second;
+  if (state.loaded) {
+    return true;
+  }
+  // Dependency cycle?
+  if (std::find(in_progress.begin(), in_progress.end(), state.spec.name) != in_progress.end()) {
+    return false;
+  }
+  in_progress.push_back(state.spec.name);
+  for (const std::string& dep : state.spec.depends_on) {
+    if (!RequireInternal(dep, /*as_dependency=*/true, in_progress)) {
+      in_progress.pop_back();
+      return false;
+    }
+  }
+  in_progress.pop_back();
+
+  state.loaded = true;
+  if (state.spec.init) {
+    state.spec.init();
+  }
+  LoadRecord record;
+  record.module = state.spec.name;
+  record.text_bytes = state.spec.text_bytes;
+  record.simulated_cost_us = SimulatedCost(state.spec);
+  record.order = next_order_++;
+  record.as_dependency = as_dependency;
+  load_log_.push_back(std::move(record));
+  return true;
+}
+
+bool Loader::Unload(std::string_view module) {
+  auto it = modules_.find(module);
+  if (it == modules_.end() || !it->second.loaded || it->second.pinned) {
+    return false;
+  }
+  // Refuse while a loaded module depends on this one.
+  for (const auto& [name, other] : modules_) {
+    if (!other.loaded || name == module) {
+      continue;
+    }
+    const auto& deps = other.spec.depends_on;
+    if (std::find(deps.begin(), deps.end(), it->second.spec.name) != deps.end()) {
+      return false;
+    }
+  }
+  ModuleState& state = it->second;
+  if (state.spec.fini) {
+    state.spec.fini();
+  } else {
+    for (const std::string& cls : state.spec.provides) {
+      ClassRegistry::Instance().Unregister(cls);
+    }
+  }
+  state.loaded = false;
+  return true;
+}
+
+bool Loader::Pin(std::string_view module) {
+  auto it = modules_.find(module);
+  if (it == modules_.end()) {
+    return false;
+  }
+  if (!it->second.loaded && !Require(module)) {
+    return false;
+  }
+  it->second.pinned = true;
+  return true;
+}
+
+const ClassInfo* Loader::EnsureClass(std::string_view class_name) {
+  const ClassInfo* info = ClassRegistry::Instance().Find(class_name);
+  if (info != nullptr) {
+    return info;
+  }
+  std::string module = ProvidingModule(class_name);
+  if (module.empty() || !Require(module)) {
+    return nullptr;
+  }
+  return ClassRegistry::Instance().Find(class_name);
+}
+
+std::unique_ptr<Object> Loader::NewObject(std::string_view class_name) {
+  const ClassInfo* info = EnsureClass(class_name);
+  if (info == nullptr) {
+    return nullptr;
+  }
+  return info->NewInstance();
+}
+
+std::string Loader::ProvidingModule(std::string_view class_name) const {
+  for (const auto& [name, state] : modules_) {
+    const auto& provides = state.spec.provides;
+    if (std::find(provides.begin(), provides.end(), class_name) != provides.end()) {
+      return name;
+    }
+  }
+  return "";
+}
+
+size_t Loader::LoadedTextBytes() const {
+  size_t total = 0;
+  for (const auto& [name, state] : modules_) {
+    if (state.loaded) {
+      total += state.spec.text_bytes;
+    }
+  }
+  return total;
+}
+
+size_t Loader::LoadedDataBytes() const {
+  size_t total = 0;
+  for (const auto& [name, state] : modules_) {
+    if (state.loaded) {
+      total += state.spec.data_bytes;
+    }
+  }
+  return total;
+}
+
+std::vector<std::string> Loader::LoadedModules() const {
+  std::vector<std::string> names;
+  for (const auto& [name, state] : modules_) {
+    if (state.loaded) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+std::vector<std::string> Loader::DeclaredModules() const {
+  std::vector<std::string> names;
+  names.reserve(modules_.size());
+  for (const auto& [name, state] : modules_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+const ModuleSpec* Loader::FindSpec(std::string_view module) const {
+  auto it = modules_.find(module);
+  return it == modules_.end() ? nullptr : &it->second.spec;
+}
+
+void Loader::UnloadAllForTest() {
+  // Unload repeatedly until a fixed point: dependency order is honoured by
+  // Unload() refusing modules that something loaded still depends on.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto& [name, state] : modules_) {
+      if (state.loaded && !state.pinned && Unload(name)) {
+        progressed = true;
+      }
+    }
+  }
+  load_log_.clear();
+  next_order_ = 1;
+}
+
+}  // namespace atk

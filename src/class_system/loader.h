@@ -1,0 +1,144 @@
+// Simulated dynamic loading/linking.
+//
+// The 1988 class system could demand-load the object code of a component the
+// first time anything referenced it: embedding a music object in a text
+// document loaded the music module into the running editor, with no relink.
+// `runapp` inverted the arrangement — one resident base program into which
+// every *application* was dynamically loaded — so all toolkit applications
+// shared one copy of the toolkit's code (§7 of the paper).
+//
+// This reproduction compiles all modules into the binary but keeps their
+// class registrations *dormant* until the Loader "loads" the module.  What is
+// preserved, and what the tests and benches exercise:
+//   * load-on-first-use: EnsureClass()/NewObject() resolve an unknown class
+//     name by loading the module that declares it (plus dependencies);
+//   * an explicit module graph with text/data sizes, so the runapp-vs-static
+//     memory accounting of §7 can be reproduced;
+//   * a deterministic simulated load cost (stand-in for dlopen + page-in),
+//     recorded in a load log;
+//   * unloading, reload, and double-load idempotence.
+
+#ifndef ATK_SRC_CLASS_SYSTEM_LOADER_H_
+#define ATK_SRC_CLASS_SYSTEM_LOADER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/class_system/class_info.h"
+
+namespace atk {
+
+// Static description of one dynamically loadable module.
+struct ModuleSpec {
+  std::string name;
+  // Class names this module registers when loaded (e.g. {"table", "tableview"}).
+  std::vector<std::string> provides;
+  // Modules that must be loaded first.
+  std::vector<std::string> depends_on;
+  // Simulated object-code footprint, used by the load-cost model and by the
+  // runapp memory accounting.  Rough 1988-scale numbers are fine.
+  size_t text_bytes = 0;
+  size_t data_bytes = 0;
+  // Runs when the module is loaded; registers classes/procs.  Must be
+  // idempotent (a module can be unloaded and loaded again).
+  std::function<void()> init;
+  // Optional teardown run at unload.  If absent, `provides` entries are
+  // unregistered from the ClassRegistry automatically.
+  std::function<void()> fini;
+};
+
+class Loader {
+ public:
+  struct LoadRecord {
+    std::string module;
+    size_t text_bytes = 0;
+    // Deterministic simulated wall time for dlopen + initial page-in.
+    uint64_t simulated_cost_us = 0;
+    // 1-based position in the overall load order.
+    int order = 0;
+    // True when this load happened to satisfy a dependency edge rather than
+    // a direct Require().
+    bool as_dependency = false;
+  };
+
+  struct CostModel {
+    // cost = fixed_us + text_bytes / bytes_per_us
+    uint64_t fixed_us = 250;
+    uint64_t bytes_per_us = 2000;
+  };
+
+  static Loader& Instance();
+
+  // Declares a module.  Duplicate names are rejected (first wins).
+  bool DeclareModule(ModuleSpec spec);
+
+  bool IsDeclared(std::string_view module) const;
+  bool IsLoaded(std::string_view module) const;
+
+  // Loads `module` and (recursively) its dependencies.  Idempotent.  Returns
+  // false when the module is undeclared or a dependency cycle/missing
+  // dependency is found, in which case nothing new is loaded.
+  bool Require(std::string_view module);
+
+  // Unloads a loaded module.  Fails when another loaded module depends on it
+  // or the module is pinned.
+  bool Unload(std::string_view module);
+
+  // Marks a module as part of the resident base (runapp): it can never be
+  // unloaded and its footprint counts as shared in the memory accounting.
+  bool Pin(std::string_view module);
+
+  // Resolves a class name, loading the declaring module on demand.  Returns
+  // nullptr when no declared module provides the class.
+  const ClassInfo* EnsureClass(std::string_view class_name);
+
+  // EnsureClass + instantiate.
+  std::unique_ptr<Object> NewObject(std::string_view class_name);
+
+  // Which module declares `class_name` in its `provides` list ("" if none).
+  std::string ProvidingModule(std::string_view class_name) const;
+
+  const std::vector<LoadRecord>& load_log() const { return load_log_; }
+  void ClearLoadLog() { load_log_.clear(); }
+
+  // Footprint of currently loaded modules.
+  size_t LoadedTextBytes() const;
+  size_t LoadedDataBytes() const;
+  std::vector<std::string> LoadedModules() const;
+  std::vector<std::string> DeclaredModules() const;
+
+  const ModuleSpec* FindSpec(std::string_view module) const;
+
+  void set_cost_model(const CostModel& model) { cost_model_ = model; }
+  const CostModel& cost_model() const { return cost_model_; }
+
+  // Unloads every non-pinned module and clears the log.  Test hygiene only.
+  void UnloadAllForTest();
+
+ private:
+  struct ModuleState {
+    ModuleSpec spec;
+    bool loaded = false;
+    bool pinned = false;
+  };
+
+  Loader() = default;
+
+  bool RequireInternal(std::string_view module, bool as_dependency,
+                       std::vector<std::string>& in_progress);
+  uint64_t SimulatedCost(const ModuleSpec& spec) const;
+
+  std::map<std::string, ModuleState, std::less<>> modules_;
+  std::vector<LoadRecord> load_log_;
+  CostModel cost_model_;
+  int next_order_ = 1;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_CLASS_SYSTEM_LOADER_H_

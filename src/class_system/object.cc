@@ -1,0 +1,19 @@
+#include "src/class_system/object.h"
+
+namespace atk {
+
+const ClassInfo& Object::StaticClassInfo() {
+  static const ClassInfo* info = new ClassInfo("object", nullptr, ClassInfo::Factory());
+  return *info;
+}
+
+bool Object::IsA(std::string_view ancestor_name) const {
+  for (const ClassInfo* c = &GetClassInfo(); c != nullptr; c = c->parent()) {
+    if (c->name() == ancestor_name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace atk

@@ -1,0 +1,95 @@
+// Root of the Andrew Class System object hierarchy.
+//
+// Every toolkit object (data objects, views, window-system classes) derives
+// from atk::Object and carries a runtime ClassInfo, giving the toolkit the
+// two facilities the paper's class system provided on top of C:
+//   * run-time type identification by name (`IsA("textview")`), and
+//   * named construction through the ClassRegistry / Loader.
+//
+// Classes participate by placing ATK_DECLARE_CLASS in the class body and
+// ATK_DEFINE_CLASS (or ATK_DEFINE_ABSTRACT_CLASS) in one .cc file.
+
+#ifndef ATK_SRC_CLASS_SYSTEM_OBJECT_H_
+#define ATK_SRC_CLASS_SYSTEM_OBJECT_H_
+
+#include <memory>
+#include <string_view>
+
+#include "src/class_system/class_info.h"
+
+namespace atk {
+
+class Object {
+ public:
+  virtual ~Object() = default;
+
+  // The most-derived runtime class of this instance.
+  virtual const ClassInfo& GetClassInfo() const { return StaticClassInfo(); }
+
+  // The class name of this instance (e.g. "text", "scrollbar").
+  const std::string& class_name() const { return GetClassInfo().name(); }
+
+  // True when this instance's class is `ancestor` or derives from it.
+  bool IsA(const ClassInfo& ancestor) const { return GetClassInfo().DerivesFrom(ancestor); }
+
+  // Name-based variant; false for names unknown to the registry.
+  bool IsA(std::string_view ancestor_name) const;
+
+  static const ClassInfo& StaticClassInfo();
+};
+
+// Checked downcast in the spirit of the class system's `class_Cast`: returns
+// nullptr when `obj` is not a T (by ClassInfo lineage).
+template <typename T>
+T* ObjectCast(Object* obj) {
+  if (obj != nullptr && obj->IsA(T::StaticClassInfo())) {
+    return static_cast<T*>(obj);
+  }
+  return nullptr;
+}
+
+template <typename T>
+const T* ObjectCast(const Object* obj) {
+  if (obj != nullptr && obj->IsA(T::StaticClassInfo())) {
+    return static_cast<const T*>(obj);
+  }
+  return nullptr;
+}
+
+// Takes ownership from `obj` as a T; on type mismatch the object is destroyed
+// and nullptr returned.
+template <typename T>
+std::unique_ptr<T> ObjectCast(std::unique_ptr<Object> obj) {
+  if (obj != nullptr && obj->IsA(T::StaticClassInfo())) {
+    return std::unique_ptr<T>(static_cast<T*>(obj.release()));
+  }
+  return nullptr;
+}
+
+}  // namespace atk
+
+// Declares the class-system hooks inside a class body.
+#define ATK_DECLARE_CLASS(Type)                       \
+ public:                                              \
+  static const ::atk::ClassInfo& StaticClassInfo();   \
+  const ::atk::ClassInfo& GetClassInfo() const override { return StaticClassInfo(); }
+
+// Defines StaticClassInfo for a concrete (default-constructible) class.
+// `name` is the wire/type name used in datastreams and named construction.
+#define ATK_DEFINE_CLASS(Type, Parent, name)                                        \
+  const ::atk::ClassInfo& Type::StaticClassInfo() {                                 \
+    static const ::atk::ClassInfo* info = new ::atk::ClassInfo(                     \
+        (name), &Parent::StaticClassInfo(),                                         \
+        []() -> std::unique_ptr<::atk::Object> { return std::make_unique<Type>(); });\
+    return *info;                                                                   \
+  }
+
+// Defines StaticClassInfo for an abstract class (no factory).
+#define ATK_DEFINE_ABSTRACT_CLASS(Type, Parent, name)                \
+  const ::atk::ClassInfo& Type::StaticClassInfo() {                  \
+    static const ::atk::ClassInfo* info = new ::atk::ClassInfo(      \
+        (name), &Parent::StaticClassInfo(), ::atk::ClassInfo::Factory()); \
+    return *info;                                                    \
+  }
+
+#endif  // ATK_SRC_CLASS_SYSTEM_OBJECT_H_

@@ -1,0 +1,72 @@
+#include "src/class_system/observable.h"
+
+#include <algorithm>
+
+namespace atk {
+
+Observer::~Observer() {
+  // Unsubscribe from everything still watched, so no Observable is left
+  // holding a dangling pointer.  RemoveObserver edits watching_, hence the
+  // snapshot.
+  std::vector<Observable*> snapshot = watching_;
+  for (Observable* observable : snapshot) {
+    observable->RemoveObserver(this);
+  }
+}
+
+Observable::~Observable() {
+  Change change;
+  change.kind = Change::Kind::kDestroyed;
+  // Deliver on a snapshot: observers typically detach themselves here.
+  std::vector<Observer*> snapshot = observers_;
+  for (Observer* observer : snapshot) {
+    if (HasObserver(observer)) {
+      observer->ObservedChanged(this, change);
+    }
+  }
+  // Drop the back-links of anyone who stayed subscribed to the end.
+  for (Observer* observer : observers_) {
+    auto& watching = observer->watching_;
+    watching.erase(std::remove(watching.begin(), watching.end(), this), watching.end());
+  }
+  observers_.clear();
+}
+
+void Observable::AddObserver(Observer* observer) {
+  if (observer == nullptr || HasObserver(observer)) {
+    return;
+  }
+  observers_.push_back(observer);
+  observer->watching_.push_back(this);
+}
+
+void Observable::RemoveObserver(Observer* observer) {
+  if (observer == nullptr || !HasObserver(observer)) {
+    return;
+  }
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+  auto& watching = observer->watching_;
+  watching.erase(std::remove(watching.begin(), watching.end(), this), watching.end());
+}
+
+bool Observable::HasObserver(const Observer* observer) const {
+  return std::find(observers_.begin(), observers_.end(), observer) != observers_.end();
+}
+
+void Observable::NotifyObservers(const Change& change) {
+  ++modification_time_;
+  if (notifying_) {
+    return;  // No re-entrant notification storms.
+  }
+  notifying_ = true;
+  std::vector<Observer*> snapshot = observers_;
+  for (Observer* observer : snapshot) {
+    if (HasObserver(observer)) {
+      observer->ObservedChanged(this, change);
+    }
+  }
+  notifying_ = false;
+}
+
+}  // namespace atk

@@ -1,0 +1,101 @@
+// The observer protocol underlying the toolkit's delayed-update mechanism.
+//
+// §2 of the paper: a view never repaints synchronously as the data object
+// changes.  The mutating view asks the data object to modify itself, then
+// asks it to notify *all* its observers; each observer works out what changed
+// (from the Change record and the data object's exported inspection methods)
+// and schedules its own repaint.  Observers may be views or other data
+// objects — the chart example chains TableData -> ChartData -> chart views.
+//
+// Lifetime: the two sides hold back-links, so destroying either detaches the
+// relationship safely — an Observable notifies survivors with kDestroyed,
+// and an Observer silently unsubscribes from everything it watches.
+
+#ifndef ATK_SRC_CLASS_SYSTEM_OBSERVABLE_H_
+#define ATK_SRC_CLASS_SYSTEM_OBSERVABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace atk {
+
+class Observable;
+
+// What changed, in terms generic enough for any component.  Components narrow
+// the meaning of `pos`/`removed`/`added` (text: character positions; table:
+// packed row/col; drawing: shape index).
+struct Change {
+  enum class Kind {
+    kModified,    // unspecified modification; observers should fully refresh
+    kInserted,    // `added` units inserted at `pos`
+    kDeleted,     // `removed` units deleted at `pos`
+    kReplaced,    // `removed` units at `pos` replaced by `added`
+    kAttributes,  // appearance-only change (styles, widths) over [pos, pos+removed)
+    kDestroyed,   // the observable is being destroyed
+  };
+
+  Kind kind = Kind::kModified;
+  int64_t pos = 0;
+  int64_t removed = 0;
+  int64_t added = 0;
+  // Free slot for component-specific detail (e.g. table packs the column).
+  int64_t detail = 0;
+};
+
+class Observer {
+ public:
+  Observer() = default;
+  Observer(const Observer&) = delete;
+  Observer& operator=(const Observer&) = delete;
+
+  // Unsubscribes from every observable still being watched.
+  virtual ~Observer();
+
+  // Called by Observable::NotifyObservers.  `changed` is the object that
+  // changed; one observer may watch several observables.
+  virtual void ObservedChanged(Observable* changed, const Change& change) = 0;
+
+ private:
+  friend class Observable;
+
+  // Observables this observer is registered with (maintained by Observable).
+  std::vector<Observable*> watching_;
+};
+
+class Observable {
+ public:
+  Observable() = default;
+  Observable(const Observable&) = delete;
+  Observable& operator=(const Observable&) = delete;
+
+  // Notifies remaining observers with Change::Kind::kDestroyed and detaches.
+  virtual ~Observable();
+
+  // Duplicate additions are ignored.  The observable does not own observers.
+  void AddObserver(Observer* observer);
+  void RemoveObserver(Observer* observer);
+  bool HasObserver(const Observer* observer) const;
+  size_t observer_count() const { return observers_.size(); }
+
+  // Bumps the modification timestamp and calls ObservedChanged on every
+  // observer.  Observers may remove themselves (but not others) during the
+  // callback.
+  void NotifyObservers(const Change& change);
+
+  // Monotonic per-object modification counter; 0 = never modified.
+  uint64_t modification_time() const { return modification_time_; }
+
+  // Bumps the timestamp without notifying (used when batching mutations
+  // before a single notify).
+  void Touch() { ++modification_time_; }
+
+ private:
+  std::vector<Observer*> observers_;
+  uint64_t modification_time_ = 0;
+  bool notifying_ = false;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_CLASS_SYSTEM_OBSERVABLE_H_

@@ -1,0 +1,64 @@
+// AnimData — the simple-animation component (snapshot 5 animates the
+// construction of Pascal's Triangle inside a table cell).
+//
+// An animation is a sequence of frames; each frame is a list of primitive
+// draw commands.  Playback is driven by an explicit Tick() from whoever owns
+// the clock (application main loop, test, or bench) — nothing in the toolkit
+// blocks on wall time, keeping every run deterministic.
+
+#ifndef ATK_SRC_COMPONENTS_ANIMATION_ANIM_DATA_H_
+#define ATK_SRC_COMPONENTS_ANIMATION_ANIM_DATA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/data_object.h"
+#include "src/graphics/geometry.h"
+
+namespace atk {
+
+class AnimData : public DataObject {
+  ATK_DECLARE_CLASS(AnimData)
+
+ public:
+  struct Command {
+    enum class Kind { kLine, kRect, kFillRect, kEllipse, kText };
+    Kind kind = Kind::kLine;
+    Rect box;           // kRect/kFillRect/kEllipse; kLine uses corners.
+    std::string text;   // kText content, drawn at box origin.
+  };
+
+  struct Frame {
+    std::vector<Command> commands;
+  };
+
+  AnimData();
+  ~AnimData() override;
+
+  int frame_count() const { return static_cast<int>(frames_.size()); }
+  const Frame& frame(int index) const { return frames_[static_cast<size_t>(index)]; }
+
+  // Appends a new empty frame (optionally copying the previous frame, the
+  // common idiom for cumulative animations) and returns its index.
+  int AddFrame(bool copy_previous = false);
+  void AddLine(int frame, Point a, Point b);
+  void AddRect(int frame, const Rect& box, bool filled = false);
+  void AddEllipse(int frame, const Rect& box);
+  void AddText(int frame, Point at, std::string text);
+  void Clear();
+
+  // Extent of all frames' drawing.
+  Rect ContentBounds() const;
+
+  void WriteBody(DataStreamWriter& writer) const override;
+  bool ReadBody(DataStreamReader& reader, ReadContext& context) override;
+
+ private:
+  void NotifyModified();
+
+  std::vector<Frame> frames_;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_COMPONENTS_ANIMATION_ANIM_DATA_H_

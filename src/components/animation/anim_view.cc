@@ -1,0 +1,144 @@
+#include "src/components/animation/anim_view.h"
+
+#include <algorithm>
+
+#include "src/base/default_views.h"
+#include "src/base/proctable.h"
+#include "src/class_system/loader.h"
+
+namespace atk {
+
+ATK_DEFINE_CLASS(AnimView, View, "animview")
+
+void AnimView::Play() {
+  playing_ = true;
+  PostUpdate();
+}
+
+void AnimView::Stop() {
+  playing_ = false;
+  PostUpdate();
+}
+
+void AnimView::Rewind() { ShowFrame(0); }
+
+void AnimView::Tick() {
+  AnimData* data = animation();
+  if (!playing_ || data == nullptr || data->frame_count() == 0) {
+    return;
+  }
+  current_frame_ = (current_frame_ + 1) % data->frame_count();
+  PostUpdate();
+}
+
+void AnimView::ShowFrame(int index) {
+  AnimData* data = animation();
+  if (data == nullptr || data->frame_count() == 0) {
+    current_frame_ = 0;
+    return;
+  }
+  current_frame_ = std::clamp(index, 0, data->frame_count() - 1);
+  PostUpdate();
+}
+
+void AnimView::FullUpdate() {
+  Graphic* g = graphic();
+  if (g == nullptr) {
+    return;
+  }
+  g->Clear();
+  AnimData* data = animation();
+  if (data == nullptr || data->frame_count() == 0) {
+    g->SetForeground(kGray);
+    g->DrawRect(g->LocalBounds());
+    return;
+  }
+  current_frame_ = std::min(current_frame_, data->frame_count() - 1);
+  g->SetForeground(kBlack);
+  g->SetFont(FontSpec{"andy", 10, kPlain});
+  for (const AnimData::Command& cmd : data->frame(current_frame_).commands) {
+    switch (cmd.kind) {
+      case AnimData::Command::Kind::kLine:
+        g->DrawLine(Point{cmd.box.x, cmd.box.y},
+                    Point{cmd.box.x + cmd.box.width, cmd.box.y + cmd.box.height});
+        break;
+      case AnimData::Command::Kind::kRect:
+        g->DrawRect(cmd.box);
+        break;
+      case AnimData::Command::Kind::kFillRect:
+        g->FillRect(cmd.box);
+        break;
+      case AnimData::Command::Kind::kEllipse:
+        g->DrawEllipse(cmd.box);
+        break;
+      case AnimData::Command::Kind::kText:
+        g->DrawString(cmd.box.origin(), cmd.text);
+        break;
+    }
+  }
+}
+
+Size AnimView::DesiredSize(Size available) {
+  AnimData* data = animation();
+  Size desired{60, 40};
+  if (data != nullptr) {
+    Rect bounds = data->ContentBounds();
+    desired = Size{std::max(bounds.right() + 2, 20), std::max(bounds.bottom() + 2, 16)};
+  }
+  if (available.width > 0) {
+    desired.width = std::min(desired.width, available.width);
+  }
+  if (available.height > 0) {
+    desired.height = std::min(desired.height, available.height);
+  }
+  return desired;
+}
+
+View* AnimView::Hit(const InputEvent& event) {
+  if (event.type == EventType::kMouseDown) {
+    RequestInputFocus();
+    return this;
+  }
+  return event.type == EventType::kMouseUp ? this : nullptr;
+}
+
+void AnimView::FillMenus(MenuList& menus) {
+  menus.Add("Animation~Animate", "animview-play");
+  menus.Add("Animation~Stop", "animview-stop");
+  menus.Add("Animation~Rewind", "animview-rewind");
+}
+
+void RegisterAnimationModule() {
+  static bool done = [] {
+    ModuleSpec spec;
+    spec.name = "animation";
+    spec.provides = {"animation", "animview"};
+    spec.text_bytes = 20 * 1024;
+    spec.data_bytes = 2 * 1024;
+    spec.init = [] {
+      ClassRegistry::Instance().Register(AnimData::StaticClassInfo());
+      ClassRegistry::Instance().Register(AnimView::StaticClassInfo());
+      SetDefaultViewName("animation", "animview");
+      ProcTable& procs = ProcTable::Instance();
+      procs.Register("animview-play", [](View* view, long) {
+        if (AnimView* av = ObjectCast<AnimView>(view)) {
+          av->Play();
+        }
+      });
+      procs.Register("animview-stop", [](View* view, long) {
+        if (AnimView* av = ObjectCast<AnimView>(view)) {
+          av->Stop();
+        }
+      });
+      procs.Register("animview-rewind", [](View* view, long) {
+        if (AnimView* av = ObjectCast<AnimView>(view)) {
+          av->Rewind();
+        }
+      });
+    };
+    return Loader::Instance().DeclareModule(std::move(spec));
+  }();
+  (void)done;
+}
+
+}  // namespace atk

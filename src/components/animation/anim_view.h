@@ -1,0 +1,42 @@
+// AnimView — plays an AnimData.  "In order to run the animation, click into
+// the cell and choose the animate item from the menus" (snapshot 5).  Time
+// is advanced by Tick() calls from the owner, so playback is deterministic.
+
+#ifndef ATK_SRC_COMPONENTS_ANIMATION_ANIM_VIEW_H_
+#define ATK_SRC_COMPONENTS_ANIMATION_ANIM_VIEW_H_
+
+#include "src/base/view.h"
+#include "src/components/animation/anim_data.h"
+
+namespace atk {
+
+class AnimView : public View {
+  ATK_DECLARE_CLASS(AnimView)
+
+ public:
+  AnimData* animation() const { return ObjectCast<AnimData>(data_object()); }
+
+  int current_frame() const { return current_frame_; }
+  bool playing() const { return playing_; }
+
+  void Play();
+  void Stop();
+  void Rewind();
+  // Advances one frame while playing (wraps at the end and keeps playing).
+  void Tick();
+  // Jump to a frame directly.
+  void ShowFrame(int index);
+
+  void FullUpdate() override;
+  Size DesiredSize(Size available) override;
+  View* Hit(const InputEvent& event) override;
+  void FillMenus(MenuList& menus) override;
+
+ private:
+  int current_frame_ = 0;
+  bool playing_ = false;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_COMPONENTS_ANIMATION_ANIM_VIEW_H_

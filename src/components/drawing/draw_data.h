@@ -1,0 +1,82 @@
+// DrawData — the structured-graphics ("drawing") data object.
+//
+// A drawing is an ordered list of shapes: lines, rectangles, ellipses,
+// polylines, and *embedded text blocks* — the drawing editor that motivated
+// the parental-authority design (§3) "used the text component to display and
+// edit text within the drawings", so text shapes own a real TextData child
+// rather than a flat string.
+
+#ifndef ATK_SRC_COMPONENTS_DRAWING_DRAW_DATA_H_
+#define ATK_SRC_COMPONENTS_DRAWING_DRAW_DATA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/data_object.h"
+#include "src/components/text/text_data.h"
+#include "src/graphics/geometry.h"
+
+namespace atk {
+
+class DrawData : public DataObject {
+  ATK_DECLARE_CLASS(DrawData)
+
+ public:
+  enum class ShapeKind { kLine, kRect, kEllipse, kPolyline, kText, kObject };
+
+  struct Shape {
+    ShapeKind kind = ShapeKind::kLine;
+    // kLine: points[0..1]; kPolyline: all points.
+    std::vector<Point> points;
+    // kRect/kEllipse bounding box; kText/kObject placement box.
+    Rect box;
+    int line_width = 1;
+    bool filled = false;
+    // kText payload (owned).
+    std::unique_ptr<TextData> text;
+    // kObject payload: arbitrary embedded component.
+    std::unique_ptr<DataObject> object;
+    std::string view_type;
+  };
+
+  DrawData();
+  ~DrawData() override;
+
+  int shape_count() const { return static_cast<int>(shapes_.size()); }
+  const Shape& shape(int index) const { return shapes_[static_cast<size_t>(index)]; }
+
+  // All mutators notify observers once and return the new shape's index.
+  int AddLine(Point a, Point b, int line_width = 1);
+  int AddRect(const Rect& box, bool filled = false);
+  int AddEllipse(const Rect& box, bool filled = false);
+  int AddPolyline(std::vector<Point> points, int line_width = 1);
+  // Creates an owned TextData initialized with `content` placed in `box`.
+  int AddText(const Rect& box, std::string_view content);
+  // Embeds an arbitrary data object displayed by `view_type` (default view
+  // when empty) inside `box` — drawings are multi-media components too.
+  int AddObject(const Rect& box, std::unique_ptr<DataObject> object,
+                std::string_view view_type = "");
+  void RemoveShape(int index);
+  void MoveShape(int index, int dx, int dy);
+
+  // Topmost shape whose geometry is within `slop` pixels of `p`, or -1.
+  // Text/object shapes hit by their boxes; lines by distance to the segment.
+  int ShapeAt(Point p, int slop = 3) const;
+
+  // Bounding box of all shapes.
+  Rect ContentBounds() const;
+
+  void WriteBody(DataStreamWriter& writer) const override;
+  bool ReadBody(DataStreamReader& reader, ReadContext& context) override;
+
+ private:
+  int PushShape(Shape shape);
+  void NotifyShape(int index, Change::Kind kind);
+
+  std::vector<Shape> shapes_;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_COMPONENTS_DRAWING_DRAW_DATA_H_

@@ -1,0 +1,55 @@
+// DrawView — the drawing editor view.
+//
+// Renders shapes in painter's order, hosts a TextView child for every text
+// shape (and a suitable view for every embedded object), and resolves the
+// §3 dispatch dilemma: "The user of the drawing editor might first enter
+// some text and then place a line over the text.  When a mouse event occurs
+// near that line only the drawing component could determine whether the user
+// was selecting the line or the underlying text."  DrawView::Hit checks
+// line proximity *before* offering the event to the text child — the
+// parental-authority behaviour the old global/physical model couldn't
+// express (the integration test exercises both modes).
+
+#ifndef ATK_SRC_COMPONENTS_DRAWING_DRAW_VIEW_H_
+#define ATK_SRC_COMPONENTS_DRAWING_DRAW_VIEW_H_
+
+#include <map>
+#include <memory>
+
+#include "src/base/view.h"
+#include "src/components/drawing/draw_data.h"
+
+namespace atk {
+
+class DrawView : public View {
+  ATK_DECLARE_CLASS(DrawView)
+
+ public:
+  DrawView();
+  ~DrawView() override;
+
+  DrawData* drawing() const { return ObjectCast<DrawData>(data_object()); }
+
+  int selected_shape() const { return selected_; }
+  void SelectShape(int index);
+
+  void Layout() override;
+  void FullUpdate() override;
+  Size DesiredSize(Size available) override;
+  View* Hit(const InputEvent& event) override;
+  void FillMenus(MenuList& menus) override;
+  void ObservedChanged(Observable* changed, const Change& change) override;
+
+ private:
+  View* ChildFor(const void* key, DataObject* data, const std::string& view_type);
+  void PruneChildren();
+
+  int selected_ = -1;
+  bool dragging_ = false;
+  Point drag_last_;
+  std::map<const void*, std::unique_ptr<View>> child_views_;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_COMPONENTS_DRAWING_DRAW_VIEW_H_

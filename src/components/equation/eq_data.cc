@@ -1,0 +1,229 @@
+#include "src/components/equation/eq_data.h"
+
+#include <cctype>
+
+namespace atk {
+
+ATK_DEFINE_CLASS(EqData, DataObject, "eq")
+
+int EqNode::CountNodes() const {
+  int count = 1;
+  for (const EqNodePtr& child : children) {
+    count += child->CountNodes();
+  }
+  if (first) {
+    count += first->CountNodes();
+  }
+  if (second) {
+    count += second->CountNodes();
+  }
+  if (sub) {
+    count += sub->CountNodes();
+  }
+  if (sup) {
+    count += sup->CountNodes();
+  }
+  return count;
+}
+
+namespace {
+
+class EqParser {
+ public:
+  explicit EqParser(std::string_view src) : src_(src) {}
+
+  EqNodePtr Parse(bool* ok, std::string* error) {
+    EqNodePtr row = ParseRow('\0');
+    if (!error_.empty() || pos_ != src_.size()) {
+      *ok = false;
+      *error = error_.empty() ? "trailing input" : error_;
+      return nullptr;
+    }
+    *ok = true;
+    return row;
+  }
+
+ private:
+  void Fail(std::string message) {
+    if (error_.empty()) {
+      error_ = std::move(message);
+    }
+  }
+
+  void SkipSpace() {
+    while (pos_ < src_.size() && src_[pos_] == ' ') {
+      ++pos_;
+    }
+  }
+
+  // Parses a sequence of atoms (with attached scripts) until `stop` or EOF.
+  EqNodePtr ParseRow(char stop) {
+    auto row = std::make_unique<EqNode>();
+    row->kind = EqNode::Kind::kRow;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= src_.size() || (stop != '\0' && src_[pos_] == stop)) {
+        break;
+      }
+      EqNodePtr atom = ParseAtom();
+      if (atom == nullptr) {
+        return row;
+      }
+      // Scripts bind to the preceding atom.
+      SkipSpace();
+      if (pos_ < src_.size() && (src_[pos_] == '_' || src_[pos_] == '^')) {
+        auto script = std::make_unique<EqNode>();
+        script->kind = EqNode::Kind::kScript;
+        script->first = std::move(atom);
+        while (pos_ < src_.size() && (src_[pos_] == '_' || src_[pos_] == '^')) {
+          char which = src_[pos_++];
+          EqNodePtr arg = ParseGroupOrAtom();
+          if (arg == nullptr) {
+            Fail("missing script argument");
+            return row;
+          }
+          if (which == '_') {
+            script->sub = std::move(arg);
+          } else {
+            script->sup = std::move(arg);
+          }
+          SkipSpace();
+        }
+        atom = std::move(script);
+      }
+      row->children.push_back(std::move(atom));
+    }
+    return row;
+  }
+
+  EqNodePtr ParseGroupOrAtom() {
+    SkipSpace();
+    if (pos_ < src_.size() && src_[pos_] == '{') {
+      ++pos_;
+      EqNodePtr group = ParseRow('}');
+      if (pos_ >= src_.size() || src_[pos_] != '}') {
+        Fail("unbalanced brace");
+        return nullptr;
+      }
+      ++pos_;
+      return group;
+    }
+    return ParseAtom();
+  }
+
+  EqNodePtr ParseAtom() {
+    SkipSpace();
+    if (pos_ >= src_.size()) {
+      return nullptr;
+    }
+    char ch = src_[pos_];
+    if (ch == '{') {
+      return ParseGroupOrAtom();
+    }
+    if (ch == '\\') {
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < src_.size() && std::isalpha(static_cast<unsigned char>(src_[pos_]))) {
+        ++pos_;
+      }
+      std::string name(src_.substr(start, pos_ - start));
+      if (name == "frac") {
+        auto frac = std::make_unique<EqNode>();
+        frac->kind = EqNode::Kind::kFrac;
+        frac->first = ParseGroupOrAtom();
+        frac->second = ParseGroupOrAtom();
+        if (frac->first == nullptr || frac->second == nullptr) {
+          Fail("\\frac needs two arguments");
+          return nullptr;
+        }
+        return frac;
+      }
+      if (name == "sqrt") {
+        auto sqrt = std::make_unique<EqNode>();
+        sqrt->kind = EqNode::Kind::kSqrt;
+        sqrt->first = ParseGroupOrAtom();
+        if (sqrt->first == nullptr) {
+          Fail("\\sqrt needs an argument");
+          return nullptr;
+        }
+        return sqrt;
+      }
+      if (name.empty()) {
+        Fail("stray backslash");
+        return nullptr;
+      }
+      // Named symbols (\sum, \pi, \alpha, ...) render as their name.
+      auto symbol = std::make_unique<EqNode>();
+      symbol->kind = EqNode::Kind::kSymbol;
+      symbol->symbol = name;
+      return symbol;
+    }
+    if (ch == '}') {
+      Fail("unexpected '}'");
+      return nullptr;
+    }
+    // A maximal run of letters/digits, or one operator character.
+    auto symbol = std::make_unique<EqNode>();
+    symbol->kind = EqNode::Kind::kSymbol;
+    if (std::isalnum(static_cast<unsigned char>(ch)) || ch == '.') {
+      size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) || src_[pos_] == '.')) {
+        ++pos_;
+      }
+      symbol->symbol = std::string(src_.substr(start, pos_ - start));
+    } else {
+      symbol->symbol = std::string(1, ch);
+      ++pos_;
+    }
+    return symbol;
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+EqNodePtr ParseEquation(std::string_view source, bool* ok, std::string* error) {
+  return EqParser(source).Parse(ok, error);
+}
+
+EqData::EqData() { SetSource(""); }
+
+EqData::~EqData() = default;
+
+void EqData::SetSource(std::string_view source) {
+  source_ = std::string(source);
+  root_ = ParseEquation(source_, &parse_ok_, &parse_error_);
+  Change change;
+  change.kind = Change::Kind::kModified;
+  NotifyObservers(change);
+}
+
+void EqData::WriteBody(DataStreamWriter& writer) const { writer.WriteText(source_); }
+
+bool EqData::ReadBody(DataStreamReader& reader, ReadContext& context) {
+  (void)context;
+  using Kind = DataStreamReader::Token::Kind;
+  std::string source;
+  while (true) {
+    DataStreamReader::Token token = reader.Next();
+    if (token.kind == Kind::kEndData) {
+      SetSource(source);
+      return true;
+    }
+    if (token.kind == Kind::kEof) {
+      SetSource(source);
+      return false;
+    }
+    if (token.kind == Kind::kText) {
+      source += token.text;
+    } else if (token.kind == Kind::kBeginData) {
+      reader.SkipObject(token.type, token.id);
+    }
+  }
+}
+
+}  // namespace atk

@@ -1,0 +1,70 @@
+// EqData — the equation component (snapshot 5 embeds Pascal's-Triangle
+// recurrence equations inside a table inside text).
+//
+// The persistent form is a linear TeX-flavoured source string; the data
+// object parses it into a layout tree the view renders with recursive box
+// layout.  Supported syntax: juxtaposition, + - * / = < > ( ),
+// sub/superscripts (x_1, x^{n+1}), \frac{num}{den}, \sqrt{arg}, \sum, \pi,
+// and {...} grouping.
+
+#ifndef ATK_SRC_COMPONENTS_EQUATION_EQ_DATA_H_
+#define ATK_SRC_COMPONENTS_EQUATION_EQ_DATA_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/data_object.h"
+
+namespace atk {
+
+struct EqNode;
+using EqNodePtr = std::unique_ptr<EqNode>;
+
+struct EqNode {
+  enum class Kind { kSymbol, kRow, kFrac, kScript, kSqrt };
+
+  Kind kind = Kind::kSymbol;
+  std::string symbol;             // kSymbol: the glyph run ("x", "+", "sum").
+  std::vector<EqNodePtr> children;  // kRow members.
+  EqNodePtr first;                // kFrac numerator / kScript base / kSqrt arg.
+  EqNodePtr second;               // kFrac denominator.
+  EqNodePtr sub;                  // kScript subscript (may be null).
+  EqNodePtr sup;                  // kScript superscript (may be null).
+
+  // Number of nodes in this subtree (tests, benches).
+  int CountNodes() const;
+};
+
+class EqData : public DataObject {
+  ATK_DECLARE_CLASS(EqData)
+
+ public:
+  EqData();
+  ~EqData() override;
+
+  // Replaces the equation; parse errors keep the source and leave a
+  // diagnostic (the view renders the source flat in that case).
+  void SetSource(std::string_view source);
+  const std::string& source() const { return source_; }
+  const EqNode* root() const { return root_.get(); }
+  bool parse_ok() const { return parse_ok_; }
+  const std::string& parse_error() const { return parse_error_; }
+
+  void WriteBody(DataStreamWriter& writer) const override;
+  bool ReadBody(DataStreamReader& reader, ReadContext& context) override;
+
+ private:
+  std::string source_;
+  EqNodePtr root_;
+  bool parse_ok_ = true;
+  std::string parse_error_;
+};
+
+// Exposed for unit tests.
+EqNodePtr ParseEquation(std::string_view source, bool* ok, std::string* error);
+
+}  // namespace atk
+
+#endif  // ATK_SRC_COMPONENTS_EQUATION_EQ_DATA_H_

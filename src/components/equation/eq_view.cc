@@ -1,0 +1,207 @@
+#include "src/components/equation/eq_view.h"
+
+#include <algorithm>
+
+#include "src/base/default_views.h"
+#include "src/class_system/loader.h"
+
+namespace atk {
+
+ATK_DEFINE_CLASS(EqView, View, "eqview")
+
+namespace {
+constexpr int kScriptSizeStep = 4;  // Scripts shrink by this many points.
+constexpr int kMinFontSize = 8;
+constexpr int kFracGap = 2;
+}  // namespace
+
+const Font& EqView::FontFor(int font_size) {
+  return Font::Get(FontSpec{"andy", std::max(font_size, kMinFontSize), kPlain});
+}
+
+EqView::Box EqView::Measure(const EqNode* node, int font_size) {
+  Box box;
+  if (node == nullptr) {
+    return box;
+  }
+  const Font& font = FontFor(font_size);
+  switch (node->kind) {
+    case EqNode::Kind::kSymbol: {
+      box.width = font.StringWidth(node->symbol) + 2;
+      box.height = font.height();
+      box.baseline = font.ascent();
+      return box;
+    }
+    case EqNode::Kind::kRow: {
+      int above = 0;
+      int below = 0;
+      for (const EqNodePtr& child : node->children) {
+        Box cb = Measure(child.get(), font_size);
+        box.width += cb.width;
+        above = std::max(above, cb.baseline);
+        below = std::max(below, cb.height - cb.baseline);
+      }
+      if (node->children.empty()) {
+        box.height = font.height();
+        box.baseline = font.ascent();
+      } else {
+        box.height = above + below;
+        box.baseline = above;
+      }
+      return box;
+    }
+    case EqNode::Kind::kFrac: {
+      Box num = Measure(node->first.get(), font_size);
+      Box den = Measure(node->second.get(), font_size);
+      box.width = std::max(num.width, den.width) + 6;
+      box.height = num.height + den.height + 2 * kFracGap + 1;
+      // The bar sits on the baseline's math axis, roughly mid-x-height.
+      box.baseline = num.height + kFracGap + font.ascent() / 2 - font.height() / 2 +
+                     font.ascent() / 2;
+      box.baseline = num.height + kFracGap;  // Bar at the baseline.
+      return box;
+    }
+    case EqNode::Kind::kScript: {
+      Box base = Measure(node->first.get(), font_size);
+      int script_size = std::max(font_size - kScriptSizeStep, kMinFontSize);
+      Box sup = Measure(node->sup.get(), script_size);
+      Box sub = Measure(node->sub.get(), script_size);
+      int raise = node->sup != nullptr ? std::max(sup.height - base.baseline / 2, 0) : 0;
+      int drop = node->sub != nullptr ? sub.height / 2 : 0;
+      box.width = base.width + std::max(sup.width, sub.width);
+      box.baseline = base.baseline + raise;
+      box.height = box.baseline + (base.height - base.baseline) + drop;
+      return box;
+    }
+    case EqNode::Kind::kSqrt: {
+      Box arg = Measure(node->first.get(), font_size);
+      box.width = arg.width + font.advance() + 2;
+      box.height = arg.height + 3;
+      box.baseline = arg.baseline + 3;
+      return box;
+    }
+  }
+  return box;
+}
+
+void EqView::Render(Graphic* g, const EqNode* node, Point top_left, int font_size) {
+  if (node == nullptr) {
+    return;
+  }
+  const Font& font = FontFor(font_size);
+  Box box = Measure(node, font_size);
+  switch (node->kind) {
+    case EqNode::Kind::kSymbol: {
+      g->SetFont(FontSpec{"andy", std::max(font_size, kMinFontSize), kPlain});
+      g->DrawString(Point{top_left.x + 1, top_left.y + box.baseline - font.ascent()},
+                    node->symbol);
+      return;
+    }
+    case EqNode::Kind::kRow: {
+      int x = top_left.x;
+      for (const EqNodePtr& child : node->children) {
+        Box cb = Measure(child.get(), font_size);
+        Render(g, child.get(), Point{x, top_left.y + box.baseline - cb.baseline}, font_size);
+        x += cb.width;
+      }
+      return;
+    }
+    case EqNode::Kind::kFrac: {
+      Box num = Measure(node->first.get(), font_size);
+      Box den = Measure(node->second.get(), font_size);
+      int bar_y = top_left.y + box.baseline;
+      Render(g, node->first.get(),
+             Point{top_left.x + (box.width - num.width) / 2, bar_y - kFracGap - num.height},
+             font_size);
+      g->DrawLine(Point{top_left.x + 1, bar_y}, Point{top_left.x + box.width - 2, bar_y});
+      Render(g, node->second.get(),
+             Point{top_left.x + (box.width - den.width) / 2, bar_y + kFracGap + 1}, font_size);
+      return;
+    }
+    case EqNode::Kind::kScript: {
+      Box base = Measure(node->first.get(), font_size);
+      int script_size = std::max(font_size - kScriptSizeStep, kMinFontSize);
+      Render(g, node->first.get(), Point{top_left.x, top_left.y + box.baseline - base.baseline},
+             font_size);
+      int script_x = top_left.x + base.width;
+      if (node->sup != nullptr) {
+        Render(g, node->sup.get(), Point{script_x, top_left.y}, script_size);
+      }
+      if (node->sub != nullptr) {
+        Box sub = Measure(node->sub.get(), script_size);
+        Render(g, node->sub.get(),
+               Point{script_x, top_left.y + box.height - sub.height}, script_size);
+      }
+      return;
+    }
+    case EqNode::Kind::kSqrt: {
+      int surd_w = font.advance();
+      // The surd: a little check mark, then the vinculum over the argument.
+      g->DrawLine(Point{top_left.x, top_left.y + box.height * 2 / 3},
+                  Point{top_left.x + surd_w / 2, top_left.y + box.height - 1});
+      g->DrawLine(Point{top_left.x + surd_w / 2, top_left.y + box.height - 1},
+                  Point{top_left.x + surd_w, top_left.y + 1});
+      g->DrawLine(Point{top_left.x + surd_w, top_left.y + 1},
+                  Point{top_left.x + box.width - 1, top_left.y + 1});
+      Render(g, node->first.get(), Point{top_left.x + surd_w + 2, top_left.y + 3}, font_size);
+      return;
+    }
+  }
+}
+
+void EqView::FullUpdate() {
+  Graphic* g = graphic();
+  if (g == nullptr) {
+    return;
+  }
+  g->Clear();
+  EqData* data = equation();
+  if (data == nullptr) {
+    return;
+  }
+  g->SetForeground(kBlack);
+  if (!data->parse_ok() || data->root() == nullptr) {
+    g->SetFont(FontSpec{"andy", 10, kItalic});
+    g->DrawString(Point{2, 2}, data->source());
+    return;
+  }
+  Render(g, data->root(), Point{2, 2}, 12);
+}
+
+Size EqView::DesiredSize(Size available) {
+  EqData* data = equation();
+  Size desired{40, 16};
+  if (data != nullptr && data->parse_ok() && data->root() != nullptr) {
+    Box box = Measure(data->root(), 12);
+    desired = Size{box.width + 4, box.height + 4};
+  } else if (data != nullptr) {
+    desired = Size{Font::Default().StringWidth(data->source()) + 4,
+                   Font::Default().height() + 4};
+  }
+  if (available.width > 0) {
+    desired.width = std::min(desired.width, available.width);
+  }
+  if (available.height > 0) {
+    desired.height = std::min(desired.height, available.height);
+  }
+  return desired;
+}
+
+void RegisterEquationModule() {
+  static bool done = [] {
+    ModuleSpec spec;
+    spec.name = "equation";
+    spec.provides = {"eq", "eqview"};
+    spec.text_bytes = 34 * 1024;
+    spec.data_bytes = 2 * 1024;
+    spec.init = [] {
+      ClassRegistry::Instance().Register(EqData::StaticClassInfo());
+      ClassRegistry::Instance().Register(EqView::StaticClassInfo());
+      SetDefaultViewName("eq", "eqview");
+    };
+    return Loader::Instance().DeclareModule(std::move(spec));
+  }();
+  (void)done;
+}
+
+}  // namespace atk

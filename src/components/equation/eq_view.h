@@ -1,0 +1,38 @@
+// EqView — renders an EqData with recursive box layout: every node gets a
+// (width, height, baseline) box; rows align baselines, fractions stack over
+// a bar, scripts shrink one size step and shift off the baseline, radicals
+// draw the surd and a vinculum.
+
+#ifndef ATK_SRC_COMPONENTS_EQUATION_EQ_VIEW_H_
+#define ATK_SRC_COMPONENTS_EQUATION_EQ_VIEW_H_
+
+#include "src/base/view.h"
+#include "src/components/equation/eq_data.h"
+
+namespace atk {
+
+class EqView : public View {
+  ATK_DECLARE_CLASS(EqView)
+
+ public:
+  EqData* equation() const { return ObjectCast<EqData>(data_object()); }
+
+  void FullUpdate() override;
+  Size DesiredSize(Size available) override;
+
+  // Box metrics of a subtree at `font_size` (exposed for tests).
+  struct Box {
+    int width = 0;
+    int height = 0;
+    int baseline = 0;  // Distance from top to the baseline.
+  };
+  static Box Measure(const EqNode* node, int font_size);
+
+ private:
+  static void Render(Graphic* g, const EqNode* node, Point top_left, int font_size);
+  static const Font& FontFor(int font_size);
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_COMPONENTS_EQUATION_EQ_VIEW_H_

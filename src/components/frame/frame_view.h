@@ -1,0 +1,92 @@
+// FrameView — the application chrome from the paper's view-tree figure: a
+// message line across the top, a body below, and a dividing line the user
+// can drag.
+//
+// Two details from §3 are reproduced faithfully:
+//  * the frame "allocates a slightly larger area to accept mouse events"
+//    around the divider, overlapping the space of its children — possible
+//    only because parents control event disposition;
+//  * the frame (with the message line) provides the dialog-box facility the
+//    figure's footnote mentions; dialogs are modal questions answered
+//    through an injectable answer queue so headless tests can script them.
+
+#ifndef ATK_SRC_COMPONENTS_FRAME_FRAME_VIEW_H_
+#define ATK_SRC_COMPONENTS_FRAME_FRAME_VIEW_H_
+
+#include <deque>
+#include <string>
+
+#include "src/base/view.h"
+
+namespace atk {
+
+// The transient one-line message display.
+class MessageLineView : public View {
+  ATK_DECLARE_CLASS(MessageLineView)
+
+ public:
+  void SetMessage(std::string message);
+  const std::string& message() const { return message_; }
+  void FullUpdate() override;
+
+ private:
+  std::string message_;
+};
+
+class FrameView : public View {
+  ATK_DECLARE_CLASS(FrameView)
+
+ public:
+  // Half-width of the divider's grab zone (extends into the children).
+  static constexpr int kGrabSlop = 3;
+
+  FrameView();
+  ~FrameView() override;
+
+  void SetBody(View* body);
+  View* body() const { return body_; }
+  MessageLineView* message_line() { return &message_line_; }
+
+  // Transient status text (§3 figure's message line).
+  void SetMessage(const std::string& message);
+
+  // Divider position = height of the message line area.
+  int divider() const { return divider_; }
+  void SetDivider(int y);
+
+  // ---- Dialog facility ----
+  // Asks a modal question.  The answer comes from the scripted queue
+  // (PushDialogAnswer); with no scripted answer, `fallback` is returned.
+  std::string AskUser(const std::string& prompt, const std::string& fallback = "");
+  void PushDialogAnswer(std::string answer);
+  const std::string& last_prompt() const { return last_prompt_; }
+
+  // ---- Application menus ----
+  // Items the hosting application contributes (the frame sits on every
+  // focus path, so these appear regardless of which inner view has focus).
+  void AddAppMenu(const std::string& spec, const std::string& proc_name, long rock = 0);
+  void FillMenus(MenuList& menus) override { menus.Append(app_menus_); }
+
+  // ---- View protocol ----
+  void Layout() override;
+  void FullUpdate() override;
+  View* Hit(const InputEvent& event) override;
+  CursorShape CursorAt(Point local) override;
+
+ private:
+  bool InGrabZone(int y) const {
+    return y >= divider_ - kGrabSlop && y <= divider_ + kGrabSlop;
+  }
+
+  View* body_ = nullptr;
+  MessageLineView message_line_;
+  int divider_ = 18;
+  bool dragging_divider_ = false;
+  std::deque<std::string> dialog_answers_;
+  std::string last_prompt_;
+  MenuList app_menus_;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_COMPONENTS_FRAME_FRAME_VIEW_H_

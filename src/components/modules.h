@@ -1,0 +1,25 @@
+// Declaration of every component module registrar.  Each Register*Module
+// declares its loader module (idempotently); none of them *loads* anything —
+// classes stay dormant until the Loader pulls them in on demand.
+//
+// RegisterStandardModules (src/apps/standard_modules.cc) calls all of these,
+// playing the role of runapp's statically known module table.
+
+#ifndef ATK_SRC_COMPONENTS_MODULES_H_
+#define ATK_SRC_COMPONENTS_MODULES_H_
+
+namespace atk {
+
+void RegisterTextModule();
+void RegisterTableModule();
+void RegisterDrawingModule();
+void RegisterEquationModule();
+void RegisterRasterModule();
+void RegisterAnimationModule();
+void RegisterScrollModule();
+void RegisterFrameModule();
+void RegisterWidgetsModule();
+
+}  // namespace atk
+
+#endif  // ATK_SRC_COMPONENTS_MODULES_H_

@@ -1,0 +1,61 @@
+// RasterData — the 1-bit raster image component (snapshot 4 embeds one in a
+// mail message).
+//
+// The external representation follows §5's advice for binary-ish data: pure
+// 7-bit hex, and "the raster format could make sure the bits representing a
+// new row always begin on a new line" — each row is one hex line, and rows
+// are kept under 80 columns by construction for rasters up to 300 px wide.
+
+#ifndef ATK_SRC_COMPONENTS_RASTER_RASTER_DATA_H_
+#define ATK_SRC_COMPONENTS_RASTER_RASTER_DATA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/data_object.h"
+#include "src/graphics/pixel_image.h"
+
+namespace atk {
+
+class RasterData : public DataObject {
+  ATK_DECLARE_CLASS(RasterData)
+
+ public:
+  RasterData();
+  RasterData(int width, int height);
+  ~RasterData() override;
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  void Reset(int width, int height);
+  bool Get(int x, int y) const;
+  void Set(int x, int y, bool on);
+  // Batch mutation without per-pixel notification; notifies once.
+  void SetRow(int y, const std::vector<bool>& bits);
+  void Invert();
+  // Count of set bits.
+  int64_t Population() const;
+
+  // Thresholded import from an RGB image (luminance < 128 -> set).
+  void FromImage(const PixelImage& image);
+  // Renders into black/white RGB.
+  PixelImage ToImage() const;
+
+  void WriteBody(DataStreamWriter& writer) const override;
+  bool ReadBody(DataStreamReader& reader, ReadContext& context) override;
+
+ private:
+  size_t Index(int x, int y) const {
+    return static_cast<size_t>(y) * static_cast<size_t>(width_) + static_cast<size_t>(x);
+  }
+  void NotifyModified();
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<bool> bits_;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_COMPONENTS_RASTER_RASTER_DATA_H_

@@ -1,0 +1,104 @@
+#include "src/components/raster/raster_view.h"
+
+#include <algorithm>
+
+#include "src/base/default_views.h"
+#include "src/class_system/loader.h"
+
+namespace atk {
+
+ATK_DEFINE_CLASS(RasterView, View, "rasterview")
+
+int RasterView::Scale() const {
+  RasterData* data = raster();
+  if (data == nullptr || graphic() == nullptr || data->width() == 0 || data->height() == 0) {
+    return 1;
+  }
+  int sx = graphic()->width() / data->width();
+  int sy = graphic()->height() / data->height();
+  return std::max(1, std::min(sx, sy));
+}
+
+void RasterView::FullUpdate() {
+  Graphic* g = graphic();
+  if (g == nullptr) {
+    return;
+  }
+  g->Clear();
+  RasterData* data = raster();
+  if (data == nullptr) {
+    return;
+  }
+  int scale = Scale();
+  for (int y = 0; y < data->height(); ++y) {
+    for (int x = 0; x < data->width(); ++x) {
+      if (data->Get(x, y)) {
+        g->FillRect(Rect{x * scale, y * scale, scale, scale}, kBlack);
+      }
+    }
+  }
+  g->SetForeground(kGray);
+  g->DrawRect(Rect{0, 0, data->width() * scale, data->height() * scale});
+}
+
+Size RasterView::DesiredSize(Size available) {
+  RasterData* data = raster();
+  Size desired{32, 32};
+  if (data != nullptr) {
+    desired = Size{data->width(), data->height()};
+    // Prefer 2x magnification when there is room.
+    if (available.width >= data->width() * 2 && available.height >= data->height() * 2) {
+      desired = Size{data->width() * 2, data->height() * 2};
+    }
+  }
+  if (available.width > 0) {
+    desired.width = std::min(desired.width, available.width);
+  }
+  if (available.height > 0) {
+    desired.height = std::min(desired.height, available.height);
+  }
+  return desired;
+}
+
+View* RasterView::Hit(const InputEvent& event) {
+  RasterData* data = raster();
+  if (data == nullptr) {
+    return nullptr;
+  }
+  int scale = Scale();
+  int x = event.pos.x / scale;
+  int y = event.pos.y / scale;
+  switch (event.type) {
+    case EventType::kMouseDown:
+      paint_value_ = !data->Get(x, y);
+      data->Set(x, y, paint_value_);
+      RequestInputFocus();
+      return this;
+    case EventType::kMouseDrag:
+      data->Set(x, y, paint_value_);
+      return this;
+    case EventType::kMouseUp:
+      return this;
+    default:
+      return nullptr;
+  }
+}
+
+void RegisterRasterModule() {
+  static bool done = [] {
+    ModuleSpec spec;
+    spec.name = "raster";
+    spec.provides = {"raster", "rasterview"};
+    spec.text_bytes = 28 * 1024;
+    spec.data_bytes = 2 * 1024;
+    spec.init = [] {
+      ClassRegistry::Instance().Register(RasterData::StaticClassInfo());
+      ClassRegistry::Instance().Register(RasterView::StaticClassInfo());
+      SetDefaultViewName("raster", "rasterview");
+    };
+    return Loader::Instance().DeclareModule(std::move(spec));
+  }();
+  (void)done;
+}
+
+}  // namespace atk

@@ -1,0 +1,31 @@
+// RasterView — displays a RasterData, integer-scaled to its allocation, and
+// supports pixel toggling with the mouse (a minimal raster editor).
+
+#ifndef ATK_SRC_COMPONENTS_RASTER_RASTER_VIEW_H_
+#define ATK_SRC_COMPONENTS_RASTER_RASTER_VIEW_H_
+
+#include "src/base/view.h"
+#include "src/components/raster/raster_data.h"
+
+namespace atk {
+
+class RasterView : public View {
+  ATK_DECLARE_CLASS(RasterView)
+
+ public:
+  RasterData* raster() const { return ObjectCast<RasterData>(data_object()); }
+
+  void FullUpdate() override;
+  Size DesiredSize(Size available) override;
+  View* Hit(const InputEvent& event) override;
+
+  // Pixels per raster cell under the current allocation.
+  int Scale() const;
+
+ private:
+  bool paint_value_ = true;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_COMPONENTS_RASTER_RASTER_VIEW_H_

@@ -1,0 +1,109 @@
+// The chart component — §2's worked example for stable view state and
+// observer chains.
+//
+// "In the chart example, the underlying data object is a table of values...
+// the chart view would be viewing not a table data object but an auxiliary
+// chart data object.  The chart data object would retain information such as
+// axes labelling.  In addition, the chart data object would be an observer
+// of the table data object."
+//
+// ChartData holds the chart's *persistent* state (title, labels, which
+// column to plot) and observes a TableData; table changes flow
+// table -> ChartData -> chart views.  Two view classes (pie and bar) render
+// the same ChartData — §2's "two different types of views ... on the same
+// data object".
+
+#ifndef ATK_SRC_COMPONENTS_TABLE_CHART_H_
+#define ATK_SRC_COMPONENTS_TABLE_CHART_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/view.h"
+#include "src/components/table/table_data.h"
+
+namespace atk {
+
+class ChartData : public DataObject, public Observer {
+  ATK_DECLARE_CLASS(ChartData)
+
+ public:
+  ChartData();
+  ~ChartData() override;
+
+  // Observes `table`; not owned (typically a sibling embedded object).
+  void SetSource(TableData* table);
+  TableData* source() const { return source_; }
+
+  void SetTitle(std::string title);
+  const std::string& title() const { return title_; }
+  // Which columns hold the slice labels and the values.
+  void SetColumns(int label_col, int value_col);
+  int label_col() const { return label_col_; }
+  int value_col() const { return value_col_; }
+  // Row range to plot ([first, last]; last -1 = to the end).
+  void SetRowRange(int first, int last);
+
+  struct Slice {
+    std::string label;
+    double value = 0.0;
+  };
+  // Extracts the plotted series from the source table (non-positive values
+  // and missing rows are skipped for the pie; the bar view keeps zeros).
+  std::vector<Slice> Series() const;
+
+  // The table -> chart link in the observer chain.
+  void ObservedChanged(Observable* changed, const Change& change) override;
+
+  // ---- Datastream ----
+  void WriteBody(DataStreamWriter& writer) const override;
+  bool ReadBody(DataStreamReader& reader, ReadContext& context) override;
+  // Chart files reference the table by stream id; resolution needs the
+  // ReadContext, so it happens in ReadBody via \chartsource{id}.
+
+ private:
+  TableData* source_ = nullptr;
+  std::string title_;
+  int label_col_ = 0;
+  int value_col_ = 1;
+  int first_row_ = 0;
+  int last_row_ = -1;
+};
+
+// Shared painting helpers for the chart views.
+class ChartViewBase : public View {
+  ATK_DECLARE_CLASS(ChartViewBase)
+
+ public:
+  ChartData* chart() const { return ObjectCast<ChartData>(data_object()); }
+  Size DesiredSize(Size available) override;
+
+  // The plotted series.  Chart views accept either a ChartData (the §2
+  // auxiliary object with stable state) or a bare TableData directly —
+  // "one table data object and two views, a normal table view and a pie
+  // chart view" — in which case column 0 labels and column 1 values are
+  // assumed.
+  std::vector<ChartData::Slice> Series() const;
+
+ protected:
+  void DrawTitle(Graphic* g);
+  static constexpr int kTitleHeight = 12;
+};
+
+class PieChartView : public ChartViewBase {
+  ATK_DECLARE_CLASS(PieChartView)
+
+ public:
+  void FullUpdate() override;
+};
+
+class BarChartView : public ChartViewBase {
+  ATK_DECLARE_CLASS(BarChartView)
+
+ public:
+  void FullUpdate() override;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_COMPONENTS_TABLE_CHART_H_

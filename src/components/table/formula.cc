@@ -1,0 +1,534 @@
+#include "src/components/table/formula.h"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+namespace atk {
+
+bool CellRef::Parse(std::string_view text, CellRef* out) {
+  size_t i = 0;
+  int col = 0;
+  while (i < text.size() && std::isupper(static_cast<unsigned char>(text[i]))) {
+    col = col * 26 + (text[i] - 'A' + 1);
+    ++i;
+  }
+  if (i == 0 || i >= text.size()) {
+    return false;
+  }
+  int row = 0;
+  size_t digits = 0;
+  while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+    row = row * 10 + (text[i] - '0');
+    ++i;
+    ++digits;
+  }
+  if (digits == 0 || i != text.size() || row < 1) {
+    return false;
+  }
+  out->row = row - 1;
+  out->col = col - 1;
+  return true;
+}
+
+std::string CellRef::ColumnName(int col) {
+  std::string name;
+  int c = col;
+  while (c >= 0) {
+    name.insert(name.begin(), static_cast<char>('A' + c % 26));
+    c = c / 26 - 1;
+  }
+  return name;
+}
+
+std::string CellRef::ToA1() const { return ColumnName(col) + std::to_string(row + 1); }
+
+namespace {
+
+FormulaResult ErrorResult(std::string message) {
+  FormulaResult r;
+  r.error = true;
+  r.error_message = std::move(message);
+  return r;
+}
+
+class NumberExpr : public FormulaExpr {
+ public:
+  explicit NumberExpr(double v) : value_(v) {}
+  Kind kind() const override { return Kind::kNumber; }
+  FormulaResult Evaluate(const FormulaEnv&) const override {
+    FormulaResult r;
+    r.value = value_;
+    return r;
+  }
+  void CollectRefs(std::vector<CellRef>&) const override {}
+
+ private:
+  double value_;
+};
+
+class RefExpr : public FormulaExpr {
+ public:
+  explicit RefExpr(CellRef ref) : ref_(ref) {}
+  Kind kind() const override { return Kind::kRef; }
+  FormulaResult Evaluate(const FormulaEnv& env) const override {
+    if (env.has_error && env.has_error(ref_)) {
+      return ErrorResult("ref to error cell " + ref_.ToA1());
+    }
+    FormulaResult r;
+    r.value = env.value ? env.value(ref_) : 0.0;
+    return r;
+  }
+  void CollectRefs(std::vector<CellRef>& out) const override { out.push_back(ref_); }
+  CellRef ref() const { return ref_; }
+
+ private:
+  CellRef ref_;
+};
+
+class RangeExpr : public FormulaExpr {
+ public:
+  RangeExpr(CellRef a, CellRef b)
+      : top_{std::min(a.row, b.row), std::min(a.col, b.col)},
+        bottom_{std::max(a.row, b.row), std::max(a.col, b.col)} {}
+  Kind kind() const override { return Kind::kRange; }
+  FormulaResult Evaluate(const FormulaEnv&) const override {
+    return ErrorResult("range used outside a function");
+  }
+  void CollectRefs(std::vector<CellRef>& out) const override {
+    for (int r = top_.row; r <= bottom_.row; ++r) {
+      for (int c = top_.col; c <= bottom_.col; ++c) {
+        out.push_back(CellRef{r, c});
+      }
+    }
+  }
+  std::vector<CellRef> Cells() const {
+    std::vector<CellRef> cells;
+    CollectRefs(cells);
+    return cells;
+  }
+
+ private:
+  CellRef top_;
+  CellRef bottom_;
+};
+
+class UnaryMinusExpr : public FormulaExpr {
+ public:
+  explicit UnaryMinusExpr(FormulaExprPtr inner) : inner_(std::move(inner)) {}
+  Kind kind() const override { return Kind::kUnaryMinus; }
+  FormulaResult Evaluate(const FormulaEnv& env) const override {
+    FormulaResult r = inner_->Evaluate(env);
+    r.value = -r.value;
+    return r;
+  }
+  void CollectRefs(std::vector<CellRef>& out) const override { inner_->CollectRefs(out); }
+
+ private:
+  FormulaExprPtr inner_;
+};
+
+class BinaryExpr : public FormulaExpr {
+ public:
+  BinaryExpr(char op, std::string op2, FormulaExprPtr lhs, FormulaExprPtr rhs)
+      : op_(op), op2_(std::move(op2)), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  Kind kind() const override { return Kind::kBinary; }
+  FormulaResult Evaluate(const FormulaEnv& env) const override {
+    FormulaResult a = lhs_->Evaluate(env);
+    if (a.error) {
+      return a;
+    }
+    FormulaResult b = rhs_->Evaluate(env);
+    if (b.error) {
+      return b;
+    }
+    FormulaResult r;
+    if (op2_ == "<=") {
+      r.value = a.value <= b.value ? 1 : 0;
+    } else if (op2_ == ">=") {
+      r.value = a.value >= b.value ? 1 : 0;
+    } else if (op2_ == "<>") {
+      r.value = a.value != b.value ? 1 : 0;
+    } else {
+      switch (op_) {
+        case '+':
+          r.value = a.value + b.value;
+          break;
+        case '-':
+          r.value = a.value - b.value;
+          break;
+        case '*':
+          r.value = a.value * b.value;
+          break;
+        case '/':
+          if (b.value == 0.0) {
+            return ErrorResult("divide by zero");
+          }
+          r.value = a.value / b.value;
+          break;
+        case '<':
+          r.value = a.value < b.value ? 1 : 0;
+          break;
+        case '>':
+          r.value = a.value > b.value ? 1 : 0;
+          break;
+        case '=':
+          r.value = a.value == b.value ? 1 : 0;
+          break;
+        default:
+          return ErrorResult("bad operator");
+      }
+    }
+    return r;
+  }
+  void CollectRefs(std::vector<CellRef>& out) const override {
+    lhs_->CollectRefs(out);
+    rhs_->CollectRefs(out);
+  }
+
+ private:
+  char op_;
+  std::string op2_;
+  FormulaExprPtr lhs_;
+  FormulaExprPtr rhs_;
+};
+
+class CallExpr : public FormulaExpr {
+ public:
+  CallExpr(std::string name, std::vector<FormulaExprPtr> args)
+      : name_(std::move(name)), args_(std::move(args)) {}
+  Kind kind() const override { return Kind::kCall; }
+
+  FormulaResult Evaluate(const FormulaEnv& env) const override {
+    if (name_ == "IF") {
+      if (args_.size() != 3) {
+        return ErrorResult("IF needs 3 arguments");
+      }
+      FormulaResult cond = args_[0]->Evaluate(env);
+      if (cond.error) {
+        return cond;
+      }
+      return args_[cond.value != 0.0 ? 1 : 2]->Evaluate(env);
+    }
+    if (name_ == "ABS" || name_ == "SQRT") {
+      if (args_.size() != 1) {
+        return ErrorResult(name_ + " needs 1 argument");
+      }
+      FormulaResult a = args_[0]->Evaluate(env);
+      if (a.error) {
+        return a;
+      }
+      if (name_ == "ABS") {
+        a.value = std::fabs(a.value);
+      } else {
+        if (a.value < 0) {
+          return ErrorResult("SQRT of negative");
+        }
+        a.value = std::sqrt(a.value);
+      }
+      return a;
+    }
+    // Aggregates over scalars and ranges.
+    std::vector<double> values;
+    for (const FormulaExprPtr& arg : args_) {
+      if (arg->kind() == Kind::kRange) {
+        const auto* range = static_cast<const RangeExpr*>(arg.get());
+        for (CellRef ref : range->Cells()) {
+          if (env.has_error && env.has_error(ref)) {
+            return ErrorResult("range includes error cell " + ref.ToA1());
+          }
+          values.push_back(env.value ? env.value(ref) : 0.0);
+        }
+      } else {
+        FormulaResult a = arg->Evaluate(env);
+        if (a.error) {
+          return a;
+        }
+        values.push_back(a.value);
+      }
+    }
+    FormulaResult r;
+    if (name_ == "COUNT") {
+      r.value = static_cast<double>(values.size());
+      return r;
+    }
+    if (values.empty()) {
+      return ErrorResult(name_ + " of nothing");
+    }
+    if (name_ == "SUM" || name_ == "AVG") {
+      for (double v : values) {
+        r.value += v;
+      }
+      if (name_ == "AVG") {
+        r.value /= static_cast<double>(values.size());
+      }
+      return r;
+    }
+    if (name_ == "MIN" || name_ == "MAX") {
+      r.value = values[0];
+      for (double v : values) {
+        r.value = name_ == "MIN" ? std::min(r.value, v) : std::max(r.value, v);
+      }
+      return r;
+    }
+    return ErrorResult("unknown function " + name_);
+  }
+
+  void CollectRefs(std::vector<CellRef>& out) const override {
+    for (const FormulaExprPtr& arg : args_) {
+      arg->CollectRefs(out);
+    }
+  }
+
+ private:
+  std::string name_;
+  std::vector<FormulaExprPtr> args_;
+};
+
+// ---- Parser ------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : src_(src) {}
+
+  ParsedFormula Parse() {
+    ParsedFormula result;
+    result.expr = ParseCmp();
+    SkipSpace();
+    if (result.expr == nullptr) {
+      result.error = error_.empty() ? "syntax error" : error_;
+      return result;
+    }
+    if (pos_ != src_.size()) {
+      result.error = "trailing characters at offset " + std::to_string(pos_);
+      result.expr.reset();
+      return result;
+    }
+    result.ok = true;
+    return result;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < src_.size() && src_[pos_] == ' ') {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char ch) {
+    SkipSpace();
+    if (pos_ < src_.size() && src_[pos_] == ch) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char PeekChar() {
+    SkipSpace();
+    return pos_ < src_.size() ? src_[pos_] : '\0';
+  }
+
+  FormulaExprPtr Fail(std::string message) {
+    if (error_.empty()) {
+      error_ = std::move(message);
+    }
+    return nullptr;
+  }
+
+  FormulaExprPtr ParseCmp() {
+    FormulaExprPtr lhs = ParseSum();
+    if (lhs == nullptr) {
+      return nullptr;
+    }
+    SkipSpace();
+    if (pos_ < src_.size()) {
+      char ch = src_[pos_];
+      if (ch == '<' || ch == '>' || ch == '=') {
+        std::string op2;
+        ++pos_;
+        if (ch == '<' && pos_ < src_.size() && (src_[pos_] == '=' || src_[pos_] == '>')) {
+          op2 = std::string("<") + src_[pos_];
+          ++pos_;
+        } else if (ch == '>' && pos_ < src_.size() && src_[pos_] == '=') {
+          op2 = ">=";
+          ++pos_;
+        }
+        FormulaExprPtr rhs = ParseSum();
+        if (rhs == nullptr) {
+          return Fail("expected expression after comparison");
+        }
+        return std::make_unique<BinaryExpr>(ch, op2, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  FormulaExprPtr ParseSum() {
+    FormulaExprPtr lhs = ParseProduct();
+    while (lhs != nullptr) {
+      SkipSpace();
+      if (pos_ < src_.size() && (src_[pos_] == '+' || src_[pos_] == '-')) {
+        char op = src_[pos_++];
+        FormulaExprPtr rhs = ParseProduct();
+        if (rhs == nullptr) {
+          return Fail("expected term after operator");
+        }
+        lhs = std::make_unique<BinaryExpr>(op, "", std::move(lhs), std::move(rhs));
+      } else {
+        break;
+      }
+    }
+    return lhs;
+  }
+
+  FormulaExprPtr ParseProduct() {
+    FormulaExprPtr lhs = ParseUnary();
+    while (lhs != nullptr) {
+      SkipSpace();
+      if (pos_ < src_.size() && (src_[pos_] == '*' || src_[pos_] == '/')) {
+        char op = src_[pos_++];
+        FormulaExprPtr rhs = ParseUnary();
+        if (rhs == nullptr) {
+          return Fail("expected factor after operator");
+        }
+        lhs = std::make_unique<BinaryExpr>(op, "", std::move(lhs), std::move(rhs));
+      } else {
+        break;
+      }
+    }
+    return lhs;
+  }
+
+  FormulaExprPtr ParseUnary() {
+    if (Eat('-')) {
+      FormulaExprPtr inner = ParseUnary();
+      if (inner == nullptr) {
+        return Fail("expected expression after '-'");
+      }
+      return std::make_unique<UnaryMinusExpr>(std::move(inner));
+    }
+    return ParsePrimary();
+  }
+
+  FormulaExprPtr ParsePrimary() {
+    SkipSpace();
+    if (pos_ >= src_.size()) {
+      return Fail("unexpected end of formula");
+    }
+    char ch = src_[pos_];
+    if (ch == '(') {
+      ++pos_;
+      FormulaExprPtr inner = ParseCmp();
+      if (inner == nullptr || !Eat(')')) {
+        return Fail("unbalanced parenthesis");
+      }
+      return inner;
+    }
+    if (std::isdigit(static_cast<unsigned char>(ch)) || ch == '.') {
+      return ParseNumber();
+    }
+    if (std::isupper(static_cast<unsigned char>(ch))) {
+      return ParseRefOrCall();
+    }
+    return Fail(std::string("unexpected character '") + ch + "'");
+  }
+
+  FormulaExprPtr ParseNumber() {
+    size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (std::isdigit(static_cast<unsigned char>(src_[pos_])) || src_[pos_] == '.')) {
+      ++pos_;
+    }
+    try {
+      return std::make_unique<NumberExpr>(std::stod(std::string(src_.substr(start, pos_ - start))));
+    } catch (...) {
+      return Fail("bad number");
+    }
+  }
+
+  FormulaExprPtr ParseRefOrCall() {
+    size_t start = pos_;
+    while (pos_ < src_.size() && std::isupper(static_cast<unsigned char>(src_[pos_]))) {
+      ++pos_;
+    }
+    std::string word(src_.substr(start, pos_ - start));
+    // Function call?
+    if (PeekChar() == '(' &&
+        (word == "SUM" || word == "AVG" || word == "MIN" || word == "MAX" ||
+         word == "COUNT" || word == "IF" || word == "ABS" || word == "SQRT")) {
+      Eat('(');
+      std::vector<FormulaExprPtr> args;
+      if (PeekChar() != ')') {
+        while (true) {
+          FormulaExprPtr arg = ParseArg();
+          if (arg == nullptr) {
+            return Fail("bad argument to " + word);
+          }
+          args.push_back(std::move(arg));
+          if (!Eat(',')) {
+            break;
+          }
+        }
+      }
+      if (!Eat(')')) {
+        return Fail("missing ')' after " + word);
+      }
+      return std::make_unique<CallExpr>(word, std::move(args));
+    }
+    // Cell reference: letters already consumed, digits follow.
+    while (pos_ < src_.size() && std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+      ++pos_;
+    }
+    CellRef ref;
+    if (!CellRef::Parse(src_.substr(start, pos_ - start), &ref)) {
+      return Fail("bad cell reference '" + word + "'");
+    }
+    return std::make_unique<RefExpr>(ref);
+  }
+
+  // An argument may be a range (A1:B3) or a plain expression.
+  FormulaExprPtr ParseArg() {
+    SkipSpace();
+    size_t save = pos_;
+    // Try REF ':' REF first.
+    if (pos_ < src_.size() && std::isupper(static_cast<unsigned char>(src_[pos_]))) {
+      size_t start = pos_;
+      while (pos_ < src_.size() && std::isupper(static_cast<unsigned char>(src_[pos_]))) {
+        ++pos_;
+      }
+      while (pos_ < src_.size() && std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+        ++pos_;
+      }
+      CellRef a;
+      if (CellRef::Parse(src_.substr(start, pos_ - start), &a) && PeekChar() == ':') {
+        Eat(':');
+        SkipSpace();
+        size_t bstart = pos_;
+        while (pos_ < src_.size() && std::isupper(static_cast<unsigned char>(src_[pos_]))) {
+          ++pos_;
+        }
+        while (pos_ < src_.size() && std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+          ++pos_;
+        }
+        CellRef b;
+        if (CellRef::Parse(src_.substr(bstart, pos_ - bstart), &b)) {
+          return std::make_unique<RangeExpr>(a, b);
+        }
+        return Fail("bad range");
+      }
+    }
+    pos_ = save;
+    return ParseCmp();
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+ParsedFormula ParseFormula(std::string_view source) { return Parser(source).Parse(); }
+
+}  // namespace atk

@@ -1,0 +1,79 @@
+// The spreadsheet formula engine behind the table component (§1 lists
+// "tables, spreadsheets" among the toolkit components; snapshot 5 shows
+// Pascal's Triangle implemented "using the spreadsheet facilities of the
+// table object").
+//
+// Grammar (A1-style references):
+//   expr    := cmp
+//   cmp     := sum (('<'|'>'|'<='|'>='|'='|'<>') sum)?
+//   sum     := product (('+'|'-') product)*
+//   product := unary (('*'|'/') unary)*
+//   unary   := '-' unary | primary
+//   primary := NUMBER | REF | FUNC '(' args ')' | '(' expr ')'
+//   FUNC    := SUM | AVG | MIN | MAX | COUNT | IF | ABS | SQRT
+//   args    := (expr | RANGE) (',' (expr | RANGE))*
+//   REF     := [A-Z]+[0-9]+        RANGE := REF ':' REF
+
+#ifndef ATK_SRC_COMPONENTS_TABLE_FORMULA_H_
+#define ATK_SRC_COMPONENTS_TABLE_FORMULA_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace atk {
+
+struct CellRef {
+  int row = 0;
+  int col = 0;
+  friend bool operator==(const CellRef&, const CellRef&) = default;
+  friend auto operator<=>(const CellRef&, const CellRef&) = default;
+
+  // "B3" -> {row 2, col 1}.  Returns false on malformed input.
+  static bool Parse(std::string_view text, CellRef* out);
+  std::string ToA1() const;
+  // Column name: 0 -> "A", 25 -> "Z", 26 -> "AA".
+  static std::string ColumnName(int col);
+};
+
+class FormulaExpr;
+using FormulaExprPtr = std::unique_ptr<FormulaExpr>;
+
+// The value-lookup callback: the table supplies cell values during
+// evaluation (and reports whether the referenced cell is in error).
+struct FormulaEnv {
+  std::function<double(CellRef)> value;
+  std::function<bool(CellRef)> has_error;
+};
+
+struct FormulaResult {
+  double value = 0.0;
+  bool error = false;
+  std::string error_message;
+};
+
+class FormulaExpr {
+ public:
+  enum class Kind { kNumber, kRef, kRange, kBinary, kUnaryMinus, kCall };
+
+  virtual ~FormulaExpr() = default;
+  virtual Kind kind() const = 0;
+  virtual FormulaResult Evaluate(const FormulaEnv& env) const = 0;
+  // Appends every cell this expression reads (ranges expanded).
+  virtual void CollectRefs(std::vector<CellRef>& out) const = 0;
+};
+
+struct ParsedFormula {
+  FormulaExprPtr expr;
+  bool ok = false;
+  std::string error;  // Parse diagnostic when !ok.
+};
+
+// Parses formula source *without* the leading '='.
+ParsedFormula ParseFormula(std::string_view source);
+
+}  // namespace atk
+
+#endif  // ATK_SRC_COMPONENTS_TABLE_FORMULA_H_

@@ -1,0 +1,73 @@
+// Loader module for the table/spreadsheet/chart component.
+
+#include "src/base/default_views.h"
+#include "src/base/proctable.h"
+#include "src/class_system/loader.h"
+#include "src/components/table/chart.h"
+#include "src/components/table/table_view.h"
+
+namespace atk {
+namespace {
+
+void RegisterTableProcs() {
+  ProcTable& procs = ProcTable::Instance();
+  auto with_table = [](void (*fn)(TableView*)) {
+    return [fn](View* view, long) {
+      if (TableView* tv = ObjectCast<TableView>(view)) {
+        fn(tv);
+      }
+    };
+  };
+  procs.Register("tableview-insert-row", with_table([](TableView* tv) {
+                   if (tv->table() != nullptr) {
+                     tv->table()->InsertRow(tv->selected_row());
+                   }
+                 }));
+  procs.Register("tableview-delete-row", with_table([](TableView* tv) {
+                   if (tv->table() != nullptr) {
+                     tv->table()->DeleteRow(tv->selected_row());
+                   }
+                 }));
+  procs.Register("tableview-insert-col", with_table([](TableView* tv) {
+                   if (tv->table() != nullptr) {
+                     tv->table()->InsertCol(tv->selected_col());
+                   }
+                 }));
+  procs.Register("tableview-delete-col", with_table([](TableView* tv) {
+                   if (tv->table() != nullptr) {
+                     tv->table()->DeleteCol(tv->selected_col());
+                   }
+                 }));
+  procs.Register("tableview-recalculate", with_table([](TableView* tv) {
+                   if (tv->table() != nullptr) {
+                     tv->table()->Recalculate();
+                   }
+                 }));
+}
+
+}  // namespace
+
+void RegisterTableModule() {
+  static bool done = [] {
+    ModuleSpec spec;
+    spec.name = "table";
+    spec.provides = {"table", "tableview", "spread", "chart", "piechartview", "barchartview"};
+    spec.text_bytes = 90 * 1024;
+    spec.data_bytes = 6 * 1024;
+    spec.init = [] {
+      ClassRegistry::Instance().Register(TableData::StaticClassInfo());
+      ClassRegistry::Instance().Register(TableView::StaticClassInfo());
+      ClassRegistry::Instance().Register(SpreadView::StaticClassInfo());
+      ClassRegistry::Instance().Register(ChartData::StaticClassInfo());
+      ClassRegistry::Instance().Register(PieChartView::StaticClassInfo());
+      ClassRegistry::Instance().Register(BarChartView::StaticClassInfo());
+      SetDefaultViewName("table", "spread");
+      SetDefaultViewName("chart", "piechartview");
+      RegisterTableProcs();
+    };
+    return Loader::Instance().DeclareModule(std::move(spec));
+  }();
+  (void)done;
+}
+
+}  // namespace atk

@@ -1,0 +1,87 @@
+#include "src/components/text/gap_buffer.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace atk {
+
+void GapBuffer::MoveGapTo(size_t pos) {
+  if (pos == gap_start_) {
+    return;
+  }
+  size_t gap_len = gap_end_ - gap_start_;
+  if (pos < gap_start_) {
+    size_t count = gap_start_ - pos;
+    std::memmove(&buffer_[pos + gap_len], &buffer_[pos], count);
+  } else {
+    size_t count = pos - gap_start_;
+    std::memmove(&buffer_[gap_start_], &buffer_[gap_end_], count);
+  }
+  gap_start_ = pos;
+  gap_end_ = pos + gap_len;
+}
+
+void GapBuffer::GrowGap(size_t needed) {
+  size_t gap_len = gap_end_ - gap_start_;
+  if (gap_len >= needed) {
+    return;
+  }
+  size_t old_size = buffer_.size();
+  size_t new_size = std::max(old_size * 2, old_size + needed);
+  size_t tail_len = old_size - gap_end_;
+  buffer_.resize(new_size);
+  std::memmove(&buffer_[new_size - tail_len], &buffer_[gap_end_], tail_len);
+  gap_end_ = new_size - tail_len;
+}
+
+void GapBuffer::Insert(int64_t pos, std::string_view text) {
+  if (pos < 0 || pos > size() || text.empty()) {
+    return;
+  }
+  GrowGap(text.size());
+  MoveGapTo(static_cast<size_t>(pos));
+  std::memcpy(&buffer_[gap_start_], text.data(), text.size());
+  gap_start_ += text.size();
+}
+
+void GapBuffer::Delete(int64_t pos, int64_t len) {
+  if (pos < 0 || len <= 0 || pos >= size()) {
+    return;
+  }
+  len = std::min(len, size() - pos);
+  MoveGapTo(static_cast<size_t>(pos));
+  gap_end_ += static_cast<size_t>(len);
+}
+
+std::string GapBuffer::Substr(int64_t pos, int64_t len) const {
+  if (pos < 0 || len <= 0 || pos >= size()) {
+    return "";
+  }
+  len = std::min(len, size() - pos);
+  std::string out;
+  out.reserve(static_cast<size_t>(len));
+  for (int64_t i = 0; i < len; ++i) {
+    out += At(pos + i);
+  }
+  return out;
+}
+
+int64_t GapBuffer::Find(char ch, int64_t pos) const {
+  for (int64_t i = std::max<int64_t>(pos, 0); i < size(); ++i) {
+    if (At(i) == ch) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+int64_t GapBuffer::RFind(char ch, int64_t pos) const {
+  for (int64_t i = std::min(pos, size()) - 1; i >= 0; --i) {
+    if (At(i) == ch) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+}  // namespace atk

@@ -1,0 +1,57 @@
+// A classic gap buffer: the text storage under the text component.  Editing
+// near the gap is O(1) amortized; moving the cursor far away pays one
+// memmove.  This is the same structure the original ATK text object used.
+
+#ifndef ATK_SRC_COMPONENTS_TEXT_GAP_BUFFER_H_
+#define ATK_SRC_COMPONENTS_TEXT_GAP_BUFFER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace atk {
+
+class GapBuffer {
+ public:
+  GapBuffer() : buffer_(kInitialCapacity), gap_start_(0), gap_end_(kInitialCapacity) {}
+
+  int64_t size() const {
+    return static_cast<int64_t>(buffer_.size() - (gap_end_ - gap_start_));
+  }
+  bool empty() const { return size() == 0; }
+
+  char At(int64_t pos) const {
+    size_t p = static_cast<size_t>(pos);
+    return buffer_[p < gap_start_ ? p : p + (gap_end_ - gap_start_)];
+  }
+
+  void Insert(int64_t pos, std::string_view text);
+  void Delete(int64_t pos, int64_t len);
+
+  std::string Substr(int64_t pos, int64_t len) const;
+  std::string All() const { return Substr(0, size()); }
+
+  // Position of the next/previous occurrence of `ch` at or after / strictly
+  // before `pos`; -1 when absent.
+  int64_t Find(char ch, int64_t pos) const;
+  int64_t RFind(char ch, int64_t pos) const;
+
+  // Where the gap currently sits (exposed for tests and the bench).
+  int64_t gap_position() const { return static_cast<int64_t>(gap_start_); }
+  size_t capacity() const { return buffer_.size(); }
+
+ private:
+  static constexpr size_t kInitialCapacity = 64;
+
+  void MoveGapTo(size_t pos);
+  void GrowGap(size_t needed);
+
+  std::vector<char> buffer_;
+  size_t gap_start_;
+  size_t gap_end_;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_COMPONENTS_TEXT_GAP_BUFFER_H_

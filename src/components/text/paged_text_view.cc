@@ -1,0 +1,94 @@
+#include "src/components/text/paged_text_view.h"
+
+#include <algorithm>
+#include <string>
+
+namespace atk {
+
+ATK_DEFINE_CLASS(PagedTextView, TextView, "pagedtextview")
+
+PagedTextView::PagedTextView() {
+  margin_x_ = kSheetInset + kPaperMargin;
+  margin_y_ = kSheetInset + kPaperMargin;
+  draw_background_ = false;  // We paint the desk + sheet ourselves.
+}
+
+Rect PagedTextView::SheetRect() const {
+  if (graphic() == nullptr) {
+    return Rect{};
+  }
+  return graphic()->LocalBounds().Inset(kSheetInset);
+}
+
+void PagedTextView::Layout() { TextView::Layout(); }
+
+int PagedTextView::PageCount() {
+  TextData* data = text();
+  if (data == nullptr || graphic() == nullptr) {
+    return 1;
+  }
+  EnsureLayout();
+  int lines_per_page = std::max(1, visible_line_count());
+  int64_t total_lines = data->LineCount();
+  return static_cast<int>((total_lines + lines_per_page - 1) / lines_per_page);
+}
+
+void PagedTextView::FullUpdate() {
+  Graphic* g = graphic();
+  if (g == nullptr) {
+    return;
+  }
+  // Desk background and the paper sheet.
+  g->FillRect(g->LocalBounds(), kLightGray);
+  Rect sheet = SheetRect();
+  g->FillRect(sheet, kWhite);
+  g->SetForeground(kDarkGray);
+  g->DrawRect(sheet);
+  // Drop shadow along the right/bottom edges.
+  g->FillRect(Rect{sheet.right(), sheet.top() + 3, 2, sheet.height}, kDarkGray);
+  g->FillRect(Rect{sheet.left() + 3, sheet.bottom(), sheet.width, 2}, kDarkGray);
+
+  // Content, using the TextView engine (margins already inset to the paper).
+  g->SetForeground(kBlack);
+  TextView::FullUpdate();
+
+  // Page indicator in the desk margin.
+  TextData* data = text();
+  if (data != nullptr) {
+    current_page_ = 0;
+    int lines_per_page = std::max(1, visible_line_count());
+    current_page_ = static_cast<int>(data->LineOfPos(top_pos()) / lines_per_page);
+    std::string label =
+        "page " + std::to_string(current_page_ + 1) + "/" + std::to_string(PageCount());
+    g->SetFont(FontSpec{"andy", 10, kPlain});
+    g->SetForeground(kDarkGray);
+    g->DrawString(Point{kSheetInset, g->height() - kSheetInset + 1}, label);
+  }
+}
+
+void PagedTextView::PrintDocument(PrintJob& job) {
+  TextData* data = text();
+  if (data == nullptr) {
+    return;
+  }
+  // §4's mechanism: repoint the drawable at printer pages and redraw until
+  // the whole document has been emitted.
+  int64_t saved_top = top_pos();
+  ScrollToUnit(0);
+  int64_t last_top_line = -1;
+  while (true) {
+    Graphic* page = job.NewPage();
+    AllocateRoot(page);
+    RenderSubtree(*this);
+    ScrollInfo info = GetScrollInfo();
+    int64_t next = info.first_visible + info.visible;
+    if (next >= info.total || info.first_visible == last_top_line) {
+      break;
+    }
+    last_top_line = info.first_visible;
+    ScrollToUnit(next);
+  }
+  ScrollToUnit(data->LineOfPos(saved_top));
+}
+
+}  // namespace atk

@@ -1,0 +1,51 @@
+// PagedTextView — the paper-based WYSIWYG view promised in §2.
+//
+// "In this case we plan on providing a full WYSIWYG text view.  This
+// paper-based text view will be designed to use the same text data object."
+// This class is exactly that second view type: it shares TextData (and the
+// layout engine) with TextView, but presents the content as a printed page —
+// a centered sheet with paper margins and a page indicator — and can render
+// the whole document across the pages of a PrintJob.  One window can show a
+// TextView and the other a PagedTextView on the same data object, with edits
+// reflected in both (§2's two-window scenario; tested in the integration
+// suite).
+
+#ifndef ATK_SRC_COMPONENTS_TEXT_PAGED_TEXT_VIEW_H_
+#define ATK_SRC_COMPONENTS_TEXT_PAGED_TEXT_VIEW_H_
+
+#include "src/components/text/text_view.h"
+#include "src/wm/printer.h"
+
+namespace atk {
+
+class PagedTextView : public TextView {
+  ATK_DECLARE_CLASS(PagedTextView)
+
+ public:
+  PagedTextView();
+
+  // Sheet geometry within the view.
+  static constexpr int kSheetInset = 10;   // Gray desk border around the sheet.
+  static constexpr int kPaperMargin = 18;  // White paper margin inside the sheet.
+
+  void FullUpdate() override;
+  void Layout() override;
+
+  // The page currently shown (0-based), derived from the scroll position and
+  // a fixed lines-per-page estimate.
+  int current_page() const { return current_page_; }
+  // Document page count under the current geometry.
+  int PageCount();
+
+  // Renders the whole document onto consecutive pages of `job` — the §4
+  // printing path (repoint the drawable, redraw).
+  void PrintDocument(PrintJob& job);
+
+ private:
+  Rect SheetRect() const;
+  int current_page_ = 0;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_COMPONENTS_TEXT_PAGED_TEXT_VIEW_H_

@@ -1,0 +1,163 @@
+#include "src/components/text/style.h"
+
+#include <sstream>
+
+namespace atk {
+namespace {
+
+const char* JustifyName(Justification j) {
+  switch (j) {
+    case Justification::kLeft:
+      return "left";
+    case Justification::kCenter:
+      return "center";
+    case Justification::kRight:
+      return "right";
+  }
+  return "left";
+}
+
+Justification JustifyFromName(std::string_view name) {
+  if (name == "center") {
+    return Justification::kCenter;
+  }
+  if (name == "right") {
+    return Justification::kRight;
+  }
+  return Justification::kLeft;
+}
+
+bool IsStandardStyleName(std::string_view name) {
+  return name == "default" || name == "bold" || name == "italic" || name == "bolditalic" ||
+         name == "heading" || name == "subheading" || name == "typewriter" ||
+         name == "center" || name == "quotation";
+}
+
+}  // namespace
+
+std::string Style::Serialize() const {
+  std::ostringstream out;
+  out << "font=" << font.ToString() << ";indent=" << indent_left << ";above=" << space_above
+      << ";justify=" << JustifyName(justify);
+  return out.str();
+}
+
+Style Style::Deserialize(std::string_view name, std::string_view serialized) {
+  Style style;
+  style.name = std::string(name);
+  size_t pos = 0;
+  while (pos < serialized.size()) {
+    size_t semi = serialized.find(';', pos);
+    std::string_view field = serialized.substr(
+        pos, semi == std::string_view::npos ? std::string_view::npos : semi - pos);
+    size_t eq = field.find('=');
+    if (eq != std::string_view::npos) {
+      std::string_view key = field.substr(0, eq);
+      std::string_view value = field.substr(eq + 1);
+      if (key == "font") {
+        style.font = FontSpec::Parse(value);
+      } else if (key == "indent") {
+        style.indent_left = std::atoi(std::string(value).c_str());
+      } else if (key == "above") {
+        style.space_above = std::atoi(std::string(value).c_str());
+      } else if (key == "justify") {
+        style.justify = JustifyFromName(value);
+      }
+    }
+    if (semi == std::string_view::npos) {
+      break;
+    }
+    pos = semi + 1;
+  }
+  return style;
+}
+
+StyleSheet StyleSheet::WithStandardStyles() {
+  StyleSheet sheet;
+  Style def;
+  sheet.Define(def);
+
+  Style bold = def;
+  bold.name = "bold";
+  bold.font.style = kBold;
+  sheet.Define(bold);
+
+  Style italic = def;
+  italic.name = "italic";
+  italic.font.style = kItalic;
+  sheet.Define(italic);
+
+  Style bolditalic = def;
+  bolditalic.name = "bolditalic";
+  bolditalic.font.style = kBold | kItalic;
+  sheet.Define(bolditalic);
+
+  Style heading = def;
+  heading.name = "heading";
+  heading.font.size = 20;
+  heading.font.style = kBold;
+  heading.space_above = 6;
+  sheet.Define(heading);
+
+  Style subheading = def;
+  subheading.name = "subheading";
+  subheading.font.size = 14;
+  subheading.font.style = kBold;
+  subheading.space_above = 4;
+  sheet.Define(subheading);
+
+  Style typewriter = def;
+  typewriter.name = "typewriter";
+  typewriter.font.family = "andytype";
+  sheet.Define(typewriter);
+
+  Style center = def;
+  center.name = "center";
+  center.justify = Justification::kCenter;
+  sheet.Define(center);
+
+  Style quotation = def;
+  quotation.name = "quotation";
+  quotation.font.style = kItalic;
+  quotation.indent_left = 16;
+  sheet.Define(quotation);
+  return sheet;
+}
+
+void StyleSheet::Define(const Style& style) {
+  styles_[style.name] = style;
+  if (style.name == "default") {
+    default_style_ = style;
+  }
+}
+
+const Style& StyleSheet::Get(std::string_view name) const {
+  auto it = styles_.find(name);
+  return it == styles_.end() ? default_style_ : it->second;
+}
+
+bool StyleSheet::Contains(std::string_view name) const {
+  return styles_.find(name) != styles_.end();
+}
+
+std::vector<const Style*> StyleSheet::CustomStyles() const {
+  static const StyleSheet* standard = new StyleSheet(WithStandardStyles());
+  std::vector<const Style*> custom;
+  for (const auto& [name, style] : styles_) {
+    if (!IsStandardStyleName(name) || !(style == standard->Get(name))) {
+      custom.push_back(&style);
+    }
+  }
+  return custom;
+}
+
+std::vector<std::string> StyleSheet::Names() const {
+  std::vector<std::string> names;
+  names.reserve(styles_.size());
+  for (const auto& [name, style] : styles_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace atk

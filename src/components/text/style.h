@@ -1,0 +1,67 @@
+// Text styles and style sheets.
+//
+// The text component is "multi-font text ... with multiple fonts,
+// indentations, etc." (§2).  A Style names a bundle of appearance
+// attributes; a StyleSheet maps style names to Styles.  Text data carries
+// (start, len, style-name) runs; the view resolves names through the sheet
+// at layout time, so restyling a sheet restyles every document using it.
+
+#ifndef ATK_SRC_COMPONENTS_TEXT_STYLE_H_
+#define ATK_SRC_COMPONENTS_TEXT_STYLE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/graphics/color.h"
+#include "src/graphics/font.h"
+
+namespace atk {
+
+enum class Justification {
+  kLeft,
+  kCenter,
+  kRight,
+};
+
+struct Style {
+  std::string name = "default";
+  FontSpec font;
+  int indent_left = 0;   // Pixels of left indentation for wrapped lines.
+  int space_above = 0;   // Extra pixels above each line in this style.
+  Justification justify = Justification::kLeft;
+  Color color = kBlack;
+
+  friend bool operator==(const Style&, const Style&) = default;
+
+  // Serialized form "font=andy12b;indent=8;above=2;justify=center".
+  std::string Serialize() const;
+  static Style Deserialize(std::string_view name, std::string_view serialized);
+};
+
+class StyleSheet {
+ public:
+  // A sheet pre-populated with the standard Andrew styles: default, bold,
+  // italic, bolditalic, heading, subheading, typewriter, center, quotation.
+  static StyleSheet WithStandardStyles();
+
+  void Define(const Style& style);
+  // Resolves `name`; unknown names resolve to "default".
+  const Style& Get(std::string_view name) const;
+  bool Contains(std::string_view name) const;
+
+  // Styles that must be serialized with documents: non-standard names plus
+  // any standard style whose definition was edited (e.g. by the style
+  // editor).
+  std::vector<const Style*> CustomStyles() const;
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, Style, std::less<>> styles_;
+  Style default_style_;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_COMPONENTS_TEXT_STYLE_H_

@@ -1,0 +1,368 @@
+#include "src/components/text/text_data.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/base/default_views.h"
+
+namespace atk {
+
+ATK_DEFINE_CLASS(TextData, DataObject, "text")
+
+TextData::TextData() : styles_(StyleSheet::WithStandardStyles()) {}
+
+TextData::~TextData() = default;
+
+static int64_t CountNewlines(std::string_view text) {
+  return std::count(text.begin(), text.end(), '\n');
+}
+
+void TextData::InsertString(int64_t pos, std::string_view text) {
+  if (pos < 0 || pos > size() || text.empty()) {
+    return;
+  }
+  buffer_.Insert(pos, text);
+  newline_count_ += CountNewlines(text);
+  AdjustForInsert(pos, static_cast<int64_t>(text.size()));
+  Change change;
+  change.kind = Change::Kind::kInserted;
+  change.pos = pos;
+  change.added = static_cast<int64_t>(text.size());
+  NotifyObservers(change);
+}
+
+void TextData::DeleteRange(int64_t pos, int64_t len) {
+  if (pos < 0 || len <= 0 || pos >= size()) {
+    return;
+  }
+  len = std::min(len, size() - pos);
+  newline_count_ -= CountNewlines(buffer_.Substr(pos, len));
+  buffer_.Delete(pos, len);
+  AdjustForDelete(pos, len);
+  Change change;
+  change.kind = Change::Kind::kDeleted;
+  change.pos = pos;
+  change.removed = len;
+  NotifyObservers(change);
+}
+
+void TextData::Clear() { DeleteRange(0, size()); }
+
+void TextData::SetText(std::string_view text) {
+  if (size() > 0) {
+    newline_count_ = 0;
+    buffer_.Delete(0, size());
+    embedded_.clear();
+    runs_.clear();
+  }
+  buffer_.Insert(0, text);
+  newline_count_ = CountNewlines(text);
+  Change change;
+  change.kind = Change::Kind::kModified;
+  NotifyObservers(change);
+}
+
+DataObject* TextData::InsertObject(int64_t pos, std::unique_ptr<DataObject> data,
+                                   std::string_view view_type) {
+  return InsertSharedObject(pos, std::shared_ptr<DataObject>(std::move(data)), view_type);
+}
+
+DataObject* TextData::InsertSharedObject(int64_t pos, std::shared_ptr<DataObject> data,
+                                         std::string_view view_type) {
+  if (data == nullptr || pos < 0 || pos > size()) {
+    return nullptr;
+  }
+  DataObject* raw = data.get();
+  std::string view =
+      view_type.empty() ? DefaultViewName(data->DataTypeName()) : std::string(view_type);
+  buffer_.Insert(pos, std::string_view(&kObjectChar, 1));
+  AdjustForInsert(pos, 1);
+  EmbeddedObject embedded;
+  embedded.pos = pos;
+  embedded.data = std::move(data);
+  embedded.view_type = std::move(view);
+  embedded.anchor_id = next_anchor_id_++;
+  auto it = std::lower_bound(embedded_.begin(), embedded_.end(), pos,
+                             [](const EmbeddedObject& e, int64_t p) { return e.pos < p; });
+  embedded_.insert(it, std::move(embedded));
+  Change change;
+  change.kind = Change::Kind::kInserted;
+  change.pos = pos;
+  change.added = 1;
+  NotifyObservers(change);
+  return raw;
+}
+
+const TextData::EmbeddedObject* TextData::EmbeddedAt(int64_t pos) const {
+  auto it = std::lower_bound(embedded_.begin(), embedded_.end(), pos,
+                             [](const EmbeddedObject& e, int64_t p) { return e.pos < p; });
+  if (it != embedded_.end() && it->pos == pos) {
+    return &*it;
+  }
+  return nullptr;
+}
+
+void TextData::AdjustForInsert(int64_t pos, int64_t len) {
+  for (EmbeddedObject& e : embedded_) {
+    if (e.pos >= pos) {
+      e.pos += len;
+    }
+  }
+  for (StyleRun& run : runs_) {
+    if (pos <= run.pos) {
+      run.pos += len;
+    } else if (pos < run.pos + run.len) {
+      run.len += len;  // Typing inside a styled run keeps the style.
+    }
+  }
+}
+
+void TextData::AdjustForDelete(int64_t pos, int64_t len) {
+  int64_t end = pos + len;
+  embedded_.erase(std::remove_if(embedded_.begin(), embedded_.end(),
+                                 [&](const EmbeddedObject& e) {
+                                   return e.pos >= pos && e.pos < end;
+                                 }),
+                  embedded_.end());
+  for (EmbeddedObject& e : embedded_) {
+    if (e.pos >= end) {
+      e.pos -= len;
+    }
+  }
+  for (StyleRun& run : runs_) {
+    int64_t run_end = run.pos + run.len;
+    int64_t new_start = run.pos >= end ? run.pos - len : std::min(run.pos, pos);
+    int64_t new_end = run_end >= end ? run_end - len : std::min(run_end, pos);
+    run.pos = new_start;
+    run.len = std::max<int64_t>(0, new_end - new_start);
+  }
+  NormalizeRuns();
+}
+
+void TextData::NormalizeRuns() {
+  runs_.erase(std::remove_if(runs_.begin(), runs_.end(),
+                             [](const StyleRun& r) { return r.len <= 0; }),
+              runs_.end());
+  std::sort(runs_.begin(), runs_.end(),
+            [](const StyleRun& a, const StyleRun& b) { return a.pos < b.pos; });
+  // Merge adjacent runs of the same style.
+  std::vector<StyleRun> merged;
+  for (StyleRun& run : runs_) {
+    if (!merged.empty() && merged.back().style == run.style &&
+        merged.back().pos + merged.back().len == run.pos) {
+      merged.back().len += run.len;
+    } else {
+      merged.push_back(std::move(run));
+    }
+  }
+  runs_ = std::move(merged);
+}
+
+void TextData::ApplyStyle(int64_t pos, int64_t len, std::string_view style_name) {
+  if (pos < 0 || len <= 0 || pos >= size()) {
+    return;
+  }
+  len = std::min(len, size() - pos);
+  {
+    // Carve the range out of existing runs.
+    int64_t end = pos + len;
+    std::vector<StyleRun> next;
+    for (const StyleRun& run : runs_) {
+      int64_t run_end = run.pos + run.len;
+      if (run_end <= pos || run.pos >= end) {
+        next.push_back(run);
+        continue;
+      }
+      if (run.pos < pos) {
+        next.push_back(StyleRun{run.pos, pos - run.pos, run.style});
+      }
+      if (run_end > end) {
+        next.push_back(StyleRun{end, run_end - end, run.style});
+      }
+    }
+    runs_ = std::move(next);
+  }
+  if (style_name != "default") {
+    runs_.push_back(StyleRun{pos, len, std::string(style_name)});
+  }
+  NormalizeRuns();
+  Change change;
+  change.kind = Change::Kind::kAttributes;
+  change.pos = pos;
+  change.removed = len;
+  NotifyObservers(change);
+}
+
+void TextData::ClearStyles(int64_t pos, int64_t len) { ApplyStyle(pos, len, "default"); }
+
+const std::string& TextData::StyleNameAt(int64_t pos) const {
+  for (const StyleRun& run : runs_) {
+    if (pos >= run.pos && pos < run.pos + run.len) {
+      return run.style;
+    }
+  }
+  return default_style_name_;
+}
+
+const Style& TextData::StyleAt(int64_t pos) const { return styles_.Get(StyleNameAt(pos)); }
+
+int64_t TextData::LineStart(int64_t pos) const {
+  pos = std::clamp<int64_t>(pos, 0, size());
+  int64_t nl = buffer_.RFind('\n', pos);
+  return nl < 0 ? 0 : nl + 1;
+}
+
+int64_t TextData::LineEnd(int64_t pos) const {
+  pos = std::clamp<int64_t>(pos, 0, size());
+  int64_t nl = buffer_.Find('\n', pos);
+  return nl < 0 ? size() : nl;
+}
+
+int64_t TextData::PosOfLine(int64_t index) const {
+  if (index <= 0) {
+    return 0;
+  }
+  int64_t pos = 0;
+  for (int64_t line = 0; line < index; ++line) {
+    int64_t nl = buffer_.Find('\n', pos);
+    if (nl < 0) {
+      return size();
+    }
+    pos = nl + 1;
+  }
+  return pos;
+}
+
+int64_t TextData::LineOfPos(int64_t pos) const {
+  pos = std::clamp<int64_t>(pos, 0, size());
+  int64_t line = 0;
+  for (int64_t i = 0; i < pos; ++i) {
+    if (buffer_.At(i) == '\n') {
+      ++line;
+    }
+  }
+  return line;
+}
+
+void TextData::WriteBody(DataStreamWriter& writer) const {
+  // Custom style definitions first, then runs, then content.
+  for (const Style* style : styles_.CustomStyles()) {
+    writer.WriteDirective("definestyle", style->name + "," + style->Serialize());
+    writer.WriteNewline();
+  }
+  for (const StyleRun& run : runs_) {
+    writer.WriteDirective("textstyle", run.style + "," + std::to_string(run.pos) + "," +
+                                           std::to_string(run.len));
+    writer.WriteNewline();
+  }
+  // Content: text with anchors expanded to child blocks + \view references.
+  // An object shared by several anchors is written once; later anchors emit
+  // only the \view reference to its id.
+  int64_t pos = 0;
+  for (const EmbeddedObject& embedded : embedded_) {
+    writer.WriteText(buffer_.Substr(pos, embedded.pos - pos));
+    int64_t child_id = writer.FindObjectId(embedded.data.get());
+    if (child_id == 0) {
+      child_id = embedded.data->Write(writer);
+    }
+    writer.WriteViewReference(embedded.view_type, child_id);
+    pos = embedded.pos + 1;  // Skip the anchor character.
+  }
+  writer.WriteText(buffer_.Substr(pos, size() - pos));
+}
+
+bool TextData::ReadBody(DataStreamReader& reader, ReadContext& context) {
+  using Kind = DataStreamReader::Token::Kind;
+  buffer_.Delete(0, size());
+  embedded_.clear();
+  runs_.clear();
+  newline_count_ = 0;
+  std::vector<StyleRun> pending_runs;
+  // Children arrive before the \view reference(s) that place them; a child
+  // may be referenced by several anchors (shared data object, §2).
+  std::map<int64_t, std::shared_ptr<DataObject>> pending_children;
+  // Our writer puts a cosmetic newline after each style directive; strip it.
+  bool strip_newline = false;
+  while (true) {
+    DataStreamReader::Token token = reader.Next();
+    if (strip_newline) {
+      strip_newline = false;
+      if (token.kind == Kind::kText && !token.text.empty() && token.text[0] == '\n') {
+        token.text.erase(0, 1);
+        if (token.text.empty()) {
+          continue;
+        }
+      }
+    }
+    switch (token.kind) {
+      case Kind::kEndData: {
+        runs_ = std::move(pending_runs);
+        NormalizeRuns();
+        // Any children never claimed by a \view reference are dropped.
+        Change change;
+        change.kind = Change::Kind::kModified;
+        NotifyObservers(change);
+        return true;
+      }
+      case Kind::kEof:
+        runs_ = std::move(pending_runs);
+        NormalizeRuns();
+        return false;
+      case Kind::kText: {
+        buffer_.Insert(size(), token.text);
+        newline_count_ += CountNewlines(token.text);
+        break;
+      }
+      case Kind::kBeginData: {
+        std::unique_ptr<DataObject> child =
+            ReadObjectBody(reader, context, token.type, token.id);
+        if (child != nullptr) {
+          pending_children[token.id] = std::shared_ptr<DataObject>(std::move(child));
+        }
+        break;
+      }
+      case Kind::kViewRef: {
+        auto it = pending_children.find(token.id);
+        if (it == pending_children.end()) {
+          context.AddError("\\view reference to unknown id " + std::to_string(token.id));
+          break;
+        }
+        EmbeddedObject embedded;
+        embedded.pos = size();
+        embedded.data = it->second;  // Shared: later refs reuse the object.
+        embedded.view_type = token.type;
+        embedded.anchor_id = next_anchor_id_++;
+        buffer_.Insert(size(), std::string_view(&kObjectChar, 1));
+        embedded_.push_back(std::move(embedded));
+        break;
+      }
+      case Kind::kDirective: {
+        if (token.type == "textstyle") {
+          // name,pos,len
+          size_t c1 = token.text.find(',');
+          size_t c2 = token.text.find(',', c1 + 1);
+          if (c1 != std::string::npos && c2 != std::string::npos) {
+            StyleRun run;
+            run.style = token.text.substr(0, c1);
+            run.pos = std::atoll(token.text.substr(c1 + 1, c2 - c1 - 1).c_str());
+            run.len = std::atoll(token.text.substr(c2 + 1).c_str());
+            pending_runs.push_back(std::move(run));
+          }
+        } else if (token.type == "definestyle") {
+          size_t c1 = token.text.find(',');
+          if (c1 != std::string::npos) {
+            styles_.Define(Style::Deserialize(token.text.substr(0, c1),
+                                              token.text.substr(c1 + 1)));
+          }
+        }
+        if (token.type == "textstyle" || token.type == "definestyle") {
+          strip_newline = true;
+        }
+        // Unknown directives are tolerated (forward compatibility).
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace atk

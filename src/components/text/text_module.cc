@@ -1,0 +1,83 @@
+// Loader module for the text component: registers the classes, the default
+// view pairing, and the named editing procs that keymaps and menus bind to.
+
+#include "src/base/default_views.h"
+#include "src/base/proctable.h"
+#include "src/class_system/loader.h"
+#include "src/components/text/paged_text_view.h"
+#include "src/components/text/text_data.h"
+#include "src/components/text/text_view.h"
+
+namespace atk {
+namespace {
+
+void RegisterTextProcs() {
+  ProcTable& procs = ProcTable::Instance();
+  auto on_textview = [](void (TextView::*method)()) {
+    return [method](View* view, long) {
+      if (TextView* tv = ObjectCast<TextView>(view)) {
+        (tv->*method)();
+      }
+    };
+  };
+  procs.Register("textview-forward-char", on_textview(&TextView::MoveForward));
+  procs.Register("textview-backward-char", on_textview(&TextView::MoveBackward));
+  procs.Register("textview-next-line", on_textview(&TextView::MoveDown));
+  procs.Register("textview-previous-line", on_textview(&TextView::MoveUp));
+  procs.Register("textview-beginning-of-line", on_textview(&TextView::MoveLineStart));
+  procs.Register("textview-end-of-line", on_textview(&TextView::MoveLineEnd));
+  procs.Register("textview-delete-next-char", on_textview(&TextView::DeleteForward));
+  procs.Register("textview-delete-previous-char", on_textview(&TextView::DeleteBackward));
+  procs.Register("textview-kill-line", on_textview(&TextView::KillLine));
+  procs.Register("textview-yank", on_textview(&TextView::Yank));
+  procs.Register("textview-cut", on_textview(&TextView::CutRegion));
+  procs.Register("textview-copy", on_textview(&TextView::CopyRegion));
+  procs.Register("textview-paste", on_textview(&TextView::Paste));
+  procs.Register("textview-scroll-forward", [](View* view, long) {
+    if (TextView* tv = ObjectCast<TextView>(view)) {
+      ScrollInfo info = tv->GetScrollInfo();
+      tv->ScrollByUnits(std::max<int64_t>(1, info.visible - 1));
+    }
+  });
+  procs.Register("textview-scroll-backward", [](View* view, long) {
+    if (TextView* tv = ObjectCast<TextView>(view)) {
+      ScrollInfo info = tv->GetScrollInfo();
+      tv->ScrollByUnits(-std::max<int64_t>(1, info.visible - 1));
+    }
+  });
+  auto style_proc = [](const char* style) {
+    return [style](View* view, long) {
+      if (TextView* tv = ObjectCast<TextView>(view)) {
+        tv->StyleSelection(style);
+      }
+    };
+  };
+  procs.Register("textview-style-plain", style_proc("default"));
+  procs.Register("textview-style-bold", style_proc("bold"));
+  procs.Register("textview-style-italic", style_proc("italic"));
+  procs.Register("textview-style-heading", style_proc("heading"));
+  procs.Register("textview-style-center", style_proc("center"));
+}
+
+}  // namespace
+
+void RegisterTextModule() {
+  static bool done = [] {
+    ModuleSpec spec;
+    spec.name = "text";
+    spec.provides = {"text", "textview", "pagedtextview"};
+    spec.text_bytes = 120 * 1024;  // The largest component, as in 1988.
+    spec.data_bytes = 8 * 1024;
+    spec.init = [] {
+      ClassRegistry::Instance().Register(TextData::StaticClassInfo());
+      ClassRegistry::Instance().Register(TextView::StaticClassInfo());
+      ClassRegistry::Instance().Register(PagedTextView::StaticClassInfo());
+      SetDefaultViewName("text", "textview");
+      RegisterTextProcs();
+    };
+    return Loader::Instance().DeclareModule(std::move(spec));
+  }();
+  (void)done;
+}
+
+}  // namespace atk

@@ -1,0 +1,132 @@
+#include "src/components/widgets/menu_view.h"
+
+#include <algorithm>
+
+namespace atk {
+
+ATK_DEFINE_CLASS(MenuView, MenuPopupView, "menuview")
+
+MenuView::MenuView() { SetPreferredCursor(CursorShape::kArrow); }
+
+void MenuView::SetMenus(const MenuList& menus) {
+  menus_.Clear();
+  menus_.Append(menus);
+  menus_.SetActiveMask(menus.active_mask());
+  RebuildRows();
+  PostUpdate();
+}
+
+void MenuView::RebuildRows() {
+  rows_.clear();
+  // Group items under their card headers, preserving first-seen card order.
+  std::vector<std::string> cards;
+  for (const MenuItem* item : menus_.Visible()) {
+    if (std::find(cards.begin(), cards.end(), item->card) == cards.end()) {
+      cards.push_back(item->card);
+    }
+  }
+  for (const std::string& card : cards) {
+    Row header;
+    header.is_header = true;
+    header.card = card;
+    header.label = card;
+    rows_.push_back(std::move(header));
+    for (const MenuItem* item : menus_.Visible()) {
+      if (item->card == card) {
+        Row row;
+        row.card = item->card;
+        row.label = item->label;
+        rows_.push_back(std::move(row));
+      }
+    }
+  }
+  highlighted_ = -1;
+}
+
+int MenuView::RowHeight() const { return Font::Default().height() + 3; }
+
+int MenuView::RowAt(Point p) const {
+  if (p.y < 0 || graphic() == nullptr || p.x < 0 || p.x >= graphic()->width()) {
+    return -1;
+  }
+  int index = p.y / RowHeight();
+  return index < static_cast<int>(rows_.size()) ? index : -1;
+}
+
+void MenuView::FullUpdate() {
+  Graphic* g = graphic();
+  if (g == nullptr) {
+    return;
+  }
+  g->FillRect(g->LocalBounds(), kWhite);
+  g->SetForeground(kBlack);
+  g->DrawRect(g->LocalBounds());
+  int row_h = RowHeight();
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    const Row& row = rows_[i];
+    int y = static_cast<int>(i) * row_h;
+    if (row.is_header) {
+      g->FillRect(Rect{1, y, g->width() - 2, row_h}, kLightGray);
+      g->SetFont(FontSpec{"andy", 10, kBold});
+      g->SetForeground(kBlack);
+      g->DrawString(Point{4, y + 2}, row.label);
+      continue;
+    }
+    bool lit = static_cast<int>(i) == highlighted_;
+    if (lit) {
+      g->FillRect(Rect{1, y, g->width() - 2, row_h}, kBlack);
+    }
+    g->SetFont(FontSpec{"andy", 10, kPlain});
+    g->SetForeground(lit ? kWhite : kBlack);
+    g->DrawString(Point{10, y + 2}, row.label);
+  }
+}
+
+Size MenuView::DesiredSize(Size available) {
+  const Font& font = Font::Default();
+  int width = 40;
+  for (const Row& row : rows_) {
+    width = std::max(width, font.StringWidth(row.label) + 16);
+  }
+  Size desired{width, static_cast<int>(rows_.size()) * RowHeight() + 2};
+  if (available.width > 0) {
+    desired.width = std::min(desired.width, available.width);
+  }
+  if (available.height > 0) {
+    desired.height = std::min(desired.height, available.height);
+  }
+  return desired;
+}
+
+View* MenuView::Hit(const InputEvent& event) {
+  switch (event.type) {
+    case EventType::kMouseDown:
+    case EventType::kMouseDrag: {
+      int row = RowAt(event.pos);
+      int next = (row >= 0 && !rows_[static_cast<size_t>(row)].is_header) ? row : -1;
+      if (next != highlighted_) {
+        highlighted_ = next;
+        PostUpdate();
+      }
+      return this;
+    }
+    case EventType::kMouseUp: {
+      std::string choice;
+      int row = RowAt(event.pos);
+      if (row >= 0 && !rows_[static_cast<size_t>(row)].is_header) {
+        choice = rows_[static_cast<size_t>(row)].card + "~" +
+                 rows_[static_cast<size_t>(row)].label;
+      }
+      highlighted_ = -1;
+      PostUpdate();
+      if (on_choose_) {
+        on_choose_(choice);
+      }
+      return this;
+    }
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace atk

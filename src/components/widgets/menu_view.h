@@ -1,0 +1,63 @@
+// MenuView — the pop-up menu renderer.
+//
+// The 1988 Andrew UI used pop-up menu "cards".  The interaction manager
+// composes a MenuList along the focus path (§3); MenuView renders that list
+// as a card of items grouped by card name, tracks the highlighted item
+// under the mouse, and reports the chosen "Card~Label" on release.  The IM
+// can host one as a transient overlay (PopupMenus/DismissMenus).
+
+#ifndef ATK_SRC_COMPONENTS_WIDGETS_MENU_VIEW_H_
+#define ATK_SRC_COMPONENTS_WIDGETS_MENU_VIEW_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/base/menu_popup.h"
+#include "src/base/menus.h"
+#include "src/base/view.h"
+
+namespace atk {
+
+class MenuView : public MenuPopupView {
+  ATK_DECLARE_CLASS(MenuView)
+
+ public:
+  MenuView();
+
+  // Installs the composed menu list to display.
+  void SetMenus(const MenuList& menus) override;
+  // Called with the chosen "Card~Label" on mouse release over an item
+  // (empty string when dismissed by releasing outside).
+  void SetOnChoose(std::function<void(const std::string&)> on_choose) override {
+    on_choose_ = std::move(on_choose);
+  }
+
+  // Rows as rendered: headers (card names) and items, top to bottom.
+  struct Row {
+    bool is_header = false;
+    std::string card;
+    std::string label;
+  };
+  const std::vector<Row>& rows() const { return rows_; }
+  int highlighted() const { return highlighted_; }
+  int RowHeight() const;
+  // The row index at a local point, or -1.
+  int RowAt(Point p) const;
+
+  void FullUpdate() override;
+  Size DesiredSize(Size available) override;
+  View* Hit(const InputEvent& event) override;
+
+ private:
+  void RebuildRows();
+
+  MenuList menus_;
+  std::vector<Row> rows_;
+  std::function<void(const std::string&)> on_choose_;
+  int highlighted_ = -1;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_COMPONENTS_WIDGETS_MENU_VIEW_H_

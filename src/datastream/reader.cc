@@ -1,0 +1,281 @@
+#include "src/datastream/reader.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace atk {
+namespace {
+
+bool IsDirectiveNameChar(char ch) {
+  return std::isalnum(static_cast<unsigned char>(ch)) || ch == '_' || ch == '-';
+}
+
+// Parses "type,id" marker args.  Returns false on malformed args.
+bool ParseMarkerArgs(std::string_view args, std::string* type, int64_t* id) {
+  size_t comma = args.rfind(',');
+  if (comma == std::string_view::npos || comma == 0 || comma + 1 >= args.size()) {
+    return false;
+  }
+  *type = std::string(args.substr(0, comma));
+  int64_t value = 0;
+  for (size_t i = comma + 1; i < args.size(); ++i) {
+    char ch = args[i];
+    if (!std::isdigit(static_cast<unsigned char>(ch))) {
+      return false;
+    }
+    value = value * 10 + (ch - '0');
+  }
+  *id = value;
+  return true;
+}
+
+int HexValue(char ch) {
+  if (ch >= '0' && ch <= '9') {
+    return ch - '0';
+  }
+  if (ch >= 'a' && ch <= 'f') {
+    return ch - 'a' + 10;
+  }
+  if (ch >= 'A' && ch <= 'F') {
+    return ch - 'A' + 10;
+  }
+  return -1;
+}
+
+}  // namespace
+
+DataStreamReader::DataStreamReader(std::string input) : input_(std::move(input)) {}
+
+DataStreamReader::DataStreamReader(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  input_ = buffer.str();
+}
+
+const DataStreamReader::Token& DataStreamReader::Peek() {
+  if (!has_peek_) {
+    peek_ = Lex();
+    has_peek_ = true;
+  }
+  return peek_;
+}
+
+DataStreamReader::Token DataStreamReader::Next() {
+  if (has_peek_) {
+    has_peek_ = false;
+    return std::move(peek_);
+  }
+  return Lex();
+}
+
+bool DataStreamReader::LexDirective(Token* token) {
+  // pos_ points at '\'.  A directive is \name{args} with no newline between
+  // the backslash and the closing brace.
+  size_t p = pos_ + 1;
+  size_t name_start = p;
+  while (p < input_.size() && IsDirectiveNameChar(input_[p])) {
+    ++p;
+  }
+  if (p == name_start || p >= input_.size() || input_[p] != '{') {
+    return false;
+  }
+  std::string name = input_.substr(name_start, p - name_start);
+  ++p;  // consume '{'
+  size_t args_start = p;
+  while (p < input_.size() && input_[p] != '}' && input_[p] != '\n') {
+    ++p;
+  }
+  if (p >= input_.size() || input_[p] != '}') {
+    return false;
+  }
+  std::string args = input_.substr(args_start, p - args_start);
+  pos_ = p + 1;  // past '}'
+
+  if (name == "begindata" || name == "enddata") {
+    std::string type;
+    int64_t id = 0;
+    if (!ParseMarkerArgs(args, &type, &id)) {
+      saw_malformed_ = true;
+      token->kind = Token::Kind::kDirective;
+      token->type = name;
+      token->text = args;
+      return true;
+    }
+    // One trailing newline is part of the marker's formatting.
+    if (pos_ < input_.size() && input_[pos_] == '\n') {
+      ++pos_;
+    }
+    if (name == "begindata") {
+      open_.push_back(OpenMarker{type, id});
+      token->kind = Token::Kind::kBeginData;
+    } else {
+      if (!open_.empty() && open_.back().type == type && open_.back().id == id) {
+        open_.pop_back();
+      } else {
+        saw_malformed_ = true;
+        if (!open_.empty()) {
+          open_.pop_back();
+        }
+      }
+      token->kind = Token::Kind::kEndData;
+    }
+    token->type = std::move(type);
+    token->id = id;
+    return true;
+  }
+  if (name == "view") {
+    std::string type;
+    int64_t id = 0;
+    if (ParseMarkerArgs(args, &type, &id)) {
+      token->kind = Token::Kind::kViewRef;
+      token->type = std::move(type);
+      token->id = id;
+      return true;
+    }
+    saw_malformed_ = true;
+  }
+  token->kind = Token::Kind::kDirective;
+  token->type = std::move(name);
+  token->text = std::move(args);
+  return true;
+}
+
+DataStreamReader::Token DataStreamReader::Lex() {
+  if (has_stashed_) {
+    has_stashed_ = false;
+    return std::move(stashed_);
+  }
+  Token token;
+  std::string text;
+  while (pos_ < input_.size()) {
+    char ch = input_[pos_];
+    if (ch != '\\') {
+      text += ch;
+      ++pos_;
+      continue;
+    }
+    // Escapes that continue the text run.
+    if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '\\') {
+      text += '\\';
+      pos_ += 2;
+      continue;
+    }
+    if (pos_ + 4 < input_.size() && input_[pos_ + 1] == 'x' && input_[pos_ + 2] == '{') {
+      int hi = HexValue(input_[pos_ + 3]);
+      int lo = pos_ + 4 < input_.size() ? HexValue(input_[pos_ + 4]) : -1;
+      if (hi >= 0 && lo >= 0 && pos_ + 5 < input_.size() && input_[pos_ + 5] == '}') {
+        text += static_cast<char>(hi * 16 + lo);
+        pos_ += 6;
+        continue;
+      }
+    }
+    // Try a directive.  On success, flush accumulated text first (the
+    // directive token is held as the pending peek).
+    Token directive;
+    if (LexDirective(&directive)) {
+      if (text.empty()) {
+        return directive;
+      }
+      stashed_ = std::move(directive);
+      has_stashed_ = true;
+      token.kind = Token::Kind::kText;
+      token.text = std::move(text);
+      return token;
+    }
+    // Lone backslash that is not an escape and not a directive: recovered as
+    // literal text (the paper's partial-destruction recovery posture).
+    saw_malformed_ = true;
+    text += '\\';
+    ++pos_;
+  }
+  if (!text.empty()) {
+    token.kind = Token::Kind::kText;
+    token.text = std::move(text);
+    return token;
+  }
+  if (!open_.empty()) {
+    truncated_ = true;
+  }
+  token.kind = Token::Kind::kEof;
+  return token;
+}
+
+bool DataStreamReader::SkipObject(std::string_view type, int64_t id, std::string* raw_body) {
+  // Bracket-match on raw input without interpreting component payloads.
+  // We scan for \begindata / \enddata directives only; escaped backslashes
+  // cannot form a directive because "\\begindata" parses as literal
+  // backslash followed by plain text.
+  if (has_peek_) {
+    // Simplest correct behaviour: the caller must not have peeked past the
+    // begindata marker.  Drop the peek back by re-lexing from its position is
+    // not possible; treat as programming error by ignoring the peek.
+    has_peek_ = false;
+  }
+  has_stashed_ = false;
+  size_t body_start = pos_;
+  int depth_needed = 1;
+  size_t p = pos_;
+  while (p < input_.size()) {
+    char ch = input_[p];
+    if (ch != '\\') {
+      ++p;
+      continue;
+    }
+    if (p + 1 < input_.size() && input_[p + 1] == '\\') {
+      p += 2;
+      continue;
+    }
+    // Try to read a directive name.
+    size_t q = p + 1;
+    size_t name_start = q;
+    while (q < input_.size() && IsDirectiveNameChar(input_[q])) {
+      ++q;
+    }
+    if (q == name_start || q >= input_.size() || input_[q] != '{') {
+      ++p;
+      continue;
+    }
+    std::string_view name(input_.data() + name_start, q - name_start);
+    size_t args_start = q + 1;
+    size_t close = input_.find('}', args_start);
+    if (close == std::string::npos || input_.find('\n', args_start) < close) {
+      ++p;
+      continue;
+    }
+    if (name == "begindata") {
+      ++depth_needed;
+    } else if (name == "enddata") {
+      --depth_needed;
+      if (depth_needed == 0) {
+        std::string_view args(input_.data() + args_start, close - args_start);
+        std::string end_type;
+        int64_t end_id = 0;
+        if (!ParseMarkerArgs(args, &end_type, &end_id) || end_type != type || end_id != id) {
+          saw_malformed_ = true;
+        }
+        if (raw_body != nullptr) {
+          *raw_body = input_.substr(body_start, p - body_start);
+        }
+        pos_ = close + 1;
+        if (pos_ < input_.size() && input_[pos_] == '\n') {
+          ++pos_;
+        }
+        if (!open_.empty()) {
+          open_.pop_back();
+        }
+        return true;
+      }
+    }
+    p = close + 1;
+  }
+  // Ran off the end: truncated object.
+  truncated_ = true;
+  if (raw_body != nullptr) {
+    *raw_body = input_.substr(body_start);
+  }
+  pos_ = input_.size();
+  open_.clear();
+  return false;
+}
+
+}  // namespace atk

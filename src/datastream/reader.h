@@ -1,0 +1,97 @@
+// External-representation reader (§5).
+//
+// Tokenizes a datastream into text fragments and directives.  Two properties
+// the toolkit depends on are implemented here:
+//
+//  * SkipObject: after seeing \begindata{type,id}, the extent of the object
+//    can be found by bracket-matching alone — no component code needed — and
+//    the raw body captured for verbatim re-emission (this is how a document
+//    containing a component you don't have survives an edit/save cycle).
+//  * Truncation recovery: when input ends with markers still open, the
+//    reader reports `truncated()` and what was parsed remains valid — the
+//    paper's "easier recovery when files are partially destroyed".
+
+#ifndef ATK_SRC_DATASTREAM_READER_H_
+#define ATK_SRC_DATASTREAM_READER_H_
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace atk {
+
+class DataStreamReader {
+ public:
+  struct Token {
+    enum class Kind {
+      kText,       // Unescaped payload text (may span newlines up to the next directive).
+      kBeginData,  // \begindata{type,id}
+      kEndData,    // \enddata{type,id}
+      kViewRef,    // \view{viewtype,id}
+      kDirective,  // any other \name{args}
+      kEof,
+    };
+
+    Kind kind = Kind::kEof;
+    std::string text;  // kText: payload; kDirective: args.
+    std::string type;  // marker type / directive name / view type.
+    int64_t id = 0;    // marker or view-reference id.
+  };
+
+  explicit DataStreamReader(std::string input);
+  explicit DataStreamReader(std::istream& in);
+
+  // Returns the next token.  At end of input returns kEof forever.
+  Token Next();
+
+  // Peek without consuming.
+  const Token& Peek();
+
+  // Call after consuming a kBeginData token to skip the whole object without
+  // parsing it.  Nested objects are skipped by bracket matching.  When
+  // `raw_body` is non-null it receives the object's body *verbatim*
+  // (escapes intact, inner markers intact), suitable for WriteRaw.
+  // Returns false when input ends before the matching \enddata (the stream
+  // is then marked truncated).
+  bool SkipObject(std::string_view type, int64_t id, std::string* raw_body = nullptr);
+
+  // Nesting depth of open \begindata markers seen so far.
+  int depth() const { return static_cast<int>(open_.size()); }
+
+  // True once input ended with unbalanced markers or a malformed directive
+  // was recovered from.
+  bool truncated() const { return truncated_; }
+  bool saw_malformed() const { return saw_malformed_; }
+
+  // Byte offset of the read cursor (diagnostics, bench).
+  size_t position() const { return pos_; }
+  size_t input_size() const { return input_.size(); }
+
+ private:
+  struct OpenMarker {
+    std::string type;
+    int64_t id;
+  };
+
+  Token Lex();
+  // Parses "\name{args}" at pos_ (which points at the backslash).  Returns
+  // false when it is not a well-formed directive (treated as literal text).
+  bool LexDirective(Token* token);
+
+  std::string input_;
+  size_t pos_ = 0;
+  std::vector<OpenMarker> open_;
+  bool truncated_ = false;
+  bool saw_malformed_ = false;
+  bool has_peek_ = false;
+  Token peek_;
+  // A directive token produced while flushing preceding text out of Lex().
+  bool has_stashed_ = false;
+  Token stashed_;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_DATASTREAM_READER_H_

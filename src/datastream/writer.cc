@@ -1,0 +1,124 @@
+#include "src/datastream/writer.h"
+
+#include <cstdio>
+
+namespace atk {
+
+DataStreamWriter::DataStreamWriter(std::ostream& out) : out_(out) {}
+
+DataStreamWriter::~DataStreamWriter() = default;
+
+void DataStreamWriter::Emit(char ch) {
+  out_.put(ch);
+  ++bytes_written_;
+  if (ch == '\n') {
+    column_ = 0;
+  } else {
+    ++column_;
+    if (column_ > max_line_length_) {
+      max_line_length_ = column_;
+    }
+  }
+}
+
+void DataStreamWriter::EmitString(std::string_view s) {
+  for (char ch : s) {
+    Emit(ch);
+  }
+}
+
+int64_t DataStreamWriter::BeginData(std::string_view type) {
+  int64_t id = next_id_++;
+  BeginDataWithId(type, id);
+  return id;
+}
+
+// Markers are written inline (wherever the enclosing object's content has
+// reached) followed by one newline; the reader consumes that newline as part
+// of the marker, so surrounding payload text round-trips byte-exactly.
+void DataStreamWriter::BeginDataWithId(std::string_view type, int64_t id) {
+  if (id >= next_id_) {
+    next_id_ = id + 1;
+  }
+  EmitString("\\begindata{");
+  EmitString(type);
+  EmitString(",");
+  EmitString(std::to_string(id));
+  EmitString("}\n");
+  stack_.push_back(OpenObject{std::string(type), id});
+  if (depth() > max_depth_) {
+    max_depth_ = depth();
+  }
+}
+
+void DataStreamWriter::EndData() {
+  if (stack_.empty()) {
+    return;
+  }
+  OpenObject open = stack_.back();
+  stack_.pop_back();
+  EmitString("\\enddata{");
+  EmitString(open.type);
+  EmitString(",");
+  EmitString(std::to_string(open.id));
+  EmitString("}\n");
+}
+
+void DataStreamWriter::WriteViewReference(std::string_view view_type, int64_t data_id) {
+  EmitString("\\view{");
+  EmitString(view_type);
+  EmitString(",");
+  EmitString(std::to_string(data_id));
+  EmitString("}");
+}
+
+void DataStreamWriter::WriteDirective(std::string_view name, std::string_view args) {
+  EmitString("\\");
+  EmitString(name);
+  EmitString("{");
+  EmitString(args);
+  EmitString("}");
+}
+
+void DataStreamWriter::WriteText(std::string_view text) {
+  for (char ch : text) {
+    unsigned char byte = static_cast<unsigned char>(ch);
+    if (ch == '\\') {
+      EmitString("\\\\");
+    } else if (ch == '\n' || ch == '\t' || (byte >= 0x20 && byte < 0x7F)) {
+      Emit(ch);
+    } else {
+      // Hex-escape so the stream stays 7-bit printable (mailable, §5).
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\x{%02x}", byte);
+      EmitString(buf);
+    }
+  }
+}
+
+void DataStreamWriter::WriteLine(std::string_view line) {
+  WriteText(line);
+  Emit('\n');
+}
+
+void DataStreamWriter::WriteRaw(std::string_view raw) {
+  for (char ch : raw) {
+    if (static_cast<unsigned char>(ch) >= 0x80) {
+      all_seven_bit_ = false;
+    }
+    Emit(ch);
+  }
+}
+
+void DataStreamWriter::WriteNewline() { Emit('\n'); }
+
+void DataStreamWriter::RegisterObjectId(const void* object, int64_t id) {
+  object_ids_[object] = id;
+}
+
+int64_t DataStreamWriter::FindObjectId(const void* object) const {
+  auto it = object_ids_.find(object);
+  return it == object_ids_.end() ? 0 : it->second;
+}
+
+}  // namespace atk

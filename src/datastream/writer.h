@@ -1,0 +1,102 @@
+// External-representation writer (§5).
+//
+// Only data objects are written to files.  The single hard architectural
+// requirement: every object's output is enclosed in a properly nested
+//     \begindata{type,id} ... \enddata{type,id}
+// pair, so that any reader can find the extent of any object *without
+// parsing its contents*.  A `\view{viewtype,id}` directive marks where a view
+// on data object `id` sits inside an enclosing object's content.
+//
+// The guidelines the paper adds (7-bit printable ASCII, lines under 80
+// characters, human-legible) are enforced here: payload text has backslashes
+// doubled and non-ASCII bytes hex-escaped as \x{hh}, and the writer records
+// the longest line emitted so components can be tested against the 80-column
+// guideline.
+
+#ifndef ATK_SRC_DATASTREAM_WRITER_H_
+#define ATK_SRC_DATASTREAM_WRITER_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace atk {
+
+class DataStreamWriter {
+ public:
+  explicit DataStreamWriter(std::ostream& out);
+  ~DataStreamWriter();
+
+  DataStreamWriter(const DataStreamWriter&) = delete;
+  DataStreamWriter& operator=(const DataStreamWriter&) = delete;
+
+  // Opens an object of `type`, assigning and returning a stream-unique id.
+  int64_t BeginData(std::string_view type);
+  // Opens an object with a caller-chosen id (ids must be unique per stream).
+  void BeginDataWithId(std::string_view type, int64_t id);
+  // Closes the innermost open object.
+  void EndData();
+
+  // Writes a \view{viewtype,id} placement reference.
+  void WriteViewReference(std::string_view view_type, int64_t data_id);
+
+  // Writes an arbitrary component directive \name{args}.
+  void WriteDirective(std::string_view name, std::string_view args);
+
+  // Writes payload text with escaping: '\' becomes "\\", bytes outside
+  // printable 7-bit ASCII (other than \n and \t) become \x{hh}.  Newlines in
+  // `text` pass through.
+  void WriteText(std::string_view text);
+  // WriteText + newline.
+  void WriteLine(std::string_view line);
+  // Writes already-escaped content verbatim (round-tripping an unknown
+  // object's captured raw body).
+  void WriteRaw(std::string_view raw);
+  void WriteNewline();
+
+  // ---- Object-identity tracking ----
+  // DataObject::Write records (object, id) here so that a later object in
+  // the same stream can reference an earlier one (the chart's
+  // \chartsource{id} pointing at its table).
+  void RegisterObjectId(const void* object, int64_t id);
+  // The id `object` was written under, or 0 when not yet written.
+  int64_t FindObjectId(const void* object) const;
+
+  // Current nesting depth (open BeginData count).
+  int depth() const { return static_cast<int>(stack_.size()); }
+
+  // True when every BeginData has been closed.
+  bool balanced() const { return stack_.empty(); }
+
+  // ---- Stats (for the §5 guideline tests and bench_datastream) ----
+  int64_t bytes_written() const { return bytes_written_; }
+  int max_line_length() const { return max_line_length_; }
+  int max_depth() const { return max_depth_; }
+  bool all_seven_bit() const { return all_seven_bit_; }
+
+ private:
+  struct OpenObject {
+    std::string type;
+    int64_t id;
+  };
+
+  void Emit(char ch);
+  void EmitString(std::string_view s);
+
+  std::ostream& out_;
+  std::vector<OpenObject> stack_;
+  std::map<const void*, int64_t> object_ids_;
+  int64_t next_id_ = 1;
+  int64_t bytes_written_ = 0;
+  int column_ = 0;
+  int max_line_length_ = 0;
+  int max_depth_ = 0;
+  bool all_seven_bit_ = true;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_DATASTREAM_WRITER_H_

@@ -1,0 +1,47 @@
+// Pixel colors.  1988 Andrew ran on 1-bit displays; we keep 24-bit RGB so the
+// chart views and raster scaling have something to show, but the standard
+// palette below is what the toolkit itself uses.
+
+#ifndef ATK_SRC_GRAPHICS_COLOR_H_
+#define ATK_SRC_GRAPHICS_COLOR_H_
+
+#include <cstdint>
+
+namespace atk {
+
+struct Color {
+  uint8_t r = 0;
+  uint8_t g = 0;
+  uint8_t b = 0;
+
+  friend bool operator==(const Color&, const Color&) = default;
+
+  uint32_t Packed() const {
+    return (uint32_t{r} << 16) | (uint32_t{g} << 8) | uint32_t{b};
+  }
+
+  Color Inverted() const {
+    return Color{static_cast<uint8_t>(255 - r), static_cast<uint8_t>(255 - g),
+                 static_cast<uint8_t>(255 - b)};
+  }
+
+  // Perceived luminance in [0, 255].
+  int Luminance() const { return (299 * r + 587 * g + 114 * b) / 1000; }
+};
+
+inline constexpr Color kBlack{0, 0, 0};
+inline constexpr Color kWhite{255, 255, 255};
+inline constexpr Color kGray{128, 128, 128};
+inline constexpr Color kLightGray{192, 192, 192};
+inline constexpr Color kDarkGray{64, 64, 64};
+
+// Categorical series used by the chart views.
+inline constexpr Color kSeriesColors[] = {
+    Color{31, 119, 180}, Color{255, 127, 14}, Color{44, 160, 44},  Color{214, 39, 40},
+    Color{148, 103, 189}, Color{140, 86, 75},  Color{227, 119, 194}, Color{127, 127, 127},
+};
+inline constexpr int kSeriesColorCount = 8;
+
+}  // namespace atk
+
+#endif  // ATK_SRC_GRAPHICS_COLOR_H_

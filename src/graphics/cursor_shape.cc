@@ -1,0 +1,27 @@
+#include "src/graphics/cursor_shape.h"
+
+namespace atk {
+
+const char* CursorShapeName(CursorShape shape) {
+  switch (shape) {
+    case CursorShape::kArrow:
+      return "arrow";
+    case CursorShape::kIBeam:
+      return "ibeam";
+    case CursorShape::kCrosshair:
+      return "crosshair";
+    case CursorShape::kWait:
+      return "wait";
+    case CursorShape::kHorizontalBars:
+      return "hbars";
+    case CursorShape::kVerticalBars:
+      return "vbars";
+    case CursorShape::kHand:
+      return "hand";
+    case CursorShape::kCaret:
+      return "caret";
+  }
+  return "unknown";
+}
+
+}  // namespace atk

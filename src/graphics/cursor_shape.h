@@ -1,0 +1,24 @@
+// Cursor shapes.  §8 lists Cursor among the six classes a port must supply;
+// the shape vocabulary itself is window-system independent and lives here.
+
+#ifndef ATK_SRC_GRAPHICS_CURSOR_SHAPE_H_
+#define ATK_SRC_GRAPHICS_CURSOR_SHAPE_H_
+
+namespace atk {
+
+enum class CursorShape {
+  kArrow,
+  kIBeam,
+  kCrosshair,
+  kWait,
+  kHorizontalBars,  // The frame's divider-drag cursor.
+  kVerticalBars,
+  kHand,
+  kCaret,
+};
+
+const char* CursorShapeName(CursorShape shape);
+
+}  // namespace atk
+
+#endif  // ATK_SRC_GRAPHICS_CURSOR_SHAPE_H_

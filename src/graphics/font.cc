@@ -1,0 +1,98 @@
+#include "src/graphics/font.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+namespace atk {
+
+std::string FontSpec::ToString() const {
+  std::ostringstream out;
+  out << family << size;
+  if (style & kBold) {
+    out << "b";
+  }
+  if (style & kItalic) {
+    out << "i";
+  }
+  return out.str();
+}
+
+FontSpec FontSpec::Parse(std::string_view name) {
+  FontSpec spec;
+  size_t i = 0;
+  while (i < name.size() && !std::isdigit(static_cast<unsigned char>(name[i]))) {
+    ++i;
+  }
+  if (i > 0) {
+    spec.family = std::string(name.substr(0, i));
+  }
+  int size = 0;
+  while (i < name.size() && std::isdigit(static_cast<unsigned char>(name[i]))) {
+    size = size * 10 + (name[i] - '0');
+    ++i;
+  }
+  if (size > 0) {
+    spec.size = size;
+  }
+  spec.style = kPlain;
+  for (; i < name.size(); ++i) {
+    if (name[i] == 'b') {
+      spec.style |= kBold;
+    } else if (name[i] == 'i') {
+      spec.style |= kItalic;
+    }
+  }
+  return spec;
+}
+
+Font::Font(const FontSpec& spec) : spec_(spec) {
+  // Nominal sizes up to 14 use the master bitmaps; larger sizes scale up.
+  scale_ = spec.size <= 14 ? 1 : (spec.size + 9) / 10;
+  if (scale_ < 1) {
+    scale_ = 1;
+  }
+}
+
+const Font& Font::Get(const FontSpec& spec) {
+  static std::map<std::string, const Font*>* cache = new std::map<std::string, const Font*>();
+  std::string key = spec.ToString();
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    it = cache->emplace(key, new Font(spec)).first;
+  }
+  return *it->second;
+}
+
+const Font& Font::Default() { return Get(FontSpec{}); }
+
+bool Font::GlyphBit(char ch, int x, int y) const {
+  const Glyph& glyph = MasterGlyph(ch);
+  // Map the scaled cell pixel back to master coordinates.  The glyph's 7
+  // master rows span [0, ascent); descenders are drawn within them.
+  bool italic = (spec_.style & kItalic) != 0;
+  bool bold = (spec_.style & kBold) != 0;
+  int my = y / scale_;
+  if (my < 0 || my >= 7) {
+    return false;
+  }
+  // Italic: shear the top rows right by up to 2 master columns.
+  int shear = italic ? (6 - my) / 3 : 0;
+  int shifted = x - shear * scale_;
+  int mx = shifted >= 0 ? shifted / scale_ : -1;
+  if (glyph.Bit(mx, my)) {
+    return true;
+  }
+  if (bold) {
+    // Double strike: a pixel is also inked when the cell one device pixel to
+    // the left is inked.
+    int bx = shifted - 1;
+    int bmx = bx >= 0 ? bx / scale_ : -1;
+    if (glyph.Bit(bmx, my)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace atk

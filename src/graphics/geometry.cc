@@ -1,0 +1,13 @@
+#include "src/graphics/geometry.h"
+
+#include <sstream>
+
+namespace atk {
+
+std::string Rect::ToString() const {
+  std::ostringstream out;
+  out << "[" << x << "," << y << " " << width << "x" << height << "]";
+  return out.str();
+}
+
+}  // namespace atk

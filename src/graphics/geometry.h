@@ -1,0 +1,102 @@
+// Integer pixel geometry used throughout the toolkit.
+
+#ifndef ATK_SRC_GRAPHICS_GEOMETRY_H_
+#define ATK_SRC_GRAPHICS_GEOMETRY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace atk {
+
+struct Point {
+  int x = 0;
+  int y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+};
+
+struct Size {
+  int width = 0;
+  int height = 0;
+
+  friend bool operator==(const Size&, const Size&) = default;
+  bool IsEmpty() const { return width <= 0 || height <= 0; }
+};
+
+// Half-open rectangle: covers x in [x, x+width), y in [y, y+height).
+struct Rect {
+  int x = 0;
+  int y = 0;
+  int width = 0;
+  int height = 0;
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+
+  static Rect FromCorners(int left, int top, int right, int bottom) {
+    return Rect{left, top, right - left, bottom - top};
+  }
+
+  int left() const { return x; }
+  int top() const { return y; }
+  int right() const { return x + width; }
+  int bottom() const { return y + height; }
+  Point origin() const { return {x, y}; }
+  Size size() const { return {width, height}; }
+  Point center() const { return {x + width / 2, y + height / 2}; }
+
+  bool IsEmpty() const { return width <= 0 || height <= 0; }
+
+  bool Contains(Point p) const {
+    return p.x >= x && p.x < right() && p.y >= y && p.y < bottom();
+  }
+
+  bool Contains(const Rect& r) const {
+    return !r.IsEmpty() && r.x >= x && r.y >= y && r.right() <= right() && r.bottom() <= bottom();
+  }
+
+  bool Intersects(const Rect& r) const {
+    return !IsEmpty() && !r.IsEmpty() && r.x < right() && x < r.right() && r.y < bottom() &&
+           y < r.bottom();
+  }
+
+  Rect Intersect(const Rect& r) const {
+    int l = std::max(x, r.x);
+    int t = std::max(y, r.y);
+    int rr = std::min(right(), r.right());
+    int b = std::min(bottom(), r.bottom());
+    if (rr <= l || b <= t) {
+      return Rect{};
+    }
+    return FromCorners(l, t, rr, b);
+  }
+
+  // Smallest rectangle covering both (empty operands are ignored).
+  Rect Union(const Rect& r) const {
+    if (IsEmpty()) {
+      return r;
+    }
+    if (r.IsEmpty()) {
+      return *this;
+    }
+    return FromCorners(std::min(x, r.x), std::min(y, r.y), std::max(right(), r.right()),
+                       std::max(bottom(), r.bottom()));
+  }
+
+  Rect Translated(int dx, int dy) const { return Rect{x + dx, y + dy, width, height}; }
+
+  // Shrinks (positive margin) or grows (negative) on all sides.
+  Rect Inset(int margin) const {
+    return Rect{x + margin, y + margin, width - 2 * margin, height - 2 * margin};
+  }
+
+  int64_t Area() const { return IsEmpty() ? 0 : int64_t{width} * height; }
+
+  std::string ToString() const;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_GRAPHICS_GEOMETRY_H_

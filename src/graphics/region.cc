@@ -1,0 +1,161 @@
+#include "src/graphics/region.h"
+
+#include <sstream>
+
+namespace atk {
+namespace {
+
+// Appends the parts of `victim` not covered by `cut` (at most four rects).
+void AppendDifference(const Rect& victim, const Rect& cut, std::vector<Rect>& out) {
+  Rect overlap = victim.Intersect(cut);
+  if (overlap.IsEmpty()) {
+    out.push_back(victim);
+    return;
+  }
+  // Band above the overlap.
+  if (overlap.y > victim.y) {
+    out.push_back(Rect::FromCorners(victim.left(), victim.top(), victim.right(), overlap.top()));
+  }
+  // Band below.
+  if (overlap.bottom() < victim.bottom()) {
+    out.push_back(
+        Rect::FromCorners(victim.left(), overlap.bottom(), victim.right(), victim.bottom()));
+  }
+  // Left/right slivers within the overlap's vertical band.
+  if (overlap.left() > victim.left()) {
+    out.push_back(
+        Rect::FromCorners(victim.left(), overlap.top(), overlap.left(), overlap.bottom()));
+  }
+  if (overlap.right() < victim.right()) {
+    out.push_back(
+        Rect::FromCorners(overlap.right(), overlap.top(), victim.right(), overlap.bottom()));
+  }
+}
+
+}  // namespace
+
+Region::Region(const Rect& rect) {
+  if (!rect.IsEmpty()) {
+    rects_.push_back(rect);
+  }
+}
+
+int64_t Region::Area() const {
+  int64_t area = 0;
+  for (const Rect& r : rects_) {
+    area += r.Area();
+  }
+  return area;
+}
+
+Rect Region::Bounds() const {
+  Rect bounds;
+  for (const Rect& r : rects_) {
+    bounds = bounds.Union(r);
+  }
+  return bounds;
+}
+
+bool Region::Contains(Point p) const {
+  for (const Rect& r : rects_) {
+    if (r.Contains(p)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Region::Intersects(const Rect& rect) const {
+  for (const Rect& r : rects_) {
+    if (r.Intersects(rect)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Region::Add(const Rect& rect) {
+  if (rect.IsEmpty()) {
+    return;
+  }
+  // Keep disjointness by inserting only the parts of `rect` not yet covered.
+  std::vector<Rect> pending = {rect};
+  for (const Rect& existing : rects_) {
+    std::vector<Rect> next;
+    for (const Rect& piece : pending) {
+      AppendDifference(piece, existing, next);
+    }
+    pending = std::move(next);
+    if (pending.empty()) {
+      return;  // Entirely covered already.
+    }
+  }
+  rects_.insert(rects_.end(), pending.begin(), pending.end());
+}
+
+void Region::Add(const Region& other) {
+  for (const Rect& r : other.rects_) {
+    Add(r);
+  }
+}
+
+void Region::Subtract(const Rect& rect) {
+  if (rect.IsEmpty() || rects_.empty()) {
+    return;
+  }
+  std::vector<Rect> next;
+  for (const Rect& existing : rects_) {
+    AppendDifference(existing, rect, next);
+  }
+  rects_ = std::move(next);
+}
+
+void Region::IntersectWith(const Rect& rect) {
+  std::vector<Rect> next;
+  for (const Rect& existing : rects_) {
+    Rect overlap = existing.Intersect(rect);
+    if (!overlap.IsEmpty()) {
+      next.push_back(overlap);
+    }
+  }
+  rects_ = std::move(next);
+}
+
+void Region::Translate(int dx, int dy) {
+  for (Rect& r : rects_) {
+    r = r.Translated(dx, dy);
+  }
+}
+
+bool Region::Covers(const Rect& rect) const {
+  if (rect.IsEmpty()) {
+    return true;
+  }
+  std::vector<Rect> uncovered = {rect};
+  for (const Rect& existing : rects_) {
+    std::vector<Rect> next;
+    for (const Rect& piece : uncovered) {
+      AppendDifference(piece, existing, next);
+    }
+    uncovered = std::move(next);
+    if (uncovered.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Region::ToString() const {
+  std::ostringstream out;
+  out << "Region{";
+  for (size_t i = 0; i < rects_.size(); ++i) {
+    if (i > 0) {
+      out << ", ";
+    }
+    out << rects_[i].ToString();
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace atk

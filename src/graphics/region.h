@@ -1,0 +1,60 @@
+// Damage regions: a set of pixels kept as disjoint rectangles.
+//
+// The interaction manager coalesces WantUpdate requests into one Region per
+// update cycle, then walks the view tree once, repainting exactly the damaged
+// area (§3's "posting an update request up the tree").
+
+#ifndef ATK_SRC_GRAPHICS_REGION_H_
+#define ATK_SRC_GRAPHICS_REGION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graphics/geometry.h"
+
+namespace atk {
+
+class Region {
+ public:
+  Region() = default;
+  explicit Region(const Rect& rect);
+
+  bool IsEmpty() const { return rects_.empty(); }
+  void Clear() { rects_.clear(); }
+
+  // The disjoint rectangles making up the region.
+  const std::vector<Rect>& rects() const { return rects_; }
+  size_t rect_count() const { return rects_.size(); }
+
+  // Total pixel count.
+  int64_t Area() const;
+
+  // Smallest rectangle covering the region (empty rect when empty).
+  Rect Bounds() const;
+
+  bool Contains(Point p) const;
+
+  // True when any pixel of `rect` is in the region.
+  bool Intersects(const Rect& rect) const;
+
+  // Set algebra.  All keep the disjointness invariant.
+  void Add(const Rect& rect);
+  void Add(const Region& other);
+  void Subtract(const Rect& rect);
+  void IntersectWith(const Rect& rect);
+  void Translate(int dx, int dy);
+
+  // True when the region covers every pixel of `rect`.
+  bool Covers(const Rect& rect) const;
+
+  std::string ToString() const;
+
+ private:
+  // Disjoint, non-empty rectangles.  Not banded; adequate for the rect counts
+  // a view tree produces per cycle (tens, not thousands).
+  std::vector<Rect> rects_;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_GRAPHICS_REGION_H_

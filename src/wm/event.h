@@ -1,0 +1,91 @@
+// Input events as delivered by a window system to the interaction manager.
+//
+// §3: "The interaction manager has the responsibility of translating input
+// events such as key strokes, mouse events, menu events and exposure events
+// from the window system to the rest of the view tree."
+
+#ifndef ATK_SRC_WM_EVENT_H_
+#define ATK_SRC_WM_EVENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/graphics/geometry.h"
+
+namespace atk {
+
+enum class EventType {
+  kNone,
+  kKeyDown,    // `key` holds the (7-bit) character; modifiers annotate.
+  kMouseDown,  // `pos`, `button`
+  kMouseUp,
+  kMouseMove,  // no button held
+  kMouseDrag,  // button held
+  kMenuHit,    // `menu_item` holds "Card/Item" as chosen from the posted menus
+  kExpose,     // `rect` damaged by the window system; repaint required
+  kResize,     // `size` is the new window size
+  kFocusIn,
+  kFocusOut,
+};
+
+enum MouseButton {
+  kLeftButton = 0,
+  kMiddleButton = 1,
+  kRightButton = 2,
+};
+
+enum KeyModifier : unsigned {
+  kNoModifier = 0,
+  kShiftMod = 1u << 0,
+  kControlMod = 1u << 1,
+  kMetaMod = 1u << 2,  // ESC-prefixed in keymaps
+};
+
+struct InputEvent {
+  EventType type = EventType::kNone;
+  Point pos;
+  MouseButton button = kLeftButton;
+  char key = 0;
+  unsigned modifiers = kNoModifier;
+  Rect rect;           // kExpose
+  Size size;           // kResize
+  std::string menu_item;  // kMenuHit
+  uint64_t time = 0;   // Monotonic injection counter, assigned by the window.
+
+  static InputEvent KeyPress(char ch, unsigned mods = kNoModifier) {
+    InputEvent e;
+    e.type = EventType::kKeyDown;
+    e.key = ch;
+    e.modifiers = mods;
+    return e;
+  }
+  static InputEvent MouseAt(EventType t, Point p, MouseButton b = kLeftButton) {
+    InputEvent e;
+    e.type = t;
+    e.pos = p;
+    e.button = b;
+    return e;
+  }
+  static InputEvent MenuChoice(std::string item) {
+    InputEvent e;
+    e.type = EventType::kMenuHit;
+    e.menu_item = std::move(item);
+    return e;
+  }
+  static InputEvent Exposure(const Rect& r) {
+    InputEvent e;
+    e.type = EventType::kExpose;
+    e.rect = r;
+    return e;
+  }
+  static InputEvent Resized(int w, int h) {
+    InputEvent e;
+    e.type = EventType::kResize;
+    e.size = Size{w, h};
+    return e;
+  }
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_WM_EVENT_H_

@@ -1,0 +1,37 @@
+#include "src/wm/printer.h"
+
+#include <sstream>
+
+namespace atk {
+
+PrintJob::PrintJob(int page_width, int page_height, int margin)
+    : page_width_(page_width), page_height_(page_height), margin_(margin) {}
+
+Rect PrintJob::printable_area() const {
+  return Rect{0, 0, page_width_, page_height_}.Inset(margin_);
+}
+
+Graphic* PrintJob::NewPage() {
+  pages_.push_back(std::make_unique<PixelImage>(page_width_, page_height_, kWhite));
+  current_graphic_ = std::make_unique<ImageGraphic>(pages_.back().get(), printable_area());
+  return current_graphic_.get();
+}
+
+std::string PrintJob::ToPpm() const {
+  std::ostringstream out;
+  for (const auto& page : pages_) {
+    out << page->ToPpm();
+  }
+  return out.str();
+}
+
+std::string PrintJob::ToAsciiProof() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < pages_.size(); ++i) {
+    out << "--- page " << (i + 1) << " ---\n";
+    out << pages_[i]->ToAscii();
+  }
+  return out.str();
+}
+
+}  // namespace atk

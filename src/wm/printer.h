@@ -1,0 +1,47 @@
+// The printer as a display medium (§4): "When a view receives a print
+// request for a specific type of printer it can temporarily shift its
+// pointer to a drawable for that printer type and do a redraw of its image."
+//
+// A PrintJob owns a sequence of page images and hands out a Graphic per
+// page; base/print.* does the repointing.
+
+#ifndef ATK_SRC_WM_PRINTER_H_
+#define ATK_SRC_WM_PRINTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/graphics/graphic.h"
+#include "src/graphics/pixel_image.h"
+
+namespace atk {
+
+class PrintJob {
+ public:
+  // Page size in device pixels; margins inset the printable area.
+  PrintJob(int page_width, int page_height, int margin = 12);
+
+  // Starts a new page and returns the drawable for its printable area.  The
+  // returned graphic is valid until the next NewPage or destruction.
+  Graphic* NewPage();
+
+  int page_count() const { return static_cast<int>(pages_.size()); }
+  const PixelImage& page(int index) const { return *pages_[static_cast<size_t>(index)]; }
+  Rect printable_area() const;
+
+  // Renders all pages as one PPM strip / ASCII proof.
+  std::string ToPpm() const;
+  std::string ToAsciiProof() const;
+
+ private:
+  int page_width_;
+  int page_height_;
+  int margin_;
+  std::vector<std::unique_ptr<PixelImage>> pages_;
+  std::unique_ptr<ImageGraphic> current_graphic_;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_WM_PRINTER_H_

@@ -1,0 +1,42 @@
+// Declares the window-system backend modules to the dynamic loader.  The
+// backends themselves stay dormant until WindowSystem::Open names one —
+// mirroring §8: "using the dynamic loading facility, the modules for the
+// other system can be loaded at run time".
+
+#include "src/class_system/loader.h"
+#include "src/wm/wm_itc.h"
+#include "src/wm/wm_x11sim.h"
+#include "src/wm/window_system.h"
+
+namespace atk {
+
+void RegisterWindowSystemModules() {
+  static bool done = [] {
+    Loader& loader = Loader::Instance();
+    ModuleSpec itc;
+    itc.name = "wm-itc";
+    itc.provides = {"itcwm", "itcwindow"};
+    itc.text_bytes = 48 * 1024;
+    itc.data_bytes = 4 * 1024;
+    itc.init = [] {
+      ClassRegistry::Instance().Register(ItcWindowSystem::StaticClassInfo());
+      ClassRegistry::Instance().Register(ItcWindow::StaticClassInfo());
+    };
+    loader.DeclareModule(std::move(itc));
+
+    ModuleSpec x11;
+    x11.name = "wm-x11";
+    x11.provides = {"x11wm", "x11window"};
+    x11.text_bytes = 64 * 1024;
+    x11.data_bytes = 6 * 1024;
+    x11.init = [] {
+      ClassRegistry::Instance().Register(X11WindowSystem::StaticClassInfo());
+      ClassRegistry::Instance().Register(X11Window::StaticClassInfo());
+    };
+    loader.DeclareModule(std::move(x11));
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace atk

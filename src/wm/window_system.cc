@@ -1,0 +1,102 @@
+#include "src/wm/window_system.h"
+
+#include <cstdlib>
+
+#include "src/class_system/loader.h"
+
+namespace atk {
+
+ATK_DEFINE_CLASS(WmCursor, Object, "cursor")
+ATK_DEFINE_CLASS(WmFontDesc, Object, "fontdesc")
+ATK_DEFINE_CLASS(OffscreenWindow, Object, "offscreenwindow")
+ATK_DEFINE_ABSTRACT_CLASS(WmWindow, Object, "wmwindow")
+ATK_DEFINE_ABSTRACT_CLASS(WindowSystem, Object, "windowsystem")
+
+void OffscreenWindow::Reset(int width, int height) {
+  image_.Resize(width, height);
+  graphic_ = std::make_unique<ImageGraphic>(&image_, image_.bounds());
+}
+
+Graphic* OffscreenWindow::GetGraphic() {
+  if (!graphic_) {
+    Reset(1, 1);
+  }
+  return graphic_.get();
+}
+
+InputEvent WmWindow::NextEvent() {
+  InputEvent event;
+  if (!events_.empty()) {
+    event = events_.front();
+    events_.pop_front();
+  }
+  return event;
+}
+
+void WmWindow::Inject(InputEvent event) {
+  event.time = ++event_clock_;
+  events_.push_back(std::move(event));
+}
+
+std::unique_ptr<OffscreenWindow> WindowSystem::CreateOffscreen(int width, int height) {
+  return std::make_unique<OffscreenWindow>(width, height);
+}
+
+std::unique_ptr<WmCursor> WindowSystem::CreateCursor(CursorShape shape) {
+  return std::make_unique<WmCursor>(shape);
+}
+
+std::unique_ptr<WmFontDesc> WindowSystem::CreateFontDesc(const FontSpec& spec) {
+  return std::make_unique<WmFontDesc>(spec);
+}
+
+std::unique_ptr<WindowSystem> WindowSystem::Open(std::string_view name) {
+  RegisterWindowSystemModules();
+  std::string chosen(name);
+  if (chosen.empty()) {
+    const char* env = std::getenv("ATK_WINDOW_SYSTEM");
+    chosen = (env != nullptr && *env != '\0') ? env : "itc";
+  }
+  // Backend classes are registered by their loader modules under the class
+  // name "<name>wm" (e.g. "itcwm", "x11wm").
+  std::unique_ptr<Object> obj = Loader::Instance().NewObject(chosen + "wm");
+  return ObjectCast<WindowSystem>(std::move(obj));
+}
+
+std::vector<std::string> WindowSystem::PortingRoutines() {
+  // The six classes and the routines each must supply.  This is the whole
+  // surface used by the toolkit above src/wm; everything else is shared.
+  return {
+      // WindowSystem (7)
+      "windowsystem::SystemName", "windowsystem::CreateWindow",
+      "windowsystem::CreateOffscreen", "windowsystem::CreateCursor",
+      "windowsystem::CreateFontDesc", "windowsystem::Initialize", "windowsystem::Shutdown",
+      // InteractionManager / window (11)
+      "wmwindow::GetGraphic", "wmwindow::Flush", "wmwindow::Display", "wmwindow::Resize",
+      "wmwindow::SetTitle", "wmwindow::SetCursor", "wmwindow::HasEvent", "wmwindow::NextEvent",
+      "wmwindow::Inject", "wmwindow::RequestCount", "wmwindow::Close",
+      // Cursor (3)
+      "cursor::Create", "cursor::SetShape", "cursor::Shape",
+      // FontDesc (6)
+      "fontdesc::Create", "fontdesc::Ascent", "fontdesc::Descent", "fontdesc::Advance",
+      "fontdesc::StringWidth", "fontdesc::GlyphBit",
+      // Graphic (38) — mostly "simple transformations to the graphics layer
+      // of the underlying window system", as §8 says of the ~50 routines.
+      "graphic::MoveTo", "graphic::CurrentPoint", "graphic::SetForeground",
+      "graphic::SetBackground", "graphic::Foreground", "graphic::Background",
+      "graphic::SetFont", "graphic::Font", "graphic::SetLineWidth", "graphic::LineWidth",
+      "graphic::SetTransferMode", "graphic::TransferMode", "graphic::LocalBounds",
+      "graphic::DeviceOrigin", "graphic::PushClip", "graphic::PopClip", "graphic::CurrentClip",
+      "graphic::DrawPoint", "graphic::LineTo", "graphic::DrawLine", "graphic::DrawRect",
+      "graphic::FillRect", "graphic::FillRectColor", "graphic::EraseRect", "graphic::InvertRect",
+      "graphic::DrawEllipse", "graphic::FillEllipse", "graphic::DrawPolyline",
+      "graphic::DrawPolygon", "graphic::FillPolygon", "graphic::DrawString",
+      "graphic::DrawImage", "graphic::Clear", "graphic::CreateSub", "graphic::OpCount",
+      "graphic::DevicePlot", "graphic::DeviceRead", "graphic::DeviceFillRect",
+      // OffscreenWindow (4)
+      "offscreenwindow::Reset", "offscreenwindow::Image", "offscreenwindow::GetGraphic",
+      "offscreenwindow::CopyOnScreen",
+  };
+}
+
+}  // namespace atk

@@ -1,0 +1,57 @@
+#include "src/wm/wm_itc.h"
+
+namespace atk {
+
+ATK_DEFINE_CLASS(ItcWindow, WmWindow, "itcwindow")
+ATK_DEFINE_CLASS(ItcWindowSystem, WindowSystem, "itcwm")
+
+ItcWindow::ItcWindow() : ItcWindow(640, 480) {}
+
+ItcWindow::ItcWindow(int width, int height) {
+  framebuffer_.Resize(width, height);
+  graphic_ = std::make_unique<ImageGraphic>(&framebuffer_, framebuffer_.bounds());
+  set_size(Size{width, height});
+}
+
+Graphic* ItcWindow::GetGraphic() { return graphic_.get(); }
+
+void ItcWindow::Resize(int width, int height) {
+  framebuffer_.Resize(width, height);
+  graphic_ = std::make_unique<ImageGraphic>(&framebuffer_, framebuffer_.bounds());
+  set_size(Size{width, height});
+  Inject(InputEvent::Resized(width, height));
+}
+
+uint64_t ItcWindow::RequestCount() const {
+  // Immediate-mode system: every drawing op is a request.
+  return graphic_->op_count();
+}
+
+void ItcWindow::Obscure(const Rect& rect) {
+  if (obscured_) {
+    Unobscure();
+  }
+  obscured_rect_ = rect.Intersect(framebuffer_.bounds());
+  saved_under_.Resize(obscured_rect_.width, obscured_rect_.height);
+  saved_under_.Blit(framebuffer_, obscured_rect_, Point{0, 0});
+  framebuffer_.FillRect(obscured_rect_, kGray);
+  obscured_ = true;
+}
+
+void ItcWindow::Unobscure() {
+  if (!obscured_) {
+    return;
+  }
+  // Contents were preserved by the window manager: restore, no expose event.
+  framebuffer_.Blit(saved_under_, saved_under_.bounds(), obscured_rect_.origin());
+  obscured_ = false;
+}
+
+std::unique_ptr<WmWindow> ItcWindowSystem::CreateWindow(int width, int height,
+                                                        const std::string& title) {
+  auto window = std::make_unique<ItcWindow>(width, height);
+  window->SetTitle(title);
+  return window;
+}
+
+}  // namespace atk

@@ -1,0 +1,59 @@
+// Simulated ITC/Andrew window manager backend.
+//
+// Models the original Andrew window system as the toolkit saw it: drawing
+// operations take effect immediately (the wm client library wrote straight
+// to the display), and the window manager preserves window contents, so
+// un-obscuring a window restores its pixels without asking the client to
+// repaint.  Contrast wm_x11sim.h.
+
+#ifndef ATK_SRC_WM_WM_ITC_H_
+#define ATK_SRC_WM_WM_ITC_H_
+
+#include <memory>
+#include <string>
+
+#include "src/wm/window_system.h"
+
+namespace atk {
+
+class ItcWindow : public WmWindow {
+  ATK_DECLARE_CLASS(ItcWindow)
+
+ public:
+  ItcWindow();
+  ItcWindow(int width, int height);
+
+  Graphic* GetGraphic() override;
+  const PixelImage& Display() const override { return framebuffer_; }
+  void Resize(int width, int height) override;
+  uint64_t RequestCount() const override;
+
+  // Simulated window-manager overlap: `rect` is covered by another window.
+  // The ITC wm preserves contents, so Unobscure repaints from its saved copy
+  // and the application is never asked to redraw.
+  void Obscure(const Rect& rect);
+  void Unobscure();
+  bool obscured() const { return obscured_; }
+
+ private:
+  PixelImage framebuffer_;
+  PixelImage saved_under_;  // Contents preserved while obscured.
+  Rect obscured_rect_;
+  bool obscured_ = false;
+  std::unique_ptr<ImageGraphic> graphic_;
+};
+
+class ItcWindowSystem : public WindowSystem {
+  ATK_DECLARE_CLASS(ItcWindowSystem)
+
+ public:
+  ItcWindowSystem() = default;
+
+  std::string SystemName() const override { return "itc"; }
+  std::unique_ptr<WmWindow> CreateWindow(int width, int height,
+                                         const std::string& title) override;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_WM_WM_ITC_H_

@@ -1,0 +1,78 @@
+#include "src/wm/wm_x11sim.h"
+
+namespace atk {
+
+ATK_DEFINE_CLASS(X11Window, WmWindow, "x11window")
+ATK_DEFINE_CLASS(X11WindowSystem, WindowSystem, "x11wm")
+
+X11Window::X11Window() : X11Window(640, 480) {}
+
+X11Window::X11Window(int width, int height) {
+  canvas_.Resize(width, height);
+  screen_.Resize(width, height);
+  graphic_ = std::make_unique<ImageGraphic>(&canvas_, canvas_.bounds());
+  set_size(Size{width, height});
+}
+
+Graphic* X11Window::GetGraphic() { return graphic_.get(); }
+
+void X11Window::Flush() {
+  // Server applies the buffered requests: visible content catches up with
+  // the client-side canvas, except where another window obscures us.
+  // (Views draw through sub-graphics whose ops the root graphic does not
+  // see, so the blit is unconditional.)
+  screen_.Blit(canvas_, canvas_.bounds(), Point{0, 0});
+  if (obscured_) {
+    screen_.FillRect(obscured_rect_, kGray);
+  }
+  flushed_ops_ = graphic_->op_count();
+  ++flush_count_;
+}
+
+void X11Window::Resize(int width, int height) {
+  canvas_.Resize(width, height);
+  screen_.Resize(width, height);
+  graphic_ = std::make_unique<ImageGraphic>(&canvas_, canvas_.bounds());
+  set_size(Size{width, height});
+  flushed_ops_ = graphic_->op_count();
+  Inject(InputEvent::Resized(width, height));
+  // A fresh X window is all exposure.
+  Inject(InputEvent::Exposure(Rect{0, 0, width, height}));
+}
+
+uint64_t X11Window::RequestCount() const { return graphic_->op_count(); }
+
+uint64_t X11Window::PendingRequests() const { return graphic_->op_count() - flushed_ops_; }
+
+void X11Window::Obscure(const Rect& rect) {
+  if (obscured_) {
+    Unobscure();
+  }
+  obscured_rect_ = rect.Intersect(canvas_.bounds());
+  obscured_ = true;
+  // The covering window paints over us on screen.
+  screen_.FillRect(obscured_rect_, kGray);
+  // No backing store: the server discards the covered contents.
+  canvas_.FillRect(obscured_rect_, kWhite);
+}
+
+void X11Window::Unobscure() {
+  if (!obscured_) {
+    return;
+  }
+  obscured_ = false;
+  screen_.FillRect(obscured_rect_, kWhite);
+  // The client is told to repaint the newly visible region.
+  Inject(InputEvent::Exposure(obscured_rect_));
+}
+
+std::unique_ptr<WmWindow> X11WindowSystem::CreateWindow(int width, int height,
+                                                        const std::string& title) {
+  auto window = std::make_unique<X11Window>(width, height);
+  window->SetTitle(title);
+  // X delivers an initial exposure when the window is mapped.
+  window->Inject(InputEvent::Exposure(Rect{0, 0, width, height}));
+  return window;
+}
+
+}  // namespace atk

@@ -1,0 +1,71 @@
+// Simulated X.11 backend.
+//
+// Models the X11 properties the paper leans on:
+//   * a wire protocol: drawing calls become buffered requests that reach the
+//     screen only at Flush() (XSync/XFlush), so Display() can lag drawing;
+//   * no backing store: when an obscured region of a window is exposed, its
+//     contents are gone and the server sends an Expose event — the client
+//     must repaint.  (Footnote 5: "X.11 comes very close to handling this
+//     correctly except for exposure events which do not propagate to
+//     overlapped windows" — exposure lands on the window, not on inner
+//     views; it is the interaction manager's job to route the repaint.)
+
+#ifndef ATK_SRC_WM_WM_X11SIM_H_
+#define ATK_SRC_WM_WM_X11SIM_H_
+
+#include <memory>
+#include <string>
+
+#include "src/wm/window_system.h"
+
+namespace atk {
+
+class X11Window : public WmWindow {
+  ATK_DECLARE_CLASS(X11Window)
+
+ public:
+  X11Window();
+  X11Window(int width, int height);
+
+  Graphic* GetGraphic() override;
+  // Screen content: requests already flushed to the server.
+  const PixelImage& Display() const override { return screen_; }
+  void Flush() override;
+  void Resize(int width, int height) override;
+  uint64_t RequestCount() const override;
+
+  // Number of Flush round-trips performed (protocol packets).
+  uint64_t FlushCount() const { return flush_count_; }
+  // Requests still buffered client-side.
+  uint64_t PendingRequests() const;
+
+  // Simulated overlap by another X window.  No backing store: contents under
+  // `rect` are lost, and Unobscure delivers an Expose event for the region.
+  void Obscure(const Rect& rect);
+  void Unobscure();
+  bool obscured() const { return obscured_; }
+
+ private:
+  PixelImage canvas_;  // Client-side drawing target (pixels of pending requests).
+  PixelImage screen_;  // Server-side visible content.
+  Rect obscured_rect_;
+  bool obscured_ = false;
+  std::unique_ptr<ImageGraphic> graphic_;
+  uint64_t flushed_ops_ = 0;
+  uint64_t flush_count_ = 0;
+};
+
+class X11WindowSystem : public WindowSystem {
+  ATK_DECLARE_CLASS(X11WindowSystem)
+
+ public:
+  X11WindowSystem() = default;
+
+  std::string SystemName() const override { return "x11"; }
+  std::unique_ptr<WmWindow> CreateWindow(int width, int height,
+                                         const std::string& title) override;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_WM_WM_X11SIM_H_

@@ -1,0 +1,336 @@
+#include "src/workload/workload.h"
+
+#include <algorithm>
+
+#include "src/class_system/loader.h"
+#include "src/components/equation/eq_data.h"
+
+namespace atk {
+
+uint64_t WorkloadRng::Next() {
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  return state_ * 2685821657736338717ull;
+}
+
+uint64_t WorkloadRng::Below(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+
+int WorkloadRng::IntIn(int lo, int hi) {
+  if (hi <= lo) {
+    return lo;
+  }
+  return lo + static_cast<int>(Below(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double WorkloadRng::Unit() { return static_cast<double>(Next() >> 11) / 9007199254740992.0; }
+
+bool WorkloadRng::Chance(double p) { return Unit() < p; }
+
+// ---- Text -------------------------------------------------------------------
+
+namespace {
+
+const char* const kSyllables[] = {"an", "drew", "tool", "kit", "da", "ta",  "ob", "ject",
+                                  "view", "tree", "men", "u",  "cur", "sor", "e",  "vent",
+                                  "text", "ta",  "ble", "pie", "chart", "ras", "ter", "mail"};
+constexpr int kSyllableCount = static_cast<int>(sizeof(kSyllables) / sizeof(kSyllables[0]));
+
+std::string MakeWord(WorkloadRng& rng) {
+  int syllables = rng.IntIn(1, 3);
+  std::string word;
+  for (int i = 0; i < syllables; ++i) {
+    word += kSyllables[rng.Below(kSyllableCount)];
+  }
+  return word;
+}
+
+}  // namespace
+
+std::string GenerateProse(WorkloadRng& rng, int words) {
+  std::string prose;
+  int words_in_sentence = 0;
+  bool capitalize = true;
+  for (int i = 0; i < words; ++i) {
+    std::string word = MakeWord(rng);
+    if (capitalize && !word.empty()) {
+      word[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(word[0])));
+      capitalize = false;
+    }
+    prose += word;
+    ++words_in_sentence;
+    if (words_in_sentence >= rng.IntIn(6, 14) || i + 1 == words) {
+      prose += ".";
+      capitalize = true;
+      words_in_sentence = 0;
+      prose += i + 1 == words ? "" : " ";
+    } else {
+      prose += " ";
+    }
+  }
+  return prose;
+}
+
+std::unique_ptr<TextData> GenerateDocument(WorkloadRng& rng, int paragraphs,
+                                           int words_per_paragraph) {
+  auto text = std::make_unique<TextData>();
+  for (int p = 0; p < paragraphs; ++p) {
+    if (p % 4 == 0) {
+      std::string heading = "Section " + std::to_string(p / 4 + 1) + ": " + MakeWord(rng);
+      int64_t start = text->size();
+      text->InsertString(start, heading + "\n");
+      text->ApplyStyle(start, static_cast<int64_t>(heading.size()), "heading");
+    }
+    std::string prose = GenerateProse(rng, words_per_paragraph);
+    int64_t start = text->size();
+    text->InsertString(start, prose + "\n\n");
+    // Random emphasis spans.
+    if (rng.Chance(0.6) && prose.size() > 20) {
+      int64_t span_start = start + rng.IntIn(0, static_cast<int>(prose.size()) / 2);
+      int64_t span_len = rng.IntIn(4, 16);
+      text->ApplyStyle(span_start, span_len, rng.Chance(0.5) ? "bold" : "italic");
+    }
+  }
+  return text;
+}
+
+// ---- Tables -----------------------------------------------------------------
+
+std::unique_ptr<TableData> GeneratePascalTriangle(int rows) {
+  auto table = std::make_unique<TableData>();
+  table->Resize(rows, rows);
+  table->SetNumber(0, 0, 1);
+  for (int r = 1; r < rows; ++r) {
+    // Column 0 inherits from the apex, so restyling the apex rescales the
+    // whole triangle through the dependency graph.
+    table->SetFormula(r, 0, CellRef{r - 1, 0}.ToA1());
+    for (int c = 1; c <= r; ++c) {
+      // v[i,j] = v[i-1,j-1] + v[i-1,j]
+      std::string above_left = CellRef{r - 1, c - 1}.ToA1();
+      std::string above = CellRef{r - 1, c}.ToA1();
+      table->SetFormula(r, c, above_left + "+" + above);
+    }
+  }
+  return table;
+}
+
+std::unique_ptr<TableData> GenerateSpreadsheet(WorkloadRng& rng, int rows, int cols,
+                                               double formula_fraction) {
+  auto table = std::make_unique<TableData>();
+  table->Resize(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (r == 0 || c == 0) {
+        table->SetText(r, c, MakeWord(rng));
+      } else if (rng.Unit() < formula_fraction && r > 1) {
+        // Sum of the column so far — a realistic running total.
+        std::string range =
+            CellRef{1, c}.ToA1() + ":" + CellRef{r - 1, c}.ToA1();
+        table->SetFormula(r, c, "SUM(" + range + ")");
+      } else {
+        table->SetNumber(r, c, rng.IntIn(1, 1000));
+      }
+    }
+  }
+  return table;
+}
+
+// ---- Other components -----------------------------------------------------------
+
+std::unique_ptr<DrawData> GenerateDrawing(WorkloadRng& rng, int shapes, int canvas_w,
+                                          int canvas_h) {
+  auto drawing = std::make_unique<DrawData>();
+  for (int i = 0; i < shapes; ++i) {
+    int x = rng.IntIn(0, canvas_w - 40);
+    int y = rng.IntIn(0, canvas_h - 30);
+    switch (rng.Below(4)) {
+      case 0:
+        drawing->AddLine(Point{x, y}, Point{x + rng.IntIn(10, 40), y + rng.IntIn(5, 30)});
+        break;
+      case 1:
+        drawing->AddRect(Rect{x, y, rng.IntIn(10, 40), rng.IntIn(8, 30)}, rng.Chance(0.3));
+        break;
+      case 2:
+        drawing->AddEllipse(Rect{x, y, rng.IntIn(10, 40), rng.IntIn(8, 30)}, rng.Chance(0.3));
+        break;
+      default:
+        drawing->AddText(Rect{x, y, 60, 14}, MakeWord(rng));
+        break;
+    }
+  }
+  return drawing;
+}
+
+std::unique_ptr<RasterData> GenerateRaster(WorkloadRng& rng, int width, int height) {
+  auto raster = std::make_unique<RasterData>(width, height);
+  // A dithered blob: denser toward the center (looks like snapshot 4's cat
+  // if you squint hard enough).
+  for (int y = 0; y < height; ++y) {
+    std::vector<bool> row(static_cast<size_t>(width));
+    for (int x = 0; x < width; ++x) {
+      double dx = (x - width / 2.0) / (width / 2.0);
+      double dy = (y - height / 2.0) / (height / 2.0);
+      double density = 1.0 - (dx * dx + dy * dy);
+      row[static_cast<size_t>(x)] = rng.Unit() < density * 0.8;
+    }
+    raster->SetRow(y, row);
+  }
+  return raster;
+}
+
+std::unique_ptr<AnimData> GeneratePascalAnimation(int frames) {
+  auto anim = std::make_unique<AnimData>();
+  for (int f = 0; f < frames; ++f) {
+    int frame = anim->AddFrame(/*copy_previous=*/true);
+    // Each frame adds one row of the triangle as little boxes.
+    int y = 4 + f * 10;
+    for (int c = 0; c <= f; ++c) {
+      int x = 40 - f * 5 + c * 10;
+      anim->AddRect(frame, Rect{x, y, 8, 8});
+    }
+  }
+  return anim;
+}
+
+// ---- Compound documents ------------------------------------------------------------
+
+std::unique_ptr<TextData> GenerateCompoundDocument(WorkloadRng& rng,
+                                                   const CompoundDocumentSpec& spec) {
+  auto text = GenerateDocument(rng, spec.paragraphs);
+  auto embed_at_random = [&](std::unique_ptr<DataObject> obj) {
+    int64_t pos = static_cast<int64_t>(rng.Below(static_cast<uint64_t>(text->size() + 1)));
+    text->InsertObject(pos, std::move(obj));
+  };
+  for (int i = 0; i < spec.tables; ++i) {
+    std::unique_ptr<TableData> table = GenerateSpreadsheet(rng, 5, 4);
+    // Nesting: bury a smaller structure inside a cell, `nesting_depth` deep.
+    TableData* level = table.get();
+    for (int d = 1; d < spec.nesting_depth; ++d) {
+      std::unique_ptr<TableData> inner = GenerateSpreadsheet(rng, 3, 3);
+      TableData* next = inner.get();
+      level->SetObject(1, 1, std::move(inner));
+      level = next;
+    }
+    embed_at_random(std::move(table));
+  }
+  for (int i = 0; i < spec.drawings; ++i) {
+    embed_at_random(GenerateDrawing(rng, 6, 150, 100));
+  }
+  for (int i = 0; i < spec.equations; ++i) {
+    auto eq = std::make_unique<EqData>();
+    eq->SetSource("v_{i,j} = v_{i-1,j-1} + v_{i-1,j}");
+    embed_at_random(std::move(eq));
+  }
+  for (int i = 0; i < spec.rasters; ++i) {
+    embed_at_random(GenerateRaster(rng, 32, 24));
+  }
+  for (int i = 0; i < spec.animations; ++i) {
+    embed_at_random(GeneratePascalAnimation(5));
+  }
+  return text;
+}
+
+std::unique_ptr<TextData> BuildPascalCompoundDocument() {
+  auto text = std::make_unique<TextData>();
+  text->InsertString(0,
+                     "This is an example text component that contains a table. The table "
+                     "contains a number of other components including another text "
+                     "component, an equation and an animation. It also shows off the "
+                     "spreadsheet capabilities of the table.\n\nPascal's Triangle\n\n");
+  // The heading style on "Pascal's Triangle".
+  int64_t heading_pos = text->size() - 19;
+  text->ApplyStyle(heading_pos, 17, "heading");
+
+  auto table = std::make_unique<TableData>();
+  table->Resize(2, 2);
+  table->SetColWidth(0, 140);
+  table->SetColWidth(1, 160);
+
+  auto description = std::make_unique<TextData>();
+  description->SetText(
+      "This table contains several descriptions of Pascal's Triangle. It contains a set "
+      "of equations which defines the values of the triangle. It also contains an "
+      "animation showing the building of the triangle. Finally there is an "
+      "implementation using the spreadsheet facilities of the table object.");
+  table->SetObject(0, 0, std::move(description));
+
+  auto equation = std::make_unique<EqData>();
+  equation->SetSource("v_{i,j} = v_{i-1,j-1} + v_{i-1,j}");
+  table->SetObject(0, 1, std::move(equation));
+
+  table->SetObject(1, 0, GeneratePascalAnimation(6));
+  table->SetObject(1, 1, GeneratePascalTriangle(6));
+
+  text->InsertObject(text->size(), std::move(table));
+  text->InsertString(text->size(), "\n\nThe End\n");
+  return text;
+}
+
+// ---- Mail ---------------------------------------------------------------------------
+
+void GenerateMailbox(WorkloadRng& rng, MailStore& store, int folders,
+                     int messages_per_folder, double embed_fraction) {
+  const char* const kBoards[] = {"andrew.messages",  "andrew.gripes", "andrew.ez",
+                                 "cmu.misc.market", "org.acm",        "mail"};
+  for (int f = 0; f < folders; ++f) {
+    std::string name = f < 6 ? kBoards[f] : "bboard." + MakeWord(rng);
+    store.AddFolder(name);
+    for (int m = 0; m < messages_per_folder; ++m) {
+      MailMessage message;
+      message.from = MakeWord(rng) + "@andrew.cmu.edu";
+      message.to = "user@andrew.cmu.edu";
+      message.subject = GenerateProse(rng, rng.IntIn(2, 6));
+      if (!message.subject.empty() && message.subject.back() == '.') {
+        message.subject.pop_back();
+      }
+      std::unique_ptr<TextData> body = GenerateDocument(rng, rng.IntIn(1, 3), 25);
+      if (rng.Chance(embed_fraction)) {
+        if (rng.Chance(0.5)) {
+          body->InsertObject(body->size(), GenerateDrawing(rng, 5, 120, 80));
+        } else {
+          body->InsertObject(body->size(), GenerateRaster(rng, 24, 16));
+        }
+      }
+      message.body = WriteDocument(*body);
+      message.is_new = rng.Chance(0.4);
+      store.Deliver(name, std::move(message));
+    }
+  }
+}
+
+// ---- Input traces ----------------------------------------------------------------------
+
+std::vector<InputEvent> GenerateEventTrace(WorkloadRng& rng, int events, int width,
+                                           int height, double keys_fraction) {
+  std::vector<InputEvent> trace;
+  trace.reserve(static_cast<size_t>(events));
+  bool button_down = false;
+  Point mouse{width / 2, height / 2};
+  while (static_cast<int>(trace.size()) < events) {
+    if (!button_down && rng.Unit() < keys_fraction) {
+      const char* kTypable = "abcdefghijklmnopqrstuvwxyz    ,.\n";
+      trace.push_back(InputEvent::KeyPress(kTypable[rng.Below(33)]));
+      continue;
+    }
+    if (!button_down) {
+      mouse = Point{rng.IntIn(0, width - 1), rng.IntIn(0, height - 1)};
+      trace.push_back(InputEvent::MouseAt(EventType::kMouseDown, mouse));
+      button_down = true;
+      continue;
+    }
+    if (rng.Chance(0.5)) {
+      mouse.x = std::clamp(mouse.x + rng.IntIn(-20, 20), 0, width - 1);
+      mouse.y = std::clamp(mouse.y + rng.IntIn(-10, 10), 0, height - 1);
+      trace.push_back(InputEvent::MouseAt(EventType::kMouseDrag, mouse));
+    } else {
+      trace.push_back(InputEvent::MouseAt(EventType::kMouseUp, mouse));
+      button_down = false;
+    }
+  }
+  if (button_down) {
+    trace.push_back(InputEvent::MouseAt(EventType::kMouseUp, mouse));
+  }
+  return trace;
+}
+
+}  // namespace atk

@@ -1,0 +1,108 @@
+// Deterministic workload generators shared by tests, examples and benches.
+//
+// The paper's evaluation environment was 3000 campus users; these generators
+// substitute synthetic but realistically-shaped documents, spreadsheets,
+// mailboxes, drawings and input-event traces (see DESIGN.md §2).  Everything
+// is seeded: the same seed always produces the same workload.
+
+#ifndef ATK_SRC_WORKLOAD_WORKLOAD_H_
+#define ATK_SRC_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/mail_store.h"
+#include "src/components/animation/anim_data.h"
+#include "src/components/drawing/draw_data.h"
+#include "src/components/raster/raster_data.h"
+#include "src/components/table/table_data.h"
+#include "src/components/text/text_data.h"
+#include "src/wm/event.h"
+
+namespace atk {
+
+// xorshift64*: fast, deterministic, good enough for workloads.
+class WorkloadRng {
+ public:
+  explicit WorkloadRng(uint64_t seed = 88) : state_(seed ? seed : 88) {}
+
+  uint64_t Next();
+  // Uniform in [0, bound).
+  uint64_t Below(uint64_t bound);
+  int IntIn(int lo, int hi);  // Inclusive.
+  double Unit();              // [0, 1).
+  bool Chance(double p);
+
+ private:
+  uint64_t state_;
+};
+
+// ---- Text -----------------------------------------------------------------
+
+// `words` pseudo-English words as sentences/paragraphs.
+std::string GenerateProse(WorkloadRng& rng, int words);
+
+// A styled document: paragraphs with headings, bold/italic spans.
+std::unique_ptr<TextData> GenerateDocument(WorkloadRng& rng, int paragraphs,
+                                           int words_per_paragraph = 40);
+
+// ---- Tables ----------------------------------------------------------------
+
+// Pascal's Triangle as a spreadsheet (snapshot 5): v[i,0]=1, v[i,j] =
+// v[i-1,j-1] + v[i-1,j] expressed as cell formulas.
+std::unique_ptr<TableData> GeneratePascalTriangle(int rows);
+
+// A random sheet: `numeric_fraction` numbers, `formula_fraction` formulas
+// (sums/averages over earlier cells), rest text labels.
+std::unique_ptr<TableData> GenerateSpreadsheet(WorkloadRng& rng, int rows, int cols,
+                                               double formula_fraction = 0.3);
+
+// ---- Other components ------------------------------------------------------
+
+std::unique_ptr<DrawData> GenerateDrawing(WorkloadRng& rng, int shapes,
+                                          int canvas_w = 300, int canvas_h = 200);
+std::unique_ptr<RasterData> GenerateRaster(WorkloadRng& rng, int width, int height);
+// A growing-triangle animation like snapshot 5's.
+std::unique_ptr<AnimData> GeneratePascalAnimation(int frames);
+
+// ---- Compound documents -------------------------------------------------------
+
+// Options for GenerateCompoundDocument.
+struct CompoundDocumentSpec {
+  int paragraphs = 4;
+  int tables = 1;
+  int drawings = 1;
+  int equations = 1;
+  int rasters = 0;
+  int animations = 0;
+  // Nesting depth: each level embeds the next inside a table cell.
+  int nesting_depth = 1;
+};
+
+std::unique_ptr<TextData> GenerateCompoundDocument(WorkloadRng& rng,
+                                                   const CompoundDocumentSpec& spec);
+
+// The paper's snapshot 5, faithfully: text containing a table whose cells
+// hold a descriptive text, the recurrence equations, an animation, and a
+// Pascal's Triangle spreadsheet.
+std::unique_ptr<TextData> BuildPascalCompoundDocument();
+
+// ---- Mail ------------------------------------------------------------------------
+
+// Fills `store` with folders of messages; `embed_fraction` of the bodies
+// embed a drawing or raster (snapshots 3/4).
+void GenerateMailbox(WorkloadRng& rng, MailStore& store, int folders,
+                     int messages_per_folder, double embed_fraction = 0.3);
+
+// ---- Input traces -------------------------------------------------------------------
+
+// A plausible editing session: clicks, drags, and typed characters within a
+// `width` x `height` window.  `keys_fraction` of events are keystrokes.
+std::vector<InputEvent> GenerateEventTrace(WorkloadRng& rng, int events, int width,
+                                           int height, double keys_fraction = 0.6);
+
+}  // namespace atk
+
+#endif  // ATK_SRC_WORKLOAD_WORKLOAD_H_

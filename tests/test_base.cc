@@ -1,0 +1,649 @@
+// Tests for the toolkit core: the view tree, parental-authority event
+// dispatch, the delayed-update mechanism, focus/menu/cursor/keymap
+// arbitration, data objects and document round trips, and runapp.
+
+#include <gtest/gtest.h>
+
+#include "src/base/application.h"
+#include "src/base/data_object.h"
+#include "src/base/interaction_manager.h"
+#include "src/base/print.h"
+#include "src/base/proctable.h"
+#include "src/base/view.h"
+#include "src/class_system/loader.h"
+#include "src/wm/window_system.h"
+
+namespace atk {
+namespace {
+
+// ---- Test fixtures -----------------------------------------------------------
+
+// A solid-color view that records the events it receives.
+class BlockView : public View {
+  ATK_DECLARE_CLASS(BlockView)
+
+ public:
+  BlockView() = default;
+  explicit BlockView(Color c) : color_(c) {}
+
+  void FullUpdate() override {
+    if (graphic() != nullptr) {
+      graphic()->FillRect(graphic()->LocalBounds(), color_);
+      ++paints;
+    }
+  }
+
+  View* Hit(const InputEvent& event) override {
+    if (View* child_hit = View::Hit(event)) {
+      return child_hit;
+    }
+    last_event = event;
+    ++hits;
+    if (event.type == EventType::kMouseDown && wants_focus_on_click) {
+      RequestInputFocus();
+    }
+    return accepts_mouse ? this : nullptr;
+  }
+
+  bool HandleKey(char key, unsigned) override {
+    if (!accepts_keys) {
+      return false;
+    }
+    typed += key;
+    return true;
+  }
+
+  void FillMenus(MenuList& menus) override {
+    for (const auto& [spec, proc] : menu_items) {
+      menus.Add(spec, proc);
+    }
+  }
+
+  const KeyMap* GetKeyMap() const override { return keymap.size() ? &keymap : nullptr; }
+
+  Color color_ = kLightGray;
+  bool accepts_mouse = true;
+  bool accepts_keys = false;
+  bool wants_focus_on_click = false;
+  int hits = 0;
+  int paints = 0;
+  std::string typed;
+  InputEvent last_event;
+  std::vector<std::pair<std::string, std::string>> menu_items;
+  KeyMap keymap;
+};
+ATK_DEFINE_CLASS(BlockView, View, "blockview")
+
+// A split view: left/right children, each getting half the space.
+class SplitView : public View {
+  ATK_DECLARE_CLASS(SplitView)
+
+ public:
+  void Layout() override {
+    Rect b = graphic() != nullptr ? graphic()->LocalBounds() : Rect{};
+    int half = b.width / 2;
+    if (children().size() >= 1) {
+      children()[0]->Allocate(Rect{0, 0, half, b.height}, graphic());
+    }
+    if (children().size() >= 2) {
+      children()[1]->Allocate(Rect{half, 0, b.width - half, b.height}, graphic());
+    }
+  }
+};
+ATK_DEFINE_CLASS(SplitView, View, "splitview")
+
+class BaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterWindowSystemModules();
+    ws_ = WindowSystem::Open("itc");
+    ASSERT_NE(ws_, nullptr);
+    im_ = InteractionManager::Create(*ws_, 200, 100, "test");
+  }
+
+  void Pump() { im_->RunOnce(); }
+
+  std::unique_ptr<WindowSystem> ws_;
+  std::unique_ptr<InteractionManager> im_;
+};
+
+// ---- View tree basics -----------------------------------------------------------
+
+TEST_F(BaseTest, TreeLinksAndDepth) {
+  BlockView a;
+  BlockView b;
+  im_->SetChild(&a);
+  a.AddChild(&b);
+  EXPECT_EQ(a.parent(), im_.get());
+  EXPECT_EQ(b.parent(), &a);
+  EXPECT_EQ(b.GetIM(), im_.get());
+  EXPECT_EQ(im_->TreeDepth(), 0);
+  EXPECT_EQ(b.TreeDepth(), 2);
+}
+
+TEST_F(BaseTest, ChildDestructionUnlinks) {
+  BlockView a;
+  im_->SetChild(&a);
+  {
+    BlockView b;
+    a.AddChild(&b);
+    EXPECT_EQ(a.children().size(), 1u);
+  }
+  EXPECT_TRUE(a.children().empty());
+}
+
+TEST_F(BaseTest, AllocationCreatesClippedSubGraphic) {
+  BlockView a(kBlack);
+  im_->SetChild(&a);
+  EXPECT_TRUE(a.HasGraphic());
+  EXPECT_EQ(a.DeviceBounds(), (Rect{0, 0, 200, 100}));
+  Pump();
+  EXPECT_EQ(im_->window()->Display().GetPixel(100, 50), kBlack);
+}
+
+TEST_F(BaseTest, LayoutSplitsSpace) {
+  SplitView split;
+  BlockView left(kBlack);
+  BlockView right(kWhite);
+  split.AddChild(&left);
+  split.AddChild(&right);
+  im_->SetChild(&split);
+  EXPECT_EQ(left.DeviceBounds(), (Rect{0, 0, 100, 100}));
+  EXPECT_EQ(right.DeviceBounds(), (Rect{100, 0, 100, 100}));
+  Pump();
+  EXPECT_EQ(im_->window()->Display().GetPixel(50, 50), kBlack);
+  EXPECT_EQ(im_->window()->Display().GetPixel(150, 50), kWhite);
+}
+
+TEST_F(BaseTest, ResizeReallocatesTree) {
+  SplitView split;
+  BlockView left(kBlack);
+  BlockView right(kGray);
+  split.AddChild(&left);
+  split.AddChild(&right);
+  im_->SetChild(&split);
+  im_->window()->Resize(300, 80);
+  Pump();
+  EXPECT_EQ(left.DeviceBounds(), (Rect{0, 0, 150, 80}));
+  EXPECT_EQ(right.DeviceBounds(), (Rect{150, 0, 150, 80}));
+  EXPECT_EQ(im_->window()->Display().GetPixel(10, 10), kBlack);
+  EXPECT_EQ(im_->window()->Display().GetPixel(250, 40), kGray);
+}
+
+// ---- Parental-authority dispatch ---------------------------------------------------
+
+TEST_F(BaseTest, MouseEventRoutesDownToChild) {
+  SplitView split;
+  BlockView left;
+  BlockView right;
+  split.AddChild(&left);
+  split.AddChild(&right);
+  im_->SetChild(&split);
+  im_->window()->Inject(InputEvent::MouseAt(EventType::kMouseDown, Point{150, 50}));
+  Pump();
+  EXPECT_EQ(left.hits, 0);
+  EXPECT_EQ(right.hits, 1);
+  // Coordinates arrive child-local.
+  EXPECT_EQ(right.last_event.pos, (Point{50, 50}));
+}
+
+TEST_F(BaseTest, DecliningChildLetsEventFallThrough) {
+  SplitView split;
+  BlockView left;
+  left.accepts_mouse = false;
+  split.AddChild(&left);
+  im_->SetChild(&split);
+  im_->window()->Inject(InputEvent::MouseAt(EventType::kMouseDown, Point{10, 10}));
+  Pump();
+  EXPECT_EQ(left.hits, 1);       // Consulted...
+  EXPECT_EQ(im_->mouse_grab(), nullptr);  // ...but declined; nobody grabbed.
+}
+
+TEST_F(BaseTest, MouseGrabDeliversDragAndUpToAcceptor) {
+  SplitView split;
+  BlockView left;
+  BlockView right;
+  split.AddChild(&left);
+  split.AddChild(&right);
+  im_->SetChild(&split);
+  im_->window()->Inject(InputEvent::MouseAt(EventType::kMouseDown, Point{10, 10}));
+  im_->window()->Inject(InputEvent::MouseAt(EventType::kMouseDrag, Point{150, 50}));
+  im_->window()->Inject(InputEvent::MouseAt(EventType::kMouseUp, Point{180, 70}));
+  Pump();
+  EXPECT_EQ(left.hits, 3);  // Down, drag and up all went to the grab.
+  EXPECT_EQ(right.hits, 0);
+  // Drag coordinates stay relative to the grabbed view even outside it.
+  EXPECT_EQ(left.last_event.pos, (Point{180, 70}));
+  EXPECT_EQ(im_->mouse_grab(), nullptr);  // Released on up.
+}
+
+// A parent that steals clicks near its center line even over its children —
+// the frame's divider-drag case from §3.
+class StealingParent : public SplitView {
+  ATK_DECLARE_CLASS(StealingParent)
+
+ public:
+  View* Hit(const InputEvent& event) override {
+    int center = bounds().width / 2;
+    if (event.pos.x >= center - 5 && event.pos.x < center + 5) {
+      ++steals;
+      return this;
+    }
+    return SplitView::Hit(event);
+  }
+  int steals = 0;
+};
+ATK_DEFINE_CLASS(StealingParent, SplitView, "stealingparent")
+
+TEST_F(BaseTest, ParentMayClaimEventsOverChildren) {
+  StealingParent parent;
+  BlockView left;
+  BlockView right;
+  parent.AddChild(&left);
+  parent.AddChild(&right);
+  im_->SetChild(&parent);
+  // Click near the dividing line: parent takes it although geometrically the
+  // point is inside a child.
+  im_->window()->Inject(InputEvent::MouseAt(EventType::kMouseDown, Point{98, 50}));
+  Pump();
+  EXPECT_EQ(parent.steals, 1);
+  EXPECT_EQ(left.hits, 0);
+  // Away from the line, children get it as usual.
+  im_->window()->Inject(InputEvent::MouseAt(EventType::kMouseUp, Point{98, 50}));
+  im_->window()->Inject(InputEvent::MouseAt(EventType::kMouseDown, Point{20, 50}));
+  Pump();
+  EXPECT_EQ(left.hits, 1);
+}
+
+TEST_F(BaseTest, GlobalPhysicalModeBypassesParent) {
+  // The same scenario under the Base Editor's model: the deepest rectangle
+  // wins and the parent never gets a say.
+  StealingParent parent;
+  BlockView left;
+  BlockView right;
+  parent.AddChild(&left);
+  parent.AddChild(&right);
+  im_->SetChild(&parent);
+  im_->SetDispatchMode(InteractionManager::DispatchMode::kGlobalPhysical);
+  im_->window()->Inject(InputEvent::MouseAt(EventType::kMouseDown, Point{98, 50}));
+  Pump();
+  EXPECT_EQ(parent.steals, 0);
+  EXPECT_EQ(left.hits, 1);
+}
+
+// ---- Delayed update ------------------------------------------------------------------
+
+TEST_F(BaseTest, PostUpdateCoalescesIntoOneCycle) {
+  BlockView a;
+  im_->SetChild(&a);
+  Pump();
+  a.paints = 0;
+  im_->ResetStats();
+  a.PostUpdate(Rect{0, 0, 10, 10});
+  a.PostUpdate(Rect{5, 5, 10, 10});
+  a.PostUpdate(Rect{0, 0, 10, 10});
+  EXPECT_TRUE(im_->HasPendingDamage());
+  Pump();
+  EXPECT_EQ(a.paints, 1);  // One update pass, not three.
+  EXPECT_EQ(im_->stats().update_cycles, 1u);
+  EXPECT_EQ(im_->stats().damage_posts, 3u);
+  EXPECT_FALSE(im_->HasPendingDamage());
+}
+
+TEST_F(BaseTest, UpdateOnlyTouchesDamagedViews) {
+  SplitView split;
+  BlockView left;
+  BlockView right;
+  split.AddChild(&left);
+  split.AddChild(&right);
+  im_->SetChild(&split);
+  Pump();
+  left.paints = 0;
+  right.paints = 0;
+  left.PostUpdate(Rect{0, 0, 5, 5});
+  Pump();
+  EXPECT_EQ(left.paints, 1);
+  EXPECT_EQ(right.paints, 0);
+}
+
+TEST_F(BaseTest, DamageClipPreventsOverpaint) {
+  BlockView a(kBlack);
+  im_->SetChild(&a);
+  Pump();
+  // Scribble directly on the window, then damage only a small area; the
+  // repaint must not repaint pixels outside the damage.
+  im_->window()->GetGraphic()->FillRect(Rect{0, 0, 200, 100}, kGray);
+  a.PostUpdate(Rect{0, 0, 10, 10});
+  Pump();
+  EXPECT_EQ(im_->window()->Display().GetPixel(5, 5), kBlack);     // Repainted.
+  EXPECT_EQ(im_->window()->Display().GetPixel(50, 50), kGray);    // Untouched.
+}
+
+TEST_F(BaseTest, DataChangeSchedulesRepaintViaObserver) {
+  // Local class: inherits GetClassInfo from DataObject (no registration).
+  class CounterData : public DataObject {
+   public:
+    void Bump() {
+      ++value;
+      Change change;
+      change.kind = Change::Kind::kModified;
+      NotifyObservers(change);
+    }
+    void WriteBody(DataStreamWriter&) const override {}
+    bool ReadBody(DataStreamReader& r, ReadContext&) override {
+      return ConsumeUntilEndData(r);
+    }
+    int value = 0;
+  };
+  static CounterData data;
+  BlockView a;
+  BlockView b;
+  SplitView split;
+  split.AddChild(&a);
+  split.AddChild(&b);
+  im_->SetChild(&split);
+  a.SetDataObject(&data);
+  b.SetDataObject(&data);
+  Pump();
+  a.paints = 0;
+  b.paints = 0;
+  data.Bump();
+  // Both views of the one data object repaint in the same cycle (§2).
+  Pump();
+  EXPECT_EQ(a.paints, 1);
+  EXPECT_EQ(b.paints, 1);
+  a.SetDataObject(nullptr);
+  b.SetDataObject(nullptr);
+}
+
+TEST_F(BaseTest, ExposeEventDamagesRegion) {
+  BlockView a(kBlack);
+  im_->SetChild(&a);
+  Pump();
+  a.paints = 0;
+  im_->window()->Inject(InputEvent::Exposure(Rect{10, 10, 20, 20}));
+  Pump();
+  EXPECT_EQ(a.paints, 1);
+}
+
+// ---- Focus, keymaps, menus -----------------------------------------------------------
+
+TEST_F(BaseTest, ClickSetsFocusAndKeysFollow) {
+  SplitView split;
+  BlockView left;
+  BlockView right;
+  left.accepts_keys = true;
+  right.accepts_keys = true;
+  left.wants_focus_on_click = true;
+  right.wants_focus_on_click = true;
+  split.AddChild(&left);
+  split.AddChild(&right);
+  im_->SetChild(&split);
+  im_->window()->Inject(InputEvent::MouseAt(EventType::kMouseDown, Point{10, 10}));
+  im_->window()->Inject(InputEvent::MouseAt(EventType::kMouseUp, Point{10, 10}));
+  im_->window()->Inject(InputEvent::KeyPress('x'));
+  Pump();
+  EXPECT_EQ(im_->input_focus(), &left);
+  EXPECT_EQ(left.typed, "x");
+  im_->window()->Inject(InputEvent::MouseAt(EventType::kMouseDown, Point{150, 10}));
+  im_->window()->Inject(InputEvent::MouseAt(EventType::kMouseUp, Point{150, 10}));
+  im_->window()->Inject(InputEvent::KeyPress('y'));
+  Pump();
+  EXPECT_EQ(right.typed, "y");
+  EXPECT_EQ(left.typed, "x");
+  EXPECT_FALSE(left.has_input_focus());
+  EXPECT_TRUE(right.has_input_focus());
+}
+
+TEST_F(BaseTest, KeymapSequenceInvokesProc) {
+  static std::string invoked;
+  ProcTable::Instance().Register("test-save", [](View*, long rock) {
+    invoked = "saved:" + std::to_string(rock);
+  });
+  BlockView a;
+  a.accepts_keys = true;
+  a.keymap.Bind(std::string{Ctl('x')} + std::string{Ctl('s')}, "test-save", 42);
+  im_->SetChild(&a);
+  im_->SetInputFocus(&a);
+  im_->window()->Inject(InputEvent::KeyPress(Ctl('x')));
+  im_->window()->Inject(InputEvent::KeyPress(Ctl('s')));
+  Pump();
+  EXPECT_EQ(invoked, "saved:42");
+  EXPECT_TRUE(a.typed.empty());  // Sequence consumed, not self-inserted.
+}
+
+TEST_F(BaseTest, UnboundKeyFallsBackToHandleKey) {
+  BlockView a;
+  a.accepts_keys = true;
+  a.keymap.Bind(std::string{Ctl('x')} + "q", "no-such-proc");
+  im_->SetChild(&a);
+  im_->SetInputFocus(&a);
+  im_->window()->Inject(InputEvent::KeyPress('h'));
+  im_->window()->Inject(InputEvent::KeyPress('i'));
+  Pump();
+  EXPECT_EQ(a.typed, "hi");
+}
+
+TEST_F(BaseTest, ChildKeymapShadowsParent) {
+  static std::string invoked;
+  ProcTable::Instance().Register("test-inner", [](View*, long) { invoked = "inner"; });
+  ProcTable::Instance().Register("test-outer", [](View*, long) { invoked = "outer"; });
+  BlockView parent;
+  BlockView child;
+  parent.keymap.Bind("k", "test-outer");
+  child.keymap.Bind("k", "test-inner");
+  parent.AddChild(&child);
+  im_->SetChild(&parent);
+  parent.Layout();
+  im_->SetInputFocus(&child);
+  invoked.clear();
+  im_->window()->Inject(InputEvent::KeyPress('k'));
+  Pump();
+  EXPECT_EQ(invoked, "inner");
+}
+
+TEST_F(BaseTest, MenusComposeAlongFocusPathInnermostFirst) {
+  static std::string invoked;
+  ProcTable::Instance().Register("test-menu-child", [](View*, long) { invoked = "child"; });
+  ProcTable::Instance().Register("test-menu-parent", [](View*, long) { invoked = "parent"; });
+  SplitView split;
+  BlockView child;
+  child.menu_items = {{"Edit~Cut", "test-menu-child"}, {"File~Save", "test-menu-child"}};
+  BlockView parent_proxy;  // Stands in for split contributing items.
+  parent_proxy.menu_items = {{"File~Save", "test-menu-parent"}, {"File~Quit", "test-menu-parent"}};
+  parent_proxy.AddChild(&child);
+  split.AddChild(&parent_proxy);
+  im_->SetChild(&split);
+  im_->SetInputFocus(&child);
+  MenuList menus = im_->ComposeMenus();
+  // Child's File~Save shadows the parent's.
+  const MenuItem* save = menus.Find("File~Save");
+  ASSERT_NE(save, nullptr);
+  EXPECT_EQ(save->proc_name, "test-menu-child");
+  ASSERT_NE(menus.Find("File~Quit"), nullptr);
+  // Menu events route through the composed list.
+  invoked.clear();
+  im_->window()->Inject(InputEvent::MenuChoice("Edit~Cut"));
+  Pump();
+  EXPECT_EQ(invoked, "child");
+  invoked.clear();
+  im_->window()->Inject(InputEvent::MenuChoice("File~Quit"));
+  Pump();
+  EXPECT_EQ(invoked, "parent");
+}
+
+TEST_F(BaseTest, CursorArbitrationAsksParentFirst) {
+  class DividerCursorParent : public SplitView {
+   public:
+    CursorShape CursorAt(Point local) override {
+      int center = bounds().width / 2;
+      if (local.x >= center - 5 && local.x < center + 5) {
+        return CursorShape::kHorizontalBars;
+      }
+      return SplitView::CursorAt(local);
+    }
+  };
+  static DividerCursorParent parent;
+  static BlockView left;
+  static BlockView right;
+  left.SetPreferredCursor(CursorShape::kIBeam);
+  right.SetPreferredCursor(CursorShape::kCrosshair);
+  if (parent.children().empty()) {
+    parent.AddChild(&left);
+    parent.AddChild(&right);
+  }
+  im_->SetChild(&parent);
+  im_->window()->Inject(InputEvent::MouseAt(EventType::kMouseMove, Point{20, 50}));
+  Pump();
+  EXPECT_EQ(im_->current_cursor(), CursorShape::kIBeam);
+  im_->window()->Inject(InputEvent::MouseAt(EventType::kMouseMove, Point{98, 50}));
+  Pump();
+  EXPECT_EQ(im_->current_cursor(), CursorShape::kHorizontalBars);
+  im_->window()->Inject(InputEvent::MouseAt(EventType::kMouseMove, Point{150, 50}));
+  Pump();
+  EXPECT_EQ(im_->current_cursor(), CursorShape::kCrosshair);
+}
+
+// ---- Data objects & documents ----------------------------------------------------------
+
+// A minimal concrete data object: a named bag of text.
+class NoteData : public DataObject {
+  ATK_DECLARE_CLASS(NoteData)
+
+ public:
+  void WriteBody(DataStreamWriter& w) const override { w.WriteText(text); }
+  bool ReadBody(DataStreamReader& r, ReadContext&) override {
+    using K = DataStreamReader::Token::Kind;
+    text.clear();
+    while (true) {
+      DataStreamReader::Token t = r.Next();
+      if (t.kind == K::kEndData) {
+        return true;
+      }
+      if (t.kind == K::kEof) {
+        return false;
+      }
+      if (t.kind == K::kText) {
+        text += t.text;
+      }
+    }
+  }
+  std::string text;
+};
+ATK_DEFINE_CLASS(NoteData, DataObject, "note")
+
+class DataIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static bool declared = [] {
+      ModuleSpec spec;
+      spec.name = "test-note";
+      spec.provides = {"note"};
+      spec.init = [] { ClassRegistry::Instance().Register(NoteData::StaticClassInfo()); };
+      return Loader::Instance().DeclareModule(std::move(spec));
+    }();
+    ASSERT_TRUE(declared);
+  }
+};
+
+TEST_F(DataIoTest, DocumentRoundTrip) {
+  NoteData note;
+  note.text = "hello\nworld\n";
+  std::string doc = WriteDocument(note);
+  ReadContext ctx;
+  std::unique_ptr<DataObject> read = ReadDocument(doc, &ctx);
+  ASSERT_NE(read, nullptr);
+  EXPECT_TRUE(ctx.ok());
+  NoteData* back = ObjectCast<NoteData>(read.get());
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->text, "hello\nworld\n");
+}
+
+TEST_F(DataIoTest, ReadLoadsModuleOnDemand) {
+  Loader::Instance().UnloadAllForTest();
+  EXPECT_FALSE(ClassRegistry::Instance().IsRegistered("note"));
+  std::unique_ptr<DataObject> read =
+      ReadDocument("\\begindata{note,1}\nondemand\\enddata{note,1}\n");
+  ASSERT_NE(read, nullptr);
+  EXPECT_TRUE(Loader::Instance().IsLoaded("test-note"));
+  NoteData* note = ObjectCast<NoteData>(read.get());
+  ASSERT_NE(note, nullptr);
+  EXPECT_EQ(note->text, "ondemand");
+}
+
+TEST_F(DataIoTest, UnknownTypeSurvivesRoundTrip) {
+  std::string doc =
+      "\\begindata{music,3}\nCDEFGAB half-note{q}\n\\enddata{music,3}\n";
+  ReadContext ctx;
+  std::unique_ptr<DataObject> read = ReadDocument(doc, &ctx);
+  ASSERT_NE(read, nullptr);
+  UnknownObject* unknown = ObjectCast<UnknownObject>(read.get());
+  ASSERT_NE(unknown, nullptr);
+  EXPECT_EQ(unknown->DataTypeName(), "music");
+  // Re-written output preserves the original bytes (modulo the id, which is
+  // reassigned per stream).
+  std::string rewritten = WriteDocument(*read);
+  EXPECT_NE(rewritten.find("\\begindata{music,"), std::string::npos);
+  EXPECT_NE(rewritten.find("CDEFGAB half-note{q}"), std::string::npos);
+}
+
+TEST_F(DataIoTest, TruncatedDocumentReportsError) {
+  ReadContext ctx;
+  std::unique_ptr<DataObject> read =
+      ReadDocument("\\begindata{note,1}\npartial text", &ctx);
+  ASSERT_NE(read, nullptr);  // Best-effort parse survives.
+  EXPECT_FALSE(ctx.ok());
+}
+
+// ---- Printing ---------------------------------------------------------------------------
+
+TEST_F(BaseTest, PrintViewRendersOntoPage) {
+  BlockView a(kBlack);
+  PrintJob job(120, 80, 8);
+  PrintView(a, job);
+  EXPECT_EQ(job.page_count(), 1);
+  // The view filled the printable area.
+  EXPECT_EQ(job.page(0).GetPixel(60, 40), kBlack);
+  EXPECT_EQ(job.page(0).GetPixel(2, 2), kWhite);  // Margin.
+}
+
+// ---- runapp ------------------------------------------------------------------------------
+
+class HelloApp : public Application {
+  ATK_DECLARE_CLASS(HelloApp)
+
+ public:
+  std::unique_ptr<InteractionManager> Start(WindowSystem& ws,
+                                            const std::vector<std::string>& args) override {
+    auto im = InteractionManager::Create(ws, 100, 50, args.empty() ? "" : args[0]);
+    view_ = std::make_unique<BlockView>(kBlack);
+    im->SetChild(view_.get());
+    return im;
+  }
+
+ private:
+  std::unique_ptr<BlockView> view_;
+};
+ATK_DEFINE_CLASS(HelloApp, Application, "helloapp")
+
+TEST_F(BaseTest, RunAppLoadsModuleAndStarts) {
+  static bool declared = [] {
+    ModuleSpec spec;
+    spec.name = "app-hello";
+    spec.provides = {"helloapp"};
+    spec.text_bytes = 20000;
+    spec.init = [] { ClassRegistry::Instance().Register(HelloApp::StaticClassInfo()); };
+    return Loader::Instance().DeclareModule(std::move(spec));
+  }();
+  ASSERT_TRUE(declared);
+  std::unique_ptr<InteractionManager> im = RunApp("hello", *ws_);
+  ASSERT_NE(im, nullptr);
+  EXPECT_TRUE(Loader::Instance().IsLoaded("app-hello"));
+  EXPECT_EQ(im->window()->title(), "hello");
+  im->RunOnce();
+  EXPECT_EQ(im->window()->Display().GetPixel(50, 25), kBlack);
+  EXPECT_EQ(RunApp("no-such-app", *ws_), nullptr);
+}
+
+}  // namespace
+}  // namespace atk

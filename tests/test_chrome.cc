@@ -1,0 +1,314 @@
+// Focused coverage for the interaction chrome: menu masks and composition,
+// keymap prefix machinery, the proc table's conventions, fonts, and the
+// print job — the small mechanisms the §3 "parental authority" channels run
+// on.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/standard_modules.h"
+#include "src/base/keymap.h"
+#include "src/base/menus.h"
+#include "src/base/interaction_manager.h"
+#include "src/base/proctable.h"
+#include "src/class_system/loader.h"
+#include "src/base/menu_popup.h"
+#include "src/components/text/text_view.h"
+#include "src/components/widgets/menu_view.h"
+#include "src/wm/window_system.h"
+
+namespace atk {
+namespace {
+
+// ---- MenuList masks & composition -----------------------------------------------
+
+TEST(Menus, MaskHidesAndShowsItemGroups) {
+  // ATK's menu masks: a view flips whole groups on/off (selection-dependent
+  // items being the classic use).
+  constexpr uint32_t kAlways = 1u << 0;
+  constexpr uint32_t kWithSelection = 1u << 1;
+  MenuList menus;
+  menus.Add("Edit~Paste", "paste", 0, kAlways);
+  menus.Add("Edit~Cut", "cut", 0, kWithSelection);
+  menus.Add("Edit~Copy", "copy", 0, kWithSelection);
+
+  menus.SetActiveMask(kAlways);
+  EXPECT_EQ(menus.Visible().size(), 1u);
+  EXPECT_EQ(menus.Find("Edit~Cut"), nullptr);
+  ASSERT_NE(menus.Find("Edit~Paste"), nullptr);
+
+  menus.SetActiveMask(kAlways | kWithSelection);
+  EXPECT_EQ(menus.Visible().size(), 3u);
+  EXPECT_NE(menus.Find("Edit~Cut"), nullptr);
+}
+
+TEST(Menus, AddReplacesSameCardLabel) {
+  MenuList menus;
+  menus.Add("File~Save", "save-v1");
+  menus.Add("File~Save", "save-v2");
+  EXPECT_EQ(menus.size(), 1u);
+  EXPECT_EQ(menus.Find("File~Save")->proc_name, "save-v2");
+}
+
+TEST(Menus, AppendShadowsByCardAndLabel) {
+  MenuList inner;
+  inner.Add("File~Save", "inner-save");
+  MenuList outer;
+  outer.Add("File~Save", "outer-save");
+  outer.Add("File~Quit", "outer-quit");
+  MenuList composed;
+  composed.Append(inner);   // Innermost first (focus path order).
+  composed.Append(outer);
+  EXPECT_EQ(composed.size(), 2u);
+  EXPECT_EQ(composed.Find("File~Save")->proc_name, "inner-save");
+  EXPECT_EQ(composed.Find("File~Quit")->proc_name, "outer-quit");
+}
+
+TEST(Menus, BareLabelSpecUsesDefaultCardAndBareLookupMatchesAnyCard) {
+  MenuList menus;
+  menus.Add("Undo", "undo");  // Default card.
+  menus.Add("Search~Forward", "fwd");
+  EXPECT_EQ(menus.Find("Undo")->card, "Main");
+  // Bare lookup finds the item whatever card it landed on.
+  EXPECT_NE(menus.Find("Forward"), nullptr);
+  EXPECT_EQ(menus.Find("Backward"), nullptr);
+}
+
+TEST(Menus, RemoveDeletesByCardAndLabel) {
+  MenuList menus;
+  menus.Add("File~Save", "save");
+  menus.Add("File~Open", "open");
+  menus.Remove("File~Save");
+  EXPECT_EQ(menus.size(), 1u);
+  EXPECT_EQ(menus.Find("File~Save"), nullptr);
+}
+
+// ---- KeyMap / KeyState ----------------------------------------------------------------
+
+TEST(KeyMaps, PrefixDetection) {
+  KeyMap map;
+  map.Bind("abc", "p1");
+  map.Bind("abd", "p2");
+  map.Bind("x", "p3");
+  EXPECT_TRUE(map.IsPrefix("a"));
+  EXPECT_TRUE(map.IsPrefix("ab"));
+  EXPECT_FALSE(map.IsPrefix("abc"));  // Exact is not a strict prefix.
+  EXPECT_FALSE(map.IsPrefix("b"));
+  EXPECT_FALSE(map.IsPrefix("xq"));
+  EXPECT_EQ(map.Lookup("abd")->proc_name, "p2");
+  map.Unbind("abd");
+  EXPECT_EQ(map.Lookup("abd"), nullptr);
+  EXPECT_TRUE(map.IsPrefix("ab"));  // "abc" still there.
+}
+
+TEST(KeyMaps, KeyStateWalksChainInnermostFirst) {
+  KeyMap inner;
+  KeyMap outer;
+  inner.Bind("k", "inner-k");
+  outer.Bind("k", "outer-k");
+  outer.Bind("q", "outer-q");
+  std::vector<const KeyMap*> chain = {&inner, &outer};
+  KeyState state;
+  ASSERT_EQ(state.Feed('k', chain), KeyState::Result::kComplete);
+  EXPECT_EQ(state.binding()->proc_name, "inner-k");  // Shadowing.
+  ASSERT_EQ(state.Feed('q', chain), KeyState::Result::kComplete);
+  EXPECT_EQ(state.binding()->proc_name, "outer-q");  // Fallthrough.
+}
+
+TEST(KeyMaps, PrefixAccumulatesAcrossMapsAndResetsOnMiss) {
+  KeyMap map;
+  map.Bind(std::string{Ctl('x')} + std::string{Ctl('s')}, "save");
+  std::vector<const KeyMap*> chain = {&map};
+  KeyState state;
+  EXPECT_EQ(state.Feed(Ctl('x'), chain), KeyState::Result::kPrefix);
+  EXPECT_EQ(state.pending().size(), 1u);
+  EXPECT_EQ(state.Feed('z', chain), KeyState::Result::kNoMatch);
+  EXPECT_TRUE(state.pending().empty());  // Reset after the miss.
+  EXPECT_EQ(state.Feed(Ctl('x'), chain), KeyState::Result::kPrefix);
+  EXPECT_EQ(state.Feed(Ctl('s'), chain), KeyState::Result::kComplete);
+  EXPECT_EQ(state.binding()->proc_name, "save");
+}
+
+TEST(KeyMaps, CtlHelperMapsToControlBytes) {
+  EXPECT_EQ(Ctl('a'), '\001');
+  EXPECT_EQ(Ctl('x'), '\030');
+  EXPECT_EQ(Ctl('A'), '\001');
+}
+
+// ---- ProcTable -----------------------------------------------------------------------------
+
+TEST(Procs, RegisterInvokeUnregister) {
+  ProcTable& procs = ProcTable::Instance();
+  int calls = 0;
+  long seen_rock = 0;
+  procs.Register("chrome-test-proc", [&](View*, long rock) {
+    ++calls;
+    seen_rock = rock;
+  });
+  EXPECT_TRUE(procs.Contains("chrome-test-proc"));
+  EXPECT_TRUE(procs.Invoke("chrome-test-proc", nullptr, 99));
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen_rock, 99);
+  procs.Unregister("chrome-test-proc");
+  EXPECT_FALSE(procs.Contains("chrome-test-proc"));
+  EXPECT_FALSE(procs.Invoke("chrome-test-proc", nullptr));
+}
+
+TEST(Procs, UnknownNameWithUnknownModulePrefixFails) {
+  EXPECT_FALSE(ProcTable::Instance().Invoke("nosuchthing-at-all", nullptr));
+}
+
+TEST(Procs, ReplacingARegistrationWins) {
+  ProcTable& procs = ProcTable::Instance();
+  std::string hit;
+  procs.Register("chrome-replace", [&](View*, long) { hit = "old"; });
+  procs.Register("chrome-replace", [&](View*, long) { hit = "new"; });
+  procs.Invoke("chrome-replace", nullptr);
+  EXPECT_EQ(hit, "new");
+  procs.Unregister("chrome-replace");
+}
+
+// ---- Loader pinning (runapp's resident base) --------------------------------------------------
+
+TEST(LoaderPinning, PinnedModulesRefuseUnload) {
+  RegisterStandardModules();
+  Loader& loader = Loader::Instance();
+  ASSERT_TRUE(loader.Pin("widgets"));
+  EXPECT_TRUE(loader.IsLoaded("widgets"));
+  EXPECT_FALSE(loader.Unload("widgets"));
+  loader.UnloadAllForTest();
+  EXPECT_TRUE(loader.IsLoaded("widgets"));  // Survives even test cleanup.
+}
+
+// ---- Fonts: interning and parsing edges --------------------------------------------------------
+
+TEST(Fonts, InterningReturnsSameInstance) {
+  const Font& a = Font::Get(FontSpec{"andy", 12, kBold});
+  const Font& b = Font::Get(FontSpec{"andy", 12, kBold});
+  EXPECT_EQ(&a, &b);
+  const Font& c = Font::Get(FontSpec{"andy", 12, kPlain});
+  EXPECT_NE(&a, &c);
+}
+
+TEST(Fonts, ParseHandlesMissingPieces) {
+  FontSpec no_size = FontSpec::Parse("andy");
+  EXPECT_EQ(no_size.family, "andy");
+  EXPECT_EQ(no_size.size, 10);  // Default survives.
+  FontSpec no_family = FontSpec::Parse("12b");
+  EXPECT_EQ(no_family.family, "andy");
+  EXPECT_EQ(no_family.size, 12);
+  EXPECT_EQ(no_family.style, unsigned{kBold});
+}
+
+TEST(Fonts, NonAsciiGlyphRendersAsBox) {
+  const Font& font = Font::Default();
+  // The replacement box is fully inked in its 5x7 master cell.
+  int ink = 0;
+  for (int y = 0; y < 7; ++y) {
+    for (int x = 0; x < 5; ++x) {
+      ink += font.GlyphBit(static_cast<char>(0xF0), x, y) ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(ink, 35);
+}
+
+// ---- Pop-up menus through the interaction manager ------------------------------------------------
+
+TEST(PopupMenus, RightClickRaisesChoosesAndDismisses) {
+  RegisterStandardModules();
+  Loader& loader = Loader::Instance();
+  loader.Require("text");
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  auto im = InteractionManager::Create(*ws, 300, 200, "menus");
+  TextData text;
+  text.SetText("hello menu world");
+  TextView view;
+  view.SetText(&text);
+  im->SetChild(&view);
+  im->SetInputFocus(&view);
+  view.SetDot(0, 5);  // Select "hello" so Edit~Copy has something to copy.
+  im->RunOnce();
+
+  // Right-click raises the composed menus; the widgets module loads on
+  // demand to provide the popup class.
+  im->window()->Inject(InputEvent::MouseAt(EventType::kMouseDown, Point{40, 40}, kRightButton));
+  im->RunOnce();
+  ASSERT_TRUE(im->menus_visible());
+  EXPECT_TRUE(loader.IsLoaded("widgets"));
+  View* popup = im->popup_menu();
+  ASSERT_NE(popup, nullptr);
+  EXPECT_FALSE(popup->bounds().IsEmpty());
+  // The popup painted over the text.
+  const PixelImage& display = im->window()->Display();
+  Rect popup_bounds = popup->DeviceBounds();
+  EXPECT_EQ(display.GetPixel(popup_bounds.x, popup_bounds.y), kBlack);  // Border.
+
+  // Drag to the "Edit~Copy" row and release: the proc runs, menu dismisses.
+  MenuPopupView* typed = ObjectCast<MenuPopupView>(popup);
+  ASSERT_NE(typed, nullptr);
+  MenuView* concrete = ObjectCast<MenuView>(popup);
+  ASSERT_NE(concrete, nullptr);
+  int copy_row = -1;
+  for (size_t i = 0; i < concrete->rows().size(); ++i) {
+    if (!concrete->rows()[i].is_header && concrete->rows()[i].label == "Copy") {
+      copy_row = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(copy_row, 0);
+  Point over_copy = popup_bounds.origin() +
+                    Point{10, copy_row * concrete->RowHeight() + 2};
+  TextView::KillBuffer().clear();
+  im->window()->Inject(InputEvent::MouseAt(EventType::kMouseDrag, over_copy));
+  im->RunOnce();
+  EXPECT_EQ(concrete->highlighted(), copy_row);
+  im->window()->Inject(InputEvent::MouseAt(EventType::kMouseUp, over_copy));
+  im->RunOnce();
+  EXPECT_FALSE(im->menus_visible());
+  EXPECT_EQ(TextView::KillBuffer(), "hello");  // Edit~Copy ran on the focus view.
+  // The area under the popup was repainted.
+  im->RunOnce();
+  view.SetText(nullptr);
+}
+
+TEST(PopupMenus, ReleaseOutsideDismissesWithoutInvoking) {
+  RegisterStandardModules();
+  Loader::Instance().Require("text");
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  auto im = InteractionManager::Create(*ws, 300, 200, "menus");
+  TextData text;
+  text.SetText("abc");
+  TextView view;
+  view.SetText(&text);
+  im->SetChild(&view);
+  im->SetInputFocus(&view);
+  im->RunOnce();
+  im->ResetStats();
+  im->window()->Inject(InputEvent::MouseAt(EventType::kMouseDown, Point{10, 10}, kRightButton));
+  im->RunOnce();
+  ASSERT_TRUE(im->menus_visible());
+  im->window()->Inject(InputEvent::MouseAt(EventType::kMouseUp, Point{299, 199}));
+  im->RunOnce();
+  EXPECT_FALSE(im->menus_visible());
+  EXPECT_EQ(im->stats().proc_invocations, 0u);
+  view.SetText(nullptr);
+}
+
+// ---- Message-line + dialog default behaviour through an app-level view --------------------------
+
+TEST(Chrome, MenuEventForUnknownItemIsIgnored) {
+  RegisterStandardModules();
+  Loader::Instance().Require("text");
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  auto im = InteractionManager::Create(*ws, 200, 100, "chrome");
+  TextData text;
+  TextView view;
+  view.SetText(&text);
+  im->SetChild(&view);
+  im->SetInputFocus(&view);
+  im->window()->Inject(InputEvent::MenuChoice("NoSuch~Item"));
+  im->RunOnce();  // Must not crash or invoke anything.
+  EXPECT_EQ(im->stats().proc_invocations, 0u);
+  view.SetText(nullptr);
+}
+
+}  // namespace
+}  // namespace atk

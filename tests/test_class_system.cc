@@ -1,0 +1,358 @@
+// Unit tests for the Andrew Class System runtime: ClassInfo lineage, the
+// registry, named construction, the observer protocol and the simulated
+// dynamic loader.
+
+#include <gtest/gtest.h>
+
+#include "src/class_system/class_info.h"
+#include "src/class_system/loader.h"
+#include "src/class_system/object.h"
+#include "src/class_system/observable.h"
+
+namespace atk {
+namespace {
+
+class Animal : public Object {
+  ATK_DECLARE_CLASS(Animal)
+ public:
+  virtual std::string Noise() const { return "..."; }
+};
+ATK_DEFINE_CLASS(Animal, Object, "animal")
+
+class Dog : public Animal {
+  ATK_DECLARE_CLASS(Dog)
+ public:
+  std::string Noise() const override { return "woof"; }
+};
+ATK_DEFINE_CLASS(Dog, Animal, "dog")
+
+class Cat : public Animal {
+  ATK_DECLARE_CLASS(Cat)
+};
+ATK_DEFINE_CLASS(Cat, Animal, "cat")
+
+TEST(ClassInfo, LineageNamesAndDepth) {
+  EXPECT_EQ(Dog::StaticClassInfo().name(), "dog");
+  EXPECT_EQ(Dog::StaticClassInfo().parent(), &Animal::StaticClassInfo());
+  EXPECT_EQ(Object::StaticClassInfo().parent(), nullptr);
+  EXPECT_EQ(Object::StaticClassInfo().InheritanceDepth(), 0);
+  EXPECT_EQ(Dog::StaticClassInfo().InheritanceDepth(), 2);
+}
+
+TEST(ClassInfo, DerivesFrom) {
+  EXPECT_TRUE(Dog::StaticClassInfo().DerivesFrom(Animal::StaticClassInfo()));
+  EXPECT_TRUE(Dog::StaticClassInfo().DerivesFrom(Object::StaticClassInfo()));
+  EXPECT_FALSE(Animal::StaticClassInfo().DerivesFrom(Dog::StaticClassInfo()));
+  EXPECT_FALSE(Dog::StaticClassInfo().DerivesFrom(Cat::StaticClassInfo()));
+}
+
+TEST(Object, IsAByInfoAndByName) {
+  Dog dog;
+  EXPECT_TRUE(dog.IsA(Animal::StaticClassInfo()));
+  EXPECT_TRUE(dog.IsA("animal"));
+  EXPECT_TRUE(dog.IsA("object"));
+  EXPECT_FALSE(dog.IsA("cat"));
+  EXPECT_EQ(dog.class_name(), "dog");
+}
+
+TEST(Object, ObjectCastChecksLineage) {
+  Dog dog;
+  Object* obj = &dog;
+  EXPECT_EQ(ObjectCast<Dog>(obj), &dog);
+  EXPECT_EQ(ObjectCast<Animal>(obj), &dog);
+  EXPECT_EQ(ObjectCast<Cat>(obj), nullptr);
+}
+
+TEST(Object, OwningObjectCastDestroysOnMismatch) {
+  std::unique_ptr<Object> obj = std::make_unique<Dog>();
+  std::unique_ptr<Cat> cat = ObjectCast<Cat>(std::move(obj));
+  EXPECT_EQ(cat, nullptr);
+  obj = std::make_unique<Dog>();
+  std::unique_ptr<Animal> animal = ObjectCast<Animal>(std::move(obj));
+  ASSERT_NE(animal, nullptr);
+  EXPECT_EQ(animal->Noise(), "woof");
+}
+
+TEST(ClassRegistry, RegisterFindNew) {
+  ClassRegistry& registry = ClassRegistry::Instance();
+  EXPECT_TRUE(registry.Register(Dog::StaticClassInfo()));
+  // Re-registering the same info is a no-op success.
+  EXPECT_TRUE(registry.Register(Dog::StaticClassInfo()));
+  ASSERT_NE(registry.Find("dog"), nullptr);
+  std::unique_ptr<Object> obj = registry.New("dog");
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(obj->class_name(), "dog");
+  registry.Unregister("dog");
+  EXPECT_EQ(registry.Find("dog"), nullptr);
+}
+
+TEST(ClassRegistry, AbstractClassHasNoFactory) {
+  EXPECT_TRUE(Object::StaticClassInfo().is_abstract());
+  EXPECT_EQ(Object::StaticClassInfo().NewInstance(), nullptr);
+  EXPECT_FALSE(Dog::StaticClassInfo().is_abstract());
+}
+
+// ---- Observable ------------------------------------------------------------
+
+class RecordingObserver : public Observer {
+ public:
+  void ObservedChanged(Observable* changed, const Change& change) override {
+    ++count;
+    last = change;
+    last_source = changed;
+    if (remove_self_from != nullptr) {
+      remove_self_from->RemoveObserver(this);
+    }
+  }
+  int count = 0;
+  Change last;
+  Observable* last_source = nullptr;
+  Observable* remove_self_from = nullptr;
+};
+
+TEST(Observable, NotifyReachesAllObservers) {
+  Observable subject;
+  RecordingObserver a;
+  RecordingObserver b;
+  subject.AddObserver(&a);
+  subject.AddObserver(&b);
+  Change change;
+  change.kind = Change::Kind::kInserted;
+  change.pos = 7;
+  change.added = 3;
+  subject.NotifyObservers(change);
+  EXPECT_EQ(a.count, 1);
+  EXPECT_EQ(b.count, 1);
+  EXPECT_EQ(a.last.kind, Change::Kind::kInserted);
+  EXPECT_EQ(a.last.pos, 7);
+  EXPECT_EQ(a.last_source, &subject);
+}
+
+TEST(Observable, DuplicateAddIsIgnored) {
+  Observable subject;
+  RecordingObserver a;
+  subject.AddObserver(&a);
+  subject.AddObserver(&a);
+  EXPECT_EQ(subject.observer_count(), 1u);
+  subject.NotifyObservers(Change{});
+  EXPECT_EQ(a.count, 1);
+}
+
+TEST(Observable, ObserverMayRemoveItselfDuringNotify) {
+  Observable subject;
+  RecordingObserver a;
+  RecordingObserver b;
+  a.remove_self_from = &subject;
+  subject.AddObserver(&a);
+  subject.AddObserver(&b);
+  subject.NotifyObservers(Change{});
+  EXPECT_EQ(a.count, 1);
+  EXPECT_EQ(b.count, 1);
+  subject.NotifyObservers(Change{});
+  EXPECT_EQ(a.count, 1);  // a detached itself.
+  EXPECT_EQ(b.count, 2);
+}
+
+TEST(Observable, DestructionNotifiesWithDestroyedKind) {
+  RecordingObserver a;
+  {
+    Observable subject;
+    subject.AddObserver(&a);
+  }
+  EXPECT_EQ(a.count, 1);
+  EXPECT_EQ(a.last.kind, Change::Kind::kDestroyed);
+}
+
+TEST(Observable, ObserverDyingFirstDetachesItself) {
+  // Regression (caught by UBSan): an observer destroyed before the
+  // observable must leave no dangling pointer behind.
+  Observable subject;
+  {
+    RecordingObserver short_lived;
+    subject.AddObserver(&short_lived);
+    EXPECT_EQ(subject.observer_count(), 1u);
+  }
+  EXPECT_EQ(subject.observer_count(), 0u);
+  subject.NotifyObservers(Change{});  // Must not touch freed memory.
+}
+
+TEST(Observable, ObserverWatchingTwoObservablesDetachesFromBoth) {
+  Observable first;
+  auto second = std::make_unique<Observable>();
+  {
+    RecordingObserver watcher;
+    first.AddObserver(&watcher);
+    second->AddObserver(&watcher);
+    // One observable dies while watched: the survivor link stays valid.
+    second.reset();
+    EXPECT_EQ(watcher.count, 1);  // kDestroyed from `second`.
+    first.NotifyObservers(Change{});
+    EXPECT_EQ(watcher.count, 2);
+  }
+  EXPECT_EQ(first.observer_count(), 0u);
+}
+
+TEST(Observable, ModificationTimeAdvances) {
+  Observable subject;
+  EXPECT_EQ(subject.modification_time(), 0u);
+  subject.Touch();
+  EXPECT_EQ(subject.modification_time(), 1u);
+  subject.NotifyObservers(Change{});
+  EXPECT_EQ(subject.modification_time(), 2u);
+}
+
+// ---- Loader -----------------------------------------------------------------
+
+class LoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Loader::Instance().UnloadAllForTest(); }
+  void TearDown() override { Loader::Instance().UnloadAllForTest(); }
+
+  // Declares a module registering Dog under a unique class name.
+  static int init_runs;
+};
+int LoaderTest::init_runs = 0;
+
+TEST_F(LoaderTest, RequireRunsInitOnceAndLogs) {
+  Loader& loader = Loader::Instance();
+  static bool declared = [] {
+    ModuleSpec spec;
+    spec.name = "test-dogmod";
+    spec.provides = {"testdog"};
+    spec.text_bytes = 10000;
+    spec.init = [] { ++init_runs; };
+    return Loader::Instance().DeclareModule(std::move(spec));
+  }();
+  ASSERT_TRUE(declared);
+  int before = init_runs;
+  loader.ClearLoadLog();
+  EXPECT_FALSE(loader.IsLoaded("test-dogmod"));
+  EXPECT_TRUE(loader.Require("test-dogmod"));
+  EXPECT_TRUE(loader.IsLoaded("test-dogmod"));
+  EXPECT_EQ(init_runs, before + 1);
+  // Idempotent.
+  EXPECT_TRUE(loader.Require("test-dogmod"));
+  EXPECT_EQ(init_runs, before + 1);
+  ASSERT_EQ(loader.load_log().size(), 1u);
+  EXPECT_EQ(loader.load_log()[0].module, "test-dogmod");
+  EXPECT_GT(loader.load_log()[0].simulated_cost_us, 0u);
+}
+
+TEST_F(LoaderTest, RequireUndeclaredFails) {
+  EXPECT_FALSE(Loader::Instance().Require("no-such-module"));
+}
+
+TEST_F(LoaderTest, DependenciesLoadFirst) {
+  Loader& loader = Loader::Instance();
+  static bool declared = [] {
+    ModuleSpec base;
+    base.name = "test-dep-base";
+    Loader::Instance().DeclareModule(std::move(base));
+    ModuleSpec mid;
+    mid.name = "test-dep-mid";
+    mid.depends_on = {"test-dep-base"};
+    Loader::Instance().DeclareModule(std::move(mid));
+    ModuleSpec top;
+    top.name = "test-dep-top";
+    top.depends_on = {"test-dep-mid"};
+    return Loader::Instance().DeclareModule(std::move(top));
+  }();
+  ASSERT_TRUE(declared);
+  loader.ClearLoadLog();
+  EXPECT_TRUE(loader.Require("test-dep-top"));
+  ASSERT_EQ(loader.load_log().size(), 3u);
+  EXPECT_EQ(loader.load_log()[0].module, "test-dep-base");
+  EXPECT_EQ(loader.load_log()[1].module, "test-dep-mid");
+  EXPECT_EQ(loader.load_log()[2].module, "test-dep-top");
+  EXPECT_TRUE(loader.load_log()[0].as_dependency);
+  EXPECT_FALSE(loader.load_log()[2].as_dependency);
+  // Cannot unload a module something depends on.
+  EXPECT_FALSE(loader.Unload("test-dep-base"));
+  EXPECT_TRUE(loader.Unload("test-dep-top"));
+  EXPECT_TRUE(loader.Unload("test-dep-mid"));
+  EXPECT_TRUE(loader.Unload("test-dep-base"));
+}
+
+TEST_F(LoaderTest, DependencyCycleFailsCleanly) {
+  Loader& loader = Loader::Instance();
+  static bool declared = [] {
+    ModuleSpec a;
+    a.name = "test-cyc-a";
+    a.depends_on = {"test-cyc-b"};
+    Loader::Instance().DeclareModule(std::move(a));
+    ModuleSpec b;
+    b.name = "test-cyc-b";
+    b.depends_on = {"test-cyc-a"};
+    return Loader::Instance().DeclareModule(std::move(b));
+  }();
+  ASSERT_TRUE(declared);
+  EXPECT_FALSE(loader.Require("test-cyc-a"));
+  EXPECT_FALSE(loader.IsLoaded("test-cyc-b"));
+}
+
+TEST_F(LoaderTest, EnsureClassLoadsProvidingModule) {
+  Loader& loader = Loader::Instance();
+  static bool declared = [] {
+    ModuleSpec spec;
+    spec.name = "test-catmod";
+    spec.provides = {"loadercat"};
+    spec.init = [] {
+      static const ClassInfo* info = new ClassInfo(
+          "loadercat", &Object::StaticClassInfo(),
+          []() -> std::unique_ptr<Object> { return std::make_unique<Cat>(); });
+      ClassRegistry::Instance().Register(*info);
+    };
+    return Loader::Instance().DeclareModule(std::move(spec));
+  }();
+  ASSERT_TRUE(declared);
+  EXPECT_EQ(ClassRegistry::Instance().Find("loadercat"), nullptr);
+  EXPECT_EQ(loader.ProvidingModule("loadercat"), "test-catmod");
+  const ClassInfo* info = loader.EnsureClass("loadercat");
+  ASSERT_NE(info, nullptr);
+  EXPECT_TRUE(loader.IsLoaded("test-catmod"));
+  std::unique_ptr<Object> obj = loader.NewObject("loadercat");
+  ASSERT_NE(obj, nullptr);
+  // Unload removes the class again (default fini unregisters `provides`).
+  EXPECT_TRUE(loader.Unload("test-catmod"));
+  EXPECT_EQ(ClassRegistry::Instance().Find("loadercat"), nullptr);
+}
+
+TEST_F(LoaderTest, FootprintAccounting) {
+  Loader& loader = Loader::Instance();
+  static bool declared = [] {
+    ModuleSpec spec;
+    spec.name = "test-bigmod";
+    spec.text_bytes = 123456;
+    spec.data_bytes = 7890;
+    return Loader::Instance().DeclareModule(std::move(spec));
+  }();
+  ASSERT_TRUE(declared);
+  size_t text_before = loader.LoadedTextBytes();
+  ASSERT_TRUE(loader.Require("test-bigmod"));
+  EXPECT_EQ(loader.LoadedTextBytes(), text_before + 123456);
+  ASSERT_TRUE(loader.Unload("test-bigmod"));
+  EXPECT_EQ(loader.LoadedTextBytes(), text_before);
+}
+
+TEST_F(LoaderTest, CostModelScalesWithTextSize) {
+  Loader& loader = Loader::Instance();
+  Loader::CostModel model;
+  model.fixed_us = 100;
+  model.bytes_per_us = 1000;
+  loader.set_cost_model(model);
+  static bool declared = [] {
+    ModuleSpec spec;
+    spec.name = "test-costmod";
+    spec.text_bytes = 50000;
+    return Loader::Instance().DeclareModule(std::move(spec));
+  }();
+  ASSERT_TRUE(declared);
+  loader.ClearLoadLog();
+  ASSERT_TRUE(loader.Require("test-costmod"));
+  ASSERT_EQ(loader.load_log().size(), 1u);
+  EXPECT_EQ(loader.load_log()[0].simulated_cost_us, 100u + 50000u / 1000u);
+  loader.set_cost_model(Loader::CostModel{});
+}
+
+}  // namespace
+}  // namespace atk

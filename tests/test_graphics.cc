@@ -1,0 +1,407 @@
+// Unit tests for the graphics substrate: geometry, regions, the framebuffer,
+// fonts and the Graphic drawable.
+
+#include <gtest/gtest.h>
+
+#include "src/graphics/font.h"
+#include "src/graphics/geometry.h"
+#include "src/graphics/graphic.h"
+#include "src/graphics/pixel_image.h"
+#include "src/graphics/region.h"
+
+namespace atk {
+namespace {
+
+// ---- Geometry ----------------------------------------------------------------
+
+TEST(Rect, ContainsAndIntersects) {
+  Rect r{10, 10, 20, 10};
+  EXPECT_TRUE(r.Contains(Point{10, 10}));
+  EXPECT_TRUE(r.Contains(Point{29, 19}));
+  EXPECT_FALSE(r.Contains(Point{30, 10}));  // Half-open.
+  EXPECT_FALSE(r.Contains(Point{10, 20}));
+  EXPECT_TRUE(r.Intersects(Rect{25, 15, 50, 50}));
+  EXPECT_FALSE(r.Intersects(Rect{30, 10, 5, 5}));
+  EXPECT_FALSE(r.Intersects(Rect{}));
+}
+
+TEST(Rect, IntersectUnion) {
+  Rect a{0, 0, 10, 10};
+  Rect b{5, 5, 10, 10};
+  EXPECT_EQ(a.Intersect(b), (Rect{5, 5, 5, 5}));
+  EXPECT_EQ(a.Union(b), (Rect{0, 0, 15, 15}));
+  EXPECT_TRUE(a.Intersect(Rect{20, 20, 5, 5}).IsEmpty());
+  EXPECT_EQ(a.Union(Rect{}), a);
+  EXPECT_EQ(Rect{}.Union(b), b);
+}
+
+TEST(Rect, InsetAndArea) {
+  Rect r{0, 0, 10, 10};
+  EXPECT_EQ(r.Inset(2), (Rect{2, 2, 6, 6}));
+  EXPECT_EQ(r.Inset(-1), (Rect{-1, -1, 12, 12}));
+  EXPECT_EQ(r.Area(), 100);
+  EXPECT_TRUE(r.Inset(5).IsEmpty());
+}
+
+TEST(Rect, ContainsRect) {
+  Rect outer{0, 0, 100, 100};
+  EXPECT_TRUE(outer.Contains(Rect{10, 10, 20, 20}));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(Rect{90, 90, 20, 20}));
+}
+
+// ---- Region ---------------------------------------------------------------------
+
+TEST(Region, AddKeepsDisjointArea) {
+  Region region;
+  region.Add(Rect{0, 0, 10, 10});
+  region.Add(Rect{5, 5, 10, 10});  // Overlaps by 5x5.
+  EXPECT_EQ(region.Area(), 100 + 100 - 25);
+  // Adding a fully covered rect changes nothing.
+  region.Add(Rect{2, 2, 3, 3});
+  EXPECT_EQ(region.Area(), 175);
+}
+
+TEST(Region, SubtractAndCovers) {
+  Region region(Rect{0, 0, 10, 10});
+  region.Subtract(Rect{0, 0, 5, 10});
+  EXPECT_EQ(region.Area(), 50);
+  EXPECT_FALSE(region.Contains(Point{2, 2}));
+  EXPECT_TRUE(region.Contains(Point{7, 2}));
+  EXPECT_TRUE(region.Covers(Rect{5, 0, 5, 10}));
+  EXPECT_FALSE(region.Covers(Rect{4, 0, 5, 10}));
+}
+
+TEST(Region, SubtractCenterLeavesFrame) {
+  Region region(Rect{0, 0, 10, 10});
+  region.Subtract(Rect{3, 3, 4, 4});
+  EXPECT_EQ(region.Area(), 100 - 16);
+  EXPECT_TRUE(region.Contains(Point{0, 0}));
+  EXPECT_FALSE(region.Contains(Point{5, 5}));
+  EXPECT_TRUE(region.Contains(Point{9, 9}));
+}
+
+TEST(Region, BoundsAndIntersects) {
+  Region region;
+  region.Add(Rect{0, 0, 5, 5});
+  region.Add(Rect{20, 20, 5, 5});
+  EXPECT_EQ(region.Bounds(), (Rect{0, 0, 25, 25}));
+  EXPECT_TRUE(region.Intersects(Rect{4, 4, 2, 2}));
+  EXPECT_FALSE(region.Intersects(Rect{10, 10, 5, 5}));
+}
+
+TEST(Region, IntersectWithAndTranslate) {
+  Region region(Rect{0, 0, 10, 10});
+  region.IntersectWith(Rect{5, 0, 10, 10});
+  EXPECT_EQ(region.Area(), 50);
+  region.Translate(100, 100);
+  EXPECT_TRUE(region.Contains(Point{105, 105}));
+  EXPECT_EQ(region.Area(), 50);
+}
+
+TEST(Region, CoalescingManyPostsStaysBounded) {
+  // The IM posts many overlapping rects per cycle; disjointness must hold.
+  Region region;
+  for (int i = 0; i < 50; ++i) {
+    region.Add(Rect{i, i, 20, 20});
+  }
+  // Area of the union of the staircase, checked against brute force.
+  int64_t expected = 0;
+  for (int y = 0; y < 70; ++y) {
+    for (int x = 0; x < 70; ++x) {
+      bool in = false;
+      for (int i = 0; i < 50 && !in; ++i) {
+        in = x >= i && x < i + 20 && y >= i && y < i + 20;
+      }
+      expected += in ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(region.Area(), expected);
+}
+
+// ---- PixelImage ---------------------------------------------------------------------
+
+TEST(PixelImage, FillAndReadBack) {
+  PixelImage img(10, 10);
+  EXPECT_EQ(img.GetPixel(0, 0), kWhite);
+  img.FillRect(Rect{2, 2, 3, 3}, kBlack);
+  EXPECT_EQ(img.GetPixel(2, 2), kBlack);
+  EXPECT_EQ(img.GetPixel(4, 4), kBlack);
+  EXPECT_EQ(img.GetPixel(5, 5), kWhite);
+  // Out-of-range reads are white, writes ignored.
+  EXPECT_EQ(img.GetPixel(-1, 0), kWhite);
+  img.SetPixel(100, 100, kBlack);
+  EXPECT_EQ(img.GetPixel(100, 100), kWhite);
+}
+
+TEST(PixelImage, BlitClipsBothEnds) {
+  PixelImage src(4, 4, kBlack);
+  PixelImage dst(10, 10);
+  dst.Blit(src, src.bounds(), Point{8, 8});
+  EXPECT_EQ(dst.GetPixel(8, 8), kBlack);
+  EXPECT_EQ(dst.GetPixel(9, 9), kBlack);
+  EXPECT_EQ(dst.GetPixel(7, 7), kWhite);
+  dst.Blit(src, src.bounds(), Point{-2, -2});
+  EXPECT_EQ(dst.GetPixel(0, 0), kBlack);
+  EXPECT_EQ(dst.GetPixel(1, 1), kBlack);
+  EXPECT_EQ(dst.GetPixel(2, 2), kWhite);
+}
+
+TEST(PixelImage, HashAndDiff) {
+  PixelImage a(8, 8);
+  PixelImage b(8, 8);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_EQ(a.DiffCount(b), 0);
+  b.SetPixel(3, 3, kBlack);
+  EXPECT_NE(a.Hash(), b.Hash());
+  EXPECT_EQ(a.DiffCount(b), 1);
+}
+
+TEST(PixelImage, PpmHeader) {
+  PixelImage img(2, 1, kBlack);
+  std::string ppm = img.ToPpm();
+  EXPECT_EQ(ppm.rfind("P3\n2 1\n255\n", 0), 0u);
+}
+
+// ---- Fonts ------------------------------------------------------------------------------
+
+TEST(FontSpec, ParseAndToString) {
+  FontSpec spec = FontSpec::Parse("andy12b");
+  EXPECT_EQ(spec.family, "andy");
+  EXPECT_EQ(spec.size, 12);
+  EXPECT_EQ(spec.style, unsigned{kBold});
+  EXPECT_EQ(spec.ToString(), "andy12b");
+  FontSpec bi = FontSpec::Parse("times24bi");
+  EXPECT_EQ(bi.family, "times");
+  EXPECT_EQ(bi.size, 24);
+  EXPECT_EQ(bi.style, unsigned{kBold} | unsigned{kItalic});
+}
+
+TEST(Font, MetricsScaleWithSize) {
+  const Font& small = Font::Get(FontSpec{"andy", 10, kPlain});
+  const Font& large = Font::Get(FontSpec{"andy", 20, kPlain});
+  EXPECT_EQ(small.scale(), 1);
+  EXPECT_EQ(large.scale(), 2);
+  EXPECT_EQ(small.ascent(), 7);
+  EXPECT_EQ(large.ascent(), 14);
+  EXPECT_EQ(small.advance(), 6);
+  EXPECT_EQ(large.advance(), 12);
+  EXPECT_EQ(small.StringWidth("hello"), 30);
+}
+
+TEST(Font, GlyphsAreDistinct) {
+  const Font& font = Font::Default();
+  // Render 'A' and 'B' into bit signatures and compare.
+  auto signature = [&](char ch) {
+    uint64_t bits = 0;
+    for (int y = 0; y < font.ascent(); ++y) {
+      for (int x = 0; x < 5; ++x) {
+        bits = (bits << 1) | (font.GlyphBit(ch, x, y) ? 1 : 0);
+      }
+    }
+    return bits;
+  };
+  EXPECT_NE(signature('A'), signature('B'));
+  EXPECT_NE(signature('0'), signature('O'));
+  EXPECT_EQ(signature(' '), 0u);
+  // All printable glyphs except space have some ink.
+  for (int c = 33; c <= 126; ++c) {
+    EXPECT_NE(signature(static_cast<char>(c)), 0u) << "glyph " << c << " is blank";
+  }
+}
+
+TEST(Font, BoldAddsInkItalicShears) {
+  const Font& plain = Font::Get(FontSpec{"andy", 10, kPlain});
+  const Font& bold = Font::Get(FontSpec{"andy", 10, kBold});
+  int plain_ink = 0;
+  int bold_ink = 0;
+  for (int y = 0; y < 7; ++y) {
+    for (int x = 0; x < 7; ++x) {
+      plain_ink += plain.GlyphBit('H', x, y) ? 1 : 0;
+      bold_ink += bold.GlyphBit('H', x, y) ? 1 : 0;
+    }
+  }
+  EXPECT_GT(bold_ink, plain_ink);
+  const Font& italic = Font::Get(FontSpec{"andy", 10, kItalic});
+  // Top row of 'H' shifts right under the shear: column 0 empty.
+  EXPECT_TRUE(plain.GlyphBit('H', 0, 0));
+  EXPECT_FALSE(italic.GlyphBit('H', 0, 0));
+}
+
+TEST(Font, CharIndexAtForHitTesting) {
+  const Font& font = Font::Default();
+  EXPECT_EQ(font.CharIndexAt(0), 0);
+  EXPECT_EQ(font.CharIndexAt(5), 0);
+  EXPECT_EQ(font.CharIndexAt(6), 1);
+  EXPECT_EQ(font.CharIndexAt(-3), 0);
+}
+
+// ---- Graphic -----------------------------------------------------------------------------
+
+class GraphicTest : public ::testing::Test {
+ protected:
+  GraphicTest() : image_(64, 64), graphic_(&image_, image_.bounds()) {}
+  PixelImage image_;
+  ImageGraphic graphic_;
+};
+
+TEST_F(GraphicTest, FillAndEraseRect) {
+  graphic_.FillRect(Rect{10, 10, 10, 10});
+  EXPECT_EQ(image_.GetPixel(10, 10), kBlack);
+  EXPECT_EQ(image_.GetPixel(19, 19), kBlack);
+  EXPECT_EQ(image_.GetPixel(20, 20), kWhite);
+  graphic_.EraseRect(Rect{10, 10, 5, 5});
+  EXPECT_EQ(image_.GetPixel(10, 10), kWhite);
+  EXPECT_EQ(image_.GetPixel(15, 15), kBlack);
+}
+
+TEST_F(GraphicTest, DrawLineEndpoints) {
+  graphic_.DrawLine(Point{0, 0}, Point{10, 10});
+  EXPECT_EQ(image_.GetPixel(0, 0), kBlack);
+  EXPECT_EQ(image_.GetPixel(5, 5), kBlack);
+  EXPECT_EQ(image_.GetPixel(10, 10), kBlack);
+  EXPECT_EQ(image_.GetPixel(10, 0), kWhite);
+}
+
+TEST_F(GraphicTest, MoveToLineToTracksCurrentPoint) {
+  graphic_.MoveTo(Point{5, 5});
+  graphic_.LineTo(Point{5, 15});
+  EXPECT_EQ(graphic_.current_point(), (Point{5, 15}));
+  EXPECT_EQ(image_.GetPixel(5, 10), kBlack);
+}
+
+TEST_F(GraphicTest, DrawRectIsHollow) {
+  graphic_.DrawRect(Rect{10, 10, 10, 10});
+  EXPECT_EQ(image_.GetPixel(10, 10), kBlack);
+  EXPECT_EQ(image_.GetPixel(19, 19), kBlack);
+  EXPECT_EQ(image_.GetPixel(14, 14), kWhite);
+}
+
+TEST_F(GraphicTest, ClipRestrictsDrawing) {
+  graphic_.PushClip(Rect{0, 0, 8, 8});
+  graphic_.FillRect(Rect{0, 0, 20, 20});
+  EXPECT_EQ(image_.GetPixel(7, 7), kBlack);
+  EXPECT_EQ(image_.GetPixel(8, 8), kWhite);
+  graphic_.PopClip();
+  graphic_.FillRect(Rect{10, 10, 2, 2});
+  EXPECT_EQ(image_.GetPixel(10, 10), kBlack);
+}
+
+TEST_F(GraphicTest, NestedClipsIntersect) {
+  graphic_.PushClip(Rect{0, 0, 10, 10});
+  graphic_.PushClip(Rect{5, 5, 10, 10});
+  graphic_.FillRect(Rect{0, 0, 64, 64});
+  EXPECT_EQ(image_.GetPixel(6, 6), kBlack);
+  EXPECT_EQ(image_.GetPixel(4, 4), kWhite);
+  EXPECT_EQ(image_.GetPixel(11, 11), kWhite);
+}
+
+TEST_F(GraphicTest, SubGraphicTranslatesAndClips) {
+  std::unique_ptr<Graphic> sub = graphic_.CreateSub(Rect{20, 20, 10, 10});
+  EXPECT_EQ(sub->LocalBounds(), (Rect{0, 0, 10, 10}));
+  sub->FillRect(Rect{0, 0, 100, 100});  // Clipped to its allocation.
+  EXPECT_EQ(image_.GetPixel(20, 20), kBlack);
+  EXPECT_EQ(image_.GetPixel(29, 29), kBlack);
+  EXPECT_EQ(image_.GetPixel(30, 30), kWhite);
+  EXPECT_EQ(image_.GetPixel(19, 19), kWhite);
+}
+
+TEST_F(GraphicTest, SubSubGraphicComposes) {
+  std::unique_ptr<Graphic> sub = graphic_.CreateSub(Rect{10, 10, 30, 30});
+  std::unique_ptr<Graphic> subsub = sub->CreateSub(Rect{5, 5, 10, 10});
+  subsub->FillRect(subsub->LocalBounds());
+  EXPECT_EQ(image_.GetPixel(15, 15), kBlack);
+  EXPECT_EQ(image_.GetPixel(24, 24), kBlack);
+  EXPECT_EQ(image_.GetPixel(25, 25), kWhite);
+  EXPECT_EQ(image_.GetPixel(14, 14), kWhite);
+}
+
+TEST_F(GraphicTest, XorModeIsReversible) {
+  graphic_.FillRect(Rect{0, 0, 4, 4});
+  graphic_.SetTransferMode(TransferMode::kXor);
+  graphic_.SetForeground(kWhite);  // XOR with white flips all bits.
+  graphic_.FillRect(Rect{0, 0, 8, 8});
+  EXPECT_EQ(image_.GetPixel(0, 0), kWhite);
+  EXPECT_EQ(image_.GetPixel(5, 5), kBlack);
+  graphic_.FillRect(Rect{0, 0, 8, 8});  // Again: restored.
+  EXPECT_EQ(image_.GetPixel(0, 0), kBlack);
+  EXPECT_EQ(image_.GetPixel(5, 5), kWhite);
+}
+
+TEST_F(GraphicTest, InvertRectIsReversible) {
+  graphic_.FillRect(Rect{0, 0, 4, 4});
+  graphic_.InvertRect(Rect{0, 0, 8, 8});
+  EXPECT_EQ(image_.GetPixel(0, 0), kWhite);
+  EXPECT_EQ(image_.GetPixel(6, 6), kBlack);
+  graphic_.InvertRect(Rect{0, 0, 8, 8});
+  EXPECT_EQ(image_.GetPixel(0, 0), kBlack);
+  EXPECT_EQ(image_.GetPixel(6, 6), kWhite);
+}
+
+TEST_F(GraphicTest, OrModeOnlyDarkens) {
+  graphic_.FillRect(Rect{0, 0, 4, 4});
+  graphic_.SetTransferMode(TransferMode::kOr);
+  graphic_.SetForeground(kWhite);
+  graphic_.FillRect(Rect{0, 0, 8, 8});  // White ink in kOr changes nothing.
+  EXPECT_EQ(image_.GetPixel(0, 0), kBlack);
+  EXPECT_EQ(image_.GetPixel(6, 6), kWhite);
+}
+
+TEST_F(GraphicTest, FillEllipseInscribed) {
+  graphic_.FillEllipse(Rect{10, 10, 20, 20});
+  EXPECT_EQ(image_.GetPixel(20, 20), kBlack);  // Center.
+  EXPECT_EQ(image_.GetPixel(10, 10), kWhite);  // Corner outside circle.
+  EXPECT_EQ(image_.GetPixel(20, 11), kBlack);  // Top of circle.
+}
+
+TEST_F(GraphicTest, FillPolygonTriangle) {
+  const Point tri[] = {{5, 5}, {25, 5}, {15, 25}};
+  graphic_.FillPolygon(tri);
+  EXPECT_EQ(image_.GetPixel(15, 10), kBlack);
+  EXPECT_EQ(image_.GetPixel(5, 20), kWhite);
+  EXPECT_EQ(image_.GetPixel(25, 20), kWhite);
+}
+
+TEST_F(GraphicTest, DrawStringInksGlyphs) {
+  graphic_.DrawString(Point{2, 2}, "Hi");
+  // Some ink must appear within the two character cells.
+  int ink = 0;
+  for (int y = 2; y < 2 + 7; ++y) {
+    for (int x = 2; x < 2 + 12; ++x) {
+      ink += image_.GetPixel(x, y) == kBlack ? 1 : 0;
+    }
+  }
+  EXPECT_GT(ink, 8);
+  // Nothing outside the cells.
+  EXPECT_EQ(image_.GetPixel(2 + 13, 5), kWhite);
+}
+
+TEST_F(GraphicTest, OpCountTallies) {
+  EXPECT_EQ(graphic_.op_count(), 0u);
+  graphic_.FillRect(Rect{0, 0, 2, 2});
+  graphic_.DrawLine(Point{0, 0}, Point{3, 3});
+  graphic_.DrawString(Point{0, 0}, "x");
+  EXPECT_EQ(graphic_.op_count(), 3u);
+  graphic_.ResetOpCount();
+  EXPECT_EQ(graphic_.op_count(), 0u);
+}
+
+TEST_F(GraphicTest, ThickLineHasWidth) {
+  graphic_.SetLineWidth(3);
+  graphic_.DrawLine(Point{10, 30}, Point{50, 30});
+  EXPECT_EQ(image_.GetPixel(30, 29), kBlack);
+  EXPECT_EQ(image_.GetPixel(30, 30), kBlack);
+  EXPECT_EQ(image_.GetPixel(30, 31), kBlack);
+  EXPECT_EQ(image_.GetPixel(30, 27), kWhite);
+}
+
+TEST_F(GraphicTest, DrawImageCopiesPixels) {
+  PixelImage sprite(4, 4, kBlack);
+  graphic_.DrawImage(sprite, sprite.bounds(), Point{30, 30});
+  EXPECT_EQ(image_.GetPixel(30, 30), kBlack);
+  EXPECT_EQ(image_.GetPixel(33, 33), kBlack);
+  EXPECT_EQ(image_.GetPixel(34, 34), kWhite);
+}
+
+}  // namespace
+}  // namespace atk

@@ -1,0 +1,397 @@
+// Cross-module integration tests, each tied to a paper artifact:
+//  * F1: the exact view tree from §3's figure, with event routing;
+//  * F5: the Pascal's Triangle compound document (snapshot 5), rendered and
+//    round-tripped;
+//  * §2: one data object shown by two views in two windows;
+//  * §8: the same application on both window systems, pixel-identical;
+//  * §6/§7: demand loading while reading a document;
+//  * §4: printing by repointing the drawable.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/ez_app.h"
+#include "src/apps/standard_modules.h"
+#include "src/base/print.h"
+#include "src/class_system/loader.h"
+#include "src/components/animation/anim_view.h"
+#include "src/components/frame/frame_view.h"
+#include "src/components/scroll/scrollbar_view.h"
+#include "src/components/table/table_view.h"
+#include "src/components/text/paged_text_view.h"
+#include "src/components/text/text_view.h"
+#include "src/wm/wm_x11sim.h"
+#include "src/workload/workload.h"
+
+namespace atk {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterStandardModules();
+    Loader& loader = Loader::Instance();
+    for (const char* module :
+         {"text", "table", "drawing", "equation", "raster", "animation", "scroll", "frame",
+          "widgets"}) {
+      ASSERT_TRUE(loader.Require(module)) << module;
+    }
+    ws_ = WindowSystem::Open("itc");
+  }
+  std::unique_ptr<WindowSystem> ws_;
+};
+
+// ---- F1: the §3 view-tree figure ---------------------------------------------------
+
+// Window -> IM -> Frame -> {ScrollBar -> Text (-> Table)}, + MessageLine.
+struct Figure1 {
+  TextData letter;
+  TableData* table = nullptr;  // Owned by the letter.
+  FrameView frame;
+  ScrollBarView scrollbar;
+  TextView text_view;
+
+  void Build() {
+    letter.InsertString(0, "February 11, 1988\n\nDear David,\n");
+    letter.InsertString(letter.size(), "Enclosed is a list of our expenses ");
+    auto owned_table = std::make_unique<TableData>();
+    owned_table->Resize(3, 2);
+    owned_table->SetText(0, 0, "David");
+    owned_table->SetNumber(1, 1, 120);
+    table = owned_table.get();
+    letter.InsertObject(letter.size(), std::move(owned_table), "spread");
+    letter.InsertString(letter.size(), "\nHope you have a nice...\n");
+    text_view.SetText(&letter);
+    scrollbar.SetBody(&text_view);
+    frame.SetBody(&scrollbar);
+  }
+};
+
+TEST_F(IntegrationTest, Figure1TreeShapeMatchesThePaper) {
+  Figure1 fig;
+  fig.Build();
+  auto im = InteractionManager::Create(*ws_, 420, 260, "figure 1");
+  im->SetChild(&fig.frame);
+  im->RunOnce();
+  // IM has one child of arbitrary type (§3): the frame.
+  ASSERT_EQ(im->children().size(), 1u);
+  EXPECT_TRUE(im->children()[0]->IsA("frame"));
+  // The frame holds the message line and the scroll bar.
+  EXPECT_EQ(fig.frame.children().size(), 2u);
+  // The scroll bar wraps the text view; the text view hosts the table view.
+  ASSERT_EQ(fig.scrollbar.children().size(), 1u);
+  EXPECT_TRUE(fig.scrollbar.children()[0]->IsA("textview"));
+  ASSERT_EQ(fig.text_view.children().size(), 1u);
+  EXPECT_TRUE(fig.text_view.children()[0]->IsA("tableview"));
+  // Every view's rectangle is inside its parent's.
+  std::function<void(View*)> check = [&](View* view) {
+    for (View* child : view->children()) {
+      if (child->HasGraphic() && view->HasGraphic()) {
+        EXPECT_TRUE(view->DeviceBounds().Contains(child->DeviceBounds()))
+            << view->class_name() << " does not contain " << child->class_name();
+      }
+      check(child);
+    }
+  };
+  check(im.get());
+}
+
+TEST_F(IntegrationTest, Figure1MouseRoutingPerOverlap) {
+  Figure1 fig;
+  fig.Build();
+  auto im = InteractionManager::Create(*ws_, 420, 260, "figure 1");
+  im->SetChild(&fig.frame);
+  im->RunOnce();
+  // A click in the table (deep in the tree) selects a table cell.
+  View* table_view = fig.text_view.children()[0];
+  Rect table_device = table_view->DeviceBounds();
+  Point in_table = table_device.center();
+  im->window()->Inject(InputEvent::MouseAt(EventType::kMouseDown, in_table));
+  im->window()->Inject(InputEvent::MouseAt(EventType::kMouseUp, in_table));
+  im->RunOnce();
+  EXPECT_EQ(im->input_focus(), table_view);
+  // A click in plain text selects a caret in the letter.
+  Point in_text = fig.text_view.DeviceBounds().origin() + Point{30, 8};
+  im->window()->Inject(InputEvent::MouseAt(EventType::kMouseDown, in_text));
+  im->window()->Inject(InputEvent::MouseAt(EventType::kMouseUp, in_text));
+  im->RunOnce();
+  EXPECT_EQ(im->input_focus(), &fig.text_view);
+  // A click near the frame's divider is taken by the frame despite being
+  // inside a child's rectangle (the §3 overlap).
+  Point near_divider{200, fig.frame.divider() + FrameView::kGrabSlop - 1};
+  im->window()->Inject(InputEvent::MouseAt(EventType::kMouseDown, near_divider));
+  im->window()->Inject(InputEvent::MouseAt(EventType::kMouseUp, near_divider));
+  im->RunOnce();
+  EXPECT_EQ(im->input_focus(), &fig.text_view);  // Focus unchanged...
+  // ...and the divider cursor shows over the grab zone (frame overrides the
+  // children's cursors there), reverting to the I-beam over plain text.
+  im->window()->Inject(InputEvent::MouseAt(EventType::kMouseMove, near_divider));
+  im->RunOnce();
+  EXPECT_EQ(im->current_cursor(), CursorShape::kHorizontalBars);
+  im->window()->Inject(InputEvent::MouseAt(
+      EventType::kMouseMove, fig.text_view.DeviceBounds().origin() + Point{30, 8}));
+  im->RunOnce();
+  EXPECT_EQ(im->current_cursor(), CursorShape::kIBeam);
+}
+
+TEST_F(IntegrationTest, Figure1RendersAllParts) {
+  Figure1 fig;
+  fig.Build();
+  fig.frame.SetMessage("message line");
+  auto im = InteractionManager::Create(*ws_, 420, 260, "figure 1");
+  im->SetChild(&fig.frame);
+  im->RunOnce();
+  const PixelImage& display = im->window()->Display();
+  // Scroll bar strip on the left below the divider (x=1 avoids the
+  // elevator's border).
+  EXPECT_EQ(display.GetPixel(1, fig.frame.divider() + 20), kLightGray);
+  // Some text ink near the top of the text area.
+  int ink = 0;
+  for (int y = fig.frame.divider() + 2; y < fig.frame.divider() + 30; ++y) {
+    for (int x = 20; x < 200; ++x) {
+      ink += display.GetPixel(x, y) == kBlack ? 1 : 0;
+    }
+  }
+  EXPECT_GT(ink, 40);
+}
+
+// ---- F5: the Pascal compound document -------------------------------------------------
+
+TEST_F(IntegrationTest, PascalCompoundDocumentBuildsRendersAndRoundTrips) {
+  std::unique_ptr<TextData> doc = BuildPascalCompoundDocument();
+  ASSERT_EQ(doc->embedded_count(), 1u);
+  TableData* table = ObjectCast<TableData>(doc->embedded_objects()[0].data.get());
+  ASSERT_NE(table, nullptr);
+  // The table embeds text, equation, animation and the spreadsheet.
+  EXPECT_EQ(table->at(0, 0).kind, TableData::CellKind::kObject);
+  EXPECT_EQ(table->at(0, 1).kind, TableData::CellKind::kObject);
+  EXPECT_EQ(table->at(1, 0).kind, TableData::CellKind::kObject);
+  EXPECT_EQ(table->at(1, 1).kind, TableData::CellKind::kObject);
+  TableData* pascal = ObjectCast<TableData>(table->at(1, 1).object.get());
+  ASSERT_NE(pascal, nullptr);
+  EXPECT_DOUBLE_EQ(pascal->Value(5, 2), 10);  // C(5,2).
+
+  // Render the whole thing: text -> spread -> {text, eq, anim, spread}.
+  TextView view;
+  view.SetText(doc.get());
+  auto im = InteractionManager::Create(*ws_, 560, 420, "pascal");
+  im->SetChild(&view);
+  im->RunOnce();
+  ASSERT_EQ(view.children().size(), 1u);
+  View* spread = view.children()[0];
+  EXPECT_TRUE(spread->IsA("tableview"));
+  EXPECT_EQ(spread->children().size(), 4u);
+  // The animation is clickable and playable through the menus.
+  View* anim_view = nullptr;
+  for (View* child : spread->children()) {
+    if (child->IsA("animview")) {
+      anim_view = child;
+    }
+  }
+  ASSERT_NE(anim_view, nullptr);
+  Point anim_center = anim_view->DeviceBounds().center();
+  im->window()->Inject(InputEvent::MouseAt(EventType::kMouseDown, anim_center));
+  im->window()->Inject(InputEvent::MouseAt(EventType::kMouseUp, anim_center));
+  im->window()->Inject(InputEvent::MenuChoice("Animation~Animate"));
+  im->RunOnce();
+  AnimView* anim = ObjectCast<AnimView>(anim_view);
+  ASSERT_NE(anim, nullptr);
+  EXPECT_TRUE(anim->playing());
+  anim->Tick();
+  EXPECT_EQ(anim->current_frame(), 1);
+
+  // Round trip the whole compound document.
+  std::string serialized = WriteDocument(*doc);
+  ReadContext ctx;
+  std::unique_ptr<DataObject> read = ReadDocument(serialized, &ctx);
+  TextData* back = ObjectCast<TextData>(read.get());
+  ASSERT_NE(back, nullptr);
+  EXPECT_TRUE(ctx.ok()) << (ctx.errors().empty() ? "" : ctx.errors()[0]);
+  TableData* back_table = ObjectCast<TableData>(back->embedded_objects()[0].data.get());
+  ASSERT_NE(back_table, nullptr);
+  TableData* back_pascal = ObjectCast<TableData>(back_table->at(1, 1).object.get());
+  ASSERT_NE(back_pascal, nullptr);
+  EXPECT_DOUBLE_EQ(back_pascal->Value(5, 2), 10);
+  view.SetText(nullptr);
+}
+
+// ---- §2: multiple views of one data object across windows -----------------------------
+
+TEST_F(IntegrationTest, TwoWindowsOneDataObjectStayInSync) {
+  TextData shared;
+  shared.SetText("the same information in more than one window\n");
+  TextView view_a;
+  TextView view_b;
+  view_a.SetText(&shared);
+  view_b.SetText(&shared);
+  auto im_a = InteractionManager::Create(*ws_, 300, 100, "window A");
+  auto im_b = InteractionManager::Create(*ws_, 300, 100, "window B");
+  im_a->SetChild(&view_a);
+  im_b->SetChild(&view_b);
+  im_a->RunOnce();
+  im_b->RunOnce();
+  uint64_t b_before = im_b->window()->Display().Hash();
+  // Edit through window A...
+  view_a.SetDot(0);
+  view_a.InsertText("EDIT: ");
+  im_a->RunOnce();
+  // ...window B has pending damage from the observer chain, and repaints.
+  EXPECT_TRUE(im_b->HasPendingDamage());
+  im_b->RunOnce();
+  EXPECT_NE(im_b->window()->Display().Hash(), b_before);
+  EXPECT_EQ(view_b.text()->GetAllText(), "EDIT: the same information in more than one window\n");
+  view_a.SetText(nullptr);
+  view_b.SetText(nullptr);
+}
+
+TEST_F(IntegrationTest, NormalAndPagedViewDifferentTypesSameData) {
+  // "one window using the normal text view and the other using the WYSIWYG
+  // text view" (§2).
+  TextData shared;
+  shared.SetText("draft body\n");
+  TextView normal;
+  PagedTextView paged;
+  normal.SetText(&shared);
+  paged.SetText(&shared);
+  auto im_a = InteractionManager::Create(*ws_, 280, 120, "editor");
+  auto im_b = InteractionManager::Create(*ws_, 280, 200, "preview");
+  im_a->SetChild(&normal);
+  im_b->SetChild(&paged);
+  im_a->RunOnce();
+  im_b->RunOnce();
+  normal.SetDot(shared.size());
+  normal.InsertText("added in the editor");
+  im_a->RunOnce();
+  im_b->RunOnce();
+  EXPECT_EQ(paged.text()->GetAllText(), "draft body\nadded in the editor");
+  normal.SetText(nullptr);
+  paged.SetText(nullptr);
+}
+
+// ---- §8: window-system independence end to end --------------------------------------------
+
+TEST_F(IntegrationTest, SameAppPixelIdenticalOnBothWindowSystems) {
+  auto run_scene = [this](const char* backend) -> uint64_t {
+    std::unique_ptr<WindowSystem> ws = WindowSystem::Open(backend);
+    EXPECT_NE(ws, nullptr);
+    Figure1 fig;
+    fig.Build();
+    auto im = InteractionManager::Create(*ws, 400, 240, "portable");
+    im->SetChild(&fig.frame);
+    im->RunOnce();
+    // Drive identical input through it.
+    WorkloadRng rng(42);
+    for (const InputEvent& event : GenerateEventTrace(rng, 60, 400, 240)) {
+      im->window()->Inject(event);
+    }
+    im->RunOnce();
+    return im->window()->Display().Hash();
+  };
+  uint64_t itc_hash = run_scene("itc");
+  uint64_t x11_hash = run_scene("x11");
+  EXPECT_EQ(itc_hash, x11_hash);
+}
+
+TEST_F(IntegrationTest, X11ExposureRepaintsThroughTheViewTree) {
+  // Footnote 5: X11 exposure does not propagate to inner views; the IM
+  // translates it into damage and the update pass repaints everything under
+  // the exposed rect.
+  std::unique_ptr<WindowSystem> x11 = WindowSystem::Open("x11");
+  Figure1 fig;
+  fig.Build();
+  auto im = InteractionManager::Create(*x11, 400, 240, "exposed");
+  im->SetChild(&fig.frame);
+  im->RunOnce();
+  PixelImage before = im->window()->Display();
+  X11Window* window = ObjectCast<X11Window>(im->window());
+  ASSERT_NE(window, nullptr);
+  window->Obscure(Rect{50, 50, 150, 100});
+  window->Unobscure();
+  // Contents were lost...
+  im->window()->Flush();
+  EXPECT_GT(im->window()->Display().DiffCount(before), 0);
+  // ...but the expose event drives a full repaint of the damaged area.
+  im->RunOnce();
+  EXPECT_EQ(im->window()->Display().DiffCount(before), 0);
+}
+
+// ---- §6/§7: demand loading driven by document content ------------------------------------------
+
+TEST_F(IntegrationTest, ReadingADocumentLoadsComponentModulesOnDemand) {
+  // Serialize a compound document, unload everything, read it back: the
+  // loader pulls in exactly the modules the content needs.
+  WorkloadRng rng(5);
+  CompoundDocumentSpec spec;
+  spec.tables = 1;
+  spec.drawings = 1;
+  spec.equations = 1;
+  spec.rasters = 1;
+  std::unique_ptr<TextData> doc = GenerateCompoundDocument(rng, spec);
+  std::string serialized = WriteDocument(*doc);
+  doc.reset();
+  Loader::Instance().UnloadAllForTest();
+  EXPECT_FALSE(Loader::Instance().IsLoaded("table"));
+  EXPECT_FALSE(Loader::Instance().IsLoaded("equation"));
+  Loader::Instance().ClearLoadLog();
+  ReadContext ctx;
+  std::unique_ptr<DataObject> read = ReadDocument(serialized, &ctx);
+  ASSERT_NE(read, nullptr);
+  EXPECT_TRUE(Loader::Instance().IsLoaded("text"));
+  EXPECT_TRUE(Loader::Instance().IsLoaded("table"));
+  EXPECT_TRUE(Loader::Instance().IsLoaded("drawing"));
+  EXPECT_TRUE(Loader::Instance().IsLoaded("equation"));
+  EXPECT_TRUE(Loader::Instance().IsLoaded("raster"));
+  // Animation was not in the document: not loaded.
+  EXPECT_FALSE(Loader::Instance().IsLoaded("animation"));
+  // The load log records first-use costs (bench_dynload measures these).
+  EXPECT_GE(Loader::Instance().load_log().size(), 5u);
+  // Re-require the modules for the remaining tests in this process.
+  SetUp();
+}
+
+// ---- §4: printing by repointing the drawable --------------------------------------------------------
+
+TEST_F(IntegrationTest, PrintingReusesTheViewTreeOnAPrinterDrawable) {
+  Figure1 fig;
+  fig.Build();
+  auto im = InteractionManager::Create(*ws_, 400, 240, "to print");
+  im->SetChild(&fig.frame);
+  im->RunOnce();
+  // Print the text view's subtree (frame chrome excluded, like ATK).
+  PrintJob job(400, 300, 10);
+  PrintView(fig.text_view, job);
+  ASSERT_EQ(job.page_count(), 1);
+  // The page carries real content: dark pixels from the letter text.
+  EXPECT_GT(job.page(0).DiffCount(PixelImage(400, 300, kWhite)), 100);
+  // The on-screen tree still works after re-allocation by the IM.
+  im->window()->Resize(400, 240);
+  im->RunOnce();
+  EXPECT_GT(im->window()->Display().DiffCount(PixelImage(400, 240, kWhite)), 100);
+}
+
+// ---- EZ on a generated campus workload ----------------------------------------------------------------
+
+TEST_F(IntegrationTest, EzSurvivesAGeneratedEditingSession) {
+  EzApp ez;
+  std::unique_ptr<InteractionManager> im = ez.Start(*ws_, {"ez"});
+  WorkloadRng rng(99);
+  std::unique_ptr<TextData> doc = GenerateCompoundDocument(rng, CompoundDocumentSpec{});
+  ASSERT_TRUE(ez.LoadDocumentString(WriteDocument(*doc)));
+  im->RunOnce();
+  // Random clicks and typing over the whole window must never crash and must
+  // leave a well-formed document.
+  for (const InputEvent& event : GenerateEventTrace(rng, 400, 560, 400, 0.5)) {
+    im->window()->Inject(event);
+    if (rng.Chance(0.1)) {
+      im->RunOnce();
+    }
+  }
+  im->RunOnce();
+  std::string saved = ez.SaveToString();
+  ReadContext ctx;
+  std::unique_ptr<DataObject> reread = ReadDocument(saved, &ctx);
+  EXPECT_NE(reread, nullptr);
+  EXPECT_TRUE(ctx.ok());
+}
+
+}  // namespace
+}  // namespace atk

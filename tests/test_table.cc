@@ -1,0 +1,571 @@
+// Tests for the table component: the formula engine, TableData (editing,
+// recalculation, cycles, external representation, embedded objects),
+// TableView interaction, and the chart observer chain of §2.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/standard_modules.h"
+#include "src/base/interaction_manager.h"
+#include "src/class_system/loader.h"
+#include "src/components/table/chart.h"
+#include "src/components/table/formula.h"
+#include "src/components/table/table_view.h"
+#include "src/components/text/text_view.h"
+#include "src/wm/window_system.h"
+#include "src/workload/workload.h"
+
+namespace atk {
+namespace {
+
+// ---- CellRef / parser -----------------------------------------------------
+
+TEST(CellRef, ParseA1Notation) {
+  CellRef ref;
+  ASSERT_TRUE(CellRef::Parse("A1", &ref));
+  EXPECT_EQ(ref.row, 0);
+  EXPECT_EQ(ref.col, 0);
+  ASSERT_TRUE(CellRef::Parse("B3", &ref));
+  EXPECT_EQ(ref.row, 2);
+  EXPECT_EQ(ref.col, 1);
+  ASSERT_TRUE(CellRef::Parse("Z10", &ref));
+  EXPECT_EQ(ref.col, 25);
+  ASSERT_TRUE(CellRef::Parse("AA1", &ref));
+  EXPECT_EQ(ref.col, 26);
+  EXPECT_FALSE(CellRef::Parse("1A", &ref));
+  EXPECT_FALSE(CellRef::Parse("A0", &ref));
+  EXPECT_FALSE(CellRef::Parse("", &ref));
+  EXPECT_FALSE(CellRef::Parse("A1B", &ref));
+}
+
+TEST(CellRef, RoundTripToA1) {
+  for (int row : {0, 1, 9, 99}) {
+    for (int col : {0, 1, 25, 26, 27, 51, 52}) {
+      CellRef ref{row, col};
+      CellRef back;
+      ASSERT_TRUE(CellRef::Parse(ref.ToA1(), &back)) << ref.ToA1();
+      EXPECT_EQ(back, ref);
+    }
+  }
+}
+
+double Eval(const std::string& src, const FormulaEnv& env = {}) {
+  ParsedFormula parsed = ParseFormula(src);
+  EXPECT_TRUE(parsed.ok) << src << ": " << parsed.error;
+  if (!parsed.ok) {
+    return 0;
+  }
+  FormulaResult result = parsed.expr->Evaluate(env);
+  EXPECT_FALSE(result.error) << src << ": " << result.error_message;
+  return result.value;
+}
+
+TEST(Formula, ArithmeticAndPrecedence) {
+  EXPECT_DOUBLE_EQ(Eval("1+2*3"), 7);
+  EXPECT_DOUBLE_EQ(Eval("(1+2)*3"), 9);
+  EXPECT_DOUBLE_EQ(Eval("10-4-3"), 3);  // Left associative.
+  EXPECT_DOUBLE_EQ(Eval("12/4/3"), 1);
+  EXPECT_DOUBLE_EQ(Eval("-3+5"), 2);
+  EXPECT_DOUBLE_EQ(Eval("--4"), 4);
+  EXPECT_DOUBLE_EQ(Eval("2*-3"), -6);
+  EXPECT_DOUBLE_EQ(Eval("1.5*2"), 3);
+}
+
+TEST(Formula, ComparisonsAndIf) {
+  EXPECT_DOUBLE_EQ(Eval("3<5"), 1);
+  EXPECT_DOUBLE_EQ(Eval("5<=4"), 0);
+  EXPECT_DOUBLE_EQ(Eval("4>=4"), 1);
+  EXPECT_DOUBLE_EQ(Eval("3<>3"), 0);
+  EXPECT_DOUBLE_EQ(Eval("IF(2>1,10,20)"), 10);
+  EXPECT_DOUBLE_EQ(Eval("IF(2<1,10,20)"), 20);
+  EXPECT_DOUBLE_EQ(Eval("IF(1,2+3,999)"), 5);
+}
+
+TEST(Formula, FunctionsOverRanges) {
+  FormulaEnv env;
+  env.value = [](CellRef ref) { return static_cast<double>(ref.row * 10 + ref.col); };
+  env.has_error = [](CellRef) { return false; };
+  // A1:A3 = 0, 10, 20.
+  EXPECT_DOUBLE_EQ(Eval("SUM(A1:A3)", env), 30);
+  EXPECT_DOUBLE_EQ(Eval("AVG(A1:A3)", env), 10);
+  EXPECT_DOUBLE_EQ(Eval("MIN(A1:A3)", env), 0);
+  EXPECT_DOUBLE_EQ(Eval("MAX(A1:B3)", env), 21);
+  EXPECT_DOUBLE_EQ(Eval("COUNT(A1:B3)", env), 6);
+  EXPECT_DOUBLE_EQ(Eval("SUM(A1,B2,5)", env), 16);
+  EXPECT_DOUBLE_EQ(Eval("ABS(0-7)"), 7);
+  EXPECT_DOUBLE_EQ(Eval("SQRT(16)"), 4);
+}
+
+TEST(Formula, ParseErrors) {
+  EXPECT_FALSE(ParseFormula("1+").ok);
+  EXPECT_FALSE(ParseFormula("(1+2").ok);
+  EXPECT_FALSE(ParseFormula("FOO(1)").ok);
+  EXPECT_FALSE(ParseFormula("1 2").ok);
+  EXPECT_FALSE(ParseFormula("").ok);
+  EXPECT_FALSE(ParseFormula("A1:").ok);
+}
+
+TEST(Formula, EvalErrors) {
+  ParsedFormula parsed = ParseFormula("1/0");
+  ASSERT_TRUE(parsed.ok);
+  FormulaResult result = parsed.expr->Evaluate({});
+  EXPECT_TRUE(result.error);
+  parsed = ParseFormula("SQRT(0-1)");
+  ASSERT_TRUE(parsed.ok);
+  EXPECT_TRUE(parsed.expr->Evaluate({}).error);
+}
+
+TEST(Formula, CollectRefsExpandsRanges) {
+  ParsedFormula parsed = ParseFormula("SUM(A1:B2)+C5");
+  ASSERT_TRUE(parsed.ok);
+  std::vector<CellRef> refs;
+  parsed.expr->CollectRefs(refs);
+  EXPECT_EQ(refs.size(), 5u);
+}
+
+// ---- TableData ----------------------------------------------------------------
+
+class TableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterStandardModules();
+    Loader::Instance().Require("table");
+  }
+  TableData table_;
+};
+
+TEST_F(TableTest, CellKindsAndDisplay) {
+  table_.Resize(3, 3);
+  table_.SetText(0, 0, "label");
+  table_.SetNumber(0, 1, 42);
+  table_.SetFormula(0, 2, "B1*2");
+  EXPECT_EQ(table_.DisplayText(0, 0), "label");
+  EXPECT_EQ(table_.DisplayText(0, 1), "42");
+  EXPECT_EQ(table_.DisplayText(0, 2), "84");
+  EXPECT_DOUBLE_EQ(table_.Value(0, 2), 84);
+  EXPECT_EQ(table_.DisplayText(1, 1), "");
+  table_.ClearCell(0, 1);
+  EXPECT_EQ(table_.at(0, 1).kind, TableData::CellKind::kEmpty);
+  // Formula now reads 0 from the empty cell.
+  EXPECT_DOUBLE_EQ(table_.Value(0, 2), 0);
+}
+
+TEST_F(TableTest, SetFromInputClassifies) {
+  table_.Resize(2, 2);
+  table_.SetFromInput(0, 0, "hello");
+  table_.SetFromInput(0, 1, "3.25");
+  table_.SetFromInput(1, 0, "=A1+1");
+  table_.SetFromInput(1, 1, "");
+  EXPECT_EQ(table_.at(0, 0).kind, TableData::CellKind::kText);
+  EXPECT_EQ(table_.at(0, 1).kind, TableData::CellKind::kNumber);
+  EXPECT_EQ(table_.at(1, 0).kind, TableData::CellKind::kFormula);
+  EXPECT_EQ(table_.at(1, 1).kind, TableData::CellKind::kEmpty);
+  EXPECT_DOUBLE_EQ(table_.Value(0, 1), 3.25);
+}
+
+TEST_F(TableTest, DependencyChainsRecalculateInOrder) {
+  table_.Resize(1, 4);
+  table_.SetNumber(0, 0, 5);
+  table_.SetFormula(0, 1, "A1*2");
+  table_.SetFormula(0, 2, "B1*2");
+  table_.SetFormula(0, 3, "C1*2");
+  EXPECT_DOUBLE_EQ(table_.Value(0, 3), 40);
+  table_.SetNumber(0, 0, 1);
+  EXPECT_DOUBLE_EQ(table_.Value(0, 3), 8);
+}
+
+TEST_F(TableTest, CircularReferencesBecomeErrors) {
+  table_.Resize(1, 3);
+  table_.SetFormula(0, 0, "B1+1");
+  table_.SetFormula(0, 1, "A1+1");
+  table_.SetNumber(0, 2, 7);
+  EXPECT_TRUE(table_.at(0, 0).error);
+  EXPECT_TRUE(table_.at(0, 1).error);
+  EXPECT_EQ(table_.DisplayText(0, 0), "#ERR");
+  EXPECT_FALSE(table_.at(0, 2).error);
+  // Self-reference too.
+  table_.SetFormula(0, 2, "C1");
+  EXPECT_TRUE(table_.at(0, 2).error);
+  // Breaking the cycle heals on the next recalculation.
+  table_.SetNumber(0, 1, 3);
+  EXPECT_FALSE(table_.at(0, 0).error);
+  EXPECT_DOUBLE_EQ(table_.Value(0, 0), 4);
+}
+
+TEST_F(TableTest, FormulaReferencingErrorCellIsError) {
+  table_.Resize(1, 3);
+  table_.SetFormula(0, 0, "1/0");
+  table_.SetFormula(0, 1, "A1+1");
+  EXPECT_TRUE(table_.at(0, 0).error);
+  EXPECT_TRUE(table_.at(0, 1).error);
+}
+
+TEST_F(TableTest, PascalTriangleRecalculates) {
+  std::unique_ptr<TableData> pascal = GeneratePascalTriangle(7);
+  // Row 6 is 1 6 15 20 15 6 1.
+  const double expected[] = {1, 6, 15, 20, 15, 6, 1};
+  for (int c = 0; c < 7; ++c) {
+    EXPECT_DOUBLE_EQ(pascal->Value(6, c), expected[c]) << "col " << c;
+  }
+  // Poke the apex: the whole triangle rescales.
+  pascal->SetNumber(0, 0, 2);
+  EXPECT_DOUBLE_EQ(pascal->Value(6, 0), 2);
+  EXPECT_DOUBLE_EQ(pascal->Value(6, 3), 40);
+}
+
+TEST_F(TableTest, RowColumnInsertDelete) {
+  table_.Resize(2, 2);
+  table_.SetNumber(0, 0, 1);
+  table_.SetNumber(1, 1, 4);
+  table_.InsertRow(1);
+  EXPECT_EQ(table_.rows(), 3);
+  EXPECT_DOUBLE_EQ(table_.Value(0, 0), 1);
+  EXPECT_DOUBLE_EQ(table_.Value(2, 1), 4);  // Shifted down.
+  table_.DeleteRow(1);
+  EXPECT_DOUBLE_EQ(table_.Value(1, 1), 4);
+  table_.InsertCol(0);
+  EXPECT_EQ(table_.cols(), 3);
+  EXPECT_DOUBLE_EQ(table_.Value(0, 1), 1);  // Shifted right.
+  table_.DeleteCol(0);
+  EXPECT_DOUBLE_EQ(table_.Value(0, 0), 1);
+}
+
+TEST_F(TableTest, ChangeNotificationCarriesCell) {
+  struct Recorder : Observer {
+    void ObservedChanged(Observable*, const Change& change) override { last = change; ++count; }
+    Change last;
+    int count = 0;
+  } recorder;
+  table_.Resize(3, 3);
+  table_.AddObserver(&recorder);
+  table_.SetNumber(2, 1, 9);
+  EXPECT_EQ(recorder.count, 1);
+  EXPECT_EQ(recorder.last.kind, Change::Kind::kReplaced);
+  EXPECT_EQ(recorder.last.pos, 2);
+  EXPECT_EQ(recorder.last.detail, 1);
+  table_.RemoveObserver(&recorder);
+}
+
+TEST_F(TableTest, RoundTripPreservesKindsValuesAndFormulas) {
+  table_.Resize(3, 3);
+  table_.SetText(0, 0, "totals");
+  table_.SetNumber(1, 0, 3.5);
+  table_.SetFormula(2, 0, "SUM(A1:A2)+1");
+  table_.SetColWidth(1, 90);
+  ReadContext ctx;
+  std::unique_ptr<DataObject> read = ReadDocument(WriteDocument(table_), &ctx);
+  TableData* back = ObjectCast<TableData>(read.get());
+  ASSERT_NE(back, nullptr);
+  EXPECT_TRUE(ctx.ok());
+  EXPECT_EQ(back->rows(), 3);
+  EXPECT_EQ(back->cols(), 3);
+  EXPECT_EQ(back->at(0, 0).kind, TableData::CellKind::kText);
+  EXPECT_EQ(back->DisplayText(0, 0), "totals");
+  EXPECT_DOUBLE_EQ(back->Value(1, 0), 3.5);
+  EXPECT_EQ(back->at(2, 0).kind, TableData::CellKind::kFormula);
+  EXPECT_DOUBLE_EQ(back->Value(2, 0), 4.5);  // Recalculated after load.
+  EXPECT_EQ(back->ColWidth(1), 90);
+}
+
+TEST_F(TableTest, EmbeddedObjectInCellRoundTrips) {
+  Loader::Instance().Require("text");
+  table_.Resize(2, 2);
+  auto note = std::make_unique<TextData>();
+  note->SetText("cell note");
+  table_.SetObject(1, 0, std::move(note));
+  ReadContext ctx;
+  std::unique_ptr<DataObject> read = ReadDocument(WriteDocument(table_), &ctx);
+  TableData* back = ObjectCast<TableData>(read.get());
+  ASSERT_NE(back, nullptr);
+  ASSERT_EQ(back->at(1, 0).kind, TableData::CellKind::kObject);
+  TextData* back_note = ObjectCast<TextData>(back->at(1, 0).object.get());
+  ASSERT_NE(back_note, nullptr);
+  EXPECT_EQ(back_note->GetAllText(), "cell note");
+  EXPECT_EQ(back->at(1, 0).view_type, "textview");
+}
+
+// ---- TableView ---------------------------------------------------------------------
+
+class TableViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterStandardModules();
+    Loader::Instance().Require("table");
+    ws_ = WindowSystem::Open("itc");
+    im_ = InteractionManager::Create(*ws_, 300, 160, "table");
+    table_.Resize(4, 3);
+    view_.SetDataObject(&table_);
+    im_->SetChild(&view_);
+    im_->SetInputFocus(&view_);
+    im_->RunOnce();
+  }
+  void Pump() { im_->RunOnce(); }
+  void Type(const std::string& keys) {
+    for (char ch : keys) {
+      im_->window()->Inject(InputEvent::KeyPress(ch));
+    }
+    Pump();
+  }
+
+  TableData table_;
+  TableView view_;
+  std::unique_ptr<WindowSystem> ws_;
+  std::unique_ptr<InteractionManager> im_;
+};
+
+TEST_F(TableViewTest, ClickSelectsCell) {
+  Rect cell = view_.CellRect(2, 1);
+  im_->window()->Inject(InputEvent::MouseAt(EventType::kMouseDown, cell.center()));
+  im_->window()->Inject(InputEvent::MouseAt(EventType::kMouseUp, cell.center()));
+  Pump();
+  EXPECT_EQ(view_.selected_row(), 2);
+  EXPECT_EQ(view_.selected_col(), 1);
+}
+
+TEST_F(TableViewTest, TypingEditsCellAndReturnCommits) {
+  view_.SelectCell(0, 0);
+  Type("42\r");
+  EXPECT_EQ(table_.at(0, 0).kind, TableData::CellKind::kNumber);
+  EXPECT_DOUBLE_EQ(table_.Value(0, 0), 42);
+  // Return moved selection down.
+  EXPECT_EQ(view_.selected_row(), 1);
+  Type("=A1*2\r");
+  EXPECT_DOUBLE_EQ(table_.Value(1, 0), 84);
+}
+
+TEST_F(TableViewTest, TabCommitsAndMovesRight) {
+  view_.SelectCell(0, 0);
+  Type("7\t11\r");
+  EXPECT_DOUBLE_EQ(table_.Value(0, 0), 7);
+  EXPECT_DOUBLE_EQ(table_.Value(0, 1), 11);
+}
+
+TEST_F(TableViewTest, GridRenders) {
+  Pump();
+  const PixelImage& display = im_->window()->Display();
+  // Grid lines (sampled away from the selection box around cell 0,0).
+  int row_h = view_.RowHeight();
+  EXPECT_EQ(display.GetPixel(0, 2 * row_h + 4), kGray);
+  int width = table_.ColWidth(0);
+  EXPECT_EQ(display.GetPixel(width, 2 * row_h + 4), kGray);
+  EXPECT_EQ(display.GetPixel(width + 5, 2 * row_h), kGray);
+}
+
+TEST_F(TableViewTest, MenusOfferRowColumnOps) {
+  MenuList menus = im_->ComposeMenus();
+  ASSERT_NE(menus.Find("Table~Insert Row"), nullptr);
+  view_.SelectCell(1, 0);
+  EXPECT_TRUE(im_->InvokeMenu("Table~Insert Row"));
+  EXPECT_EQ(table_.rows(), 5);
+}
+
+TEST_F(TableViewTest, SpreadViewIsAnAliasClass) {
+  std::unique_ptr<Object> obj = Loader::Instance().NewObject("spread");
+  ASSERT_NE(obj, nullptr);
+  EXPECT_TRUE(obj->IsA("tableview"));
+}
+
+// ---- Charts (the §2 worked example) ----------------------------------------------------
+
+// Hosts two children side by side.
+class SplitLikeHost : public View {
+ public:
+  void Layout() override {
+    if (graphic() == nullptr) {
+      return;
+    }
+    Rect b = graphic()->LocalBounds();
+    int half = b.width / 2;
+    if (!children().empty()) {
+      children()[0]->Allocate(Rect{0, 0, half, b.height}, graphic());
+    }
+    if (children().size() > 1) {
+      children()[1]->Allocate(Rect{half, 0, b.width - half, b.height}, graphic());
+    }
+  }
+};
+
+class ChartTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterStandardModules();
+    Loader::Instance().Require("table");
+    table_.Resize(4, 2);
+    table_.SetText(0, 0, "apples");
+    table_.SetNumber(0, 1, 30);
+    table_.SetText(1, 0, "pears");
+    table_.SetNumber(1, 1, 50);
+    table_.SetText(2, 0, "plums");
+    table_.SetNumber(2, 1, 20);
+    chart_.SetSource(&table_);
+    chart_.SetTitle("Fruit");
+  }
+  TableData table_;
+  ChartData chart_;
+};
+
+TEST_F(ChartTest, SeriesExtractsLabelsAndValues) {
+  std::vector<ChartData::Slice> series = chart_.Series();
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[0].label, "apples");
+  EXPECT_DOUBLE_EQ(series[1].value, 50);
+}
+
+TEST_F(ChartTest, ObserverChainForwardsTableChanges) {
+  // table -> ChartData -> (observer): the §2 auxiliary-object chain.
+  struct Recorder : Observer {
+    void ObservedChanged(Observable*, const Change&) override { ++count; }
+    int count = 0;
+  } recorder;
+  chart_.AddObserver(&recorder);
+  table_.SetNumber(0, 1, 99);
+  EXPECT_EQ(recorder.count, 1);
+  EXPECT_DOUBLE_EQ(chart_.Series()[0].value, 99);
+  chart_.RemoveObserver(&recorder);
+}
+
+TEST_F(ChartTest, ChartStateSurvivesSaveButTableValuesLiveInTable) {
+  // §2: "only those values (along with the information that a 'chart' is
+  // viewing the table) is saved" — chart holds its own stable view state.
+  TextData doc;
+  auto owned_table = std::make_unique<TableData>();
+  owned_table->Resize(2, 2);
+  owned_table->SetText(0, 0, "x");
+  owned_table->SetNumber(0, 1, 5);
+  TableData* table_raw = owned_table.get();
+  doc.InsertObject(0, std::move(owned_table));
+  auto owned_chart = std::make_unique<ChartData>();
+  owned_chart->SetSource(table_raw);
+  owned_chart->SetTitle("axes labelling");
+  owned_chart->SetColumns(0, 1);
+  doc.InsertObject(1, std::move(owned_chart), "piechartview");
+
+  ReadContext ctx;
+  std::unique_ptr<DataObject> read = ReadDocument(WriteDocument(doc), &ctx);
+  TextData* back = ObjectCast<TextData>(read.get());
+  ASSERT_NE(back, nullptr);
+  ASSERT_EQ(back->embedded_count(), 2u);
+  ChartData* back_chart = ObjectCast<ChartData>(back->embedded_objects()[1].data.get());
+  ASSERT_NE(back_chart, nullptr);
+  EXPECT_EQ(back_chart->title(), "axes labelling");
+  // The \chartsource reference resolved to the re-read table.
+  ASSERT_NE(back_chart->source(), nullptr);
+  EXPECT_DOUBLE_EQ(back_chart->Series()[0].value, 5);
+}
+
+TEST_F(ChartTest, PieAndBarViewsRenderFromOneChartData) {
+  RegisterWindowSystemModules();
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  auto im = InteractionManager::Create(*ws, 260, 120, "charts");
+  // Two different view types on the same data object in one window (§2).
+  SplitLikeHost host;
+  PieChartView pie;
+  BarChartView bar;
+  pie.SetDataObject(&chart_);
+  bar.SetDataObject(&chart_);
+  host.AddChild(&pie);
+  host.AddChild(&bar);
+  im->SetChild(&host);
+  im->RunOnce();
+  const PixelImage& display = im->window()->Display();
+  // Pie wedge colors appear on the left half, bar colors on the right.
+  auto count_colored = [&](int x0, int x1) {
+    int n = 0;
+    for (int y = 0; y < 120; ++y) {
+      for (int x = x0; x < x1; ++x) {
+        Color c = display.GetPixel(x, y);
+        if (c != kWhite && c != kBlack) {
+          ++n;
+        }
+      }
+    }
+    return n;
+  };
+  EXPECT_GT(count_colored(0, 130), 100);
+  EXPECT_GT(count_colored(130, 260), 100);
+  // A table change repaints both views in the next cycle.
+  table_.SetNumber(1, 1, 500);
+  uint64_t before = display.Hash();
+  im->RunOnce();
+  EXPECT_NE(im->window()->Display().Hash(), before);
+  pie.SetDataObject(nullptr);
+  bar.SetDataObject(nullptr);
+}
+
+TEST_F(ChartTest, TwoEmbeddedViewsOnOneTableDataObject) {
+  // §2 verbatim: "A text component could have two embedded views on the
+  // same data object ... one table data object and two views, a normal
+  // table view and a pie chart view."
+  Loader::Instance().Require("text");
+  TextData doc;
+  doc.SetText("numbers and picture: ");
+  auto shared_table = std::make_shared<TableData>();
+  shared_table->Resize(3, 2);
+  shared_table->SetText(0, 0, "apples");
+  shared_table->SetNumber(0, 1, 30);
+  shared_table->SetText(1, 0, "pears");
+  shared_table->SetNumber(1, 1, 50);
+  doc.InsertSharedObject(doc.size(), shared_table, "spread");
+  doc.InsertSharedObject(doc.size(), shared_table, "piechartview");
+  ASSERT_EQ(doc.embedded_count(), 2u);
+  EXPECT_EQ(doc.embedded_objects()[0].data.get(), doc.embedded_objects()[1].data.get());
+  EXPECT_NE(doc.embedded_objects()[0].anchor_id, doc.embedded_objects()[1].anchor_id);
+
+  // Render: two distinct child views over the one data object.
+  RegisterWindowSystemModules();
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  auto im = InteractionManager::Create(*ws, 400, 220, "shared");
+  TextView view;
+  view.SetText(&doc);
+  im->SetChild(&view);
+  im->RunOnce();
+  ASSERT_EQ(view.children().size(), 2u);
+  EXPECT_TRUE(view.children()[0]->IsA("tableview"));
+  EXPECT_TRUE(view.children()[1]->IsA("piechartview"));
+  EXPECT_EQ(view.children()[0]->data_object(), view.children()[1]->data_object());
+
+  // Serialization writes the table once and references it twice.
+  std::string serialized = WriteDocument(doc);
+  size_t first = serialized.find("\\begindata{table,");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(serialized.find("\\begindata{table,", first + 1), std::string::npos);
+  EXPECT_NE(serialized.find("\\view{spread,"), std::string::npos);
+  EXPECT_NE(serialized.find("\\view{piechartview,"), std::string::npos);
+
+  // Reading restores the sharing.
+  ReadContext ctx;
+  std::unique_ptr<DataObject> read = ReadDocument(serialized, &ctx);
+  TextData* back = ObjectCast<TextData>(read.get());
+  ASSERT_NE(back, nullptr);
+  ASSERT_EQ(back->embedded_count(), 2u);
+  EXPECT_EQ(back->embedded_objects()[0].data.get(), back->embedded_objects()[1].data.get());
+  // An edit through the shared object repaints both views.
+  im->RunOnce();
+  uint64_t before = im->window()->Display().Hash();
+  shared_table->SetNumber(1, 1, 500);
+  im->RunOnce();
+  EXPECT_NE(im->window()->Display().Hash(), before);
+  view.SetText(nullptr);
+}
+
+TEST_F(ChartTest, PieChartDirectlyOnTableData) {
+  // The §2 sentence taken literally: the pie chart viewing the table data
+  // object itself (no auxiliary ChartData).
+  PieChartView pie;
+  pie.SetDataObject(&table_);
+  std::vector<ChartData::Slice> series = pie.Series();
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[0].label, "apples");
+  EXPECT_DOUBLE_EQ(series[1].value, 50);
+  pie.SetDataObject(nullptr);
+}
+
+TEST_F(ChartTest, SeriesSkipsTextAndErrorRows) {
+  table_.SetFormula(1, 1, "1/0");  // Error row drops out.
+  table_.SetText(2, 1, "n/a");     // Text row drops out.
+  std::vector<ChartData::Slice> series = chart_.Series();
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].label, "apples");
+}
+
+}  // namespace
+}  // namespace atk

@@ -1,0 +1,228 @@
+// Tests for the window-system layer: the six-class porting surface, backend
+// selection through the loader / environment variable, event queues, and the
+// ITC-vs-X11 behavioural differences the paper calls out (request buffering,
+// backing store and exposure events).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/class_system/loader.h"
+#include "src/wm/printer.h"
+#include "src/wm/window_system.h"
+#include "src/wm/wm_itc.h"
+#include "src/wm/wm_x11sim.h"
+
+namespace atk {
+namespace {
+
+class WmTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RegisterWindowSystemModules(); }
+};
+
+TEST_F(WmTest, OpenByNameLoadsBackendModule) {
+  Loader& loader = Loader::Instance();
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  ASSERT_NE(ws, nullptr);
+  EXPECT_EQ(ws->SystemName(), "itc");
+  EXPECT_TRUE(loader.IsLoaded("wm-itc"));
+}
+
+TEST_F(WmTest, OpenUnknownBackendFails) {
+  EXPECT_EQ(WindowSystem::Open("news"), nullptr);
+}
+
+TEST_F(WmTest, EnvironmentVariableSelectsBackend) {
+  ::setenv("ATK_WINDOW_SYSTEM", "x11", 1);
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open();
+  ::unsetenv("ATK_WINDOW_SYSTEM");
+  ASSERT_NE(ws, nullptr);
+  EXPECT_EQ(ws->SystemName(), "x11");
+}
+
+TEST_F(WmTest, DefaultBackendIsItc) {
+  ::unsetenv("ATK_WINDOW_SYSTEM");
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open();
+  ASSERT_NE(ws, nullptr);
+  EXPECT_EQ(ws->SystemName(), "itc");
+}
+
+TEST_F(WmTest, PortingSurfaceIsAboutSeventyRoutines) {
+  size_t n = WindowSystem::PortingRoutines().size();
+  EXPECT_GE(n, 60u);
+  EXPECT_LE(n, 80u);
+}
+
+TEST_F(WmTest, BothBackendsCreateUsableWindows) {
+  for (const char* name : {"itc", "x11"}) {
+    std::unique_ptr<WindowSystem> ws = WindowSystem::Open(name);
+    ASSERT_NE(ws, nullptr) << name;
+    std::unique_ptr<WmWindow> window = ws->CreateWindow(100, 80, "test");
+    ASSERT_NE(window, nullptr);
+    EXPECT_EQ(window->size(), (Size{100, 80}));
+    EXPECT_EQ(window->title(), "test");
+    Graphic* g = window->GetGraphic();
+    ASSERT_NE(g, nullptr);
+    g->FillRect(Rect{10, 10, 10, 10});
+    window->Flush();
+    EXPECT_EQ(window->Display().GetPixel(15, 15), kBlack) << name;
+  }
+}
+
+TEST_F(WmTest, EventQueueIsFifoAndStamped) {
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  std::unique_ptr<WmWindow> window = ws->CreateWindow(100, 80, "");
+  window->Inject(InputEvent::KeyPress('a'));
+  window->Inject(InputEvent::MouseAt(EventType::kMouseDown, Point{3, 4}));
+  ASSERT_TRUE(window->HasEvent());
+  InputEvent first = window->NextEvent();
+  EXPECT_EQ(first.type, EventType::kKeyDown);
+  EXPECT_EQ(first.key, 'a');
+  InputEvent second = window->NextEvent();
+  EXPECT_EQ(second.type, EventType::kMouseDown);
+  EXPECT_GT(second.time, first.time);
+  EXPECT_FALSE(window->HasEvent());
+}
+
+TEST_F(WmTest, ItcDrawsThroughImmediately) {
+  ItcWindow window(50, 50);
+  window.GetGraphic()->FillRect(Rect{0, 0, 5, 5});
+  // No flush needed: immediate-mode system.
+  EXPECT_EQ(window.Display().GetPixel(2, 2), kBlack);
+}
+
+TEST_F(WmTest, X11BuffersUntilFlush) {
+  X11Window window(50, 50);
+  window.GetGraphic()->FillRect(Rect{0, 0, 5, 5});
+  EXPECT_EQ(window.Display().GetPixel(2, 2), kWhite);  // Still buffered.
+  EXPECT_EQ(window.PendingRequests(), 1u);
+  window.Flush();
+  EXPECT_EQ(window.Display().GetPixel(2, 2), kBlack);
+  EXPECT_EQ(window.PendingRequests(), 0u);
+  EXPECT_EQ(window.FlushCount(), 1u);
+}
+
+TEST_F(WmTest, ItcPreservesContentsUnderOverlap) {
+  ItcWindow window(50, 50);
+  window.GetGraphic()->FillRect(Rect{0, 0, 50, 50});
+  window.Obscure(Rect{10, 10, 20, 20});
+  EXPECT_EQ(window.Display().GetPixel(15, 15), kGray);  // Covered.
+  window.Unobscure();
+  // Contents restored by the window manager; no expose event delivered.
+  EXPECT_EQ(window.Display().GetPixel(15, 15), kBlack);
+  EXPECT_FALSE(window.HasEvent());
+}
+
+TEST_F(WmTest, X11LosesContentsAndDeliversExpose) {
+  X11Window window(50, 50);
+  while (window.HasEvent()) {
+    window.NextEvent();  // Drain the map-time exposure.
+  }
+  window.GetGraphic()->FillRect(Rect{0, 0, 50, 50});
+  window.Flush();
+  window.Obscure(Rect{10, 10, 20, 20});
+  EXPECT_EQ(window.Display().GetPixel(15, 15), kGray);
+  window.Unobscure();
+  // No backing store: pixels gone, client must repaint.
+  EXPECT_EQ(window.Display().GetPixel(15, 15), kWhite);
+  ASSERT_TRUE(window.HasEvent());
+  InputEvent e = window.NextEvent();
+  EXPECT_EQ(e.type, EventType::kExpose);
+  EXPECT_EQ(e.rect, (Rect{10, 10, 20, 20}));
+}
+
+TEST_F(WmTest, X11DeliversInitialExposureOnMap) {
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("x11");
+  std::unique_ptr<WmWindow> window = ws->CreateWindow(64, 64, "");
+  ASSERT_TRUE(window->HasEvent());
+  EXPECT_EQ(window->NextEvent().type, EventType::kExpose);
+}
+
+TEST_F(WmTest, ResizeInjectsResizeEvent) {
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  std::unique_ptr<WmWindow> window = ws->CreateWindow(64, 64, "");
+  window->Resize(128, 96);
+  EXPECT_EQ(window->size(), (Size{128, 96}));
+  ASSERT_TRUE(window->HasEvent());
+  InputEvent e = window->NextEvent();
+  EXPECT_EQ(e.type, EventType::kResize);
+  EXPECT_EQ(e.size, (Size{128, 96}));
+}
+
+TEST_F(WmTest, IdenticalSceneRendersIdenticallyOnBothBackends) {
+  // §8: "we are currently able to run applications on two different window
+  // systems without any recompilation" — the same op stream must produce the
+  // same pixels.
+  auto render = [](WmWindow& window) {
+    Graphic* g = window.GetGraphic();
+    g->Clear();
+    g->DrawRect(Rect{5, 5, 50, 40});
+    g->DrawString(Point{10, 10}, "Andrew");
+    g->DrawLine(Point{0, 0}, Point{63, 63});
+    g->FillEllipse(Rect{30, 30, 20, 12});
+    window.Flush();
+    return window.Display().Hash();
+  };
+  std::unique_ptr<WindowSystem> itc = WindowSystem::Open("itc");
+  std::unique_ptr<WindowSystem> x11 = WindowSystem::Open("x11");
+  std::unique_ptr<WmWindow> wi = itc->CreateWindow(64, 64, "");
+  std::unique_ptr<WmWindow> wx = x11->CreateWindow(64, 64, "");
+  EXPECT_EQ(render(*wi), render(*wx));
+}
+
+TEST_F(WmTest, OffscreenWindowDrawsAndBlits) {
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  std::unique_ptr<OffscreenWindow> off = ws->CreateOffscreen(16, 16);
+  off->GetGraphic()->FillRect(Rect{0, 0, 8, 8});
+  std::unique_ptr<WmWindow> window = ws->CreateWindow(64, 64, "");
+  window->GetGraphic()->DrawImage(off->image(), off->image().bounds(), Point{20, 20});
+  window->Flush();
+  EXPECT_EQ(window->Display().GetPixel(21, 21), kBlack);
+  EXPECT_EQ(window->Display().GetPixel(29, 29), kWhite);
+}
+
+TEST_F(WmTest, CursorAndFontDescFactories) {
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  std::unique_ptr<WmCursor> cursor = ws->CreateCursor(CursorShape::kIBeam);
+  EXPECT_EQ(cursor->shape(), CursorShape::kIBeam);
+  std::unique_ptr<WmFontDesc> font = ws->CreateFontDesc(FontSpec{"andy", 12, kBold});
+  EXPECT_EQ(font->font().spec().size, 12);
+  std::unique_ptr<WmWindow> window = ws->CreateWindow(32, 32, "");
+  window->SetCursor(*cursor);
+  EXPECT_EQ(window->cursor_shape(), CursorShape::kIBeam);
+}
+
+TEST_F(WmTest, PrintJobPagesAreIndependentDrawables) {
+  PrintJob job(100, 60, 10);
+  Graphic* page1 = job.NewPage();
+  page1->FillRect(Rect{0, 0, 5, 5});
+  Graphic* page2 = job.NewPage();
+  page2->DrawString(Point{0, 0}, "p2");
+  EXPECT_EQ(job.page_count(), 2);
+  // Page margins: the drawable's (0,0) is inset by the margin.
+  EXPECT_EQ(job.page(0).GetPixel(10, 10), kBlack);
+  EXPECT_EQ(job.page(0).GetPixel(5, 5), kWhite);
+  // Page 2 has text ink but no fill at the corner.
+  EXPECT_EQ(job.page(1).GetPixel(10, 10), kWhite);
+}
+
+TEST_F(WmTest, RequestCountsAccumulatePerBackendModel) {
+  std::unique_ptr<WindowSystem> itc = WindowSystem::Open("itc");
+  std::unique_ptr<WmWindow> wi = itc->CreateWindow(32, 32, "");
+  wi->GetGraphic()->FillRect(Rect{0, 0, 4, 4});
+  wi->GetGraphic()->DrawLine(Point{0, 0}, Point{5, 5});
+  EXPECT_EQ(wi->RequestCount(), 2u);
+
+  std::unique_ptr<WindowSystem> x11 = WindowSystem::Open("x11");
+  std::unique_ptr<WmWindow> wx = x11->CreateWindow(32, 32, "");
+  wx->GetGraphic()->FillRect(Rect{0, 0, 4, 4});
+  wx->GetGraphic()->DrawLine(Point{0, 0}, Point{5, 5});
+  EXPECT_EQ(wx->RequestCount(), 2u);
+  X11Window* xw = ObjectCast<X11Window>(wx.get());
+  ASSERT_NE(xw, nullptr);
+  EXPECT_EQ(xw->PendingRequests(), 2u);
+}
+
+}  // namespace
+}  // namespace atk
