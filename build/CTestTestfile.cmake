@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("src/class_system")
+subdirs("src/graphics")
+subdirs("src/datastream")
+subdirs("src/wm")
+subdirs("src/base")
+subdirs("src/components/text")
+subdirs("src/components/table")
+subdirs("src/components/drawing")
+subdirs("src/components/equation")
+subdirs("src/components/raster")
+subdirs("src/components/animation")
+subdirs("src/components/scroll")
+subdirs("src/components/frame")
+subdirs("src/components/widgets")
+subdirs("src/apps")
+subdirs("src/workload")
+subdirs("tests")
+subdirs("bench")
+subdirs("examples")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_datastream.dir/bench_datastream.cpp.o"
+  "CMakeFiles/bench_datastream.dir/bench_datastream.cpp.o.d"
+  "bench_datastream"
+  "bench_datastream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_datastream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

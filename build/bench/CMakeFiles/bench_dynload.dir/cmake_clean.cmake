@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynload.dir/bench_dynload.cpp.o"
+  "CMakeFiles/bench_dynload.dir/bench_dynload.cpp.o.d"
+  "bench_dynload"
+  "bench_dynload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_view_tree.dir/bench_view_tree.cpp.o"
+  "CMakeFiles/bench_view_tree.dir/bench_view_tree.cpp.o.d"
+  "bench_view_tree"
+  "bench_view_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_view_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wm.dir/bench_wm.cpp.o"
+  "CMakeFiles/bench_wm.dir/bench_wm.cpp.o.d"
+  "bench_wm"
+  "bench_wm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_packages.dir/extension_packages.cpp.o"
+  "CMakeFiles/extension_packages.dir/extension_packages.cpp.o.d"
+  "extension_packages"
+  "extension_packages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_packages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

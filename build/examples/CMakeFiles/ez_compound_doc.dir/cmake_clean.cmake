@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ez_compound_doc.dir/ez_compound_doc.cpp.o"
+  "CMakeFiles/ez_compound_doc.dir/ez_compound_doc.cpp.o.d"
+  "ez_compound_doc"
+  "ez_compound_doc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ez_compound_doc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/help_and_typescript.dir/help_and_typescript.cpp.o"
+  "CMakeFiles/help_and_typescript.dir/help_and_typescript.cpp.o.d"
+  "help_and_typescript"
+  "help_and_typescript.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/help_and_typescript.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

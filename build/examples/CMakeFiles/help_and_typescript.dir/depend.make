@@ -1,0 +1,2 @@
+# Empty dependencies file for help_and_typescript.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mail_session.dir/mail_session.cpp.o"
+  "CMakeFiles/mail_session.dir/mail_session.cpp.o.d"
+  "mail_session"
+  "mail_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mail_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

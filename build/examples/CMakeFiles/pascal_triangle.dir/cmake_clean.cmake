@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pascal_triangle.dir/pascal_triangle.cpp.o"
+  "CMakeFiles/pascal_triangle.dir/pascal_triangle.cpp.o.d"
+  "pascal_triangle"
+  "pascal_triangle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pascal_triangle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

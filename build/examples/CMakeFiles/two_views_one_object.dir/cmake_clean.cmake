@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_views_one_object.dir/two_views_one_object.cpp.o"
+  "CMakeFiles/two_views_one_object.dir/two_views_one_object.cpp.o.d"
+  "two_views_one_object"
+  "two_views_one_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_views_one_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for two_views_one_object.
+# This may be replaced when dependencies are built.

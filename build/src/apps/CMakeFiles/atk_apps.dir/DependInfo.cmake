@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/compile_package.cc" "src/apps/CMakeFiles/atk_apps.dir/compile_package.cc.o" "gcc" "src/apps/CMakeFiles/atk_apps.dir/compile_package.cc.o.d"
+  "/root/repo/src/apps/console_app.cc" "src/apps/CMakeFiles/atk_apps.dir/console_app.cc.o" "gcc" "src/apps/CMakeFiles/atk_apps.dir/console_app.cc.o.d"
+  "/root/repo/src/apps/ctext_package.cc" "src/apps/CMakeFiles/atk_apps.dir/ctext_package.cc.o" "gcc" "src/apps/CMakeFiles/atk_apps.dir/ctext_package.cc.o.d"
+  "/root/repo/src/apps/ez_app.cc" "src/apps/CMakeFiles/atk_apps.dir/ez_app.cc.o" "gcc" "src/apps/CMakeFiles/atk_apps.dir/ez_app.cc.o.d"
+  "/root/repo/src/apps/filter_package.cc" "src/apps/CMakeFiles/atk_apps.dir/filter_package.cc.o" "gcc" "src/apps/CMakeFiles/atk_apps.dir/filter_package.cc.o.d"
+  "/root/repo/src/apps/help_app.cc" "src/apps/CMakeFiles/atk_apps.dir/help_app.cc.o" "gcc" "src/apps/CMakeFiles/atk_apps.dir/help_app.cc.o.d"
+  "/root/repo/src/apps/mail_store.cc" "src/apps/CMakeFiles/atk_apps.dir/mail_store.cc.o" "gcc" "src/apps/CMakeFiles/atk_apps.dir/mail_store.cc.o.d"
+  "/root/repo/src/apps/messages_app.cc" "src/apps/CMakeFiles/atk_apps.dir/messages_app.cc.o" "gcc" "src/apps/CMakeFiles/atk_apps.dir/messages_app.cc.o.d"
+  "/root/repo/src/apps/preview_app.cc" "src/apps/CMakeFiles/atk_apps.dir/preview_app.cc.o" "gcc" "src/apps/CMakeFiles/atk_apps.dir/preview_app.cc.o.d"
+  "/root/repo/src/apps/spell_package.cc" "src/apps/CMakeFiles/atk_apps.dir/spell_package.cc.o" "gcc" "src/apps/CMakeFiles/atk_apps.dir/spell_package.cc.o.d"
+  "/root/repo/src/apps/standard_modules.cc" "src/apps/CMakeFiles/atk_apps.dir/standard_modules.cc.o" "gcc" "src/apps/CMakeFiles/atk_apps.dir/standard_modules.cc.o.d"
+  "/root/repo/src/apps/style_editor.cc" "src/apps/CMakeFiles/atk_apps.dir/style_editor.cc.o" "gcc" "src/apps/CMakeFiles/atk_apps.dir/style_editor.cc.o.d"
+  "/root/repo/src/apps/typescript_app.cc" "src/apps/CMakeFiles/atk_apps.dir/typescript_app.cc.o" "gcc" "src/apps/CMakeFiles/atk_apps.dir/typescript_app.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/components/text/CMakeFiles/atk_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/table/CMakeFiles/atk_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/drawing/CMakeFiles/atk_drawing.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/equation/CMakeFiles/atk_equation.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/raster/CMakeFiles/atk_raster.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/animation/CMakeFiles/atk_animation.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/scroll/CMakeFiles/atk_scroll.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/frame/CMakeFiles/atk_frame.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/widgets/CMakeFiles/atk_widgets.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/atk_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/wm/CMakeFiles/atk_wm.dir/DependInfo.cmake"
+  "/root/repo/build/src/datastream/CMakeFiles/atk_datastream.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphics/CMakeFiles/atk_graphics.dir/DependInfo.cmake"
+  "/root/repo/build/src/class_system/CMakeFiles/atk_class_system.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

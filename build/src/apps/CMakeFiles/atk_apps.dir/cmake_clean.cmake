@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atk_apps.dir/compile_package.cc.o"
+  "CMakeFiles/atk_apps.dir/compile_package.cc.o.d"
+  "CMakeFiles/atk_apps.dir/console_app.cc.o"
+  "CMakeFiles/atk_apps.dir/console_app.cc.o.d"
+  "CMakeFiles/atk_apps.dir/ctext_package.cc.o"
+  "CMakeFiles/atk_apps.dir/ctext_package.cc.o.d"
+  "CMakeFiles/atk_apps.dir/ez_app.cc.o"
+  "CMakeFiles/atk_apps.dir/ez_app.cc.o.d"
+  "CMakeFiles/atk_apps.dir/filter_package.cc.o"
+  "CMakeFiles/atk_apps.dir/filter_package.cc.o.d"
+  "CMakeFiles/atk_apps.dir/help_app.cc.o"
+  "CMakeFiles/atk_apps.dir/help_app.cc.o.d"
+  "CMakeFiles/atk_apps.dir/mail_store.cc.o"
+  "CMakeFiles/atk_apps.dir/mail_store.cc.o.d"
+  "CMakeFiles/atk_apps.dir/messages_app.cc.o"
+  "CMakeFiles/atk_apps.dir/messages_app.cc.o.d"
+  "CMakeFiles/atk_apps.dir/preview_app.cc.o"
+  "CMakeFiles/atk_apps.dir/preview_app.cc.o.d"
+  "CMakeFiles/atk_apps.dir/spell_package.cc.o"
+  "CMakeFiles/atk_apps.dir/spell_package.cc.o.d"
+  "CMakeFiles/atk_apps.dir/standard_modules.cc.o"
+  "CMakeFiles/atk_apps.dir/standard_modules.cc.o.d"
+  "CMakeFiles/atk_apps.dir/style_editor.cc.o"
+  "CMakeFiles/atk_apps.dir/style_editor.cc.o.d"
+  "CMakeFiles/atk_apps.dir/typescript_app.cc.o"
+  "CMakeFiles/atk_apps.dir/typescript_app.cc.o.d"
+  "libatk_apps.a"
+  "libatk_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atk_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

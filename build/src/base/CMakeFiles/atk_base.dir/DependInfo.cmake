@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/application.cc" "src/base/CMakeFiles/atk_base.dir/application.cc.o" "gcc" "src/base/CMakeFiles/atk_base.dir/application.cc.o.d"
+  "/root/repo/src/base/data_object.cc" "src/base/CMakeFiles/atk_base.dir/data_object.cc.o" "gcc" "src/base/CMakeFiles/atk_base.dir/data_object.cc.o.d"
+  "/root/repo/src/base/default_views.cc" "src/base/CMakeFiles/atk_base.dir/default_views.cc.o" "gcc" "src/base/CMakeFiles/atk_base.dir/default_views.cc.o.d"
+  "/root/repo/src/base/interaction_manager.cc" "src/base/CMakeFiles/atk_base.dir/interaction_manager.cc.o" "gcc" "src/base/CMakeFiles/atk_base.dir/interaction_manager.cc.o.d"
+  "/root/repo/src/base/keymap.cc" "src/base/CMakeFiles/atk_base.dir/keymap.cc.o" "gcc" "src/base/CMakeFiles/atk_base.dir/keymap.cc.o.d"
+  "/root/repo/src/base/menu_popup.cc" "src/base/CMakeFiles/atk_base.dir/menu_popup.cc.o" "gcc" "src/base/CMakeFiles/atk_base.dir/menu_popup.cc.o.d"
+  "/root/repo/src/base/menus.cc" "src/base/CMakeFiles/atk_base.dir/menus.cc.o" "gcc" "src/base/CMakeFiles/atk_base.dir/menus.cc.o.d"
+  "/root/repo/src/base/print.cc" "src/base/CMakeFiles/atk_base.dir/print.cc.o" "gcc" "src/base/CMakeFiles/atk_base.dir/print.cc.o.d"
+  "/root/repo/src/base/proctable.cc" "src/base/CMakeFiles/atk_base.dir/proctable.cc.o" "gcc" "src/base/CMakeFiles/atk_base.dir/proctable.cc.o.d"
+  "/root/repo/src/base/view.cc" "src/base/CMakeFiles/atk_base.dir/view.cc.o" "gcc" "src/base/CMakeFiles/atk_base.dir/view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wm/CMakeFiles/atk_wm.dir/DependInfo.cmake"
+  "/root/repo/build/src/datastream/CMakeFiles/atk_datastream.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphics/CMakeFiles/atk_graphics.dir/DependInfo.cmake"
+  "/root/repo/build/src/class_system/CMakeFiles/atk_class_system.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

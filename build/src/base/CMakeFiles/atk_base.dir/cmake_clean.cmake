@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atk_base.dir/application.cc.o"
+  "CMakeFiles/atk_base.dir/application.cc.o.d"
+  "CMakeFiles/atk_base.dir/data_object.cc.o"
+  "CMakeFiles/atk_base.dir/data_object.cc.o.d"
+  "CMakeFiles/atk_base.dir/default_views.cc.o"
+  "CMakeFiles/atk_base.dir/default_views.cc.o.d"
+  "CMakeFiles/atk_base.dir/interaction_manager.cc.o"
+  "CMakeFiles/atk_base.dir/interaction_manager.cc.o.d"
+  "CMakeFiles/atk_base.dir/keymap.cc.o"
+  "CMakeFiles/atk_base.dir/keymap.cc.o.d"
+  "CMakeFiles/atk_base.dir/menu_popup.cc.o"
+  "CMakeFiles/atk_base.dir/menu_popup.cc.o.d"
+  "CMakeFiles/atk_base.dir/menus.cc.o"
+  "CMakeFiles/atk_base.dir/menus.cc.o.d"
+  "CMakeFiles/atk_base.dir/print.cc.o"
+  "CMakeFiles/atk_base.dir/print.cc.o.d"
+  "CMakeFiles/atk_base.dir/proctable.cc.o"
+  "CMakeFiles/atk_base.dir/proctable.cc.o.d"
+  "CMakeFiles/atk_base.dir/view.cc.o"
+  "CMakeFiles/atk_base.dir/view.cc.o.d"
+  "libatk_base.a"
+  "libatk_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atk_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

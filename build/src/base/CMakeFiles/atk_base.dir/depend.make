@@ -1,0 +1,2 @@
+# Empty dependencies file for atk_base.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/class_system/class_info.cc" "src/class_system/CMakeFiles/atk_class_system.dir/class_info.cc.o" "gcc" "src/class_system/CMakeFiles/atk_class_system.dir/class_info.cc.o.d"
+  "/root/repo/src/class_system/loader.cc" "src/class_system/CMakeFiles/atk_class_system.dir/loader.cc.o" "gcc" "src/class_system/CMakeFiles/atk_class_system.dir/loader.cc.o.d"
+  "/root/repo/src/class_system/object.cc" "src/class_system/CMakeFiles/atk_class_system.dir/object.cc.o" "gcc" "src/class_system/CMakeFiles/atk_class_system.dir/object.cc.o.d"
+  "/root/repo/src/class_system/observable.cc" "src/class_system/CMakeFiles/atk_class_system.dir/observable.cc.o" "gcc" "src/class_system/CMakeFiles/atk_class_system.dir/observable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

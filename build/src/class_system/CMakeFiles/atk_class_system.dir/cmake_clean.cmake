@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atk_class_system.dir/class_info.cc.o"
+  "CMakeFiles/atk_class_system.dir/class_info.cc.o.d"
+  "CMakeFiles/atk_class_system.dir/loader.cc.o"
+  "CMakeFiles/atk_class_system.dir/loader.cc.o.d"
+  "CMakeFiles/atk_class_system.dir/object.cc.o"
+  "CMakeFiles/atk_class_system.dir/object.cc.o.d"
+  "CMakeFiles/atk_class_system.dir/observable.cc.o"
+  "CMakeFiles/atk_class_system.dir/observable.cc.o.d"
+  "libatk_class_system.a"
+  "libatk_class_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atk_class_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

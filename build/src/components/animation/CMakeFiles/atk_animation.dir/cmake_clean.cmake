@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atk_animation.dir/anim_data.cc.o"
+  "CMakeFiles/atk_animation.dir/anim_data.cc.o.d"
+  "CMakeFiles/atk_animation.dir/anim_view.cc.o"
+  "CMakeFiles/atk_animation.dir/anim_view.cc.o.d"
+  "libatk_animation.a"
+  "libatk_animation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atk_animation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

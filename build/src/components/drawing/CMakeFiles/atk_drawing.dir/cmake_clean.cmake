@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atk_drawing.dir/draw_data.cc.o"
+  "CMakeFiles/atk_drawing.dir/draw_data.cc.o.d"
+  "CMakeFiles/atk_drawing.dir/draw_view.cc.o"
+  "CMakeFiles/atk_drawing.dir/draw_view.cc.o.d"
+  "libatk_drawing.a"
+  "libatk_drawing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atk_drawing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

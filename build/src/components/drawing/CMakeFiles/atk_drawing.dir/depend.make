@@ -1,0 +1,2 @@
+# Empty dependencies file for atk_drawing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atk_equation.dir/eq_data.cc.o"
+  "CMakeFiles/atk_equation.dir/eq_data.cc.o.d"
+  "CMakeFiles/atk_equation.dir/eq_view.cc.o"
+  "CMakeFiles/atk_equation.dir/eq_view.cc.o.d"
+  "libatk_equation.a"
+  "libatk_equation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atk_equation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

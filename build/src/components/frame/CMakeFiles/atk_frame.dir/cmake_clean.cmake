@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atk_frame.dir/frame_view.cc.o"
+  "CMakeFiles/atk_frame.dir/frame_view.cc.o.d"
+  "libatk_frame.a"
+  "libatk_frame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atk_frame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atk_raster.dir/raster_data.cc.o"
+  "CMakeFiles/atk_raster.dir/raster_data.cc.o.d"
+  "CMakeFiles/atk_raster.dir/raster_view.cc.o"
+  "CMakeFiles/atk_raster.dir/raster_view.cc.o.d"
+  "libatk_raster.a"
+  "libatk_raster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atk_raster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

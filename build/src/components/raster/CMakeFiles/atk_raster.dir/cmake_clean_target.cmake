@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libatk_raster.a"
+)

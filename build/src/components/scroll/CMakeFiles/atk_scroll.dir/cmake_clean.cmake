@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atk_scroll.dir/scrollbar_view.cc.o"
+  "CMakeFiles/atk_scroll.dir/scrollbar_view.cc.o.d"
+  "libatk_scroll.a"
+  "libatk_scroll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atk_scroll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

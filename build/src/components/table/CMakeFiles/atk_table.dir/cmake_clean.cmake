@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atk_table.dir/chart.cc.o"
+  "CMakeFiles/atk_table.dir/chart.cc.o.d"
+  "CMakeFiles/atk_table.dir/formula.cc.o"
+  "CMakeFiles/atk_table.dir/formula.cc.o.d"
+  "CMakeFiles/atk_table.dir/table_data.cc.o"
+  "CMakeFiles/atk_table.dir/table_data.cc.o.d"
+  "CMakeFiles/atk_table.dir/table_module.cc.o"
+  "CMakeFiles/atk_table.dir/table_module.cc.o.d"
+  "CMakeFiles/atk_table.dir/table_view.cc.o"
+  "CMakeFiles/atk_table.dir/table_view.cc.o.d"
+  "libatk_table.a"
+  "libatk_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atk_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

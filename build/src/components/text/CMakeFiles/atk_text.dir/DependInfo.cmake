@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/components/text/gap_buffer.cc" "src/components/text/CMakeFiles/atk_text.dir/gap_buffer.cc.o" "gcc" "src/components/text/CMakeFiles/atk_text.dir/gap_buffer.cc.o.d"
+  "/root/repo/src/components/text/paged_text_view.cc" "src/components/text/CMakeFiles/atk_text.dir/paged_text_view.cc.o" "gcc" "src/components/text/CMakeFiles/atk_text.dir/paged_text_view.cc.o.d"
+  "/root/repo/src/components/text/style.cc" "src/components/text/CMakeFiles/atk_text.dir/style.cc.o" "gcc" "src/components/text/CMakeFiles/atk_text.dir/style.cc.o.d"
+  "/root/repo/src/components/text/text_data.cc" "src/components/text/CMakeFiles/atk_text.dir/text_data.cc.o" "gcc" "src/components/text/CMakeFiles/atk_text.dir/text_data.cc.o.d"
+  "/root/repo/src/components/text/text_module.cc" "src/components/text/CMakeFiles/atk_text.dir/text_module.cc.o" "gcc" "src/components/text/CMakeFiles/atk_text.dir/text_module.cc.o.d"
+  "/root/repo/src/components/text/text_view.cc" "src/components/text/CMakeFiles/atk_text.dir/text_view.cc.o" "gcc" "src/components/text/CMakeFiles/atk_text.dir/text_view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/atk_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/wm/CMakeFiles/atk_wm.dir/DependInfo.cmake"
+  "/root/repo/build/src/datastream/CMakeFiles/atk_datastream.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphics/CMakeFiles/atk_graphics.dir/DependInfo.cmake"
+  "/root/repo/build/src/class_system/CMakeFiles/atk_class_system.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atk_text.dir/gap_buffer.cc.o"
+  "CMakeFiles/atk_text.dir/gap_buffer.cc.o.d"
+  "CMakeFiles/atk_text.dir/paged_text_view.cc.o"
+  "CMakeFiles/atk_text.dir/paged_text_view.cc.o.d"
+  "CMakeFiles/atk_text.dir/style.cc.o"
+  "CMakeFiles/atk_text.dir/style.cc.o.d"
+  "CMakeFiles/atk_text.dir/text_data.cc.o"
+  "CMakeFiles/atk_text.dir/text_data.cc.o.d"
+  "CMakeFiles/atk_text.dir/text_module.cc.o"
+  "CMakeFiles/atk_text.dir/text_module.cc.o.d"
+  "CMakeFiles/atk_text.dir/text_view.cc.o"
+  "CMakeFiles/atk_text.dir/text_view.cc.o.d"
+  "libatk_text.a"
+  "libatk_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atk_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

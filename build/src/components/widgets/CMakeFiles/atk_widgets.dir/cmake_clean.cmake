@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atk_widgets.dir/menu_view.cc.o"
+  "CMakeFiles/atk_widgets.dir/menu_view.cc.o.d"
+  "CMakeFiles/atk_widgets.dir/widgets.cc.o"
+  "CMakeFiles/atk_widgets.dir/widgets.cc.o.d"
+  "libatk_widgets.a"
+  "libatk_widgets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atk_widgets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

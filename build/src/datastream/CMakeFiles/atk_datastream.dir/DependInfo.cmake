@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datastream/reader.cc" "src/datastream/CMakeFiles/atk_datastream.dir/reader.cc.o" "gcc" "src/datastream/CMakeFiles/atk_datastream.dir/reader.cc.o.d"
+  "/root/repo/src/datastream/writer.cc" "src/datastream/CMakeFiles/atk_datastream.dir/writer.cc.o" "gcc" "src/datastream/CMakeFiles/atk_datastream.dir/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/class_system/CMakeFiles/atk_class_system.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

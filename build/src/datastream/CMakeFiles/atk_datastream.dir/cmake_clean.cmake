@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atk_datastream.dir/reader.cc.o"
+  "CMakeFiles/atk_datastream.dir/reader.cc.o.d"
+  "CMakeFiles/atk_datastream.dir/writer.cc.o"
+  "CMakeFiles/atk_datastream.dir/writer.cc.o.d"
+  "libatk_datastream.a"
+  "libatk_datastream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atk_datastream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

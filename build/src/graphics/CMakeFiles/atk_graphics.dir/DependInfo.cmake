@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graphics/cursor_shape.cc" "src/graphics/CMakeFiles/atk_graphics.dir/cursor_shape.cc.o" "gcc" "src/graphics/CMakeFiles/atk_graphics.dir/cursor_shape.cc.o.d"
+  "/root/repo/src/graphics/font.cc" "src/graphics/CMakeFiles/atk_graphics.dir/font.cc.o" "gcc" "src/graphics/CMakeFiles/atk_graphics.dir/font.cc.o.d"
+  "/root/repo/src/graphics/font_data.cc" "src/graphics/CMakeFiles/atk_graphics.dir/font_data.cc.o" "gcc" "src/graphics/CMakeFiles/atk_graphics.dir/font_data.cc.o.d"
+  "/root/repo/src/graphics/geometry.cc" "src/graphics/CMakeFiles/atk_graphics.dir/geometry.cc.o" "gcc" "src/graphics/CMakeFiles/atk_graphics.dir/geometry.cc.o.d"
+  "/root/repo/src/graphics/graphic.cc" "src/graphics/CMakeFiles/atk_graphics.dir/graphic.cc.o" "gcc" "src/graphics/CMakeFiles/atk_graphics.dir/graphic.cc.o.d"
+  "/root/repo/src/graphics/pixel_image.cc" "src/graphics/CMakeFiles/atk_graphics.dir/pixel_image.cc.o" "gcc" "src/graphics/CMakeFiles/atk_graphics.dir/pixel_image.cc.o.d"
+  "/root/repo/src/graphics/region.cc" "src/graphics/CMakeFiles/atk_graphics.dir/region.cc.o" "gcc" "src/graphics/CMakeFiles/atk_graphics.dir/region.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/class_system/CMakeFiles/atk_class_system.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

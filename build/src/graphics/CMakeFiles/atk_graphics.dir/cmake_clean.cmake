@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atk_graphics.dir/cursor_shape.cc.o"
+  "CMakeFiles/atk_graphics.dir/cursor_shape.cc.o.d"
+  "CMakeFiles/atk_graphics.dir/font.cc.o"
+  "CMakeFiles/atk_graphics.dir/font.cc.o.d"
+  "CMakeFiles/atk_graphics.dir/font_data.cc.o"
+  "CMakeFiles/atk_graphics.dir/font_data.cc.o.d"
+  "CMakeFiles/atk_graphics.dir/geometry.cc.o"
+  "CMakeFiles/atk_graphics.dir/geometry.cc.o.d"
+  "CMakeFiles/atk_graphics.dir/graphic.cc.o"
+  "CMakeFiles/atk_graphics.dir/graphic.cc.o.d"
+  "CMakeFiles/atk_graphics.dir/pixel_image.cc.o"
+  "CMakeFiles/atk_graphics.dir/pixel_image.cc.o.d"
+  "CMakeFiles/atk_graphics.dir/region.cc.o"
+  "CMakeFiles/atk_graphics.dir/region.cc.o.d"
+  "libatk_graphics.a"
+  "libatk_graphics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atk_graphics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/graphics/CMakeFiles/atk_graphics.dir/cursor_shape.cc.o: \
+ /root/repo/src/graphics/cursor_shape.cc /usr/include/stdc-predef.h \
+ /root/repo/src/graphics/cursor_shape.h

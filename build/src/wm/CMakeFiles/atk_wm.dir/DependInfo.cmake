@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wm/printer.cc" "src/wm/CMakeFiles/atk_wm.dir/printer.cc.o" "gcc" "src/wm/CMakeFiles/atk_wm.dir/printer.cc.o.d"
+  "/root/repo/src/wm/register.cc" "src/wm/CMakeFiles/atk_wm.dir/register.cc.o" "gcc" "src/wm/CMakeFiles/atk_wm.dir/register.cc.o.d"
+  "/root/repo/src/wm/window_system.cc" "src/wm/CMakeFiles/atk_wm.dir/window_system.cc.o" "gcc" "src/wm/CMakeFiles/atk_wm.dir/window_system.cc.o.d"
+  "/root/repo/src/wm/wm_itc.cc" "src/wm/CMakeFiles/atk_wm.dir/wm_itc.cc.o" "gcc" "src/wm/CMakeFiles/atk_wm.dir/wm_itc.cc.o.d"
+  "/root/repo/src/wm/wm_x11sim.cc" "src/wm/CMakeFiles/atk_wm.dir/wm_x11sim.cc.o" "gcc" "src/wm/CMakeFiles/atk_wm.dir/wm_x11sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graphics/CMakeFiles/atk_graphics.dir/DependInfo.cmake"
+  "/root/repo/build/src/class_system/CMakeFiles/atk_class_system.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atk_wm.dir/printer.cc.o"
+  "CMakeFiles/atk_wm.dir/printer.cc.o.d"
+  "CMakeFiles/atk_wm.dir/register.cc.o"
+  "CMakeFiles/atk_wm.dir/register.cc.o.d"
+  "CMakeFiles/atk_wm.dir/window_system.cc.o"
+  "CMakeFiles/atk_wm.dir/window_system.cc.o.d"
+  "CMakeFiles/atk_wm.dir/wm_itc.cc.o"
+  "CMakeFiles/atk_wm.dir/wm_itc.cc.o.d"
+  "CMakeFiles/atk_wm.dir/wm_x11sim.cc.o"
+  "CMakeFiles/atk_wm.dir/wm_x11sim.cc.o.d"
+  "libatk_wm.a"
+  "libatk_wm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atk_wm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atk_workload.dir/workload.cc.o"
+  "CMakeFiles/atk_workload.dir/workload.cc.o.d"
+  "libatk_workload.a"
+  "libatk_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atk_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

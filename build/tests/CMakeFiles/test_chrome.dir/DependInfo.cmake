@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_chrome.cc" "tests/CMakeFiles/test_chrome.dir/test_chrome.cc.o" "gcc" "tests/CMakeFiles/test_chrome.dir/test_chrome.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/atk_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/atk_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/table/CMakeFiles/atk_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/drawing/CMakeFiles/atk_drawing.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/text/CMakeFiles/atk_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/equation/CMakeFiles/atk_equation.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/raster/CMakeFiles/atk_raster.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/animation/CMakeFiles/atk_animation.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/scroll/CMakeFiles/atk_scroll.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/frame/CMakeFiles/atk_frame.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/widgets/CMakeFiles/atk_widgets.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/atk_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/wm/CMakeFiles/atk_wm.dir/DependInfo.cmake"
+  "/root/repo/build/src/datastream/CMakeFiles/atk_datastream.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphics/CMakeFiles/atk_graphics.dir/DependInfo.cmake"
+  "/root/repo/build/src/class_system/CMakeFiles/atk_class_system.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chrome.dir/test_chrome.cc.o"
+  "CMakeFiles/test_chrome.dir/test_chrome.cc.o.d"
+  "test_chrome"
+  "test_chrome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chrome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_class_system.dir/test_class_system.cc.o"
+  "CMakeFiles/test_class_system.dir/test_class_system.cc.o.d"
+  "test_class_system"
+  "test_class_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_class_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datastream.dir/test_datastream.cc.o"
+  "CMakeFiles/test_datastream.dir/test_datastream.cc.o.d"
+  "test_datastream"
+  "test_datastream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datastream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

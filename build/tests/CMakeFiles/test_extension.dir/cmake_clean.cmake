@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extension.dir/test_extension.cc.o"
+  "CMakeFiles/test_extension.dir/test_extension.cc.o.d"
+  "test_extension"
+  "test_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graphics.dir/test_graphics.cc.o"
+  "CMakeFiles/test_graphics.dir/test_graphics.cc.o.d"
+  "test_graphics"
+  "test_graphics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graphics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packages.dir/test_packages.cc.o"
+  "CMakeFiles/test_packages.dir/test_packages.cc.o.d"
+  "test_packages"
+  "test_packages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

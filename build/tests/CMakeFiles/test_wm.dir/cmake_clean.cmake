@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wm.dir/test_wm.cc.o"
+  "CMakeFiles/test_wm.dir/test_wm.cc.o.d"
+  "test_wm"
+  "test_wm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

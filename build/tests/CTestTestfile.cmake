@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_class_system "/root/repo/build/tests/test_class_system")
+set_tests_properties(test_class_system PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;8;atk_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_graphics "/root/repo/build/tests/test_graphics")
+set_tests_properties(test_graphics PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;9;atk_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_datastream "/root/repo/build/tests/test_datastream")
+set_tests_properties(test_datastream PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;10;atk_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_wm "/root/repo/build/tests/test_wm")
+set_tests_properties(test_wm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;11;atk_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_base "/root/repo/build/tests/test_base")
+set_tests_properties(test_base PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;12;atk_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_text "/root/repo/build/tests/test_text")
+set_tests_properties(test_text PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;13;atk_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_table "/root/repo/build/tests/test_table")
+set_tests_properties(test_table PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;14;atk_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_components "/root/repo/build/tests/test_components")
+set_tests_properties(test_components PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;15;atk_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_apps "/root/repo/build/tests/test_apps")
+set_tests_properties(test_apps PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;16;atk_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;17;atk_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_properties "/root/repo/build/tests/test_properties")
+set_tests_properties(test_properties PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;18;atk_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_extension "/root/repo/build/tests/test_extension")
+set_tests_properties(test_extension PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;19;atk_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_packages "/root/repo/build/tests/test_packages")
+set_tests_properties(test_packages PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;20;atk_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_chrome "/root/repo/build/tests/test_chrome")
+set_tests_properties(test_chrome PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;21;atk_test;/root/repo/tests/CMakeLists.txt;0;")
