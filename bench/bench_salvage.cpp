@@ -1,0 +1,75 @@
+// Salvage throughput on corrupted workload documents, reported alongside the
+// bench_datastream numbers: the recovery pass must stay within a small factor
+// of a plain parse or it is useless as a load-time fallback.
+
+#include <benchmark/benchmark.h>
+
+#include "src/apps/standard_modules.h"
+#include "src/robustness/fault_injector.h"
+#include "src/robustness/salvage.h"
+#include "src/workload/corruption.h"
+
+namespace atk {
+namespace {
+
+void Setup() {
+  static bool done = [] {
+    RegisterStandardModules();
+    return true;
+  }();
+  (void)done;
+}
+
+// Baseline: salvaging an undamaged stream (pure scan, byte-exact passthrough).
+void BM_SalvageCleanStream(benchmark::State& state) {
+  Setup();
+  std::string doc = GenerateSerializedDocument(static_cast<uint64_t>(state.range(0)));
+  DataStreamSalvager salvager;
+  for (auto _ : state) {
+    SalvageReport report;
+    std::string out = salvager.Salvage(doc, &report);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(doc.size()));
+  state.counters["doc_bytes"] = static_cast<double>(doc.size());
+}
+BENCHMARK(BM_SalvageCleanStream)->Arg(7)->Arg(1988);
+
+// Salvage of a corrupted stream, swept by how many faults the plan injects.
+void BM_SalvageCorruptedByFaults(benchmark::State& state) {
+  Setup();
+  std::string doc = GenerateSerializedDocument(11);
+  FaultPlan plan = FaultPlan::FromSeed(11, doc.size(), static_cast<int>(state.range(0)));
+  FaultInjector injector(plan);
+  std::string corrupted = injector.Corrupt(doc);
+  DataStreamSalvager salvager;
+  int quarantined = 0;
+  for (auto _ : state) {
+    SalvageReport report;
+    std::string out = salvager.Salvage(corrupted, &report);
+    quarantined = report.subtrees_quarantined;
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(corrupted.size()));
+  state.counters["faults"] = static_cast<double>(state.range(0));
+  state.counters["quarantined"] = static_cast<double>(quarantined);
+}
+BENCHMARK(BM_SalvageCorruptedByFaults)->Arg(1)->Arg(3)->Arg(8)->Arg(16);
+
+// The end-to-end pipeline a recovering editor runs at load time:
+// corrupt -> salvage -> re-read -> re-save, one seed per iteration.
+void BM_FullCorruptionScenario(benchmark::State& state) {
+  Setup();
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    CorruptionScenario scenario = RunCorruptionScenario(seed++);
+    benchmark::DoNotOptimize(scenario.resaved);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullCorruptionScenario);
+
+}  // namespace
+}  // namespace atk
+
+BENCHMARK_MAIN();

@@ -92,6 +92,11 @@ std::unique_ptr<DataObject> ReadDocument(std::string input, ReadContext* context
   if (reader.truncated() && root != nullptr) {
     ctx.AddError("document truncated");
   }
+  // Surface every recovery the tokenizer performed (damaged directives,
+  // marker mismatches, truncation details) instead of dropping them.
+  for (const Diagnostic& diagnostic : reader.diagnostics()) {
+    ctx.AddDiagnostic(diagnostic);
+  }
   return root;
 }
 

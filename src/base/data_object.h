@@ -33,13 +33,30 @@ class ReadContext {
     return it == by_id_.end() ? nullptr : it->second;
   }
 
-  void AddError(std::string message) { errors_.push_back(std::move(message)); }
+  void AddError(std::string message) {
+    AddDiagnostic(Diagnostic{StatusCode::kCorrupt, 0, std::move(message)});
+  }
+  void AddDiagnostic(Diagnostic diagnostic) {
+    errors_.push_back(diagnostic.message);
+    diagnostics_.push_back(std::move(diagnostic));
+  }
   const std::vector<std::string>& errors() const { return errors_; }
   bool ok() const { return errors_.empty(); }
+
+  // Structured view of the same findings (code + byte offset), including the
+  // reader's own diagnostics once ReadDocument finishes.
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  // OK when the document parsed clean, else the first problem found.
+  Status status() const {
+    return diagnostics_.empty() ? Status::Ok()
+                                : Status(diagnostics_.front().code,
+                                         diagnostics_.front().message);
+  }
 
  private:
   std::map<int64_t, DataObject*> by_id_;
   std::vector<std::string> errors_;
+  std::vector<Diagnostic> diagnostics_;
 };
 
 class DataObject : public Object, public Observable {

@@ -63,6 +63,31 @@ bool Loader::RequireInternal(std::string_view module, bool as_dependency,
   }
   in_progress.pop_back();
 
+  // The simulated dlopen itself can fail (fault injection).  Retry with
+  // exponential simulated backoff before giving up, so a transient failure
+  // costs time but not the document being assembled.
+  if (fault_hook_) {
+    int attempts = std::max(retry_policy_.max_attempts, 1);
+    uint64_t backoff_us = retry_policy_.initial_backoff_us;
+    uint64_t backoff_total = 0;
+    for (int attempt = 1;; ++attempt) {
+      if (!fault_hook_(state.spec.name, attempt)) {
+        break;  // This attempt succeeds.
+      }
+      if (attempt >= attempts) {
+        FailureRecord failure;
+        failure.module = state.spec.name;
+        failure.attempts = attempt;
+        failure.simulated_backoff_us = backoff_total;
+        failure.reason = "load failed after " + std::to_string(attempt) + " attempt(s)";
+        failure_log_.push_back(std::move(failure));
+        return false;
+      }
+      backoff_total += backoff_us;
+      backoff_us *= 2;
+    }
+  }
+
   state.loaded = true;
   if (state.spec.init) {
     state.spec.init();

@@ -72,6 +72,26 @@ class Loader {
     uint64_t bytes_per_us = 2000;
   };
 
+  // How a failing load is retried before Require() gives up.  Backoff is
+  // simulated (accounted, not slept), like the load cost itself.
+  struct RetryPolicy {
+    int max_attempts = 3;
+    uint64_t initial_backoff_us = 500;  // Doubles per retry.
+  };
+
+  // One failed Require(), after retries were exhausted.
+  struct FailureRecord {
+    std::string module;
+    int attempts = 0;
+    uint64_t simulated_backoff_us = 0;  // Total backoff spent retrying.
+    std::string reason;
+  };
+
+  // Test seam for fault injection: returns true when load attempt number
+  // `attempt` (1-based) of `module` should fail.  The hook is consulted only
+  // for modules not yet loaded; pass nullptr to clear.
+  using LoadFaultHook = std::function<bool(std::string_view module, int attempt)>;
+
   static Loader& Instance();
 
   // Declares a module.  Duplicate names are rejected (first wins).
@@ -106,6 +126,14 @@ class Loader {
   const std::vector<LoadRecord>& load_log() const { return load_log_; }
   void ClearLoadLog() { load_log_.clear(); }
 
+  void SetLoadFaultHook(LoadFaultHook hook) { fault_hook_ = std::move(hook); }
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  // Failed loads (retries exhausted), oldest first.
+  const std::vector<FailureRecord>& failure_log() const { return failure_log_; }
+  void ClearFailureLog() { failure_log_.clear(); }
+
   // Footprint of currently loaded modules.
   size_t LoadedTextBytes() const;
   size_t LoadedDataBytes() const;
@@ -135,7 +163,10 @@ class Loader {
 
   std::map<std::string, ModuleState, std::less<>> modules_;
   std::vector<LoadRecord> load_log_;
+  std::vector<FailureRecord> failure_log_;
   CostModel cost_model_;
+  RetryPolicy retry_policy_;
+  LoadFaultHook fault_hook_;
   int next_order_ = 1;
 };
 

@@ -1,0 +1,101 @@
+// Lightweight status/diagnostic vocabulary for the failure half of the
+// toolkit (robustness subsystem, datastream salvage, loader degradation).
+//
+// The paper's §5 sells the external representation as "partially recoverable
+// when files are destroyed"; recovery needs errors that are *reported*
+// instead of swallowed.  Status is the cheap result type plumbed through the
+// load and parse paths; Diagnostic is the structured record a parser or
+// salvager accumulates (code + byte offset + human-readable note).
+
+#ifndef ATK_SRC_CLASS_SYSTEM_STATUS_H_
+#define ATK_SRC_CLASS_SYSTEM_STATUS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace atk {
+
+enum class StatusCode {
+  kOk = 0,
+  kTruncated,    // Input ended with structure still open.
+  kCorrupt,      // Structure present but damaged (bad marker, bad escape).
+  kNotFound,     // A named class/module/backend could not be resolved.
+  kUnavailable,  // A subsystem (loader, wm connection) refused or dropped.
+  kInternal,     // Invariant violation; always a bug.
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status Truncated(std::string message) {
+    return Status(StatusCode::kTruncated, std::move(message));
+  }
+  static Status Corrupt(std::string message) {
+    return Status(StatusCode::kCorrupt, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// One structured parse/salvage finding, anchored to a byte offset in the
+// stream it was found in.
+struct Diagnostic {
+  StatusCode code = StatusCode::kOk;
+  size_t offset = 0;       // Byte offset in the input stream.
+  std::string message;
+
+  std::string ToString() const {
+    return std::string(StatusCodeName(code)) + " @" + std::to_string(offset) +
+           ": " + message;
+  }
+};
+
+inline std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kTruncated:
+      return "TRUNCATED";
+    case StatusCode::kCorrupt:
+      return "CORRUPT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace atk
+
+#endif  // ATK_SRC_CLASS_SYSTEM_STATUS_H_

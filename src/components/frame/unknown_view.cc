@@ -1,0 +1,57 @@
+#include "src/components/frame/unknown_view.h"
+
+#include <algorithm>
+
+namespace atk {
+
+ATK_DEFINE_CLASS(UnknownView, View, "unknownview")
+
+void UnknownView::SetMissingType(std::string type) {
+  missing_type_ = std::move(type);
+  PostUpdate();
+}
+
+std::string UnknownView::MissingType() const {
+  if (!missing_type_.empty()) {
+    return missing_type_;
+  }
+  if (data_object() != nullptr) {
+    return std::string(data_object()->DataTypeName());
+  }
+  return "?";
+}
+
+Size UnknownView::DesiredSize(Size available) {
+  Size desired{140, 36};
+  if (available.width > 0) {
+    desired.width = std::min(desired.width, available.width);
+  }
+  if (available.height > 0) {
+    desired.height = std::min(desired.height, available.height);
+  }
+  return desired;
+}
+
+void UnknownView::FullUpdate() {
+  Graphic* g = graphic();
+  if (g == nullptr) {
+    return;
+  }
+  Rect box = g->LocalBounds();
+  g->FillRect(box, kGray);
+  g->SetForeground(kDarkGray);
+  g->DrawRect(box);
+  g->SetFont(FontSpec{"andy", 10, kPlain});
+  g->SetForeground(kBlack);
+  g->DrawString(Point{4, std::max(0, box.height / 2 - 6)}, "missing: " + MissingType());
+}
+
+void RegisterUnknownView() {
+  static bool done = [] {
+    ClassRegistry::Instance().Register(UnknownView::StaticClassInfo());
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace atk

@@ -1,0 +1,42 @@
+// UnknownView — the graceful-degradation placeholder.
+//
+// When an embedded object's view class cannot be resolved (its module failed
+// to load, or the type is genuinely unknown — e.g. a salvager `lostfound`
+// quarantine), the document must still open: the paper's dynamic-loading
+// story only works if a missing module degrades a component, not the whole
+// editor.  UnknownView renders a gray box naming the missing type; the data
+// object underneath is preserved untouched (UnknownObject keeps the raw
+// body), so saving the document loses nothing.
+
+#ifndef ATK_SRC_COMPONENTS_FRAME_UNKNOWN_VIEW_H_
+#define ATK_SRC_COMPONENTS_FRAME_UNKNOWN_VIEW_H_
+
+#include <string>
+
+#include "src/base/view.h"
+
+namespace atk {
+
+class UnknownView : public View {
+  ATK_DECLARE_CLASS(UnknownView)
+
+ public:
+  // The class/type name that could not be resolved, shown in the box.
+  void SetMissingType(std::string type);
+  // Falls back to the data object's type name when none was set explicitly.
+  std::string MissingType() const;
+
+  Size DesiredSize(Size available) override;
+  void FullUpdate() override;
+
+ private:
+  std::string missing_type_;
+};
+
+// Registers the "unknownview" class eagerly (not module-gated): the
+// placeholder must be constructible precisely when module loading fails.
+void RegisterUnknownView();
+
+}  // namespace atk
+
+#endif  // ATK_SRC_COMPONENTS_FRAME_UNKNOWN_VIEW_H_

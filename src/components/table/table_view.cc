@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/class_system/loader.h"
+#include "src/components/frame/unknown_view.h"
 
 namespace atk {
 
@@ -154,7 +155,13 @@ void TableView::Layout() {
         std::unique_ptr<View> view =
             ObjectCast<View>(Loader::Instance().NewObject(cell.view_type));
         if (view == nullptr) {
-          continue;
+          // Missing view class: degrade to a placeholder, keep the cell's
+          // data object intact.
+          auto placeholder = std::make_unique<UnknownView>();
+          if (cell.view_type != "unknownview") {
+            placeholder->SetMissingType(cell.view_type);
+          }
+          view = std::move(placeholder);
         }
         view->SetDataObject(cell.object.get());
         child = view.get();

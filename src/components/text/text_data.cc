@@ -361,6 +361,14 @@ bool TextData::ReadBody(DataStreamReader& reader, ReadContext& context) {
         // Unknown directives are tolerated (forward compatibility).
         break;
       }
+      case Kind::kDiagnostic: {
+        // Damaged directive inside the body: report it, drop the bytes from
+        // the content (the salvager preserves them; the editor must not show
+        // marker debris as prose).
+        context.AddDiagnostic(Diagnostic{StatusCode::kCorrupt, token.offset,
+                                         "damaged directive in text body: " + token.text});
+        break;
+      }
     }
   }
 }

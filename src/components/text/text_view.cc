@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/class_system/loader.h"
+#include "src/components/frame/unknown_view.h"
 
 namespace atk {
 
@@ -325,7 +326,14 @@ View* TextView::ChildViewFor(const TextData::EmbeddedObject& embedded) {
   std::unique_ptr<View> view =
       ObjectCast<View>(Loader::Instance().NewObject(embedded.view_type));
   if (view == nullptr) {
-    return nullptr;  // No view class available: rendered as a gray box.
+    // Graceful degradation: the view class is unavailable (load failure or
+    // genuinely unknown type, e.g. a salvage quarantine).  A placeholder
+    // names the missing class; the data object is preserved untouched.
+    auto placeholder = std::make_unique<UnknownView>();
+    if (embedded.view_type != "unknownview") {
+      placeholder->SetMissingType(embedded.view_type);
+    }
+    view = std::move(placeholder);
   }
   view->SetDataObject(embedded.data.get());
   View* raw = view.get();

@@ -68,9 +68,24 @@ DataStreamReader::Token DataStreamReader::Next() {
   return Lex();
 }
 
+void DataStreamReader::AddDiagnostic(StatusCode code, size_t offset, std::string message) {
+  if (code == StatusCode::kCorrupt) {
+    saw_malformed_ = true;
+  }
+  diagnostics_.push_back(Diagnostic{code, offset, std::move(message)});
+}
+
+void DataStreamReader::MarkTruncated(size_t offset, std::string message) {
+  if (!truncated_) {
+    truncated_ = true;
+    diagnostics_.push_back(Diagnostic{StatusCode::kTruncated, offset, std::move(message)});
+  }
+}
+
 bool DataStreamReader::LexDirective(Token* token) {
   // pos_ points at '\'.  A directive is \name{args} with no newline between
   // the backslash and the closing brace.
+  size_t start = pos_;
   size_t p = pos_ + 1;
   size_t name_start = p;
   while (p < input_.size() && IsDirectiveNameChar(input_[p])) {
@@ -86,7 +101,17 @@ bool DataStreamReader::LexDirective(Token* token) {
     ++p;
   }
   if (p >= input_.size() || input_[p] != '}') {
-    return false;
+    // `\name{` with no closing brace on the line: damaged, not text.  The
+    // token carries the raw bytes (up to the newline / EOF) verbatim so a
+    // salvage pass can quarantine them without loss.
+    token->kind = Token::Kind::kDiagnostic;
+    token->type = std::move(name);
+    token->text = input_.substr(start, p - start);
+    token->offset = start;
+    pos_ = p;  // A trailing newline stays in the stream as ordinary text.
+    AddDiagnostic(StatusCode::kCorrupt, start,
+                  "unterminated directive \\" + token->type + "{...");
+    return true;
   }
   std::string args = input_.substr(args_start, p - args_start);
   pos_ = p + 1;  // past '}'
@@ -95,10 +120,14 @@ bool DataStreamReader::LexDirective(Token* token) {
     std::string type;
     int64_t id = 0;
     if (!ParseMarkerArgs(args, &type, &id)) {
-      saw_malformed_ = true;
-      token->kind = Token::Kind::kDirective;
+      // Marker with a missing/non-numeric id: surfaced as a diagnostic token
+      // (the raw bytes preserved), never mistaken for content.
+      token->kind = Token::Kind::kDiagnostic;
       token->type = name;
-      token->text = args;
+      token->text = input_.substr(start, pos_ - start);
+      token->offset = start;
+      AddDiagnostic(StatusCode::kCorrupt, start,
+                    "malformed \\" + name + " marker args: {" + args + "}");
       return true;
     }
     // One trailing newline is part of the marker's formatting.
@@ -112,7 +141,8 @@ bool DataStreamReader::LexDirective(Token* token) {
       if (!open_.empty() && open_.back().type == type && open_.back().id == id) {
         open_.pop_back();
       } else {
-        saw_malformed_ = true;
+        AddDiagnostic(StatusCode::kCorrupt, start,
+                      "mismatched \\enddata{" + type + "," + std::to_string(id) + "}");
         if (!open_.empty()) {
           open_.pop_back();
         }
@@ -121,6 +151,7 @@ bool DataStreamReader::LexDirective(Token* token) {
     }
     token->type = std::move(type);
     token->id = id;
+    token->offset = start;
     return true;
   }
   if (name == "view") {
@@ -130,13 +161,20 @@ bool DataStreamReader::LexDirective(Token* token) {
       token->kind = Token::Kind::kViewRef;
       token->type = std::move(type);
       token->id = id;
+      token->offset = start;
       return true;
     }
-    saw_malformed_ = true;
+    token->kind = Token::Kind::kDiagnostic;
+    token->type = std::move(name);
+    token->text = input_.substr(start, pos_ - start);
+    token->offset = start;
+    AddDiagnostic(StatusCode::kCorrupt, start, "malformed \\view args: {" + args + "}");
+    return true;
   }
   token->kind = Token::Kind::kDirective;
   token->type = std::move(name);
   token->text = std::move(args);
+  token->offset = start;
   return true;
 }
 
@@ -147,6 +185,7 @@ DataStreamReader::Token DataStreamReader::Lex() {
   }
   Token token;
   std::string text;
+  size_t text_start = pos_;
   while (pos_ < input_.size()) {
     char ch = input_[pos_];
     if (ch != '\\') {
@@ -180,23 +219,28 @@ DataStreamReader::Token DataStreamReader::Lex() {
       has_stashed_ = true;
       token.kind = Token::Kind::kText;
       token.text = std::move(text);
+      token.offset = text_start;
       return token;
     }
     // Lone backslash that is not an escape and not a directive: recovered as
     // literal text (the paper's partial-destruction recovery posture).
-    saw_malformed_ = true;
+    AddDiagnostic(StatusCode::kCorrupt, pos_, "lone backslash recovered as literal text");
     text += '\\';
     ++pos_;
   }
   if (!text.empty()) {
     token.kind = Token::Kind::kText;
     token.text = std::move(text);
+    token.offset = text_start;
     return token;
   }
   if (!open_.empty()) {
-    truncated_ = true;
+    MarkTruncated(pos_, "input ended with " + std::to_string(open_.size()) +
+                            " marker(s) still open (innermost: \\begindata{" +
+                            open_.back().type + "," + std::to_string(open_.back().id) + "})");
   }
   token.kind = Token::Kind::kEof;
+  token.offset = pos_;
   return token;
 }
 
@@ -251,7 +295,9 @@ bool DataStreamReader::SkipObject(std::string_view type, int64_t id, std::string
         std::string end_type;
         int64_t end_id = 0;
         if (!ParseMarkerArgs(args, &end_type, &end_id) || end_type != type || end_id != id) {
-          saw_malformed_ = true;
+          AddDiagnostic(StatusCode::kCorrupt, p,
+                        "skip of \\begindata{" + std::string(type) + "," + std::to_string(id) +
+                            "} closed by non-matching \\enddata{" + std::string(args) + "}");
         }
         if (raw_body != nullptr) {
           *raw_body = input_.substr(body_start, p - body_start);
@@ -269,7 +315,8 @@ bool DataStreamReader::SkipObject(std::string_view type, int64_t id, std::string
     p = close + 1;
   }
   // Ran off the end: truncated object.
-  truncated_ = true;
+  MarkTruncated(input_.size(), "input ended while skipping \\begindata{" +
+                                   std::string(type) + "," + std::to_string(id) + "}");
   if (raw_body != nullptr) {
     *raw_body = input_.substr(body_start);
   }

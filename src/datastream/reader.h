@@ -10,6 +10,12 @@
 //  * Truncation recovery: when input ends with markers still open, the
 //    reader reports `truncated()` and what was parsed remains valid — the
 //    paper's "easier recovery when files are partially destroyed".
+//
+// Malformed input is never silently swallowed: damaged directives (a marker
+// with a missing id, an unterminated `{...}`, a non-numeric id) surface as
+// kDiagnostic tokens carrying the raw damaged bytes, and every recovery the
+// reader performs is recorded in `diagnostics()` with a byte offset, so a
+// salvage pass (src/robustness/salvage.h) can locate the damage exactly.
 
 #ifndef ATK_SRC_DATASTREAM_READER_H_
 #define ATK_SRC_DATASTREAM_READER_H_
@@ -19,6 +25,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "src/class_system/status.h"
 
 namespace atk {
 
@@ -31,13 +39,15 @@ class DataStreamReader {
       kEndData,    // \enddata{type,id}
       kViewRef,    // \view{viewtype,id}
       kDirective,  // any other \name{args}
+      kDiagnostic, // a damaged directive; `text` holds the raw bytes.
       kEof,
     };
 
     Kind kind = Kind::kEof;
-    std::string text;  // kText: payload; kDirective: args.
+    std::string text;  // kText: payload; kDirective: args; kDiagnostic: raw bytes.
     std::string type;  // marker type / directive name / view type.
     int64_t id = 0;    // marker or view-reference id.
+    size_t offset = 0; // Byte offset where the token started (diagnostics).
   };
 
   explicit DataStreamReader(std::string input);
@@ -65,6 +75,11 @@ class DataStreamReader {
   bool truncated() const { return truncated_; }
   bool saw_malformed() const { return saw_malformed_; }
 
+  // Every recovery performed so far: truncations, damaged directives, marker
+  // mismatches, lone backslashes — each with the byte offset of the damage.
+  // Generalizes `truncated()`; empty means the input parsed clean.
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
   // Byte offset of the read cursor (diagnostics, bench).
   size_t position() const { return pos_; }
   size_t input_size() const { return input_.size(); }
@@ -78,11 +93,16 @@ class DataStreamReader {
   Token Lex();
   // Parses "\name{args}" at pos_ (which points at the backslash).  Returns
   // false when it is not a well-formed directive (treated as literal text).
+  // Damaged directives (unterminated brace, malformed marker args) return
+  // true with a kDiagnostic token so the damage is surfaced, not swallowed.
   bool LexDirective(Token* token);
+  void AddDiagnostic(StatusCode code, size_t offset, std::string message);
+  void MarkTruncated(size_t offset, std::string message);
 
   std::string input_;
   size_t pos_ = 0;
   std::vector<OpenMarker> open_;
+  std::vector<Diagnostic> diagnostics_;
   bool truncated_ = false;
   bool saw_malformed_ = false;
   bool has_peek_ = false;

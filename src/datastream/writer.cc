@@ -40,6 +40,13 @@ void DataStreamWriter::BeginDataWithId(std::string_view type, int64_t id) {
   if (id >= next_id_) {
     next_id_ = id + 1;
   }
+  auto [it, inserted] = ids_in_use_.emplace(id, std::string(type));
+  if (!inserted) {
+    diagnostics_.push_back(Diagnostic{
+        StatusCode::kCorrupt, static_cast<size_t>(bytes_written_),
+        "duplicate stream id " + std::to_string(id) + " (already used by \\begindata{" +
+            it->second + "," + std::to_string(id) + "})"});
+  }
   EmitString("\\begindata{");
   EmitString(type);
   EmitString(",");
@@ -53,6 +60,9 @@ void DataStreamWriter::BeginDataWithId(std::string_view type, int64_t id) {
 
 void DataStreamWriter::EndData() {
   if (stack_.empty()) {
+    diagnostics_.push_back(Diagnostic{StatusCode::kCorrupt,
+                                      static_cast<size_t>(bytes_written_),
+                                      "EndData with no open object"});
     return;
   }
   OpenObject open = stack_.back();
@@ -111,6 +121,18 @@ void DataStreamWriter::WriteRaw(std::string_view raw) {
 }
 
 void DataStreamWriter::WriteNewline() { Emit('\n'); }
+
+Status DataStreamWriter::Finish() const {
+  if (!stack_.empty()) {
+    return Status::Corrupt("stream finished with " + std::to_string(stack_.size()) +
+                           " object(s) still open (innermost: \\begindata{" +
+                           stack_.back().type + "," + std::to_string(stack_.back().id) + "})");
+  }
+  if (!diagnostics_.empty()) {
+    return Status::Corrupt(diagnostics_.front().ToString());
+  }
+  return Status::Ok();
+}
 
 void DataStreamWriter::RegisterObjectId(const void* object, int64_t id) {
   object_ids_[object] = id;

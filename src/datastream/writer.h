@@ -23,6 +23,8 @@
 #include <string_view>
 #include <vector>
 
+#include "src/class_system/status.h"
+
 namespace atk {
 
 class DataStreamWriter {
@@ -71,6 +73,16 @@ class DataStreamWriter {
   // True when every BeginData has been closed.
   bool balanced() const { return stack_.empty(); }
 
+  // Structural problems recorded while writing (EndData with no open object,
+  // duplicate caller-chosen ids).  A clean write leaves this empty.
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+  // Call when the document is complete: OK when the stream is balanced and
+  // no diagnostics were recorded, otherwise a Corrupt status naming the
+  // first problem.  The stream itself is already on disk either way — this
+  // is the report-instead-of-ignore half of the §5 recovery posture.
+  Status Finish() const;
+
   // ---- Stats (for the §5 guideline tests and bench_datastream) ----
   int64_t bytes_written() const { return bytes_written_; }
   int max_line_length() const { return max_line_length_; }
@@ -88,7 +100,9 @@ class DataStreamWriter {
 
   std::ostream& out_;
   std::vector<OpenObject> stack_;
+  std::vector<Diagnostic> diagnostics_;
   std::map<const void*, int64_t> object_ids_;
+  std::map<int64_t, std::string> ids_in_use_;
   int64_t next_id_ = 1;
   int64_t bytes_written_ = 0;
   int column_ = 0;

@@ -1,0 +1,277 @@
+#include "src/robustness/fault_injector.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+namespace atk {
+namespace {
+
+// True when the backslash at `pos` is a directive initiator (not the second
+// half of an escaped "\\").
+bool UnescapedBackslash(const std::string& data, size_t pos) {
+  size_t run = 0;
+  while (pos > run && data[pos - run - 1] == '\\') {
+    ++run;
+  }
+  return (run % 2) == 0;
+}
+
+// Finds the next unescaped \begindata{ or \enddata{ at or after `from`,
+// wrapping around once.  Returns npos when the stream has no markers.
+size_t FindMarkerDirective(const std::string& data, size_t from) {
+  static constexpr std::string_view kBegin = "\\begindata{";
+  static constexpr std::string_view kEnd = "\\enddata{";
+  for (int pass = 0; pass < 2; ++pass) {
+    size_t start = pass == 0 ? std::min(from, data.size()) : 0;
+    size_t limit = pass == 0 ? data.size() : std::min(from, data.size());
+    for (size_t p = start; p < limit; ++p) {
+      if (data[p] != '\\' || !UnescapedBackslash(data, p)) {
+        continue;
+      }
+      if (data.compare(p, kBegin.size(), kBegin) == 0 ||
+          data.compare(p, kEnd.size(), kEnd) == 0) {
+        return p;
+      }
+    }
+  }
+  return std::string::npos;
+}
+
+// [line_start, line_end) of the line containing `pos`; line_end includes the
+// trailing newline when present.
+void LineBounds(const std::string& data, size_t pos, size_t* line_start, size_t* line_end) {
+  size_t ls = data.rfind('\n', pos == 0 ? 0 : pos - 1);
+  *line_start = (pos == 0 || ls == std::string::npos) ? 0 : ls + 1;
+  size_t le = data.find('\n', pos);
+  *line_end = le == std::string::npos ? data.size() : le + 1;
+}
+
+}  // namespace
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kBitFlip:
+      return "bitflip";
+    case FaultKind::kByteSet:
+      return "byteset";
+    case FaultKind::kLineSplice:
+      return "linesplice";
+    case FaultKind::kMarkerMangle:
+      return "markermangle";
+    case FaultKind::kDropLine:
+      return "dropline";
+    case FaultKind::kDuplicateLine:
+      return "dupline";
+    case FaultKind::kLoadFailure:
+      return "loadfail";
+    case FaultKind::kWmDrop:
+      return "wmdrop";
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::FromSeed(uint64_t seed, size_t input_size, int stream_faults,
+                              int load_failures, int wm_drops) {
+  FaultPlan plan;
+  plan.seed = seed;
+  FaultRng rng(seed);
+  for (int i = 0; i < stream_faults; ++i) {
+    Fault fault;
+    fault.offset = rng.Below(input_size == 0 ? 1 : input_size);
+    // Weighted mix: byte-level damage is common, whole-stream truncation
+    // rare (it destroys everything after the cut).
+    int roll = rng.IntIn(0, 99);
+    if (roll < 25) {
+      fault.kind = FaultKind::kBitFlip;
+      fault.arg = rng.IntIn(0, 7);
+    } else if (roll < 40) {
+      fault.kind = FaultKind::kByteSet;
+      fault.arg = rng.IntIn(0, 255);
+    } else if (roll < 55) {
+      fault.kind = FaultKind::kLineSplice;
+      fault.arg = rng.IntIn(81, 120);  // Filler length: guarantees >80 columns.
+    } else if (roll < 75) {
+      fault.kind = FaultKind::kMarkerMangle;
+      fault.arg = rng.IntIn(0, 2);
+    } else if (roll < 85) {
+      fault.kind = FaultKind::kDropLine;
+    } else if (roll < 95) {
+      fault.kind = FaultKind::kDuplicateLine;
+    } else {
+      fault.kind = FaultKind::kTruncate;
+      // Cut in the second half so a recoverable prefix survives.
+      fault.offset = input_size / 2 + rng.Below(input_size / 2 + 1);
+    }
+    plan.faults.push_back(std::move(fault));
+  }
+  for (int i = 0; i < load_failures; ++i) {
+    Fault fault;
+    fault.kind = FaultKind::kLoadFailure;
+    fault.detail = "*";
+    fault.arg = rng.IntIn(1, 3);  // Consecutive attempts that fail.
+    plan.faults.push_back(std::move(fault));
+  }
+  for (int i = 0; i < wm_drops; ++i) {
+    plan.faults.push_back(Fault{FaultKind::kWmDrop, 0, 0, ""});
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out = "FaultPlan(seed=" + std::to_string(seed) + ")";
+  for (const Fault& fault : faults) {
+    out += "\n  " + std::string(FaultKindName(fault.kind)) + " @" +
+           std::to_string(fault.offset) + " arg=" + std::to_string(fault.arg);
+    if (!fault.detail.empty()) {
+      out += " " + fault.detail;
+    }
+  }
+  return out;
+}
+
+void FaultInjector::RecordDamage(size_t begin, size_t end, size_t bytes) {
+  damage_.push_back(ByteRange{begin, end});
+  damage_bytes_ += bytes;
+}
+
+void FaultInjector::ApplyStreamFault(const Fault& fault, std::string& data) {
+  if (data.empty()) {
+    return;
+  }
+  switch (fault.kind) {
+    case FaultKind::kTruncate: {
+      size_t cut = fault.offset % (data.size() + 1);
+      RecordDamage(cut, cut, data.size() - cut);
+      data.resize(cut);
+      break;
+    }
+    case FaultKind::kBitFlip: {
+      size_t off = fault.offset % data.size();
+      data[off] = static_cast<char>(data[off] ^ (1u << (fault.arg & 7)));
+      RecordDamage(off, off + 1, 1);
+      break;
+    }
+    case FaultKind::kByteSet: {
+      size_t off = fault.offset % data.size();
+      data[off] = static_cast<char>(fault.arg & 0xFF);
+      RecordDamage(off, off + 1, 1);
+      break;
+    }
+    case FaultKind::kLineSplice: {
+      size_t nl = data.find('\n', fault.offset % data.size());
+      if (nl == std::string::npos) {
+        nl = data.find('\n');
+      }
+      if (nl == std::string::npos) {
+        break;
+      }
+      std::string filler(std::max(fault.arg, 81), '#');
+      data.replace(nl, 1, filler);
+      RecordDamage(nl, nl + filler.size(), filler.size() + 1);
+      break;
+    }
+    case FaultKind::kMarkerMangle: {
+      size_t marker = FindMarkerDirective(data, fault.offset % data.size());
+      if (marker == std::string::npos) {
+        break;
+      }
+      size_t brace = data.find('{', marker);
+      size_t close = data.find('}', brace);
+      size_t line_end = data.find('\n', brace);
+      if (close == std::string::npos || (line_end != std::string::npos && line_end < close)) {
+        break;  // Already damaged.
+      }
+      size_t comma = data.rfind(',', close);
+      switch (fault.arg % 3) {
+        case 0:  // \begindata{type} — the ",id" is gone.
+          if (comma != std::string::npos && comma > brace) {
+            data.erase(comma, close - comma);
+            RecordDamage(marker, comma + 1, close - comma);
+          }
+          break;
+        case 1:  // \begindata{type,id — the closing brace is gone.
+          data.erase(close, 1);
+          RecordDamage(marker, close, 1);
+          break;
+        default:  // \begindata{type,} — the id digits are gone.
+          if (comma != std::string::npos && comma > brace && close > comma + 1) {
+            data.erase(comma + 1, close - comma - 1);
+            RecordDamage(marker, comma + 2, close - comma - 1);
+          }
+          break;
+      }
+      break;
+    }
+    case FaultKind::kDropLine: {
+      size_t line_start = 0;
+      size_t line_end = 0;
+      LineBounds(data, fault.offset % data.size(), &line_start, &line_end);
+      RecordDamage(line_start, line_start, line_end - line_start);
+      data.erase(line_start, line_end - line_start);
+      break;
+    }
+    case FaultKind::kDuplicateLine: {
+      size_t line_start = 0;
+      size_t line_end = 0;
+      LineBounds(data, fault.offset % data.size(), &line_start, &line_end);
+      std::string line = data.substr(line_start, line_end - line_start);
+      data.insert(line_end, line);
+      RecordDamage(line_end, line_end + line.size(), line.size());
+      break;
+    }
+    case FaultKind::kLoadFailure:
+    case FaultKind::kWmDrop:
+      break;  // Subsystem faults are consumed through hooks, not here.
+  }
+}
+
+std::string FaultInjector::Corrupt(std::string input) {
+  damage_.clear();
+  damage_bytes_ = 0;
+  // Truncations last: the other faults should land in the surviving prefix.
+  for (const Fault& fault : plan_.faults) {
+    if (fault.kind != FaultKind::kTruncate) {
+      ApplyStreamFault(fault, input);
+    }
+  }
+  for (const Fault& fault : plan_.faults) {
+    if (fault.kind == FaultKind::kTruncate) {
+      ApplyStreamFault(fault, input);
+    }
+  }
+  return input;
+}
+
+std::function<bool(std::string_view, int)> FaultInjector::MakeLoadFaultHook() {
+  // Remaining failure budget per module pattern, shared by the returned hook.
+  auto budgets = std::make_shared<std::map<std::string, int>>();
+  for (const Fault& fault : plan_.faults) {
+    if (fault.kind == FaultKind::kLoadFailure) {
+      (*budgets)[fault.detail.empty() ? "*" : fault.detail] += std::max(fault.arg, 1);
+    }
+  }
+  return [budgets](std::string_view module, int attempt) {
+    (void)attempt;
+    auto it = budgets->find(std::string(module));
+    if (it == budgets->end()) {
+      it = budgets->find("*");
+    }
+    if (it == budgets->end() || it->second <= 0) {
+      return false;
+    }
+    --it->second;
+    return true;
+  };
+}
+
+int FaultInjector::WmDropCount() const {
+  return static_cast<int>(std::count_if(plan_.faults.begin(), plan_.faults.end(),
+                                        [](const Fault& fault) {
+                                          return fault.kind == FaultKind::kWmDrop;
+                                        }));
+}
+
+}  // namespace atk

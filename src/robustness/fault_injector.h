@@ -1,0 +1,132 @@
+// Deterministic fault injection over datastreams and subsystem hooks.
+//
+// The paper's §5 claims the external representation makes documents
+// "partially recoverable when files are destroyed".  Testing that claim
+// requires destroying files on purpose, reproducibly: a FaultPlan is derived
+// from a single seed and describes exactly which bytes get damaged and which
+// subsystems (module loader, window-system connection) fail, so every
+// corruption scenario in tests and benches replays bit-for-bit.
+//
+// Stream faults model the real-world failure modes of 1988 mail transport
+// and partial file destruction: truncation at arbitrary offsets, 8-bit
+// damage / bit flips, line splices that violate the 80-column guideline,
+// mangled \begindata/\enddata markers, and dropped or duplicated lines.
+
+#ifndef ATK_SRC_ROBUSTNESS_FAULT_INJECTOR_H_
+#define ATK_SRC_ROBUSTNESS_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace atk {
+
+// xorshift64* — the same generator family as WorkloadRng, duplicated here so
+// the robustness layer stays below src/workload in the link order.
+class FaultRng {
+ public:
+  explicit FaultRng(uint64_t seed) : state_(seed ? seed : 0x9E3779B97F4A7C15ull) {}
+
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1Dull;
+  }
+  uint64_t Below(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+  int IntIn(int lo, int hi) { return lo + static_cast<int>(Below(hi - lo + 1)); }
+  bool Chance(double p) { return (Next() >> 11) * 0x1.0p-53 < p; }
+
+ private:
+  uint64_t state_;
+};
+
+enum class FaultKind {
+  // ---- Datastream faults (applied by FaultInjector::Corrupt) ----
+  kTruncate,       // Cut the stream at `offset`.
+  kBitFlip,        // XOR bit (arg & 7) of the byte at `offset`.
+  kByteSet,        // Overwrite the byte at `offset` with (arg & 0xFF).
+  kLineSplice,     // Replace the newline at/after `offset` with filler bytes,
+                   // splicing two lines into one of well over 80 columns.
+  kMarkerMangle,   // Damage the marker directive at/after `offset`:
+                   // arg%3 == 0 drops the ",id", 1 drops the closing brace,
+                   // 2 empties the id ("{type,}").
+  kDropLine,       // Delete the whole line containing `offset`.
+  kDuplicateLine,  // Duplicate the whole line containing `offset`.
+  // ---- Subsystem faults (consumed through hooks) ----
+  kLoadFailure,    // `detail` names the module ("*" = any); the next `arg`
+                   // load attempts of it fail.
+  kWmDrop,         // One window-system connection drop.
+};
+
+std::string_view FaultKindName(FaultKind kind);
+
+struct Fault {
+  FaultKind kind = FaultKind::kBitFlip;
+  size_t offset = 0;
+  int arg = 0;
+  std::string detail;
+};
+
+// A damaged byte range, in the coordinates of the corrupted output (for
+// deletions, `begin == end` marks the cut point).
+struct ByteRange {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+struct FaultPlan {
+  uint64_t seed = 0;
+  std::vector<Fault> faults;
+
+  // Derives a reproducible plan from one seed: `stream_faults` datastream
+  // corruptions for an input of `input_size` bytes, plus `load_failures`
+  // module-load faults and `wm_drops` connection drops.
+  static FaultPlan FromSeed(uint64_t seed, size_t input_size, int stream_faults = 3,
+                            int load_failures = 0, int wm_drops = 0);
+
+  // One line per fault, for logs and SalvageReport correlation.
+  std::string ToString() const;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // Applies the plan's datastream faults to `input` and returns the damaged
+  // bytes.  Deterministic: same plan + same input = same output.  Truncation
+  // is always applied last so the other faults land in the surviving prefix.
+  std::string Corrupt(std::string input);
+
+  // Byte ranges touched by the last Corrupt() call, in output coordinates.
+  const std::vector<ByteRange>& damage() const { return damage_; }
+  // Total damaged bytes of the last Corrupt() (deletions count the bytes
+  // removed) — the budget the salvager's loss bound is measured against.
+  size_t damage_bytes() const { return damage_bytes_; }
+
+  // A Loader fault hook honouring the plan's kLoadFailure faults: attempt
+  // numbers are per-module, and the hook fails while a matching fault still
+  // has failures left.  Safe to install with Loader::SetLoadFaultHook.
+  std::function<bool(std::string_view module, int attempt)> MakeLoadFaultHook();
+
+  // Number of kWmDrop faults in the plan (the caller injects that many
+  // connection drops via WmWindow::InjectConnectionDrop).
+  int WmDropCount() const;
+
+ private:
+  void ApplyStreamFault(const Fault& fault, std::string& data);
+  void RecordDamage(size_t begin, size_t end, size_t bytes);
+
+  FaultPlan plan_;
+  std::vector<ByteRange> damage_;
+  size_t damage_bytes_ = 0;
+};
+
+}  // namespace atk
+
+#endif  // ATK_SRC_ROBUSTNESS_FAULT_INJECTOR_H_

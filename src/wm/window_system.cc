@@ -25,6 +25,11 @@ Graphic* OffscreenWindow::GetGraphic() {
 }
 
 InputEvent WmWindow::NextEvent() {
+  if (!connected_) {
+    // Transparent recovery: the event loop keeps running across a dropped
+    // connection; the first thing it sees afterwards is the replayed Expose.
+    Reconnect();
+  }
   InputEvent event;
   if (!events_.empty()) {
     event = events_.front();
@@ -34,8 +39,33 @@ InputEvent WmWindow::NextEvent() {
 }
 
 void WmWindow::Inject(InputEvent event) {
+  if (!connected_) {
+    return;  // Nothing reaches a window whose connection is down.
+  }
   event.time = ++event_clock_;
   events_.push_back(std::move(event));
+}
+
+void WmWindow::InjectConnectionDrop() {
+  if (!connected_) {
+    return;
+  }
+  connected_ = false;
+  ++drop_count_;
+  events_.clear();  // In-flight events died with the connection.
+  OnConnectionDrop();
+}
+
+void WmWindow::Reconnect() {
+  if (connected_) {
+    return;
+  }
+  connected_ = true;
+  ++reconnect_count_;
+  OnReconnect();
+  // The server has no memory of our contents: replay a full-window Expose
+  // so the interaction manager repaints the whole view tree.
+  Inject(InputEvent::Exposure(Rect{0, 0, size().width, size().height}));
 }
 
 std::unique_ptr<OffscreenWindow> WindowSystem::CreateOffscreen(int width, int height) {

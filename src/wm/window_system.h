@@ -109,10 +109,27 @@ class WmWindow : public Object {
   CursorShape cursor_shape() const { return cursor_shape_; }
 
   // ---- Event queue ----
-  bool HasEvent() const { return !events_.empty(); }
+  // Reports true while disconnected so event loops call NextEvent() and
+  // trigger the automatic reconnect (see Connection robustness below).
+  bool HasEvent() const { return !connected_ || !events_.empty(); }
   InputEvent NextEvent();
   // Event sources (tests, workload traces, the simulated server) inject here.
   void Inject(InputEvent event);
+
+  // ---- Connection robustness ----
+  // The simulated connection to the window-system server.  A drop loses the
+  // queued events and the on-screen contents (the server forgot this
+  // window); the toolkit survives by reconnecting and repainting from the
+  // view tree rather than crashing, as a long-lived editor must.
+  bool connected() const { return connected_; }
+  // Fault injection: severs the connection (FaultKind::kWmDrop).
+  void InjectConnectionDrop();
+  // Re-establishes the connection and queues a full-window Expose so the
+  // interaction manager repaints everything.  NextEvent() reconnects
+  // automatically, so an event loop needs no special handling.
+  void Reconnect();
+  int drop_count() const { return drop_count_; }
+  int reconnect_count() const { return reconnect_count_; }
 
   // ---- Accounting ----
   // Protocol requests issued to the "server" so far (ITC: == drawing ops;
@@ -121,6 +138,11 @@ class WmWindow : public Object {
 
  protected:
   void set_size(Size s) { size_ = s; }
+  // Backend reactions to a drop/reconnect (wipe server-side state, discard
+  // buffered protocol requests, ...).  The base class handles the event
+  // queue and the replayed Expose.
+  virtual void OnConnectionDrop() {}
+  virtual void OnReconnect() {}
 
  private:
   std::deque<InputEvent> events_;
@@ -128,6 +150,9 @@ class WmWindow : public Object {
   Size size_;
   std::string title_;
   CursorShape cursor_shape_ = CursorShape::kArrow;
+  bool connected_ = true;
+  int drop_count_ = 0;
+  int reconnect_count_ = 0;
 };
 
 // Porting class 1 of 6: the window system itself — a handle from which the

@@ -47,6 +47,11 @@ void ItcWindow::Unobscure() {
   obscured_ = false;
 }
 
+void ItcWindow::OnConnectionDrop() {
+  framebuffer_.FillRect(framebuffer_.bounds(), kWhite);
+  obscured_ = false;
+}
+
 std::unique_ptr<WmWindow> ItcWindowSystem::CreateWindow(int width, int height,
                                                         const std::string& title) {
   auto window = std::make_unique<ItcWindow>(width, height);

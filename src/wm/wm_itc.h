@@ -35,6 +35,12 @@ class ItcWindow : public WmWindow {
   void Unobscure();
   bool obscured() const { return obscured_; }
 
+ protected:
+  // A dropped connection destroys the server-side window: even the ITC wm's
+  // preserved contents are gone.  Recovery is the base class's replayed
+  // Expose plus a client repaint.
+  void OnConnectionDrop() override;
+
  private:
   PixelImage framebuffer_;
   PixelImage saved_under_;  // Contents preserved while obscured.

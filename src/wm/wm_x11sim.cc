@@ -66,6 +66,13 @@ void X11Window::Unobscure() {
   Inject(InputEvent::Exposure(obscured_rect_));
 }
 
+void X11Window::OnConnectionDrop() {
+  screen_.FillRect(screen_.bounds(), kWhite);
+  canvas_.FillRect(canvas_.bounds(), kWhite);
+  flushed_ops_ = graphic_->op_count();  // Buffered requests died on the wire.
+  obscured_ = false;
+}
+
 std::unique_ptr<WmWindow> X11WindowSystem::CreateWindow(int width, int height,
                                                         const std::string& title) {
   auto window = std::make_unique<X11Window>(width, height);

@@ -45,6 +45,11 @@ class X11Window : public WmWindow {
   void Unobscure();
   bool obscured() const { return obscured_; }
 
+ protected:
+  // No backing store and a dead wire: the screen, the client-side canvas of
+  // un-flushed requests, and the request buffer are all lost on a drop.
+  void OnConnectionDrop() override;
+
  private:
   PixelImage canvas_;  // Client-side drawing target (pixels of pending requests).
   PixelImage screen_;  // Server-side visible content.

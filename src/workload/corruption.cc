@@ -1,0 +1,54 @@
+#include "src/workload/corruption.h"
+
+#include "src/apps/standard_modules.h"
+#include "src/base/data_object.h"
+#include "src/datastream/reader.h"
+#include "src/workload/workload.h"
+
+namespace atk {
+
+std::string GenerateSerializedDocument(uint64_t seed) {
+  RegisterStandardModules();
+  WorkloadRng rng(seed);
+  CompoundDocumentSpec spec;
+  spec.paragraphs = 3;
+  spec.tables = 1;
+  spec.drawings = 1;
+  spec.equations = 1;
+  spec.rasters = 1;
+  std::unique_ptr<TextData> doc = GenerateCompoundDocument(rng, spec);
+  return WriteDocument(*doc);
+}
+
+CorruptionScenario RunCorruptionScenario(uint64_t seed, int stream_faults) {
+  CorruptionScenario scenario;
+  scenario.seed = seed;
+  scenario.original = GenerateSerializedDocument(seed);
+
+  scenario.plan = FaultPlan::FromSeed(seed, scenario.original.size(), stream_faults);
+  FaultInjector injector(scenario.plan);
+  scenario.corrupted = injector.Corrupt(scenario.original);
+  scenario.damage_bytes = injector.damage_bytes();
+
+  DataStreamSalvager salvager;
+  scenario.salvaged = salvager.Salvage(scenario.corrupted, &scenario.report);
+
+  // Reader-level cleanliness: the salvaged stream tokenizes with no
+  // diagnostics and balanced markers.  (Component-level recoveries — e.g. a
+  // \view reference whose target was quarantined — are legitimate damage
+  // fallout and judged separately by the tests.)
+  DataStreamReader reader(scenario.salvaged);
+  while (reader.Next().kind != DataStreamReader::Token::Kind::kEof) {
+  }
+  scenario.reread_clean = reader.diagnostics().empty() && !reader.truncated();
+
+  ReadContext context;
+  std::unique_ptr<DataObject> reread = ReadDocument(scenario.salvaged, &context);
+  scenario.reread_ok = reread != nullptr;
+  if (reread != nullptr) {
+    scenario.resaved = WriteDocument(*reread);
+  }
+  return scenario;
+}
+
+}  // namespace atk

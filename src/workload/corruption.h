@@ -1,0 +1,46 @@
+// Corruption scenarios: the end-to-end robustness workload.
+//
+// One call runs the whole pipeline the fault-injection harness exists for:
+// generate a compound document, serialize it, damage it per a seeded
+// FaultPlan, salvage the damage, re-read the salvaged stream, and re-save.
+// Tests sweep seeds over this and assert the salvage guarantees; the bench
+// times the stages.
+
+#ifndef ATK_SRC_WORKLOAD_CORRUPTION_H_
+#define ATK_SRC_WORKLOAD_CORRUPTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/robustness/fault_injector.h"
+#include "src/robustness/salvage.h"
+
+namespace atk {
+
+struct CorruptionScenario {
+  uint64_t seed = 0;
+  FaultPlan plan;
+  SalvageReport report;
+
+  std::string original;   // Clean serialized document.
+  std::string corrupted;  // After FaultInjector::Corrupt.
+  std::string salvaged;   // After DataStreamSalvager::Salvage.
+  std::string resaved;    // Salvaged, re-read, and written out again.
+
+  size_t damage_bytes = 0;  // Budget actually spent by the injector.
+  bool reread_ok = false;   // Salvaged stream parsed into a document.
+  // The re-read produced no reader diagnostics (the salvager's core
+  // guarantee: its output is well-formed).
+  bool reread_clean = false;
+};
+
+// Runs one seeded scenario: same seed, same everything.  `stream_faults`
+// scales how much damage the plan inflicts.
+CorruptionScenario RunCorruptionScenario(uint64_t seed, int stream_faults = 3);
+
+// Convenience for benches/tests that only need a serialized document.
+std::string GenerateSerializedDocument(uint64_t seed);
+
+}  // namespace atk
+
+#endif  // ATK_SRC_WORKLOAD_CORRUPTION_H_

@@ -7,6 +7,7 @@
 #include "src/apps/standard_modules.h"
 #include "src/base/interaction_manager.h"
 #include "src/class_system/loader.h"
+#include "src/components/frame/unknown_view.h"
 #include "src/components/raster/raster_data.h"
 #include "src/components/text/gap_buffer.h"
 #include "src/components/text/paged_text_view.h"
@@ -468,9 +469,13 @@ TEST_F(TextViewTest, UnknownEmbeddedTypeRendersPlaceholder) {
   ASSERT_NE(music_doc, nullptr);
   view_->SetText(music_doc);
   Pump();
-  // No view class for "musicview": no child, but layout survives and the
-  // document still has the unknown object for saving.
-  EXPECT_EQ(view_->children().size(), 0u);
+  // No view class for "musicview": the embed degrades to an UnknownView
+  // placeholder naming the missing class, and the document still has the
+  // unknown object for saving.
+  ASSERT_EQ(view_->children().size(), 1u);
+  UnknownView* placeholder = ObjectCast<UnknownView>(view_->children()[0]);
+  ASSERT_NE(placeholder, nullptr);
+  EXPECT_EQ(placeholder->MissingType(), "musicview");
   EXPECT_EQ(music_doc->embedded_count(), 1u);
   std::string resaved = WriteDocument(*music_doc);
   EXPECT_NE(resaved.find("notes..."), std::string::npos);
