@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
+
 #include "src/apps/standard_modules.h"
 #include "src/base/interaction_manager.h"
 #include "src/base/proctable.h"
@@ -195,4 +197,4 @@ BENCHMARK(BM_Keys_DirectProcInvoke);
 }  // namespace
 }  // namespace atk
 
-BENCHMARK_MAIN();
+ATK_BENCH_MAIN("bench_ablation");

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
+
 #include "src/apps/ez_app.h"
 #include "src/apps/help_app.h"
 #include "src/apps/messages_app.h"
@@ -172,4 +174,4 @@ BENCHMARK(BM_EzOpenCompoundDocument);
 }  // namespace
 }  // namespace atk
 
-BENCHMARK_MAIN();
+ATK_BENCH_MAIN("bench_apps");

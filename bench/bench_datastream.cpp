@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
+
 #include <sstream>
 
 #include "src/apps/standard_modules.h"
@@ -163,4 +165,4 @@ BENCHMARK(BM_TruncatedDocumentRecovery);
 }  // namespace
 }  // namespace atk
 
-BENCHMARK_MAIN();
+ATK_BENCH_MAIN("bench_datastream");

@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
+
 #include <cstdio>
 
 #include "src/apps/standard_modules.h"
@@ -212,6 +214,9 @@ int main(int argc, char** argv) {
   atk::PrintRunappTable();
   atk::PrintFirstUseLatencies();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  atk_bench::JsonLineReporter reporter{"bench_dynload"};
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
   return 0;
 }

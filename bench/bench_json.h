@@ -1,0 +1,85 @@
+// Shared benchmark main(): console table plus machine-readable JSON lines.
+//
+// Every bench binary emits, in addition to google-benchmark's usual console
+// output, one JSON object per completed measurement on stdout:
+//
+//   {"bench":"bench_update","metric":"BM_CoalescedUpdate/64","value":123.4,
+//    "unit":"ns","iterations":10000}
+//
+// bench/run_all.sh collects these lines from every binary into
+// BENCH_RESULTS.json.  The lines are self-delimiting (one object per line,
+// always starting with {"bench":) so they survive being interleaved with the
+// human-readable table.
+//
+// Replace BENCHMARK_MAIN(); at the bottom of a bench file with
+// ATK_BENCH_MAIN("bench_whatever");
+
+#ifndef ATK_BENCH_BENCH_JSON_H_
+#define ATK_BENCH_BENCH_JSON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace atk_bench {
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    unsigned char byte = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (byte < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", byte);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// Console reporter that additionally prints one JSON line per run.
+class JsonLineReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonLineReporter(std::string bench) : bench_(std::move(bench)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    std::fflush(nullptr);  // Keep the table and the JSON lines ordered.
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        continue;
+      }
+      std::printf(
+          "{\"bench\":\"%s\",\"metric\":\"%s\",\"value\":%.6g,"
+          "\"unit\":\"%s\",\"iterations\":%lld}\n",
+          JsonEscape(bench_).c_str(), JsonEscape(run.benchmark_name()).c_str(),
+          run.GetAdjustedRealTime(), benchmark::GetTimeUnitString(run.time_unit),
+          static_cast<long long>(run.iterations));
+    }
+    std::fflush(stdout);
+  }
+
+ private:
+  std::string bench_;
+};
+
+}  // namespace atk_bench
+
+#define ATK_BENCH_MAIN(bench_name)                                      \
+  int main(int argc, char** argv) {                                     \
+    ::benchmark::Initialize(&argc, argv);                               \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::atk_bench::JsonLineReporter reporter{bench_name};                 \
+    ::benchmark::RunSpecifiedBenchmarks(&reporter);                     \
+    ::benchmark::Shutdown();                                            \
+    return 0;                                                           \
+  }
+#endif  // ATK_BENCH_BENCH_JSON_H_

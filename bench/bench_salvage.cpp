@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
+
 #include "src/apps/standard_modules.h"
 #include "src/robustness/fault_injector.h"
 #include "src/robustness/salvage.h"
@@ -72,4 +74,4 @@ BENCHMARK(BM_FullCorruptionScenario);
 }  // namespace
 }  // namespace atk
 
-BENCHMARK_MAIN();
+ATK_BENCH_MAIN("bench_salvage");

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
+
 #include "src/apps/standard_modules.h"
 #include "src/base/interaction_manager.h"
 #include "src/class_system/loader.h"
@@ -205,4 +207,4 @@ BENCHMARK(BM_EmacsStyleCommandMix);
 }  // namespace
 }  // namespace atk
 
-BENCHMARK_MAIN();
+ATK_BENCH_MAIN("bench_text");

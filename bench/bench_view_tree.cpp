@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
+
 #include "src/apps/standard_modules.h"
 #include "src/base/interaction_manager.h"
 #include "src/class_system/loader.h"
@@ -226,4 +228,4 @@ BENCHMARK(BM_Figure1_FullUpdateCycle);
 }  // namespace
 }  // namespace atk
 
-BENCHMARK_MAIN();
+ATK_BENCH_MAIN("bench_view_tree");

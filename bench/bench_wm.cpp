@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
+
 #include <cstdio>
 #include <map>
 
@@ -186,6 +188,9 @@ int main(int argc, char** argv) {
   atk::RegisterStandardModules();
   atk::PrintPortingSurface();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  atk_bench::JsonLineReporter reporter{"bench_wm"};
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
   return 0;
 }

@@ -1,0 +1,56 @@
+#!/bin/sh
+# Runs every bench binary and aggregates their JSON lines (emitted by the
+# JsonLineReporter in bench/bench_json.h) into one JSON array.
+#
+#   bench/run_all.sh [BUILD_DIR] [OUTPUT]
+#
+# BUILD_DIR defaults to "build", OUTPUT to "BENCH_RESULTS.json".  Uses a
+# small --benchmark_min_time so the full sweep finishes in seconds; pass
+# ATK_BENCH_MIN_TIME=0.5 (or similar) for steadier numbers.
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUTPUT="${2:-BENCH_RESULTS.json}"
+MIN_TIME="${ATK_BENCH_MIN_TIME:-0.01}"
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "run_all.sh: no $BUILD_DIR/bench directory (build the project first)" >&2
+  exit 1
+fi
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+status=0
+for bin in "$BUILD_DIR"/bench/bench_*; do
+  [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  echo "== $name" >&2
+  before="$(wc -l < "$tmp")"
+  # Console table goes to stderr-visible log; JSON lines are extracted from
+  # stdout (benchmark's color codes may prefix them, hence grep -o).
+  if ! "$bin" --benchmark_min_time="$MIN_TIME" --benchmark_color=false \
+      | grep -o '{"bench":.*}' >> "$tmp"; then
+    echo "run_all.sh: $name produced no JSON lines" >&2
+    status=1
+  fi
+  after="$(wc -l < "$tmp")"
+  if [ "$after" -eq "$before" ]; then
+    echo "run_all.sh: $name contributed no measurements" >&2
+    status=1
+  fi
+done
+
+if [ ! -s "$tmp" ]; then
+  echo "run_all.sh: no measurements collected" >&2
+  exit 1
+fi
+
+{
+  echo '['
+  sed '$!s/$/,/' "$tmp"
+  echo ']'
+} > "$OUTPUT"
+
+echo "wrote $(wc -l < "$tmp") measurements to $OUTPUT" >&2
+exit "$status"

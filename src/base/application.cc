@@ -1,6 +1,7 @@
 #include "src/base/application.h"
 
 #include "src/class_system/loader.h"
+#include "src/observability/observability.h"
 
 namespace atk {
 
@@ -18,6 +19,8 @@ std::unique_ptr<Application> LoadApplication(std::string_view name) {
 
 std::unique_ptr<InteractionManager> RunApp(std::string_view name, WindowSystem& ws,
                                            const std::vector<std::string>& args) {
+  observability::InitFromEnv();
+  observability::ScopedSpan span("app.driver.start.", name);
   std::unique_ptr<Application> app = LoadApplication(name);
   if (app == nullptr) {
     return nullptr;

@@ -5,8 +5,28 @@
 #include "src/base/menu_popup.h"
 #include "src/base/proctable.h"
 #include "src/class_system/loader.h"
+#include "src/observability/observability.h"
 
 namespace atk {
+namespace {
+
+using observability::Counter;
+using observability::MetricsRegistry;
+
+// Input-dispatch metrics (§3's parental-authority claims): how many events
+// arrived vs how many a view actually took, and how often the global
+// resources (keymap chain, menu list) were renegotiated along the focus
+// path.
+Counter& EventsReceived() {
+  static Counter& c = MetricsRegistry::Instance().counter("im.event.received");
+  return c;
+}
+Counter& EventsDelivered() {
+  static Counter& c = MetricsRegistry::Instance().counter("im.event.delivered");
+  return c;
+}
+
+}  // namespace
 
 ATK_DEFINE_CLASS(InteractionManager, View, "im")
 
@@ -17,9 +37,10 @@ void View::RequestInputFocus() {
   }
 }
 
-InteractionManager::InteractionManager() = default;
+InteractionManager::InteractionManager() { observability::InitFromEnv(); }
 
 InteractionManager::InteractionManager(std::unique_ptr<WmWindow> window) {
+  observability::InitFromEnv();
   AttachWindow(std::move(window));
 }
 
@@ -74,6 +95,7 @@ void InteractionManager::RunOnce() {
 
 void InteractionManager::ProcessEvent(const InputEvent& event) {
   ++stats_.events;
+  EventsReceived().Add(1);
   switch (event.type) {
     case EventType::kKeyDown:
       ++stats_.key_events;
@@ -88,7 +110,9 @@ void InteractionManager::ProcessEvent(const InputEvent& event) {
       break;
     case EventType::kMenuHit:
       ++stats_.menu_events;
-      InvokeMenu(event.menu_item);
+      if (InvokeMenu(event.menu_item)) {
+        EventsDelivered().Add(1);
+      }
       break;
     case EventType::kExpose:
       damage_.Add(event.rect);
@@ -115,6 +139,7 @@ void InteractionManager::DispatchMouse(const InputEvent& event) {
     InputEvent local = event;
     local.pos = event.pos - popup->bounds().origin();
     popup->Hit(local);  // May call DismissMenus via the choose callback.
+    EventsDelivered().Add(1);
     return;
   }
   // The classic Andrew gesture: the right button raises the menus.
@@ -130,6 +155,7 @@ void InteractionManager::DispatchMouse(const InputEvent& event) {
     InputEvent local = event;
     local.pos = event.pos - grab_bounds.origin();
     mouse_grab_->Hit(local);
+    EventsDelivered().Add(1);
     if (event.type == EventType::kMouseUp) {
       mouse_grab_ = nullptr;
     }
@@ -145,6 +171,9 @@ void InteractionManager::DispatchMouse(const InputEvent& event) {
     }
   } else {
     handler = GlobalPhysicalPick(event.pos, event);
+  }
+  if (handler != nullptr) {
+    EventsDelivered().Add(1);
   }
   if (event.type == EventType::kMouseDown) {
     mouse_grab_ = handler;
@@ -194,6 +223,8 @@ void InteractionManager::DispatchKey(const InputEvent& event) {
     return;
   }
   // Build the keymap chain from the focus view outward.
+  static Counter& keymap_rebuilt = MetricsRegistry::Instance().counter("im.keymap.rebuilt");
+  keymap_rebuilt.Add(1);
   std::vector<const KeyMap*> chain;
   for (View* v = focus; v != nullptr; v = v->parent()) {
     if (const KeyMap* map = v->GetKeyMap()) {
@@ -205,6 +236,7 @@ void InteractionManager::DispatchKey(const InputEvent& event) {
     const KeyBinding* binding = key_state_.binding();
     if (ProcTable::Instance().Invoke(binding->proc_name, focus, binding->rock)) {
       ++stats_.proc_invocations;
+      EventsDelivered().Add(1);
     }
     return;
   }
@@ -215,6 +247,7 @@ void InteractionManager::DispatchKey(const InputEvent& event) {
   // (self-insert in text, typically).
   for (View* v = focus; v != nullptr; v = v->parent()) {
     if (v->HandleKey(event.key, event.modifiers)) {
+      EventsDelivered().Add(1);
       return;
     }
   }
@@ -223,6 +256,8 @@ void InteractionManager::DispatchKey(const InputEvent& event) {
 void InteractionManager::WantUpdate(View* requestor, const Rect& device_region) {
   (void)requestor;
   ++stats_.damage_posts;
+  static Counter& posted = MetricsRegistry::Instance().counter("im.damage.posted");
+  posted.Add(1);
   damage_.Add(device_region.Intersect(DeviceBounds()));
 }
 
@@ -230,6 +265,14 @@ void InteractionManager::RunUpdateCycle() {
   if (damage_.IsEmpty()) {
     return;
   }
+  // The §3 claim under measurement: any number of posted damage rects is
+  // applied as ONE coalesced pass down the view tree.  The ratio
+  // im.damage.posted / im.damage.coalesced is the coalescing factor.
+  ATK_TRACE_SPAN("im.update.cycle");
+  static Counter& cycles = MetricsRegistry::Instance().counter("im.update.run");
+  static Counter& coalesced = MetricsRegistry::Instance().counter("im.damage.coalesced");
+  cycles.Add(1);
+  coalesced.Add(damage_.rect_count());
   ++stats_.update_cycles;
   Region damage = damage_;
   damage_.Clear();
@@ -251,11 +294,18 @@ void InteractionManager::UpdatePass(View& view, const Region& damage) {
     return;
   }
   ++stats_.views_updated;
+  static Counter& views_updated = MetricsRegistry::Instance().counter("im.view.updated");
+  views_updated.Add(1);
   // Clip the view's drawing to the damaged part of its allocation, so a
   // repaint cannot disturb pixels outside the coalesced damage.
   Rect damage_local = damage.Bounds().Intersect(device).Translated(-device.x, -device.y);
   view.graphic()->PushClip(damage_local);
-  view.Update();
+  {
+    // Per-view-class repaint span nested inside im.update.cycle; the name
+    // is only composed when tracing is on.
+    observability::ScopedSpan span("update.", view.class_name());
+    view.Update();
+  }
   view.graphic()->PopClip();
   for (View* child : view.children()) {
     UpdatePass(*child, damage);
@@ -277,6 +327,8 @@ void InteractionManager::SetInputFocus(View* view) {
 }
 
 MenuList InteractionManager::ComposeMenus() {
+  static Counter& composed_count = MetricsRegistry::Instance().counter("im.menu.composed");
+  composed_count.Add(1);
   MenuList composed;
   View* focus = input_focus_ != nullptr ? input_focus_ : child();
   for (View* v = focus; v != nullptr && v != this; v = v->parent()) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/observability/observability.h"
+
 namespace atk {
 
 ATK_DEFINE_CLASS(View, Object, "view")
@@ -105,12 +107,20 @@ void View::PostUpdate(const Rect& local) {
   if (graphic_ == nullptr || local.IsEmpty()) {
     return;
   }
+  static observability::Counter& posted =
+      observability::MetricsRegistry::Instance().counter("view.update.posted");
+  posted.Add(1);
   Point origin = graphic_->device_origin();
   WantUpdate(this, local.Translated(origin.x, origin.y));
 }
 
 void View::WantUpdate(View* requestor, const Rect& device_region) {
   if (parent_ != nullptr) {
+    // Each parent hop on the way up to the interaction manager (§3's upward
+    // channel); hops / posts is the mean depth a request travels.
+    static observability::Counter& hopped =
+        observability::MetricsRegistry::Instance().counter("view.update.hopped");
+    hopped.Add(1);
     parent_->WantUpdate(requestor, device_region);
   }
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/class_system/object.h"
+#include "src/observability/observability.h"
 
 namespace atk {
 
@@ -66,6 +67,8 @@ bool Loader::RequireInternal(std::string_view module, bool as_dependency,
   // The simulated dlopen itself can fail (fault injection).  Retry with
   // exponential simulated backoff before giving up, so a transient failure
   // costs time but not the document being assembled.
+  using observability::Counter;
+  using observability::MetricsRegistry;
   if (fault_hook_) {
     int attempts = std::max(retry_policy_.max_attempts, 1);
     uint64_t backoff_us = retry_policy_.initial_backoff_us;
@@ -75,6 +78,8 @@ bool Loader::RequireInternal(std::string_view module, bool as_dependency,
         break;  // This attempt succeeds.
       }
       if (attempt >= attempts) {
+        static Counter& failed = MetricsRegistry::Instance().counter("class.module.failed");
+        failed.Add(1);
         FailureRecord failure;
         failure.module = state.spec.name;
         failure.attempts = attempt;
@@ -83,14 +88,22 @@ bool Loader::RequireInternal(std::string_view module, bool as_dependency,
         failure_log_.push_back(std::move(failure));
         return false;
       }
+      static Counter& retried = MetricsRegistry::Instance().counter("class.module.retried");
+      retried.Add(1);
       backoff_total += backoff_us;
       backoff_us *= 2;
     }
   }
 
   state.loaded = true;
-  if (state.spec.init) {
-    state.spec.init();
+  {
+    // Real wall time of the module's registration code; the simulated
+    // dlopen/page-in cost feeds the histogram below for the §6 startup
+    // accounting.
+    observability::ScopedSpan span("class.module.load.", state.spec.name);
+    if (state.spec.init) {
+      state.spec.init();
+    }
   }
   LoadRecord record;
   record.module = state.spec.name;
@@ -98,6 +111,11 @@ bool Loader::RequireInternal(std::string_view module, bool as_dependency,
   record.simulated_cost_us = SimulatedCost(state.spec);
   record.order = next_order_++;
   record.as_dependency = as_dependency;
+  static Counter& loaded = MetricsRegistry::Instance().counter("class.module.loaded");
+  loaded.Add(1);
+  MetricsRegistry::Instance()
+      .histogram("class.module.load_us")
+      .Observe(record.simulated_cost_us);
   load_log_.push_back(std::move(record));
   return true;
 }

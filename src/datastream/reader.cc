@@ -3,6 +3,8 @@
 #include <cctype>
 #include <sstream>
 
+#include "src/observability/observability.h"
+
 namespace atk {
 namespace {
 
@@ -44,12 +46,29 @@ int HexValue(char ch) {
 
 }  // namespace
 
-DataStreamReader::DataStreamReader(std::string input) : input_(std::move(input)) {}
+namespace {
+
+// §5 parse-cost accounting; bytes are attributed when the reader opens.
+void CountReaderOpen(size_t bytes) {
+  using observability::Counter;
+  using observability::MetricsRegistry;
+  static Counter& opened = MetricsRegistry::Instance().counter("datastream.reader.opened");
+  static Counter& consumed = MetricsRegistry::Instance().counter("datastream.reader.bytes");
+  opened.Add(1);
+  consumed.Add(bytes);
+}
+
+}  // namespace
+
+DataStreamReader::DataStreamReader(std::string input) : input_(std::move(input)) {
+  CountReaderOpen(input_.size());
+}
 
 DataStreamReader::DataStreamReader(std::istream& in) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   input_ = buffer.str();
+  CountReaderOpen(input_.size());
 }
 
 const DataStreamReader::Token& DataStreamReader::Peek() {
@@ -61,6 +80,9 @@ const DataStreamReader::Token& DataStreamReader::Peek() {
 }
 
 DataStreamReader::Token DataStreamReader::Next() {
+  static observability::Counter& tokens =
+      observability::MetricsRegistry::Instance().counter("datastream.reader.tokens");
+  tokens.Add(1);
   if (has_peek_) {
     has_peek_ = false;
     return std::move(peek_);
@@ -72,6 +94,9 @@ void DataStreamReader::AddDiagnostic(StatusCode code, size_t offset, std::string
   if (code == StatusCode::kCorrupt) {
     saw_malformed_ = true;
   }
+  static observability::Counter& diagnosed =
+      observability::MetricsRegistry::Instance().counter("datastream.reader.diagnosed");
+  diagnosed.Add(1);
   diagnostics_.push_back(Diagnostic{code, offset, std::move(message)});
 }
 
@@ -136,6 +161,9 @@ bool DataStreamReader::LexDirective(Token* token) {
     }
     if (name == "begindata") {
       open_.push_back(OpenMarker{type, id});
+      static observability::Gauge& depth_max =
+          observability::MetricsRegistry::Instance().gauge("datastream.reader.depth_max");
+      depth_max.SetMax(static_cast<int64_t>(open_.size()));
       token->kind = Token::Kind::kBeginData;
     } else {
       if (!open_.empty() && open_.back().type == type && open_.back().id == id) {

@@ -2,11 +2,26 @@
 
 #include <cstdio>
 
+#include "src/observability/observability.h"
+
 namespace atk {
 
 DataStreamWriter::DataStreamWriter(std::ostream& out) : out_(out) {}
 
-DataStreamWriter::~DataStreamWriter() = default;
+DataStreamWriter::~DataStreamWriter() {
+  // Whole-stream accounting is published once, at teardown, so the per-byte
+  // Emit path stays untouched.
+  using observability::Counter;
+  using observability::Gauge;
+  using observability::MetricsRegistry;
+  static Counter& bytes = MetricsRegistry::Instance().counter("datastream.writer.bytes");
+  static Counter& diagnosed =
+      MetricsRegistry::Instance().counter("datastream.writer.diagnosed");
+  static Gauge& depth_max = MetricsRegistry::Instance().gauge("datastream.writer.depth_max");
+  bytes.Add(static_cast<uint64_t>(bytes_written_));
+  diagnosed.Add(diagnostics_.size());
+  depth_max.SetMax(max_depth_);
+}
 
 void DataStreamWriter::Emit(char ch) {
   out_.put(ch);
@@ -37,6 +52,9 @@ int64_t DataStreamWriter::BeginData(std::string_view type) {
 // reached) followed by one newline; the reader consumes that newline as part
 // of the marker, so surrounding payload text round-trips byte-exactly.
 void DataStreamWriter::BeginDataWithId(std::string_view type, int64_t id) {
+  static observability::Counter& objects =
+      observability::MetricsRegistry::Instance().counter("datastream.writer.objects");
+  objects.Add(1);
   if (id >= next_id_) {
     next_id_ = id + 1;
   }

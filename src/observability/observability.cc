@@ -1,0 +1,351 @@
+#include "src/observability/observability.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace atk {
+namespace observability {
+
+std::atomic<bool> g_trace_enabled{
+#ifdef ATK_TRACE_DEFAULT
+    true
+#else
+    false
+#endif
+};
+
+uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+// ---- Tracer ----------------------------------------------------------------
+
+namespace {
+
+std::atomic<uint32_t> g_next_thread_id{0};
+
+// Per-thread state: dense id and current span nesting depth.
+thread_local uint32_t tls_thread_id = UINT32_MAX;
+thread_local uint16_t tls_depth = 0;
+
+}  // namespace
+
+uint32_t Tracer::ThreadId() {
+  if (tls_thread_id == UINT32_MAX) {
+    tls_thread_id = g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tls_thread_id;
+}
+
+Tracer::Tracer() { ring_.resize(kDefaultCapacity); }
+
+Tracer& Tracer::Instance() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::SetEnabled(bool enabled) {
+  g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Tracer::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.assign(std::max<size_t>(capacity, 1), SpanRecord{});
+  next_seq_ = 1;
+}
+
+size_t Tracer::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (SpanRecord& record : ring_) {
+    record = SpanRecord{};
+  }
+  next_seq_ = 1;
+}
+
+void Tracer::Record(std::string_view name, uint64_t start_ns, uint64_t end_ns,
+                    uint16_t depth, uint32_t thread) {
+  // A mutex keeps the ring race-free under TSan; spans are coarse (update
+  // cycles, module loads, salvage runs), so contention is negligible next
+  // to the work being measured.
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord& slot = ring_[(next_seq_ - 1) % ring_.size()];
+  size_t n = std::min(name.size(), SpanRecord::kNameCapacity - 1);
+  std::memcpy(slot.name, name.data(), n);
+  slot.name[n] = '\0';
+  slot.start_ns = start_ns;
+  slot.duration_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  slot.seq = next_seq_++;
+  slot.thread = thread;
+  slot.depth = depth;
+}
+
+std::vector<SpanRecord> Tracer::Collect() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  uint64_t total = next_seq_ - 1;
+  uint64_t kept = std::min<uint64_t>(total, ring_.size());
+  out.reserve(kept);
+  for (uint64_t seq = total - kept + 1; seq <= total; ++seq) {
+    out.push_back(ring_[(seq - 1) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = next_seq_ - 1;
+  return total > ring_.size() ? total - ring_.size() : 0;
+}
+
+void ScopedSpan::Open(std::string_view prefix, std::string_view suffix) noexcept {
+  size_t n = std::min(prefix.size(), SpanRecord::kNameCapacity - 1);
+  std::memcpy(name_, prefix.data(), n);
+  size_t m = std::min(suffix.size(), SpanRecord::kNameCapacity - 1 - n);
+  if (m > 0) {
+    std::memcpy(name_ + n, suffix.data(), m);
+  }
+  name_[n + m] = '\0';
+  depth_ = tls_depth++;
+  active_ = true;
+  start_ns_ = MonotonicNanos();
+}
+
+void ScopedSpan::Close() noexcept {
+  uint64_t end_ns = MonotonicNanos();
+  --tls_depth;
+  // Tracing may have been disabled mid-span; the record is still written so
+  // open/close depths stay balanced and the span is not half-lost.
+  Tracer::Instance().Record(name_, start_ns_, end_ns, depth_, Tracer::ThreadId());
+}
+
+// ---- Metrics ---------------------------------------------------------------
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  return static_cast<size_t>(std::bit_width(value));
+}
+
+uint64_t Histogram::BucketUpperBound(size_t index) {
+  if (index == 0) {
+    return 0;
+  }
+  if (index >= 64) {
+    return UINT64_MAX;
+  }
+  return (uint64_t{1} << index) - 1;
+}
+
+void Histogram::Observe(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t cur = max_.load(std::memory_order_relaxed);
+  while (value > cur && !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  uint64_t total = count();
+  if (total == 0) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total));
+  if (rank == 0) {
+    rank = 1;
+  }
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) {
+      // The bucket's upper bound, capped at the true max (the highest
+      // bucket would otherwise overshoot it).
+      return std::min(BucketUpperBound(i), max());
+    }
+  }
+  return max();
+}
+
+std::array<uint64_t, Histogram::kBuckets> Histogram::BucketCounts() const {
+  std::array<uint64_t, kBuckets> out{};
+  for (size_t i = 0; i < kBuckets; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+// ---- Snapshot --------------------------------------------------------------
+
+struct TraceSnapshotAccess {
+  static void Fill(TraceSnapshot* snap) {
+    MetricsRegistry& reg = MetricsRegistry::Instance();
+    std::lock_guard<std::mutex> lock(reg.mu_);
+    for (const auto& [name, counter] : reg.counters_) {
+      snap->counters.push_back(CounterSample{name, counter->value()});
+    }
+    for (const auto& [name, gauge] : reg.gauges_) {
+      snap->gauges.push_back(GaugeSample{name, gauge->value()});
+    }
+    for (const auto& [name, histogram] : reg.histograms_) {
+      snap->histograms.push_back(HistogramSample{name, histogram->count(), histogram->sum(),
+                                                 histogram->max(), histogram->p50(),
+                                                 histogram->p95(), histogram->p99()});
+    }
+  }
+};
+
+TraceSnapshot Snapshot() {
+  TraceSnapshot snap;
+  Tracer& tracer = Tracer::Instance();
+  snap.trace_enabled = tracer.enabled();
+  snap.spans = tracer.Collect();
+  snap.spans_recorded = tracer.recorded();
+  snap.spans_dropped = tracer.dropped();
+  TraceSnapshotAccess::Fill(&snap);
+  return snap;
+}
+
+std::string ToText(const TraceSnapshot& snap) {
+  std::string out;
+  out += "== atk observability snapshot ==\n";
+  out += "tracer: ";
+  out += snap.trace_enabled ? "enabled" : "disabled";
+  out += ", " + std::to_string(snap.spans_recorded) + " span(s) recorded, " +
+         std::to_string(snap.spans_dropped) + " dropped\n";
+  if (!snap.spans.empty()) {
+    out += "-- spans (oldest first; indented by nesting depth) --\n";
+    uint64_t t0 = snap.spans.front().start_ns;
+    char line[160];
+    for (const SpanRecord& span : snap.spans) {
+      double at_us = static_cast<double>(span.start_ns - t0) / 1e3;
+      double dur_us = static_cast<double>(span.duration_ns) / 1e3;
+      std::snprintf(line, sizeof(line), "#%llu t%u +%.1fus %*s%s %.1fus\n",
+                    static_cast<unsigned long long>(span.seq), span.thread, at_us,
+                    span.depth * 2, "", span.name, dur_us);
+      out += line;
+    }
+  }
+  if (!snap.counters.empty()) {
+    out += "-- counters --\n";
+    for (const CounterSample& c : snap.counters) {
+      out += c.name + " " + std::to_string(c.value) + "\n";
+    }
+  }
+  if (!snap.gauges.empty()) {
+    out += "-- gauges --\n";
+    for (const GaugeSample& g : snap.gauges) {
+      out += g.name + " " + std::to_string(g.value) + "\n";
+    }
+  }
+  if (!snap.histograms.empty()) {
+    out += "-- histograms --\n";
+    for (const HistogramSample& h : snap.histograms) {
+      out += h.name + " count=" + std::to_string(h.count) + " sum=" + std::to_string(h.sum) +
+             " max=" + std::to_string(h.max) + " p50=" + std::to_string(h.p50) +
+             " p95=" + std::to_string(h.p95) + " p99=" + std::to_string(h.p99) + "\n";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void ExitDump() {
+  // Skipped when tracing was disabled again before exit (test hygiene).
+  if (!Enabled()) {
+    return;
+  }
+  std::fputs(ToText(Snapshot()).c_str(), stderr);
+}
+
+}  // namespace
+
+void InitFromEnv() {
+  static bool applied = [] {
+    if (const char* capacity = std::getenv("ATK_TRACE_CAPACITY")) {
+      long value = std::atol(capacity);
+      if (value > 0) {
+        Tracer::Instance().SetCapacity(static_cast<size_t>(value));
+      }
+    }
+    if (const char* trace = std::getenv("ATK_TRACE")) {
+      if (trace[0] != '\0' && trace[0] != '0') {
+        Tracer::Instance().SetEnabled(true);
+        std::atexit(ExitDump);
+      }
+    }
+    return true;
+  }();
+  (void)applied;
+}
+
+}  // namespace observability
+}  // namespace atk

@@ -1,0 +1,305 @@
+// Toolkit-wide tracing and metrics — the instrumentation spine.
+//
+// The paper's runtime claims (delayed updates coalesce into one pass down
+// the view tree §3, input is dispatched by parental authority §3, dynamic
+// loading dominates startup §6) are performance claims, and performance
+// claims need measurement before optimization.  This module provides the
+// two primitives every layer above shares:
+//
+//   * Tracer — RAII scoped spans (ScopedSpan / ATK_TRACE_SPAN) recorded
+//     into a thread-safe ring buffer with monotonic timestamps, per-thread
+//     nesting depth, and a global completion sequence.  When tracing is
+//     disabled the span fast path is a single relaxed atomic load and a
+//     branch; nothing is timed, copied, or locked.
+//   * MetricsRegistry — named counters, gauges and fixed-bucket (power of
+//     two) latency histograms with p50/p95/p99/max accessors.  Metric
+//     objects are created once and never move, so call sites cache a
+//     reference in a function-local static and pay one relaxed atomic add
+//     per event.  Metric names follow the `layer.noun.verb` convention
+//     (see DESIGN.md §8).
+//
+// Snapshot() freezes both into a TraceSnapshot; ToText() renders it for
+// humans and src/observability/trace_component.h serializes it as a §5
+// datastream component so a trace is itself an ATK data object.
+//
+// This header depends on nothing but the standard library: it sits below
+// class_system so the loader, the datastream, and the view tree can all be
+// instrumented without a dependency cycle.
+
+#ifndef ATK_SRC_OBSERVABILITY_OBSERVABILITY_H_
+#define ATK_SRC_OBSERVABILITY_OBSERVABILITY_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace atk {
+namespace observability {
+
+// Nanoseconds from a monotonic (steady) clock; never goes backwards.
+uint64_t MonotonicNanos();
+
+// ---- Spans -----------------------------------------------------------------
+
+// One completed span.  `name` is an inline NUL-terminated copy (truncated if
+// longer), so records never dangle whatever produced the name.
+struct SpanRecord {
+  static constexpr size_t kNameCapacity = 48;
+
+  char name[kNameCapacity];
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+  uint64_t seq = 0;    // Global completion order (1-based).
+  uint32_t thread = 0; // Small dense id; first thread to record is 0.
+  uint16_t depth = 0;  // Nesting depth within the thread at open (0-based).
+
+  std::string_view name_view() const { return std::string_view(name); }
+};
+
+// The process-wide enabled flag, exposed directly so the ScopedSpan fast
+// path inlines to a relaxed load plus a branch (no function call into the
+// tracer, no lock).  Written only through Tracer::SetEnabled.
+extern std::atomic<bool> g_trace_enabled;
+
+// True when spans are being recorded.
+inline bool Enabled() { return g_trace_enabled.load(std::memory_order_relaxed); }
+
+class Tracer {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  static Tracer& Instance();
+
+  void SetEnabled(bool enabled);
+  bool enabled() const { return Enabled(); }
+
+  // Resizes the ring buffer (existing records are dropped).  Capacity is
+  // clamped to at least 1.
+  void SetCapacity(size_t capacity);
+  size_t capacity() const;
+
+  // Drops all recorded spans (capacity and enabled state are kept).
+  void Clear();
+
+  // Appends one completed span.  Thread-safe; called by ScopedSpan.
+  void Record(std::string_view name, uint64_t start_ns, uint64_t end_ns, uint16_t depth,
+              uint32_t thread);
+
+  // The retained spans, oldest first, in completion (seq) order.
+  std::vector<SpanRecord> Collect() const;
+
+  // Total spans ever recorded / overwritten by ring wraparound.
+  uint64_t recorded() const;
+  uint64_t dropped() const;
+
+  // Dense id of the calling thread (assigned on first use).
+  static uint32_t ThreadId();
+
+ private:
+  Tracer();
+
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;
+  uint64_t next_seq_ = 1;  // Guarded by mu_.
+};
+
+// RAII span.  Construction when tracing is disabled is a relaxed atomic
+// load and a branch; nothing else runs (the destructor re-checks a plain
+// bool).  When enabled, the open timestamp, per-thread depth, and the name
+// copy happen in Open(); the record is written at destruction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name) noexcept {
+    if (Enabled()) {
+      Open(name, {});
+    }
+  }
+  // Two-part name (e.g. "update." + view class name): the concatenation is
+  // only performed when tracing is enabled.
+  ScopedSpan(std::string_view prefix, std::string_view suffix) noexcept {
+    if (Enabled()) {
+      Open(prefix, suffix);
+    }
+  }
+  ~ScopedSpan() {
+    if (active_) {
+      Close();
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return active_; }
+
+ private:
+  void Open(std::string_view prefix, std::string_view suffix) noexcept;
+  void Close() noexcept;
+
+  uint64_t start_ns_ = 0;
+  uint16_t depth_ = 0;
+  bool active_ = false;
+  char name_[SpanRecord::kNameCapacity];
+};
+
+// ATK_TRACE_SPAN("im.update.cycle") — a scoped span named after the site.
+#define ATK_OBS_CONCAT_INNER(a, b) a##b
+#define ATK_OBS_CONCAT(a, b) ATK_OBS_CONCAT_INNER(a, b)
+#define ATK_TRACE_SPAN(...) \
+  ::atk::observability::ScopedSpan ATK_OBS_CONCAT(atk_trace_span_, __LINE__)(__VA_ARGS__)
+
+// ---- Metrics ---------------------------------------------------------------
+
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t v) { value_.fetch_add(v, std::memory_order_relaxed); }
+  // Raises the gauge to `v` if it is below (high-water marks, e.g. nesting
+  // depth).
+  void SetMax(int64_t v) {
+    int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur && !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed-bucket latency histogram: 65 power-of-two buckets.  Bucket 0 holds
+// the value 0; bucket i (i >= 1) holds values in [2^(i-1), 2^i - 1].
+// Observe() is three relaxed atomic adds plus a CAS-max; Percentile(p)
+// returns the upper bound of the bucket containing the rank, so the result
+// `r` for a true percentile value `v` satisfies v <= r < 2v (a factor-two
+// quantization, tested against a brute-force sort).
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 65;
+
+  void Observe(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+  // p in (0, 1]; returns 0 when empty.
+  uint64_t Percentile(double p) const;
+  uint64_t p50() const { return Percentile(0.50); }
+  uint64_t p95() const { return Percentile(0.95); }
+  uint64_t p99() const { return Percentile(0.99); }
+
+  std::array<uint64_t, kBuckets> BucketCounts() const;
+  void Reset();
+
+  // The largest value bucket `index` can hold.
+  static uint64_t BucketUpperBound(size_t index);
+  static size_t BucketIndex(uint64_t value);
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+// Named metric registry.  Lookup takes a mutex; metric objects never move
+// once created, so hot call sites cache the returned reference:
+//
+//   static Counter& posts =
+//       MetricsRegistry::Instance().counter("view.update.posted");
+//   posts.Add(1);
+//
+// Names follow `layer.noun.verb` (lower-case segments joined by dots).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  // Zeroes every metric value; registrations (and cached references) stay
+  // valid.  Test/bench hygiene.
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+  friend struct TraceSnapshotAccess;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// ---- Snapshot --------------------------------------------------------------
+
+struct CounterSample {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  int64_t value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+};
+
+struct TraceSnapshot {
+  bool trace_enabled = false;
+  uint64_t spans_recorded = 0;
+  uint64_t spans_dropped = 0;
+  std::vector<SpanRecord> spans;              // Oldest first.
+  std::vector<CounterSample> counters;        // Sorted by name.
+  std::vector<GaugeSample> gauges;            // Sorted by name.
+  std::vector<HistogramSample> histograms;    // Sorted by name.
+};
+
+// Freezes the tracer ring and every registered metric.
+TraceSnapshot Snapshot();
+
+// Human-readable rendering (the `ATK_TRACE=1` exit dump).
+std::string ToText(const TraceSnapshot& snapshot);
+
+// Reads the environment once and applies it (idempotent):
+//   ATK_TRACE=1            enable span recording; dump ToText(Snapshot())
+//                          to stderr at process exit (skipped if tracing
+//                          was disabled again before exit);
+//   ATK_TRACE=0 / unset    leave tracing as built (see ATK_TRACE_DEFAULT);
+//   ATK_TRACE_CAPACITY=N   ring capacity in spans.
+// Wired into InteractionManager and the app drivers so any example or app
+// honors the variables with no code of its own.
+void InitFromEnv();
+
+}  // namespace observability
+}  // namespace atk
+
+#endif  // ATK_SRC_OBSERVABILITY_OBSERVABILITY_H_

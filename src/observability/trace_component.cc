@@ -1,0 +1,219 @@
+#include "src/observability/trace_component.h"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+namespace atk {
+namespace observability {
+namespace {
+
+// Splits directive args on commas: all fields before the last are numeric,
+// the last is a metric/span name (which never contains a comma).
+std::vector<std::string_view> SplitArgs(std::string_view args) {
+  std::vector<std::string_view> fields;
+  size_t start = 0;
+  while (true) {
+    size_t comma = args.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields.push_back(args.substr(start));
+      return fields;
+    }
+    fields.push_back(args.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+bool ParseU64(std::string_view field, uint64_t* out) {
+  if (field.empty()) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (char ch : field) {
+    if (!std::isdigit(static_cast<unsigned char>(ch))) {
+      return false;
+    }
+    value = value * 10 + static_cast<uint64_t>(ch - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseI64(std::string_view field, int64_t* out) {
+  bool negative = !field.empty() && field.front() == '-';
+  uint64_t magnitude = 0;
+  if (!ParseU64(negative ? field.substr(1) : field, &magnitude)) {
+    return false;
+  }
+  *out = negative ? -static_cast<int64_t>(magnitude) : static_cast<int64_t>(magnitude);
+  return true;
+}
+
+std::string Join(std::initializer_list<std::string> fields) {
+  std::string out;
+  for (const std::string& field : fields) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += field;
+  }
+  return out;
+}
+
+bool AllWhitespace(std::string_view text) {
+  return text.find_first_not_of(" \t\r\n") == std::string_view::npos;
+}
+
+}  // namespace
+
+int64_t WriteTraceComponent(DataStreamWriter& writer, const TraceSnapshot& snap) {
+  int64_t id = writer.BeginData(kTraceComponentType);
+  // Span timestamps are written relative to the earliest span so the lines
+  // stay well under the §5 80-column guideline.
+  uint64_t base_ns = snap.spans.empty() ? 0 : snap.spans.front().start_ns;
+  writer.WriteDirective(
+      "tracemeta", Join({"1", snap.trace_enabled ? "1" : "0",
+                         std::to_string(snap.spans_recorded),
+                         std::to_string(snap.spans_dropped), std::to_string(base_ns)}));
+  writer.WriteNewline();
+  for (const SpanRecord& span : snap.spans) {
+    writer.WriteDirective(
+        "span", Join({std::to_string(span.seq), std::to_string(span.start_ns - base_ns),
+                      std::to_string(span.duration_ns), std::to_string(span.depth),
+                      std::to_string(span.thread), std::string(span.name_view())}));
+    writer.WriteNewline();
+  }
+  for (const CounterSample& counter : snap.counters) {
+    writer.WriteDirective("counter", Join({std::to_string(counter.value), counter.name}));
+    writer.WriteNewline();
+  }
+  for (const GaugeSample& gauge : snap.gauges) {
+    writer.WriteDirective("gauge", Join({std::to_string(gauge.value), gauge.name}));
+    writer.WriteNewline();
+  }
+  for (const HistogramSample& histo : snap.histograms) {
+    writer.WriteDirective(
+        "histo", Join({std::to_string(histo.count), std::to_string(histo.sum),
+                       std::to_string(histo.max), std::to_string(histo.p50),
+                       std::to_string(histo.p95), std::to_string(histo.p99), histo.name}));
+    writer.WriteNewline();
+  }
+  writer.EndData();
+  return id;
+}
+
+Status ReadTraceComponent(DataStreamReader& reader, TraceSnapshot* out) {
+  *out = TraceSnapshot{};
+  uint64_t base_ns = 0;
+  while (true) {
+    DataStreamReader::Token token = reader.Next();
+    switch (token.kind) {
+      case DataStreamReader::Token::Kind::kEndData:
+        if (token.type != kTraceComponentType) {
+          return Status::Corrupt("trace body closed by \\enddata{" + token.type + ",...}");
+        }
+        return Status::Ok();
+      case DataStreamReader::Token::Kind::kEof:
+        return Status::Truncated("input ended inside a trace object");
+      case DataStreamReader::Token::Kind::kDiagnostic:
+        return Status::Corrupt("damaged directive inside a trace object at offset " +
+                               std::to_string(token.offset));
+      case DataStreamReader::Token::Kind::kText:
+        if (!AllWhitespace(token.text)) {
+          return Status::Corrupt("unexpected payload text inside a trace object");
+        }
+        break;
+      case DataStreamReader::Token::Kind::kBeginData:
+        // A nested object is not part of the trace schema; skip it whole.
+        if (!reader.SkipObject(token.type, token.id)) {
+          return Status::Truncated("input ended inside an object nested in a trace");
+        }
+        break;
+      case DataStreamReader::Token::Kind::kViewRef:
+        break;  // Placement references are irrelevant to the data.
+      case DataStreamReader::Token::Kind::kDirective: {
+        std::vector<std::string_view> fields = SplitArgs(token.text);
+        if (token.type == "tracemeta") {
+          uint64_t enabled = 0;
+          if (fields.size() < 5 || !ParseU64(fields[1], &enabled) ||
+              !ParseU64(fields[2], &out->spans_recorded) ||
+              !ParseU64(fields[3], &out->spans_dropped) || !ParseU64(fields[4], &base_ns)) {
+            return Status::Corrupt("malformed \\tracemeta{" + token.text + "}");
+          }
+          out->trace_enabled = enabled != 0;
+        } else if (token.type == "span") {
+          SpanRecord span{};
+          uint64_t start_rel = 0;
+          uint64_t depth = 0;
+          uint64_t thread = 0;
+          if (fields.size() != 6 || !ParseU64(fields[0], &span.seq) ||
+              !ParseU64(fields[1], &start_rel) || !ParseU64(fields[2], &span.duration_ns) ||
+              !ParseU64(fields[3], &depth) || !ParseU64(fields[4], &thread)) {
+            return Status::Corrupt("malformed \\span{" + token.text + "}");
+          }
+          span.start_ns = base_ns + start_rel;
+          span.depth = static_cast<uint16_t>(depth);
+          span.thread = static_cast<uint32_t>(thread);
+          size_t n = std::min(fields[5].size(), SpanRecord::kNameCapacity - 1);
+          std::memcpy(span.name, fields[5].data(), n);
+          span.name[n] = '\0';
+          out->spans.push_back(span);
+        } else if (token.type == "counter") {
+          CounterSample counter;
+          if (fields.size() != 2 || !ParseU64(fields[0], &counter.value)) {
+            return Status::Corrupt("malformed \\counter{" + token.text + "}");
+          }
+          counter.name = std::string(fields[1]);
+          out->counters.push_back(std::move(counter));
+        } else if (token.type == "gauge") {
+          GaugeSample gauge;
+          if (fields.size() != 2 || !ParseI64(fields[0], &gauge.value)) {
+            return Status::Corrupt("malformed \\gauge{" + token.text + "}");
+          }
+          gauge.name = std::string(fields[1]);
+          out->gauges.push_back(std::move(gauge));
+        } else if (token.type == "histo") {
+          HistogramSample histo;
+          if (fields.size() != 7 || !ParseU64(fields[0], &histo.count) ||
+              !ParseU64(fields[1], &histo.sum) || !ParseU64(fields[2], &histo.max) ||
+              !ParseU64(fields[3], &histo.p50) || !ParseU64(fields[4], &histo.p95) ||
+              !ParseU64(fields[5], &histo.p99)) {
+            return Status::Corrupt("malformed \\histo{" + token.text + "}");
+          }
+          histo.name = std::string(fields[6]);
+          out->histograms.push_back(std::move(histo));
+        }
+        // Unknown directives are skipped: a newer writer may add fields.
+        break;
+      }
+    }
+  }
+}
+
+std::string SnapshotToDatastream(const TraceSnapshot& snapshot) {
+  std::ostringstream out;
+  DataStreamWriter writer(out);
+  WriteTraceComponent(writer, snapshot);
+  return out.str();
+}
+
+Status SnapshotFromDatastream(std::string_view data, TraceSnapshot* out) {
+  DataStreamReader reader{std::string(data)};
+  while (true) {
+    DataStreamReader::Token token = reader.Next();
+    if (token.kind == DataStreamReader::Token::Kind::kEof) {
+      return Status::NotFound("no \\begindata{trace,...} object in input");
+    }
+    if (token.kind == DataStreamReader::Token::Kind::kBeginData) {
+      if (token.type == kTraceComponentType) {
+        return ReadTraceComponent(reader, out);
+      }
+      if (!reader.SkipObject(token.type, token.id)) {
+        return Status::Truncated("input ended while skipping a non-trace object");
+      }
+    }
+  }
+}
+
+}  // namespace observability
+}  // namespace atk

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <set>
 
+#include "src/observability/observability.h"
+
 namespace atk {
 namespace {
 
@@ -191,6 +193,26 @@ std::string AttemptedType(std::string_view slice) {
 
 }  // namespace
 
+void SalvageReport::PublishMetrics() const {
+  using observability::Counter;
+  using observability::MetricsRegistry;
+  static Counter& runs = MetricsRegistry::Instance().counter("salvage.run.completed");
+  static Counter& quarantined =
+      MetricsRegistry::Instance().counter("salvage.subtree.quarantined");
+  static Counter& closed = MetricsRegistry::Instance().counter("salvage.marker.closed");
+  static Counter& escaped = MetricsRegistry::Instance().counter("salvage.backslash.escaped");
+  static Counter& bytes = MetricsRegistry::Instance().counter("salvage.bytes.quarantined");
+  static Counter& roots = MetricsRegistry::Instance().counter("salvage.root.synthesized");
+  static Counter& resynced = MetricsRegistry::Instance().counter("salvage.stream.resynced");
+  runs.Add(1);
+  quarantined.Add(static_cast<uint64_t>(subtrees_quarantined));
+  closed.Add(static_cast<uint64_t>(markers_closed));
+  escaped.Add(static_cast<uint64_t>(backslashes_escaped));
+  bytes.Add(bytes_quarantined);
+  roots.Add(root_synthesized ? 1 : 0);
+  resynced.Add(static_cast<uint64_t>(resyncs()));
+}
+
 std::string SalvageReport::ToString() const {
   std::string out = clean ? "clean" : "salvaged";
   out += ": " + std::to_string(subtrees_quarantined) + " quarantined (" +
@@ -231,15 +253,19 @@ std::string DataStreamSalvager::UnescapeQuarantine(std::string_view body) {
   return out;
 }
 
-std::string DataStreamSalvager::Salvage(std::string_view input, SalvageReport* report) {
-  SalvageReport local;
-  SalvageReport& rep = report != nullptr ? *report : local;
+namespace {
+
+std::string RunSalvage(std::string_view input, SalvageReport& rep) {
   rep = SalvageReport{};
   if (input.empty()) {
     return "";
   }
 
-  std::vector<Item> items = ScanItems(input);
+  std::vector<Item> items = [&] {
+    ATK_TRACE_SPAN("salvage.phase.scan");
+    return ScanItems(input);
+  }();
+  ATK_TRACE_SPAN("salvage.phase.rebuild");
 
   struct Open {
     std::string type;
@@ -452,6 +478,19 @@ std::string DataStreamSalvager::Salvage(std::string_view input, SalvageReport* r
   emit_quarantines(&out);
   out += root_end;
   out += trailing;
+  return out;
+}
+
+}  // namespace
+
+std::string DataStreamSalvager::Salvage(std::string_view input, SalvageReport* report) {
+  ATK_TRACE_SPAN("salvage.run.total");
+  SalvageReport local;
+  SalvageReport& rep = report != nullptr ? *report : local;
+  std::string out = RunSalvage(input, rep);
+  // Single exit: every salvage path — clean, truncated, synthesized root —
+  // flows through here, so the metrics and the report are the same data.
+  rep.PublishMetrics();
   return out;
 }
 

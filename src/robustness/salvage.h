@@ -71,6 +71,17 @@ struct SalvageReport {
   bool root_synthesized = false;
   std::vector<SalvageAction> actions;
 
+  // Marker re-synchronizations performed: every point where the rebuild
+  // pass had to abandon byte-copying and realign on marker structure.
+  int resyncs() const { return markers_closed + subtrees_quarantined; }
+
+  // Publishes this report into the observability counters
+  // (salvage.subtree.quarantined, salvage.marker.closed, ...).  Called by
+  // DataStreamSalvager::Salvage on every run, from these same fields, so
+  // the report text and the metrics can never disagree
+  // (tests/test_observability.cc asserts the equivalence).
+  void PublishMetrics() const;
+
   Status status() const {
     return clean ? Status::Ok()
                  : Status::Corrupt("salvaged: " + std::to_string(subtrees_quarantined) +

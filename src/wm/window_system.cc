@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "src/class_system/loader.h"
+#include "src/observability/observability.h"
 
 namespace atk {
 
@@ -52,6 +53,9 @@ void WmWindow::InjectConnectionDrop() {
   }
   connected_ = false;
   ++drop_count_;
+  static observability::Counter& dropped =
+      observability::MetricsRegistry::Instance().counter("wm.connection.dropped");
+  dropped.Add(1);
   events_.clear();  // In-flight events died with the connection.
   OnConnectionDrop();
 }
@@ -62,6 +66,12 @@ void WmWindow::Reconnect() {
   }
   connected_ = true;
   ++reconnect_count_;
+  using observability::Counter;
+  using observability::MetricsRegistry;
+  static Counter& reconnected = MetricsRegistry::Instance().counter("wm.connection.reconnected");
+  static Counter& replayed = MetricsRegistry::Instance().counter("wm.expose.replayed");
+  reconnected.Add(1);
+  replayed.Add(1);
   OnReconnect();
   // The server has no memory of our contents: replay a full-window Expose
   // so the interaction manager repaints the whole view tree.

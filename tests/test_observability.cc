@@ -1,0 +1,446 @@
+// Observability: spans, metrics, snapshots, and the `trace` datastream
+// component (DESIGN.md §8).
+//
+// Ordering note: EnvToggle must run first — InitFromEnv reads the
+// environment exactly once per process, and later tests construct
+// InteractionManagers that call it.
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/standard_modules.h"
+#include "src/base/interaction_manager.h"
+#include "src/class_system/loader.h"
+#include "src/components/table/chart.h"
+#include "src/datastream/reader.h"
+#include "src/observability/observability.h"
+#include "src/observability/trace_component.h"
+#include "src/robustness/salvage.h"
+#include "src/wm/window_system.h"
+
+namespace atk {
+namespace {
+
+using observability::Counter;
+using observability::Histogram;
+using observability::MetricsRegistry;
+using observability::ScopedSpan;
+using observability::SpanRecord;
+using observability::Tracer;
+using observability::TraceSnapshot;
+
+uint64_t SpanEnd(const SpanRecord& s) { return s.start_ns + s.duration_ns; }
+
+TEST(Observability, EnvToggleEnablesTracingAndCapacity) {
+  ASSERT_FALSE(observability::Enabled()) << "tracing must start disabled";
+  setenv("ATK_TRACE", "1", 1);
+  setenv("ATK_TRACE_CAPACITY", "8192", 1);
+  observability::InitFromEnv();
+  EXPECT_TRUE(observability::Enabled());
+  EXPECT_EQ(Tracer::Instance().capacity(), 8192u);
+  // Disable again so the atexit dump stays quiet and later tests control
+  // the tracer themselves.
+  Tracer::Instance().SetEnabled(false);
+  EXPECT_FALSE(observability::Enabled());
+}
+
+TEST(Observability, DisabledTracerFastPath) {
+  static_assert(std::is_nothrow_constructible_v<ScopedSpan, std::string_view>,
+                "disabled-path ctor must be noexcept");
+  static_assert(sizeof(ScopedSpan) <= 64, "ScopedSpan must stay register/cache friendly");
+  static_assert(!std::is_copy_constructible_v<ScopedSpan>);
+  static_assert(!std::is_copy_assignable_v<ScopedSpan>);
+
+  Tracer& tracer = Tracer::Instance();
+  tracer.SetEnabled(false);
+  tracer.Clear();
+  uint64_t before = tracer.recorded();
+  for (int i = 0; i < 1000000; ++i) {
+    ScopedSpan span("never.recorded.span");
+  }
+  EXPECT_EQ(tracer.recorded(), before) << "disabled spans must not record";
+  EXPECT_TRUE(tracer.Collect().empty());
+}
+
+TEST(Observability, SpanNestingConcurrentThreads) {
+  constexpr int kThreads = 4;
+  constexpr int kReps = 50;
+  Tracer& tracer = Tracer::Instance();
+  tracer.SetCapacity(4096);
+  tracer.Clear();
+  tracer.SetEnabled(true);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kReps; ++i) {
+        ScopedSpan outer("nest.level.outer");
+        {
+          ScopedSpan mid("nest.level.mid");
+          { ScopedSpan inner("nest.level.inner"); }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  tracer.SetEnabled(false);
+
+  std::vector<SpanRecord> spans = tracer.Collect();
+  ASSERT_EQ(spans.size(), static_cast<size_t>(kThreads * kReps * 3));
+
+  // Collect() is seq-ordered; spans from different threads interleave, but
+  // per thread the completion order is strict: inner, mid, outer per rep.
+  std::map<uint32_t, std::vector<SpanRecord>> by_thread;
+  for (const SpanRecord& span : spans) {
+    by_thread[span.thread].push_back(span);
+  }
+  ASSERT_EQ(by_thread.size(), static_cast<size_t>(kThreads));
+  for (const auto& [thread, list] : by_thread) {
+    ASSERT_EQ(list.size(), static_cast<size_t>(kReps * 3));
+    for (int i = 0; i < kReps; ++i) {
+      const SpanRecord& inner = list[static_cast<size_t>(i) * 3];
+      const SpanRecord& mid = list[static_cast<size_t>(i) * 3 + 1];
+      const SpanRecord& outer = list[static_cast<size_t>(i) * 3 + 2];
+      EXPECT_EQ(inner.name_view(), "nest.level.inner");
+      EXPECT_EQ(mid.name_view(), "nest.level.mid");
+      EXPECT_EQ(outer.name_view(), "nest.level.outer");
+      // Children close before parents: strictly increasing seq.
+      EXPECT_LT(inner.seq, mid.seq);
+      EXPECT_LT(mid.seq, outer.seq);
+      // Depth is per-thread nesting at open.
+      EXPECT_EQ(outer.depth, 0);
+      EXPECT_EQ(mid.depth, 1);
+      EXPECT_EQ(inner.depth, 2);
+      // Interval containment: inner ⊆ mid ⊆ outer.
+      EXPECT_GE(inner.start_ns, mid.start_ns);
+      EXPECT_LE(SpanEnd(inner), SpanEnd(mid));
+      EXPECT_GE(mid.start_ns, outer.start_ns);
+      EXPECT_LE(SpanEnd(mid), SpanEnd(outer));
+    }
+  }
+}
+
+TEST(Observability, RingBufferDropsOldestKeepsAccounting) {
+  Tracer& tracer = Tracer::Instance();
+  tracer.SetCapacity(8);
+  tracer.Clear();
+  tracer.SetEnabled(true);
+  for (int i = 0; i < 20; ++i) {
+    ScopedSpan span("ring.span.close");
+  }
+  tracer.SetEnabled(false);
+  EXPECT_EQ(tracer.recorded(), 20u);
+  EXPECT_EQ(tracer.dropped(), 12u);
+  std::vector<SpanRecord> spans = tracer.Collect();
+  ASSERT_EQ(spans.size(), 8u);
+  // The retained spans are the newest, oldest-first.
+  EXPECT_EQ(spans.front().seq, 13u);
+  EXPECT_EQ(spans.back().seq, 20u);
+  tracer.SetCapacity(Tracer::kDefaultCapacity);
+}
+
+TEST(Observability, HistogramPercentileMatchesBruteForce) {
+  Histogram hist;
+  // Deterministic LCG covering several orders of magnitude.
+  uint64_t seed = 0x9e3779b97f4a7c15ull;
+  std::vector<uint64_t> values;
+  uint64_t expect_sum = 0;
+  uint64_t expect_max = 0;
+  for (int i = 0; i < 1000; ++i) {
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    uint64_t v = (seed >> 33) % 1000000;
+    values.push_back(v);
+    expect_sum += v;
+    expect_max = std::max(expect_max, v);
+    hist.Observe(v);
+  }
+  EXPECT_EQ(hist.count(), 1000u);
+  EXPECT_EQ(hist.sum(), expect_sum);
+  EXPECT_EQ(hist.max(), expect_max);
+
+  std::vector<uint64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (double p : {0.10, 0.50, 0.90, 0.95, 0.99, 1.00}) {
+    uint64_t rank = std::max<uint64_t>(1, static_cast<uint64_t>(p * sorted.size()));
+    uint64_t brute = sorted[rank - 1];
+    uint64_t approx = hist.Percentile(p);
+    // Power-of-two buckets: the true value v satisfies v <= approx < 2v.
+    EXPECT_GE(approx, brute) << "p=" << p;
+    EXPECT_LT(approx, 2 * brute + 2) << "p=" << p;
+  }
+  EXPECT_EQ(hist.Percentile(1.0), hist.max());
+
+  hist.Reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.Percentile(0.5), 0u);
+}
+
+TEST(Observability, HistogramBucketBounds) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 7u);
+  for (uint64_t v : {1ull, 7ull, 1000ull, 123456789ull}) {
+    uint64_t upper = Histogram::BucketUpperBound(Histogram::BucketIndex(v));
+    EXPECT_GE(upper, v);
+    EXPECT_LT(upper, 2 * v);
+  }
+}
+
+TEST(Observability, TraceComponentRoundTrip) {
+  Tracer& tracer = Tracer::Instance();
+  tracer.Clear();
+  tracer.SetEnabled(true);
+  {
+    ScopedSpan outer("roundtrip.span.outer");
+    ScopedSpan inner("roundtrip.span.inner");
+  }
+  tracer.SetEnabled(false);
+  MetricsRegistry::Instance().counter("roundtrip.counter.test").Add(42);
+  MetricsRegistry::Instance().gauge("roundtrip.gauge.test").Set(-7);
+  Histogram& hist = MetricsRegistry::Instance().histogram("roundtrip.histo.test");
+  hist.Reset();
+  for (uint64_t v : {1ull, 10ull, 100ull, 1000ull}) {
+    hist.Observe(v);
+  }
+
+  TraceSnapshot original = observability::Snapshot();
+  ASSERT_GE(original.spans.size(), 2u);
+  std::string serialized = observability::SnapshotToDatastream(original);
+
+  // The serialized trace is an ordinary §5 object: it parses cleanly.
+  {
+    DataStreamReader reader{serialized};
+    for (DataStreamReader::Token token = reader.Next();
+         token.kind != DataStreamReader::Token::Kind::kEof; token = reader.Next()) {
+    }
+    EXPECT_TRUE(reader.diagnostics().empty());
+  }
+
+  TraceSnapshot back;
+  Status status = observability::SnapshotFromDatastream(serialized, &back);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(back.trace_enabled, original.trace_enabled);
+  EXPECT_EQ(back.spans_recorded, original.spans_recorded);
+  EXPECT_EQ(back.spans_dropped, original.spans_dropped);
+  ASSERT_EQ(back.spans.size(), original.spans.size());
+  for (size_t i = 0; i < original.spans.size(); ++i) {
+    EXPECT_EQ(back.spans[i].name_view(), original.spans[i].name_view());
+    EXPECT_EQ(back.spans[i].start_ns, original.spans[i].start_ns);
+    EXPECT_EQ(back.spans[i].duration_ns, original.spans[i].duration_ns);
+    EXPECT_EQ(back.spans[i].seq, original.spans[i].seq);
+    EXPECT_EQ(back.spans[i].thread, original.spans[i].thread);
+    EXPECT_EQ(back.spans[i].depth, original.spans[i].depth);
+  }
+  ASSERT_EQ(back.counters.size(), original.counters.size());
+  for (size_t i = 0; i < original.counters.size(); ++i) {
+    EXPECT_EQ(back.counters[i].name, original.counters[i].name);
+    EXPECT_EQ(back.counters[i].value, original.counters[i].value);
+  }
+  ASSERT_EQ(back.gauges.size(), original.gauges.size());
+  for (size_t i = 0; i < original.gauges.size(); ++i) {
+    EXPECT_EQ(back.gauges[i].name, original.gauges[i].name);
+    EXPECT_EQ(back.gauges[i].value, original.gauges[i].value);
+  }
+  ASSERT_EQ(back.histograms.size(), original.histograms.size());
+  for (size_t i = 0; i < original.histograms.size(); ++i) {
+    EXPECT_EQ(back.histograms[i].name, original.histograms[i].name);
+    EXPECT_EQ(back.histograms[i].count, original.histograms[i].count);
+    EXPECT_EQ(back.histograms[i].sum, original.histograms[i].sum);
+    EXPECT_EQ(back.histograms[i].max, original.histograms[i].max);
+    EXPECT_EQ(back.histograms[i].p50, original.histograms[i].p50);
+    EXPECT_EQ(back.histograms[i].p95, original.histograms[i].p95);
+    EXPECT_EQ(back.histograms[i].p99, original.histograms[i].p99);
+  }
+
+  // And it survives the salvager untouched, like any healthy component.
+  SalvageReport report;
+  std::string salvaged = DataStreamSalvager().Salvage(serialized, &report);
+  EXPECT_EQ(salvaged, serialized);
+  EXPECT_TRUE(report.clean);
+}
+
+TEST(Observability, SalvageReportMetricsEquivalence) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  registry.ResetAll();
+  // Truncated stream with a stray backslash: markers get closed and the
+  // lone backslash is escaped.
+  std::string damaged = "\\begindata{text,1}\nhello \\ world\n\\begindata{text,2}\nnested\n";
+  SalvageReport report;
+  std::string repaired = DataStreamSalvager().Salvage(damaged, &report);
+  EXPECT_FALSE(report.clean);
+  ASSERT_FALSE(repaired.empty());
+
+  // The counters were published from the same report fields — they can
+  // never disagree with the text rendering.
+  EXPECT_EQ(registry.counter("salvage.run.completed").value(), 1u);
+  EXPECT_EQ(registry.counter("salvage.subtree.quarantined").value(),
+            static_cast<uint64_t>(report.subtrees_quarantined));
+  EXPECT_EQ(registry.counter("salvage.marker.closed").value(),
+            static_cast<uint64_t>(report.markers_closed));
+  EXPECT_EQ(registry.counter("salvage.backslash.escaped").value(),
+            static_cast<uint64_t>(report.backslashes_escaped));
+  EXPECT_EQ(registry.counter("salvage.bytes.quarantined").value(), report.bytes_quarantined);
+  EXPECT_EQ(registry.counter("salvage.root.synthesized").value(),
+            report.root_synthesized ? 1u : 0u);
+  EXPECT_EQ(registry.counter("salvage.stream.resynced").value(),
+            static_cast<uint64_t>(report.resyncs()));
+  EXPECT_EQ(report.resyncs(), report.markers_closed + report.subtrees_quarantined);
+}
+
+// A host giving every child a slot (mirrors the bench_update workload).
+class GridHost : public View {
+ public:
+  void Layout() override {
+    if (graphic() == nullptr || children().empty()) {
+      return;
+    }
+    Rect b = graphic()->LocalBounds();
+    int n = static_cast<int>(children().size());
+    int cw = std::max(8, b.width / n);
+    for (int i = 0; i < n; ++i) {
+      children()[static_cast<size_t>(i)]->Allocate(Rect{i * cw, 0, cw, b.height}, graphic());
+    }
+  }
+};
+
+TEST(Observability, CoalescedUpdatePassTrace) {
+  RegisterStandardModules();
+  Loader::Instance().Require("text");
+  Loader::Instance().Require("table");
+
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  registry.ResetAll();
+  Tracer& tracer = Tracer::Instance();
+  tracer.Clear();
+  tracer.SetEnabled(true);
+
+  // The §2 auxiliary-object chain: table -> ChartData -> two chart views.
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  auto im = InteractionManager::Create(*ws, 400, 200, "charts");
+  TableData table;
+  table.Resize(6, 2);
+  for (int r = 0; r < 6; ++r) {
+    table.SetText(r, 0, "row" + std::to_string(r));
+    table.SetNumber(r, 1, r * 10 + 5);
+  }
+  ChartData chart;
+  chart.SetSource(&table);
+  GridHost host;
+  PieChartView pie;
+  BarChartView bar;
+  pie.SetDataObject(&chart);
+  bar.SetDataObject(&chart);
+  host.AddChild(&pie);
+  host.AddChild(&bar);
+  im->SetChild(&host);
+  im->RunOnce();
+  // Several scattered edits, one coalesced cycle.
+  table.SetNumber(2, 1, 99);
+  table.SetNumber(4, 1, 7);
+  im->RunOnce();
+  tracer.SetEnabled(false);
+
+  std::vector<SpanRecord> spans = tracer.Collect();
+  int cycles = 0;
+  int view_updates = 0;
+  std::vector<std::string> cycle_children;
+  for (const SpanRecord& span : spans) {
+    if (span.name_view() == "im.update.cycle") {
+      ++cycles;
+      EXPECT_EQ(span.depth, 0);
+    } else if (span.name_view().substr(0, 7) == "update.") {
+      ++view_updates;
+      EXPECT_GE(span.depth, 1) << "per-view spans nest inside the cycle span";
+      cycle_children.emplace_back(span.name_view());
+    }
+  }
+  EXPECT_GE(cycles, 1) << "at least one coalesced update pass";
+  EXPECT_GE(view_updates, 2) << "both chart views updated inside the pass";
+  EXPECT_NE(std::find(cycle_children.begin(), cycle_children.end(), "update.piechartview"),
+            cycle_children.end());
+  EXPECT_NE(std::find(cycle_children.begin(), cycle_children.end(), "update.barchartview"),
+            cycle_children.end());
+
+  TraceSnapshot snap = observability::Snapshot();
+  auto counter = [&snap](std::string_view name) -> uint64_t {
+    for (const auto& sample : snap.counters) {
+      if (sample.name == name) {
+        return sample.value;
+      }
+    }
+    return 0;
+  };
+  EXPECT_GE(counter("im.update.run"), 1u);
+  EXPECT_GE(counter("im.view.updated"), 2u);
+  EXPECT_GE(counter("view.update.posted"), 1u);
+  // Coalescing can only merge damage: rects processed never exceed posts.
+  EXPECT_LE(counter("im.damage.coalesced"), counter("im.damage.posted"));
+
+  pie.SetDataObject(nullptr);
+  bar.SetDataObject(nullptr);
+}
+
+TEST(Observability, MetricNamingConvention) {
+  // Every registered metric follows `layer.noun.verb`: exactly three
+  // non-empty lower-case [a-z0-9_] segments joined by dots.
+  auto well_formed = [](const std::string& name) {
+    int segments = 1;
+    size_t run = 0;
+    for (char c : name) {
+      if (c == '.') {
+        if (run == 0) {
+          return false;
+        }
+        ++segments;
+        run = 0;
+      } else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_') {
+        ++run;
+      } else {
+        return false;
+      }
+    }
+    return run > 0 && segments == 3;
+  };
+  TraceSnapshot snap = observability::Snapshot();
+  EXPECT_FALSE(snap.counters.empty());
+  for (const auto& sample : snap.counters) {
+    EXPECT_TRUE(well_formed(sample.name)) << "counter: " << sample.name;
+  }
+  for (const auto& sample : snap.gauges) {
+    EXPECT_TRUE(well_formed(sample.name)) << "gauge: " << sample.name;
+  }
+  for (const auto& sample : snap.histograms) {
+    EXPECT_TRUE(well_formed(sample.name)) << "histogram: " << sample.name;
+  }
+}
+
+TEST(Observability, ToTextRendersEverySection) {
+  Tracer& tracer = Tracer::Instance();
+  tracer.Clear();
+  tracer.SetEnabled(true);
+  { ScopedSpan span("totext.span.demo"); }
+  tracer.SetEnabled(false);
+  MetricsRegistry::Instance().counter("totext.counter.demo").Add(3);
+  std::string text = observability::ToText(observability::Snapshot());
+  EXPECT_NE(text.find("totext.span.demo"), std::string::npos);
+  EXPECT_NE(text.find("totext.counter.demo"), std::string::npos);
+  EXPECT_NE(text.find("spans"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace atk
