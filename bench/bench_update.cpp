@@ -150,6 +150,126 @@ void BM_DamageCoalescingNPosts(benchmark::State& state) {
 }
 BENCHMARK(BM_DamageCoalescingNPosts)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
 
+// ---- Thousand-rect region storm -------------------------------------------
+//
+// The scenario that motivated banding: a storm of small scattered damage
+// rects accumulated into one region, then queried.  FlatBaseline is the
+// pre-banding algorithm (disjoint rect vector, each Add subtracting every
+// existing rect piecewise) kept verbatim as the comparison point.
+
+class FlatRegion {
+ public:
+  void Add(const Rect& rect) {
+    if (rect.IsEmpty()) {
+      return;
+    }
+    std::vector<Rect> pending = {rect};
+    for (const Rect& existing : rects_) {
+      std::vector<Rect> next;
+      for (const Rect& piece : pending) {
+        AppendDifference(piece, existing, next);
+      }
+      pending = std::move(next);
+      if (pending.empty()) {
+        return;
+      }
+    }
+    rects_.insert(rects_.end(), pending.begin(), pending.end());
+  }
+
+  int64_t Area() const {
+    int64_t area = 0;
+    for (const Rect& r : rects_) {
+      area += r.Area();
+    }
+    return area;
+  }
+
+  size_t rect_count() const { return rects_.size(); }
+
+ private:
+  static void AppendDifference(const Rect& victim, const Rect& cut, std::vector<Rect>& out) {
+    Rect overlap = victim.Intersect(cut);
+    if (overlap.IsEmpty()) {
+      out.push_back(victim);
+      return;
+    }
+    if (overlap.y > victim.y) {
+      out.push_back(Rect::FromCorners(victim.left(), victim.top(), victim.right(), overlap.top()));
+    }
+    if (overlap.bottom() < victim.bottom()) {
+      out.push_back(
+          Rect::FromCorners(victim.left(), overlap.bottom(), victim.right(), victim.bottom()));
+    }
+    if (overlap.left() > victim.left()) {
+      out.push_back(
+          Rect::FromCorners(victim.left(), overlap.top(), overlap.left(), overlap.bottom()));
+    }
+    if (overlap.right() < victim.right()) {
+      out.push_back(
+          Rect::FromCorners(overlap.right(), overlap.top(), victim.right(), overlap.bottom()));
+    }
+  }
+
+  std::vector<Rect> rects_;
+};
+
+std::vector<Rect> StormRects(int n) {
+  std::vector<Rect> rects;
+  rects.reserve(static_cast<size_t>(n));
+  uint64_t seed = 0x5f3759df;
+  auto next = [&seed]() {
+    seed ^= seed << 13;
+    seed ^= seed >> 7;
+    seed ^= seed << 17;
+    return seed;
+  };
+  for (int i = 0; i < n; ++i) {
+    int x = static_cast<int>(next() % 2000);
+    int y = static_cast<int>(next() % 2000);
+    int w = 8 + static_cast<int>(next() % 48);
+    int h = 8 + static_cast<int>(next() % 48);
+    rects.push_back(Rect{x, y, w, h});
+  }
+  return rects;
+}
+
+void BM_RegionStorm_Banded(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::vector<Rect> rects = StormRects(n);
+  size_t final_rects = 0;
+  for (auto _ : state) {
+    Region region;
+    for (const Rect& r : rects) {
+      region.Add(r);
+    }
+    int64_t area = region.Area();
+    benchmark::DoNotOptimize(area);
+    final_rects = region.rect_count();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["final_rects"] = static_cast<double>(final_rects);
+}
+BENCHMARK(BM_RegionStorm_Banded)->Arg(100)->Arg(1000);
+
+void BM_RegionStorm_FlatBaseline(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::vector<Rect> rects = StormRects(n);
+  size_t final_rects = 0;
+  for (auto _ : state) {
+    FlatRegion region;
+    for (const Rect& r : rects) {
+      region.Add(r);
+    }
+    int64_t area = region.Area();
+    benchmark::DoNotOptimize(area);
+    final_rects = region.rect_count();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["final_rects"] = static_cast<double>(final_rects);
+}
+BENCHMARK(BM_RegionStorm_FlatBaseline)->Arg(100)->Arg(1000);
+
 void BM_ObserverAddRemove(benchmark::State& state) {
   Setup();
   TextData data;

@@ -221,6 +221,32 @@ void BM_Dispatch_GlobalPhysicalByFanout(benchmark::State& state) {
 }
 BENCHMARK(BM_Dispatch_GlobalPhysicalByFanout)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
+// Thousand-rect damage storm through the F1 tree: a storm of scattered
+// PostUpdates coalesces into one banded damage region, then one update pass
+// walks the tree against it (the clip-memo path for the unchanged views).
+void BM_Figure1_DamageStorm(benchmark::State& state) {
+  Figure1 fig;
+  int posts = static_cast<int>(state.range(0));
+  uint64_t seed = 0x9e3779b9;
+  auto next = [&seed]() {
+    seed ^= seed << 13;
+    seed ^= seed >> 7;
+    seed ^= seed << 17;
+    return seed;
+  };
+  for (auto _ : state) {
+    for (int i = 0; i < posts; ++i) {
+      int x = static_cast<int>(next() % 400);
+      int y = static_cast<int>(next() % 240);
+      fig.text_view.PostUpdate(Rect{x, y, 12, 10});
+    }
+    fig.im->RunOnce();
+  }
+  state.SetItemsProcessed(state.iterations() * posts);
+  state.counters["posts_per_cycle"] = posts;
+}
+BENCHMARK(BM_Figure1_DamageStorm)->Arg(1000);
+
 BENCHMARK(BM_Figure1_MouseEventThroughTree);
 BENCHMARK(BM_Figure1_KeystrokeToFocusView);
 BENCHMARK(BM_Figure1_FullUpdateCycle);

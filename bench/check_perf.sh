@@ -1,0 +1,62 @@
+#!/bin/sh
+# Perf-regression guard for the region storm (ctest label "perf").
+#
+#   bench/check_perf.sh [BUILD_DIR] [BASELINE]
+#
+# Runs the banded thousand-rect storm from bench_update and fails when it is
+# more than 20% slower than the checked-in baseline (bench/perf_baseline.json,
+# derived from BENCH_RESULTS.json on the recording machine).  Benchmarks are
+# noisy on loaded machines, so up to 3 attempts are made and any single run
+# within the limit passes.  ATK_SKIP_PERF=1 skips (exit 77, ctest's
+# SKIP_RETURN_CODE).
+set -eu
+
+if [ "${ATK_SKIP_PERF:-0}" = "1" ]; then
+  echo "check_perf.sh: ATK_SKIP_PERF=1, skipping perf guard" >&2
+  exit 77
+fi
+
+BUILD_DIR="${1:-build}"
+BASELINE="${2:-$(dirname "$0")/perf_baseline.json}"
+METRIC="BM_RegionStorm_Banded/1000"
+BIN="$BUILD_DIR/bench/bench_update"
+
+if [ ! -x "$BIN" ]; then
+  echo "check_perf.sh: missing bench binary $BIN (build the project first)" >&2
+  exit 1
+fi
+if [ ! -f "$BASELINE" ]; then
+  echo "check_perf.sh: missing baseline $BASELINE" >&2
+  exit 1
+fi
+
+base_ns="$(grep -o '"value_ns"[[:space:]]*:[[:space:]]*[0-9.eE+-]*' "$BASELINE" \
+  | head -1 | sed 's/.*://; s/[[:space:]]//g')"
+if [ -z "$base_ns" ]; then
+  echo "check_perf.sh: no value_ns in $BASELINE" >&2
+  exit 1
+fi
+limit_ns="$(awk -v b="$base_ns" 'BEGIN { printf "%.0f", b * 1.2 }')"
+
+attempt=1
+while [ "$attempt" -le 3 ]; do
+  line="$("$BIN" --benchmark_filter="^${METRIC}\$" --benchmark_min_time=0.05 \
+      --benchmark_color=false | grep -o '{"bench":.*}' | head -1 || true)"
+  value="$(printf '%s\n' "$line" \
+    | grep -o '"value":[0-9.eE+-]*' | head -1 | cut -d: -f2)"
+  if [ -z "$value" ]; then
+    echo "check_perf.sh: attempt $attempt produced no measurement for $METRIC" >&2
+    attempt=$((attempt + 1))
+    continue
+  fi
+  echo "check_perf.sh: attempt $attempt: $METRIC = ${value} ns (limit ${limit_ns} ns," \
+    "baseline ${base_ns} ns)" >&2
+  if awk -v v="$value" -v lim="$limit_ns" 'BEGIN { exit !(v <= lim) }'; then
+    echo "check_perf.sh: PASS" >&2
+    exit 0
+  fi
+  attempt=$((attempt + 1))
+done
+
+echo "check_perf.sh: FAIL: $METRIC regressed >20% vs baseline after 3 attempts" >&2
+exit 1

@@ -7,11 +7,16 @@
 # BUILD_DIR defaults to "build", OUTPUT to "BENCH_RESULTS.json".  Uses a
 # small --benchmark_min_time so the full sweep finishes in seconds; pass
 # ATK_BENCH_MIN_TIME=0.5 (or similar) for steadier numbers.
+#
+# Exits non-zero when a bench binary is missing (expected set = the
+# bench_*.cpp sources next to this script), crashes, or contributes no
+# measurements — a silent hole in BENCH_RESULTS.json is a failure.
 set -eu
 
 BUILD_DIR="${1:-build}"
 OUTPUT="${2:-BENCH_RESULTS.json}"
 MIN_TIME="${ATK_BENCH_MIN_TIME:-0.01}"
+SRC_DIR="$(dirname "$0")"
 
 if [ ! -d "$BUILD_DIR/bench" ]; then
   echo "run_all.sh: no $BUILD_DIR/bench directory (build the project first)" >&2
@@ -19,21 +24,30 @@ if [ ! -d "$BUILD_DIR/bench" ]; then
 fi
 
 tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
+raw="$(mktemp)"
+trap 'rm -f "$tmp" "$raw"' EXIT
 
 status=0
-for bin in "$BUILD_DIR"/bench/bench_*; do
-  [ -x "$bin" ] || continue
-  name="$(basename "$bin")"
+for src in "$SRC_DIR"/bench_*.cpp; do
+  name="$(basename "$src" .cpp)"
+  bin="$BUILD_DIR/bench/$name"
+  if [ ! -x "$bin" ]; then
+    echo "run_all.sh: missing bench binary $bin" >&2
+    status=1
+    continue
+  fi
   echo "== $name" >&2
+  # Run the binary first so its real exit status is observed (a pipeline
+  # would report grep's status instead and mask a crash).
+  if ! "$bin" --benchmark_min_time="$MIN_TIME" --benchmark_color=false > "$raw"; then
+    echo "run_all.sh: $name exited non-zero" >&2
+    status=1
+    continue
+  fi
   before="$(wc -l < "$tmp")"
   # Console table goes to stderr-visible log; JSON lines are extracted from
   # stdout (benchmark's color codes may prefix them, hence grep -o).
-  if ! "$bin" --benchmark_min_time="$MIN_TIME" --benchmark_color=false \
-      | grep -o '{"bench":.*}' >> "$tmp"; then
-    echo "run_all.sh: $name produced no JSON lines" >&2
-    status=1
-  fi
+  grep -o '{"bench":.*}' "$raw" >> "$tmp" || true
   after="$(wc -l < "$tmp")"
   if [ "$after" -eq "$before" ]; then
     echo "run_all.sh: $name contributed no measurements" >&2

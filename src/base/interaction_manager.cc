@@ -271,21 +271,25 @@ void InteractionManager::RunUpdateCycle() {
   ATK_TRACE_SPAN("im.update.cycle");
   static Counter& cycles = MetricsRegistry::Instance().counter("im.update.run");
   static Counter& coalesced = MetricsRegistry::Instance().counter("im.damage.coalesced");
+  static observability::Histogram& bands =
+      MetricsRegistry::Instance().histogram("graphics.region.bands");
   cycles.Add(1);
   coalesced.Add(damage_.rect_count());
+  bands.Observe(damage_.band_count());
   ++stats_.update_cycles;
   Region damage = damage_;
   damage_.Clear();
+  uint64_t damage_fp = damage.Fingerprint();
   View* c = child();
   if (c != nullptr) {
-    UpdatePass(*c, damage);
+    UpdatePass(*c, damage, damage_fp);
   }
   if (popup_ != nullptr) {
-    UpdatePass(*popup_, damage);  // Painted last: the menu overlays the app.
+    UpdatePass(*popup_, damage, damage_fp);  // Painted last: the menu overlays the app.
   }
 }
 
-void InteractionManager::UpdatePass(View& view, const Region& damage) {
+void InteractionManager::UpdatePass(View& view, const Region& damage, uint64_t damage_fp) {
   if (!view.HasGraphic()) {
     return;
   }
@@ -297,8 +301,20 @@ void InteractionManager::UpdatePass(View& view, const Region& damage) {
   static Counter& views_updated = MetricsRegistry::Instance().counter("im.view.updated");
   views_updated.Add(1);
   // Clip the view's drawing to the damaged part of its allocation, so a
-  // repaint cannot disturb pixels outside the coalesced damage.
-  Rect damage_local = damage.Bounds().Intersect(device).Translated(-device.x, -device.y);
+  // repaint cannot disturb pixels outside the coalesced damage.  The clip is
+  // the bounds of damage ∩ allocation (tighter than bounding-box ∩
+  // allocation for banded damage); a view whose allocation and damage both
+  // match the previous cycle reuses last cycle's intersection.
+  static Counter& clip_reuse = MetricsRegistry::Instance().counter("im.update.clip_reuse");
+  Rect damage_local;
+  if (clip_memo_enabled_ && view.clip_memo_.valid && view.clip_memo_.damage_fp == damage_fp &&
+      view.clip_memo_.device == device) {
+    damage_local = view.clip_memo_.clip_local;
+    clip_reuse.Add(1);
+  } else {
+    damage_local = damage.BoundsWithin(device).Translated(-device.x, -device.y);
+    view.clip_memo_ = View::ClipMemo{damage_fp, device, damage_local, true};
+  }
   view.graphic()->PushClip(damage_local);
   {
     // Per-view-class repaint span nested inside im.update.cycle; the name
@@ -308,7 +324,7 @@ void InteractionManager::UpdatePass(View& view, const Region& damage) {
   }
   view.graphic()->PopClip();
   for (View* child : view.children()) {
-    UpdatePass(*child, damage);
+    UpdatePass(*child, damage, damage_fp);
   }
 }
 

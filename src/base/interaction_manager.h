@@ -105,6 +105,11 @@ class InteractionManager : public View {
   void SetDispatchMode(DispatchMode mode) { dispatch_mode_ = mode; }
   DispatchMode dispatch_mode() const { return dispatch_mode_; }
 
+  // Per-view damage-clip memoization in the update pass (im.update.clip_reuse).
+  // On by default; the differential repaint test runs both ways.
+  void SetClipMemoEnabled(bool enabled) { clip_memo_enabled_ = enabled; }
+  bool clip_memo_enabled() const { return clip_memo_enabled_; }
+
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats{}; }
 
@@ -119,7 +124,7 @@ class InteractionManager : public View {
   void DispatchKey(const InputEvent& event);
   View* GlobalPhysicalPick(Point window_pos, InputEvent event);
   void ReallocateChild();
-  void UpdatePass(View& view, const Region& damage);
+  void UpdatePass(View& view, const Region& damage, uint64_t damage_fp);
 
   std::unique_ptr<WmWindow> window_;
   std::vector<std::unique_ptr<Object>> owned_;
@@ -131,6 +136,7 @@ class InteractionManager : public View {
   Point last_mouse_pos_;
   KeyState key_state_;
   DispatchMode dispatch_mode_ = DispatchMode::kParental;
+  bool clip_memo_enabled_ = true;
   Stats stats_;
 };
 

@@ -130,11 +130,26 @@ class View : public Object, public Observer {
   static InputEvent TranslateToChild(const InputEvent& event, const View& child);
 
  private:
+  friend class InteractionManager;
+
+  // Per-view damage-clip memo, maintained by the interaction manager's
+  // update pass: when this view's device bounds and the cycle's damage
+  // region both match the previous cycle, the computed clip intersection is
+  // reused (counted as im.update.clip_reuse).  Living inside the view keeps
+  // the cache lifetime exactly the view's lifetime — no stale-pointer maps.
+  struct ClipMemo {
+    uint64_t damage_fp = 0;
+    Rect device;
+    Rect clip_local;
+    bool valid = false;
+  };
+
   View* parent_ = nullptr;
   std::vector<View*> children_;
   DataObject* data_object_ = nullptr;
   Rect bounds_;
   std::unique_ptr<Graphic> graphic_;
+  ClipMemo clip_memo_;
   CursorShape preferred_cursor_ = CursorShape::kArrow;
   bool has_input_focus_ = false;
 };

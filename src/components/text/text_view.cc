@@ -1,11 +1,21 @@
 #include "src/components/text/text_view.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "src/class_system/loader.h"
 #include "src/components/frame/unknown_view.h"
+#include "src/observability/observability.h"
 
 namespace atk {
+
+namespace {
+bool g_layout_cache_enabled = true;
+}  // namespace
+
+void TextView::SetLayoutCacheEnabled(bool enabled) { g_layout_cache_enabled = enabled; }
+
+bool TextView::layout_cache_enabled() { return g_layout_cache_enabled; }
 
 ATK_DEFINE_CLASS(TextView, View, "textview")
 
@@ -30,6 +40,15 @@ std::string& TextView::KillBuffer() {
 
 void TextView::MarkDirty() {
   needs_layout_ = true;
+  layout_all_dirty_ = true;
+  PostUpdate();
+}
+
+void TextView::MarkDirtyFrom(int64_t pos) {
+  needs_layout_ = true;
+  if (!layout_all_dirty_) {
+    dirty_from_pos_ = std::min(dirty_from_pos_, pos);
+  }
   PostUpdate();
 }
 
@@ -46,7 +65,19 @@ void TextView::ObservedChanged(Observable* changed, const Change& change) {
   }
   dot_pos_ = std::clamp<int64_t>(dot_pos_, 0, limit);
   dot_len_ = std::clamp<int64_t>(dot_len_, 0, limit - dot_pos_);
-  MarkDirty();
+  // Positional changes invalidate layout only from the change onward; an
+  // unspecified kModified invalidates everything.
+  switch (change.kind) {
+    case Change::Kind::kInserted:
+    case Change::Kind::kDeleted:
+    case Change::Kind::kReplaced:
+    case Change::Kind::kAttributes:
+      MarkDirtyFrom(change.pos);
+      break;
+    default:
+      MarkDirty();
+      break;
+  }
 }
 
 // ---- Caret & selection ---------------------------------------------------
@@ -279,6 +310,12 @@ Size TextView::DesiredSize(Size available) {
   if (data == nullptr) {
     return Size{60, 20};
   }
+  // Measurement memo: re-walking the whole document is linear in its size,
+  // so skip it when neither the document nor the offered space has changed.
+  if (measured_valid_ && measured_data_ == data &&
+      measured_mod_time_ == data->modification_time() && measured_available_ == available) {
+    return measured_result_;
+  }
   // Measure without wrapping: width of the longest line, total line heights.
   int max_width = 0;
   int total_height = 0;
@@ -313,6 +350,11 @@ Size TextView::DesiredSize(Size available) {
   if (available.height > 0) {
     desired.height = std::min(desired.height, available.height);
   }
+  measured_data_ = data;
+  measured_mod_time_ = data->modification_time();
+  measured_available_ = available;
+  measured_result_ = desired;
+  measured_valid_ = true;
   return desired;
 }
 
@@ -372,9 +414,10 @@ void TextView::EnsureLayout() {
 void TextView::LayoutLines() {
   needs_layout_ = false;
   ++layout_count_;
-  lines_.clear();
   TextData* data = text();
   if (data == nullptr || graphic() == nullptr) {
+    lines_.clear();
+    layout_all_dirty_ = true;
     return;
   }
   PruneStaleChildren();
@@ -386,6 +429,35 @@ void TextView::LayoutLines() {
   int64_t pos = data->LineStart(std::min(top_pos_, data->size()));
   top_pos_ = pos;
   const int64_t doc_size = data->size();
+
+  // Damage-aware prefix reuse: lines that end strictly before the first
+  // dirty position, laid out against the same geometry and scroll origin,
+  // are still valid.  Back off one extra line because word wrap can pull
+  // characters backwards across a single line boundary.  Kept lines contain
+  // only content before the edit, so their segment style/child pointers are
+  // still live (styles live in a std::map; a deleted anchor lands at or
+  // after the change position and is therefore never in a kept line).
+  size_t keep = 0;
+  if (layout_cache_enabled() && !layout_all_dirty_ && laid_width_ == view_width &&
+      laid_height_ == view_height && laid_top_pos_ == pos && !lines_.empty()) {
+    while (keep < lines_.size() && lines_[keep].end < dirty_from_pos_) {
+      ++keep;
+    }
+    if (keep > 0) {
+      --keep;
+    }
+  }
+  if (keep > 0) {
+    static observability::Counter& cache_hits =
+        observability::MetricsRegistry::Instance().counter("text.layout.cache_hit");
+    cache_hits.Add(keep);
+    layout_lines_reused_ += keep;
+    pos = lines_[keep].start;
+    y = lines_[keep].y - data->StyleAt(pos).space_above;
+    lines_.resize(keep);
+  } else {
+    lines_.clear();
+  }
 
   while (y < view_height && pos <= doc_size) {
     LineBox line;
@@ -519,6 +591,12 @@ void TextView::LayoutLines() {
       }
     }
   }
+
+  laid_width_ = view_width;
+  laid_height_ = view_height;
+  laid_top_pos_ = top_pos_;
+  layout_all_dirty_ = false;
+  dirty_from_pos_ = std::numeric_limits<int64_t>::max();
 }
 
 // ---- Painting ---------------------------------------------------------------------

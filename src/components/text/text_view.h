@@ -95,6 +95,15 @@ class TextView : public View, public Scrollable {
 
   // Layout statistics for the benches.
   uint64_t layout_count() const { return layout_count_; }
+  // Visual lines reused (not re-measured) across all layouts so far.
+  uint64_t layout_lines_reused() const { return layout_lines_reused_; }
+
+  // Damage-aware layout cache: an edit at position p re-measures only lines
+  // from one line above p; lines wholly before it are reused verbatim
+  // (counted as text.layout.cache_hit).  On by default; the differential
+  // repaint test runs both ways.  Process-wide, like the kill buffer.
+  static void SetLayoutCacheEnabled(bool enabled);
+  static bool layout_cache_enabled();
 
  protected:
   // One styled run (or one embedded child) on a visual line.
@@ -119,6 +128,8 @@ class TextView : public View, public Scrollable {
   void LayoutLines();
   void EnsureLayout();
   void MarkDirty();
+  // Partial invalidation: layout before document position `pos` stays valid.
+  void MarkDirtyFrom(int64_t pos);
 
   const std::vector<LineBox>& lines() const { return lines_; }
 
@@ -146,6 +157,26 @@ class TextView : public View, public Scrollable {
   std::map<uint64_t, std::unique_ptr<View>> child_views_;
   bool needs_layout_ = true;
   uint64_t layout_count_ = 0;
+  uint64_t layout_lines_reused_ = 0;
+
+  // Layout-cache bookkeeping: the first document position whose layout may
+  // be stale (INT64_MAX = everything laid out is valid), and the geometry
+  // the cached lines were laid out against.  A geometry or scroll change
+  // invalidates everything; an edit invalidates from one line above it
+  // (word wrap can pull characters back across at most one line boundary).
+  int64_t dirty_from_pos_ = 0;
+  bool layout_all_dirty_ = true;
+  int laid_width_ = -1;
+  int laid_height_ = -1;
+  int64_t laid_top_pos_ = -1;
+
+  // DesiredSize measurement memo, keyed on the data object's modification
+  // clock and the offered size.
+  const TextData* measured_data_ = nullptr;
+  uint64_t measured_mod_time_ = 0;
+  Size measured_available_;
+  Size measured_result_;
+  bool measured_valid_ = false;
 };
 
 }  // namespace atk

@@ -1,158 +1,497 @@
 #include "src/graphics/region.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace atk {
-namespace {
-
-// Appends the parts of `victim` not covered by `cut` (at most four rects).
-void AppendDifference(const Rect& victim, const Rect& cut, std::vector<Rect>& out) {
-  Rect overlap = victim.Intersect(cut);
-  if (overlap.IsEmpty()) {
-    out.push_back(victim);
-    return;
-  }
-  // Band above the overlap.
-  if (overlap.y > victim.y) {
-    out.push_back(Rect::FromCorners(victim.left(), victim.top(), victim.right(), overlap.top()));
-  }
-  // Band below.
-  if (overlap.bottom() < victim.bottom()) {
-    out.push_back(
-        Rect::FromCorners(victim.left(), overlap.bottom(), victim.right(), victim.bottom()));
-  }
-  // Left/right slivers within the overlap's vertical band.
-  if (overlap.left() > victim.left()) {
-    out.push_back(
-        Rect::FromCorners(victim.left(), overlap.top(), overlap.left(), overlap.bottom()));
-  }
-  if (overlap.right() < victim.right()) {
-    out.push_back(
-        Rect::FromCorners(overlap.right(), overlap.top(), victim.right(), overlap.bottom()));
-  }
-}
-
-}  // namespace
 
 Region::Region(const Rect& rect) {
   if (!rect.IsEmpty()) {
-    rects_.push_back(rect);
+    bands_.push_back(Band{rect.y, rect.bottom(), 0, 1});
+    spans_.push_back(Span{rect.x, rect.right()});
   }
 }
 
+void Region::Clear() {
+  bands_.clear();
+  spans_.clear();
+  pending_.clear();
+  rects_cache_.clear();
+  rects_cache_valid_ = false;
+}
+
+Region Region::UnionOf(const std::vector<Rect>& rects, size_t lo, size_t hi) {
+  if (hi - lo == 1) {
+    return Region(rects[lo]);
+  }
+  size_t mid = lo + (hi - lo) / 2;
+  return Combine(UnionOf(rects, lo, mid), UnionOf(rects, mid, hi), Op::kUnion);
+}
+
+void Region::EnsureCanonical() const {
+  if (pending_.empty()) {
+    return;
+  }
+  // Empty pending_ before combining: Combine re-enters EnsureCanonical.
+  std::vector<Rect> batch;
+  batch.swap(pending_);
+  // Sorting first keeps the divide-and-conquer merges mostly band-local.
+  std::sort(batch.begin(), batch.end(), [](const Rect& a, const Rect& b) {
+    return a.y != b.y ? a.y < b.y : a.x < b.x;
+  });
+  Region merged = UnionOf(batch, 0, batch.size());
+  if (!bands_.empty()) {
+    Region self;
+    self.bands_ = std::move(bands_);
+    self.spans_ = std::move(spans_);
+    merged = Combine(self, merged, Op::kUnion);
+  }
+  bands_ = std::move(merged.bands_);
+  spans_ = std::move(merged.spans_);
+  rects_cache_valid_ = false;
+}
+
+const std::vector<Rect>& Region::rects() const {
+  EnsureCanonical();
+  if (!rects_cache_valid_) {
+    rects_cache_.clear();
+    rects_cache_.reserve(spans_.size());
+    for (const Band& band : bands_) {
+      for (uint32_t i = band.first; i < band.last; ++i) {
+        rects_cache_.push_back(
+            Rect::FromCorners(spans_[i].x1, band.y1, spans_[i].x2, band.y2));
+      }
+    }
+    rects_cache_valid_ = true;
+  }
+  return rects_cache_;
+}
+
 int64_t Region::Area() const {
+  EnsureCanonical();
   int64_t area = 0;
-  for (const Rect& r : rects_) {
-    area += r.Area();
+  for (const Band& band : bands_) {
+    int64_t width = 0;
+    for (uint32_t i = band.first; i < band.last; ++i) {
+      width += spans_[i].x2 - spans_[i].x1;
+    }
+    area += width * (band.y2 - band.y1);
   }
   return area;
 }
 
 Rect Region::Bounds() const {
-  Rect bounds;
-  for (const Rect& r : rects_) {
-    bounds = bounds.Union(r);
+  EnsureCanonical();
+  if (bands_.empty()) {
+    return Rect{};
   }
-  return bounds;
+  int left = spans_[bands_.front().first].x1;
+  int right = spans_[bands_.front().last - 1].x2;
+  for (const Band& band : bands_) {
+    left = std::min(left, spans_[band.first].x1);
+    right = std::max(right, spans_[band.last - 1].x2);
+  }
+  return Rect::FromCorners(left, bands_.front().y1, right, bands_.back().y2);
+}
+
+Rect Region::BoundsWithin(const Rect& clip) const {
+  EnsureCanonical();
+  if (clip.IsEmpty() || bands_.empty()) {
+    return Rect{};
+  }
+  int left = clip.right();
+  int right = clip.left();
+  int top = clip.bottom();
+  int bottom = clip.top();
+  for (size_t bi = FirstBandBelow(clip.y); bi < bands_.size(); ++bi) {
+    const Band& band = bands_[bi];
+    if (band.y1 >= clip.bottom()) {
+      break;
+    }
+    bool hit = false;
+    for (uint32_t i = band.first; i < band.last; ++i) {
+      const Span& span = spans_[i];
+      if (span.x2 <= clip.left()) {
+        continue;
+      }
+      if (span.x1 >= clip.right()) {
+        break;
+      }
+      left = std::min(left, std::max(span.x1, clip.left()));
+      right = std::max(right, std::min(span.x2, clip.right()));
+      hit = true;
+    }
+    if (hit) {
+      top = std::min(top, std::max(band.y1, clip.top()));
+      bottom = std::max(bottom, std::min(band.y2, clip.bottom()));
+    }
+  }
+  if (right <= left || bottom <= top) {
+    return Rect{};
+  }
+  return Rect::FromCorners(left, top, right, bottom);
+}
+
+size_t Region::FirstBandBelow(int y) const {
+  size_t lo = 0;
+  size_t hi = bands_.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (bands_[mid].y2 <= y) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
 }
 
 bool Region::Contains(Point p) const {
-  for (const Rect& r : rects_) {
-    if (r.Contains(p)) {
-      return true;
+  EnsureCanonical();
+  size_t bi = FirstBandBelow(p.y);
+  if (bi >= bands_.size() || bands_[bi].y1 > p.y) {
+    return false;
+  }
+  const Band& band = bands_[bi];
+  uint32_t lo = band.first;
+  uint32_t hi = band.last;
+  while (lo < hi) {
+    uint32_t mid = (lo + hi) / 2;
+    if (spans_[mid].x2 <= p.x) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
     }
   }
-  return false;
+  return lo < band.last && spans_[lo].x1 <= p.x;
 }
 
 bool Region::Intersects(const Rect& rect) const {
-  for (const Rect& r : rects_) {
-    if (r.Intersects(rect)) {
+  if (rect.IsEmpty()) {
+    return false;
+  }
+  EnsureCanonical();
+  for (size_t bi = FirstBandBelow(rect.y); bi < bands_.size(); ++bi) {
+    const Band& band = bands_[bi];
+    if (band.y1 >= rect.bottom()) {
+      return false;
+    }
+    for (uint32_t i = band.first; i < band.last; ++i) {
+      if (spans_[i].x2 <= rect.left()) {
+        continue;
+      }
+      if (spans_[i].x1 >= rect.right()) {
+        break;
+      }
       return true;
     }
   }
   return false;
-}
-
-void Region::Add(const Rect& rect) {
-  if (rect.IsEmpty()) {
-    return;
-  }
-  // Keep disjointness by inserting only the parts of `rect` not yet covered.
-  std::vector<Rect> pending = {rect};
-  for (const Rect& existing : rects_) {
-    std::vector<Rect> next;
-    for (const Rect& piece : pending) {
-      AppendDifference(piece, existing, next);
-    }
-    pending = std::move(next);
-    if (pending.empty()) {
-      return;  // Entirely covered already.
-    }
-  }
-  rects_.insert(rects_.end(), pending.begin(), pending.end());
-}
-
-void Region::Add(const Region& other) {
-  for (const Rect& r : other.rects_) {
-    Add(r);
-  }
-}
-
-void Region::Subtract(const Rect& rect) {
-  if (rect.IsEmpty() || rects_.empty()) {
-    return;
-  }
-  std::vector<Rect> next;
-  for (const Rect& existing : rects_) {
-    AppendDifference(existing, rect, next);
-  }
-  rects_ = std::move(next);
-}
-
-void Region::IntersectWith(const Rect& rect) {
-  std::vector<Rect> next;
-  for (const Rect& existing : rects_) {
-    Rect overlap = existing.Intersect(rect);
-    if (!overlap.IsEmpty()) {
-      next.push_back(overlap);
-    }
-  }
-  rects_ = std::move(next);
-}
-
-void Region::Translate(int dx, int dy) {
-  for (Rect& r : rects_) {
-    r = r.Translated(dx, dy);
-  }
 }
 
 bool Region::Covers(const Rect& rect) const {
   if (rect.IsEmpty()) {
     return true;
   }
-  std::vector<Rect> uncovered = {rect};
-  for (const Rect& existing : rects_) {
-    std::vector<Rect> next;
-    for (const Rect& piece : uncovered) {
-      AppendDifference(piece, existing, next);
+  EnsureCanonical();
+  int y = rect.y;
+  for (size_t bi = FirstBandBelow(rect.y); bi < bands_.size() && y < rect.bottom(); ++bi) {
+    const Band& band = bands_[bi];
+    if (band.y1 > y) {
+      return false;  // Vertical gap inside the rect.
     }
-    uncovered = std::move(next);
-    if (uncovered.empty()) {
-      return true;
+    // Spans are canonical (non-touching), so covering an x interval takes a
+    // single span.
+    bool covered = false;
+    for (uint32_t i = band.first; i < band.last; ++i) {
+      if (spans_[i].x1 <= rect.left() && spans_[i].x2 >= rect.right()) {
+        covered = true;
+        break;
+      }
+      if (spans_[i].x1 > rect.left()) {
+        break;
+      }
+    }
+    if (!covered) {
+      return false;
+    }
+    y = band.y2;
+  }
+  return y >= rect.bottom();
+}
+
+uint64_t Region::Fingerprint() const {
+  EnsureCanonical();
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis.
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const Band& band : bands_) {
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(band.y1)) << 32 |
+        static_cast<uint32_t>(band.y2));
+    for (uint32_t i = band.first; i < band.last; ++i) {
+      mix(static_cast<uint64_t>(static_cast<uint32_t>(spans_[i].x1)) << 32 |
+          static_cast<uint32_t>(spans_[i].x2));
     }
   }
-  return false;
+  return h;
+}
+
+bool operator==(const Region& a, const Region& b) {
+  a.EnsureCanonical();
+  b.EnsureCanonical();
+  if (a.bands_.size() != b.bands_.size() || a.spans_.size() != b.spans_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.bands_.size(); ++i) {
+    const Region::Band& ba = a.bands_[i];
+    const Region::Band& bb = b.bands_[i];
+    if (ba.y1 != bb.y1 || ba.y2 != bb.y2 || ba.last - ba.first != bb.last - bb.first) {
+      return false;
+    }
+    for (uint32_t j = 0; j < ba.last - ba.first; ++j) {
+      if (!(a.spans_[ba.first + j] == b.spans_[bb.first + j])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// ---- Set algebra -----------------------------------------------------------
+
+void Region::MergeSpans(const Span* a, size_t na, const Span* b, size_t nb, Op op,
+                        std::vector<Span>& out) {
+  out.clear();
+  switch (op) {
+    case Op::kUnion: {
+      size_t ia = 0;
+      size_t ib = 0;
+      while (ia < na || ib < nb) {
+        Span next;
+        if (ib >= nb || (ia < na && a[ia].x1 <= b[ib].x1)) {
+          next = a[ia++];
+        } else {
+          next = b[ib++];
+        }
+        if (!out.empty() && next.x1 <= out.back().x2) {
+          out.back().x2 = std::max(out.back().x2, next.x2);  // Merge touching.
+        } else {
+          out.push_back(next);
+        }
+      }
+      break;
+    }
+    case Op::kSubtract: {
+      size_t ib = 0;
+      for (size_t ia = 0; ia < na; ++ia) {
+        int x = a[ia].x1;
+        const int end = a[ia].x2;
+        while (ib < nb && b[ib].x2 <= x) {
+          ++ib;
+        }
+        size_t jb = ib;
+        while (x < end) {
+          if (jb >= nb || b[jb].x1 >= end) {
+            out.push_back(Span{x, end});
+            break;
+          }
+          if (b[jb].x1 > x) {
+            out.push_back(Span{x, b[jb].x1});
+          }
+          x = std::max(x, b[jb].x2);
+          ++jb;
+        }
+      }
+      break;
+    }
+    case Op::kIntersect: {
+      size_t ia = 0;
+      size_t ib = 0;
+      while (ia < na && ib < nb) {
+        int x1 = std::max(a[ia].x1, b[ib].x1);
+        int x2 = std::min(a[ia].x2, b[ib].x2);
+        if (x1 < x2) {
+          out.push_back(Span{x1, x2});
+        }
+        if (a[ia].x2 < b[ib].x2) {
+          ++ia;
+        } else {
+          ++ib;
+        }
+      }
+      break;
+    }
+  }
+}
+
+void Region::AppendBand(int y1, int y2, const Span* spans, size_t count) {
+  if (count == 0 || y1 >= y2) {
+    return;
+  }
+  if (!bands_.empty()) {
+    Band& prev = bands_.back();
+    if (prev.y2 == y1 && prev.last - prev.first == count &&
+        std::equal(spans, spans + count, spans_.begin() + prev.first)) {
+      prev.y2 = y2;  // Coalesce vertically.
+      return;
+    }
+  }
+  uint32_t first = static_cast<uint32_t>(spans_.size());
+  spans_.insert(spans_.end(), spans, spans + count);
+  bands_.push_back(Band{y1, y2, first, static_cast<uint32_t>(spans_.size())});
+}
+
+Region Region::Combine(const Region& a, const Region& b, Op op) {
+  a.EnsureCanonical();
+  b.EnsureCanonical();
+  Region out;
+  out.bands_.reserve(a.bands_.size() + b.bands_.size());
+  out.spans_.reserve(a.spans_.size() + b.spans_.size());
+  std::vector<Span> merged;
+  size_t ia = 0;
+  size_t ib = 0;
+  const size_t na = a.bands_.size();
+  const size_t nb = b.bands_.size();
+  // Sweep top to bottom over the y boundaries of both band lists; for each
+  // maximal interval in which the active span lists are constant, merge them.
+  int64_t y = INT64_MIN;
+  while (ia < na || ib < nb) {
+    while (ia < na && a.bands_[ia].y2 <= y) {
+      ++ia;
+    }
+    while (ib < nb && b.bands_[ib].y2 <= y) {
+      ++ib;
+    }
+    if (ia >= na && ib >= nb) {
+      break;
+    }
+    int64_t y_next = INT64_MAX;
+    bool a_on = false;
+    bool b_on = false;
+    if (ia < na) {
+      const Band& band = a.bands_[ia];
+      if (band.y1 <= y) {
+        a_on = true;
+        y_next = std::min<int64_t>(y_next, band.y2);
+      } else {
+        y_next = std::min<int64_t>(y_next, band.y1);
+      }
+    }
+    if (ib < nb) {
+      const Band& band = b.bands_[ib];
+      if (band.y1 <= y) {
+        b_on = true;
+        y_next = std::min<int64_t>(y_next, band.y2);
+      } else {
+        y_next = std::min<int64_t>(y_next, band.y1);
+      }
+    }
+    if (y == INT64_MIN) {
+      // First iteration: start at the topmost band edge.
+      y = y_next;
+      continue;
+    }
+    if (a_on || b_on) {
+      const Span* sa = a_on ? a.spans_.data() + a.bands_[ia].first : nullptr;
+      size_t ca = a_on ? a.bands_[ia].last - a.bands_[ia].first : 0;
+      const Span* sb = b_on ? b.spans_.data() + b.bands_[ib].first : nullptr;
+      size_t cb = b_on ? b.bands_[ib].last - b.bands_[ib].first : 0;
+      MergeSpans(sa, ca, sb, cb, op, merged);
+      out.AppendBand(static_cast<int>(y), static_cast<int>(y_next), merged.data(),
+                     merged.size());
+    }
+    y = y_next;
+  }
+  return out;
+}
+
+void Region::Add(const Rect& rect) {
+  if (rect.IsEmpty()) {
+    return;
+  }
+  // Deferred: the rect joins the pending batch; the next read folds the
+  // whole batch in with one divide-and-conquer union.
+  pending_.push_back(rect);
+  rects_cache_valid_ = false;
+}
+
+void Region::Add(const Region& other) {
+  if (other.IsEmpty()) {
+    return;
+  }
+  if (&other == this) {
+    return;
+  }
+  other.EnsureCanonical();
+  if (IsEmpty()) {
+    *this = other;
+    return;
+  }
+  EnsureCanonical();
+  *this = Combine(*this, other, Op::kUnion);
+}
+
+void Region::Subtract(const Rect& rect) {
+  if (rect.IsEmpty() || IsEmpty() || !Intersects(rect)) {
+    return;
+  }
+  *this = Combine(*this, Region(rect), Op::kSubtract);
+}
+
+void Region::Subtract(const Region& other) {
+  if (other.IsEmpty() || IsEmpty()) {
+    return;
+  }
+  other.EnsureCanonical();
+  EnsureCanonical();
+  *this = Combine(*this, other, Op::kSubtract);
+}
+
+void Region::IntersectWith(const Rect& rect) {
+  if (rect.IsEmpty() || IsEmpty()) {
+    Clear();
+    return;
+  }
+  EnsureCanonical();
+  *this = Combine(*this, Region(rect), Op::kIntersect);
+}
+
+void Region::IntersectWith(const Region& other) {
+  if (other.IsEmpty() || IsEmpty()) {
+    Clear();
+    return;
+  }
+  other.EnsureCanonical();
+  EnsureCanonical();
+  *this = Combine(*this, other, Op::kIntersect);
+}
+
+void Region::Translate(int dx, int dy) {
+  for (Band& band : bands_) {
+    band.y1 += dy;
+    band.y2 += dy;
+  }
+  for (Span& span : spans_) {
+    span.x1 += dx;
+    span.x2 += dx;
+  }
+  for (Rect& r : pending_) {
+    r = r.Translated(dx, dy);
+  }
+  rects_cache_valid_ = false;
 }
 
 std::string Region::ToString() const {
   std::ostringstream out;
   out << "Region{";
-  for (size_t i = 0; i < rects_.size(); ++i) {
+  const std::vector<Rect>& pieces = rects();
+  for (size_t i = 0; i < pieces.size(); ++i) {
     if (i > 0) {
       out << ", ";
     }
-    out << rects_[i].ToString();
+    out << pieces[i].ToString();
   }
   out << "}";
   return out.str();

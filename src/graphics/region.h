@@ -1,12 +1,36 @@
-// Damage regions: a set of pixels kept as disjoint rectangles.
+// Damage regions: a set of pixels kept as a y-x banded span structure.
 //
 // The interaction manager coalesces WantUpdate requests into one Region per
 // update cycle, then walks the view tree once, repainting exactly the damaged
 // area (§3's "posting an update request up the tree").
+//
+// Representation (pixman/X11 style): the region is a sorted list of
+// non-overlapping horizontal *bands*, each covering the y interval
+// [y1, y2) with a sorted list of disjoint, non-touching x *spans*
+// [x1, x2).  Vertically adjacent bands with identical span lists are
+// coalesced.  This keeps every set operation near-linear in the number of
+// spans — under a storm of thousands of posted rects per cycle the flat
+// rect-vector design this replaced went quadratic (every new rect was
+// diffed against every stored fragment).
+//
+// Added rects are additionally *batched*: Add(Rect) appends to a pending
+// list in O(1), and the batch is folded in by one divide-and-conquer union
+// sweep the next time anything inspects the region.  The damage pattern is
+// exactly many-adds-then-one-read (views post all cycle long, the IM reads
+// once per cycle), so a k-rect storm costs one O(|R| log k) merge instead
+// of k incremental ones.
+//
+// Complexity, for |R| = span count (amortized, post-flush):
+//   Add(Rect)                                     O(1) until next read
+//   Add/Subtract/IntersectWith (rect or region)   O(|R| + |other|)
+//   Contains(Point)                               O(log bands + log spans)
+//   Intersects/Covers/BoundsWithin(rect)          O(overlapping spans)
+//   Area/Bounds/Translate/Fingerprint             O(|R|)
 
 #ifndef ATK_SRC_GRAPHICS_REGION_H_
 #define ATK_SRC_GRAPHICS_REGION_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -19,12 +43,26 @@ class Region {
   Region() = default;
   explicit Region(const Rect& rect);
 
-  bool IsEmpty() const { return rects_.empty(); }
-  void Clear() { rects_.clear(); }
+  bool IsEmpty() const { return bands_.empty() && pending_.empty(); }
+  void Clear();
 
-  // The disjoint rectangles making up the region.
-  const std::vector<Rect>& rects() const { return rects_; }
-  size_t rect_count() const { return rects_.size(); }
+  // The disjoint rectangles making up the region (one per span, band by
+  // band, top to bottom).  Materialized lazily from the band structure.
+  const std::vector<Rect>& rects() const;
+  size_t rect_count() const {
+    EnsureCanonical();
+    return spans_.size();
+  }
+
+  // Banded-structure accessors (observability and tests).
+  size_t band_count() const {
+    EnsureCanonical();
+    return bands_.size();
+  }
+  size_t span_count() const {
+    EnsureCanonical();
+    return spans_.size();
+  }
 
   // Total pixel count.
   int64_t Area() const;
@@ -32,27 +70,77 @@ class Region {
   // Smallest rectangle covering the region (empty rect when empty).
   Rect Bounds() const;
 
+  // Smallest rectangle covering region ∩ clip, computed without
+  // materializing the intersection (the update pass runs this per view).
+  Rect BoundsWithin(const Rect& clip) const;
+
   bool Contains(Point p) const;
 
   // True when any pixel of `rect` is in the region.
   bool Intersects(const Rect& rect) const;
 
-  // Set algebra.  All keep the disjointness invariant.
+  // Set algebra.  All keep the banded invariants (disjoint bands, sorted
+  // non-touching spans, maximal vertical coalescing).
   void Add(const Rect& rect);
   void Add(const Region& other);
   void Subtract(const Rect& rect);
+  void Subtract(const Region& other);
   void IntersectWith(const Rect& rect);
+  void IntersectWith(const Region& other);
   void Translate(int dx, int dy);
 
   // True when the region covers every pixel of `rect`.
   bool Covers(const Rect& rect) const;
 
+  // Order-independent structural hash of the band/span lists.  Two equal
+  // regions always hash equal; the update pass uses this to memoize
+  // per-view clips between cycles (a collision only costs a stale clip,
+  // and 64-bit FNV makes that vanishingly unlikely).
+  uint64_t Fingerprint() const;
+
+  friend bool operator==(const Region& a, const Region& b);
+
   std::string ToString() const;
 
  private:
-  // Disjoint, non-empty rectangles.  Not banded; adequate for the rect counts
-  // a view tree produces per cycle (tens, not thousands).
-  std::vector<Rect> rects_;
+  // One x interval [x1, x2) within a band.
+  struct Span {
+    int x1 = 0;
+    int x2 = 0;
+    friend bool operator==(const Span&, const Span&) = default;
+  };
+  // One y interval [y1, y2) whose spans live in spans_[first, last).
+  struct Band {
+    int y1 = 0;
+    int y2 = 0;
+    uint32_t first = 0;
+    uint32_t last = 0;
+  };
+
+  enum class Op { kUnion, kSubtract, kIntersect };
+
+  static Region Combine(const Region& a, const Region& b, Op op);
+  static void MergeSpans(const Span* a, size_t na, const Span* b, size_t nb, Op op,
+                         std::vector<Span>& out);
+  // Folds pending_ into the band structure (one batched union).
+  void EnsureCanonical() const;
+  // Canonical union of rects[lo, hi) by divide and conquer.
+  static Region UnionOf(const std::vector<Rect>& rects, size_t lo, size_t hi);
+  // Appends [y1,y2) x `spans`, coalescing with the previous band when the
+  // y intervals touch and the span lists are identical.
+  void AppendBand(int y1, int y2, const Span* spans, size_t count);
+  // Index of the first band with y2 > y, or bands_.size().
+  size_t FirstBandBelow(int y) const;
+
+  // Mutable so the lazy pending-batch flush can run from const accessors
+  // (logical constness: the point set never changes during a flush).
+  mutable std::vector<Band> bands_;  // Sorted by y1; y intervals disjoint.
+  mutable std::vector<Span> spans_;  // Per band: sorted by x1, disjoint, non-touching.
+  mutable std::vector<Rect> pending_;  // Added rects not yet folded in.
+
+  // rects() cache, rebuilt on demand after mutations.
+  mutable std::vector<Rect> rects_cache_;
+  mutable bool rects_cache_valid_ = false;
 };
 
 }  // namespace atk

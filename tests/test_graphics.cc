@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "src/graphics/font.h"
 #include "src/graphics/geometry.h"
 #include "src/graphics/graphic.h"
@@ -118,6 +121,172 @@ TEST(Region, CoalescingManyPostsStaysBounded) {
   }
   EXPECT_EQ(region.Area(), expected);
 }
+
+// Property-based check of the banded region algebra against a brute-force
+// pixel-bitmap oracle.  Each seed drives a random sequence of
+// Add/Subtract/IntersectWith/Translate ops (rect and region operands); after
+// every op the region must agree with the bitmap on membership, Area(),
+// Bounds(), Covers(), and its materialized rects must tile the set without
+// overlap.
+class RegionPropertySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegionPropertySweep, MatchesBitmapOracle) {
+  constexpr int kW = 96;
+  constexpr int kH = 96;
+  const Rect window{0, 0, kW, kH};
+  uint64_t seed = static_cast<uint64_t>(GetParam()) * 0x9e3779b97f4a7c15ull + 0x2545f491ull;
+  auto next = [&seed]() {
+    seed ^= seed << 13;
+    seed ^= seed >> 7;
+    seed ^= seed << 17;
+    return seed;
+  };
+  auto rand_rect = [&next]() {
+    int x = static_cast<int>(next() % 80);
+    int y = static_cast<int>(next() % 80);
+    int w = 1 + static_cast<int>(next() % 16);
+    int h = 1 + static_cast<int>(next() % 16);
+    return Rect{x, y, w, h};
+  };
+
+  Region region;
+  std::vector<uint8_t> oracle(kW * kH, 0);
+
+  for (int step = 0; step < 32; ++step) {
+    int op = static_cast<int>(next() % 7);
+    if (op <= 2) {
+      // Rect operand.
+      Rect r = rand_rect();
+      for (int y = r.y; y < r.y + r.height; ++y) {
+        for (int x = r.x; x < r.x + r.width; ++x) {
+          if (op == 0) {
+            oracle[y * kW + x] = 1;
+          } else if (op == 1) {
+            oracle[y * kW + x] = 0;
+          }
+        }
+      }
+      if (op == 0) {
+        region.Add(r);
+      } else if (op == 1) {
+        region.Subtract(r);
+      } else {
+        for (int y = 0; y < kH; ++y) {
+          for (int x = 0; x < kW; ++x) {
+            if (!r.Contains(Point{x, y})) {
+              oracle[y * kW + x] = 0;
+            }
+          }
+        }
+        region.IntersectWith(r);
+      }
+    } else if (op <= 5) {
+      // Region operand built from a few random rects.
+      Region other;
+      std::vector<uint8_t> other_bits(kW * kH, 0);
+      int pieces = 1 + static_cast<int>(next() % 3);
+      for (int i = 0; i < pieces; ++i) {
+        Rect r = rand_rect();
+        other.Add(r);
+        for (int y = r.y; y < r.y + r.height; ++y) {
+          for (int x = r.x; x < r.x + r.width; ++x) {
+            other_bits[y * kW + x] = 1;
+          }
+        }
+      }
+      for (int i = 0; i < kW * kH; ++i) {
+        if (op == 3) {
+          oracle[i] = static_cast<uint8_t>(oracle[i] | other_bits[i]);
+        } else if (op == 4) {
+          oracle[i] = static_cast<uint8_t>(oracle[i] & static_cast<uint8_t>(!other_bits[i]));
+        } else {
+          oracle[i] = static_cast<uint8_t>(oracle[i] & other_bits[i]);
+        }
+      }
+      if (op == 3) {
+        region.Add(other);
+      } else if (op == 4) {
+        region.Subtract(other);
+      } else {
+        region.IntersectWith(other);
+      }
+    } else {
+      // Translate, clipped back into the oracle window on both sides.
+      int dx = static_cast<int>(next() % 9) - 4;
+      int dy = static_cast<int>(next() % 9) - 4;
+      region.Translate(dx, dy);
+      region.IntersectWith(window);
+      std::vector<uint8_t> shifted(kW * kH, 0);
+      for (int y = 0; y < kH; ++y) {
+        for (int x = 0; x < kW; ++x) {
+          int sx = x - dx;
+          int sy = y - dy;
+          if (sx >= 0 && sx < kW && sy >= 0 && sy < kH) {
+            shifted[y * kW + x] = oracle[sy * kW + sx];
+          }
+        }
+      }
+      oracle = std::move(shifted);
+    }
+
+    // Membership, Area and Bounds vs the oracle.
+    int64_t want_area = 0;
+    Rect want_bounds;
+    for (int y = 0; y < kH; ++y) {
+      for (int x = 0; x < kW; ++x) {
+        bool want = oracle[y * kW + x] != 0;
+        bool got = region.Contains(Point{x, y});
+        if (got != want) {
+          ASSERT_EQ(got, want) << "seed " << GetParam() << " step " << step << " at (" << x
+                               << "," << y << ")\n"
+                               << region.ToString();
+        }
+        if (want) {
+          ++want_area;
+          want_bounds = want_bounds.Union(Rect{x, y, 1, 1});
+        }
+      }
+    }
+    ASSERT_EQ(region.Area(), want_area) << "seed " << GetParam() << " step " << step;
+    ASSERT_EQ(region.Bounds(), want_bounds) << "seed " << GetParam() << " step " << step;
+
+    // The materialized rects must tile the set exactly once (disjointness).
+    std::vector<uint8_t> paint(kW * kH, 0);
+    int64_t rect_area_sum = 0;
+    for (const Rect& r : region.rects()) {
+      ASSERT_FALSE(r.IsEmpty());
+      rect_area_sum += r.Area();
+      for (int y = r.y; y < r.y + r.height; ++y) {
+        for (int x = r.x; x < r.x + r.width; ++x) {
+          ASSERT_GE(x, 0);
+          ASSERT_GE(y, 0);
+          ASSERT_LT(x, kW);
+          ASSERT_LT(y, kH);
+          ASSERT_EQ(paint[y * kW + x], 0)
+              << "overlapping rects at (" << x << "," << y << ") seed " << GetParam();
+          paint[y * kW + x] = 1;
+        }
+      }
+    }
+    ASSERT_EQ(rect_area_sum, want_area) << "seed " << GetParam() << " step " << step;
+
+    // Covers() on a random probe rect agrees with the bitmap.
+    Rect probe = rand_rect();
+    bool want_covers = true;
+    for (int y = probe.y; y < probe.y + probe.height && want_covers; ++y) {
+      for (int x = probe.x; x < probe.x + probe.width; ++x) {
+        if (oracle[y * kW + x] == 0) {
+          want_covers = false;
+          break;
+        }
+      }
+    }
+    ASSERT_EQ(region.Covers(probe), want_covers)
+        << "seed " << GetParam() << " step " << step << " probe " << probe.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionPropertySweep, ::testing::Range(1, 65));
 
 // ---- PixelImage ---------------------------------------------------------------------
 

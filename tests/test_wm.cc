@@ -7,6 +7,7 @@
 
 #include <cstdlib>
 
+#include "src/base/interaction_manager.h"
 #include "src/class_system/loader.h"
 #include "src/wm/printer.h"
 #include "src/wm/window_system.h"
@@ -205,6 +206,57 @@ TEST_F(WmTest, PrintJobPagesAreIndependentDrawables) {
   EXPECT_EQ(job.page(0).GetPixel(5, 5), kWhite);
   // Page 2 has text ink but no fill at the corner.
   EXPECT_EQ(job.page(1).GetPixel(10, 10), kWhite);
+}
+
+TEST_F(WmTest, ExposeReplayMergesWithPendingDamage) {
+  // An expose replay (e.g. after an X11 obscure or a reconnect) can arrive
+  // while application damage is already pending.  Both must merge into the
+  // one coalesced region and be satisfied by a single paint per view — no
+  // double-painting, no lost rect.
+  class CountingView : public View {
+   public:
+    int updates = 0;
+    void FullUpdate() override {
+      ++updates;
+      graphic()->Clear();
+    }
+  };
+
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  auto im = InteractionManager::Create(*ws, 100, 80, "merge");
+  CountingView view;
+  im->SetChild(&view);
+  im->RunOnce();
+  view.updates = 0;
+
+  const Rect posted_local{5, 5, 10, 10};
+  Rect device = view.DeviceBounds();
+  const Rect posted_device = posted_local.Translated(device.x, device.y);
+  const Rect exposed{30, 30, 20, 20};
+
+  view.PostUpdate(posted_local);
+  ASSERT_TRUE(im->HasPendingDamage());
+  im->window()->Inject(InputEvent::Exposure(exposed));
+  while (im->window()->HasEvent()) {
+    im->ProcessEvent(im->window()->NextEvent());
+  }
+
+  // Merged, disjoint, and exactly the union — nothing lost, nothing doubled.
+  const Region& damage = im->pending_damage();
+  EXPECT_TRUE(damage.Covers(posted_device));
+  EXPECT_TRUE(damage.Covers(exposed));
+  int64_t overlap = posted_device.Intersect(exposed).Area();
+  EXPECT_EQ(damage.Area(), posted_device.Area() + exposed.Area() - overlap);
+
+  uint64_t cycles_before = im->stats().update_cycles;
+  im->RunUpdateCycle();
+  EXPECT_EQ(im->stats().update_cycles, cycles_before + 1);
+  EXPECT_EQ(view.updates, 1);  // One cycle, one paint.
+  EXPECT_FALSE(im->HasPendingDamage());
+
+  // A further cycle with no damage paints nothing.
+  im->RunUpdateCycle();
+  EXPECT_EQ(view.updates, 1);
 }
 
 TEST_F(WmTest, RequestCountsAccumulatePerBackendModel) {
