@@ -217,6 +217,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   atk_bench::JsonLineReporter reporter{"bench_dynload"};
   benchmark::RunSpecifiedBenchmarks(&reporter);
+  atk_bench::EmitMetricsSnapshot("bench_dynload");
   benchmark::Shutdown();
   return 0;
 }

@@ -6,6 +6,18 @@
 //   {"bench":"bench_update","metric":"BM_CoalescedUpdate/64","value":123.4,
 //    "unit":"ns","iterations":10000}
 //
+// After the timed runs, the binary also dumps the final observability
+// snapshot in the same line shape, namespaced so it can never collide with a
+// benchmark name:
+//
+//   {"bench":"bench_update","metric":"counter/im.update.run","value":51,
+//    "unit":"count","iterations":1}
+//   {"bench":"bench_update","metric":"histogram/graphics.region.bands/p95",
+//    "value":15,"unit":"value","iterations":1}
+//
+// so BENCH_RESULTS.json answers not just "how fast" but "doing how much
+// work" (damage posts per cycle, clip reuses, span drops, ...).
+//
 // bench/run_all.sh collects these lines from every binary into
 // BENCH_RESULTS.json.  The lines are self-delimiting (one object per line,
 // always starting with {"bench":) so they survive being interleaved with the
@@ -23,6 +35,8 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "src/observability/observability.h"
 
 namespace atk_bench {
 
@@ -71,6 +85,42 @@ class JsonLineReporter : public benchmark::ConsoleReporter {
   std::string bench_;
 };
 
+// Dumps the end-of-run observability snapshot as JSON lines: every nonzero
+// counter, every gauge, and p50/p95/p99 (+ count) per populated histogram.
+// Zero counters are skipped — they are registrations the workload never hit.
+inline void EmitMetricsSnapshot(const std::string& bench) {
+  const std::string name = JsonEscape(bench);
+  auto emit = [&name](const std::string& metric, double value, const char* unit) {
+    std::printf("{\"bench\":\"%s\",\"metric\":\"%s\",\"value\":%.6g,"
+                "\"unit\":\"%s\",\"iterations\":1}\n",
+                name.c_str(), JsonEscape(metric).c_str(), value, unit);
+  };
+  atk::observability::TraceSnapshot snap = atk::observability::Snapshot();
+  // Tracer accounting goes out unconditionally, so every binary contributes
+  // a snapshot (run_all.sh treats a silent one as a failure) and ring
+  // overwrites are visible per bench, not just in-process.
+  emit("counter/obs.spans.recorded", static_cast<double>(snap.spans_recorded), "count");
+  emit("counter/obs.spans.dropped", static_cast<double>(snap.spans_dropped), "count");
+  for (const atk::observability::CounterSample& counter : snap.counters) {
+    if (counter.value != 0) {
+      emit("counter/" + counter.name, static_cast<double>(counter.value), "count");
+    }
+  }
+  for (const atk::observability::GaugeSample& gauge : snap.gauges) {
+    emit("gauge/" + gauge.name, static_cast<double>(gauge.value), "value");
+  }
+  for (const atk::observability::HistogramSample& histo : snap.histograms) {
+    if (histo.count == 0) {
+      continue;
+    }
+    emit("histogram/" + histo.name + "/count", static_cast<double>(histo.count), "count");
+    emit("histogram/" + histo.name + "/p50", static_cast<double>(histo.p50), "value");
+    emit("histogram/" + histo.name + "/p95", static_cast<double>(histo.p95), "value");
+    emit("histogram/" + histo.name + "/p99", static_cast<double>(histo.p99), "value");
+  }
+  std::fflush(stdout);
+}
+
 }  // namespace atk_bench
 
 #define ATK_BENCH_MAIN(bench_name)                                      \
@@ -79,6 +129,7 @@ class JsonLineReporter : public benchmark::ConsoleReporter {
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     ::atk_bench::JsonLineReporter reporter{bench_name};                 \
     ::benchmark::RunSpecifiedBenchmarks(&reporter);                     \
+    ::atk_bench::EmitMetricsSnapshot(bench_name);                       \
     ::benchmark::Shutdown();                                            \
     return 0;                                                           \
   }

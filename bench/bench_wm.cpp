@@ -191,6 +191,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   atk_bench::JsonLineReporter reporter{"bench_wm"};
   benchmark::RunSpecifiedBenchmarks(&reporter);
+  atk_bench::EmitMetricsSnapshot("bench_wm");
   benchmark::Shutdown();
   return 0;
 }

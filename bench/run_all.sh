@@ -44,15 +44,28 @@ for src in "$SRC_DIR"/bench_*.cpp; do
     status=1
     continue
   fi
-  before="$(wc -l < "$tmp")"
   # Console table goes to stderr-visible log; JSON lines are extracted from
   # stdout (benchmark's color codes may prefix them, hence grep -o).
-  grep -o '{"bench":.*}' "$raw" >> "$tmp" || true
-  after="$(wc -l < "$tmp")"
-  if [ "$after" -eq "$before" ]; then
-    echo "run_all.sh: $name contributed no measurements" >&2
+  lines="$(grep -o '{"bench":.*}' "$raw" || true)"
+  # Timing lines vs the end-of-run metrics snapshot (counter/gauge/histogram
+  # namespaces, emitted by EmitMetricsSnapshot): a binary must contribute at
+  # least one of each — no timings means the benchmark ran nothing, no
+  # metrics means the snapshot plumbing broke.
+  timings="$(printf '%s\n' "$lines" | grep -c '"metric":"BM_' || true)"
+  metrics="$(printf '%s\n' "$lines" \
+    | grep -c '"metric":"\(counter\|gauge\|histogram\)/' || true)"
+  if [ "$timings" -eq 0 ]; then
+    echo "run_all.sh: $name contributed no timed measurements" >&2
     status=1
   fi
+  if [ "$metrics" -eq 0 ]; then
+    echo "run_all.sh: $name contributed no metrics snapshot" >&2
+    status=1
+  fi
+  if [ -n "$lines" ]; then
+    printf '%s\n' "$lines" >> "$tmp"
+  fi
+  echo "   $timings timed, $metrics metric lines" >&2
 done
 
 if [ ! -s "$tmp" ]; then

@@ -2,6 +2,7 @@
 
 #include "src/class_system/loader.h"
 #include "src/components/modules.h"
+#include "src/observability/inspector/inspector.h"
 #include "src/wm/window_system.h"
 
 namespace atk {
@@ -18,6 +19,7 @@ void RegisterStandardModules() {
     Loader::Instance().DeclareModule(std::move(base));
 
     RegisterWindowSystemModules();
+    RegisterInspectorModule();
     RegisterTextModule();
     RegisterTableModule();
     RegisterDrawingModule();

@@ -1,5 +1,6 @@
 #include "src/base/interaction_manager.h"
 
+#include <cstdlib>
 #include <functional>
 
 #include "src/base/menu_popup.h"
@@ -26,6 +27,38 @@ Counter& EventsDelivered() {
   return c;
 }
 
+// The inspector module's window factory (SetInspectorFactory).  Process-wide,
+// like the ClassRegistry it is registered from.
+InteractionManager::InspectorFactory& InspectorFactorySlot() {
+  static auto* factory = new InteractionManager::InspectorFactory();
+  return *factory;
+}
+
+// ATK_INSPECT=1 auto-opens the inspector on the first RunOnce of every
+// non-inspector window.  Read once, like the other observability toggles.
+bool InspectRequestedByEnv() {
+  static const bool requested = [] {
+    const char* value = std::getenv("ATK_INSPECT");
+    return value != nullptr && value[0] != '\0' && value[0] != '0';
+  }();
+  return requested;
+}
+
+// The ESC-i binding resolves through the proc table like every other
+// command, so applications can rebind or shadow it.
+void RegisterImProcs() {
+  static bool done = [] {
+    ProcTable::Instance().Register("im-toggle-inspector", [](View* view, long) {
+      InteractionManager* im = view != nullptr ? view->GetIM() : nullptr;
+      if (im != nullptr) {
+        im->ToggleInspector();
+      }
+    });
+    return true;
+  }();
+  (void)done;
+}
+
 }  // namespace
 
 ATK_DEFINE_CLASS(InteractionManager, View, "im")
@@ -37,14 +70,18 @@ void View::RequestInputFocus() {
   }
 }
 
-InteractionManager::InteractionManager() { observability::InitFromEnv(); }
+InteractionManager::InteractionManager() {
+  observability::InitFromEnv();
+  RegisterImProcs();
+}
 
 InteractionManager::InteractionManager(std::unique_ptr<WmWindow> window) {
   observability::InitFromEnv();
+  RegisterImProcs();
   AttachWindow(std::move(window));
 }
 
-InteractionManager::~InteractionManager() = default;
+InteractionManager::~InteractionManager() { CloseInspector(); }
 
 std::unique_ptr<InteractionManager> InteractionManager::Create(WindowSystem& ws, int width,
                                                                int height,
@@ -86,11 +123,25 @@ void InteractionManager::RunOnce() {
   if (window_ == nullptr) {
     return;
   }
+  if (InspectRequestedByEnv() && !is_inspector_ && inspector_im_ == nullptr &&
+      !inspector_env_attempted_) {
+    inspector_env_attempted_ = true;
+    OpenInspector();
+  }
   while (window_->HasEvent()) {
     ProcessEvent(window_->NextEvent());
   }
   RunUpdateCycle();
   window_->Flush();
+  if (inspector_im_ != nullptr) {
+    // The inspector rides along: its data object refreshes (cadence
+    // permitting) and its own window repaints, after the host's cycle so a
+    // snapshot always sees a finished frame.
+    if (inspector_tick_) {
+      inspector_tick_();
+    }
+    inspector_im_->RunOnce();
+  }
 }
 
 void InteractionManager::ProcessEvent(const InputEvent& event) {
@@ -311,9 +362,12 @@ void InteractionManager::UpdatePass(View& view, const Region& damage, uint64_t d
       view.clip_memo_.device == device) {
     damage_local = view.clip_memo_.clip_local;
     clip_reuse.Add(1);
+    ++view.clip_memo_.hits;
   } else {
     damage_local = damage.BoundsWithin(device).Translated(-device.x, -device.y);
-    view.clip_memo_ = View::ClipMemo{damage_fp, device, damage_local, true};
+    View::ClipMemo memo{damage_fp, device, damage_local, true,
+                        view.clip_memo_.hits, view.clip_memo_.misses + 1};
+    view.clip_memo_ = memo;
   }
   view.graphic()->PushClip(damage_local);
   {
@@ -425,6 +479,73 @@ void InteractionManager::UpdateCursor() {
 
 CursorShape InteractionManager::current_cursor() const {
   return window_ != nullptr ? window_->cursor_shape() : CursorShape::kArrow;
+}
+
+// ---- Inspector hosting ------------------------------------------------------
+
+void InteractionManager::SetInspectorFactory(InspectorFactory factory) {
+  InspectorFactorySlot() = std::move(factory);
+}
+
+bool InteractionManager::OpenInspector() {
+  if (inspector_im_ != nullptr) {
+    return true;
+  }
+  if (is_inspector_) {
+    return false;  // An inspector does not inspect itself.
+  }
+  if (!InspectorFactorySlot()) {
+    // The factory is registered by the inspector module's init; resolving
+    // the InspectorData class pulls the module in (the PopupMenus idiom).
+    Loader::Instance().EnsureClass("inspector");
+  }
+  InspectorFactory& factory = InspectorFactorySlot();
+  if (!factory) {
+    return false;
+  }
+  InspectorHandle handle = factory(*this);
+  if (handle.im == nullptr) {
+    return false;
+  }
+  static Counter& opened = MetricsRegistry::Instance().counter("inspector.window.opened");
+  opened.Add(1);
+  inspector_im_ = std::move(handle.im);
+  inspector_tick_ = std::move(handle.tick);
+  inspector_closed_ = std::move(handle.closed);
+  inspector_im_->MarkAsInspector();
+  inspector_im_->RunOnce();  // First paint, so the window is never blank.
+  return true;
+}
+
+void InteractionManager::CloseInspector() {
+  if (inspector_im_ == nullptr) {
+    return;
+  }
+  inspector_tick_ = nullptr;
+  inspector_im_.reset();
+  if (inspector_closed_) {
+    inspector_closed_();
+    inspector_closed_ = nullptr;
+  }
+}
+
+bool InteractionManager::ToggleInspector() {
+  if (inspector_im_ != nullptr) {
+    CloseInspector();
+    return false;
+  }
+  return OpenInspector();
+}
+
+const KeyMap* InteractionManager::GetKeyMap() const {
+  // The IM sits at the root of every keymap chain, so ESC-i works in any
+  // application unless a focused view shadows it.
+  static const KeyMap* map = [] {
+    KeyMap* m = new KeyMap();
+    m->Bind("\033i", "im-toggle-inspector");
+    return m;
+  }();
+  return map;
 }
 
 }  // namespace atk

@@ -18,6 +18,7 @@
 #ifndef ATK_SRC_BASE_INTERACTION_MANAGER_H_
 #define ATK_SRC_BASE_INTERACTION_MANAGER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -119,6 +120,38 @@ class InteractionManager : public View {
   // Application to its IM; applications park their view trees here too).
   void Adopt(std::unique_ptr<Object> object) { owned_.push_back(std::move(object)); }
 
+  // ---- Inspector hosting (src/observability/inspector/) ----------------------
+  // The self-hosted inspector is just another window over the observability
+  // state: opening it builds a second interaction manager whose views watch
+  // this one.  The concrete factory lives in the inspector module (loaded on
+  // demand through the class system, like the pop-up menus); the base layer
+  // only knows how to host the returned window and pump it after its own
+  // cycle.  ATK_INSPECT=1 in the environment auto-opens the inspector on the
+  // first RunOnce; ESC-i (the IM's own keymap) toggles it at run time.
+  struct InspectorHandle {
+    std::unique_ptr<InteractionManager> im;  // The inspector's own window.
+    std::function<void()> tick;              // Runs after each host RunOnce.
+    std::function<void()> closed;            // Cleanup when the inspector closes.
+  };
+  using InspectorFactory = std::function<InspectorHandle(InteractionManager& host)>;
+  // Registered by the inspector module's init; process-wide.
+  static void SetInspectorFactory(InspectorFactory factory);
+  // Opens the inspector window over this IM (loading the inspector module on
+  // demand).  False when no factory is available or it declines.
+  bool OpenInspector();
+  void CloseInspector();
+  bool ToggleInspector();
+  bool inspector_open() const { return inspector_im_ != nullptr; }
+  InteractionManager* inspector() const { return inspector_im_.get(); }
+  // Marks this IM as an inspector window itself, so ATK_INSPECT can never
+  // recurse (an inspector does not inspect itself).
+  void MarkAsInspector() { is_inspector_ = true; }
+  bool is_inspector() const { return is_inspector_; }
+
+  // The IM's own keymap (outermost in every chain): ESC-i toggles the
+  // inspector.
+  const KeyMap* GetKeyMap() const override;
+
  private:
   void DispatchMouse(const InputEvent& event);
   void DispatchKey(const InputEvent& event);
@@ -137,6 +170,11 @@ class InteractionManager : public View {
   KeyState key_state_;
   DispatchMode dispatch_mode_ = DispatchMode::kParental;
   bool clip_memo_enabled_ = true;
+  bool is_inspector_ = false;
+  bool inspector_env_attempted_ = false;
+  std::unique_ptr<InteractionManager> inspector_im_;
+  std::function<void()> inspector_tick_;
+  std::function<void()> inspector_closed_;
   Stats stats_;
 };
 

@@ -129,6 +129,14 @@ class View : public Object, public Observer {
   // Copies `event` with coordinates shifted into `child`'s space.
   static InputEvent TranslateToChild(const InputEvent& event, const View& child);
 
+  // ---- Introspection (read by the inspector's view-tree browser) -------------
+  // Per-view clip-memo accounting, maintained by the interaction manager's
+  // update pass: how often this view's damage clip was reused vs recomputed,
+  // and the damage fingerprint of the last cycle that repainted it.
+  uint64_t clip_memo_hits() const { return clip_memo_.hits; }
+  uint64_t clip_memo_misses() const { return clip_memo_.misses; }
+  uint64_t last_damage_fingerprint() const { return clip_memo_.damage_fp; }
+
  private:
   friend class InteractionManager;
 
@@ -142,6 +150,9 @@ class View : public Object, public Observer {
     Rect device;
     Rect clip_local;
     bool valid = false;
+    // Lifetime totals (survive memo invalidation; reset never).
+    uint64_t hits = 0;
+    uint64_t misses = 0;
   };
 
   View* parent_ = nullptr;

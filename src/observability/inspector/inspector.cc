@@ -1,0 +1,145 @@
+#include "src/observability/inspector/inspector.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "src/base/default_views.h"
+#include "src/base/proctable.h"
+#include "src/class_system/loader.h"
+#include "src/components/modules.h"
+#include "src/observability/inspector/inspector_views.h"
+#include "src/observability/observability.h"
+
+namespace atk {
+namespace {
+
+using observability::Counter;
+using observability::MetricsRegistry;
+
+// Millisecond env knob; `fallback_ns` when unset or malformed.
+uint64_t EnvMillisNs(const char* name, uint64_t fallback_ns) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return fallback_ns;
+  }
+  char* end = nullptr;
+  unsigned long long ms = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') {
+    return fallback_ns;
+  }
+  return static_cast<uint64_t>(ms) * 1'000'000ull;
+}
+
+void ExportTraceProc(View* view, long) {
+  if (view == nullptr) {
+    return;
+  }
+  InspectorData* data = ObjectCast<InspectorData>(view->data_object());
+  if (data == nullptr) {
+    return;
+  }
+  const char* path = std::getenv("ATK_INSPECT_EXPORT");
+  std::ofstream out(path != nullptr && *path != '\0' ? path : "atk-trace.json");
+  if (!out) {
+    return;
+  }
+  // Prefer the frozen slow-frame capture when one exists; it is the trace
+  // the user opened the profiler to see.
+  out << (data->has_flight_record() ? data->ExportFlightPerfettoJson()
+                                    : data->ExportPerfettoJson());
+  static Counter& exported = MetricsRegistry::Instance().counter("inspector.trace.exported");
+  exported.Add(1);
+}
+
+}  // namespace
+
+InteractionManager::InspectorHandle MakeInspectorWindow(InteractionManager& host) {
+  InteractionManager::InspectorHandle handle;
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open();
+  if (ws == nullptr) {
+    return handle;
+  }
+  std::unique_ptr<InteractionManager> im = InteractionManager::Create(*ws, 560, 640,
+                                                                      "ATK Inspector");
+  // The panels are empty without spans, so opening the inspector turns
+  // tracing on; closing it restores whatever the host had configured.
+  bool was_tracing = observability::Enabled();
+  if (!was_tracing) {
+    observability::Tracer::Instance().SetEnabled(true);
+  }
+
+  auto data = std::make_unique<InspectorData>();
+  data->AttachHost(&host);
+  data->SetRefreshPeriodNs(
+      EnvMillisNs("ATK_INSPECT_PERIOD_MS", InspectorData::kDefaultRefreshPeriodNs));
+  data->SetFrameBudgetNs(
+      EnvMillisNs("ATK_INSPECT_BUDGET_MS", InspectorData::kDefaultFrameBudgetNs));
+
+  auto root = std::make_unique<InspectorRootView>();
+  auto tree = std::make_unique<ViewTreeView>();
+  auto profiler = std::make_unique<FrameProfileView>();
+  auto metrics = std::make_unique<MetricsPanelView>();
+  root->SetDataObject(data.get());
+  tree->SetDataObject(data.get());
+  profiler->SetDataObject(data.get());
+  metrics->SetDataObject(data.get());
+  root->AddChild(tree.get());
+  root->AddChild(profiler.get());
+  root->AddChild(metrics.get());
+  im->SetChild(root.get());
+  data->Refresh();  // First snapshot before the first paint.
+
+  InspectorData* data_ptr = data.get();
+  // Adoption order is destruction order: views go before the data object so
+  // observers detach themselves before the observable dies.
+  im->Adopt(std::move(root));
+  im->Adopt(std::move(tree));
+  im->Adopt(std::move(profiler));
+  im->Adopt(std::move(metrics));
+  im->Adopt(std::move(data));
+  im->Adopt(std::move(ws));
+
+  handle.im = std::move(im);
+  handle.tick = [data_ptr] { data_ptr->MaybeRefresh(observability::MonotonicNanos()); };
+  handle.closed = [was_tracing] {
+    if (!was_tracing) {
+      observability::Tracer::Instance().SetEnabled(false);
+    }
+  };
+  return handle;
+}
+
+InspectorData* GetInspectorData(InteractionManager* inspector_im) {
+  if (inspector_im == nullptr || inspector_im->child() == nullptr) {
+    return nullptr;
+  }
+  return ObjectCast<InspectorData>(inspector_im->child()->data_object());
+}
+
+void RegisterInspectorModule() {
+  static bool done = [] {
+    RegisterTableModule();  // The metrics panel embeds table + chart views.
+    ModuleSpec spec;
+    spec.name = "inspector";
+    spec.provides = {"inspector", "inspectorrootview", "viewtreeview", "frameprofileview",
+                     "metricspanelview"};
+    spec.depends_on = {"table"};
+    spec.text_bytes = 42 * 1024;
+    spec.data_bytes = 4 * 1024;
+    spec.init = [] {
+      ClassRegistry::Instance().Register(InspectorData::StaticClassInfo());
+      ClassRegistry::Instance().Register(InspectorRootView::StaticClassInfo());
+      ClassRegistry::Instance().Register(ViewTreeView::StaticClassInfo());
+      ClassRegistry::Instance().Register(FrameProfileView::StaticClassInfo());
+      ClassRegistry::Instance().Register(MetricsPanelView::StaticClassInfo());
+      SetDefaultViewName("inspector", "inspectorrootview");
+      ProcTable::Instance().Register("inspector-export-trace", ExportTraceProc);
+      InteractionManager::SetInspectorFactory(MakeInspectorWindow);
+    };
+    return Loader::Instance().DeclareModule(std::move(spec));
+  }();
+  (void)done;
+}
+
+}  // namespace atk

@@ -1,0 +1,41 @@
+// The inspector module — registration and the window factory.
+//
+// RegisterInspectorModule() declares the "inspector" module to the Loader.
+// Its init registers the InspectorData class and the three panel views with
+// the class system, and installs the InteractionManager inspector factory,
+// so `InteractionManager::OpenInspector()` (ESC-i, ATK_INSPECT=1, or the
+// im-toggle-inspector proc) can demand-load this module and pop a second
+// window over any host — the same load-on-first-use path as embedding an
+// unseen component (§7).
+//
+// Environment knobs, read when the window opens:
+//   ATK_INSPECT=1              auto-open the inspector on the host's first
+//                              RunOnce (handled by InteractionManager);
+//   ATK_INSPECT_PERIOD_MS=N    snapshot cadence (default 100 — 10 Hz);
+//   ATK_INSPECT_BUDGET_MS=N    slow-frame flight-recorder budget (default 33).
+
+#ifndef ATK_SRC_OBSERVABILITY_INSPECTOR_INSPECTOR_H_
+#define ATK_SRC_OBSERVABILITY_INSPECTOR_INSPECTOR_H_
+
+#include "src/base/interaction_manager.h"
+#include "src/observability/inspector/inspector_data.h"
+
+namespace atk {
+
+// Declares the inspector module (idempotent).  Called by
+// RegisterStandardModules(); tests may call it directly.
+void RegisterInspectorModule();
+
+// Builds the inspector window over `host`: a second InteractionManager on
+// the default window system whose views watch the host.  Installed as the
+// InteractionManager inspector factory by the module init; exposed so tests
+// can drive it without a loader round trip.
+InteractionManager::InspectorHandle MakeInspectorWindow(InteractionManager& host);
+
+// The InspectorData inside an inspector window opened by MakeInspectorWindow
+// (nullptr if `inspector_im` is not such a window).
+InspectorData* GetInspectorData(InteractionManager* inspector_im);
+
+}  // namespace atk
+
+#endif  // ATK_SRC_OBSERVABILITY_INSPECTOR_INSPECTOR_H_

@@ -78,6 +78,12 @@ void Tracer::Record(std::string_view name, uint64_t start_ns, uint64_t end_ns,
   // cycles, module loads, salvage runs), so contention is negligible next
   // to the work being measured.
   std::lock_guard<std::mutex> lock(mu_);
+  if (next_seq_ > ring_.size()) {
+    // The slot still holds a span nobody Collect()ed; the wraparound is an
+    // information loss worth counting, not just inferring from seq math.
+    static Counter& overwritten = MetricsRegistry::Instance().counter("obs.trace.dropped");
+    overwritten.Add(1);
+  }
   SpanRecord& slot = ring_[(next_seq_ - 1) % ring_.size()];
   size_t n = std::min(name.size(), SpanRecord::kNameCapacity - 1);
   std::memcpy(slot.name, name.data(), n);
@@ -280,6 +286,10 @@ std::string ToText(const TraceSnapshot& snap) {
   out += snap.trace_enabled ? "enabled" : "disabled";
   out += ", " + std::to_string(snap.spans_recorded) + " span(s) recorded, " +
          std::to_string(snap.spans_dropped) + " dropped\n";
+  if (snap.spans_dropped > 0) {
+    out += "WARNING: ring buffer wrapped; the oldest " + std::to_string(snap.spans_dropped) +
+           " span(s) were overwritten (raise ATK_TRACE_CAPACITY to keep them)\n";
+  }
   if (!snap.spans.empty()) {
     out += "-- spans (oldest first; indented by nesting depth) --\n";
     uint64_t t0 = snap.spans.front().start_ns;

@@ -1,0 +1,120 @@
+#include "src/observability/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+namespace atk {
+namespace observability {
+namespace {
+
+// Span and metric names are `layer.noun.verb` identifiers (enforced by a
+// test), but exported JSON must stay valid for any name a future caller
+// sneaks in, so escape defensively.
+void AppendJsonString(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    unsigned char byte = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (byte < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", byte);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+// Microseconds with nanosecond precision kept as a decimal fraction.
+std::string MicrosFromNanos(uint64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+std::string TraceExport::ToPerfettoJson(const TraceSnapshot& snap) {
+  // Timestamps are exported relative to the earliest span start so the
+  // viewer's timeline starts near zero instead of at hours of steady-clock
+  // uptime.
+  uint64_t base_ns = 0;
+  bool first_span = true;
+  for (const SpanRecord& span : snap.spans) {
+    base_ns = first_span ? span.start_ns : std::min(base_ns, span.start_ns);
+    first_span = false;
+  }
+  uint64_t end_ns = base_ns;
+  for (const SpanRecord& span : snap.spans) {
+    end_ns = std::max(end_ns, span.start_ns + span.duration_ns);
+  }
+
+  std::string out;
+  out.reserve(128 + snap.spans.size() * 96 + snap.counters.size() * 64);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&out, &first] {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+  };
+
+  // Process / thread metadata, so Perfetto shows names instead of bare ids.
+  comma();
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+         "\"args\":{\"name\":\"atk\"}}";
+  std::set<uint32_t> threads;
+  for (const SpanRecord& span : snap.spans) {
+    threads.insert(span.thread);
+  }
+  for (uint32_t thread : threads) {
+    comma();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(thread) + ",\"args\":{\"name\":\"atk-thread-" +
+           std::to_string(thread) + "\"}}";
+  }
+
+  for (const SpanRecord& span : snap.spans) {
+    comma();
+    out += "{\"name\":";
+    AppendJsonString(out, span.name_view());
+    out += ",\"cat\":\"atk\",\"ph\":\"X\",\"ts\":" + MicrosFromNanos(span.start_ns - base_ns) +
+           ",\"dur\":" + MicrosFromNanos(span.duration_ns) +
+           ",\"pid\":1,\"tid\":" + std::to_string(span.thread) +
+           ",\"args\":{\"seq\":" + std::to_string(span.seq) +
+           ",\"depth\":" + std::to_string(span.depth) + "}}";
+  }
+
+  // Counters sample once, at the end of the captured window (the snapshot
+  // holds totals, not a time series).
+  std::string final_ts = MicrosFromNanos(end_ns - base_ns);
+  for (const CounterSample& counter : snap.counters) {
+    comma();
+    out += "{\"name\":";
+    AppendJsonString(out, counter.name);
+    out += ",\"ph\":\"C\",\"ts\":" + final_ts + ",\"pid\":1,\"args\":{\"value\":" +
+           std::to_string(counter.value) + "}}";
+  }
+  for (const HistogramSample& histo : snap.histograms) {
+    comma();
+    out += "{\"name\":";
+    AppendJsonString(out, histo.name);
+    out += ",\"ph\":\"C\",\"ts\":" + final_ts + ",\"pid\":1,\"args\":{\"p50\":" +
+           std::to_string(histo.p50) + ",\"p95\":" + std::to_string(histo.p95) +
+           ",\"p99\":" + std::to_string(histo.p99) + "}}";
+  }
+
+  out += "],\"otherData\":{\"spansRecorded\":" + std::to_string(snap.spans_recorded) +
+         ",\"spansDropped\":" + std::to_string(snap.spans_dropped) + "}}";
+  return out;
+}
+
+}  // namespace observability
+}  // namespace atk

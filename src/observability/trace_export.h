@@ -1,0 +1,43 @@
+// Trace export to external profilers.
+//
+// A TraceSnapshot — live from Snapshot(), frozen by the inspector's flight
+// recorder, or salvaged back out of a `\begindata{trace}` datastream —
+// converts to the Chrome trace-event JSON format, which Perfetto
+// (https://ui.perfetto.dev) and chrome://tracing both load directly:
+//
+//   { "displayTimeUnit": "ms",
+//     "traceEvents": [
+//       {"name":"im.update.cycle","cat":"atk","ph":"X",
+//        "ts":12.345,"dur":310.0,"pid":1,"tid":0,
+//        "args":{"seq":17,"depth":0}},
+//       {"name":"im.damage.posted","ph":"C","ts":...,"pid":1,
+//        "args":{"value":412}},
+//       ... ] }
+//
+// Spans become complete ("X") events with microsecond timestamps relative to
+// the earliest span; counters become counter ("C") samples at the end of the
+// capture; threads get metadata ("M") name events.  Standard library only,
+// like the rest of the spine, so any layer can export.
+
+#ifndef ATK_SRC_OBSERVABILITY_TRACE_EXPORT_H_
+#define ATK_SRC_OBSERVABILITY_TRACE_EXPORT_H_
+
+#include <string>
+
+#include "src/observability/observability.h"
+
+namespace atk {
+namespace observability {
+
+class TraceExport {
+ public:
+  // Renders `snapshot` as a self-contained Chrome trace-event JSON document.
+  // Never fails: an empty snapshot yields a valid document with an empty
+  // traceEvents array.
+  static std::string ToPerfettoJson(const TraceSnapshot& snapshot);
+};
+
+}  // namespace observability
+}  // namespace atk
+
+#endif  // ATK_SRC_OBSERVABILITY_TRACE_EXPORT_H_

@@ -1,0 +1,362 @@
+// The self-hosted inspector (DESIGN.md §8): live introspection views over
+// the observability spine, per-view frame attribution, the slow-frame
+// flight recorder, and the host-side wiring (ATK_INSPECT, ESC-i).
+//
+// The EnvAutoOpensOnFirstRunOnce test only runs when ATK_INSPECT is set in
+// the environment — the flag is latched once per process, so it gets its
+// own ctest entry (inspector_env_autoopen) with the variable exported, and
+// skips in the plain suite run.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/standard_modules.h"
+#include "src/base/interaction_manager.h"
+#include "src/class_system/loader.h"
+#include "src/components/table/chart.h"
+#include "src/components/table/table_data.h"
+#include "src/observability/inspector/inspector.h"
+#include "src/observability/observability.h"
+#include "src/observability/trace_component.h"
+#include "src/wm/window_system.h"
+
+namespace atk {
+namespace {
+
+using observability::MetricsRegistry;
+using observability::SpanRecord;
+using observability::Tracer;
+using observability::TraceSnapshot;
+
+SpanRecord MakeSpan(const char* name, uint64_t start_ns, uint64_t duration_ns, uint64_t seq,
+                    uint32_t thread, uint16_t depth) {
+  SpanRecord span;
+  std::strncpy(span.name, name, SpanRecord::kNameCapacity - 1);
+  span.name[SpanRecord::kNameCapacity - 1] = '\0';
+  span.start_ns = start_ns;
+  span.duration_ns = duration_ns;
+  span.seq = seq;
+  span.thread = thread;
+  span.depth = depth;
+  return span;
+}
+
+uint64_t CounterValue(std::string_view name) {
+  return MetricsRegistry::Instance().counter(name).value();
+}
+
+TEST(Inspector, EnvAutoOpensOnFirstRunOnce) {
+  const char* env = std::getenv("ATK_INSPECT");
+  if (env == nullptr || *env == '\0' || *env == '0') {
+    GTEST_SKIP() << "ATK_INSPECT not set; covered by the inspector_env_autoopen ctest entry";
+  }
+  RegisterStandardModules();
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  auto im = InteractionManager::Create(*ws, 320, 240, "host");
+  View child;
+  im->SetChild(&child);
+  EXPECT_FALSE(im->inspector_open());
+  im->RunOnce();
+  EXPECT_TRUE(im->inspector_open()) << "ATK_INSPECT must auto-open the inspector";
+  ASSERT_NE(im->inspector(), nullptr);
+  EXPECT_TRUE(im->inspector()->is_inspector());
+  // The env request fires once per window: closing the inspector sticks.
+  im->CloseInspector();
+  im->RunOnce();
+  EXPECT_FALSE(im->inspector_open());
+}
+
+TEST(Inspector, OpenCloseToggleLifecycle) {
+  RegisterStandardModules();
+  Tracer::Instance().SetEnabled(false);
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  auto im = InteractionManager::Create(*ws, 320, 240, "host");
+  View child;
+  im->SetChild(&child);
+  im->RunOnce();
+
+  uint64_t opened_before = CounterValue("inspector.window.opened");
+  ASSERT_FALSE(im->inspector_open());
+  ASSERT_TRUE(im->OpenInspector());
+  EXPECT_TRUE(im->inspector_open());
+  EXPECT_TRUE(Loader::Instance().IsLoaded("inspector")) << "factory demand-loads the module";
+  EXPECT_EQ(CounterValue("inspector.window.opened"), opened_before + 1);
+  // Opening the inspector turns tracing on so its panels have spans to show.
+  EXPECT_TRUE(observability::Enabled());
+
+  ASSERT_NE(im->inspector(), nullptr);
+  EXPECT_TRUE(im->inspector()->is_inspector());
+  InspectorData* data = GetInspectorData(im->inspector());
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->host(), im.get());
+  EXPECT_GE(data->refresh_count(), 1u) << "first snapshot happens before the first paint";
+
+  // The view-tree browser flattened the host into rows: the IM at depth 0,
+  // its child below it.
+  ASSERT_GE(data->tree_rows().size(), 2u);
+  EXPECT_EQ(data->tree_rows()[0].depth, 0);
+  EXPECT_EQ(data->tree_rows()[1].depth, 1);
+
+  // Idempotent while open; an inspector never inspects itself.
+  EXPECT_TRUE(im->OpenInspector());
+  EXPECT_FALSE(im->inspector()->OpenInspector());
+
+  // Toggle closes, toggle reopens; closing restores the tracing state.
+  EXPECT_FALSE(im->ToggleInspector());
+  EXPECT_FALSE(im->inspector_open());
+  EXPECT_FALSE(observability::Enabled()) << "closing restores the pre-open tracing state";
+  EXPECT_EQ(GetInspectorData(im->inspector()), nullptr);
+  EXPECT_TRUE(im->ToggleInspector());
+  EXPECT_TRUE(im->inspector_open());
+  im->CloseInspector();
+  EXPECT_FALSE(im->inspector_open());
+  EXPECT_FALSE(observability::Enabled());
+}
+
+TEST(Inspector, EscIKeybindingToggles) {
+  RegisterStandardModules();
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  auto im = InteractionManager::Create(*ws, 320, 240, "host");
+  View child;
+  im->SetChild(&child);
+  im->RunOnce();
+  ASSERT_FALSE(im->inspector_open());
+
+  // ESC then i, as two raw keystrokes walking the IM's own keymap.
+  im->window()->Inject(InputEvent::KeyPress('\033'));
+  im->window()->Inject(InputEvent::KeyPress('i'));
+  im->RunOnce();
+  EXPECT_TRUE(im->inspector_open()) << "ESC-i opens the inspector";
+
+  // Meta-i is the same chord spelled with the modifier.
+  im->window()->Inject(InputEvent::KeyPress('i', kMetaMod));
+  im->RunOnce();
+  EXPECT_FALSE(im->inspector_open()) << "ESC-i again closes it";
+}
+
+TEST(Inspector, CadenceHonorsRefreshPeriod) {
+  InspectorData data;
+  data.SetRefreshPeriodNs(1000);
+  EXPECT_EQ(data.refresh_count(), 0u);
+  EXPECT_TRUE(data.MaybeRefresh(1'000'000)) << "the first tick always refreshes";
+  EXPECT_FALSE(data.MaybeRefresh(1'000'500)) << "half a period elapsed";
+  EXPECT_FALSE(data.MaybeRefresh(1'000'999));
+  EXPECT_TRUE(data.MaybeRefresh(1'001'000)) << "a full period elapsed";
+  EXPECT_EQ(data.refresh_count(), 2u);
+}
+
+TEST(Inspector, AttributeFramesPerViewSlices) {
+  std::vector<SpanRecord> spans;
+  // Cycle 1: 10 us, two view slices, one span on another thread and one
+  // outside the interval that must both be excluded.
+  spans.push_back(MakeSpan("update.textview", 2000, 4000, 3, 0, 1));
+  spans.push_back(MakeSpan("update.barchartview", 6100, 2000, 4, 0, 1));
+  spans.push_back(MakeSpan("update.textview", 2000, 4000, 2, 1, 1));     // Other thread.
+  spans.push_back(MakeSpan("layout.pass.run", 2500, 100, 1, 0, 1));      // Not an update span.
+  spans.push_back(MakeSpan("im.update.cycle", 1000, 10000, 5, 0, 0));
+  spans.push_back(MakeSpan("update.scrollview", 20000, 100, 6, 0, 1));   // After the cycle.
+  // Cycle 2: fast and empty.
+  spans.push_back(MakeSpan("im.update.cycle", 30000, 500, 9, 0, 0));
+
+  std::vector<InspectorData::FrameProfile> frames = InspectorData::AttributeFrames(spans, 5000);
+  ASSERT_EQ(frames.size(), 2u);
+
+  const InspectorData::FrameProfile& slow = frames[0];
+  EXPECT_EQ(slow.cycle_seq, 5u);
+  EXPECT_EQ(slow.duration_ns, 10000u);
+  EXPECT_TRUE(slow.over_budget);
+  ASSERT_EQ(slow.slices.size(), 2u) << "exactly the two nested update spans";
+  EXPECT_EQ(slow.slices[0].name, "update.textview") << "longest slice first";
+  EXPECT_EQ(slow.slices[0].duration_ns, 4000u);
+  EXPECT_EQ(slow.slices[1].name, "update.barchartview");
+
+  const InspectorData::FrameProfile& fast = frames[1];
+  EXPECT_EQ(fast.cycle_seq, 9u);
+  EXPECT_FALSE(fast.over_budget);
+  EXPECT_TRUE(fast.slices.empty());
+}
+
+TEST(Inspector, FlightRecorderFreezesSlowFrames) {
+  Tracer& tracer = Tracer::Instance();
+  tracer.SetCapacity(256);
+  tracer.Clear();
+  uint32_t tid = Tracer::ThreadId();
+  // An 8 ms cycle with a 3 ms view slice, recorded directly into the ring.
+  tracer.Record("update.textview", 2'000'000, 5'000'000, 1, tid);
+  tracer.Record("im.update.cycle", 1'000'000, 9'000'000, 0, tid);
+
+  InspectorData data;
+  data.SetFrameBudgetNs(5'000'000);
+  uint64_t captured_before = CounterValue("inspector.flight.captured");
+  data.Refresh();
+
+  ASSERT_EQ(data.frames().size(), 1u);
+  EXPECT_TRUE(data.frames()[0].over_budget);
+  ASSERT_EQ(data.frames()[0].slices.size(), 1u);
+  EXPECT_EQ(data.frames()[0].slices[0].name, "update.textview");
+
+  EXPECT_EQ(data.flight_captures(), 1u);
+  EXPECT_TRUE(data.has_flight_record());
+  EXPECT_EQ(CounterValue("inspector.flight.captured"), captured_before + 1);
+
+  // The frozen record is a §5 datastream document that round-trips.
+  TraceSnapshot back;
+  Status status = observability::SnapshotFromDatastream(data.flight_record(), &back);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  bool has_cycle = false;
+  for (const SpanRecord& span : back.spans) {
+    has_cycle = has_cycle || span.name_view() == "im.update.cycle";
+  }
+  EXPECT_TRUE(has_cycle);
+
+  // Re-refreshing without a new slow cycle must not re-capture.
+  data.Refresh();
+  EXPECT_EQ(data.flight_captures(), 1u);
+
+  // A later slow cycle triggers a fresh capture.
+  tracer.Record("im.update.cycle", 20'000'000, 31'000'000, 0, tid);
+  data.Refresh();
+  EXPECT_EQ(data.flight_captures(), 2u);
+
+  // The Perfetto view of the frozen ring names the slow cycle.
+  std::string json = data.ExportFlightPerfettoJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("im.update.cycle"), std::string::npos);
+
+  tracer.SetCapacity(Tracer::kDefaultCapacity);
+  tracer.Clear();
+}
+
+TEST(Inspector, MetricsPanelTableAndChart) {
+  MetricsRegistry::Instance().counter("inspector.demo.sample").Add(7);
+  MetricsRegistry::Instance().histogram("inspector.demo.waited").Observe(100);
+
+  InspectorData data;
+  data.Refresh();
+  TableData* table = data.metrics_table();
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->cols(), 2);
+  ASSERT_GT(table->rows(), 0);
+  ASSERT_GT(data.counter_row_count(), 0);
+  ASSERT_LE(data.counter_row_count(), table->rows());
+
+  // Counter rows come first; ours is among them with its value.
+  bool found_counter = false;
+  for (int r = 0; r < data.counter_row_count(); ++r) {
+    if (table->at(r, 0).text == "inspector.demo.sample") {
+      found_counter = true;
+      EXPECT_GE(table->Value(r, 1), 7.0);
+    }
+  }
+  EXPECT_TRUE(found_counter);
+
+  // Histogram percentile rows ride behind the counters.
+  bool found_percentile = false;
+  for (int r = data.counter_row_count(); r < table->rows(); ++r) {
+    if (table->at(r, 0).text == "inspector.demo.waited.p95") {
+      found_percentile = true;
+    }
+  }
+  EXPECT_TRUE(found_percentile);
+
+  // The chart is the §2 observer chain over the same table, clipped to the
+  // counter rows.
+  ChartData* chart = data.metrics_chart();
+  ASSERT_NE(chart, nullptr);
+  EXPECT_EQ(chart->source(), table);
+  std::vector<ChartData::Slice> series = chart->Series();
+  EXPECT_FALSE(series.empty());
+  EXPECT_LE(series.size(), static_cast<size_t>(data.counter_row_count()));
+}
+
+// A host giving every child an equal horizontal slot.
+class RowHost : public View {
+ public:
+  void Layout() override {
+    if (graphic() == nullptr || children().empty()) {
+      return;
+    }
+    Rect b = graphic()->LocalBounds();
+    int w = std::max(1, b.width / static_cast<int>(children().size()));
+    for (size_t i = 0; i < children().size(); ++i) {
+      children()[i]->Allocate(Rect{static_cast<int>(i) * w, 0, w, b.height}, graphic());
+    }
+  }
+};
+
+// Runs the scripted chart workload and records the host display hash after
+// every step; with `with_inspector` the inspector rides along, refreshing on
+// every host cycle (period 0 — harsher than the 10 Hz default).
+void RunChartWorkload(bool with_inspector, std::vector<uint64_t>* hashes) {
+  RegisterStandardModules();
+  Loader::Instance().Require("table");
+
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  auto im = InteractionManager::Create(*ws, 360, 240, "host");
+  TableData table;
+  table.Resize(5, 2);
+  for (int r = 0; r < 5; ++r) {
+    table.SetText(r, 0, "row" + std::to_string(r));
+    table.SetNumber(r, 1, r * 10 + 5);
+  }
+  ChartData chart;
+  chart.SetSource(&table);
+  RowHost host;
+  PieChartView pie;
+  BarChartView bar;
+  pie.SetDataObject(&chart);
+  bar.SetDataObject(&chart);
+  host.AddChild(&pie);
+  host.AddChild(&bar);
+  im->SetChild(&host);
+  im->RunOnce();
+
+  if (with_inspector) {
+    ASSERT_TRUE(im->OpenInspector());
+    InspectorData* data = GetInspectorData(im->inspector());
+    ASSERT_NE(data, nullptr);
+    data->SetRefreshPeriodNs(0);
+  }
+
+  hashes->push_back(im->window()->Display().Hash());
+  for (int step = 0; step < 6; ++step) {
+    table.SetNumber(step % 5, 1, step * 13 + 1);
+    if (step == 3) {
+      table.SetText(1, 0, "edited");
+    }
+    im->RunOnce();
+    hashes->push_back(im->window()->Display().Hash());
+  }
+
+  if (with_inspector) {
+    im->CloseInspector();
+  }
+  // Detaching must leave the remaining steps identical too.
+  table.SetNumber(0, 1, 321);
+  im->RunOnce();
+  hashes->push_back(im->window()->Display().Hash());
+
+  pie.SetDataObject(nullptr);
+  bar.SetDataObject(nullptr);
+}
+
+TEST(Inspector, HostRepaintsByteIdenticalWithInspectorAttached) {
+  std::vector<uint64_t> without;
+  RunChartWorkload(false, &without);
+  std::vector<uint64_t> with;
+  RunChartWorkload(true, &with);
+  ASSERT_EQ(without.size(), with.size());
+  for (size_t step = 0; step < without.size(); ++step) {
+    EXPECT_EQ(without[step], with[step])
+        << "host display diverged at step " << step << " with the inspector attached";
+  }
+}
+
+}  // namespace
+}  // namespace atk

@@ -6,6 +6,7 @@
 // InteractionManagers that call it.
 
 #include <algorithm>
+#include <cctype>
 #include <cstdlib>
 #include <map>
 #include <string>
@@ -22,6 +23,8 @@
 #include "src/datastream/reader.h"
 #include "src/observability/observability.h"
 #include "src/observability/trace_component.h"
+#include "src/observability/trace_export.h"
+#include "src/robustness/fault_injector.h"
 #include "src/robustness/salvage.h"
 #include "src/wm/window_system.h"
 
@@ -37,6 +40,242 @@ using observability::Tracer;
 using observability::TraceSnapshot;
 
 uint64_t SpanEnd(const SpanRecord& s) { return s.start_ns + s.duration_ns; }
+
+// ---- Minimal strict JSON parser --------------------------------------------
+// Just enough to validate TraceExport::ToPerfettoJson output without an
+// external dependency: objects, arrays, strings with the standard escapes,
+// numbers, booleans, null.  Strictness matters — a trailing comma or stray
+// byte must fail the test, not slide through into Perfetto.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;              // kArray
+  std::map<std::string, JsonValue> members;  // kObject
+
+  const JsonValue* Get(const std::string& key) const {
+    auto it = members.find(key);
+    return it == members.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    if (!ParseValue(out)) {
+      return false;
+    }
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject(out);
+    }
+    if (c == '[') {
+      return ParseArray(out);
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str);
+    }
+    if (text_.substr(pos_, 4) == "true") {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.substr(pos_, 4) == "null") {
+      out->kind = JsonValue::Kind::kNull;
+      pos_ += 4;
+      return true;
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    return ParseNumber(&out->number);
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    if (!Consume('{')) {
+      return false;
+    }
+    if (Consume('}')) {
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      if (!Consume(':')) {
+        return false;
+      }
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->members[key] = std::move(value);
+      if (Consume(',')) {
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    if (!Consume('[')) {
+      return false;
+    }
+    if (Consume(']')) {
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->items.push_back(std::move(value));
+      if (Consume(',')) {
+        continue;
+      }
+      return Consume(']');
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return false;
+    }
+    ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // Raw control characters must have been escaped.
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          *out += esc;
+          break;
+        case 'b':
+        case 'f':
+        case 'n':
+        case 'r':
+        case 't':
+          *out += '?';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return false;
+          }
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_ + static_cast<size_t>(i)];
+            if (!std::isxdigit(static_cast<unsigned char>(h))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+          *out += '?';
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // Unterminated.
+  }
+
+  bool ParseNumber(double* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    size_t digits = pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == digits) {
+      return false;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      size_t frac = pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == frac) {
+        return false;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      size_t exp = pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == exp) {
+        return false;
+      }
+    }
+    *out = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(), nullptr);
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+bool ParseJson(std::string_view text, JsonValue* out) { return JsonParser(text).Parse(out); }
 
 TEST(Observability, EnvToggleEnablesTracingAndCapacity) {
   ASSERT_FALSE(observability::Enabled()) << "tracing must start disabled";
@@ -300,6 +539,193 @@ TEST(Observability, SalvageReportMetricsEquivalence) {
   EXPECT_EQ(registry.counter("salvage.stream.resynced").value(),
             static_cast<uint64_t>(report.resyncs()));
   EXPECT_EQ(report.resyncs(), report.markers_closed + report.subtrees_quarantined);
+}
+
+TEST(Observability, RingOverwriteCountsDroppedMetricAndWarns) {
+  observability::Counter& dropped = MetricsRegistry::Instance().counter("obs.trace.dropped");
+  dropped.Reset();
+  Tracer& tracer = Tracer::Instance();
+  tracer.SetCapacity(4);
+  tracer.Clear();
+  tracer.SetEnabled(true);
+  for (int i = 0; i < 10; ++i) {
+    ScopedSpan span("drop.span.demo");
+  }
+  tracer.SetEnabled(false);
+  // 10 spans through a 4-slot ring: 6 overwrites, counted both ways.
+  EXPECT_EQ(tracer.dropped(), 6u);
+  EXPECT_EQ(dropped.value(), 6u) << "counter must match the seq-math accounting";
+
+  TraceSnapshot snap = observability::Snapshot();
+  EXPECT_EQ(snap.spans_dropped, 6u);
+  std::string text = observability::ToText(snap);
+  EXPECT_NE(text.find("WARNING: ring buffer wrapped"), std::string::npos);
+  EXPECT_NE(text.find("ATK_TRACE_CAPACITY"), std::string::npos);
+
+  tracer.SetCapacity(Tracer::kDefaultCapacity);
+  tracer.Clear();
+}
+
+TEST(Observability, PerfettoExportIsValidTraceEventJson) {
+  Tracer& tracer = Tracer::Instance();
+  tracer.SetCapacity(Tracer::kDefaultCapacity);
+  tracer.Clear();
+  tracer.SetEnabled(true);
+  {
+    ScopedSpan outer("perfetto.cycle.demo");
+    { ScopedSpan inner("perfetto.view.demo"); }
+  }
+  tracer.SetEnabled(false);
+  MetricsRegistry::Instance().counter("perfetto.counter.demo").Add(11);
+  Histogram& hist = MetricsRegistry::Instance().histogram("perfetto.histo.demo");
+  hist.Reset();
+  hist.Observe(64);
+
+  TraceSnapshot snap = observability::Snapshot();
+  ASSERT_GE(snap.spans.size(), 2u);
+  std::string json = observability::TraceExport::ToPerfettoJson(snap);
+
+  JsonValue root;
+  ASSERT_TRUE(ParseJson(json, &root)) << json.substr(0, 200);
+  ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+  const JsonValue* unit = root.Get("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->str, "ms");
+
+  const JsonValue* events = root.Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::Kind::kArray);
+
+  size_t complete = 0;
+  size_t counter_events = 0;
+  size_t metadata = 0;
+  double min_ts = -1.0;
+  bool saw_demo_counter = false;
+  for (const JsonValue& event : events->items) {
+    ASSERT_EQ(event.kind, JsonValue::Kind::kObject);
+    const JsonValue* ph = event.Get("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_EQ(ph->kind, JsonValue::Kind::kString);
+    const JsonValue* name = event.Get("name");
+    ASSERT_NE(name, nullptr);
+    ASSERT_EQ(name->kind, JsonValue::Kind::kString);
+    if (ph->str == "X") {
+      ++complete;
+      // Complete events carry the full trace-event shape Perfetto needs.
+      const JsonValue* ts = event.Get("ts");
+      const JsonValue* dur = event.Get("dur");
+      const JsonValue* pid = event.Get("pid");
+      const JsonValue* tid = event.Get("tid");
+      const JsonValue* args = event.Get("args");
+      ASSERT_NE(ts, nullptr);
+      ASSERT_NE(dur, nullptr);
+      ASSERT_NE(pid, nullptr);
+      ASSERT_NE(tid, nullptr);
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(ts->kind, JsonValue::Kind::kNumber);
+      EXPECT_GE(ts->number, 0.0);
+      EXPECT_GE(dur->number, 0.0);
+      EXPECT_EQ(pid->number, 1.0);
+      ASSERT_EQ(args->kind, JsonValue::Kind::kObject);
+      EXPECT_NE(args->Get("seq"), nullptr);
+      EXPECT_NE(args->Get("depth"), nullptr);
+      min_ts = min_ts < 0.0 ? ts->number : std::min(min_ts, ts->number);
+    } else if (ph->str == "C") {
+      ++counter_events;
+      const JsonValue* args = event.Get("args");
+      ASSERT_NE(args, nullptr);
+      ASSERT_EQ(args->kind, JsonValue::Kind::kObject);
+      EXPECT_FALSE(args->members.empty());
+      if (name->str == "perfetto.counter.demo") {
+        saw_demo_counter = true;
+        const JsonValue* value = args->Get("value");
+        ASSERT_NE(value, nullptr);
+        EXPECT_GE(value->number, 11.0);
+      }
+      if (name->str == "perfetto.histo.demo") {
+        EXPECT_NE(args->Get("p50"), nullptr);
+        EXPECT_NE(args->Get("p95"), nullptr);
+        EXPECT_NE(args->Get("p99"), nullptr);
+      }
+    } else if (ph->str == "M") {
+      ++metadata;
+    } else {
+      FAIL() << "unexpected event phase: " << ph->str;
+    }
+  }
+  EXPECT_EQ(complete, snap.spans.size());
+  EXPECT_EQ(counter_events, snap.counters.size() + snap.histograms.size());
+  EXPECT_GE(metadata, 2u) << "process_name plus at least one thread_name";
+  EXPECT_TRUE(saw_demo_counter);
+  // Timestamps are rebased so the earliest span starts at zero.
+  EXPECT_EQ(min_ts, 0.0);
+
+  const JsonValue* other = root.Get("otherData");
+  ASSERT_NE(other, nullptr);
+  const JsonValue* recorded = other->Get("spansRecorded");
+  ASSERT_NE(recorded, nullptr);
+  EXPECT_EQ(recorded->number, static_cast<double>(snap.spans_recorded));
+  EXPECT_NE(other->Get("spansDropped"), nullptr);
+}
+
+TEST(Observability, PerfettoExportSurvivesFaultInjectedSalvage) {
+  Tracer& tracer = Tracer::Instance();
+  tracer.SetCapacity(4096);
+  tracer.Clear();
+  tracer.SetEnabled(true);
+  for (int i = 0; i < 40; ++i) {
+    ScopedSpan outer("salvage.cycle.demo");
+    ScopedSpan inner("salvage.view.demo");
+  }
+  tracer.SetEnabled(false);
+  MetricsRegistry::Instance().counter("salvage.export.demo").Add(5);
+
+  TraceSnapshot original = observability::Snapshot();
+  ASSERT_GE(original.spans.size(), 80u);
+  std::string healthy = observability::SnapshotToDatastream(original);
+
+  int recovered = 0;
+  int with_spans = 0;
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    FaultInjector injector(FaultPlan::FromSeed(seed, healthy.size(), 3));
+    std::string damaged = injector.Corrupt(healthy);
+    SalvageReport report;
+    std::string repaired = DataStreamSalvager().Salvage(damaged, &report);
+
+    // Whatever the damage, the salvaged stream must re-read cleanly.
+    {
+      DataStreamReader reader{repaired};
+      for (DataStreamReader::Token token = reader.Next();
+           token.kind != DataStreamReader::Token::Kind::kEof; token = reader.Next()) {
+      }
+      EXPECT_TRUE(reader.diagnostics().empty()) << "seed " << seed;
+    }
+
+    // A trace whose body was quarantined may fail to reconstruct — that is
+    // graceful degradation, not a crash.  When it does reconstruct, the
+    // Perfetto export of the recovered snapshot must still be valid JSON.
+    TraceSnapshot back;
+    Status status = observability::SnapshotFromDatastream(repaired, &back);
+    if (!status.ok()) {
+      continue;
+    }
+    ++recovered;
+    if (back.spans.empty()) {
+      continue;
+    }
+    ++with_spans;
+    std::string json = observability::TraceExport::ToPerfettoJson(back);
+    JsonValue root;
+    ASSERT_TRUE(ParseJson(json, &root)) << "seed " << seed;
+    const JsonValue* events = root.Get("traceEvents");
+    ASSERT_NE(events, nullptr) << "seed " << seed;
+    EXPECT_GE(events->items.size(), back.spans.size()) << "seed " << seed;
+  }
+  EXPECT_GE(recovered, 1) << "no seed produced a reconstructable trace";
+  EXPECT_GE(with_spans, 1) << "no seed preserved any span through the damage";
+
+  tracer.SetCapacity(Tracer::kDefaultCapacity);
+  tracer.Clear();
 }
 
 // A host giving every child a slot (mirrors the bench_update workload).
