@@ -11,6 +11,8 @@
 #include "src/apps/standard_modules.h"
 #include "src/base/data_object.h"
 #include "src/class_system/loader.h"
+#include "src/components/text/gap_buffer.h"
+#include "src/datastream/baseline_reader.h"
 #include "src/workload/workload.h"
 
 namespace atk {
@@ -73,6 +75,55 @@ void BM_ReadDocumentBySize(benchmark::State& state) {
 }
 BENCHMARK(BM_ReadDocumentBySize)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
+// The pre-PR-5 copying ingestion path, kept in-tree (baseline_reader.h) the
+// way PR 3 kept the flat-rect region algorithm: the old lexer accumulates
+// every text token into an owning std::string byte by byte, and the document
+// body lands in the gap buffer one fragment at a time.  check_perf.sh pins
+// BM_ReadDocumentBySize/256 at >= 3x the throughput of this baseline.
+void BM_ReadDocumentBySize_Baseline(benchmark::State& state) {
+  Setup();
+  WorkloadRng rng(7);
+  std::unique_ptr<TextData> doc = GenerateDocument(rng, static_cast<int>(state.range(0)));
+  std::string serialized = WriteDocument(*doc);
+  using Kind = BaselineDataStreamReader::Token::Kind;
+  for (auto _ : state) {
+    BaselineDataStreamReader reader(serialized);
+    GapBuffer buffer;
+    int64_t newlines = 0;
+    while (true) {
+      BaselineDataStreamReader::Token token = reader.Next();
+      if (token.kind == Kind::kEof) {
+        break;
+      }
+      if (token.kind == Kind::kText) {
+        buffer.Insert(buffer.size(), token.text);
+        for (char ch : token.text) {
+          newlines += ch == '\n' ? 1 : 0;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(buffer);
+    benchmark::DoNotOptimize(newlines);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(serialized.size()));
+}
+BENCHMARK(BM_ReadDocumentBySize_Baseline)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// The same read with the worker pool on: embedded objects decode in
+// parallel.  GenerateCompoundDocument gives the root several children.
+void BM_ReadCompoundParallel(benchmark::State& state) {
+  Setup();
+  std::string serialized = MakeDocument(64, 2);
+  for (auto _ : state) {
+    ReadContext ctx;
+    ctx.EnableDeferredDecode(static_cast<int>(state.range(0)));
+    std::unique_ptr<DataObject> read = ReadDocument(serialized, &ctx);
+    benchmark::DoNotOptimize(read);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(serialized.size()));
+}
+BENCHMARK(BM_ReadCompoundParallel)->Arg(1)->Arg(4)->Arg(8);
+
 void BM_RoundTripCompoundByNesting(benchmark::State& state) {
   Setup();
   std::string serialized = MakeDocument(4, static_cast<int>(state.range(0)));
@@ -95,7 +146,7 @@ void BM_SkipObjectVsFullParse_Skip(benchmark::State& state) {
   for (auto _ : state) {
     DataStreamReader reader(serialized);
     DataStreamReader::Token token = reader.Next();
-    std::string raw;
+    std::string_view raw;
     reader.SkipObject(token.type, token.id, &raw);
     benchmark::DoNotOptimize(raw);
   }

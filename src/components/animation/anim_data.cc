@@ -155,7 +155,8 @@ bool AnimData::ReadBody(DataStreamReader& reader, ReadContext& context) {
       } else if (token.type == "animcmd" && !frames_.empty()) {
         char kind_buf[16] = {0};
         Command cmd;
-        if (std::sscanf(token.text.c_str(), "%15[a-z],%d,%d,%d,%d", kind_buf, &cmd.box.x,
+        std::string args(token.text);
+        if (std::sscanf(args.c_str(), "%15[a-z],%d,%d,%d,%d", kind_buf, &cmd.box.x,
                         &cmd.box.y, &cmd.box.width, &cmd.box.height) == 5) {
           std::string kind = kind_buf;
           if (kind == "line") {

@@ -242,7 +242,7 @@ bool DrawData::ReadBody(DataStreamReader& reader, ReadContext& context) {
     switch (token.kind) {
       case Kind::kDirective: {
         if (token.type == "shape") {
-          std::istringstream in(token.text);
+          std::istringstream in{std::string(token.text)};
           std::string kind;
           std::getline(in, kind, ',');
           Shape shape;
@@ -267,7 +267,8 @@ bool DrawData::ReadBody(DataStreamReader& reader, ReadContext& context) {
             }
           }
         } else if (token.type == "shapetext" || token.type == "shapeobject") {
-          if (std::sscanf(token.text.c_str(), "%d,%d,%d,%d", &pending_box.x, &pending_box.y,
+          std::string args(token.text);
+          if (std::sscanf(args.c_str(), "%d,%d,%d,%d", &pending_box.x, &pending_box.y,
                           &pending_box.width, &pending_box.height) == 4) {
             have_pending_box = true;
             pending_is_text = token.type == "shapetext";
@@ -277,7 +278,7 @@ bool DrawData::ReadBody(DataStreamReader& reader, ReadContext& context) {
       }
       case Kind::kBeginData: {
         std::unique_ptr<DataObject> child =
-            ReadObjectBody(reader, context, token.type, token.id);
+            ReadObjectBody(reader, context, std::string(token.type), token.id);
         if (child != nullptr) {
           pending_children.emplace_back(token.id, std::move(child));
         }

@@ -156,7 +156,8 @@ bool RasterData::ReadBody(DataStreamReader& reader, ReadContext& context) {
     if (token.kind == Kind::kDirective && token.type == "rasterdim") {
       int w = 0;
       int h = 0;
-      if (std::sscanf(token.text.c_str(), "%d,%d", &w, &h) == 2) {
+      std::string args(token.text);
+      if (std::sscanf(args.c_str(), "%d,%d", &w, &h) == 2) {
         width_ = std::max(w, 0);
         height_ = std::max(h, 0);
         bits_.assign(static_cast<size_t>(width_) * height_, false);

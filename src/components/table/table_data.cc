@@ -462,23 +462,24 @@ bool TableData::ReadBody(DataStreamReader& reader, ReadContext& context) {
       }
       case Kind::kDirective: {
         commit_content();
+        std::string args(token.text);
         if (token.type == "dimensions") {
           int r = 0;
           int c = 0;
-          if (std::sscanf(token.text.c_str(), "%d,%d", &r, &c) == 2) {
+          if (std::sscanf(args.c_str(), "%d,%d", &r, &c) == 2) {
             Resize(r, c);
           }
         } else if (token.type == "colwidth") {
           int c = 0;
           int w = 0;
-          if (std::sscanf(token.text.c_str(), "%d,%d", &c, &w) == 2) {
+          if (std::sscanf(args.c_str(), "%d,%d", &c, &w) == 2) {
             SetColWidth(c, w);
           }
         } else if (token.type == "cell") {
           int r = 0;
           int c = 0;
           char kind_buf[16] = {0};
-          if (std::sscanf(token.text.c_str(), "%d,%d,%15s", &r, &c, kind_buf) == 3 &&
+          if (std::sscanf(args.c_str(), "%d,%d,%15s", &r, &c, kind_buf) == 3 &&
               InBounds(r, c)) {
             content_row = r;
             content_col = c;
@@ -488,7 +489,7 @@ bool TableData::ReadBody(DataStreamReader& reader, ReadContext& context) {
         } else if (token.type == "cellobject") {
           int r = 0;
           int c = 0;
-          if (std::sscanf(token.text.c_str(), "%d,%d", &r, &c) == 2 && InBounds(r, c)) {
+          if (std::sscanf(args.c_str(), "%d,%d", &r, &c) == 2 && InBounds(r, c)) {
             pending_obj_row = r;
             pending_obj_col = c;
           }
@@ -498,7 +499,7 @@ bool TableData::ReadBody(DataStreamReader& reader, ReadContext& context) {
       case Kind::kBeginData: {
         commit_content();
         std::unique_ptr<DataObject> child =
-            ReadObjectBody(reader, context, token.type, token.id);
+            ReadObjectBody(reader, context, std::string(token.type), token.id);
         if (child != nullptr) {
           pending_children.emplace_back(token.id, std::move(child));
         }

@@ -34,6 +34,8 @@ void GapBuffer::GrowGap(size_t needed) {
   gap_end_ = new_size - tail_len;
 }
 
+void GapBuffer::Reserve(size_t additional) { GrowGap(additional); }
+
 void GapBuffer::Insert(int64_t pos, std::string_view text) {
   if (pos < 0 || pos > size() || text.empty()) {
     return;
@@ -58,10 +60,20 @@ std::string GapBuffer::Substr(int64_t pos, int64_t len) const {
     return "";
   }
   len = std::min(len, size() - pos);
+  // At most two memcpys: the part left of the gap and the part right of it.
   std::string out;
-  out.reserve(static_cast<size_t>(len));
-  for (int64_t i = 0; i < len; ++i) {
-    out += At(pos + i);
+  out.resize(static_cast<size_t>(len));
+  size_t p = static_cast<size_t>(pos);
+  size_t n = static_cast<size_t>(len);
+  size_t written = 0;
+  if (p < gap_start_) {
+    size_t take = std::min(gap_start_ - p, n);
+    std::memcpy(out.data(), &buffer_[p], take);
+    written = take;
+    p += take;
+  }
+  if (written < n) {
+    std::memcpy(out.data() + written, &buffer_[p + (gap_end_ - gap_start_)], n - written);
   }
   return out;
 }

@@ -29,6 +29,14 @@ class GapBuffer {
   void Insert(int64_t pos, std::string_view text);
   void Delete(int64_t pos, int64_t len);
 
+  // Bulk-ingestion support (PR 5): pre-size the gap for `additional` more
+  // bytes so a run of Inserts (a document body landing fragment by fragment)
+  // triggers no intermediate reallocation.
+  void Reserve(size_t additional);
+  // Insert at the end: after the first call the gap stays at the end, so a
+  // streamed document body appends with one memcpy per fragment.
+  void Append(std::string_view text) { Insert(size(), text); }
+
   std::string Substr(int64_t pos, int64_t len) const;
   std::string All() const { return Substr(0, size()); }
 

@@ -1,7 +1,7 @@
 #include "src/datastream/reader.h"
 
 #include <cctype>
-#include <sstream>
+#include <cstring>
 
 #include "src/observability/observability.h"
 
@@ -12,13 +12,14 @@ bool IsDirectiveNameChar(char ch) {
   return std::isalnum(static_cast<unsigned char>(ch)) || ch == '_' || ch == '-';
 }
 
-// Parses "type,id" marker args.  Returns false on malformed args.
-bool ParseMarkerArgs(std::string_view args, std::string* type, int64_t* id) {
+// Parses "type,id" marker args.  Returns false on malformed args.  `type`
+// stays a slice of `args` — no copy.
+bool ParseMarkerArgs(std::string_view args, std::string_view* type, int64_t* id) {
   size_t comma = args.rfind(',');
   if (comma == std::string_view::npos || comma == 0 || comma + 1 >= args.size()) {
     return false;
   }
-  *type = std::string(args.substr(0, comma));
+  *type = args.substr(0, comma);
   int64_t value = 0;
   for (size_t i = comma + 1; i < args.size(); ++i) {
     char ch = args[i];
@@ -44,9 +45,16 @@ int HexValue(char ch) {
   return -1;
 }
 
-}  // namespace
-
-namespace {
+// Next backslash at or after `from`, or npos.  The zero-copy lexer's inner
+// loop: every byte between backslashes is covered by one memchr call.
+size_t FindBackslash(std::string_view data, size_t from) {
+  if (from >= data.size()) {
+    return std::string_view::npos;
+  }
+  const void* hit = std::memchr(data.data() + from, '\\', data.size() - from);
+  return hit == nullptr ? std::string_view::npos
+                        : static_cast<size_t>(static_cast<const char*>(hit) - data.data());
+}
 
 // §5 parse-cost accounting; bytes are attributed when the reader opens.
 void CountReaderOpen(size_t bytes) {
@@ -60,23 +68,77 @@ void CountReaderOpen(size_t bytes) {
 
 }  // namespace
 
-DataStreamReader::DataStreamReader(std::string input) : input_(std::move(input)) {
-  CountReaderOpen(input_.size());
+DataStreamReader::DataStreamReader(std::string input) : owned_(std::move(input)) {
+  data_ = owned_;
+  CountReaderOpen(data_.size());
 }
 
 DataStreamReader::DataStreamReader(std::istream& in) {
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  input_ = buffer.str();
-  CountReaderOpen(input_.size());
+  // Chunked reads appended straight into the pinned buffer — no
+  // ostringstream double-buffering.
+  char chunk[64 * 1024];
+  std::streamsize got = 0;
+  do {
+    in.read(chunk, sizeof(chunk));
+    got = in.gcount();
+    if (got > 0) {
+      owned_.append(chunk, static_cast<size_t>(got));
+    }
+  } while (got == static_cast<std::streamsize>(sizeof(chunk)));
+  data_ = owned_;
+  CountReaderOpen(data_.size());
+}
+
+DataStreamReader::DataStreamReader(std::string_view pinned, size_t base_offset)
+    : data_(pinned), base_offset_(base_offset) {
+  CountReaderOpen(data_.size());
+}
+
+DataStreamReader DataStreamReader::ForEmbeddedObject(const RawCapture& capture,
+                                                     std::string_view type, int64_t id) {
+  // Sub-readers over a slice of an already-counted document do not re-count
+  // datastream.reader.opened/bytes, so the §5 accounting stays per-document.
+  DataStreamReader reader;
+  reader.data_ = capture.with_end;
+  reader.base_offset_ = capture.offset;
+  reader.open_.push_back(OpenMarker{std::string(type), id});
+  return reader;
 }
 
 const DataStreamReader::Token& DataStreamReader::Peek() {
   if (!has_peek_) {
+    // Snapshot the lexer state so SkipObject can rewind over the peeked
+    // token instead of silently dropping it.
+    peek_rewind_.pos = pos_;
+    peek_rewind_.open_size = open_.size();
+    peek_rewind_.repush = !open_.empty();
+    if (peek_rewind_.repush) {
+      peek_rewind_.reopened = open_.back();
+    }
+    peek_rewind_.diagnostics_size = diagnostics_.size();
+    peek_rewind_.truncated = truncated_;
+    peek_rewind_.saw_malformed = saw_malformed_;
+    peek_rewind_.has_stashed = has_stashed_;
+    peek_rewind_.stashed = stashed_;
     peek_ = Lex();
     has_peek_ = true;
   }
   return peek_;
+}
+
+void DataStreamReader::RewindPeek() {
+  pos_ = peek_rewind_.pos;
+  if (open_.size() > peek_rewind_.open_size) {
+    open_.pop_back();  // The peeked token was a \begindata.
+  } else if (open_.size() < peek_rewind_.open_size && peek_rewind_.repush) {
+    open_.push_back(peek_rewind_.reopened);  // The peeked token was an \enddata.
+  }
+  diagnostics_.resize(peek_rewind_.diagnostics_size);
+  truncated_ = peek_rewind_.truncated;
+  saw_malformed_ = peek_rewind_.saw_malformed;
+  has_stashed_ = peek_rewind_.has_stashed;
+  stashed_ = peek_rewind_.stashed;
+  has_peek_ = false;
 }
 
 DataStreamReader::Token DataStreamReader::Next() {
@@ -85,7 +147,7 @@ DataStreamReader::Token DataStreamReader::Next() {
   tokens.Add(1);
   if (has_peek_) {
     has_peek_ = false;
-    return std::move(peek_);
+    return peek_;
   }
   return Lex();
 }
@@ -107,60 +169,67 @@ void DataStreamReader::MarkTruncated(size_t offset, std::string message) {
   }
 }
 
+std::string_view DataStreamReader::Intern(std::string&& pending) {
+  scratch_bytes_ += pending.size();
+  arena_.push_back(std::move(pending));
+  return arena_.back();
+}
+
 bool DataStreamReader::LexDirective(Token* token) {
   // pos_ points at '\'.  A directive is \name{args} with no newline between
   // the backslash and the closing brace.
   size_t start = pos_;
   size_t p = pos_ + 1;
   size_t name_start = p;
-  while (p < input_.size() && IsDirectiveNameChar(input_[p])) {
+  while (p < data_.size() && IsDirectiveNameChar(data_[p])) {
     ++p;
   }
-  if (p == name_start || p >= input_.size() || input_[p] != '{') {
+  if (p == name_start || p >= data_.size() || data_[p] != '{') {
     return false;
   }
-  std::string name = input_.substr(name_start, p - name_start);
+  std::string_view name = data_.substr(name_start, p - name_start);
   ++p;  // consume '{'
   size_t args_start = p;
-  while (p < input_.size() && input_[p] != '}' && input_[p] != '\n') {
+  while (p < data_.size() && data_[p] != '}' && data_[p] != '\n') {
     ++p;
   }
-  if (p >= input_.size() || input_[p] != '}') {
+  if (p >= data_.size() || data_[p] != '}') {
     // `\name{` with no closing brace on the line: damaged, not text.  The
     // token carries the raw bytes (up to the newline / EOF) verbatim so a
     // salvage pass can quarantine them without loss.
     token->kind = Token::Kind::kDiagnostic;
-    token->type = std::move(name);
-    token->text = input_.substr(start, p - start);
-    token->offset = start;
+    token->type = name;
+    token->text = data_.substr(start, p - start);
+    token->offset = Abs(start);
     pos_ = p;  // A trailing newline stays in the stream as ordinary text.
-    AddDiagnostic(StatusCode::kCorrupt, start,
-                  "unterminated directive \\" + token->type + "{...");
+    AddDiagnostic(StatusCode::kCorrupt, Abs(start),
+                  "unterminated directive \\" + std::string(name) + "{...");
     return true;
   }
-  std::string args = input_.substr(args_start, p - args_start);
+  std::string_view args = data_.substr(args_start, p - args_start);
   pos_ = p + 1;  // past '}'
 
   if (name == "begindata" || name == "enddata") {
-    std::string type;
+    std::string_view type;
     int64_t id = 0;
     if (!ParseMarkerArgs(args, &type, &id)) {
       // Marker with a missing/non-numeric id: surfaced as a diagnostic token
       // (the raw bytes preserved), never mistaken for content.
       token->kind = Token::Kind::kDiagnostic;
       token->type = name;
-      token->text = input_.substr(start, pos_ - start);
-      token->offset = start;
-      AddDiagnostic(StatusCode::kCorrupt, start,
-                    "malformed \\" + name + " marker args: {" + args + "}");
+      token->text = data_.substr(start, pos_ - start);
+      token->offset = Abs(start);
+      AddDiagnostic(StatusCode::kCorrupt, Abs(start),
+                    "malformed \\" + std::string(name) + " marker args: {" +
+                        std::string(args) + "}");
       return true;
     }
     // One trailing newline is part of the marker's formatting.
-    if (pos_ < input_.size() && input_[pos_] == '\n') {
+    if (pos_ < data_.size() && data_[pos_] == '\n') {
       ++pos_;
     }
     if (name == "begindata") {
-      open_.push_back(OpenMarker{type, id});
+      open_.push_back(OpenMarker{std::string(type), id});
       static observability::Gauge& depth_max =
           observability::MetricsRegistry::Instance().gauge("datastream.reader.depth_max");
       depth_max.SetMax(static_cast<int64_t>(open_.size()));
@@ -169,148 +238,191 @@ bool DataStreamReader::LexDirective(Token* token) {
       if (!open_.empty() && open_.back().type == type && open_.back().id == id) {
         open_.pop_back();
       } else {
-        AddDiagnostic(StatusCode::kCorrupt, start,
-                      "mismatched \\enddata{" + type + "," + std::to_string(id) + "}");
+        AddDiagnostic(StatusCode::kCorrupt, Abs(start),
+                      "mismatched \\enddata{" + std::string(type) + "," +
+                          std::to_string(id) + "}");
         if (!open_.empty()) {
           open_.pop_back();
         }
       }
       token->kind = Token::Kind::kEndData;
     }
-    token->type = std::move(type);
+    token->type = type;
     token->id = id;
-    token->offset = start;
+    token->offset = Abs(start);
     return true;
   }
   if (name == "view") {
-    std::string type;
+    std::string_view type;
     int64_t id = 0;
     if (ParseMarkerArgs(args, &type, &id)) {
       token->kind = Token::Kind::kViewRef;
-      token->type = std::move(type);
+      token->type = type;
       token->id = id;
-      token->offset = start;
+      token->offset = Abs(start);
       return true;
     }
     token->kind = Token::Kind::kDiagnostic;
-    token->type = std::move(name);
-    token->text = input_.substr(start, pos_ - start);
-    token->offset = start;
-    AddDiagnostic(StatusCode::kCorrupt, start, "malformed \\view args: {" + args + "}");
+    token->type = name;
+    token->text = data_.substr(start, pos_ - start);
+    token->offset = Abs(start);
+    AddDiagnostic(StatusCode::kCorrupt, Abs(start),
+                  "malformed \\view args: {" + std::string(args) + "}");
     return true;
   }
   token->kind = Token::Kind::kDirective;
-  token->type = std::move(name);
-  token->text = std::move(args);
-  token->offset = start;
+  token->type = name;
+  token->text = args;
+  token->offset = Abs(start);
   return true;
 }
 
 DataStreamReader::Token DataStreamReader::Lex() {
   if (has_stashed_) {
     has_stashed_ = false;
-    return std::move(stashed_);
+    return stashed_;
   }
   Token token;
-  std::string text;
   size_t text_start = pos_;
-  while (pos_ < input_.size()) {
-    char ch = input_[pos_];
-    if (ch != '\\') {
-      text += ch;
-      ++pos_;
-      continue;
+  // The current escape-free segment is [seg_start, scan point).  Until an
+  // escape forces materialization the token stays a view; `pending` only
+  // exists once \\ or \x{hh} is seen.
+  size_t seg_start = pos_;
+  std::string pending;
+  bool materialized = false;
+  auto flush_segment = [&](size_t upto) {
+    if (upto > seg_start) {
+      pending.append(data_.data() + seg_start, upto - seg_start);
     }
+  };
+
+  while (pos_ < data_.size()) {
+    size_t b = FindBackslash(data_, pos_);
+    if (b == std::string_view::npos) {
+      pos_ = data_.size();
+      break;
+    }
+    pos_ = b;
     // Escapes that continue the text run.
-    if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '\\') {
-      text += '\\';
-      pos_ += 2;
+    if (b + 1 < data_.size() && data_[b + 1] == '\\') {
+      flush_segment(b);
+      pending += '\\';
+      materialized = true;
+      pos_ = b + 2;
+      seg_start = pos_;
       continue;
     }
-    if (pos_ + 4 < input_.size() && input_[pos_ + 1] == 'x' && input_[pos_ + 2] == '{') {
-      int hi = HexValue(input_[pos_ + 3]);
-      int lo = pos_ + 4 < input_.size() ? HexValue(input_[pos_ + 4]) : -1;
-      if (hi >= 0 && lo >= 0 && pos_ + 5 < input_.size() && input_[pos_ + 5] == '}') {
-        text += static_cast<char>(hi * 16 + lo);
-        pos_ += 6;
+    if (b + 4 < data_.size() && data_[b + 1] == 'x' && data_[b + 2] == '{') {
+      int hi = HexValue(data_[b + 3]);
+      int lo = HexValue(data_[b + 4]);
+      if (hi >= 0 && lo >= 0 && b + 5 < data_.size() && data_[b + 5] == '}') {
+        flush_segment(b);
+        pending += static_cast<char>(hi * 16 + lo);
+        materialized = true;
+        pos_ = b + 6;
+        seg_start = pos_;
         continue;
       }
     }
     // Try a directive.  On success, flush accumulated text first (the
-    // directive token is held as the pending peek).
+    // directive token is held as the pending stash).
     Token directive;
     if (LexDirective(&directive)) {
-      if (text.empty()) {
+      bool have_view_text = !materialized && b > text_start;
+      if (!materialized && !have_view_text) {
         return directive;
       }
-      stashed_ = std::move(directive);
-      has_stashed_ = true;
       token.kind = Token::Kind::kText;
-      token.text = std::move(text);
-      token.offset = text_start;
+      token.offset = Abs(text_start);
+      if (materialized) {
+        flush_segment(b);
+        token.text = Intern(std::move(pending));
+      } else {
+        token.text = data_.substr(text_start, b - text_start);
+      }
+      stashed_ = directive;
+      has_stashed_ = true;
       return token;
     }
     // Lone backslash that is not an escape and not a directive: recovered as
-    // literal text (the paper's partial-destruction recovery posture).
-    AddDiagnostic(StatusCode::kCorrupt, pos_, "lone backslash recovered as literal text");
-    text += '\\';
-    ++pos_;
+    // literal text (the paper's partial-destruction recovery posture).  The
+    // byte is its own unescaped form, so the segment continues through it —
+    // no materialization needed.
+    AddDiagnostic(StatusCode::kCorrupt, Abs(b), "lone backslash recovered as literal text");
+    pos_ = b + 1;
   }
-  if (!text.empty()) {
+  if (materialized) {
+    flush_segment(pos_);
     token.kind = Token::Kind::kText;
-    token.text = std::move(text);
-    token.offset = text_start;
+    token.text = Intern(std::move(pending));
+    token.offset = Abs(text_start);
+    return token;
+  }
+  if (pos_ > text_start) {
+    token.kind = Token::Kind::kText;
+    token.text = data_.substr(text_start, pos_ - text_start);
+    token.offset = Abs(text_start);
     return token;
   }
   if (!open_.empty()) {
-    MarkTruncated(pos_, "input ended with " + std::to_string(open_.size()) +
-                            " marker(s) still open (innermost: \\begindata{" +
-                            open_.back().type + "," + std::to_string(open_.back().id) + "})");
+    MarkTruncated(Abs(pos_), "input ended with " + std::to_string(open_.size()) +
+                                 " marker(s) still open (innermost: \\begindata{" +
+                                 open_.back().type + "," + std::to_string(open_.back().id) +
+                                 "})");
   }
   token.kind = Token::Kind::kEof;
-  token.offset = pos_;
+  token.offset = Abs(pos_);
   return token;
 }
 
-bool DataStreamReader::SkipObject(std::string_view type, int64_t id, std::string* raw_body) {
+bool DataStreamReader::SkipObject(std::string_view type, int64_t id,
+                                  std::string_view* raw_body) {
+  RawCapture capture;
+  bool ok = SkipObject(type, id, &capture);
+  if (raw_body != nullptr) {
+    *raw_body = capture.body;
+  }
+  return ok;
+}
+
+bool DataStreamReader::SkipObject(std::string_view type, int64_t id, RawCapture* capture) {
   // Bracket-match on raw input without interpreting component payloads.
   // We scan for \begindata / \enddata directives only; escaped backslashes
   // cannot form a directive because "\\begindata" parses as literal
   // backslash followed by plain text.
   if (has_peek_) {
-    // Simplest correct behaviour: the caller must not have peeked past the
-    // begindata marker.  Drop the peek back by re-lexing from its position is
-    // not possible; treat as programming error by ignoring the peek.
-    has_peek_ = false;
+    // A token was peeked past the begindata marker: rewind so its bytes are
+    // part of the skipped body (they belong to the object).
+    RewindPeek();
   }
   has_stashed_ = false;
   size_t body_start = pos_;
   int depth_needed = 1;
   size_t p = pos_;
-  while (p < input_.size()) {
-    char ch = input_[p];
-    if (ch != '\\') {
-      ++p;
-      continue;
+  while (p < data_.size()) {
+    size_t b = FindBackslash(data_, p);
+    if (b == std::string_view::npos) {
+      break;
     }
-    if (p + 1 < input_.size() && input_[p + 1] == '\\') {
+    p = b;
+    if (p + 1 < data_.size() && data_[p + 1] == '\\') {
       p += 2;
       continue;
     }
     // Try to read a directive name.
     size_t q = p + 1;
     size_t name_start = q;
-    while (q < input_.size() && IsDirectiveNameChar(input_[q])) {
+    while (q < data_.size() && IsDirectiveNameChar(data_[q])) {
       ++q;
     }
-    if (q == name_start || q >= input_.size() || input_[q] != '{') {
+    if (q == name_start || q >= data_.size() || data_[q] != '{') {
       ++p;
       continue;
     }
-    std::string_view name(input_.data() + name_start, q - name_start);
+    std::string_view name = data_.substr(name_start, q - name_start);
     size_t args_start = q + 1;
-    size_t close = input_.find('}', args_start);
-    if (close == std::string::npos || input_.find('\n', args_start) < close) {
+    size_t close = data_.find('}', args_start);
+    if (close == std::string_view::npos || data_.find('\n', args_start) < close) {
       ++p;
       continue;
     }
@@ -319,20 +431,23 @@ bool DataStreamReader::SkipObject(std::string_view type, int64_t id, std::string
     } else if (name == "enddata") {
       --depth_needed;
       if (depth_needed == 0) {
-        std::string_view args(input_.data() + args_start, close - args_start);
-        std::string end_type;
+        std::string_view args = data_.substr(args_start, close - args_start);
+        std::string_view end_type;
         int64_t end_id = 0;
         if (!ParseMarkerArgs(args, &end_type, &end_id) || end_type != type || end_id != id) {
-          AddDiagnostic(StatusCode::kCorrupt, p,
+          AddDiagnostic(StatusCode::kCorrupt, Abs(p),
                         "skip of \\begindata{" + std::string(type) + "," + std::to_string(id) +
                             "} closed by non-matching \\enddata{" + std::string(args) + "}");
         }
-        if (raw_body != nullptr) {
-          *raw_body = input_.substr(body_start, p - body_start);
-        }
         pos_ = close + 1;
-        if (pos_ < input_.size() && input_[pos_] == '\n') {
+        if (pos_ < data_.size() && data_[pos_] == '\n') {
           ++pos_;
+        }
+        if (capture != nullptr) {
+          capture->body = data_.substr(body_start, p - body_start);
+          capture->with_end = data_.substr(body_start, pos_ - body_start);
+          capture->offset = Abs(body_start);
+          capture->complete = true;
         }
         if (!open_.empty()) {
           open_.pop_back();
@@ -343,12 +458,15 @@ bool DataStreamReader::SkipObject(std::string_view type, int64_t id, std::string
     p = close + 1;
   }
   // Ran off the end: truncated object.
-  MarkTruncated(input_.size(), "input ended while skipping \\begindata{" +
-                                   std::string(type) + "," + std::to_string(id) + "}");
-  if (raw_body != nullptr) {
-    *raw_body = input_.substr(body_start);
+  MarkTruncated(Abs(data_.size()), "input ended while skipping \\begindata{" +
+                                       std::string(type) + "," + std::to_string(id) + "}");
+  if (capture != nullptr) {
+    capture->body = data_.substr(body_start);
+    capture->with_end = capture->body;
+    capture->offset = Abs(body_start);
+    capture->complete = false;
   }
-  pos_ = input_.size();
+  pos_ = data_.size();
   open_.clear();
   return false;
 }

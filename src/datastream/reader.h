@@ -1,4 +1,4 @@
-// External-representation reader (§5).
+// External-representation reader (§5) — zero-copy streaming pipeline.
 //
 // Tokenizes a datastream into text fragments and directives.  Two properties
 // the toolkit depends on are implemented here:
@@ -11,16 +11,37 @@
 //    reader reports `truncated()` and what was parsed remains valid — the
 //    paper's "easier recovery when files are partially destroyed".
 //
+// Zero-copy design (PR 5).  The input buffer is *pinned*: the owning-string
+// constructor takes the bytes and never reallocates them; the istream
+// constructor reads in large chunks before pinning; the string_view
+// constructor borrows bytes the caller keeps alive.  Token `text`/`type` are
+// std::string_view slices — either directly into the pinned buffer (the
+// common case: any text run without escapes, every directive) or into a
+// reader-owned unescape arena (text runs containing \\ or \x{hh} escapes,
+// which are bulk-unescaped on demand).  Either way the rule is the same:
+// **tokens die when the reader dies.**  Callers that need bytes beyond the
+// reader's lifetime must copy (UnknownObject does).  Text scanning is
+// memchr-driven: bytes between backslashes are never touched one at a time.
+//
 // Malformed input is never silently swallowed: damaged directives (a marker
 // with a missing id, an unterminated `{...}`, a non-numeric id) surface as
 // kDiagnostic tokens carrying the raw damaged bytes, and every recovery the
 // reader performs is recorded in `diagnostics()` with a byte offset, so a
 // salvage pass (src/robustness/salvage.h) can locate the damage exactly.
+// Offsets are relative to the pinned buffer's origin: a sub-reader opened
+// over an embedded object's raw bytes (ForEmbeddedObject) reports offsets
+// in the *enclosing* document's coordinates via its base offset.
+//
+// Behavioural identity with the pre-rewrite lexer (token boundaries, token
+// bytes, diagnostics, recovery) is pinned by the 64-seed differential sweep
+// in tests/test_datastream_differential.cc against the frozen
+// BaselineDataStreamReader.
 
 #ifndef ATK_SRC_DATASTREAM_READER_H_
 #define ATK_SRC_DATASTREAM_READER_H_
 
 #include <cstdint>
+#include <deque>
 #include <istream>
 #include <string>
 #include <string_view>
@@ -44,28 +65,66 @@ class DataStreamReader {
     };
 
     Kind kind = Kind::kEof;
-    std::string text;  // kText: payload; kDirective: args; kDiagnostic: raw bytes.
-    std::string type;  // marker type / directive name / view type.
+    // kText: payload; kDirective: args; kDiagnostic: raw bytes.  A slice of
+    // the pinned buffer or the reader's unescape arena — valid only while
+    // the reader lives.
+    std::string_view text;
+    // Marker type / directive name / view type.  Same lifetime rule.
+    std::string_view type;
     int64_t id = 0;    // marker or view-reference id.
     size_t offset = 0; // Byte offset where the token started (diagnostics).
   };
 
+  // The raw bytes of one skipped object, captured without parsing.
+  struct RawCapture {
+    std::string_view body;        // Between the markers, escapes intact.
+    std::string_view with_end;    // body plus the closing \enddata{...}\n —
+                                  // a self-delimiting unit ForEmbeddedObject
+                                  // can re-lex.
+    size_t offset = 0;            // Pinned-buffer offset of `body`.
+    bool complete = false;        // False when input ended inside the object.
+  };
+
+  // Owning constructor: pins `input` for the reader's lifetime.
   explicit DataStreamReader(std::string input);
+  // String literals own-by-copy (disambiguates from the borrowing ctor).
+  explicit DataStreamReader(const char* input) : DataStreamReader(std::string(input)) {}
+  // Reads `in` to EOF in large chunks (no ostringstream detour), then pins.
   explicit DataStreamReader(std::istream& in);
+  // Borrowing constructor: the caller guarantees `pinned` outlives the
+  // reader.  Token/diagnostic offsets are `base_offset` + position within
+  // `pinned`, so diagnostics from a slice of a larger document still point
+  // into that document.
+  explicit DataStreamReader(std::string_view pinned, size_t base_offset = 0);
+
+  // A sub-reader over one embedded object captured by SkipObject: lexes
+  // `capture.with_end` as if the object's \begindata{type,id} had just been
+  // consumed (the marker is pre-opened, so the body's own \enddata balances).
+  // Used by the parallel decode stage; the parent reader's pinned buffer
+  // must outlive the sub-reader.
+  static DataStreamReader ForEmbeddedObject(const RawCapture& capture,
+                                            std::string_view type, int64_t id);
 
   // Returns the next token.  At end of input returns kEof forever.
   Token Next();
 
-  // Peek without consuming.
+  // Peek without consuming.  The reader snapshots its lexer state so a
+  // following SkipObject can rewind over the peeked token (see below).
   const Token& Peek();
 
   // Call after consuming a kBeginData token to skip the whole object without
   // parsing it.  Nested objects are skipped by bracket matching.  When
-  // `raw_body` is non-null it receives the object's body *verbatim*
-  // (escapes intact, inner markers intact), suitable for WriteRaw.
-  // Returns false when input ends before the matching \enddata (the stream
-  // is then marked truncated).
-  bool SkipObject(std::string_view type, int64_t id, std::string* raw_body = nullptr);
+  // `raw_body` is non-null it receives a view of the object's body
+  // *verbatim* (escapes intact, inner markers intact, valid while the
+  // reader lives), suitable for WriteRaw.  Returns false when input ends
+  // before the matching \enddata (the stream is then marked truncated).
+  //
+  // If a token has been Peeked but not consumed, the reader rewinds to the
+  // peek point first, so the peeked token's bytes are part of the skipped
+  // body instead of being silently dropped (the pre-PR-5 footgun).
+  bool SkipObject(std::string_view type, int64_t id, std::string_view* raw_body = nullptr);
+  // As above, capturing the full extent for deferred decode.
+  bool SkipObject(std::string_view type, int64_t id, RawCapture* capture);
 
   // Nesting depth of open \begindata markers seen so far.
   int depth() const { return static_cast<int>(open_.size()); }
@@ -80,14 +139,36 @@ class DataStreamReader {
   // Generalizes `truncated()`; empty means the input parsed clean.
   const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
 
-  // Byte offset of the read cursor (diagnostics, bench).
+  // Byte offset of the read cursor within this reader's input (diagnostics,
+  // bench).  For a sub-reader, relative to its slice, not the document.
   size_t position() const { return pos_; }
-  size_t input_size() const { return input_.size(); }
+  size_t input_size() const { return data_.size(); }
+
+  // Bytes copied into the unescape arena so far; 0 for escape-free input
+  // (the zero-copy invariant, asserted by tests).
+  size_t scratch_bytes() const { return scratch_bytes_; }
 
  private:
+  // For ForEmbeddedObject: a sub-reader over an already-counted document is
+  // assembled field-by-field (and skips the reader-open metrics).
+  DataStreamReader() = default;
+
   struct OpenMarker {
     std::string type;
     int64_t id;
+  };
+
+  // Lexer state snapshot for the Peek -> SkipObject rewind.
+  struct PeekRewind {
+    size_t pos = 0;
+    size_t open_size = 0;
+    OpenMarker reopened;        // Marker popped by a peeked \enddata.
+    bool repush = false;
+    size_t diagnostics_size = 0;
+    bool truncated = false;
+    bool saw_malformed = false;
+    bool has_stashed = false;
+    Token stashed;
   };
 
   Token Lex();
@@ -98,8 +179,14 @@ class DataStreamReader {
   bool LexDirective(Token* token);
   void AddDiagnostic(StatusCode code, size_t offset, std::string message);
   void MarkTruncated(size_t offset, std::string message);
+  void RewindPeek();
+  // Moves `pending` into the arena and returns a stable view of it.
+  std::string_view Intern(std::string&& pending);
+  size_t Abs(size_t rel) const { return rel + base_offset_; }
 
-  std::string input_;
+  std::string owned_;       // Backing bytes for the owning constructors.
+  std::string_view data_;   // The pinned buffer all views slice into.
+  size_t base_offset_ = 0;  // Added to every reported offset.
   size_t pos_ = 0;
   std::vector<OpenMarker> open_;
   std::vector<Diagnostic> diagnostics_;
@@ -107,9 +194,14 @@ class DataStreamReader {
   bool saw_malformed_ = false;
   bool has_peek_ = false;
   Token peek_;
+  PeekRewind peek_rewind_;
   // A directive token produced while flushing preceding text out of Lex().
   bool has_stashed_ = false;
   Token stashed_;
+  // Unescaped text storage: deque elements never move, so views into them
+  // stay valid for the reader's lifetime.
+  std::deque<std::string> arena_;
+  size_t scratch_bytes_ = 0;
 };
 
 }  // namespace atk

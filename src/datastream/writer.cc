@@ -1,16 +1,26 @@
 #include "src/datastream/writer.h"
 
 #include <cstdio>
+#include <cstring>
 
 #include "src/observability/observability.h"
 
 namespace atk {
+namespace {
+
+// Bytes WriteText passes through verbatim; everything else is escaped.
+bool IsCleanTextByte(char ch) {
+  unsigned char byte = static_cast<unsigned char>(ch);
+  return ch == '\n' || ch == '\t' || (byte >= 0x20 && byte < 0x7F);
+}
+
+}  // namespace
 
 DataStreamWriter::DataStreamWriter(std::ostream& out) : out_(out) {}
 
 DataStreamWriter::~DataStreamWriter() {
-  // Whole-stream accounting is published once, at teardown, so the per-byte
-  // Emit path stays untouched.
+  // Whole-stream accounting is published once, at teardown, so the emission
+  // path stays untouched.
   using observability::Counter;
   using observability::Gauge;
   using observability::MetricsRegistry;
@@ -23,23 +33,40 @@ DataStreamWriter::~DataStreamWriter() {
   depth_max.SetMax(max_depth_);
 }
 
-void DataStreamWriter::Emit(char ch) {
-  out_.put(ch);
-  ++bytes_written_;
-  if (ch == '\n') {
-    column_ = 0;
-  } else {
-    ++column_;
+void DataStreamWriter::EmitChunk(std::string_view s) { chunk_.append(s); }
+
+void DataStreamWriter::Account(std::string_view s) {
+  bytes_written_ += static_cast<int64_t>(s.size());
+  // Column tracking per newline-delimited segment instead of per byte.
+  size_t start = 0;
+  while (start <= s.size()) {
+    const void* hit = s.size() > start
+                          ? std::memchr(s.data() + start, '\n', s.size() - start)
+                          : nullptr;
+    if (hit == nullptr) {
+      column_ += static_cast<int>(s.size() - start);
+      if (column_ > max_line_length_) {
+        max_line_length_ = column_;
+      }
+      break;
+    }
+    size_t nl = static_cast<size_t>(static_cast<const char*>(hit) - s.data());
+    column_ += static_cast<int>(nl - start);
     if (column_ > max_line_length_) {
       max_line_length_ = column_;
     }
+    column_ = 0;
+    start = nl + 1;
   }
 }
 
-void DataStreamWriter::EmitString(std::string_view s) {
-  for (char ch : s) {
-    Emit(ch);
+void DataStreamWriter::FlushChunk() {
+  if (chunk_.empty()) {
+    return;
   }
+  Account(chunk_);
+  out_.write(chunk_.data(), static_cast<std::streamsize>(chunk_.size()));
+  chunk_.clear();
 }
 
 int64_t DataStreamWriter::BeginData(std::string_view type) {
@@ -65,11 +92,12 @@ void DataStreamWriter::BeginDataWithId(std::string_view type, int64_t id) {
         "duplicate stream id " + std::to_string(id) + " (already used by \\begindata{" +
             it->second + "," + std::to_string(id) + "})"});
   }
-  EmitString("\\begindata{");
-  EmitString(type);
-  EmitString(",");
-  EmitString(std::to_string(id));
-  EmitString("}\n");
+  EmitChunk("\\begindata{");
+  EmitChunk(type);
+  EmitChunk(",");
+  EmitChunk(std::to_string(id));
+  EmitChunk("}\n");
+  FlushChunk();
   stack_.push_back(OpenObject{std::string(type), id});
   if (depth() > max_depth_) {
     max_depth_ = depth();
@@ -85,60 +113,100 @@ void DataStreamWriter::EndData() {
   }
   OpenObject open = stack_.back();
   stack_.pop_back();
-  EmitString("\\enddata{");
-  EmitString(open.type);
-  EmitString(",");
-  EmitString(std::to_string(open.id));
-  EmitString("}\n");
+  EmitChunk("\\enddata{");
+  EmitChunk(open.type);
+  EmitChunk(",");
+  EmitChunk(std::to_string(open.id));
+  EmitChunk("}\n");
+  FlushChunk();
 }
 
 void DataStreamWriter::WriteViewReference(std::string_view view_type, int64_t data_id) {
-  EmitString("\\view{");
-  EmitString(view_type);
-  EmitString(",");
-  EmitString(std::to_string(data_id));
-  EmitString("}");
+  EmitChunk("\\view{");
+  EmitChunk(view_type);
+  EmitChunk(",");
+  EmitChunk(std::to_string(data_id));
+  EmitChunk("}");
+  FlushChunk();
 }
 
 void DataStreamWriter::WriteDirective(std::string_view name, std::string_view args) {
-  EmitString("\\");
-  EmitString(name);
-  EmitString("{");
-  EmitString(args);
-  EmitString("}");
+  EmitChunk("\\");
+  EmitChunk(name);
+  EmitChunk("{");
+  EmitChunk(args);
+  EmitChunk("}");
+  FlushChunk();
+}
+
+void DataStreamWriter::EmitEscapedRun(std::string_view run) {
+  size_t i = 0;
+  while (i < run.size()) {
+    size_t j = i;
+    while (j < run.size() && IsCleanTextByte(run[j])) {
+      ++j;
+    }
+    if (j > i) {
+      EmitChunk(run.substr(i, j - i));
+    }
+    if (j >= run.size()) {
+      break;
+    }
+    // Hex-escape so the stream stays 7-bit printable (mailable, §5).
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "\\x{%02x}",
+                  static_cast<unsigned char>(run[j]));
+    EmitChunk(buf);
+    i = j + 1;
+  }
+}
+
+void DataStreamWriter::WriteTextUnflushed(std::string_view text) {
+  // Split into backslash-free runs with memchr; each clean run lands in the
+  // chunk as one append.
+  size_t i = 0;
+  while (i < text.size()) {
+    const void* hit = std::memchr(text.data() + i, '\\', text.size() - i);
+    size_t run_end = hit == nullptr
+                         ? text.size()
+                         : static_cast<size_t>(static_cast<const char*>(hit) - text.data());
+    EmitEscapedRun(text.substr(i, run_end - i));
+    if (run_end < text.size()) {
+      EmitChunk("\\\\");
+      ++run_end;
+    }
+    i = run_end;
+  }
 }
 
 void DataStreamWriter::WriteText(std::string_view text) {
-  for (char ch : text) {
-    unsigned char byte = static_cast<unsigned char>(ch);
-    if (ch == '\\') {
-      EmitString("\\\\");
-    } else if (ch == '\n' || ch == '\t' || (byte >= 0x20 && byte < 0x7F)) {
-      Emit(ch);
-    } else {
-      // Hex-escape so the stream stays 7-bit printable (mailable, §5).
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\x{%02x}", byte);
-      EmitString(buf);
-    }
-  }
+  WriteTextUnflushed(text);
+  FlushChunk();
 }
 
 void DataStreamWriter::WriteLine(std::string_view line) {
-  WriteText(line);
-  Emit('\n');
+  WriteTextUnflushed(line);
+  EmitChunk("\n");
+  FlushChunk();
 }
 
 void DataStreamWriter::WriteRaw(std::string_view raw) {
-  for (char ch : raw) {
-    if (static_cast<unsigned char>(ch) >= 0x80) {
-      all_seven_bit_ = false;
+  if (all_seven_bit_) {
+    for (char ch : raw) {
+      if (static_cast<unsigned char>(ch) >= 0x80) {
+        all_seven_bit_ = false;
+        break;
+      }
     }
-    Emit(ch);
   }
+  EmitChunk(raw);
+  FlushChunk();
 }
 
-void DataStreamWriter::WriteNewline() { Emit('\n'); }
+void DataStreamWriter::WriteNewline() {
+  EmitChunk("\n");
+  FlushChunk();
+}
 
 Status DataStreamWriter::Finish() const {
   if (!stack_.empty()) {

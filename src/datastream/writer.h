@@ -12,6 +12,15 @@
 // doubled and non-ASCII bytes hex-escaped as \x{hh}, and the writer records
 // the longest line emitted so components can be tested against the 80-column
 // guideline.
+//
+// Emission is chunked (PR 5): each public call assembles its bytes in an
+// internal chunk buffer and hands the ostream one write, instead of one
+// ostream::put per byte.  WriteText splits the payload into backslash-free
+// runs with memchr and appends each clean run in one go; line/column stats
+// are updated per run, not per byte.  The chunk is flushed before a public
+// call returns, so `out` always reflects everything written so far — callers
+// that inspect the underlying streambuf mid-document see the same bytes the
+// per-char writer produced.
 
 #ifndef ATK_SRC_DATASTREAM_WRITER_H_
 #define ATK_SRC_DATASTREAM_WRITER_H_
@@ -95,10 +104,17 @@ class DataStreamWriter {
     int64_t id;
   };
 
-  void Emit(char ch);
-  void EmitString(std::string_view s);
+  // Appends to the pending chunk; stats are settled when the chunk flushes.
+  void EmitChunk(std::string_view s);
+  // Escapes non-printable bytes in a backslash-free run into the chunk.
+  void EmitEscapedRun(std::string_view run);
+  // One ostream write for the pending chunk + bulk line/column accounting.
+  void FlushChunk();
+  void Account(std::string_view s);
+  void WriteTextUnflushed(std::string_view text);
 
   std::ostream& out_;
+  std::string chunk_;
   std::vector<OpenObject> stack_;
   std::vector<Diagnostic> diagnostics_;
   std::map<const void*, int64_t> object_ids_;

@@ -215,13 +215,13 @@ bool InspectorData::ReadBody(DataStreamReader& reader, ReadContext& context) {
           size_t comma = token.text.find(',');
           uint64_t period = 0;
           uint64_t budget = 0;
-          if (comma != std::string::npos &&
-              ParseU64Field(std::string_view(token.text).substr(0, comma), &period) &&
-              ParseU64Field(std::string_view(token.text).substr(comma + 1), &budget)) {
+          if (comma != std::string_view::npos &&
+              ParseU64Field(token.text.substr(0, comma), &period) &&
+              ParseU64Field(token.text.substr(comma + 1), &budget)) {
             refresh_period_ns_ = period;
             frame_budget_ns_ = budget;
           } else {
-            context.AddError("malformed \\inspector{" + token.text + "}");
+            context.AddError("malformed \\inspector{" + std::string(token.text) + "}");
           }
         }
         break;  // Unknown directives are skipped (forward compatibility).

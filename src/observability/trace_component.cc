@@ -110,7 +110,8 @@ Status ReadTraceComponent(DataStreamReader& reader, TraceSnapshot* out) {
     switch (token.kind) {
       case DataStreamReader::Token::Kind::kEndData:
         if (token.type != kTraceComponentType) {
-          return Status::Corrupt("trace body closed by \\enddata{" + token.type + ",...}");
+          return Status::Corrupt("trace body closed by \\enddata{" + std::string(token.type) +
+                                 ",...}");
         }
         return Status::Ok();
       case DataStreamReader::Token::Kind::kEof:
@@ -138,7 +139,7 @@ Status ReadTraceComponent(DataStreamReader& reader, TraceSnapshot* out) {
           if (fields.size() < 5 || !ParseU64(fields[1], &enabled) ||
               !ParseU64(fields[2], &out->spans_recorded) ||
               !ParseU64(fields[3], &out->spans_dropped) || !ParseU64(fields[4], &base_ns)) {
-            return Status::Corrupt("malformed \\tracemeta{" + token.text + "}");
+            return Status::Corrupt("malformed \\tracemeta{" + std::string(token.text) + "}");
           }
           out->trace_enabled = enabled != 0;
         } else if (token.type == "span") {
@@ -149,7 +150,7 @@ Status ReadTraceComponent(DataStreamReader& reader, TraceSnapshot* out) {
           if (fields.size() != 6 || !ParseU64(fields[0], &span.seq) ||
               !ParseU64(fields[1], &start_rel) || !ParseU64(fields[2], &span.duration_ns) ||
               !ParseU64(fields[3], &depth) || !ParseU64(fields[4], &thread)) {
-            return Status::Corrupt("malformed \\span{" + token.text + "}");
+            return Status::Corrupt("malformed \\span{" + std::string(token.text) + "}");
           }
           span.start_ns = base_ns + start_rel;
           span.depth = static_cast<uint16_t>(depth);
@@ -161,14 +162,14 @@ Status ReadTraceComponent(DataStreamReader& reader, TraceSnapshot* out) {
         } else if (token.type == "counter") {
           CounterSample counter;
           if (fields.size() != 2 || !ParseU64(fields[0], &counter.value)) {
-            return Status::Corrupt("malformed \\counter{" + token.text + "}");
+            return Status::Corrupt("malformed \\counter{" + std::string(token.text) + "}");
           }
           counter.name = std::string(fields[1]);
           out->counters.push_back(std::move(counter));
         } else if (token.type == "gauge") {
           GaugeSample gauge;
           if (fields.size() != 2 || !ParseI64(fields[0], &gauge.value)) {
-            return Status::Corrupt("malformed \\gauge{" + token.text + "}");
+            return Status::Corrupt("malformed \\gauge{" + std::string(token.text) + "}");
           }
           gauge.name = std::string(fields[1]);
           out->gauges.push_back(std::move(gauge));
@@ -178,7 +179,7 @@ Status ReadTraceComponent(DataStreamReader& reader, TraceSnapshot* out) {
               !ParseU64(fields[1], &histo.sum) || !ParseU64(fields[2], &histo.max) ||
               !ParseU64(fields[3], &histo.p50) || !ParseU64(fields[4], &histo.p95) ||
               !ParseU64(fields[5], &histo.p99)) {
-            return Status::Corrupt("malformed \\histo{" + token.text + "}");
+            return Status::Corrupt("malformed \\histo{" + std::string(token.text) + "}");
           }
           histo.name = std::string(fields[6]);
           out->histograms.push_back(std::move(histo));
@@ -198,7 +199,9 @@ std::string SnapshotToDatastream(const TraceSnapshot& snapshot) {
 }
 
 Status SnapshotFromDatastream(std::string_view data, TraceSnapshot* out) {
-  DataStreamReader reader{std::string(data)};
+  // Borrow `data` directly (it outlives the reader) — no copy into the
+  // reader's pinned buffer.
+  DataStreamReader reader{data};
   while (true) {
     DataStreamReader::Token token = reader.Next();
     if (token.kind == DataStreamReader::Token::Kind::kEof) {

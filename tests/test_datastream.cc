@@ -146,7 +146,7 @@ TEST(Reader, SkipObjectWithoutParsing) {
   DataStreamReader r(WriteNestedExample());
   DataStreamReader::Token t = r.Next();
   ASSERT_EQ(t.kind, Kind::kBeginData);
-  std::string raw;
+  std::string_view raw;
   EXPECT_TRUE(r.SkipObject(t.type, t.id, &raw));
   // The raw body contains the nested table markers verbatim.
   EXPECT_NE(raw.find("\\begindata{table,2}"), std::string::npos);
@@ -172,7 +172,7 @@ TEST(Reader, SkippedRawBodyReEmitsVerbatim) {
   std::string original = WriteNestedExample();
   DataStreamReader r(original);
   DataStreamReader::Token t = r.Next();
-  std::string raw;
+  std::string_view raw;
   ASSERT_TRUE(r.SkipObject(t.type, t.id, &raw));
   // Re-emit through a writer as an unknown object.
   std::ostringstream out;
@@ -211,7 +211,7 @@ TEST(Reader, TruncatedSkipReportsFailure) {
   DataStreamReader r(std::move(stream));
   DataStreamReader::Token t = r.Next();
   ASSERT_EQ(t.kind, Kind::kBeginData);
-  std::string raw;
+  std::string_view raw;
   EXPECT_FALSE(r.SkipObject("blob", 5, &raw));
   EXPECT_TRUE(r.truncated());
   EXPECT_EQ(raw, "some data with no end");
@@ -254,6 +254,103 @@ TEST(Reader, PeekDoesNotConsume) {
   EXPECT_EQ(r.Next().kind, Kind::kEof);
 }
 
+TEST(Reader, SkipObjectAfterPeekRewindsOverPeekedToken) {
+  // Pre-PR-5 footgun: Peek lexed a token past the begindata marker, and
+  // SkipObject silently dropped it — the peeked bytes vanished from the
+  // skipped body.  The reader now rewinds, so the body is complete.
+  std::string original = WriteNestedExample();
+  DataStreamReader r(original);
+  DataStreamReader::Token t = r.Next();
+  ASSERT_EQ(t.kind, Kind::kBeginData);
+  // Peek into the object body before deciding to skip it.
+  EXPECT_EQ(r.Peek().kind, Kind::kText);
+  std::string_view raw;
+  ASSERT_TRUE(r.SkipObject(t.type, t.id, &raw));
+  // The peeked text is part of the skipped body, from its first byte.
+  EXPECT_EQ(raw.substr(0, 13), "text data ...");
+  std::ostringstream out;
+  DataStreamWriter w(out);
+  w.BeginDataWithId("text", 1);
+  w.WriteRaw(raw);
+  w.EndData();
+  EXPECT_EQ(out.str(), original);
+  EXPECT_EQ(r.Next().kind, Kind::kEof);
+}
+
+TEST(Reader, SkipObjectAfterPeekedEndDataRewinds) {
+  // Peeking the object's own \enddata pops the marker stack; the rewind must
+  // push the marker back so SkipObject still finds the closing marker.
+  DataStreamReader r("\\begindata{text,1}\n\\textstyle{bold,0,1}\\enddata{text,1}\nafter");
+  DataStreamReader::Token t = r.Next();
+  ASSERT_EQ(t.kind, Kind::kBeginData);
+  ASSERT_EQ(r.Next().kind, Kind::kDirective);
+  EXPECT_EQ(r.Peek().kind, Kind::kEndData);
+  EXPECT_EQ(r.depth(), 0);  // The peeked \enddata popped the marker...
+  ASSERT_TRUE(r.SkipObject("text", 1));  // ...and the rewind restored it.
+  DataStreamReader::Token after = r.Next();
+  ASSERT_EQ(after.kind, Kind::kText);
+  EXPECT_EQ(after.text, "after");
+  EXPECT_FALSE(r.truncated());
+  EXPECT_TRUE(r.diagnostics().empty());
+}
+
+TEST(Reader, EscapeFreeInputTokenizesWithoutScratchCopies) {
+  // The zero-copy invariant: tokens over escape-free input are views into
+  // the pinned buffer; the unescape arena stays untouched.
+  std::string stream = WriteNestedExample();
+  const char* base = stream.data();
+  DataStreamReader r(std::move(stream));
+  size_t text_bytes = 0;
+  while (true) {
+    DataStreamReader::Token t = r.Next();
+    if (t.kind == Kind::kEof) {
+      break;
+    }
+    if (t.kind == Kind::kText) {
+      text_bytes += t.text.size();
+      // The view aliases the pinned input buffer itself.
+      EXPECT_GE(t.text.data(), base);
+      EXPECT_LT(t.text.data(), base + r.input_size());
+    }
+  }
+  EXPECT_GT(text_bytes, 0u);
+  EXPECT_EQ(r.scratch_bytes(), 0u);
+}
+
+TEST(Reader, IstreamConstructorReadsToEof) {
+  std::string original = WriteNestedExample();
+  std::istringstream in(original);
+  DataStreamReader r(in);
+  EXPECT_EQ(r.input_size(), original.size());
+  ASSERT_EQ(r.Next().kind, Kind::kBeginData);
+  std::string_view raw;
+  ASSERT_TRUE(r.SkipObject("text", 1, &raw));
+  EXPECT_FALSE(r.truncated());
+}
+
+TEST(Reader, EmbeddedSubReaderReportsDocumentOffsets) {
+  // A sub-reader over a captured object reports diagnostics in the
+  // enclosing document's coordinates.
+  std::string doc = "\\begindata{text,1}\n\\begindata{blob,2}\nx\\ y\\enddata{blob,2}\n\\enddata{text,1}\n";
+  DataStreamReader r(doc);
+  ASSERT_EQ(r.Next().kind, Kind::kBeginData);
+  DataStreamReader::Token child = r.Next();
+  ASSERT_EQ(child.kind, Kind::kBeginData);
+  DataStreamReader::RawCapture capture;
+  ASSERT_TRUE(r.SkipObject("blob", 2, &capture));
+  EXPECT_TRUE(capture.complete);
+  EXPECT_EQ(capture.offset, doc.find("x\\ y"));
+
+  DataStreamReader sub = DataStreamReader::ForEmbeddedObject(capture, "blob", 2);
+  DataStreamReader::Token t = sub.Next();
+  ASSERT_EQ(t.kind, Kind::kText);
+  EXPECT_EQ(t.text, "x\\ y");
+  EXPECT_EQ(sub.Next().kind, Kind::kEndData);
+  // The lone-backslash diagnostic points at the '\' in the whole document.
+  ASSERT_EQ(sub.diagnostics().size(), 1u);
+  EXPECT_EQ(sub.diagnostics()[0].offset, doc.find("\\ y"));
+}
+
 TEST(Reader, DeeplyNestedStreamsBalance) {
   std::ostringstream out;
   DataStreamWriter w(out);
@@ -290,7 +387,7 @@ TEST(Reader, EscapedBackslashCannotFakeAMarker) {
   DataStreamReader r(out.str());
   DataStreamReader::Token t = r.Next();
   ASSERT_EQ(t.kind, Kind::kBeginData);
-  std::string raw;
+  std::string_view raw;
   EXPECT_TRUE(r.SkipObject("text", t.id, &raw));
   EXPECT_EQ(r.Next().kind, Kind::kEof);
   EXPECT_FALSE(r.truncated());

@@ -67,7 +67,8 @@ class MusicData : public DataObject {
       }
       if (token.kind == Kind::kDirective && token.type == "note") {
         Note note;
-        if (std::sscanf(token.text.c_str(), "%d,%d", &note.pitch, &note.duration) == 2) {
+        std::string args(token.text);
+        if (std::sscanf(args.c_str(), "%d,%d", &note.pitch, &note.duration) == 2) {
           notes_.push_back(note);
         }
       } else if (token.kind == Kind::kBeginData) {
