@@ -1,0 +1,177 @@
+// The compound-document server under load: attach throughput and edit
+// fan-out latency with hundreds of concurrent sessions over the framed
+// transport (DESIGN.md §9).  Everything runs in-process on the simulated
+// link, so the numbers measure the protocol machinery — framing, CRCs,
+// go-back-N bookkeeping, observer fan-out — not kernel sockets.
+//
+// Beyond the wall-time rows, the observability snapshot contributes:
+//   histogram/server.fanout.latency_ns/p99  — server-side fan-out loop
+//   histogram/client.update.lag_ticks/p99   — replica-observed update lag
+//   gauge/server.bench.attach_sessions_per_sec
+//   gauge/server.bench.fanout_p99_ns        — end-to-end per-edit p99
+// which is where the acceptance numbers for PR 6 live.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_json.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/components/text/text_data.h"
+#include "src/server/client_session.h"
+#include "src/server/document_server.h"
+#include "src/server/transport_sim.h"
+
+namespace atk {
+namespace server {
+namespace {
+
+using observability::MetricsRegistry;
+
+struct Fleet {
+  DocumentServer server;
+  std::vector<std::unique_ptr<SimulatedLink>> links;
+  std::vector<std::unique_ptr<ClientSession>> clients;
+
+  explicit Fleet(int sessions) {
+    auto doc = std::make_unique<TextData>();
+    doc->SetText("the andrew toolkit document server benchmark corpus line\n");
+    server.HostDocument("bench", std::move(doc));
+    links.reserve(sessions);
+    clients.reserve(sessions);
+    for (int i = 0; i < sessions; ++i) {
+      links.push_back(
+          std::make_unique<SimulatedLink>(TransportFaultPlan::Clean()));
+      server.AttachLink(links.back().get());
+      clients.push_back(std::make_unique<ClientSession>(
+          "bench-client-" + std::to_string(i), "bench", links.back().get()));
+    }
+  }
+
+  void Step() {
+    for (size_t i = 0; i < clients.size(); ++i) {
+      clients[i]->Pump(links[i]->now());
+    }
+    server.PumpOnce();
+    for (auto& link : links) {
+      link->Tick();
+    }
+  }
+
+  bool AllSynced() const {
+    for (const auto& client : clients) {
+      if (!client->synced()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool AllAtVersion(uint64_t version) const {
+    for (const auto& client : clients) {
+      if (client->applied_version() < version) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+// Cold attach of N sessions: hello -> hello-ack -> snapshot for every
+// client, driven to full sync.  One iteration is one whole fleet.
+void BM_SessionAttach(benchmark::State& state) {
+  const int sessions = static_cast<int>(state.range(0));
+  double attach_seconds = 0;
+  int64_t fleets = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto fleet = std::make_unique<Fleet>(sessions);
+    state.ResumeTiming();
+    auto start = std::chrono::steady_clock::now();
+    for (auto& client : fleet->clients) {
+      client->Connect(0);
+    }
+    int guard = 0;
+    while (!fleet->AllSynced() && ++guard < 100000) {
+      fleet->Step();
+    }
+    attach_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    ++fleets;
+    state.PauseTiming();
+    fleet.reset();
+    state.ResumeTiming();
+  }
+  if (attach_seconds > 0) {
+    MetricsRegistry::Instance()
+        .gauge("server.bench.attach_sessions_per_sec")
+        .Set(static_cast<int64_t>(fleets * sessions / attach_seconds));
+  }
+  state.SetItemsProcessed(state.iterations() * sessions);
+}
+BENCHMARK(BM_SessionAttach)->Arg(64)->Arg(256);
+
+// One edit fanned out to N attached sessions: submit on client 0, drive the
+// transport until every replica applied the versioned update.  The manual
+// per-edit timings feed the end-to-end p99 gauge; the in-library
+// server.fanout.latency_ns histogram captures the server-side loop alone.
+void BM_EditFanOut(benchmark::State& state) {
+  const int sessions = static_cast<int>(state.range(0));
+  Fleet fleet(sessions);
+  for (auto& client : fleet.clients) {
+    client->Connect(0);
+  }
+  int guard = 0;
+  while (!fleet.AllSynced() && ++guard < 100000) {
+    fleet.Step();
+  }
+  uint64_t version = fleet.server.version("bench");
+  bool insert = true;
+  std::vector<double> per_edit_ns;
+  for (auto _ : state) {
+    EditOp op;
+    if (insert) {
+      op.kind = EditOp::Kind::kInsert;
+      op.pos = 0;
+      op.len = 1;
+      op.text = "x";
+    } else {
+      op.kind = EditOp::Kind::kDelete;
+      op.pos = 0;
+      op.len = 1;
+    }
+    insert = !insert;
+    auto start = std::chrono::steady_clock::now();
+    fleet.clients[0]->SubmitEdit(op);
+    ++version;
+    int edit_guard = 0;
+    while (!fleet.AllAtVersion(version) && ++edit_guard < 100000) {
+      fleet.Step();
+    }
+    per_edit_ns.push_back(
+        std::chrono::duration<double, std::nano>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+  if (!per_edit_ns.empty()) {
+    std::sort(per_edit_ns.begin(), per_edit_ns.end());
+    size_t idx = std::min(per_edit_ns.size() - 1,
+                          static_cast<size_t>(per_edit_ns.size() * 0.99));
+    MetricsRegistry::Instance()
+        .gauge("server.bench.fanout_p99_ns")
+        .SetMax(static_cast<int64_t>(per_edit_ns[idx]));
+  }
+  state.SetItemsProcessed(state.iterations() * sessions);
+}
+BENCHMARK(BM_EditFanOut)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace server
+}  // namespace atk
+
+ATK_BENCH_MAIN("bench_server");

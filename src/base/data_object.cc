@@ -98,9 +98,22 @@ void ReadContext::QueueDeferred(DataObject* object, std::string type, int64_t id
 
 void ReadContext::CancelDeferred(DataObject* object) {
   for (DeferredChild& child : deferred_) {
-    if (child.object == object) {
-      child.object = nullptr;  // Orphaned: Phase B decodes a throwaway.
+    if (child.object != object) {
+      continue;
     }
+    // The one place a queued child's death is handled.  Phase B will decode
+    // a throwaway so the same malformed-body errors surface as in a serial
+    // decode — but the capture's views point into the buffer of whatever
+    // decode the dead object belonged to, and nothing ties that buffer's
+    // lifetime to this context once the owner is gone.  Copy the bytes into
+    // context-owned storage now, so the throwaway decode can never read
+    // through a dangling view.
+    child.object = nullptr;
+    child.orphan_arena.assign(child.capture.with_end.data(),
+                              child.capture.with_end.size());
+    std::string_view arena(child.orphan_arena);
+    child.capture.body = arena.substr(0, child.capture.body.size());
+    child.capture.with_end = arena;
   }
 }
 

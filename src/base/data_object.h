@@ -130,6 +130,10 @@ class ReadContext {
     std::string type;
     int64_t id = 0;
     DataStreamReader::RawCapture capture;
+    // Owned copy of the capture bytes, populated by CancelDeferred when the
+    // child dies before Phase B (`capture`'s views are repointed here; the
+    // original buffer's lifetime was tied to the dead owner's decode).
+    std::string orphan_arena;
     std::unique_ptr<ReadContext> sub;
   };
 

@@ -88,9 +88,15 @@ bool Loader::RequireInternal(std::string_view module, bool as_dependency,
         failure_log_.push_back(std::move(failure));
         return false;
       }
-      static Counter& retried = MetricsRegistry::Instance().counter("class.module.retried");
+      static Counter& retried = MetricsRegistry::Instance().counter("class.module.retry");
       retried.Add(1);
       backoff_total += backoff_us;
+      // Running total of simulated backoff spent across all loads, success
+      // or failure — the §7 startup accounting reads it next to the retry
+      // counter to tell "slow but converging" from "failing outright".
+      MetricsRegistry::Instance()
+          .gauge("class.module.simulated_backoff_us")
+          .Add(static_cast<int64_t>(backoff_us));
       backoff_us *= 2;
     }
   }

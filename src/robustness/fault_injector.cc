@@ -1,6 +1,7 @@
 #include "src/robustness/fault_injector.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <memory>
 
@@ -272,6 +273,214 @@ int FaultInjector::WmDropCount() const {
                                         [](const Fault& fault) {
                                           return fault.kind == FaultKind::kWmDrop;
                                         }));
+}
+
+// ---- Transport faults -------------------------------------------------------
+
+std::string_view TransportFaultKindName(TransportFaultKind kind) {
+  switch (kind) {
+    case TransportFaultKind::kDeliver:
+      return "deliver";
+    case TransportFaultKind::kDrop:
+      return "drop";
+    case TransportFaultKind::kDuplicate:
+      return "duplicate";
+    case TransportFaultKind::kCorrupt:
+      return "corrupt";
+    case TransportFaultKind::kPayloadCorrupt:
+      return "payload-corrupt";
+    case TransportFaultKind::kDelay:
+      return "delay";
+    case TransportFaultKind::kConnDrop:
+      return "conn-drop";
+  }
+  return "?";
+}
+
+TransportFaultPlan TransportFaultPlan::FromSeed(uint64_t seed) {
+  TransportFaultPlan plan;
+  plan.seed = seed;
+  FaultRng rng(seed ^ 0x5B1D4E9F2C7A6083ull);
+  plan.drops = rng.IntIn(2, 6);
+  plan.duplicates = rng.IntIn(1, 4);
+  plan.corruptions = rng.IntIn(1, 4);
+  plan.payload_corruptions = rng.IntIn(0, 2);
+  plan.delays = rng.IntIn(2, 6);
+  plan.conn_drops = rng.IntIn(0, 2);
+  plan.rate = 0.02 + 0.10 * (rng.Below(1000) / 1000.0);
+  return plan;
+}
+
+TransportFaultPlan TransportFaultPlan::FromSpec(std::string_view spec) {
+  TransportFaultPlan plan;
+  bool any_budget = false;
+  bool rate_set = false;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    std::string_view item = spec.substr(pos, comma == std::string_view::npos
+                                                 ? std::string_view::npos
+                                                 : comma - pos);
+    pos = comma == std::string_view::npos ? spec.size() : comma + 1;
+    size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      continue;
+    }
+    std::string key(item.substr(0, eq));
+    std::string value(item.substr(eq + 1));
+    if (key == "seed") {
+      plan.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "rate") {
+      plan.rate = std::strtod(value.c_str(), nullptr);
+      rate_set = true;
+    } else {
+      int budget = std::atoi(value.c_str());
+      if (key == "drop") {
+        plan.drops = budget;
+      } else if (key == "dup") {
+        plan.duplicates = budget;
+      } else if (key == "corrupt") {
+        plan.corruptions = budget;
+      } else if (key == "payload") {
+        plan.payload_corruptions = budget;
+      } else if (key == "delay") {
+        plan.delays = budget;
+      } else if (key == "conn") {
+        plan.conn_drops = budget;
+      } else {
+        continue;
+      }
+      any_budget = any_budget || budget > 0;
+    }
+  }
+  if (any_budget && !rate_set) {
+    plan.rate = 0.05;
+  }
+  return plan;
+}
+
+TransportFaultPlan TransportFaultPlan::FromEnv() {
+  const char* env = std::getenv("ATK_NET_FAULTS");
+  if (env == nullptr || *env == '\0') {
+    return Clean();
+  }
+  return FromSpec(env);
+}
+
+std::string TransportFaultPlan::ToString() const {
+  std::string out = "transport plan seed=" + std::to_string(seed);
+  out += " rate=" + std::to_string(rate);
+  out += " drop=" + std::to_string(drops);
+  out += " dup=" + std::to_string(duplicates);
+  out += " corrupt=" + std::to_string(corruptions);
+  out += " payload=" + std::to_string(payload_corruptions);
+  out += " delay=" + std::to_string(delays);
+  out += " conn=" + std::to_string(conn_drops);
+  return out;
+}
+
+TransportFault TransportFaultInjector::NextFate(bool snapshot_frame) {
+  TransportFault fault;
+  int remaining = plan_.drops + plan_.duplicates + plan_.corruptions +
+                  plan_.payload_corruptions + plan_.delays + plan_.conn_drops;
+  // The rng is consumed in a fixed order regardless of outcome, so the
+  // decision stream depends only on the frame sequence, not on budgets.
+  bool fire = rng_.Chance(plan_.rate);
+  uint64_t pick = rng_.Below(6);
+  int arg = rng_.IntIn(1, 4);
+  if (remaining <= 0 || plan_.rate <= 0.0 || !fire) {
+    return fault;
+  }
+  // Walk from the picked kind until one with budget remains (there is one).
+  for (int step = 0; step < 6; ++step) {
+    switch ((pick + step) % 6) {
+      case 0:
+        if (plan_.drops > 0) {
+          --plan_.drops;
+          ++injected_drop_;
+          fault.kind = TransportFaultKind::kDrop;
+          return fault;
+        }
+        break;
+      case 1:
+        if (plan_.duplicates > 0) {
+          --plan_.duplicates;
+          ++injected_dup_;
+          fault.kind = TransportFaultKind::kDuplicate;
+          return fault;
+        }
+        break;
+      case 2:
+        if (plan_.corruptions > 0) {
+          --plan_.corruptions;
+          ++injected_corrupt_;
+          fault.kind = TransportFaultKind::kCorrupt;
+          fault.arg = arg;
+          return fault;
+        }
+        break;
+      case 3:
+        if (plan_.payload_corruptions > 0 && snapshot_frame) {
+          --plan_.payload_corruptions;
+          ++injected_payload_;
+          fault.kind = TransportFaultKind::kPayloadCorrupt;
+          fault.arg = arg;
+          return fault;
+        }
+        break;
+      case 4:
+        if (plan_.delays > 0) {
+          --plan_.delays;
+          ++injected_delay_;
+          fault.kind = TransportFaultKind::kDelay;
+          fault.arg = arg;
+          return fault;
+        }
+        break;
+      case 5:
+        if (plan_.conn_drops > 0) {
+          --plan_.conn_drops;
+          ++injected_conn_;
+          fault.kind = TransportFaultKind::kConnDrop;
+          return fault;
+        }
+        break;
+    }
+  }
+  return fault;
+}
+
+void TransportFaultInjector::CorruptBytes(std::string& frame, size_t begin, size_t end) {
+  if (begin >= end || end > frame.size()) {
+    return;
+  }
+  size_t at = begin + rng_.Below(end - begin);
+  frame[at] = static_cast<char>(frame[at] ^ (1u << rng_.Below(8)));
+}
+
+int TransportFaultInjector::injected(TransportFaultKind kind) const {
+  switch (kind) {
+    case TransportFaultKind::kDrop:
+      return injected_drop_;
+    case TransportFaultKind::kDuplicate:
+      return injected_dup_;
+    case TransportFaultKind::kCorrupt:
+      return injected_corrupt_;
+    case TransportFaultKind::kPayloadCorrupt:
+      return injected_payload_;
+    case TransportFaultKind::kDelay:
+      return injected_delay_;
+    case TransportFaultKind::kConnDrop:
+      return injected_conn_;
+    case TransportFaultKind::kDeliver:
+      return 0;
+  }
+  return 0;
+}
+
+int TransportFaultInjector::total_injected() const {
+  return injected_drop_ + injected_dup_ + injected_corrupt_ + injected_payload_ +
+         injected_delay_ + injected_conn_;
 }
 
 }  // namespace atk

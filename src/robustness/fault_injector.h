@@ -62,6 +62,98 @@ enum class FaultKind {
   kWmDrop,         // One window-system connection drop.
 };
 
+// ---- Transport faults (PR 6, src/server/) -----------------------------------
+//
+// Frame-level failure modes of the simulated client/server link.  Unlike the
+// byte-level datastream faults above, these act on whole encoded frames in
+// flight; the reliable channel (src/server/channel.h) is expected to recover
+// from every one of them.
+enum class TransportFaultKind {
+  kDeliver,         // No fault: the frame goes through untouched.
+  kDrop,            // The frame vanishes.
+  kDuplicate,       // The frame is delivered twice.
+  kCorrupt,         // A random byte of the encoded frame is flipped; the
+                    // receiver's CRC32 check discards it (≈ a drop, but the
+                    // corruption-detection path is what gets exercised).
+  kPayloadCorrupt,  // Payload bytes are damaged and the CRC recomputed —
+                    // models corruption *before* framing (a damaged document
+                    // at rest).  Applied only to snapshot frames; the client
+                    // recovers through the DataStreamSalvager.
+  kDelay,           // Held back `arg` ticks; later frames overtake (reorder).
+  kConnDrop,        // The connection is severed after this frame.
+};
+
+std::string_view TransportFaultKindName(TransportFaultKind kind);
+
+// The fate assigned to one frame about to enter the link.
+struct TransportFault {
+  TransportFaultKind kind = TransportFaultKind::kDeliver;
+  int arg = 0;  // kDelay: ticks to hold; kCorrupt/kPayloadCorrupt: rng salt.
+};
+
+// A seeded, budgeted plan of transport faults.  Each fault kind has a finite
+// budget derived from the seed, so every run is deterministic *and* every
+// session is guaranteed to quiesce: once the budgets run dry the link is
+// clean and retransmission converges.  `NextFate` consumes the shared rng in
+// a fixed order, so the same plan replayed over the same frame sequence
+// makes the same decisions bit-for-bit.
+struct TransportFaultPlan {
+  uint64_t seed = 0;
+  // Per-kind budgets (remaining faults of that kind).
+  int drops = 0;
+  int duplicates = 0;
+  int corruptions = 0;
+  int payload_corruptions = 0;
+  int delays = 0;
+  int conn_drops = 0;
+  // Fault probability per frame while budget remains.
+  double rate = 0.0;
+
+  // A plan with every budget zeroed: a clean link.
+  static TransportFaultPlan Clean() { return TransportFaultPlan{}; }
+
+  // Derives budgets and a rate from one seed (the 64-seed sweep shape):
+  // a handful of each kind, rate in [0.02, 0.12].
+  static TransportFaultPlan FromSeed(uint64_t seed);
+
+  // Parses the ATK_NET_FAULTS environment knob:
+  //   "seed=7,drop=4,dup=2,corrupt=3,payload=1,delay=4,conn=1,rate=0.05"
+  // Missing keys default to 0 (rate defaults to 0.05 when any budget is
+  // set).  Returns Clean() for an empty/unset spec.
+  static TransportFaultPlan FromSpec(std::string_view spec);
+  static TransportFaultPlan FromEnv();  // ATK_NET_FAULTS, or Clean().
+
+  std::string ToString() const;
+};
+
+// Stateful executor of a TransportFaultPlan: one per link direction pair.
+// Decides the fate of each frame deterministically and decrements budgets.
+class TransportFaultInjector {
+ public:
+  TransportFaultInjector() : TransportFaultInjector(TransportFaultPlan::Clean()) {}
+  explicit TransportFaultInjector(TransportFaultPlan plan)
+      : plan_(plan), rng_(plan.seed ^ 0xF7A3C9E5D1B20417ull) {}
+
+  const TransportFaultPlan& plan() const { return plan_; }
+
+  // The fate of the next frame.  `snapshot_frame` gates kPayloadCorrupt
+  // (only snapshot payloads model at-rest corruption).
+  TransportFault NextFate(bool snapshot_frame);
+
+  // Flips one deterministic byte/bit of `frame` in [begin, end).
+  void CorruptBytes(std::string& frame, size_t begin, size_t end);
+
+  // Faults injected so far, by kind (diagnostics / test assertions).
+  int injected(TransportFaultKind kind) const;
+  int total_injected() const;
+
+ private:
+  TransportFaultPlan plan_;
+  FaultRng rng_;
+  int injected_drop_ = 0, injected_dup_ = 0, injected_corrupt_ = 0,
+      injected_payload_ = 0, injected_delay_ = 0, injected_conn_ = 0;
+};
+
 std::string_view FaultKindName(FaultKind kind);
 
 struct Fault {

@@ -1,0 +1,181 @@
+#include "src/server/frame.h"
+
+#include <array>
+#include <cstring>
+
+namespace atk {
+namespace server {
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+void PutU32(std::string& out, uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string_view FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "hello";
+    case FrameType::kHelloAck:
+      return "hello-ack";
+    case FrameType::kEdit:
+      return "edit";
+    case FrameType::kUpdate:
+      return "update";
+    case FrameType::kSnapshotReq:
+      return "snapshot-req";
+    case FrameType::kSnapshot:
+      return "snapshot";
+    case FrameType::kAck:
+      return "ack";
+    case FrameType::kEvict:
+      return "evict";
+    case FrameType::kBye:
+      return "bye";
+  }
+  return "?";
+}
+
+uint32_t Crc32(std::string_view bytes, uint32_t seed) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t crc = ~seed;
+  for (char c : bytes) {
+    crc = (crc >> 8) ^ kTable[(crc ^ static_cast<unsigned char>(c)) & 0xFF];
+  }
+  return ~crc;
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kFrameHeaderSize + frame.payload.size());
+  PutU32(out, kFrameMagic);
+  PutU32(out, static_cast<uint32_t>(frame.payload.size()));
+  out.push_back(static_cast<char>(frame.type));
+  out.push_back(0);  // flags
+  PutU32(out, frame.session);
+  PutU64(out, frame.seq);
+  PutU64(out, frame.ack);
+  PutU32(out, Crc32(frame.payload));
+  // The header CRC covers [4, 34) — every field the receiver acts on before
+  // the payload arrives, the payload CRC included — so a damaged length
+  // prefix is caught up front instead of wedging the decoder.
+  PutU32(out, Crc32(std::string_view(out).substr(4)));
+  out += frame.payload;
+  return out;
+}
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  Compact();
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+void FrameDecoder::Compact() {
+  if (consumed_ > 0 && consumed_ >= buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > 4096) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+}
+
+bool FrameDecoder::Poll(Frame* out) {
+  while (true) {
+    size_t avail = buffer_.size() - consumed_;
+    if (avail < kFrameHeaderSize) {
+      return false;
+    }
+    const char* base = buffer_.data() + consumed_;
+    if (GetU32(base) != kFrameMagic) {
+      // Re-sync: skip to the next candidate magic byte.
+      size_t skip = 1;
+      while (skip < avail && static_cast<unsigned char>(base[skip]) != 0x41) {
+        ++skip;
+      }
+      consumed_ += skip;
+      skipped_bytes_ += skip;
+      continue;
+    }
+    // The header CRC is verified before the length prefix is trusted: a
+    // corrupted length with a single whole-frame CRC would park the decoder
+    // waiting for a phantom payload while every later frame feeds the void.
+    if (Crc32(std::string_view(base + 4, 30)) != GetU32(base + 34)) {
+      ++corrupt_frames_;
+      consumed_ += 4;  // Drop this magic; re-sync on the next.
+      skipped_bytes_ += 4;
+      continue;
+    }
+    uint32_t payload_len = GetU32(base + 4);
+    if (avail < kFrameHeaderSize + payload_len) {
+      return false;  // Wait for the rest; the length is authenticated.
+    }
+    if (Crc32(std::string_view(base + kFrameHeaderSize, payload_len)) !=
+        GetU32(base + 30)) {
+      // Damage in the payload only: the trusted length lets us skip the
+      // exact frame instead of hunting for the next magic.
+      ++corrupt_frames_;
+      consumed_ += kFrameHeaderSize + payload_len;
+      skipped_bytes_ += kFrameHeaderSize + payload_len;
+      continue;
+    }
+    out->type = static_cast<FrameType>(static_cast<unsigned char>(base[8]));
+    out->session = GetU32(base + 10);
+    out->seq = GetU64(base + 14);
+    out->ack = GetU64(base + 22);
+    out->payload.assign(base + kFrameHeaderSize, payload_len);
+    consumed_ += kFrameHeaderSize + payload_len;
+    Compact();
+    return true;
+  }
+}
+
+std::vector<Frame> FrameDecoder::Drain() {
+  std::vector<Frame> frames;
+  Frame frame;
+  while (Poll(&frame)) {
+    frames.push_back(std::move(frame));
+    frame = Frame{};
+  }
+  return frames;
+}
+
+}  // namespace server
+}  // namespace atk

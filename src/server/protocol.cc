@@ -1,0 +1,234 @@
+#include "src/server/protocol.h"
+
+#include <cstdlib>
+
+#include "src/server/frame.h"
+
+namespace atk {
+namespace server {
+namespace {
+
+// Pulls the next "\n"-terminated line off `rest`; false at end of input.
+bool NextLine(std::string_view* rest, std::string_view* line) {
+  if (rest->empty()) {
+    return false;
+  }
+  size_t nl = rest->find('\n');
+  if (nl == std::string_view::npos) {
+    *line = *rest;
+    rest->remove_prefix(rest->size());
+  } else {
+    *line = rest->substr(0, nl);
+    rest->remove_prefix(nl + 1);
+  }
+  return true;
+}
+
+// "key value" split; false when the line does not start with `key` + space.
+bool KeyedLine(std::string_view line, std::string_view key, std::string_view* value) {
+  if (line.size() <= key.size() || line.substr(0, key.size()) != key ||
+      line[key.size()] != ' ') {
+    return false;
+  }
+  *value = line.substr(key.size() + 1);
+  return true;
+}
+
+bool ParseU64(std::string_view text, uint64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseI64(std::string_view text, int64_t* out) {
+  bool negative = false;
+  if (!text.empty() && text.front() == '-') {
+    negative = true;
+    text.remove_prefix(1);
+  }
+  uint64_t magnitude = 0;
+  if (!ParseU64(text, &magnitude)) {
+    return false;
+  }
+  *out = negative ? -static_cast<int64_t>(magnitude) : static_cast<int64_t>(magnitude);
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeHello(const HelloPayload& hello) {
+  std::string out = "client " + hello.client + "\n";
+  out += "doc " + hello.doc + "\n";
+  out += "version " + std::to_string(hello.version) + "\n";
+  out += "epoch " + std::to_string(hello.epoch) + "\n";
+  return out;
+}
+
+bool DecodeHello(std::string_view payload, HelloPayload* out) {
+  std::string_view line, value;
+  if (!NextLine(&payload, &line) || !KeyedLine(line, "client", &value)) {
+    return false;
+  }
+  out->client = std::string(value);
+  if (!NextLine(&payload, &line) || !KeyedLine(line, "doc", &value)) {
+    return false;
+  }
+  out->doc = std::string(value);
+  if (!NextLine(&payload, &line) || !KeyedLine(line, "version", &value) ||
+      !ParseU64(value, &out->version)) {
+    return false;
+  }
+  if (!NextLine(&payload, &line) || !KeyedLine(line, "epoch", &value) ||
+      !ParseU64(value, &out->epoch)) {
+    return false;
+  }
+  return true;
+}
+
+std::string EncodeHelloAck(const HelloAckPayload& ack) {
+  return "session " + std::to_string(ack.session) + "\nversion " +
+         std::to_string(ack.version) + "\n";
+}
+
+bool DecodeHelloAck(std::string_view payload, HelloAckPayload* out) {
+  std::string_view line, value;
+  uint64_t session = 0;
+  if (!NextLine(&payload, &line) || !KeyedLine(line, "session", &value) ||
+      !ParseU64(value, &session) || session > 0xFFFFFFFFull) {
+    return false;
+  }
+  out->session = static_cast<uint32_t>(session);
+  if (!NextLine(&payload, &line) || !KeyedLine(line, "version", &value) ||
+      !ParseU64(value, &out->version)) {
+    return false;
+  }
+  return true;
+}
+
+std::string EncodeEdit(const EditPayload& edit) {
+  std::string out = "version " + std::to_string(edit.version) + "\n";
+  out += "tick " + std::to_string(edit.sent_tick) + "\n";
+  out += "op ";
+  out += edit.op.kind == EditOp::Kind::kInsert ? 'i' : 'd';
+  out += ' ' + std::to_string(edit.op.pos) + ' ' + std::to_string(edit.op.len) + "\n";
+  if (edit.op.kind == EditOp::Kind::kInsert) {
+    out += edit.op.text;
+  }
+  return out;
+}
+
+bool DecodeEdit(std::string_view payload, EditPayload* out) {
+  std::string_view line, value;
+  if (!NextLine(&payload, &line) || !KeyedLine(line, "version", &value) ||
+      !ParseU64(value, &out->version)) {
+    return false;
+  }
+  if (!NextLine(&payload, &line) || !KeyedLine(line, "tick", &value) ||
+      !ParseU64(value, &out->sent_tick)) {
+    return false;
+  }
+  if (!NextLine(&payload, &line) || !KeyedLine(line, "op", &value)) {
+    return false;
+  }
+  if (value.size() < 2 || (value[0] != 'i' && value[0] != 'd') || value[1] != ' ') {
+    return false;
+  }
+  out->op.kind = value[0] == 'i' ? EditOp::Kind::kInsert : EditOp::Kind::kDelete;
+  value.remove_prefix(2);
+  size_t space = value.find(' ');
+  if (space == std::string_view::npos) {
+    return false;
+  }
+  if (!ParseI64(value.substr(0, space), &out->op.pos) ||
+      !ParseI64(value.substr(space + 1), &out->op.len)) {
+    return false;
+  }
+  if (out->op.pos < 0 || out->op.len < 0) {
+    return false;
+  }
+  if (out->op.kind == EditOp::Kind::kInsert) {
+    if (payload.size() != static_cast<size_t>(out->op.len)) {
+      return false;  // Length prefix and payload bytes disagree: damaged.
+    }
+    out->op.text = std::string(payload);
+  } else if (!payload.empty()) {
+    return false;
+  }
+  return true;
+}
+
+uint32_t SnapshotSum(uint64_t version, const std::string& document) {
+  std::string keyed = std::to_string(version);
+  keyed.push_back('\n');
+  keyed += document;
+  return Crc32(keyed);
+}
+
+std::string EncodeSnapshot(const SnapshotPayload& snapshot) {
+  std::string out = "version " + std::to_string(snapshot.version) + "\n";
+  out += "docsum " + std::to_string(snapshot.docsum) + "\n";
+  out += "bytes " + std::to_string(snapshot.document.size()) + "\n";
+  out += snapshot.document;
+  return out;
+}
+
+bool DecodeSnapshot(std::string_view payload, SnapshotPayload* out) {
+  std::string_view line, value;
+  if (!NextLine(&payload, &line) || !KeyedLine(line, "version", &value) ||
+      !ParseU64(value, &out->version)) {
+    return false;
+  }
+  uint64_t docsum = 0;
+  if (!NextLine(&payload, &line) || !KeyedLine(line, "docsum", &value) ||
+      !ParseU64(value, &docsum) || docsum > 0xFFFFFFFFull) {
+    return false;
+  }
+  out->docsum = static_cast<uint32_t>(docsum);
+  uint64_t bytes = 0;
+  if (!NextLine(&payload, &line) || !KeyedLine(line, "bytes", &value) ||
+      !ParseU64(value, &bytes)) {
+    return false;
+  }
+  // The document bytes themselves may be damaged-at-rest; the caller runs
+  // the salvage path.  Only the envelope is validated here.
+  if (payload.size() != bytes) {
+    return false;
+  }
+  out->document = std::string(payload);
+  return true;
+}
+
+std::string EncodeSnapshotReq(uint64_t have_version) {
+  return "have " + std::to_string(have_version) + "\n";
+}
+
+bool DecodeSnapshotReq(std::string_view payload, uint64_t* have_version) {
+  std::string_view line, value;
+  return NextLine(&payload, &line) && KeyedLine(line, "have", &value) &&
+         ParseU64(value, have_version);
+}
+
+std::string EncodeEvict(std::string_view reason) {
+  return "reason " + std::string(reason) + "\n";
+}
+
+bool DecodeEvict(std::string_view payload, std::string* reason) {
+  std::string_view line, value;
+  if (!NextLine(&payload, &line) || !KeyedLine(line, "reason", &value)) {
+    return false;
+  }
+  *reason = std::string(value);
+  return true;
+}
+
+}  // namespace server
+}  // namespace atk

@@ -1,0 +1,99 @@
+// Frame payload codecs for the document-server protocol (PR 6).
+//
+// Payloads are line-oriented ASCII (in the spirit of the §5 external
+// representation: debuggable, mail-safe, versionable), with the edit text
+// length-prefixed so arbitrary bytes survive:
+//
+//   Hello        "client <name>\ndoc <doc>\nversion <v>\n"
+//   HelloAck     "session <id>\nversion <v>\n"
+//   Edit/Update  "version <v>\nop <i|d> <pos> <len>\n<len bytes>"
+//                (`version` is 0 on client->server Edit: the server assigns)
+//   Snapshot     "version <v>\nbytes <n>\n" + n bytes of §5 document
+//   SnapshotReq  "have <v>\n"
+//   Evict        "reason <text>\n"
+//
+// Decoding is defensive: malformed payloads return false and the frame is
+// counted and dropped — a payload that passed the CRC can still have been
+// damaged at rest (TransportFaultKind::kPayloadCorrupt), and the protocol
+// recovers through resync rather than trusting garbage.
+
+#ifndef ATK_SRC_SERVER_PROTOCOL_H_
+#define ATK_SRC_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace atk {
+namespace server {
+
+struct EditOp {
+  enum class Kind { kInsert, kDelete };
+  Kind kind = Kind::kInsert;
+  int64_t pos = 0;
+  int64_t len = 0;    // kDelete: characters removed; kInsert: text length.
+  std::string text;   // kInsert payload.
+};
+
+struct HelloPayload {
+  std::string client;
+  std::string doc;
+  uint64_t version = 0;
+  // Client attach-attempt epoch: bumped per (re)connect, *not* per retry of
+  // the same hello, so the server can tell a retried hello (same epoch —
+  // re-ack the existing session) from a genuine reconnect (new epoch — new
+  // session, fresh resync).
+  uint64_t epoch = 0;
+};
+
+struct HelloAckPayload {
+  uint32_t session = 0;
+  uint64_t version = 0;
+};
+
+struct EditPayload {
+  uint64_t version = 0;  // Server-assigned; 0 on submission.
+  uint64_t sent_tick = 0;  // Server tick at fan-out (latency accounting).
+  EditOp op;
+};
+
+struct SnapshotPayload {
+  uint64_t version = 0;
+  // SnapshotSum(version, document) computed *before* framing.  The frame
+  // CRC detects wire damage; this one detects at-rest damage that was
+  // faithfully transmitted (TransportFaultKind::kPayloadCorrupt) — on
+  // mismatch the client salvages what it got and retries until a clean
+  // snapshot arrives.  The version is inside the sum on purpose: a flipped
+  // digit in the version line with intact document bytes would otherwise
+  // install as clean under the wrong version and silently shift every
+  // subsequent update.
+  uint32_t docsum = 0;
+  std::string document;  // §5 external representation bytes.
+};
+
+// The at-rest integrity sum for a snapshot: covers the version and the
+// document bytes together.
+uint32_t SnapshotSum(uint64_t version, const std::string& document);
+
+std::string EncodeHello(const HelloPayload& hello);
+bool DecodeHello(std::string_view payload, HelloPayload* out);
+
+std::string EncodeHelloAck(const HelloAckPayload& ack);
+bool DecodeHelloAck(std::string_view payload, HelloAckPayload* out);
+
+std::string EncodeEdit(const EditPayload& edit);
+bool DecodeEdit(std::string_view payload, EditPayload* out);
+
+std::string EncodeSnapshot(const SnapshotPayload& snapshot);
+bool DecodeSnapshot(std::string_view payload, SnapshotPayload* out);
+
+std::string EncodeSnapshotReq(uint64_t have_version);
+bool DecodeSnapshotReq(std::string_view payload, uint64_t* have_version);
+
+std::string EncodeEvict(std::string_view reason);
+bool DecodeEvict(std::string_view payload, std::string* reason);
+
+}  // namespace server
+}  // namespace atk
+
+#endif  // ATK_SRC_SERVER_PROTOCOL_H_

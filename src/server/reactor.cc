@@ -1,0 +1,79 @@
+#include "src/server/reactor.h"
+
+#include <algorithm>
+
+namespace atk {
+namespace server {
+
+int Reactor::AddSource(ReadyFn ready, Callback on_ready) {
+  Source source;
+  source.id = next_id_++;
+  source.ready = std::move(ready);
+  source.on_ready = std::move(on_ready);
+  sources_.push_back(std::move(source));
+  return sources_.back().id;
+}
+
+void Reactor::RemoveSource(int id) {
+  sources_.erase(std::remove_if(sources_.begin(), sources_.end(),
+                                [id](const Source& s) { return s.id == id; }),
+                 sources_.end());
+}
+
+int Reactor::AddTimer(uint64_t deadline, Callback fire) {
+  Timer timer;
+  timer.deadline = deadline;
+  timer.id = next_id_++;
+  timer.fire = std::move(fire);
+  int id = timer.id;
+  timers_.emplace(deadline, std::move(timer));
+  return id;
+}
+
+void Reactor::CancelTimer(int id) {
+  for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+    if (it->second.id == id) {
+      timers_.erase(it);
+      return;
+    }
+  }
+}
+
+int Reactor::Advance(uint64_t now) {
+  int fired = 0;
+  while (!timers_.empty() && timers_.begin()->first <= now) {
+    // Detach before firing: the callback may add timers (rescheduling).
+    Callback fire = std::move(timers_.begin()->second.fire);
+    timers_.erase(timers_.begin());
+    fire();
+    ++fired;
+  }
+  return fired;
+}
+
+int Reactor::PumpOnce() {
+  int dispatched = 0;
+  // Snapshot ids: callbacks may add/remove sources mid-scan.
+  std::vector<int> ids;
+  ids.reserve(sources_.size());
+  for (const Source& source : sources_) {
+    ids.push_back(source.id);
+  }
+  for (int id : ids) {
+    auto it = std::find_if(sources_.begin(), sources_.end(),
+                           [id](const Source& s) { return s.id == id; });
+    if (it == sources_.end()) {
+      continue;  // Removed by an earlier callback this pump.
+    }
+    if (it->ready && it->ready()) {
+      // Copy the callback: dispatch may invalidate the iterator.
+      Callback on_ready = it->on_ready;
+      on_ready();
+      ++dispatched;
+    }
+  }
+  return dispatched;
+}
+
+}  // namespace server
+}  // namespace atk

@@ -1,0 +1,70 @@
+// An epoll-style readiness reactor for the document server (PR 6).
+//
+// The ET++ event-handling lesson (PAPERS.md): one process pumps thousands of
+// sessions only if the loop is readiness-driven — scan the sources that have
+// work, dispatch, repeat — instead of blocking per client.  This reactor is
+// the simulated-transport analogue: a Source is registered with a cheap
+// `ready()` predicate (frames deliverable on a link, a timer due) and a
+// callback; PumpOnce scans every source once, dispatching the ready ones.
+//
+// Timers ride the same deterministic tick clock as SimulatedLink: OnTick
+// callbacks fire from Advance(now) when their deadline passes, which is how
+// channel retransmission, client reconnect backoff, and idle-session
+// eviction are scheduled without a wall clock.
+
+#ifndef ATK_SRC_SERVER_REACTOR_H_
+#define ATK_SRC_SERVER_REACTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace atk {
+namespace server {
+
+class Reactor {
+ public:
+  using ReadyFn = std::function<bool()>;
+  using Callback = std::function<void()>;
+
+  // Registers a readiness source; returns its id.
+  int AddSource(ReadyFn ready, Callback on_ready);
+  void RemoveSource(int id);
+  size_t source_count() const { return sources_.size(); }
+
+  // Schedules `fire` at tick `deadline` (one-shot); returns a timer id.
+  int AddTimer(uint64_t deadline, Callback fire);
+  void CancelTimer(int id);
+  size_t timer_count() const { return timers_.size(); }
+
+  // Fires every timer with deadline <= now, oldest deadline first.
+  // Returns the number fired.
+  int Advance(uint64_t now);
+
+  // Scans every source once, dispatching the ready ones.  Sources added or
+  // removed by callbacks take effect on the next pump.  Returns the number
+  // dispatched.
+  int PumpOnce();
+
+ private:
+  struct Source {
+    int id = 0;
+    ReadyFn ready;
+    Callback on_ready;
+  };
+  struct Timer {
+    uint64_t deadline = 0;
+    int id = 0;
+    Callback fire;
+  };
+
+  std::vector<Source> sources_;
+  std::multimap<uint64_t, Timer> timers_;
+  int next_id_ = 1;
+};
+
+}  // namespace server
+}  // namespace atk
+
+#endif  // ATK_SRC_SERVER_REACTOR_H_

@@ -1,0 +1,88 @@
+// Simulated network link between a client session and the document server.
+//
+// One SimulatedLink is a pair of unidirectional pipes carrying encoded
+// frames under a deterministic tick clock.  Every frame entering a pipe is
+// assigned a fate by the robustness layer's TransportFaultInjector: deliver,
+// drop, duplicate, corrupt (CRC catches it), payload-corrupt (CRC passes,
+// the salvager catches it), delay N ticks (later frames overtake — the
+// reorder case), or sever the connection.
+//
+// Determinism: given the same TransportFaultPlan and the same sequence of
+// Send calls at the same ticks, delivery is bit-for-bit identical.  The
+// queues are mutex-guarded so bench/TSan runs may pump the two endpoints
+// from different threads; the deterministic tests drive everything from one.
+
+#ifndef ATK_SRC_SERVER_TRANSPORT_SIM_H_
+#define ATK_SRC_SERVER_TRANSPORT_SIM_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/robustness/fault_injector.h"
+#include "src/server/frame.h"
+
+namespace atk {
+namespace server {
+
+// Which way a frame is travelling; each direction has its own fault stream
+// so client->server loss does not consume the server->client budget.
+enum class LinkDir { kClientToServer = 0, kServerToClient = 1 };
+
+class SimulatedLink {
+ public:
+  SimulatedLink() : SimulatedLink(TransportFaultPlan::Clean()) {}
+  explicit SimulatedLink(const TransportFaultPlan& plan)
+      : injectors_{TransportFaultInjector(plan), TransportFaultInjector(plan)} {}
+
+  // Submits one encoded frame.  `snapshot_frame` gates payload corruption
+  // (see TransportFaultKind::kPayloadCorrupt); `payload_at` is the byte
+  // offset of the payload within `bytes` for the corrupt-then-resign path.
+  void Send(LinkDir dir, std::string bytes, bool snapshot_frame = false);
+
+  // Advances the tick clock: delayed frames age toward delivery.
+  void Tick();
+  uint64_t now() const { return now_; }
+
+  // Everything deliverable in `dir` at the current tick, in order.
+  std::vector<std::string> Receive(LinkDir dir);
+  bool HasDeliverable(LinkDir dir) const;
+
+  // Connection state.  A severed link discards everything in flight, in
+  // both directions — the server forgot this client.
+  bool connected() const;
+  void Sever();
+  void Restore();
+  int sever_count() const { return sever_count_; }
+
+  const TransportFaultInjector& injector(LinkDir dir) const {
+    return injectors_[static_cast<int>(dir)];
+  }
+
+ private:
+  struct InFlight {
+    std::string bytes;
+    uint64_t deliver_at = 0;  // Tick when the frame becomes receivable.
+    uint64_t order = 0;       // FIFO tiebreak within a tick.
+  };
+
+  mutable std::mutex mu_;
+  TransportFaultInjector injectors_[2];
+  std::deque<InFlight> pipes_[2];
+  uint64_t now_ = 0;
+  uint64_t next_order_ = 0;
+  bool connected_ = true;
+  int sever_count_ = 0;
+};
+
+// Re-signs a frame whose payload bytes were corrupted after encoding, so the
+// CRC check passes and the damage reaches the layer above (models a document
+// damaged at rest, before framing).  Exposed for tests.
+void ResignFramePayload(std::string& encoded);
+
+}  // namespace server
+}  // namespace atk
+
+#endif  // ATK_SRC_SERVER_TRANSPORT_SIM_H_

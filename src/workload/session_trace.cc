@@ -1,0 +1,68 @@
+#include "src/workload/session_trace.h"
+
+#include <algorithm>
+
+#include "src/workload/workload.h"
+
+namespace atk {
+namespace {
+
+// Word-ish insert payloads keep salvage and diff output readable.
+const char* const kWords[] = {"annotate", "butler",  "console", "datastream",
+                              "ezedit",   "fanout",  "graphic", "helpfile",
+                              "inset",    "journal", "keymap",  "lookz"};
+
+std::string InsertText(WorkloadRng& rng, int len) {
+  std::string text;
+  while (static_cast<int>(text.size()) < len) {
+    if (!text.empty()) {
+      text += ' ';
+    }
+    text += kWords[rng.Below(sizeof(kWords) / sizeof(kWords[0]))];
+  }
+  text.resize(len);
+  return text;
+}
+
+}  // namespace
+
+SessionTrace BuildSessionTrace(const SessionTraceSpec& spec) {
+  WorkloadRng rng(spec.seed * 0x9E3779B97F4A7C15ull + 1);
+  SessionTrace trace;
+  trace.initial_text = InsertText(rng, static_cast<int>(spec.initial_size));
+  int64_t size = static_cast<int64_t>(trace.initial_text.size());
+  trace.steps.reserve(spec.steps);
+  for (int i = 0; i < spec.steps; ++i) {
+    TraceStep step;
+    step.session = static_cast<int>(rng.Below(std::max(spec.sessions, 1)));
+    step.insert = size == 0 || !rng.Chance(spec.delete_ratio);
+    step.len = rng.IntIn(1, std::max(spec.max_run, 1));
+    if (step.insert) {
+      step.pos = static_cast<int64_t>(rng.Below(size + 1));
+      step.text = InsertText(rng, static_cast<int>(step.len));
+      size += step.len;
+    } else {
+      step.pos = static_cast<int64_t>(rng.Below(size));
+      step.len = std::min(step.len, size - step.pos);
+      size -= step.len;
+    }
+    trace.steps.push_back(std::move(step));
+  }
+  return trace;
+}
+
+std::string ExpectedFinalText(const SessionTrace& trace) {
+  std::string text = trace.initial_text;
+  for (const TraceStep& step : trace.steps) {
+    int64_t pos = std::min<int64_t>(step.pos, text.size());
+    if (step.insert) {
+      text.insert(static_cast<size_t>(pos), step.text);
+    } else {
+      int64_t len = std::min<int64_t>(step.len, text.size() - pos);
+      text.erase(static_cast<size_t>(pos), static_cast<size_t>(len));
+    }
+  }
+  return text;
+}
+
+}  // namespace atk

@@ -1,0 +1,58 @@
+// Deterministic multi-session edit traces for the document server (PR 6).
+//
+// A SessionTrace is a seeded script of edits for N concurrent client
+// sessions against one shared document: at each step, one session inserts or
+// deletes a small run of text at a pseudo-random position.  Positions are
+// generated against the document length the server would have after every
+// previous step *in trace order*; under transport faults the server may
+// apply edits in a different interleaving (per-session order is preserved,
+// cross-session order is not), and the server clamps out-of-range positions,
+// so the invariant the differential test checks is not "equals
+// ExpectedFinalText" but the §1 sharing contract: every replica byte-equal
+// to the server's document once the system quiesces.  ExpectedFinalText is
+// for fault-free runs, where arrival order is trace order.
+//
+// Shared by the fault-sweep differential test (tests/test_server.cc) and
+// bench_server: same seed, same trace, byte-for-byte.
+
+#ifndef ATK_SRC_WORKLOAD_SESSION_TRACE_H_
+#define ATK_SRC_WORKLOAD_SESSION_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace atk {
+
+struct TraceStep {
+  int session = 0;          // Which client submits this edit.
+  bool insert = true;
+  int64_t pos = 0;          // Position hint; the server clamps.
+  int64_t len = 0;          // Delete length / insert text length.
+  std::string text;         // Insert payload.
+};
+
+struct SessionTraceSpec {
+  uint64_t seed = 1;
+  int sessions = 4;
+  int steps = 64;
+  int64_t initial_size = 256;  // Length of the seed document text.
+  double delete_ratio = 0.3;   // Fraction of steps that delete.
+  int max_run = 16;            // Longest single insert/delete.
+};
+
+struct SessionTrace {
+  std::string initial_text;      // Seed content for the hosted document.
+  std::vector<TraceStep> steps;  // In submission order.
+};
+
+// Builds the trace for `spec`; deterministic in every field of the spec.
+SessionTrace BuildSessionTrace(const SessionTraceSpec& spec);
+
+// The document text after applying the whole trace in order to
+// `initial_text` (what every replica must equal once the system quiesces).
+std::string ExpectedFinalText(const SessionTrace& trace);
+
+}  // namespace atk
+
+#endif  // ATK_SRC_WORKLOAD_SESSION_TRACE_H_

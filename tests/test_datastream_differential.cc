@@ -223,5 +223,35 @@ TEST_F(DatastreamDifferential, ParallelDecodeSurvivesCorruptionWorkload) {
   }
 }
 
+TEST_F(DatastreamDifferential, OrphanedCaptureIsCopiedWhenOwnerDiesBeforeDrain) {
+  // A component can read an embedded child during Phase A and then discard
+  // it (a \cellobject whose \view reference was lost to damage).  The queued
+  // capture's views point into the decode's buffer, whose lifetime was tied
+  // to the dead owner — CancelDeferred must copy the bytes into the
+  // context's own arena so the Phase B throwaway decode never reads through
+  // a dangling view.  Regression: the buffer is scribbled after the owner
+  // dies; under the old borrow-only path the throwaway decode would parse
+  // the scribbles (and read freed memory for a heap buffer).
+  ReadContext ctx;
+  ctx.EnableDeferredDecode(2);
+
+  std::string transient = "captured child body\n\\enddata{text,7}\n";
+  {
+    std::unique_ptr<DataObject> victim =
+        ObjectCast<DataObject>(Loader::Instance().NewObject("text"));
+    ASSERT_NE(victim, nullptr);
+    DataStreamReader::RawCapture capture;
+    capture.with_end = transient;
+    capture.body = std::string_view(transient).substr(0, transient.find("\\enddata"));
+    capture.complete = true;
+    ctx.QueueDeferred(victim.get(), "text", 7, capture);
+    // `victim` dies here: ~DataObject routes through CancelDeferred.
+  }
+  std::fill(transient.begin(), transient.end(), 'X');
+
+  ctx.DrainDeferred();
+  EXPECT_TRUE(ctx.ok()) << (ctx.errors().empty() ? "" : ctx.errors().front());
+}
+
 }  // namespace
 }  // namespace atk

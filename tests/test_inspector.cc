@@ -21,6 +21,8 @@
 #include "src/class_system/loader.h"
 #include "src/components/table/chart.h"
 #include "src/components/table/table_data.h"
+#include "src/components/text/text_data.h"
+#include "src/components/text/text_view.h"
 #include "src/observability/inspector/inspector.h"
 #include "src/observability/observability.h"
 #include "src/observability/trace_component.h"
@@ -356,6 +358,60 @@ TEST(Inspector, HostRepaintsByteIdenticalWithInspectorAttached) {
     EXPECT_EQ(without[step], with[step])
         << "host display diverged at step " << step << " with the inspector attached";
   }
+}
+
+TEST(Inspector, ReconnectStormMergesExposeWithPendingDamage) {
+  // Connection-drop storm with the inspector attached: every round edits the
+  // document (queueing damage) and then kills the wire *before* the update
+  // cycle runs.  The next RunOnce reconnects, and the replayed full-window
+  // expose must merge with that pending damage into one repaint — pixels
+  // after every stormy cycle must match the hashes of the same document
+  // states painted with a healthy connection.
+  RegisterStandardModules();
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  auto im = InteractionManager::Create(*ws, 320, 240, "host");
+  TextData data;
+  data.SetText("storm line one\nstorm line two\nstorm line three\n");
+  TextView view;
+  view.SetDataObject(&data);
+  im->SetChild(&view);
+  im->RunOnce();
+
+  ASSERT_TRUE(im->OpenInspector());
+  InspectorData* panels = GetInspectorData(im->inspector());
+  ASSERT_NE(panels, nullptr);
+  panels->SetRefreshPeriodNs(0);
+  im->RunOnce();
+
+  // Reference hashes for both document states over a healthy connection.
+  const std::string edit = "edited!\n";
+  uint64_t ref_base = im->window()->Display().Hash();
+  data.InsertString(0, edit);
+  im->RunOnce();
+  uint64_t ref_edited = im->window()->Display().Hash();
+  data.DeleteRange(0, static_cast<int64_t>(edit.size()));
+  im->RunOnce();
+  ASSERT_EQ(im->window()->Display().Hash(), ref_base);
+  ASSERT_NE(ref_base, ref_edited) << "the edit must actually change pixels";
+
+  int reconnects_before = im->window()->reconnect_count();
+  for (int round = 1; round <= 8; ++round) {
+    data.InsertString(0, edit);  // Pending damage...
+    im->window()->InjectConnectionDrop();  // ...then the wire dies mid-cycle.
+    im->RunOnce();
+    EXPECT_TRUE(im->window()->connected()) << "round " << round;
+    EXPECT_EQ(im->window()->Display().Hash(), ref_edited) << "round " << round;
+
+    data.DeleteRange(0, static_cast<int64_t>(edit.size()));
+    im->window()->InjectConnectionDrop();
+    im->RunOnce();
+    EXPECT_EQ(im->window()->Display().Hash(), ref_base) << "round " << round;
+  }
+  EXPECT_EQ(im->window()->reconnect_count(), reconnects_before + 16);
+  EXPECT_TRUE(im->inspector_open()) << "the inspector must ride out the storm";
+
+  im->CloseInspector();
+  im->SetChild(nullptr);
 }
 
 }  // namespace

@@ -25,6 +25,7 @@
 #include "src/components/text/text_view.h"
 #include "src/datastream/reader.h"
 #include "src/datastream/writer.h"
+#include "src/observability/observability.h"
 #include "src/robustness/fault_injector.h"
 #include "src/robustness/salvage.h"
 #include "src/wm/wm_itc.h"
@@ -367,6 +368,42 @@ TEST_F(LoaderFaultTest, ExhaustedRetriesAreRecordedWithBackoff) {
   EXPECT_EQ(failure.simulated_backoff_us, 500u + 1000u);  // 2 retries.
   // EnsureClass degrades to nullptr, not a crash.
   EXPECT_EQ(Loader::Instance().EnsureClass("tableview"), nullptr);
+}
+
+TEST_F(LoaderFaultTest, RetryMetricsPublishDoublingBackoff) {
+  // The registry half of the retry story: every retry bumps
+  // class.module.retry, and class.module.simulated_backoff_us accumulates
+  // the simulated sleep — which must double per retry within one load.
+  observability::Counter& retry =
+      observability::MetricsRegistry::Instance().counter("class.module.retry");
+  observability::Gauge& backoff = observability::MetricsRegistry::Instance().gauge(
+      "class.module.simulated_backoff_us");
+  retry.Reset();
+  backoff.Reset();
+  Loader::Instance().SetLoadFaultHook(
+      [](std::string_view, int) { return true; });  // Every attempt fails.
+
+  // Walk max_attempts 2..4 over dependency-free modules.  k retries at
+  // initial backoff 500us contribute 500 * (2^k - 1): 500, 1500, 3500 —
+  // each module's delta is exactly double-per-retry or the sums don't land.
+  const char* modules[] = {"table", "equation", "text"};
+  uint64_t expected_retries = 0;
+  int64_t expected_backoff = 0;
+  for (int attempts = 2; attempts <= 4; ++attempts) {
+    Loader::Instance().set_retry_policy(Loader::RetryPolicy{attempts, 500});
+    EXPECT_FALSE(Loader::Instance().Require(modules[attempts - 2]));
+    uint64_t retries = static_cast<uint64_t>(attempts - 1);
+    expected_retries += retries;
+    expected_backoff += static_cast<int64_t>(500u * ((1u << retries) - 1u));
+    EXPECT_EQ(retry.value(), expected_retries) << attempts << " attempts";
+    EXPECT_EQ(backoff.value(), expected_backoff) << attempts << " attempts";
+  }
+
+  // The same totals land in the failure log, per module.
+  ASSERT_EQ(Loader::Instance().failure_log().size(), 3u);
+  EXPECT_EQ(Loader::Instance().failure_log()[0].simulated_backoff_us, 500u);
+  EXPECT_EQ(Loader::Instance().failure_log()[1].simulated_backoff_us, 1500u);
+  EXPECT_EQ(Loader::Instance().failure_log()[2].simulated_backoff_us, 3500u);
 }
 
 TEST_F(LoaderFaultTest, FailedEmbeddedViewDegradesToUnknownView) {

@@ -1,0 +1,717 @@
+// Document-server tests (PR 6): frame codec, reliable channel, transport
+// fault plans, the client/server protocol, and the 64-seed differential
+// fault sweep asserting the §1 sharing contract — every replica byte-equal
+// to the server's document once the system quiesces.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/data_object.h"
+#include "src/robustness/fault_injector.h"
+#include "src/server/channel.h"
+#include "src/server/client_session.h"
+#include "src/server/document_server.h"
+#include "src/server/frame.h"
+#include "src/server/protocol.h"
+#include "src/server/reactor.h"
+#include "src/server/transport_sim.h"
+#include "src/workload/session_trace.h"
+
+namespace atk {
+namespace server {
+namespace {
+
+// ---------------------------------------------------------------- Frames --
+
+TEST(Frame, EncodeDecodeRoundTrip) {
+  Frame frame;
+  frame.type = FrameType::kEdit;
+  frame.session = 7;
+  frame.seq = 42;
+  frame.ack = 41;
+  frame.payload = "version 0\ntick 3\nop i 5 3\nabc";
+  std::string wire = EncodeFrame(frame);
+  EXPECT_EQ(wire.size(), kFrameHeaderSize + frame.payload.size());
+
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  Frame out;
+  ASSERT_TRUE(decoder.Poll(&out));
+  EXPECT_EQ(out.type, FrameType::kEdit);
+  EXPECT_EQ(out.session, 7u);
+  EXPECT_EQ(out.seq, 42u);
+  EXPECT_EQ(out.ack, 41u);
+  EXPECT_EQ(out.payload, frame.payload);
+  EXPECT_FALSE(decoder.Poll(&out));
+}
+
+TEST(Frame, DecoderReassemblesSplitFeeds) {
+  Frame frame;
+  frame.type = FrameType::kSnapshot;
+  frame.seq = 1;
+  frame.payload = std::string(1000, 'x');
+  std::string wire = EncodeFrame(frame);
+
+  FrameDecoder decoder;
+  Frame out;
+  for (size_t i = 0; i < wire.size(); i += 7) {
+    decoder.Feed(wire.substr(i, 7));
+  }
+  ASSERT_TRUE(decoder.Poll(&out));
+  EXPECT_EQ(out.payload, frame.payload);
+}
+
+TEST(Frame, DecoderResyncsPastGarbage) {
+  Frame frame;
+  frame.type = FrameType::kAck;
+  frame.ack = 9;
+  std::string wire = EncodeFrame(frame);
+
+  FrameDecoder decoder;
+  decoder.Feed("garbage bytes with an A inside");
+  decoder.Feed(wire);
+  Frame out;
+  ASSERT_TRUE(decoder.Poll(&out));
+  EXPECT_EQ(out.type, FrameType::kAck);
+  EXPECT_EQ(out.ack, 9u);
+  EXPECT_GT(decoder.skipped_bytes(), 0u);
+}
+
+TEST(Frame, DecoderRejectsCorruptedFrameThenRecovers) {
+  Frame a;
+  a.type = FrameType::kEdit;
+  a.seq = 1;
+  a.payload = "damaged in transit";
+  std::string wire_a = EncodeFrame(a);
+  wire_a[kFrameHeaderSize + 3] ^= 0x20;  // Flip one payload bit.
+
+  Frame b;
+  b.type = FrameType::kEdit;
+  b.seq = 2;
+  b.payload = "intact";
+
+  FrameDecoder decoder;
+  decoder.Feed(wire_a);
+  decoder.Feed(EncodeFrame(b));
+  Frame out;
+  ASSERT_TRUE(decoder.Poll(&out));
+  EXPECT_EQ(out.seq, 2u);
+  EXPECT_EQ(out.payload, "intact");
+  EXPECT_EQ(decoder.corrupt_frames(), 1u);
+}
+
+TEST(Frame, CorruptedLengthPrefixDoesNotWedgeTheDecoder) {
+  // A flipped high byte in the length field once parked the decoder waiting
+  // for a phantom multi-megabyte payload, silently swallowing every later
+  // frame until reconnect.  The header CRC must catch it up front.
+  Frame a;
+  a.type = FrameType::kUpdate;
+  a.seq = 5;
+  a.payload = "version 6 tick 9\ni 0 2\nhi";
+  std::string wire_a = EncodeFrame(a);
+  wire_a[6] ^= 0x7F;  // Length now claims ~8MB.
+
+  Frame b;
+  b.type = FrameType::kUpdate;
+  b.seq = 6;
+  b.payload = "version 7 tick 10\nd 3 1\n";
+
+  FrameDecoder decoder;
+  decoder.Feed(wire_a);
+  decoder.Feed(EncodeFrame(b));
+  Frame out;
+  ASSERT_TRUE(decoder.Poll(&out));
+  EXPECT_EQ(out.seq, 6u);
+  EXPECT_EQ(decoder.corrupt_frames(), 1u);
+}
+
+TEST(Frame, Crc32MatchesKnownVector) {
+  // IEEE CRC32 of "123456789" is the classic check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+}
+
+// ----------------------------------------------------------- Fault plans --
+
+TEST(TransportFaultPlan, FromSpecParsesEveryKey) {
+  TransportFaultPlan plan = TransportFaultPlan::FromSpec(
+      "seed=7,drop=4,dup=2,corrupt=3,payload=1,delay=5,conn=1,rate=0.25");
+  EXPECT_EQ(plan.seed, 7u);
+  EXPECT_EQ(plan.drops, 4);
+  EXPECT_EQ(plan.duplicates, 2);
+  EXPECT_EQ(plan.corruptions, 3);
+  EXPECT_EQ(plan.payload_corruptions, 1);
+  EXPECT_EQ(plan.delays, 5);
+  EXPECT_EQ(plan.conn_drops, 1);
+  EXPECT_NEAR(plan.rate, 0.25, 1e-9);
+}
+
+TEST(TransportFaultPlan, FromSeedIsDeterministicAndBudgeted) {
+  TransportFaultPlan a = TransportFaultPlan::FromSeed(11);
+  TransportFaultPlan b = TransportFaultPlan::FromSeed(11);
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_GE(a.drops, 2);
+  EXPECT_LE(a.drops, 6);
+  EXPECT_GE(a.rate, 0.02);
+  EXPECT_LE(a.rate, 0.12);
+}
+
+TEST(TransportFaultInjector, BudgetsAreConsumedExactlyOnce) {
+  TransportFaultPlan plan = TransportFaultPlan::Clean();
+  plan.seed = 3;
+  plan.drops = 2;
+  plan.rate = 1.0;
+  TransportFaultInjector injector(plan);
+  int drops = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (injector.NextFate(false).kind == TransportFaultKind::kDrop) {
+      ++drops;
+    }
+  }
+  EXPECT_EQ(drops, 2);
+  EXPECT_EQ(injector.injected(TransportFaultKind::kDrop), 2u);
+}
+
+TEST(TransportFaultInjector, PayloadCorruptionOnlyHitsSnapshotFrames) {
+  TransportFaultPlan plan = TransportFaultPlan::Clean();
+  plan.seed = 5;
+  plan.payload_corruptions = 1;
+  plan.rate = 1.0;
+  TransportFaultInjector injector(plan);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(injector.NextFate(false).kind, TransportFaultKind::kDeliver);
+  }
+  EXPECT_EQ(injector.NextFate(true).kind, TransportFaultKind::kPayloadCorrupt);
+}
+
+// -------------------------------------------------------------- Channels --
+
+// Drives both channel halves over a link until `ticks` have elapsed.
+std::vector<Frame> PumpBoth(Channel& client, Channel& server, SimulatedLink& link,
+                            int ticks, std::vector<Frame>* to_client = nullptr) {
+  std::vector<Frame> to_server;
+  for (int i = 0; i < ticks; ++i) {
+    for (Frame& f : client.Pump(link.now())) {
+      if (to_client != nullptr) {
+        to_client->push_back(std::move(f));
+      }
+    }
+    for (Frame& f : server.Pump(link.now())) {
+      to_server.push_back(std::move(f));
+    }
+    link.Tick();
+  }
+  return to_server;
+}
+
+TEST(Channel, ReliableDeliveryInOrderOverCleanLink) {
+  SimulatedLink link;
+  Channel client(&link, LinkDir::kClientToServer);
+  Channel server(&link, LinkDir::kServerToClient);
+  for (int i = 0; i < 10; ++i) {
+    Frame f;
+    f.type = FrameType::kEdit;
+    f.payload = "edit " + std::to_string(i);
+    client.SendReliable(std::move(f), link.now());
+  }
+  std::vector<Frame> delivered = PumpBoth(client, server, link, 8);
+  ASSERT_EQ(delivered.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(delivered[i].payload, "edit " + std::to_string(i));
+    EXPECT_EQ(delivered[i].seq, static_cast<uint64_t>(i + 1));
+  }
+  EXPECT_EQ(client.pending(), 0u);  // All acked.
+  EXPECT_EQ(client.stats().retransmits, 0u);
+}
+
+TEST(Channel, RetransmitsDroppedFrameWithBackoff) {
+  TransportFaultPlan plan = TransportFaultPlan::Clean();
+  plan.seed = 9;
+  plan.drops = 1;
+  plan.rate = 1.0;
+  SimulatedLink link(plan);
+  Channel client(&link, LinkDir::kClientToServer);
+  Channel server(&link, LinkDir::kServerToClient);
+  Frame f;
+  f.type = FrameType::kEdit;
+  f.payload = "only";
+  client.SendReliable(std::move(f), link.now());  // Dropped by the budget.
+  // Both directions carry a one-drop budget, so the ack can be eaten too;
+  // enough ticks for a second retransmit round.
+  std::vector<Frame> delivered = PumpBoth(client, server, link, 40);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].payload, "only");
+  EXPECT_GE(client.stats().retransmits, 1u);
+  EXPECT_EQ(client.pending(), 0u);
+}
+
+TEST(Channel, DuplicatesAndReordersAreAbsorbed) {
+  TransportFaultPlan plan = TransportFaultPlan::Clean();
+  plan.seed = 21;
+  plan.duplicates = 3;
+  plan.delays = 3;
+  plan.rate = 0.5;
+  SimulatedLink link(plan);
+  Channel client(&link, LinkDir::kClientToServer);
+  Channel server(&link, LinkDir::kServerToClient);
+  for (int i = 0; i < 20; ++i) {
+    Frame f;
+    f.type = FrameType::kEdit;
+    f.payload = std::to_string(i);
+    client.SendReliable(std::move(f), link.now());
+  }
+  std::vector<Frame> delivered = PumpBoth(client, server, link, 60);
+  ASSERT_EQ(delivered.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(delivered[i].payload, std::to_string(i));
+  }
+}
+
+TEST(Channel, ExhaustedRetriesMarkChannelBroken) {
+  SimulatedLink link;
+  Channel client(&link, LinkDir::kClientToServer, {});
+  Frame f;
+  f.type = FrameType::kEdit;
+  f.payload = "void";
+  link.Sever();  // Nothing ever arrives or is acked.
+  client.SendReliable(std::move(f), link.now());
+  for (int i = 0; i < 2000 && !client.broken(); ++i) {
+    client.Pump(link.now());
+    link.Tick();
+  }
+  EXPECT_TRUE(client.broken());
+}
+
+TEST(Channel, BackoffDoublesPerRetry) {
+  // A severed link acks nothing: every retransmit fires exactly on its
+  // backoff deadline, so the gaps between consecutive send ticks must be
+  // base, 2*base, 4*base, ... capped at max_backoff_ticks.
+  SimulatedLink link;
+  link.Sever();
+  Channel::Config config;
+  config.retransmit_base_ticks = 4;
+  config.max_backoff_ticks = 64;
+  config.max_retries = 6;
+  Channel client(&link, LinkDir::kClientToServer, config);
+  Frame f;
+  f.type = FrameType::kEdit;
+  client.SendReliable(std::move(f), link.now());
+  uint64_t last_sends = client.stats().sent + client.stats().retransmits;
+  uint64_t last_tick = link.now();
+  std::vector<uint64_t> gaps;
+  for (int i = 0; i < 400 && !client.broken(); ++i) {
+    client.Pump(link.now());
+    uint64_t sends = client.stats().sent + client.stats().retransmits;
+    if (sends > last_sends) {
+      gaps.push_back(link.now() - last_tick);
+      last_tick = link.now();
+      last_sends = sends;
+    }
+    link.Tick();
+  }
+  ASSERT_EQ(gaps.size(), 6u);  // max_retries retransmissions, then broken.
+  EXPECT_EQ(gaps[0], 4u);
+  EXPECT_EQ(gaps[1], 8u);
+  EXPECT_EQ(gaps[2], 16u);
+  EXPECT_EQ(gaps[3], 32u);
+  EXPECT_EQ(gaps[4], 64u);
+  EXPECT_EQ(gaps[5], 64u);  // Capped.
+}
+
+// --------------------------------------------------------------- Reactor --
+
+TEST(Reactor, FiresReadySourcesAndDueTimers) {
+  Reactor reactor;
+  bool ready = false;
+  int fired = 0;
+  reactor.AddSource([&] { return ready; }, [&] { ++fired; });
+  reactor.PumpOnce();
+  EXPECT_EQ(fired, 0);
+  ready = true;
+  reactor.PumpOnce();
+  EXPECT_EQ(fired, 1);
+
+  int timer_fired = 0;
+  reactor.AddTimer(10, [&] { ++timer_fired; });
+  reactor.Advance(9);
+  EXPECT_EQ(timer_fired, 0);
+  reactor.Advance(10);
+  EXPECT_EQ(timer_fired, 1);
+  reactor.Advance(100);
+  EXPECT_EQ(timer_fired, 1);  // One-shot.
+}
+
+// ------------------------------------------------------------- Sessions ---
+
+struct Harness {
+  DocumentServer server;
+  std::vector<std::unique_ptr<SimulatedLink>> links;
+  std::vector<std::unique_ptr<ClientSession>> clients;
+
+  explicit Harness(DocumentServer::Config config = DocumentServer::Config())
+      : server(config) {}
+
+  ClientSession* AddClient(const std::string& name, const std::string& doc,
+                           const TransportFaultPlan& plan = TransportFaultPlan::Clean(),
+                           ClientSession::Config config = ClientSession::Config()) {
+    links.push_back(std::make_unique<SimulatedLink>(plan));
+    server.AttachLink(links.back().get());
+    clients.push_back(
+        std::make_unique<ClientSession>(name, doc, links.back().get(), config));
+    clients.back()->Connect(links.back()->now());
+    return clients.back().get();
+  }
+
+  void Step() {
+    for (size_t i = 0; i < clients.size(); ++i) {
+      clients[i]->Pump(links[i]->now());
+    }
+    server.PumpOnce();
+    for (auto& link : links) {
+      link->Tick();
+    }
+  }
+
+  // True when every client is synced and nothing is in flight anywhere.
+  // The server's unacked frames count too: an update sitting out a long
+  // retransmit backoff leaves the wire silent for tens of ticks while the
+  // system is anything but done.
+  bool Quiesced() const {
+    // An undelivered eviction notice means some client still holds a stale
+    // replica it believes is synced; the notice retry may be a full
+    // interval away with the wire silent in between.
+    if (server.pending_frames() != 0 || server.pending_evictions() != 0) {
+      return false;
+    }
+    for (size_t i = 0; i < clients.size(); ++i) {
+      if (!clients[i]->attached() || !clients[i]->synced() ||
+          clients[i]->channel().pending() != 0) {
+        return false;
+      }
+      if (links[i]->HasDeliverable(LinkDir::kClientToServer) ||
+          links[i]->HasDeliverable(LinkDir::kServerToClient)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Steps until quiesced (with a settle tail); asserts it happens in time.
+  void Settle(int max_ticks = 30000) {
+    int quiet = 0;
+    for (int i = 0; i < max_ticks; ++i) {
+      Step();
+      quiet = Quiesced() ? quiet + 1 : 0;
+      if (quiet >= 8) {
+        return;
+      }
+    }
+    FAIL() << "system did not quiesce within " << max_ticks << " ticks";
+  }
+};
+
+std::unique_ptr<TextData> MakeDoc(const std::string& text) {
+  auto doc = std::make_unique<TextData>();
+  doc->SetText(text);
+  return doc;
+}
+
+TEST(DocumentServer, SessionsAttachAndReceiveSnapshot) {
+  Harness h;
+  h.server.HostDocument("notes", MakeDoc("hello shared world"));
+  ClientSession* a = h.AddClient("alice", "notes");
+  ClientSession* b = h.AddClient("bob", "notes");
+  h.Settle();
+  EXPECT_EQ(h.server.session_count(), 2u);
+  ASSERT_NE(a->replica(), nullptr);
+  ASSERT_NE(b->replica(), nullptr);
+  EXPECT_EQ(a->replica()->GetAllText(), "hello shared world");
+  EXPECT_EQ(b->replica()->GetAllText(), "hello shared world");
+  EXPECT_NE(a->session_id(), b->session_id());
+}
+
+TEST(DocumentServer, EditsFanOutToEverySession) {
+  Harness h;
+  h.server.HostDocument("notes", MakeDoc("shared"));
+  ClientSession* a = h.AddClient("alice", "notes");
+  ClientSession* b = h.AddClient("bob", "notes");
+  h.Settle();
+
+  EditOp op;
+  op.kind = EditOp::Kind::kInsert;
+  op.pos = 0;
+  op.len = 5;
+  op.text = "very ";
+  a->SubmitEdit(op);
+  h.Settle();
+
+  EXPECT_EQ(h.server.document("notes")->GetAllText(), "very shared");
+  EXPECT_EQ(a->replica()->GetAllText(), "very shared");
+  EXPECT_EQ(b->replica()->GetAllText(), "very shared");
+  EXPECT_EQ(a->applied_version(), h.server.version("notes"));
+  EXPECT_EQ(b->applied_version(), h.server.version("notes"));
+  EXPECT_GE(h.server.stats().updates_fanned_out, 2u);
+}
+
+TEST(DocumentServer, ProgrammaticMutationFansOutThroughObserver) {
+  // The fan-out rides the §2 observer mechanism, so a direct mutation of the
+  // hosted document — no client involved — reaches every replica too.
+  Harness h;
+  TextData* doc = h.server.HostDocument("notes", MakeDoc("base"));
+  ClientSession* a = h.AddClient("alice", "notes");
+  h.Settle();
+  doc->InsertString(4, " camp");
+  h.Settle();
+  EXPECT_EQ(a->replica()->GetAllText(), "base camp");
+}
+
+TEST(DocumentServer, NonIncrementalChangeEscalatesToSnapshot) {
+  Harness h;
+  TextData* doc = h.server.HostDocument("notes", MakeDoc("old"));
+  ClientSession* a = h.AddClient("alice", "notes");
+  h.Settle();
+  uint64_t snapshots_before = h.server.stats().snapshots_sent;
+  doc->SetText("entirely new content");  // kModified: not a text op.
+  h.Settle();
+  EXPECT_GT(h.server.stats().snapshots_sent, snapshots_before);
+  EXPECT_EQ(a->replica()->GetAllText(), "entirely new content");
+}
+
+TEST(DocumentServer, EmbeddedObjectInsertEscalatesToSnapshot) {
+  Harness h;
+  TextData* doc = h.server.HostDocument("notes", MakeDoc("report: "));
+  ClientSession* a = h.AddClient("alice", "notes");
+  h.Settle();
+  doc->InsertObject(8, MakeDoc("inner table"));
+  h.Settle();
+  // The replica resynced through a snapshot, so the anchor and the embedded
+  // child both survive; full §5 round-trip equality.
+  EXPECT_EQ(WriteDocument(*a->replica()), WriteDocument(*h.server.document("notes")));
+  EXPECT_EQ(a->replica()->embedded_count(), 1u);
+}
+
+TEST(DocumentServer, UnknownDocumentIsRefused) {
+  Harness h;
+  h.server.HostDocument("notes", MakeDoc("x"));
+  ClientSession::Config config;
+  config.auto_reconnect = false;
+  ClientSession* a =
+      h.AddClient("alice", "no-such-doc", TransportFaultPlan::Clean(), config);
+  for (int i = 0; i < 200; ++i) {
+    h.Step();
+  }
+  EXPECT_EQ(a->state(), ClientSession::State::kEvicted);
+  EXPECT_NE(a->evict_reason().find("no such document"), std::string::npos);
+}
+
+TEST(DocumentServer, HelloRetriesSurviveLossyAttach) {
+  TransportFaultPlan plan = TransportFaultPlan::Clean();
+  plan.seed = 13;
+  plan.drops = 3;
+  plan.rate = 1.0;  // The first three frames each way are eaten.
+  Harness h;
+  h.server.HostDocument("notes", MakeDoc("persist"));
+  ClientSession* a = h.AddClient("alice", "notes", plan);
+  h.Settle();
+  EXPECT_TRUE(a->attached());
+  EXPECT_GE(a->stats().hello_retries, 1u);
+  EXPECT_EQ(a->replica()->GetAllText(), "persist");
+}
+
+TEST(DocumentServer, ConnectionDropForcesReconnectAndResync) {
+  TransportFaultPlan plan = TransportFaultPlan::Clean();
+  plan.seed = 17;
+  plan.conn_drops = 1;
+  plan.rate = 0.2;
+  Harness h;
+  h.server.HostDocument("notes", MakeDoc("to be resynced"));
+  ClientSession* a = h.AddClient("alice", "notes", plan);
+  EditOp op;
+  op.kind = EditOp::Kind::kInsert;
+  op.pos = 0;
+  op.len = 4;
+  op.text = "now ";
+  // Keep editing so the conn-drop budget has traffic to fire on.
+  for (int i = 0; i < 40; ++i) {
+    if (i % 10 == 0) {
+      a->SubmitEdit(op);
+    }
+    h.Step();
+  }
+  h.Settle();
+  // Each direction carries its own conn-drop budget: one or two severs.
+  EXPECT_GE(h.links[0]->sever_count(), 1);
+  EXPECT_GE(a->stats().reconnects, 1u);
+  EXPECT_EQ(a->replica()->GetAllText(), h.server.document("notes")->GetAllText());
+}
+
+TEST(DocumentServer, CorruptSnapshotIsSalvagedThenReplacedByCleanOne) {
+  TransportFaultPlan plan = TransportFaultPlan::Clean();
+  plan.seed = 23;
+  plan.payload_corruptions = 1;
+  plan.rate = 1.0;  // The first snapshot is damaged at rest.
+  Harness h;
+  h.server.HostDocument("notes", MakeDoc("precious content that must survive"));
+  ClientSession* a = h.AddClient("alice", "notes", plan);
+  h.Settle();
+  EXPECT_GE(a->stats().snapshots_salvaged, 1u);
+  EXPECT_FALSE(a->degraded());  // A clean snapshot eventually replaced it.
+  EXPECT_EQ(a->replica()->GetAllText(), "precious content that must survive");
+}
+
+TEST(DocumentServer, SlowSessionIsEvictedWithDiagnostic) {
+  DocumentServer::Config config;
+  config.max_send_queue = 4;  // Tiny backpressure budget.
+  config.channel.max_retries = 3;
+  Harness h(config);
+  TextData* doc = h.server.HostDocument("notes", MakeDoc("busy"));
+  ClientSession* a = h.AddClient("alice", "notes");
+  ClientSession* b = h.AddClient("bob", "notes");
+  h.Settle();
+
+  // Bob's link goes dark; Alice keeps editing.  Bob's send queue grows past
+  // the budget (or his channel breaks) and the server must cut him loose
+  // rather than let his queue grow forever.  Bob's client is NOT pumped — a
+  // truly dead peer never re-dials — so the sever sticks.
+  h.links[1]->Sever();
+  for (int i = 0; i < 400 && h.server.stats().sessions_evicted == 0; ++i) {
+    if (i % 5 == 0) {
+      doc->InsertString(0, "x");
+    }
+    h.clients[0]->Pump(h.links[0]->now());
+    h.server.PumpOnce();
+    h.links[0]->Tick();
+    h.links[1]->Tick();
+  }
+  EXPECT_GE(h.server.stats().sessions_evicted, 1u);
+  ASSERT_FALSE(h.server.diagnostics().empty());
+  EXPECT_EQ(h.server.diagnostics().front().code, StatusCode::kUnavailable);
+  // Alice never stalled.
+  EXPECT_TRUE(a->attached());
+  (void)b;
+}
+
+TEST(DocumentServer, EvictedSessionReconnectsAndConverges) {
+  DocumentServer::Config config;
+  config.max_send_queue = 4;
+  config.channel.max_retries = 3;
+  Harness h(config);
+  TextData* doc = h.server.HostDocument("notes", MakeDoc("start"));
+  ClientSession* b = h.AddClient("bob", "notes");
+  h.Settle();
+
+  // Sever long enough to get Bob evicted, then let him come back.
+  h.links[0]->Sever();
+  for (int i = 0; i < 400 && h.server.stats().sessions_evicted == 0; ++i) {
+    if (i % 5 == 0) {
+      doc->InsertString(0, "y");
+    }
+    h.server.PumpOnce();
+    h.links[0]->Tick();
+  }
+  ASSERT_GE(h.server.stats().sessions_evicted, 1u);
+  h.Settle();  // Bob notices the dead link, reconnects, resyncs.
+  EXPECT_TRUE(b->attached());
+  EXPECT_EQ(b->replica()->GetAllText(), doc->GetAllText());
+}
+
+// ------------------------------------------------- The differential sweep --
+
+// Runs one seeded scenario: N clients, a seeded edit trace, a seeded
+// transport fault plan on every link, driven until quiescence.  Asserts the
+// sharing contract: every replica byte-identical to the server's document.
+void RunSeededScenario(uint64_t seed) {
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  SessionTraceSpec spec;
+  spec.seed = seed;
+  spec.sessions = 4;
+  spec.steps = 48;
+  spec.initial_size = 192;
+  SessionTrace trace = BuildSessionTrace(spec);
+
+  Harness h;
+  h.server.HostDocument("shared", MakeDoc(trace.initial_text));
+  for (int i = 0; i < spec.sessions; ++i) {
+    h.AddClient("client-" + std::to_string(i), "shared",
+                TransportFaultPlan::FromSeed(seed * 1000 + i));
+  }
+
+  size_t next_step = 0;
+  int guard = 0;
+  while (next_step < trace.steps.size()) {
+    ASSERT_LT(++guard, 60000) << "trace feed did not complete";
+    const TraceStep& step = trace.steps[next_step];
+    // Feed each step once its client is synced, one step per tick.
+    if (h.clients[step.session]->synced()) {
+      EditOp op;
+      op.kind = step.insert ? EditOp::Kind::kInsert : EditOp::Kind::kDelete;
+      op.pos = step.pos;
+      op.len = step.len;
+      op.text = step.text;
+      h.clients[step.session]->SubmitEdit(op);
+      ++next_step;
+    }
+    h.Step();
+  }
+  h.Settle(60000);
+
+  const TextData* authoritative = h.server.document("shared");
+  ASSERT_NE(authoritative, nullptr);
+  std::string server_text = authoritative->GetAllText();
+  std::string server_bytes = WriteDocument(*authoritative);
+  for (int i = 0; i < spec.sessions; ++i) {
+    SCOPED_TRACE("client " + std::to_string(i));
+    ASSERT_NE(h.clients[i]->replica(), nullptr);
+    EXPECT_EQ(h.clients[i]->replica()->GetAllText(), server_text);
+    EXPECT_EQ(WriteDocument(*h.clients[i]->replica()), server_bytes);
+    EXPECT_EQ(h.clients[i]->applied_version(), h.server.version("shared"));
+  }
+}
+
+TEST(ServerDifferential, SixtyFourSeedTransportFaultSweep) {
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    RunSeededScenario(seed);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+TEST(ServerDifferential, CleanRunMatchesTraceOrderExpectation) {
+  // Without faults the server applies edits in trace order, so the final
+  // text is exactly the trace's own replay.
+  SessionTraceSpec spec;
+  spec.seed = 99;
+  spec.sessions = 1;
+  spec.steps = 64;
+  SessionTrace trace = BuildSessionTrace(spec);
+
+  Harness h;
+  h.server.HostDocument("shared", MakeDoc(trace.initial_text));
+  h.AddClient("solo", "shared");
+  size_t next_step = 0;
+  int guard = 0;
+  while (next_step < trace.steps.size()) {
+    ASSERT_LT(++guard, 20000);
+    if (h.clients[0]->synced()) {
+      const TraceStep& step = trace.steps[next_step++];
+      EditOp op;
+      op.kind = step.insert ? EditOp::Kind::kInsert : EditOp::Kind::kDelete;
+      op.pos = step.pos;
+      op.len = step.len;
+      op.text = step.text;
+      h.clients[0]->SubmitEdit(op);
+    }
+    h.Step();
+  }
+  h.Settle();
+  EXPECT_EQ(h.server.document("shared")->GetAllText(), ExpectedFinalText(trace));
+  EXPECT_EQ(h.clients[0]->replica()->GetAllText(), ExpectedFinalText(trace));
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace atk
