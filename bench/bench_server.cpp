@@ -5,11 +5,16 @@
 // go-back-N bookkeeping, observer fan-out — not kernel sockets.
 //
 // Beyond the wall-time rows, the observability snapshot contributes:
-//   histogram/server.fanout.latency_ns/p99  — server-side fan-out loop
-//   histogram/client.update.lag_ticks/p99   — replica-observed update lag
+//   histogram/server.fanout.latency_us/p99       — server-side fan-out loop
+//   histogram/client.update.lag_ticks/p99        — replica-observed update lag
+//   histogram/server.propagation.latency_us/p99  — origin -> last replica,
+//                                                  traced runs only
 //   gauge/server.bench.attach_sessions_per_sec
-//   gauge/server.bench.fanout_p99_ns        — end-to-end per-edit p99
-// which is where the acceptance numbers for PR 6 live.
+//   gauge/server.bench.fanout_p99_us             — end-to-end per-edit p99
+//   gauge/server.bench.fanout_traced_p99_us      — same loop with tracing on
+// which is where the acceptance numbers live.  BM_EditFanOut_Traced runs the
+// identical workload with span recording and flow ids enabled, so the
+// traced/untraced ratio is the tracing overhead check_perf.sh gates on.
 
 #include <benchmark/benchmark.h>
 
@@ -119,8 +124,11 @@ BENCHMARK(BM_SessionAttach)->Arg(64)->Arg(256);
 // One edit fanned out to N attached sessions: submit on client 0, drive the
 // transport until every replica applied the versioned update.  The manual
 // per-edit timings feed the end-to-end p99 gauge; the in-library
-// server.fanout.latency_ns histogram captures the server-side loop alone.
-void BM_EditFanOut(benchmark::State& state) {
+// server.fanout.latency_us histogram captures the server-side loop alone.
+// With `traced` the run also allocates a flow id per edit and records the
+// full propagation span chain, which is what the workload pays with
+// ATK_TRACE=1 ATK_TRACE_FLOWS=1.
+void RunEditFanOut(benchmark::State& state, bool traced) {
   const int sessions = static_cast<int>(state.range(0));
   Fleet fleet(sessions);
   for (auto& client : fleet.clients) {
@@ -129,6 +137,11 @@ void BM_EditFanOut(benchmark::State& state) {
   int guard = 0;
   while (!fleet.AllSynced() && ++guard < 100000) {
     fleet.Step();
+  }
+  const bool was_tracing = atk::observability::Enabled();
+  if (traced) {
+    atk::observability::Tracer::Instance().SetEnabled(true);
+    atk::observability::Tracer::Instance().SetFlowsEnabled(true);
   }
   uint64_t version = fleet.server.version("bench");
   bool insert = true;
@@ -158,17 +171,27 @@ void BM_EditFanOut(benchmark::State& state) {
             std::chrono::steady_clock::now() - start)
             .count());
   }
+  if (traced) {
+    atk::observability::Tracer::Instance().SetFlowsEnabled(false);
+    atk::observability::Tracer::Instance().SetEnabled(was_tracing);
+  }
   if (!per_edit_ns.empty()) {
     std::sort(per_edit_ns.begin(), per_edit_ns.end());
     size_t idx = std::min(per_edit_ns.size() - 1,
                           static_cast<size_t>(per_edit_ns.size() * 0.99));
     MetricsRegistry::Instance()
-        .gauge("server.bench.fanout_p99_ns")
-        .SetMax(static_cast<int64_t>(per_edit_ns[idx]));
+        .gauge(traced ? "server.bench.fanout_traced_p99_us"
+                      : "server.bench.fanout_p99_us")
+        .SetMax(static_cast<int64_t>(per_edit_ns[idx] / 1000.0));
   }
   state.SetItemsProcessed(state.iterations() * sessions);
 }
+
+void BM_EditFanOut(benchmark::State& state) { RunEditFanOut(state, false); }
 BENCHMARK(BM_EditFanOut)->Arg(64)->Arg(256);
+
+void BM_EditFanOut_Traced(benchmark::State& state) { RunEditFanOut(state, true); }
+BENCHMARK(BM_EditFanOut_Traced)->Arg(64)->Arg(256);
 
 }  // namespace
 }  // namespace server

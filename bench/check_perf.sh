@@ -10,10 +10,18 @@
 # machines, so up to 3 attempts are made per metric and any single run
 # within the limit passes.
 #
-# On top of the absolute limits, one ratio is pinned: the zero-copy read
-# path (BM_ReadDocumentBySize/256) must stay at least 3x faster than the
-# frozen copying lexer (BM_ReadDocumentBySize_Baseline/256) measured in the
-# same session — the PR-5 acceptance floor.
+# On top of the absolute limits, ratios are pinned:
+#   - the zero-copy read path (BM_ReadDocumentBySize/256) must stay at least
+#     3x faster than the frozen copying lexer
+#     (BM_ReadDocumentBySize_Baseline/256) measured in the same session —
+#     the PR-5 acceptance floor;
+#   - the per-edit fan-out p99 with tracing enabled
+#     (gauge/server.bench.fanout_traced_p99_us) must stay within +3% of the
+#     untraced p99 measured in the same session, and the traced run must
+#     close its edit flows with a sane end-to-end propagation p99
+#     (histogram/server.propagation.latency_us/p99) — the PR-7 tracing
+#     overhead bound.  The disabled path is a single branch, so the plain
+#     BM_EditFanOut entry doubles as the 0%-when-disabled guard.
 #
 # ATK_SKIP_PERF=1 skips (exit 77, ctest's SKIP_RETURN_CODE).
 set -eu
@@ -119,6 +127,52 @@ if [ -x "$DS_BIN" ]; then
   fi
 else
   echo "check_perf.sh: missing bench binary $DS_BIN (build the project first)" >&2
+  failures=$((failures + 1))
+fi
+
+# The PR-7 tracing bound: one session runs the untraced and the traced
+# fan-out loops back to back; the traced per-edit p99 must stay within +3%
+# of the untraced one, and the traced loop must have closed its edit flows
+# into the end-to-end propagation histogram with a sane p99 (the idle
+# measurement is ~0.5-1 ms; 20 ms leaves loaded-machine headroom).
+SV_BIN="$BUILD_DIR/bench/bench_server"
+if [ -x "$SV_BIN" ]; then
+  trace_ok=0
+  attempt=1
+  while [ "$attempt" -le 3 ]; do
+    out="$("$SV_BIN" --benchmark_filter='^BM_EditFanOut(_Traced)?/256$' \
+        --benchmark_min_time=0.05 --benchmark_color=false 2>/dev/null \
+      | grep -o '{"bench":.*}')" || out=""
+    plain_us="$(printf '%s\n' "$out" \
+      | grep -F '"metric":"gauge/server.bench.fanout_p99_us"' | head -1 \
+      | grep -o '"value":[0-9.eE+-]*' | cut -d: -f2)"
+    traced_us="$(printf '%s\n' "$out" \
+      | grep -F '"metric":"gauge/server.bench.fanout_traced_p99_us"' | head -1 \
+      | grep -o '"value":[0-9.eE+-]*' | cut -d: -f2)"
+    prop_us="$(printf '%s\n' "$out" \
+      | grep -F '"metric":"histogram/server.propagation.latency_us/p99"' | head -1 \
+      | grep -o '"value":[0-9.eE+-]*' | cut -d: -f2)"
+    if [ -n "$plain_us" ] && [ -n "$traced_us" ] && [ -n "$prop_us" ]; then
+      echo "check_perf.sh: attempt $attempt: fan-out p99 ${plain_us} us untraced," \
+        "${traced_us} us traced (need <= 1.03x), propagation p99 ${prop_us} us" \
+        "(need 0 < p99 <= 20000 us)" >&2
+      if awk -v p="$plain_us" -v t="$traced_us" -v e="$prop_us" \
+          'BEGIN { exit !(t <= p * 1.03 && e > 0 && e <= 20000) }'; then
+        trace_ok=1
+        break
+      fi
+    else
+      echo "check_perf.sh: attempt $attempt could not measure the tracing overhead" >&2
+    fi
+    attempt=$((attempt + 1))
+  done
+  if [ "$trace_ok" != "1" ]; then
+    echo "check_perf.sh: FAIL: traced fan-out p99 above 1.03x untraced (or flows" \
+      "did not close) after 3 attempts" >&2
+    failures=$((failures + 1))
+  fi
+else
+  echo "check_perf.sh: missing bench binary $SV_BIN (build the project first)" >&2
   failures=$((failures + 1))
 fi
 

@@ -80,13 +80,16 @@ InteractionManager::InspectorHandle MakeInspectorWindow(InteractionManager& host
   auto tree = std::make_unique<ViewTreeView>();
   auto profiler = std::make_unique<FrameProfileView>();
   auto metrics = std::make_unique<MetricsPanelView>();
+  auto server_panel = std::make_unique<ServerPanelView>();
   root->SetDataObject(data.get());
   tree->SetDataObject(data.get());
   profiler->SetDataObject(data.get());
   metrics->SetDataObject(data.get());
+  server_panel->SetDataObject(data.get());
   root->AddChild(tree.get());
   root->AddChild(profiler.get());
   root->AddChild(metrics.get());
+  root->AddChild(server_panel.get());
   im->SetChild(root.get());
   data->Refresh();  // First snapshot before the first paint.
 
@@ -97,6 +100,7 @@ InteractionManager::InspectorHandle MakeInspectorWindow(InteractionManager& host
   im->Adopt(std::move(tree));
   im->Adopt(std::move(profiler));
   im->Adopt(std::move(metrics));
+  im->Adopt(std::move(server_panel));
   im->Adopt(std::move(data));
   im->Adopt(std::move(ws));
 
@@ -123,7 +127,7 @@ void RegisterInspectorModule() {
     ModuleSpec spec;
     spec.name = "inspector";
     spec.provides = {"inspector", "inspectorrootview", "viewtreeview", "frameprofileview",
-                     "metricspanelview"};
+                     "metricspanelview", "serverpanelview"};
     spec.depends_on = {"table"};
     spec.text_bytes = 42 * 1024;
     spec.data_bytes = 4 * 1024;
@@ -133,6 +137,7 @@ void RegisterInspectorModule() {
       ClassRegistry::Instance().Register(ViewTreeView::StaticClassInfo());
       ClassRegistry::Instance().Register(FrameProfileView::StaticClassInfo());
       ClassRegistry::Instance().Register(MetricsPanelView::StaticClassInfo());
+      ClassRegistry::Instance().Register(ServerPanelView::StaticClassInfo());
       SetDefaultViewName("inspector", "inspectorrootview");
       ProcTable::Instance().Register("inspector-export-trace", ExportTraceProc);
       InteractionManager::SetInspectorFactory(MakeInspectorWindow);

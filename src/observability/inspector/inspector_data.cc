@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <map>
+#include <string_view>
 
 #include "src/base/interaction_manager.h"
 #include "src/observability/trace_component.h"
@@ -40,6 +42,11 @@ InspectorData::InspectorData() {
   metrics_chart_->SetTitle("counters");
   metrics_chart_->SetColumns(0, 1);
   metrics_chart_->SetSource(metrics_table_.get());
+  sessions_table_ = std::make_unique<TableData>();
+  sessions_chart_ = std::make_unique<ChartData>();
+  sessions_chart_->SetTitle("rtt (ticks)");
+  sessions_chart_->SetColumns(0, 1);
+  sessions_chart_->SetSource(sessions_table_.get());
 }
 
 InspectorData::~InspectorData() = default;
@@ -63,7 +70,9 @@ void InspectorData::Refresh() {
     frames_.erase(frames_.begin(), frames_.end() - static_cast<ptrdiff_t>(kMaxFrames));
   }
   CaptureFlightRecords();
+  CaptureServerFlightRecords();
   RebuildMetricsTable();
+  RebuildSessionsTable();
   ++refresh_count_;
   NotifyObservers(Change{Change::Kind::kModified});
 }
@@ -151,6 +160,84 @@ void InspectorData::CaptureFlightRecords() {
   flight_record_ = observability::SnapshotToDatastream(flight_snapshot_);
   ++flight_captures_;
   last_flight_seq_ = worst_new_seq;
+}
+
+void InspectorData::CaptureServerFlightRecords() {
+  // Session churn trigger: a session eviction on the server or a resync on
+  // any client means propagation state was just rebuilt, and the spans that
+  // led up to it are exactly what the ring still holds.  Freeze it before
+  // further refreshes age them out.
+  uint64_t evictions = 0;
+  uint64_t resyncs = 0;
+  for (const observability::CounterSample& counter : snapshot_.counters) {
+    if (counter.name == "server.sessions.evicted") {
+      evictions = counter.value;
+    } else if (counter.name == "client.session.reconnects") {
+      resyncs = counter.value;
+    }
+  }
+  if (evictions <= last_evictions_ && resyncs <= last_resyncs_) {
+    return;
+  }
+  static Counter& captured = MetricsRegistry::Instance().counter("inspector.flight.captured");
+  captured.Add(1);
+  flight_snapshot_ = snapshot_;
+  flight_record_ = observability::SnapshotToDatastream(flight_snapshot_);
+  ++flight_captures_;
+  last_evictions_ = evictions;
+  last_resyncs_ = resyncs;
+}
+
+void InspectorData::RebuildSessionsTable() {
+  // Rows derive purely from the published server.endpoint_<id>.* gauges, so
+  // the inspector needs no dependency on (or pointer into) the server layer
+  // and the table stays meaningful even over a salvaged snapshot.
+  struct SessionRow {
+    int64_t rtt = 0;
+    int64_t queue = 0;
+    int64_t retransmits = 0;
+    int64_t epoch = 0;
+  };
+  std::map<uint64_t, SessionRow> sessions;
+  constexpr std::string_view kPrefix = "server.endpoint_";
+  for (const observability::GaugeSample& gauge : snapshot_.gauges) {
+    std::string_view name = gauge.name;
+    if (name.substr(0, kPrefix.size()) != kPrefix) {
+      continue;
+    }
+    std::string_view rest = name.substr(kPrefix.size());
+    size_t dot = rest.find('.');
+    uint64_t id = 0;
+    if (dot == std::string_view::npos || !ParseU64Field(rest.substr(0, dot), &id)) {
+      continue;
+    }
+    std::string_view field = rest.substr(dot + 1);
+    SessionRow& row = sessions[id];
+    if (field == "rtt_ticks") {
+      row.rtt = gauge.value;
+    } else if (field == "queue_depth") {
+      row.queue = gauge.value;
+    } else if (field == "retransmits") {
+      row.retransmits = gauge.value;
+    } else if (field == "epoch") {
+      row.epoch = gauge.value;
+    }
+  }
+  int rows = static_cast<int>(sessions.size());
+  if (sessions_table_->rows() != rows || sessions_table_->cols() != 5) {
+    sessions_table_->Resize(rows, 5);
+  }
+  int row = 0;
+  for (const auto& [id, session] : sessions) {
+    sessions_table_->SetText(row, 0, "session " + std::to_string(id));
+    sessions_table_->SetNumber(row, 1, static_cast<double>(session.rtt));
+    sessions_table_->SetNumber(row, 2, static_cast<double>(session.queue));
+    sessions_table_->SetNumber(row, 3, static_cast<double>(session.retransmits));
+    sessions_table_->SetNumber(row, 4, static_cast<double>(session.epoch));
+    ++row;
+  }
+  session_row_count_ = row;
+  sessions_chart_->SetRowRange(0, session_row_count_ > 0 ? session_row_count_ - 1 : 0);
 }
 
 std::string InspectorData::ExportPerfettoJson() const {

@@ -18,7 +18,13 @@
 //     (inspector.flight.captured counts each capture);
 //   * the metrics panel sources — a TableData of counter values and
 //     histogram percentiles plus a ChartData over the counter rows, so the
-//     §2 table -> chart observer chain displays the toolkit's own metrics.
+//     §2 table -> chart observer chain displays the toolkit's own metrics;
+//   * the server panel sources — one row per connected session, derived
+//     purely from the `server.endpoint_<id>.*` gauges the document server
+//     publishes (RTT estimate, retransmits, send-queue depth, epoch), plus
+//     a ChartData over the RTT column; a second flight-recorder trigger
+//     freezes the ring whenever a session is evicted or resyncs
+//     (server.sessions.evicted / client.session.reconnects advance).
 
 #ifndef ATK_SRC_OBSERVABILITY_INSPECTOR_INSPECTOR_DATA_H_
 #define ATK_SRC_OBSERVABILITY_INSPECTOR_INSPECTOR_DATA_H_
@@ -125,6 +131,16 @@ class InspectorData : public DataObject {
   ChartData* metrics_chart() { return metrics_chart_.get(); }
   int counter_row_count() const { return counter_row_count_; }
 
+  // ---- Server panel sources --------------------------------------------------
+  // One row per document-server endpoint, parsed out of the
+  // server.endpoint_<id>.{rtt_ticks,retransmits,queue_depth,epoch} gauges:
+  // columns are session id, RTT estimate (link ticks), send-queue depth,
+  // retransmit count and resync epoch.  The chart plots the RTT column, so
+  // a congested session stands out at a glance.
+  TableData* sessions_table() { return sessions_table_.get(); }
+  ChartData* sessions_chart() { return sessions_chart_.get(); }
+  int session_row_count() const { return session_row_count_; }
+
   // ---- Datastream ------------------------------------------------------------
   // Persists the configuration (cadence, budget), not the live capture — a
   // reopened inspector re-snapshots the live process.
@@ -134,7 +150,9 @@ class InspectorData : public DataObject {
  private:
   void RebuildTreeRows();
   void RebuildMetricsTable();
+  void RebuildSessionsTable();
   void CaptureFlightRecords();
+  void CaptureServerFlightRecords();
 
   InteractionManager* host_ = nullptr;
   uint64_t refresh_period_ns_ = kDefaultRefreshPeriodNs;
@@ -154,6 +172,14 @@ class InspectorData : public DataObject {
   std::unique_ptr<TableData> metrics_table_;
   std::unique_ptr<ChartData> metrics_chart_;
   int counter_row_count_ = 0;
+
+  std::unique_ptr<TableData> sessions_table_;
+  std::unique_ptr<ChartData> sessions_chart_;
+  int session_row_count_ = 0;
+  // Watermarks for the server flight trigger: the ring is frozen whenever
+  // either counter advances past the value seen at the previous capture.
+  uint64_t last_evictions_ = 0;
+  uint64_t last_resyncs_ = 0;
 };
 
 }  // namespace atk

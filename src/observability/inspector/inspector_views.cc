@@ -9,6 +9,7 @@ ATK_DEFINE_CLASS(InspectorRootView, View, "inspectorrootview")
 ATK_DEFINE_CLASS(ViewTreeView, View, "viewtreeview")
 ATK_DEFINE_CLASS(FrameProfileView, View, "frameprofileview")
 ATK_DEFINE_CLASS(MetricsPanelView, View, "metricspanelview")
+ATK_DEFINE_CLASS(ServerPanelView, View, "serverpanelview")
 
 namespace {
 
@@ -33,20 +34,20 @@ void InspectorRootView::Layout() {
   if (!HasGraphic() || children().empty()) {
     return;
   }
-  // Tree 40%, profiler 30%, metrics 30% (whatever children exist share the
-  // proportions; a lone child takes everything).
-  static constexpr int kShares[] = {4, 3, 3};
+  // Tree 30%, profiler 25%, metrics 25%, server panel 20% (whatever children
+  // exist share the proportions; a lone child takes everything).
+  static constexpr int kShares[] = {6, 5, 5, 4};
   Rect local = graphic()->LocalBounds();
   int n = static_cast<int>(children().size());
   int total_share = 0;
   for (int i = 0; i < n; ++i) {
-    total_share += kShares[std::min<size_t>(i, 2)];
+    total_share += kShares[std::min<size_t>(i, 3)];
   }
   int y = 0;
   for (int i = 0; i < n; ++i) {
     View* child = children()[i];
     int h = i == n - 1 ? local.height - y
-                       : local.height * kShares[std::min<size_t>(i, 2)] / total_share;
+                       : local.height * kShares[std::min<size_t>(i, 3)] / total_share;
     child->Allocate(Rect{0, y, local.width, h}, graphic());
     y += h;
   }
@@ -207,6 +208,65 @@ void MetricsPanelView::FullUpdate() {
   g->Clear();
   if (table_view_ != nullptr) {
     g->DrawLine(Point{table_view_->bounds().width, 0},
+                Point{table_view_->bounds().width, g->height()});
+  }
+}
+
+// ---- ServerPanelView --------------------------------------------------------
+
+ServerPanelView::ServerPanelView() = default;
+ServerPanelView::~ServerPanelView() = default;
+
+void ServerPanelView::EnsureChildren() {
+  if (table_view_ == nullptr) {
+    table_view_ = std::make_unique<TableView>();
+    chart_view_ = std::make_unique<BarChartView>();
+    AddChild(table_view_.get());
+    AddChild(chart_view_.get());
+  }
+  InspectorData* data = inspector();
+  if (data != nullptr) {
+    table_view_->SetDataObject(data->sessions_table());
+    chart_view_->SetDataObject(data->sessions_chart());
+  }
+}
+
+void ServerPanelView::Layout() {
+  if (!HasGraphic()) {
+    return;
+  }
+  EnsureChildren();
+  // One header line (session count + flight captures), then the sessions
+  // table left of its RTT chart, same split as the metrics panel.
+  Rect local = graphic()->LocalBounds();
+  int header = LineHeight() + 2;
+  int body = std::max(local.height - header, 0);
+  int table_w = local.width * 3 / 5;
+  table_view_->Allocate(Rect{0, header, table_w, body}, graphic());
+  chart_view_->Allocate(Rect{table_w + 1, header, local.width - table_w - 1, body},
+                        graphic());
+}
+
+void ServerPanelView::FullUpdate() {
+  Graphic* g = graphic();
+  if (g == nullptr) {
+    return;
+  }
+  g->Clear();
+  g->SetFont(PanelFont());
+  InspectorData* data = inspector();
+  if (data == nullptr) {
+    g->DrawString(Point{4, 2}, "(no inspector data)");
+    return;
+  }
+  char header[160];
+  std::snprintf(header, sizeof(header),
+                "server sessions: %d (rtt  queue  rexmit  epoch)  %llu flight capture(s)",
+                data->session_row_count(),
+                static_cast<unsigned long long>(data->flight_captures()));
+  g->DrawString(Point{4, 2}, header);
+  if (table_view_ != nullptr) {
+    g->DrawLine(Point{table_view_->bounds().width, table_view_->bounds().y},
                 Point{table_view_->bounds().width, g->height()});
   }
 }

@@ -12,8 +12,13 @@
 //   * MetricsPanelView — the metrics table and its bar chart, reusing the
 //     stock TableView and BarChartView over InspectorData's table -> chart
 //     observer chain (§2's worked example, pointed at the toolkit itself).
+//   * ServerPanelView — the document-server sessions table (RTT estimate,
+//     send-queue depth, retransmits, resync epoch per endpoint, derived
+//     from the server.endpoint_* gauges) beside a bar chart of the RTT
+//     column, with the flight-capture count in the header so an eviction
+//     or resync capture is visible the moment it fires.
 //
-// InspectorRootView stacks the three into the inspector window.
+// InspectorRootView stacks the four into the inspector window.
 
 #ifndef ATK_SRC_OBSERVABILITY_INSPECTOR_INSPECTOR_VIEWS_H_
 #define ATK_SRC_OBSERVABILITY_INSPECTOR_INSPECTOR_VIEWS_H_
@@ -27,8 +32,8 @@
 
 namespace atk {
 
-// Vertical stack: view tree on top, frame profiler in the middle, metrics
-// panel at the bottom.  Children are laid out in link order.
+// Vertical stack: view tree on top, then the frame profiler, the metrics
+// panel, and the server panel.  Children are laid out in link order.
 class InspectorRootView : public View {
   ATK_DECLARE_CLASS(InspectorRootView)
 
@@ -62,6 +67,28 @@ class MetricsPanelView : public View {
  public:
   MetricsPanelView();
   ~MetricsPanelView() override;
+
+  InspectorData* inspector() const { return ObjectCast<InspectorData>(data_object()); }
+
+  void Layout() override;
+  void FullUpdate() override;
+
+  TableView* table_view() const { return table_view_.get(); }
+  BarChartView* chart_view() const { return chart_view_.get(); }
+
+ private:
+  void EnsureChildren();
+
+  std::unique_ptr<TableView> table_view_;
+  std::unique_ptr<BarChartView> chart_view_;
+};
+
+class ServerPanelView : public View {
+  ATK_DECLARE_CLASS(ServerPanelView)
+
+ public:
+  ServerPanelView();
+  ~ServerPanelView() override;
 
   InspectorData* inspector() const { return ObjectCast<InspectorData>(data_object()); }
 

@@ -6,6 +6,10 @@
 #include <cstdio>
 #include <cstdlib>
 
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
 namespace atk {
 namespace observability {
 
@@ -17,10 +21,88 @@ std::atomic<bool> g_trace_enabled{
 #endif
 };
 
-uint64_t MonotonicNanos() {
+std::atomic<bool> g_trace_flows{true};
+
+namespace internal {
+thread_local uint64_t tls_flow = 0;
+thread_local uint32_t tls_track = 0;
+}  // namespace internal
+
+uint64_t NextFlowId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+uint64_t SteadyClockNanos() {
   return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
                                    std::chrono::steady_clock::now().time_since_epoch())
                                    .count());
+}
+
+#if defined(__x86_64__)
+// TSC-based clock, calibrated once against the steady clock.  A span is two
+// timestamps, and the fan-out path records hundreds of spans per edit, so
+// the ~20ns vDSO clock_gettime is most of the tracing overhead budget; a
+// raw rdtsc is ~5ns.  Only trusted when the kernel itself elected the TSC
+// as clocksource (which implies invariant + cross-core synchronized);
+// otherwise every call falls back to the steady clock.
+struct TscCalibration {
+  uint64_t base_tsc = 0;
+  uint64_t base_ns = 0;
+  double ns_per_tick = 0.0;
+  bool usable = false;
+};
+
+const TscCalibration& TscCalib() {
+  static const TscCalibration calib = [] {
+    TscCalibration c;
+    char source[32] = {};
+    if (std::FILE* f = std::fopen(
+            "/sys/devices/system/clocksource/clocksource0/current_clocksource", "r")) {
+      if (std::fgets(source, sizeof(source), f) == nullptr) {
+        source[0] = '\0';
+      }
+      std::fclose(f);
+    }
+    if (std::strncmp(source, "tsc", 3) != 0) {
+      return c;
+    }
+    // ~2ms calibration window, once per process: long enough that vDSO
+    // quantization is <0.1% of the slope.
+    uint64_t ns0 = SteadyClockNanos();
+    uint64_t tsc0 = __rdtsc();
+    uint64_t ns1 = ns0;
+    uint64_t tsc1 = tsc0;
+    while (ns1 - ns0 < 2'000'000) {
+      ns1 = SteadyClockNanos();
+      tsc1 = __rdtsc();
+    }
+    if (tsc1 <= tsc0) {
+      return c;
+    }
+    c.ns_per_tick = static_cast<double>(ns1 - ns0) / static_cast<double>(tsc1 - tsc0);
+    c.base_tsc = tsc1;
+    c.base_ns = ns1;
+    c.usable = c.ns_per_tick > 0.0;
+    return c;
+  }();
+  return calib;
+}
+#endif  // __x86_64__
+
+}  // namespace
+
+uint64_t MonotonicNanos() {
+#if defined(__x86_64__)
+  const TscCalibration& calib = TscCalib();
+  if (calib.usable) {
+    return calib.base_ns + static_cast<uint64_t>(
+        static_cast<double>(__rdtsc() - calib.base_tsc) * calib.ns_per_tick);
+  }
+#endif
+  return SteadyClockNanos();
 }
 
 // ---- Tracer ----------------------------------------------------------------
@@ -42,7 +124,23 @@ uint32_t Tracer::ThreadId() {
   return tls_thread_id;
 }
 
-Tracer::Tracer() { ring_.resize(kDefaultCapacity); }
+// One thread's span ring.  The owning thread is the only writer; `count` is
+// the publication point (fields are written plainly, then count is stored
+// with release order), so a reader that loads count with acquire order sees
+// fully-written records for every published slot.  `gen` stamps which
+// tracer generation the contents belong to: SetCapacity/Clear retire every
+// ring at once by bumping the generation, and a stale ring is skipped by
+// readers until its owner resyncs it on its next record.
+struct Tracer::ThreadRing {
+  explicit ThreadRing(size_t cap) : slots(cap) {}
+
+  std::vector<SpanRecord> slots;         // Resized only by the owner, under mu_.
+  std::atomic<uint64_t> count{0};        // Records ever published here.
+  std::atomic<uint64_t> overwritten{0};  // Wraparound losses.
+  std::atomic<uint32_t> gen{0};
+};
+
+Tracer::Tracer() { tracks_.push_back("atk"); }
 
 Tracer& Tracer::Instance() {
   static Tracer* tracer = new Tracer();
@@ -53,69 +151,131 @@ void Tracer::SetEnabled(bool enabled) {
   g_trace_enabled.store(enabled, std::memory_order_relaxed);
 }
 
+void Tracer::SetFlowsEnabled(bool enabled) {
+  g_trace_flows.store(enabled, std::memory_order_relaxed);
+}
+
+uint32_t Tracer::RegisterTrack(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i] == name) {
+      return static_cast<uint32_t>(i);
+    }
+  }
+  tracks_.emplace_back(name);
+  return static_cast<uint32_t>(tracks_.size() - 1);
+}
+
+std::vector<std::string> Tracer::Tracks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tracks_;
+}
+
 void Tracer::SetCapacity(size_t capacity) {
   std::lock_guard<std::mutex> lock(mu_);
-  ring_.assign(std::max<size_t>(capacity, 1), SpanRecord{});
-  next_seq_ = 1;
+  capacity_ = std::max<size_t>(capacity, 1);
+  generation_.fetch_add(1, std::memory_order_release);
+  next_seq_.store(1, std::memory_order_relaxed);
 }
 
 size_t Tracer::capacity() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return ring_.size();
+  return capacity_;
 }
 
 void Tracer::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  for (SpanRecord& record : ring_) {
-    record = SpanRecord{};
+  generation_.fetch_add(1, std::memory_order_release);
+  next_seq_.store(1, std::memory_order_relaxed);
+}
+
+Tracer::ThreadRing* Tracer::CurrentRing() {
+  // Plain-TLS fast path: two constant-initialized thread_locals and one
+  // relaxed generation compare, no guard variable and no lock.  Rings are
+  // leaked (rings_ keeps them forever) precisely so this raw pointer can
+  // never dangle, whatever other threads do with SetCapacity/Clear.
+  thread_local ThreadRing* tls_ring = nullptr;
+  thread_local uint32_t tls_generation = 0;
+  uint32_t generation = generation_.load(std::memory_order_acquire);
+  if (tls_ring != nullptr && tls_generation == generation) {
+    return tls_ring;
   }
-  next_seq_ = 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tls_ring == nullptr) {
+    tls_ring = new ThreadRing(capacity_);
+    rings_.push_back(tls_ring);
+  } else if (tls_ring->slots.size() != capacity_) {
+    tls_ring->slots.assign(capacity_, SpanRecord{});
+  }
+  tls_ring->count.store(0, std::memory_order_relaxed);
+  tls_ring->overwritten.store(0, std::memory_order_relaxed);
+  tls_ring->gen.store(generation_.load(std::memory_order_relaxed),
+                      std::memory_order_release);
+  tls_generation = generation_.load(std::memory_order_relaxed);
+  return tls_ring;
 }
 
 void Tracer::Record(std::string_view name, uint64_t start_ns, uint64_t end_ns,
-                    uint16_t depth, uint32_t thread) {
-  // A mutex keeps the ring race-free under TSan; spans are coarse (update
-  // cycles, module loads, salvage runs), so contention is negligible next
-  // to the work being measured.
-  std::lock_guard<std::mutex> lock(mu_);
-  if (next_seq_ > ring_.size()) {
+                    uint16_t depth, uint32_t thread, uint64_t flow, uint32_t track,
+                    uint64_t arg) {
+  ThreadRing& ring = *CurrentRing();
+  uint64_t n = ring.count.load(std::memory_order_relaxed);
+  if (n >= ring.slots.size()) {
     // The slot still holds a span nobody Collect()ed; the wraparound is an
     // information loss worth counting, not just inferring from seq math.
+    ring.overwritten.fetch_add(1, std::memory_order_relaxed);
     static Counter& overwritten = MetricsRegistry::Instance().counter("obs.trace.dropped");
     overwritten.Add(1);
   }
-  SpanRecord& slot = ring_[(next_seq_ - 1) % ring_.size()];
-  size_t n = std::min(name.size(), SpanRecord::kNameCapacity - 1);
-  std::memcpy(slot.name, name.data(), n);
-  slot.name[n] = '\0';
+  SpanRecord& slot = ring.slots[n % ring.slots.size()];
+  size_t len = std::min(name.size(), SpanRecord::kNameCapacity - 1);
+  std::memcpy(slot.name, name.data(), len);
+  slot.name[len] = '\0';
   slot.start_ns = start_ns;
   slot.duration_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
-  slot.seq = next_seq_++;
+  slot.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  slot.flow = flow;
+  slot.arg = arg;
   slot.thread = thread;
+  slot.track = track;
   slot.depth = depth;
+  ring.count.store(n + 1, std::memory_order_release);
 }
 
 std::vector<SpanRecord> Tracer::Collect() const {
   std::lock_guard<std::mutex> lock(mu_);
+  uint32_t generation = generation_.load(std::memory_order_relaxed);
   std::vector<SpanRecord> out;
-  uint64_t total = next_seq_ - 1;
-  uint64_t kept = std::min<uint64_t>(total, ring_.size());
-  out.reserve(kept);
-  for (uint64_t seq = total - kept + 1; seq <= total; ++seq) {
-    out.push_back(ring_[(seq - 1) % ring_.size()]);
+  for (const ThreadRing* ring : rings_) {
+    if (ring->gen.load(std::memory_order_acquire) != generation) {
+      continue;  // Retired by SetCapacity/Clear; owner has not resynced.
+    }
+    uint64_t published = ring->count.load(std::memory_order_acquire);
+    uint64_t kept = std::min<uint64_t>(published, ring->slots.size());
+    out.reserve(out.size() + kept);
+    for (uint64_t i = published - kept; i < published; ++i) {
+      out.push_back(ring->slots[i % ring->slots.size()]);
+    }
   }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) { return a.seq < b.seq; });
   return out;
 }
 
 uint64_t Tracer::recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return next_seq_ - 1;
+  return next_seq_.load(std::memory_order_relaxed) - 1;
 }
 
 uint64_t Tracer::dropped() const {
   std::lock_guard<std::mutex> lock(mu_);
-  uint64_t total = next_seq_ - 1;
-  return total > ring_.size() ? total - ring_.size() : 0;
+  uint32_t generation = generation_.load(std::memory_order_relaxed);
+  uint64_t total = 0;
+  for (const ThreadRing* ring : rings_) {
+    if (ring->gen.load(std::memory_order_acquire) == generation) {
+      total += ring->overwritten.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
 }
 
 void ScopedSpan::Open(std::string_view prefix, std::string_view suffix) noexcept {
@@ -135,8 +295,11 @@ void ScopedSpan::Close() noexcept {
   uint64_t end_ns = MonotonicNanos();
   --tls_depth;
   // Tracing may have been disabled mid-span; the record is still written so
-  // open/close depths stay balanced and the span is not half-lost.
-  Tracer::Instance().Record(name_, start_ns_, end_ns, depth_, Tracer::ThreadId());
+  // open/close depths stay balanced and the span is not half-lost.  Flow and
+  // track are read at close: the enclosing Flow/TrackScope outlives the span
+  // by construction at every instrumentation site.
+  Tracer::Instance().Record(name_, start_ns_, end_ns, depth_, Tracer::ThreadId(),
+                            internal::tls_flow, internal::tls_track, arg_);
 }
 
 // ---- Metrics ---------------------------------------------------------------
@@ -273,6 +436,7 @@ TraceSnapshot Snapshot() {
   Tracer& tracer = Tracer::Instance();
   snap.trace_enabled = tracer.enabled();
   snap.spans = tracer.Collect();
+  snap.tracks = tracer.Tracks();
   snap.spans_recorded = tracer.recorded();
   snap.spans_dropped = tracer.dropped();
   TraceSnapshotAccess::Fill(&snap);
@@ -292,14 +456,24 @@ std::string ToText(const TraceSnapshot& snap) {
   }
   if (!snap.spans.empty()) {
     out += "-- spans (oldest first; indented by nesting depth) --\n";
+    // Seq is completion order, so the front span is not necessarily the
+    // earliest start — an enclosing span completes after all its children.
     uint64_t t0 = snap.spans.front().start_ns;
+    for (const SpanRecord& span : snap.spans) {
+      t0 = std::min(t0, span.start_ns);
+    }
     char line[160];
     for (const SpanRecord& span : snap.spans) {
       double at_us = static_cast<double>(span.start_ns - t0) / 1e3;
       double dur_us = static_cast<double>(span.duration_ns) / 1e3;
-      std::snprintf(line, sizeof(line), "#%llu t%u +%.1fus %*s%s %.1fus\n",
+      char tail[64] = "";
+      if (span.flow != 0) {
+        std::snprintf(tail, sizeof(tail), " flow=%llu",
+                      static_cast<unsigned long long>(span.flow));
+      }
+      std::snprintf(line, sizeof(line), "#%llu t%u +%.1fus %*s%s %.1fus%s\n",
                     static_cast<unsigned long long>(span.seq), span.thread, at_us,
-                    span.depth * 2, "", span.name, dur_us);
+                    span.depth * 2, "", span.name, dur_us, tail);
       out += line;
     }
   }
@@ -345,6 +519,9 @@ void InitFromEnv() {
       if (value > 0) {
         Tracer::Instance().SetCapacity(static_cast<size_t>(value));
       }
+    }
+    if (const char* flows = std::getenv("ATK_TRACE_FLOWS")) {
+      Tracer::Instance().SetFlowsEnabled(flows[0] != '0');
     }
     if (const char* trace = std::getenv("ATK_TRACE")) {
       if (trace[0] != '\0' && trace[0] != '0') {

@@ -57,7 +57,10 @@ struct SpanRecord {
   uint64_t start_ns = 0;
   uint64_t duration_ns = 0;
   uint64_t seq = 0;    // Global completion order (1-based).
+  uint64_t flow = 0;   // Causal flow id (0 = not part of a flow).
+  uint64_t arg = 0;    // One small span-defined argument (attempt, session…).
   uint32_t thread = 0; // Small dense id; first thread to record is 0.
+  uint32_t track = 0;  // Logical timeline (0 = the default "atk" track).
   uint16_t depth = 0;  // Nesting depth within the thread at open (0-based).
 
   std::string_view name_view() const { return std::string_view(name); }
@@ -71,6 +74,76 @@ extern std::atomic<bool> g_trace_enabled;
 // True when spans are being recorded.
 inline bool Enabled() { return g_trace_enabled.load(std::memory_order_relaxed); }
 
+// Whether causal flow ids are allocated and propagated (ATK_TRACE_FLOWS;
+// defaults on, only consulted when tracing itself is enabled).  Written
+// only through Tracer::SetFlowsEnabled.
+extern std::atomic<bool> g_trace_flows;
+
+inline bool FlowsEnabled() { return g_trace_flows.load(std::memory_order_relaxed); }
+
+namespace internal {
+// The ambient flow id / track of the calling thread.  Set via FlowScope /
+// TrackScope; captured by ScopedSpan when the record is written.
+extern thread_local uint64_t tls_flow;
+extern thread_local uint32_t tls_track;
+}  // namespace internal
+
+// The flow id currently in scope on this thread (0 when none).
+inline uint64_t CurrentFlow() { return internal::tls_flow; }
+inline uint32_t CurrentTrack() { return internal::tls_track; }
+
+// Allocates a fresh nonzero flow id (process-wide monotonic).
+uint64_t NextFlowId();
+
+// RAII: spans recorded inside the scope carry `flow`.  Scopes nest; a zero
+// flow (or tracing disabled) makes the scope a no-op, so call sites can
+// pass whatever id a payload carried without checking it first.
+class FlowScope {
+ public:
+  explicit FlowScope(uint64_t flow) noexcept {
+    if (flow != 0 && Enabled()) {
+      prev_ = internal::tls_flow;
+      internal::tls_flow = flow;
+      active_ = true;
+    }
+  }
+  ~FlowScope() {
+    if (active_) {
+      internal::tls_flow = prev_;
+    }
+  }
+  FlowScope(const FlowScope&) = delete;
+  FlowScope& operator=(const FlowScope&) = delete;
+
+ private:
+  uint64_t prev_ = 0;
+  bool active_ = false;
+};
+
+// RAII: spans recorded inside the scope land on `track` (an id from
+// Tracer::RegisterTrack).  Track 0 is the default "atk" timeline.
+class TrackScope {
+ public:
+  explicit TrackScope(uint32_t track) noexcept {
+    if (track != 0 && Enabled()) {
+      prev_ = internal::tls_track;
+      internal::tls_track = track;
+      active_ = true;
+    }
+  }
+  ~TrackScope() {
+    if (active_) {
+      internal::tls_track = prev_;
+    }
+  }
+  TrackScope(const TrackScope&) = delete;
+  TrackScope& operator=(const TrackScope&) = delete;
+
+ private:
+  uint32_t prev_ = 0;
+  bool active_ = false;
+};
+
 class Tracer {
  public:
   static constexpr size_t kDefaultCapacity = 4096;
@@ -79,6 +152,9 @@ class Tracer {
 
   void SetEnabled(bool enabled);
   bool enabled() const { return Enabled(); }
+
+  // Toggles causal-flow allocation (see FlowsEnabled / ATK_TRACE_FLOWS).
+  void SetFlowsEnabled(bool enabled);
 
   // Resizes the ring buffer (existing records are dropped).  Capacity is
   // clamped to at least 1.
@@ -90,7 +166,7 @@ class Tracer {
 
   // Appends one completed span.  Thread-safe; called by ScopedSpan.
   void Record(std::string_view name, uint64_t start_ns, uint64_t end_ns, uint16_t depth,
-              uint32_t thread);
+              uint32_t thread, uint64_t flow = 0, uint32_t track = 0, uint64_t arg = 0);
 
   // The retained spans, oldest first, in completion (seq) order.
   std::vector<SpanRecord> Collect() const;
@@ -102,12 +178,30 @@ class Tracer {
   // Dense id of the calling thread (assigned on first use).
   static uint32_t ThreadId();
 
+  // Registers (or looks up) a named logical timeline and returns its dense
+  // id.  Track 0 is preregistered as "atk"; registration is idempotent per
+  // name, so long-lived objects cache the id once.
+  uint32_t RegisterTrack(std::string_view name);
+
+  // Names of every registered track, indexed by track id.
+  std::vector<std::string> Tracks() const;
+
  private:
   Tracer();
 
-  mutable std::mutex mu_;
-  std::vector<SpanRecord> ring_;
-  uint64_t next_seq_ = 1;  // Guarded by mu_.
+  // Spans land in per-thread rings (one writer each, no lock on the record
+  // path); `next_seq_` alone is shared, so seq stays a global completion
+  // order.  Collect() merges the rings and sorts by seq.
+  struct ThreadRing;
+  ThreadRing* CurrentRing();
+
+  mutable std::mutex mu_;                // Guards rings_/tracks_/capacity_.
+  std::vector<ThreadRing*> rings_;       // Leaked on purpose: TLS pointers
+                                         // into them must never dangle.
+  size_t capacity_ = kDefaultCapacity;   // Per-thread ring size.
+  std::atomic<uint32_t> generation_{1};  // Bumped by SetCapacity/Clear.
+  std::atomic<uint64_t> next_seq_{1};
+  std::vector<std::string> tracks_;      // Index == track id.
 };
 
 // RAII span.  Construction when tracing is disabled is a relaxed atomic
@@ -139,11 +233,16 @@ class ScopedSpan {
 
   bool active() const { return active_; }
 
+  // Attaches one small argument to the record (retransmit attempt count,
+  // fan-out session id, …).  No-op when the span is inactive.
+  void set_arg(uint64_t arg) { arg_ = static_cast<uint32_t>(arg); }
+
  private:
   void Open(std::string_view prefix, std::string_view suffix) noexcept;
   void Close() noexcept;
 
   uint64_t start_ns_ = 0;
+  uint32_t arg_ = 0;
   uint16_t depth_ = 0;
   bool active_ = false;
   char name_[SpanRecord::kNameCapacity];
@@ -278,6 +377,7 @@ struct TraceSnapshot {
   uint64_t spans_recorded = 0;
   uint64_t spans_dropped = 0;
   std::vector<SpanRecord> spans;              // Oldest first.
+  std::vector<std::string> tracks;            // Track names; index == track id.
   std::vector<CounterSample> counters;        // Sorted by name.
   std::vector<GaugeSample> gauges;            // Sorted by name.
   std::vector<HistogramSample> histograms;    // Sorted by name.
@@ -294,7 +394,9 @@ std::string ToText(const TraceSnapshot& snapshot);
 //                          to stderr at process exit (skipped if tracing
 //                          was disabled again before exit);
 //   ATK_TRACE=0 / unset    leave tracing as built (see ATK_TRACE_DEFAULT);
-//   ATK_TRACE_CAPACITY=N   ring capacity in spans.
+//   ATK_TRACE_CAPACITY=N   ring capacity in spans;
+//   ATK_TRACE_FLOWS=0      keep tracing but stop allocating causal flow
+//                          ids at edit origins (default: flows on).
 // Wired into InteractionManager and the app drivers so any example or app
 // honors the variables with no code of its own.
 void InitFromEnv();

@@ -72,15 +72,21 @@ int64_t WriteTraceComponent(DataStreamWriter& writer, const TraceSnapshot& snap)
   // stay well under the §5 80-column guideline.
   uint64_t base_ns = snap.spans.empty() ? 0 : snap.spans.front().start_ns;
   writer.WriteDirective(
-      "tracemeta", Join({"1", snap.trace_enabled ? "1" : "0",
+      "tracemeta", Join({"2", snap.trace_enabled ? "1" : "0",
                          std::to_string(snap.spans_recorded),
                          std::to_string(snap.spans_dropped), std::to_string(base_ns)}));
   writer.WriteNewline();
+  for (size_t i = 0; i < snap.tracks.size(); ++i) {
+    writer.WriteDirective("track", Join({std::to_string(i), snap.tracks[i]}));
+    writer.WriteNewline();
+  }
   for (const SpanRecord& span : snap.spans) {
     writer.WriteDirective(
         "span", Join({std::to_string(span.seq), std::to_string(span.start_ns - base_ns),
                       std::to_string(span.duration_ns), std::to_string(span.depth),
-                      std::to_string(span.thread), std::string(span.name_view())}));
+                      std::to_string(span.thread), std::to_string(span.flow),
+                      std::to_string(span.track), std::to_string(span.arg),
+                      std::string(span.name_view())}));
     writer.WriteNewline();
   }
   for (const CounterSample& counter : snap.counters) {
@@ -143,22 +149,42 @@ Status ReadTraceComponent(DataStreamReader& reader, TraceSnapshot* out) {
           }
           out->trace_enabled = enabled != 0;
         } else if (token.type == "span") {
+          // 6 fields is the version-1 form (no flow/track/arg); 9 is the
+          // current one.  The name is always the last field.
           SpanRecord span{};
           uint64_t start_rel = 0;
           uint64_t depth = 0;
           uint64_t thread = 0;
-          if (fields.size() != 6 || !ParseU64(fields[0], &span.seq) ||
-              !ParseU64(fields[1], &start_rel) || !ParseU64(fields[2], &span.duration_ns) ||
-              !ParseU64(fields[3], &depth) || !ParseU64(fields[4], &thread)) {
+          uint64_t track = 0;
+          if ((fields.size() != 6 && fields.size() != 9) ||
+              !ParseU64(fields[0], &span.seq) || !ParseU64(fields[1], &start_rel) ||
+              !ParseU64(fields[2], &span.duration_ns) || !ParseU64(fields[3], &depth) ||
+              !ParseU64(fields[4], &thread)) {
+            return Status::Corrupt("malformed \\span{" + std::string(token.text) + "}");
+          }
+          if (fields.size() == 9 &&
+              (!ParseU64(fields[5], &span.flow) || !ParseU64(fields[6], &track) ||
+               !ParseU64(fields[7], &span.arg))) {
             return Status::Corrupt("malformed \\span{" + std::string(token.text) + "}");
           }
           span.start_ns = base_ns + start_rel;
           span.depth = static_cast<uint16_t>(depth);
           span.thread = static_cast<uint32_t>(thread);
-          size_t n = std::min(fields[5].size(), SpanRecord::kNameCapacity - 1);
-          std::memcpy(span.name, fields[5].data(), n);
+          span.track = static_cast<uint32_t>(track);
+          std::string_view name = fields.back();
+          size_t n = std::min(name.size(), SpanRecord::kNameCapacity - 1);
+          std::memcpy(span.name, name.data(), n);
           span.name[n] = '\0';
           out->spans.push_back(span);
+        } else if (token.type == "track") {
+          uint64_t track_id = 0;
+          if (fields.size() != 2 || !ParseU64(fields[0], &track_id) || track_id > 0xFFFF) {
+            return Status::Corrupt("malformed \\track{" + std::string(token.text) + "}");
+          }
+          if (out->tracks.size() <= track_id) {
+            out->tracks.resize(track_id + 1);
+          }
+          out->tracks[track_id] = std::string(fields[1]);
         } else if (token.type == "counter") {
           CounterSample counter;
           if (fields.size() != 2 || !ParseU64(fields[0], &counter.value)) {

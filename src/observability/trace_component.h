@@ -3,12 +3,16 @@
 // A TraceSnapshot serializes as an ordinary ATK data object:
 //
 //   \begindata{trace,id}
-//   \tracemeta{version,enabled,recorded,dropped}
-//   \span{seq,start_ns,duration_ns,depth,thread,name}
+//   \tracemeta{version,enabled,recorded,dropped,base_ns}
+//   \track{id,name}
+//   \span{seq,start_ns,duration_ns,depth,thread,flow,track,arg,name}
 //   \counter{value,name}
 //   \gauge{value,name}
 //   \histo{count,sum,max,p50,p95,p99,name}
 //   \enddata{trace,id}
+//
+// (Version-1 writers emitted 6-field \span directives without flow/track/
+// arg and no \track lines; the reader accepts both forms.)
 //
 // so a captured trace survives a write -> read round trip, can be embedded
 // in a document, mailed (7-bit printable), skipped by readers that do not

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <set>
+#include <vector>
 
 namespace atk {
 namespace observability {
@@ -38,6 +40,18 @@ std::string MicrosFromNanos(uint64_t ns) {
   return buf;
 }
 
+// Perfetto "process" id for a logical track: track 0 ("atk") is pid 1, the
+// server and each session track get their own pid, so one edit's flow draws
+// across visually separate process groups.
+int Pid(uint32_t track) { return static_cast<int>(track) + 1; }
+
+std::string TrackName(const TraceSnapshot& snap, uint32_t track) {
+  if (track < snap.tracks.size()) {
+    return snap.tracks[track];
+  }
+  return track == 0 ? "atk" : "track-" + std::to_string(track);
+}
+
 }  // namespace
 
 std::string TraceExport::ToPerfettoJson(const TraceSnapshot& snap) {
@@ -56,7 +70,7 @@ std::string TraceExport::ToPerfettoJson(const TraceSnapshot& snap) {
   }
 
   std::string out;
-  out.reserve(128 + snap.spans.size() * 96 + snap.counters.size() * 64);
+  out.reserve(128 + snap.spans.size() * 112 + snap.counters.size() * 64);
   out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   auto comma = [&out, &first] {
@@ -66,18 +80,27 @@ std::string TraceExport::ToPerfettoJson(const TraceSnapshot& snap) {
     first = false;
   };
 
-  // Process / thread metadata, so Perfetto shows names instead of bare ids.
-  comma();
-  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
-         "\"args\":{\"name\":\"atk\"}}";
-  std::set<uint32_t> threads;
+  // Process / thread metadata: one "process" per logical track (the default
+  // "atk" track, the server, each client session), one named thread per
+  // (track, thread) pair that recorded spans.
+  std::set<uint32_t> used_tracks;
+  used_tracks.insert(0);
+  std::set<std::pair<uint32_t, uint32_t>> track_threads;
   for (const SpanRecord& span : snap.spans) {
-    threads.insert(span.thread);
+    used_tracks.insert(span.track);
+    track_threads.insert({span.track, span.thread});
   }
-  for (uint32_t thread : threads) {
+  for (uint32_t track : used_tracks) {
     comma();
-    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
-           std::to_string(thread) + ",\"args\":{\"name\":\"atk-thread-" +
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + std::to_string(Pid(track)) +
+           ",\"args\":{\"name\":";
+    AppendJsonString(out, TrackName(snap, track));
+    out += "}}";
+  }
+  for (const auto& [track, thread] : track_threads) {
+    comma();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" + std::to_string(Pid(track)) +
+           ",\"tid\":" + std::to_string(thread) + ",\"args\":{\"name\":\"atk-thread-" +
            std::to_string(thread) + "\"}}";
   }
 
@@ -87,9 +110,52 @@ std::string TraceExport::ToPerfettoJson(const TraceSnapshot& snap) {
     AppendJsonString(out, span.name_view());
     out += ",\"cat\":\"atk\",\"ph\":\"X\",\"ts\":" + MicrosFromNanos(span.start_ns - base_ns) +
            ",\"dur\":" + MicrosFromNanos(span.duration_ns) +
-           ",\"pid\":1,\"tid\":" + std::to_string(span.thread) +
+           ",\"pid\":" + std::to_string(Pid(span.track)) +
+           ",\"tid\":" + std::to_string(span.thread) +
            ",\"args\":{\"seq\":" + std::to_string(span.seq) +
-           ",\"depth\":" + std::to_string(span.depth) + "}}";
+           ",\"depth\":" + std::to_string(span.depth);
+    if (span.flow != 0) {
+      out += ",\"flow\":" + std::to_string(span.flow);
+    }
+    if (span.arg != 0) {
+      out += ",\"arg\":" + std::to_string(span.arg);
+    }
+    out += "}}";
+  }
+
+  // Flow events stitch one edit's spans across tracks: "s" at the first
+  // span of the flow, "t" through the middles, "f" (bp:"e") at the last.
+  // Each point's ts/pid/tid coincide with its span's start so the viewer
+  // binds the arrow to that slice.  Single-span flows draw nothing useful
+  // and are skipped.
+  std::map<uint64_t, std::vector<const SpanRecord*>> flows;
+  for (const SpanRecord& span : snap.spans) {
+    if (span.flow != 0) {
+      flows[span.flow].push_back(&span);
+    }
+  }
+  for (auto& [flow_id, spans] : flows) {
+    if (spans.size() < 2) {
+      continue;
+    }
+    std::sort(spans.begin(), spans.end(), [](const SpanRecord* a, const SpanRecord* b) {
+      return a->start_ns != b->start_ns ? a->start_ns < b->start_ns : a->seq < b->seq;
+    });
+    for (size_t i = 0; i < spans.size(); ++i) {
+      const SpanRecord& span = *spans[i];
+      const char* phase = i == 0 ? "s" : (i + 1 == spans.size() ? "f" : "t");
+      comma();
+      out += "{\"name\":\"atk.flow.edit\",\"cat\":\"atk.flow\",\"ph\":\"";
+      out += phase;
+      out += "\",\"id\":" + std::to_string(flow_id) +
+             ",\"ts\":" + MicrosFromNanos(span.start_ns - base_ns) +
+             ",\"pid\":" + std::to_string(Pid(span.track)) +
+             ",\"tid\":" + std::to_string(span.thread);
+      if (phase[0] == 'f') {
+        out += ",\"bp\":\"e\"";
+      }
+      out += "}";
+    }
   }
 
   // Counters sample once, at the end of the captured window (the snapshot

@@ -16,8 +16,15 @@
 //
 // Spans become complete ("X") events with microsecond timestamps relative to
 // the earliest span; counters become counter ("C") samples at the end of the
-// capture; threads get metadata ("M") name events.  Standard library only,
-// like the rest of the spine, so any layer can export.
+// capture.  The export is multi-track: every logical track registered with
+// Tracer::RegisterTrack (the default "atk" timeline, the document server,
+// each client session) renders as its own Perfetto "process" (pid = track
+// id + 1) with metadata ("M") process/thread name events, and spans that
+// share a causal flow id are stitched across tracks with flow events — one
+// "s" at the flow's first span, "t" through the middles, and a "f" (bound
+// to the enclosing slice, bp:"e") at the last, so a single edit reads as
+// one arrowed path origin → server → every replica.  Standard library
+// only, like the rest of the spine, so any layer can export.
 
 #ifndef ATK_SRC_OBSERVABILITY_TRACE_EXPORT_H_
 #define ATK_SRC_OBSERVABILITY_TRACE_EXPORT_H_

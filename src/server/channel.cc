@@ -40,7 +40,7 @@ void Channel::set_session(uint32_t session) {
       ++stats_.stale_dropped;
       continue;
     }
-    ProcessAck(frame.ack);
+    ProcessAck(frame.ack, link_->now());
     if (AcceptSequenced(frame)) {
       ++stats_.delivered;
       replayed_.push_back(std::move(frame));
@@ -83,8 +83,20 @@ void Channel::SendUnsequenced(Frame frame, uint64_t now) {
   ++stats_.sent;
 }
 
-void Channel::ProcessAck(uint64_t ack) {
+void Channel::ProcessAck(uint64_t ack, uint64_t now) {
   while (!in_flight_.empty() && in_flight_.front().frame.seq <= ack) {
+    const Unacked& entry = in_flight_.front();
+    // Karn's rule: a retransmitted frame's ack cannot be attributed to one
+    // send, so only clean first-transmission acks feed the RTT estimate.
+    if (entry.retries == 0 && now >= entry.last_sent) {
+      uint64_t sample = now - entry.last_sent;
+      if (!rtt_valid_) {
+        srtt_x8_ = sample << 3;
+        rtt_valid_ = true;
+      } else {
+        srtt_x8_ += sample - (srtt_x8_ >> 3);
+      }
+    }
     in_flight_.pop_front();
     ++stats_.acked;
   }
@@ -160,7 +172,7 @@ std::vector<Frame> Channel::Pump(uint64_t now) {
       ++stats_.stale_dropped;
       continue;
     }
-    ProcessAck(frame.ack);
+    ProcessAck(frame.ack, now);
     if (frame.seq == 0) {
       if (frame.type != FrameType::kAck) {
         ++stats_.delivered;
@@ -190,7 +202,15 @@ std::vector<Frame> Channel::Pump(uint64_t now) {
     }
     ++entry.retries;
     entry.last_sent = now;
-    Transmit(entry.frame, now);
+    {
+      // The retransmit is part of whatever edit flow the frame carries, so
+      // a trace shows the retry (tagged with its attempt count) on the same
+      // flow line as the origin and the replica applies.
+      observability::FlowScope flow(entry.frame.flow);
+      observability::ScopedSpan span("server.frame.retransmit");
+      span.set_arg(static_cast<uint64_t>(entry.retries));
+      Transmit(entry.frame, now);
+    }
     ++stats_.retransmits;
     static Counter& retries = MetricsRegistry::Instance().counter("server.retries.frame");
     retries.Add(1);

@@ -91,6 +91,12 @@ class Channel {
   const Stats& stats() const { return stats_; }
   uint64_t last_in_order() const { return last_in_; }
 
+  // Smoothed round-trip time in link ticks, EWMA with gain 1/8 over samples
+  // taken when a never-retransmitted frame is acked (Karn's rule: a retried
+  // frame's ack is ambiguous and never sampled).  0 until the first sample.
+  uint64_t rtt_estimate_ticks() const { return srtt_x8_ >> 3; }
+  bool has_rtt() const { return rtt_valid_; }
+
  private:
   struct Unacked {
     Frame frame;
@@ -100,7 +106,7 @@ class Channel {
 
   void Transmit(const Frame& frame, uint64_t now);
   void FillWindow(uint64_t now);
-  void ProcessAck(uint64_t ack);
+  void ProcessAck(uint64_t ack, uint64_t now);
   // Go-back-N acceptance: true when `frame` is the next in-order sequence
   // (advances last_in_); duplicates and gaps are counted and refused.
   bool AcceptSequenced(const Frame& frame);
@@ -120,6 +126,8 @@ class Channel {
   // Held frames accepted at set_session time, surfaced by the next Pump.
   std::vector<Frame> replayed_;
   uint64_t decoder_corrupt_seen_ = 0;
+  uint64_t srtt_x8_ = 0;  // RTT EWMA, scaled by 8 (integer arithmetic).
+  bool rtt_valid_ = false;
   bool broken_ = false;
   bool ack_owed_ = false;
   Stats stats_;

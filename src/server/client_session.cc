@@ -7,6 +7,7 @@
 #include "src/components/modules.h"
 #include "src/observability/observability.h"
 #include "src/robustness/salvage.h"
+#include "src/server/flow_trace.h"
 
 namespace atk {
 namespace server {
@@ -91,9 +92,34 @@ void ClientSession::SendHello(uint64_t now) {
       now + Backoff(config_.hello_base_ticks, config_.hello_max_ticks, hello_retries_);
 }
 
-void ClientSession::SubmitEdit(EditOp op) { outbox_.push_back(std::move(op)); }
+void ClientSession::SubmitEdit(EditOp op) {
+  PendingEdit pending;
+  pending.op = std::move(op);
+  if (observability::Enabled() && observability::FlowsEnabled()) {
+    // The edit origin: allocate the flow id here (the keystroke), not at
+    // flush time, so queueing delay inside the outbox is part of the
+    // propagation latency.  The zero-length submit span marks the origin on
+    // this session's track.
+    pending.flow = observability::NextFlowId();
+    pending.origin_ns = observability::MonotonicNanos();
+    observability::TrackScope track(EnsureTrack());
+    observability::FlowScope flow(pending.flow);
+    observability::ScopedSpan span("client.edit.submit");
+  }
+  outbox_.push_back(std::move(pending));
+}
+
+uint32_t ClientSession::EnsureTrack() {
+  if (!track_registered_) {
+    trace_track_ =
+        observability::Tracer::Instance().RegisterTrack("session." + client_name_);
+    track_registered_ = true;
+  }
+  return trace_track_;
+}
 
 void ClientSession::Pump(uint64_t now) {
+  observability::TrackScope track(observability::Enabled() ? EnsureTrack() : 0);
   // A severed link is the client's cue to re-dial: restore the transport,
   // then run the attach handshake from scratch under a fresh epoch.
   if (!link_->connected()) {
@@ -208,10 +234,17 @@ void ClientSession::HandleUpdate(const Frame& frame, uint64_t now) {
   if (replica_ == nullptr) {
     return;
   }
-  if (update.op.kind == EditOp::Kind::kInsert) {
-    replica_->InsertString(update.op.pos, update.op.text);
-  } else {
-    replica_->DeleteRange(update.op.pos, update.op.len);
+  {
+    // The terminal hop of the edit's causal flow: the replica apply span on
+    // this session's track (scopes are no-ops when update.flow is 0).
+    observability::FlowScope flow(update.flow);
+    observability::ScopedSpan span("client.update.apply");
+    span.set_arg(channel_.session());
+    if (update.op.kind == EditOp::Kind::kInsert) {
+      replica_->InsertString(update.op.pos, update.op.text);
+    } else {
+      replica_->DeleteRange(update.op.pos, update.op.len);
+    }
   }
   applied_version_ = update.version;
   ++stats_.updates_applied;
@@ -220,6 +253,11 @@ void ClientSession::HandleUpdate(const Frame& frame, uint64_t now) {
   static observability::Histogram& lag =
       MetricsRegistry::Instance().histogram("client.update.lag_ticks");
   lag.Observe(now >= update.sent_tick ? now - update.sent_tick : 0);
+  if (update.flow != 0) {
+    // The last expected replica closes the flow into
+    // server.propagation.latency_us.
+    FlowTracker::Instance().ReplicaApplied(update.flow, observability::MonotonicNanos());
+  }
 }
 
 void ClientSession::HandleSnapshot(const Frame& frame, uint64_t now) {
@@ -285,13 +323,17 @@ void ClientSession::FlushOutbox(uint64_t now) {
     return;
   }
   while (!outbox_.empty()) {
+    PendingEdit pending = std::move(outbox_.front());
+    outbox_.pop_front();
     EditPayload payload;
     payload.version = 0;  // The server assigns the real version.
     payload.sent_tick = now;
-    payload.op = std::move(outbox_.front());
-    outbox_.pop_front();
+    payload.flow = pending.flow;
+    payload.origin_ns = pending.origin_ns;
+    payload.op = std::move(pending.op);
     Frame frame;
     frame.type = FrameType::kEdit;
+    frame.flow = pending.flow;
     frame.payload = EncodeEdit(payload);
     channel_.SendReliable(std::move(frame), now);
     ++stats_.edits_sent;

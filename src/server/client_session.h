@@ -102,6 +102,14 @@ class ClientSession {
   const Channel& channel() const { return channel_; }
 
  private:
+  // An outbox entry: the op plus the causal envelope allocated at submit
+  // time (flow id + origin clock; both 0 when flow tracing is off).
+  struct PendingEdit {
+    EditOp op;
+    uint64_t flow = 0;
+    uint64_t origin_ns = 0;
+  };
+
   void SendHello(uint64_t now);
   void RequestSnapshot(uint64_t now);
   void HandleUpdate(const Frame& frame, uint64_t now);
@@ -109,6 +117,9 @@ class ClientSession {
   void InstallReplica(std::unique_ptr<TextData> replica, uint64_t version,
                       bool from_salvage);
   void FlushOutbox(uint64_t now);
+  // Registers (once) and returns this session's trace track
+  // ("session.<client name>"); 0 while tracing is disabled.
+  uint32_t EnsureTrack();
 
   std::string client_name_;
   std::string doc_name_;
@@ -122,7 +133,9 @@ class ClientSession {
   std::unique_ptr<TextData> replica_;
   std::function<void(TextData*)> replica_listener_;
   uint64_t applied_version_ = 0;
-  std::deque<EditOp> outbox_;
+  std::deque<PendingEdit> outbox_;
+  uint32_t trace_track_ = 0;
+  bool track_registered_ = false;
   // Hello retry state.
   uint64_t next_hello_at_ = 0;
   int hello_retries_ = 0;

@@ -5,12 +5,14 @@
 #include "src/base/data_object.h"
 #include "src/components/modules.h"
 #include "src/observability/observability.h"
+#include "src/server/flow_trace.h"
 
 namespace atk {
 namespace server {
 namespace {
 
 using observability::Counter;
+using observability::Gauge;
 using observability::Histogram;
 using observability::MetricsRegistry;
 
@@ -22,6 +24,13 @@ Counter& EvictionCounter() {
 // How often a pending eviction notice is re-sent to a client that has not
 // re-attached yet.
 constexpr uint64_t kEvictNoticeIntervalTicks = 32;
+
+// The server's logical timeline in the trace (sessions get their own; see
+// ClientSession::EnsureTrack).
+uint32_t ServerTrack() {
+  static uint32_t track = observability::Tracer::Instance().RegisterTrack("server");
+  return track;
+}
 
 }  // namespace
 
@@ -97,6 +106,12 @@ int DocumentServer::AttachLink(SimulatedLink* link) {
                (raw->evict_pending && raw->link->now() >= raw->next_evict_notice_at);
       },
       [this, raw]() { PumpEndpoint(*raw); });
+  const std::string prefix = "server.endpoint_" + std::to_string(endpoint->id) + ".";
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  endpoint->rtt_gauge = &registry.gauge(prefix + "rtt_ticks");
+  endpoint->retransmit_gauge = &registry.gauge(prefix + "retransmits");
+  endpoint->queue_gauge = &registry.gauge(prefix + "queue_depth");
+  endpoint->epoch_gauge = &registry.gauge(prefix + "epoch");
   endpoints_.push_back(std::move(endpoint));
   return endpoints_.back()->id;
 }
@@ -132,6 +147,7 @@ size_t DocumentServer::pending_frames() const {
 }
 
 void DocumentServer::PumpOnce() {
+  observability::TrackScope track(observability::Enabled() ? ServerTrack() : 0);
   ATK_TRACE_SPAN("server.reactor.pump");
   reactor_.PumpOnce();
 }
@@ -190,6 +206,12 @@ void DocumentServer::PumpEndpoint(Endpoint& endpoint) {
     endpoint.channel->SendUnsequenced(std::move(evict), now);
     endpoint.next_evict_notice_at = now + kEvictNoticeIntervalTicks;
   }
+  // Publish per-session telemetry (four relaxed stores; the inspector's
+  // server panel and check_perf read these from the metrics snapshot).
+  endpoint.rtt_gauge->Set(static_cast<int64_t>(endpoint.channel->rtt_estimate_ticks()));
+  endpoint.retransmit_gauge->Set(static_cast<int64_t>(endpoint.channel->stats().retransmits));
+  endpoint.queue_gauge->Set(static_cast<int64_t>(endpoint.channel->pending()));
+  endpoint.epoch_gauge->Set(static_cast<int64_t>(endpoint.epoch));
 }
 
 void DocumentServer::HandleHello(Endpoint& endpoint, const Frame& frame) {
@@ -273,6 +295,12 @@ void DocumentServer::HandleEdit(Endpoint& endpoint, const Frame& frame) {
   if (doc == nullptr) {
     return;
   }
+  // The edit's causal envelope: the apply span (and the fan-out spans below
+  // it on this stack) joins the flow the originating client opened, and the
+  // observer-driven fan-out reads the members to re-stamp outgoing updates.
+  observability::FlowScope flow_scope(edit.flow);
+  current_flow_ = edit.flow;
+  current_origin_ns_ = edit.origin_ns;
   ATK_TRACE_SPAN("server.edit.apply");
   ++stats_.edits_applied;
   static Counter& applied = MetricsRegistry::Instance().counter("server.edits.applied");
@@ -290,6 +318,8 @@ void DocumentServer::HandleEdit(Endpoint& endpoint, const Frame& frame) {
   // The observer (FanOut::ObservedChanged) has now bumped the version and
   // queued updates for every attached session, this one included — the
   // originator's echo doubles as its apply confirmation.
+  current_flow_ = 0;
+  current_origin_ns_ = 0;
 }
 
 void DocumentServer::FanOut::ObservedChanged(Observable* changed, const Change& change) {
@@ -326,25 +356,48 @@ void DocumentServer::FanOut::ObservedChanged(Observable* changed, const Change& 
 void DocumentServer::FanOutUpdate(HostedDoc& doc, const EditOp& op) {
   ATK_TRACE_SPAN("server.fanout.update");
   static Histogram& latency =
-      MetricsRegistry::Instance().histogram("server.fanout.latency_ns");
+      MetricsRegistry::Instance().histogram("server.fanout.latency_us");
   static Counter& fanned = MetricsRegistry::Instance().counter("server.updates.fanned_out");
   uint64_t start_ns = observability::MonotonicNanos();
+  int recipients = 0;
+  // Links tick in lockstep, so consecutive endpoints almost always share a
+  // sent_tick and the encoded payload can be reused instead of rebuilt.
+  std::string encoded;
+  uint64_t encoded_tick = 0;
   for (std::unique_ptr<Endpoint>& endpoint : endpoints_) {
     if (!endpoint->attached || endpoint->doc != doc.name) {
       continue;
     }
-    EditPayload payload;
-    payload.version = doc.version;
-    payload.sent_tick = endpoint->link->now();
-    payload.op = op;
+    uint64_t now = endpoint->link->now();
+    if (encoded.empty() || encoded_tick != now) {
+      EditPayload payload;
+      payload.version = doc.version;
+      payload.sent_tick = now;
+      payload.flow = current_flow_;
+      payload.origin_ns = current_origin_ns_;
+      payload.op = op;
+      encoded = EncodeEdit(payload);
+      encoded_tick = now;
+    }
     Frame frame;
     frame.type = FrameType::kUpdate;
-    frame.payload = EncodeEdit(payload);
-    endpoint->channel->SendReliable(std::move(frame), endpoint->link->now());
+    frame.flow = current_flow_;
+    frame.payload = encoded;
+    {
+      // One span per recipient session: the trace shows which sessions the
+      // flow fanned out to and what each enqueue cost.
+      observability::ScopedSpan span("server.fanout.session");
+      span.set_arg(endpoint->session);
+      endpoint->channel->SendReliable(std::move(frame), endpoint->link->now());
+    }
+    ++recipients;
     ++stats_.updates_fanned_out;
     fanned.Add(1);
   }
-  latency.Observe(observability::MonotonicNanos() - start_ns);
+  latency.Observe((observability::MonotonicNanos() - start_ns) / 1000);
+  // The last replica apply closes the flow into
+  // server.propagation.latency_us (see src/server/flow_trace.h).
+  FlowTracker::Instance().BeginFlow(current_flow_, current_origin_ns_, recipients);
 }
 
 void DocumentServer::FanOutSnapshot(HostedDoc& doc) {

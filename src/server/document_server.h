@@ -38,6 +38,10 @@
 #include "src/server/transport_sim.h"
 
 namespace atk {
+namespace observability {
+class Gauge;
+}  // namespace observability
+
 namespace server {
 
 class DocumentServer {
@@ -135,6 +139,13 @@ class DocumentServer {
     bool evict_pending = false;
     uint64_t next_evict_notice_at = 0;
     std::string evict_reason;
+    // Per-session telemetry published into MetricsRegistry as
+    // server.endpoint_<id>.{rtt_ticks,retransmits,queue_depth,epoch}.
+    // Cached here so each pump pays four relaxed stores, not map lookups.
+    observability::Gauge* rtt_gauge = nullptr;
+    observability::Gauge* retransmit_gauge = nullptr;
+    observability::Gauge* queue_gauge = nullptr;
+    observability::Gauge* epoch_gauge = nullptr;
   };
 
   void PumpEndpoint(Endpoint& endpoint);
@@ -153,6 +164,11 @@ class DocumentServer {
   uint32_t next_session_ = 1;
   Stats stats_;
   std::vector<Diagnostic> diagnostics_;
+  // The causal envelope of the edit currently being applied (HandleEdit →
+  // observer → FanOutUpdate run on one stack, so the observer's fan-out can
+  // propagate the inbound flow without threading it through Change records).
+  uint64_t current_flow_ = 0;
+  uint64_t current_origin_ns_ = 0;
 };
 
 }  // namespace server

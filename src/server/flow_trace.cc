@@ -1,0 +1,72 @@
+#include "src/server/flow_trace.h"
+
+#include "src/observability/observability.h"
+
+namespace atk {
+namespace server {
+
+using observability::Histogram;
+using observability::MetricsRegistry;
+
+FlowTracker& FlowTracker::Instance() {
+  static FlowTracker* tracker = new FlowTracker();
+  return *tracker;
+}
+
+FlowTracker::FlowTracker() : slots_(kMaxOpenFlows) {
+  static_assert((kMaxOpenFlows & (kMaxOpenFlows - 1)) == 0,
+                "slot index is flow & (kMaxOpenFlows - 1)");
+}
+
+void FlowTracker::BeginFlow(uint64_t flow, uint64_t origin_ns, int expected_replicas) {
+  if (flow == 0 || expected_replicas <= 0) {
+    return;
+  }
+  Slot& slot = slots_[flow & (kMaxOpenFlows - 1)];
+  // A still-open occupant (hash collision or an abandoned flow from a dead
+  // session) is simply replaced: flow ids are monotone, so the occupant is
+  // always the older of the two.
+  slot.flow.store(0, std::memory_order_relaxed);
+  slot.origin_ns.store(origin_ns, std::memory_order_relaxed);
+  slot.remaining.store(expected_replicas, std::memory_order_relaxed);
+  slot.flow.store(flow, std::memory_order_release);
+}
+
+void FlowTracker::ReplicaApplied(uint64_t flow, uint64_t now_ns) {
+  if (flow == 0) {
+    return;
+  }
+  Slot& slot = slots_[flow & (kMaxOpenFlows - 1)];
+  if (slot.flow.load(std::memory_order_acquire) != flow) {
+    return;  // Re-applied after a resync, or the flow was evicted.
+  }
+  if (slot.remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+    return;
+  }
+  uint64_t origin_ns = slot.origin_ns.load(std::memory_order_relaxed);
+  slot.flow.store(0, std::memory_order_release);
+  static Histogram& latency =
+      MetricsRegistry::Instance().histogram("server.propagation.latency_us");
+  latency.Observe(now_ns >= origin_ns ? (now_ns - origin_ns) / 1000 : 0);
+}
+
+size_t FlowTracker::open_flows() const {
+  size_t open = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.flow.load(std::memory_order_relaxed) != 0) {
+      ++open;
+    }
+  }
+  return open;
+}
+
+void FlowTracker::Reset() {
+  for (Slot& slot : slots_) {
+    slot.flow.store(0, std::memory_order_relaxed);
+    slot.origin_ns.store(0, std::memory_order_relaxed);
+    slot.remaining.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace server
+}  // namespace atk

@@ -1,0 +1,65 @@
+// Propagation accounting for traced edit flows (DESIGN.md §8).
+//
+// An edit that carries a flow id is registered here at server fan-out time
+// with the number of replicas it was sent to; every replica apply checks in
+// with its clock, and the last one closes the flow by observing
+// `server.propagation.latency_us` (origin keystroke → last replica
+// converged).  Client sessions, the server, and the benches all run in one
+// process over simulated links, so one process-wide tracker sees both ends
+// of every flow.
+//
+// The tracker is bounded and lock-free: flows live in a fixed slot table
+// indexed by flow id, so a later flow that hashes to an occupied slot
+// replaces it (abandoned flows — the session was evicted mid-flight, the
+// link died — age out this way and a long fault sweep cannot grow the
+// table).  Lock-freedom matters because ReplicaApplied sits on the traced
+// update-apply hot path, once per replica per edit.
+
+#ifndef ATK_SRC_SERVER_FLOW_TRACE_H_
+#define ATK_SRC_SERVER_FLOW_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace atk {
+namespace server {
+
+class FlowTracker {
+ public:
+  static FlowTracker& Instance();
+
+  // Registers a fan-out: `expected_replicas` applies close the flow.  A
+  // zero flow id or non-positive replica count is ignored.
+  void BeginFlow(uint64_t flow, uint64_t origin_ns, int expected_replicas);
+
+  // One replica applied the update for `flow`.  The final expected apply
+  // observes the propagation-latency histogram and retires the flow.
+  void ReplicaApplied(uint64_t flow, uint64_t now_ns);
+
+  // Flows registered but not yet fully applied (tests / quiescence checks).
+  size_t open_flows() const;
+
+  // Drops all in-flight accounting (test hygiene between seeds).
+  void Reset();
+
+ private:
+  FlowTracker();
+
+  // `flow` is the slot's publication point (store-release after the other
+  // fields); a reader that acquire-loads a matching flow id sees them.
+  struct Slot {
+    std::atomic<uint64_t> flow{0};
+    std::atomic<uint64_t> origin_ns{0};
+    std::atomic<int32_t> remaining{0};
+  };
+
+  static constexpr size_t kMaxOpenFlows = 4096;  // Power of two (mask index).
+
+  std::vector<Slot> slots_;
+};
+
+}  // namespace server
+}  // namespace atk
+
+#endif  // ATK_SRC_SERVER_FLOW_TRACE_H_

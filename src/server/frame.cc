@@ -7,16 +7,28 @@ namespace atk {
 namespace server {
 namespace {
 
-std::array<uint32_t, 256> BuildCrcTable() {
-  std::array<uint32_t, 256> table{};
+// Slice-by-8 tables: table[0] is the classic bytewise table, table[k]
+// advances a byte through k additional zero bytes, so eight input bytes
+// fold into one table round.  Same polynomial, same CRC values — only the
+// walk is wider.  The frame path checksums every payload twice (sender and
+// receiver), which made the bytewise loop the hottest part of a 256-session
+// fan-out.
+std::array<std::array<uint32_t, 256>, 8> BuildCrcTables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t crc = i;
     for (int bit = 0; bit < 8; ++bit) {
       crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
     }
-    table[i] = crc;
+    tables[0][i] = crc;
   }
-  return table;
+  for (size_t k = 1; k < 8; ++k) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t prev = tables[k - 1][i];
+      tables[k][i] = (prev >> 8) ^ tables[0][prev & 0xFF];
+    }
+  }
+  return tables;
 }
 
 void PutU32(std::string& out, uint32_t v) {
@@ -75,10 +87,25 @@ std::string_view FrameTypeName(FrameType type) {
 }
 
 uint32_t Crc32(std::string_view bytes, uint32_t seed) {
-  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  static const std::array<std::array<uint32_t, 256>, 8> kTables = BuildCrcTables();
   uint32_t crc = ~seed;
-  for (char c : bytes) {
-    crc = (crc >> 8) ^ kTable[(crc ^ static_cast<unsigned char>(c)) & 0xFF];
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  size_t n = bytes.size();
+  while (n >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = kTables[7][lo & 0xFF] ^ kTables[6][(lo >> 8) & 0xFF] ^
+          kTables[5][(lo >> 16) & 0xFF] ^ kTables[4][lo >> 24] ^
+          kTables[3][hi & 0xFF] ^ kTables[2][(hi >> 8) & 0xFF] ^
+          kTables[1][(hi >> 16) & 0xFF] ^ kTables[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ kTables[0][(crc ^ *p++) & 0xFF];
   }
   return ~crc;
 }

@@ -59,6 +59,11 @@ struct Frame {
   uint32_t session = 0;
   uint64_t seq = 0;  // 0 = unsequenced (pure acks, hellos before attach).
   uint64_t ack = 0;
+  // In-memory causal tag so a retransmit can be attributed to the edit flow
+  // it carries (DESIGN.md §8).  Deliberately NOT wire-encoded: the 38-byte
+  // header and its CRCs are untouched; the flow id travels in the payload
+  // envelope (src/server/protocol.h) and is re-stamped here by the sender.
+  uint64_t flow = 0;
   std::string payload;
 };
 

@@ -1,6 +1,8 @@
 #include "src/server/protocol.h"
 
+#include <charconv>
 #include <cstdlib>
+#include <cstring>
 
 #include "src/server/frame.h"
 
@@ -115,12 +117,53 @@ bool DecodeHelloAck(std::string_view payload, HelloAckPayload* out) {
 }
 
 std::string EncodeEdit(const EditPayload& edit) {
-  std::string out = "version " + std::to_string(edit.version) + "\n";
-  out += "tick " + std::to_string(edit.sent_tick) + "\n";
-  out += "op ";
-  out += edit.op.kind == EditOp::Kind::kInsert ? 'i' : 'd';
-  out += ' ' + std::to_string(edit.op.pos) + ' ' + std::to_string(edit.op.len) + "\n";
-  if (edit.op.kind == EditOp::Kind::kInsert) {
+  // Built in one stack pass: the server re-encodes this payload once per
+  // recipient session, so the string-temporary-per-line idiom the other
+  // codecs use would be the hottest allocation site in the fan-out loop.
+  // 192 bytes covers the worst case (6 keys + 5 full-width u64/i64 values);
+  // the lambdas still bounds-check so the compiler can see it too.
+  char head[192];
+  char* p = head;
+  char* const end = head + sizeof(head);
+  auto put = [&](std::string_view s) {
+    if (static_cast<size_t>(end - p) >= s.size()) {
+      std::memcpy(p, s.data(), s.size());
+      p += s.size();
+    }
+  };
+  auto ch = [&](char c) {
+    if (p < end) {
+      *p++ = c;
+    }
+  };
+  auto num = [&](auto v) { p = std::to_chars(p, end, v).ptr; };
+  put("version ");
+  num(edit.version);
+  ch('\n');
+  put("tick ");
+  num(edit.sent_tick);
+  ch('\n');
+  if (edit.flow != 0) {
+    put("flow ");
+    num(edit.flow);
+    ch('\n');
+    put("origin ");
+    num(edit.origin_ns);
+    ch('\n');
+  }
+  put("op ");
+  ch(edit.op.kind == EditOp::Kind::kInsert ? 'i' : 'd');
+  ch(' ');
+  num(edit.op.pos);
+  ch(' ');
+  num(edit.op.len);
+  ch('\n');
+  std::string out;
+  size_t head_len = static_cast<size_t>(p - head);
+  bool insert = edit.op.kind == EditOp::Kind::kInsert;
+  out.reserve(head_len + (insert ? edit.op.text.size() : 0));
+  out.assign(head, head_len);
+  if (insert) {
     out += edit.op.text;
   }
   return out;
@@ -136,7 +179,26 @@ bool DecodeEdit(std::string_view payload, EditPayload* out) {
       !ParseU64(value, &out->sent_tick)) {
     return false;
   }
-  if (!NextLine(&payload, &line) || !KeyedLine(line, "op", &value)) {
+  // Optional causal-trace lines (present only when the origin allocated a
+  // flow id); a payload without them decodes with flow == origin_ns == 0.
+  out->flow = 0;
+  out->origin_ns = 0;
+  if (!NextLine(&payload, &line)) {
+    return false;
+  }
+  if (KeyedLine(line, "flow", &value)) {
+    if (!ParseU64(value, &out->flow)) {
+      return false;
+    }
+    if (!NextLine(&payload, &line) || !KeyedLine(line, "origin", &value) ||
+        !ParseU64(value, &out->origin_ns)) {
+      return false;
+    }
+    if (!NextLine(&payload, &line)) {
+      return false;
+    }
+  }
+  if (!KeyedLine(line, "op", &value)) {
     return false;
   }
   if (value.size() < 2 || (value[0] != 'i' && value[0] != 'd') || value[1] != ' ') {

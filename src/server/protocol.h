@@ -6,8 +6,11 @@
 //
 //   Hello        "client <name>\ndoc <doc>\nversion <v>\n"
 //   HelloAck     "session <id>\nversion <v>\n"
-//   Edit/Update  "version <v>\nop <i|d> <pos> <len>\n<len bytes>"
-//                (`version` is 0 on client->server Edit: the server assigns)
+//   Edit/Update  "version <v>\ntick <t>\n[flow <f>\norigin <ns>\n]"
+//                "op <i|d> <pos> <len>\n<len bytes>"
+//                (`version` is 0 on client->server Edit: the server assigns;
+//                the optional flow/origin pair is the causal-trace envelope,
+//                present only when the origin allocated a flow id)
 //   Snapshot     "version <v>\nbytes <n>\n" + n bytes of §5 document
 //   SnapshotReq  "have <v>\n"
 //   Evict        "reason <text>\n"
@@ -54,6 +57,13 @@ struct HelloAckPayload {
 struct EditPayload {
   uint64_t version = 0;  // Server-assigned; 0 on submission.
   uint64_t sent_tick = 0;  // Server tick at fan-out (latency accounting).
+  // Causal-trace envelope (DESIGN.md §8): the flow id allocated at the edit
+  // origin and the origin's monotonic clock, carried end to end so the last
+  // converged replica can close the propagation-latency histogram.  Both
+  // are 0 (and the lines are omitted on the wire) when flow tracing is off,
+  // keeping untraced payloads byte-identical to the PR-6 format.
+  uint64_t flow = 0;
+  uint64_t origin_ns = 0;
   EditOp op;
 };
 

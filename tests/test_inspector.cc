@@ -277,6 +277,74 @@ TEST(Inspector, MetricsPanelTableAndChart) {
   EXPECT_LE(series.size(), static_cast<size_t>(data.counter_row_count()));
 }
 
+TEST(Inspector, ServerPanelSessionsTableAndChart) {
+  // The sessions table derives purely from the server.endpoint_* gauges —
+  // no pointer into the server layer — so feeding the registry the same
+  // gauges the document server publishes is a faithful fixture.
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  registry.gauge("server.endpoint_1.rtt_ticks").Set(3);
+  registry.gauge("server.endpoint_1.queue_depth").Set(2);
+  registry.gauge("server.endpoint_1.retransmits").Set(1);
+  registry.gauge("server.endpoint_1.epoch").Set(1);
+  registry.gauge("server.endpoint_2.rtt_ticks").Set(9);
+  registry.gauge("server.endpoint_2.queue_depth").Set(0);
+  registry.gauge("server.endpoint_2.retransmits").Set(4);
+  registry.gauge("server.endpoint_2.epoch").Set(2);
+
+  InspectorData data;
+  data.Refresh();
+  TableData* table = data.sessions_table();
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->cols(), 5);
+  ASSERT_GE(data.session_row_count(), 2);
+  bool found_one = false;
+  bool found_two = false;
+  for (int r = 0; r < data.session_row_count(); ++r) {
+    if (table->at(r, 0).text == "session 1") {
+      found_one = true;
+      EXPECT_EQ(table->Value(r, 1), 3.0);  // rtt
+      EXPECT_EQ(table->Value(r, 2), 2.0);  // queue depth
+      EXPECT_EQ(table->Value(r, 3), 1.0);  // retransmits
+      EXPECT_EQ(table->Value(r, 4), 1.0);  // epoch
+    } else if (table->at(r, 0).text == "session 2") {
+      found_two = true;
+      EXPECT_EQ(table->Value(r, 1), 9.0);
+      EXPECT_EQ(table->Value(r, 3), 4.0);
+    }
+  }
+  EXPECT_TRUE(found_one);
+  EXPECT_TRUE(found_two);
+
+  // The RTT chart is the §2 observer chain over the sessions table.
+  ChartData* chart = data.sessions_chart();
+  ASSERT_NE(chart, nullptr);
+  EXPECT_EQ(chart->source(), table);
+  EXPECT_FALSE(chart->Series().empty());
+}
+
+TEST(Inspector, ServerChurnTriggersFlightCapture) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  InspectorData data;
+  data.Refresh();
+  uint64_t before = data.flight_captures();
+
+  // An eviction between refreshes freezes the ring as a trace document.
+  registry.counter("server.sessions.evicted").Add(1);
+  data.Refresh();
+  EXPECT_EQ(data.flight_captures(), before + 1);
+  EXPECT_TRUE(data.has_flight_record());
+  EXPECT_NE(data.flight_record().find("\\begindata{trace"), std::string::npos);
+
+  // Quiet refreshes must not re-capture...
+  data.Refresh();
+  EXPECT_EQ(data.flight_captures(), before + 1);
+
+  // ...but a client resync is churn again.
+  registry.counter("client.session.reconnects").Add(1);
+  data.Refresh();
+  EXPECT_EQ(data.flight_captures(), before + 2);
+}
+
 // A host giving every child an equal horizontal slot.
 class RowHost : public View {
  public:

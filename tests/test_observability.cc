@@ -277,6 +277,103 @@ class JsonParser {
 
 bool ParseJson(std::string_view text, JsonValue* out) { return JsonParser(text).Parse(out); }
 
+// Structural validation of a multi-track export: every slice's pid is backed
+// by a process_name metadata event and its (pid, tid) by a thread_name one,
+// and flow events pair up — per flow id exactly one "s" start and one "f"
+// finish (bound to the enclosing slice, bp:"e"), "t" steps in between, with
+// non-decreasing timestamps.  Returns the number of distinct flow ids so
+// callers can assert how many arrows the viewer will draw.
+size_t ValidateMultiTrackExport(const JsonValue& root) {
+  const JsonValue* events = root.Get("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    ADD_FAILURE() << "traceEvents missing or not an array";
+    return 0;
+  }
+  std::map<double, std::string> process_names;          // pid -> name
+  std::map<std::pair<double, double>, bool> thread_names;  // (pid, tid)
+  struct FlowPoint {
+    std::string phase;
+    double ts = 0.0;
+    bool bound_to_enclosing = false;
+  };
+  std::map<double, std::vector<FlowPoint>> flows;  // flow id -> points in order
+  for (const JsonValue& event : events->items) {
+    const JsonValue* ph = event.Get("ph");
+    const JsonValue* name = event.Get("name");
+    if (ph == nullptr || name == nullptr) {
+      ADD_FAILURE() << "event without ph/name";
+      return 0;
+    }
+    if (ph->str == "M") {
+      const JsonValue* pid = event.Get("pid");
+      const JsonValue* args = event.Get("args");
+      if (pid == nullptr || args == nullptr || args->Get("name") == nullptr) {
+        ADD_FAILURE() << "metadata event without pid/args.name";
+        continue;
+      }
+      if (name->str == "process_name") {
+        process_names[pid->number] = args->Get("name")->str;
+      } else if (name->str == "thread_name") {
+        const JsonValue* tid = event.Get("tid");
+        if (tid == nullptr) {
+          ADD_FAILURE() << "thread_name without tid";
+          continue;
+        }
+        thread_names[{pid->number, tid->number}] = true;
+      }
+    }
+  }
+  size_t slices = 0;
+  for (const JsonValue& event : events->items) {
+    const JsonValue* ph = event.Get("ph");
+    if (ph->str == "X") {
+      ++slices;
+      const JsonValue* pid = event.Get("pid");
+      const JsonValue* tid = event.Get("tid");
+      if (pid == nullptr || tid == nullptr) {
+        ADD_FAILURE() << "slice without pid/tid";
+        continue;
+      }
+      EXPECT_GE(pid->number, 1.0) << "pids are 1-based (track id + 1)";
+      EXPECT_TRUE(process_names.count(pid->number))
+          << "slice pid " << pid->number << " has no process_name metadata";
+      EXPECT_TRUE(thread_names.count({pid->number, tid->number}))
+          << "slice (pid,tid) has no thread_name metadata";
+    } else if (ph->str == "s" || ph->str == "t" || ph->str == "f") {
+      const JsonValue* id = event.Get("id");
+      const JsonValue* ts = event.Get("ts");
+      const JsonValue* pid = event.Get("pid");
+      const JsonValue* tid = event.Get("tid");
+      if (id == nullptr || ts == nullptr || pid == nullptr || tid == nullptr) {
+        ADD_FAILURE() << "flow event without id/ts/pid/tid";
+        continue;
+      }
+      EXPECT_TRUE(process_names.count(pid->number))
+          << "flow point pid " << pid->number << " has no process_name metadata";
+      const JsonValue* bp = event.Get("bp");
+      flows[id->number].push_back(
+          FlowPoint{ph->str, ts->number, bp != nullptr && bp->str == "e"});
+    }
+  }
+  (void)slices;
+  for (const auto& [id, points] : flows) {
+    if (points.size() < 2) {
+      ADD_FAILURE() << "flow " << id << " has fewer than two points";
+      continue;
+    }
+    for (size_t i = 0; i < points.size(); ++i) {
+      const char* want = i == 0 ? "s" : (i + 1 == points.size() ? "f" : "t");
+      EXPECT_EQ(points[i].phase, want) << "flow " << id << " point " << i;
+      if (i > 0) {
+        EXPECT_GE(points[i].ts, points[i - 1].ts) << "flow " << id << " point " << i;
+      }
+    }
+    EXPECT_TRUE(points.back().bound_to_enclosing)
+        << "flow " << id << " finish must bind to the enclosing slice (bp:\"e\")";
+  }
+  return flows.size();
+}
+
 TEST(Observability, EnvToggleEnablesTracingAndCapacity) {
   ASSERT_FALSE(observability::Enabled()) << "tracing must start disabled";
   setenv("ATK_TRACE", "1", 1);
@@ -444,9 +541,19 @@ TEST(Observability, TraceComponentRoundTrip) {
   Tracer& tracer = Tracer::Instance();
   tracer.Clear();
   tracer.SetEnabled(true);
+  uint32_t track = tracer.RegisterTrack("session.roundtrip");
+  uint64_t flow = observability::NextFlowId();
   {
     ScopedSpan outer("roundtrip.span.outer");
     ScopedSpan inner("roundtrip.span.inner");
+  }
+  {
+    // A span with the full causal annotation: flow id, non-default track,
+    // and a free argument — all three must survive the round trip.
+    observability::FlowScope flow_scope(flow);
+    observability::TrackScope track_scope(track);
+    ScopedSpan tagged("roundtrip.span.tagged");
+    tagged.set_arg(7);
   }
   tracer.SetEnabled(false);
   MetricsRegistry::Instance().counter("roundtrip.counter.test").Add(42);
@@ -458,7 +565,8 @@ TEST(Observability, TraceComponentRoundTrip) {
   }
 
   TraceSnapshot original = observability::Snapshot();
-  ASSERT_GE(original.spans.size(), 2u);
+  ASSERT_GE(original.spans.size(), 3u);
+  ASSERT_GE(original.tracks.size(), 2u) << "track 0 plus the registered session track";
   std::string serialized = observability::SnapshotToDatastream(original);
 
   // The serialized trace is an ordinary §5 object: it parses cleanly.
@@ -484,7 +592,22 @@ TEST(Observability, TraceComponentRoundTrip) {
     EXPECT_EQ(back.spans[i].seq, original.spans[i].seq);
     EXPECT_EQ(back.spans[i].thread, original.spans[i].thread);
     EXPECT_EQ(back.spans[i].depth, original.spans[i].depth);
+    EXPECT_EQ(back.spans[i].flow, original.spans[i].flow);
+    EXPECT_EQ(back.spans[i].track, original.spans[i].track);
+    EXPECT_EQ(back.spans[i].arg, original.spans[i].arg);
   }
+  EXPECT_EQ(back.tracks, original.tracks);
+  // The tagged span really carried its annotations through.
+  bool saw_tagged = false;
+  for (const SpanRecord& span : back.spans) {
+    if (span.name_view() == "roundtrip.span.tagged") {
+      saw_tagged = true;
+      EXPECT_EQ(span.flow, flow);
+      EXPECT_EQ(span.track, track);
+      EXPECT_EQ(span.arg, 7u);
+    }
+  }
+  EXPECT_TRUE(saw_tagged);
   ASSERT_EQ(back.counters.size(), original.counters.size());
   for (size_t i = 0; i < original.counters.size(); ++i) {
     EXPECT_EQ(back.counters[i].name, original.counters[i].name);
@@ -668,6 +791,74 @@ TEST(Observability, PerfettoExportIsValidTraceEventJson) {
   EXPECT_NE(other->Get("spansDropped"), nullptr);
 }
 
+TEST(Observability, PerfettoMultiTrackFlowExportAndSalvageRoundTrip) {
+  Tracer& tracer = Tracer::Instance();
+  tracer.SetCapacity(Tracer::kDefaultCapacity);
+  tracer.Clear();
+  tracer.SetEnabled(true);
+  uint32_t server_track = tracer.RegisterTrack("server");
+  uint32_t session_track = tracer.RegisterTrack("session.flowdemo");
+  uint64_t flow = observability::NextFlowId();
+  {
+    // One edit's causal path, hand-rolled: origin on the default track,
+    // apply on the server track, replica apply on a session track.
+    observability::FlowScope flow_scope(flow);
+    { ScopedSpan origin("client.edit.submit"); }
+    {
+      observability::TrackScope track_scope(server_track);
+      ScopedSpan apply("server.edit.apply");
+    }
+    {
+      observability::TrackScope track_scope(session_track);
+      ScopedSpan replica("client.update.apply");
+      replica.set_arg(5);
+    }
+  }
+  { ScopedSpan untagged("perfetto.untagged.demo"); }  // No flow: no arrow.
+  tracer.SetEnabled(false);
+
+  TraceSnapshot snap = observability::Snapshot();
+  ASSERT_GE(snap.spans.size(), 4u);
+  ASSERT_GT(snap.tracks.size(), std::max(server_track, session_track));
+
+  std::string json = observability::TraceExport::ToPerfettoJson(snap);
+  JsonValue root;
+  ASSERT_TRUE(ParseJson(json, &root)) << json.substr(0, 200);
+  EXPECT_EQ(ValidateMultiTrackExport(root), 1u) << "exactly one flow arrow";
+
+  // The three tagged spans landed on three distinct pids, and the flow's
+  // start sits on the origin span's track (the default, pid 1).
+  const JsonValue* events = root.Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::map<double, int> flow_pids;
+  for (const JsonValue& event : events->items) {
+    const JsonValue* ph = event.Get("ph");
+    if (ph->str == "s" || ph->str == "t" || ph->str == "f") {
+      ++flow_pids[event.Get("pid")->number];
+      if (ph->str == "s") {
+        EXPECT_EQ(event.Get("pid")->number, 1.0) << "flow starts at the origin span";
+      }
+    }
+  }
+  EXPECT_EQ(flow_pids.size(), 3u) << "one flow point per track";
+
+  // Satellite: the multi-track snapshot keeps its tracks and flow ids
+  // through datastream serialization, the §5 salvager, and re-export.
+  std::string serialized = observability::SnapshotToDatastream(snap);
+  SalvageReport report;
+  std::string salvaged = DataStreamSalvager().Salvage(serialized, &report);
+  EXPECT_TRUE(report.clean);
+  TraceSnapshot back;
+  Status status = observability::SnapshotFromDatastream(salvaged, &back);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(back.tracks, snap.tracks);
+  std::string rejson = observability::TraceExport::ToPerfettoJson(back);
+  JsonValue reroot;
+  ASSERT_TRUE(ParseJson(rejson, &reroot)) << rejson.substr(0, 200);
+  EXPECT_EQ(ValidateMultiTrackExport(reroot), 1u)
+      << "flow pairing must survive the salvage round trip";
+}
+
 TEST(Observability, PerfettoExportSurvivesFaultInjectedSalvage) {
   Tracer& tracer = Tracer::Instance();
   tracer.SetCapacity(4096);
@@ -823,7 +1014,9 @@ TEST(Observability, CoalescedUpdatePassTrace) {
 
 TEST(Observability, MetricNamingConvention) {
   // Every registered metric follows `layer.noun.verb`: exactly three
-  // non-empty lower-case [a-z0-9_] segments joined by dots.
+  // non-empty lower-case [a-z0-9_] segments joined by dots.  Per-instance
+  // segments (server.endpoint_<id>.*) keep the shape: the id folds into the
+  // middle segment.
   auto well_formed = [](const std::string& name) {
     int segments = 1;
     size_t run = 0;
@@ -842,16 +1035,30 @@ TEST(Observability, MetricNamingConvention) {
     }
     return run > 0 && segments == 3;
   };
+  // Time-valued metrics use one canonical wall-clock unit: microseconds
+  // (`_us`, like class.module.load_us and server.propagation.latency_us).
+  // A `_ns` or `_ms` suffix is a unit mixup waiting for a dashboard —
+  // reject it.  Simulated-clock durations stay in `_ticks`.
+  auto unit_consistent = [](const std::string& name) {
+    auto ends_with = [&name](std::string_view suffix) {
+      return name.size() >= suffix.size() &&
+             std::string_view(name).substr(name.size() - suffix.size()) == suffix;
+    };
+    return !ends_with("_ns") && !ends_with("_ms");
+  };
   TraceSnapshot snap = observability::Snapshot();
   EXPECT_FALSE(snap.counters.empty());
   for (const auto& sample : snap.counters) {
     EXPECT_TRUE(well_formed(sample.name)) << "counter: " << sample.name;
+    EXPECT_TRUE(unit_consistent(sample.name)) << "counter: " << sample.name;
   }
   for (const auto& sample : snap.gauges) {
     EXPECT_TRUE(well_formed(sample.name)) << "gauge: " << sample.name;
+    EXPECT_TRUE(unit_consistent(sample.name)) << "gauge: " << sample.name;
   }
   for (const auto& sample : snap.histograms) {
     EXPECT_TRUE(well_formed(sample.name)) << "histogram: " << sample.name;
+    EXPECT_TRUE(unit_consistent(sample.name)) << "histogram: " << sample.name;
   }
 }
 

@@ -5,16 +5,25 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/base/data_object.h"
+#include "src/observability/observability.h"
+#include "src/observability/trace_export.h"
 #include "src/robustness/fault_injector.h"
 #include "src/server/channel.h"
 #include "src/server/client_session.h"
 #include "src/server/document_server.h"
+#include "src/server/flow_trace.h"
 #include "src/server/frame.h"
 #include "src/server/protocol.h"
 #include "src/server/reactor.h"
@@ -321,6 +330,90 @@ TEST(Channel, BackoffDoublesPerRetry) {
   EXPECT_EQ(gaps[5], 64u);  // Capped.
 }
 
+TEST(Channel, RttEstimateSamplesCleanAcksOnly) {
+  SimulatedLink link;
+  Channel client(&link, LinkDir::kClientToServer);
+  Channel server(&link, LinkDir::kServerToClient);
+  EXPECT_FALSE(client.has_rtt()) << "no samples before the first ack";
+  EXPECT_EQ(client.rtt_estimate_ticks(), 0u);
+  for (int i = 0; i < 10; ++i) {
+    Frame f;
+    f.type = FrameType::kEdit;
+    f.payload = "probe " + std::to_string(i);
+    client.SendReliable(std::move(f), link.now());
+  }
+  PumpBoth(client, server, link, 20);
+  ASSERT_TRUE(client.has_rtt());
+  // One link tick each way, plus pump ordering slop: the EWMA must settle
+  // on a small constant for a clean link, never zero and never wild.
+  EXPECT_GE(client.rtt_estimate_ticks(), 1u);
+  EXPECT_LE(client.rtt_estimate_ticks(), 16u);
+}
+
+TEST(Channel, RttKarnRuleSkipsRetransmittedFrames) {
+  // One dropped frame forces a retransmit; the ack that finally arrives is
+  // ambiguous (original or retry?) and per Karn's rule must NOT feed the
+  // estimator.  With only that one frame in flight, no estimate forms.
+  TransportFaultPlan plan = TransportFaultPlan::Clean();
+  plan.seed = 9;
+  plan.drops = 1;
+  plan.rate = 1.0;
+  SimulatedLink link(plan);
+  Channel client(&link, LinkDir::kClientToServer);
+  Channel server(&link, LinkDir::kServerToClient);
+  Frame f;
+  f.type = FrameType::kEdit;
+  f.payload = "only";
+  client.SendReliable(std::move(f), link.now());  // Eaten by the drop budget.
+  std::vector<Frame> delivered = PumpBoth(client, server, link, 40);
+  ASSERT_EQ(delivered.size(), 1u);
+  ASSERT_GE(client.stats().retransmits, 1u);
+  EXPECT_EQ(client.pending(), 0u);
+  EXPECT_FALSE(client.has_rtt()) << "ambiguous ack after a retransmit must not be sampled";
+}
+
+// -------------------------------------------------------------- Protocol --
+
+TEST(Protocol, EditPayloadFlowEnvelopeIsOptionalAndRoundTrips) {
+  EditPayload payload;
+  payload.version = 4;
+  payload.sent_tick = 9;
+  payload.op.kind = EditOp::Kind::kInsert;
+  payload.op.pos = 2;
+  payload.op.len = 3;
+  payload.op.text = "abc";
+
+  // Untraced payloads stay byte-identical to the pre-tracing wire format:
+  // no flow/origin lines appear when flow == 0.
+  std::string untraced = EncodeEdit(payload);
+  EXPECT_EQ(untraced.find("flow "), std::string::npos);
+  EXPECT_EQ(untraced.find("origin "), std::string::npos);
+  EditPayload back;
+  ASSERT_TRUE(DecodeEdit(untraced, &back));
+  EXPECT_EQ(back.flow, 0u);
+  EXPECT_EQ(back.origin_ns, 0u);
+
+  payload.flow = 77;
+  payload.origin_ns = 123456789;
+  std::string traced = EncodeEdit(payload);
+  EXPECT_NE(traced.find("flow 77\norigin 123456789\n"), std::string::npos);
+  EditPayload traced_back;
+  ASSERT_TRUE(DecodeEdit(traced, &traced_back));
+  EXPECT_EQ(traced_back.flow, 77u);
+  EXPECT_EQ(traced_back.origin_ns, 123456789u);
+  EXPECT_EQ(traced_back.op.text, "abc");
+  EXPECT_EQ(traced_back.version, 4u);
+  EXPECT_EQ(traced_back.sent_tick, 9u);
+
+  // A flow line without its origin partner is a malformed envelope.
+  std::string torn = traced;
+  size_t origin_at = torn.find("origin 123456789\n");
+  ASSERT_NE(origin_at, std::string::npos);
+  torn.erase(origin_at, std::string("origin 123456789\n").size());
+  EditPayload rejected;
+  EXPECT_FALSE(DecodeEdit(torn, &rejected));
+}
+
 // --------------------------------------------------------------- Reactor --
 
 TEST(Reactor, FiresReadySourcesAndDueTimers) {
@@ -618,6 +711,50 @@ TEST(DocumentServer, EvictedSessionReconnectsAndConverges) {
   EXPECT_EQ(b->replica()->GetAllText(), doc->GetAllText());
 }
 
+TEST(DocumentServer, PublishesPerSessionTelemetryGauges) {
+  Harness h;
+  h.server.HostDocument("notes", MakeDoc("shared"));
+  ClientSession* a = h.AddClient("alice", "notes");
+  h.AddClient("bob", "notes");
+  h.Settle();
+  EditOp op;
+  op.kind = EditOp::Kind::kInsert;
+  op.pos = 0;
+  op.len = 5;
+  op.text = "very ";
+  a->SubmitEdit(op);
+  h.Settle();
+
+  // Every endpoint publishes the full gauge quartet derived from the
+  // channel's seq/ack bookkeeping; after an acked fan-out the RTT EWMA has
+  // real samples on at least the active sessions.
+  observability::TraceSnapshot snap = observability::Snapshot();
+  std::map<std::string, std::set<std::string>> endpoints;  // id -> suffixes
+  int64_t max_rtt = 0;
+  constexpr std::string_view kPrefix = "server.endpoint_";
+  for (const auto& gauge : snap.gauges) {
+    std::string_view name = gauge.name;
+    if (name.substr(0, kPrefix.size()) != kPrefix) {
+      continue;
+    }
+    std::string_view rest = name.substr(kPrefix.size());
+    size_t dot = rest.find('.');
+    ASSERT_NE(dot, std::string_view::npos) << gauge.name;
+    endpoints[std::string(rest.substr(0, dot))].insert(std::string(rest.substr(dot + 1)));
+    if (rest.substr(dot + 1) == "rtt_ticks") {
+      max_rtt = std::max(max_rtt, gauge.value);
+    }
+  }
+  EXPECT_GE(endpoints.size(), 2u) << "one gauge set per attached session";
+  for (const auto& [id, suffixes] : endpoints) {
+    EXPECT_TRUE(suffixes.count("rtt_ticks")) << "endpoint " << id;
+    EXPECT_TRUE(suffixes.count("retransmits")) << "endpoint " << id;
+    EXPECT_TRUE(suffixes.count("queue_depth")) << "endpoint " << id;
+    EXPECT_TRUE(suffixes.count("epoch")) << "endpoint " << id;
+  }
+  EXPECT_GE(max_rtt, 1) << "acked updates must have fed the RTT estimator";
+}
+
 // ------------------------------------------------- The differential sweep --
 
 // Runs one seeded scenario: N clients, a seeded edit trace, a seeded
@@ -710,6 +847,154 @@ TEST(ServerDifferential, CleanRunMatchesTraceOrderExpectation) {
   h.Settle();
   EXPECT_EQ(h.server.document("shared")->GetAllText(), ExpectedFinalText(trace));
   EXPECT_EQ(h.clients[0]->replica()->GetAllText(), ExpectedFinalText(trace));
+}
+
+// --------------------------------------- Traced propagation (DESIGN.md §8) --
+
+// One edit's causal path as reconstructed from the span ring: every span
+// carrying the same flow id, bucketed by role.
+struct FlowPath {
+  int submits = 0;          // client.edit.submit at the origin
+  int applies = 0;          // server.edit.apply
+  int replica_applies = 0;  // client.update.apply, one per converged replica
+  int retransmits = 0;      // server.frame.retransmit along the way
+  std::set<uint32_t> tracks;
+};
+
+TEST(ServerDifferential, TracedSweepStitchesEditPropagationFlows) {
+  // The acceptance bar for the tracing tentpole: the seeded fault sweep,
+  // with tracing on, must yield at least one edit whose flow is traceable
+  // origin -> server -> every replica, with at least one retransmit span
+  // tagged into the same flow (the faults guarantee drops), spanning the
+  // origin's, the server's and each session's track.
+  using observability::SpanRecord;
+  using observability::Tracer;
+  Tracer& tracer = Tracer::Instance();
+  tracer.SetCapacity(1 << 17);
+  tracer.SetFlowsEnabled(true);
+  observability::Histogram& latency =
+      observability::MetricsRegistry::Instance().histogram("server.propagation.latency_us");
+
+  constexpr int kSessions = 4;  // Mirrors RunSeededScenario's spec.
+  bool found = false;
+  for (uint64_t seed = 0; seed < 64 && !found; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    tracer.Clear();
+    FlowTracker::Instance().Reset();
+    tracer.SetEnabled(true);
+    RunSeededScenario(seed);
+    tracer.SetEnabled(false);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+
+    observability::TraceSnapshot snap = observability::Snapshot();
+    std::map<uint64_t, FlowPath> flows;
+    for (const SpanRecord& span : snap.spans) {
+      if (span.flow == 0) {
+        continue;
+      }
+      FlowPath& path = flows[span.flow];
+      path.tracks.insert(span.track);
+      if (span.name_view() == "client.edit.submit") {
+        ++path.submits;
+      } else if (span.name_view() == "server.edit.apply") {
+        ++path.applies;
+      } else if (span.name_view() == "client.update.apply") {
+        ++path.replica_applies;
+      } else if (span.name_view() == "server.frame.retransmit") {
+        ++path.retransmits;
+      }
+    }
+    for (const auto& [flow_id, path] : flows) {
+      if (path.submits >= 1 && path.applies >= 1 && path.replica_applies >= kSessions &&
+          path.retransmits >= 1 && path.tracks.size() >= 3) {
+        found = true;
+        // Origin, server and every replica each live on their own track:
+        // the origin session's track, the server's, and the three other
+        // sessions' (the origin's submit and replica-apply share one).
+        EXPECT_GE(path.tracks.size(), static_cast<size_t>(1 + kSessions));
+        // CI (and anyone debugging a sweep failure) gets the full Perfetto
+        // document of the first seed that exhibits a complete flow.
+        const char* export_path = std::getenv("ATK_SERVER_TRACE_EXPORT");
+        if (export_path != nullptr && *export_path != '\0') {
+          std::ofstream out(export_path);
+          ASSERT_TRUE(out.good()) << "cannot write " << export_path;
+          out << observability::TraceExport::ToPerfettoJson(snap);
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(found) << "no seed produced a fully traceable retransmitted edit flow";
+  // Converged flows closed the end-to-end histogram: origin -> last replica.
+  EXPECT_GT(latency.count(), 0u);
+
+  tracer.SetCapacity(Tracer::kDefaultCapacity);
+  tracer.Clear();
+}
+
+TEST(ServerDifferential, TracedSweepKeepsSpanRingCoherent) {
+  // Ring-integrity bar, meant for the TSan run (sanitize label): a seeded
+  // fault scenario records server/session spans while a second thread
+  // hammers its own ring with flow-tagged probe spans.  Afterwards every
+  // retained record must be whole — globally strictly increasing seqs after
+  // the Collect merge (no duplicated or reordered slots; gaps are fine, they
+  // are the overwritten ring entries) and intact NUL-terminated printable
+  // names.
+  using observability::ScopedSpan;
+  using observability::SpanRecord;
+  using observability::Tracer;
+  Tracer& tracer = Tracer::Instance();
+  tracer.SetCapacity(8192);
+  tracer.Clear();
+  FlowTracker::Instance().Reset();
+  tracer.SetEnabled(true);
+
+  std::atomic<bool> stop{false};
+  std::thread prober([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      observability::FlowScope flow(observability::NextFlowId());
+      ScopedSpan span("probe.ring.span");
+      span.set_arg(1);
+      std::this_thread::yield();
+    }
+  });
+  RunSeededScenario(3);
+  stop.store(true, std::memory_order_relaxed);
+  prober.join();
+  tracer.SetEnabled(false);
+  if (::testing::Test::HasFatalFailure()) {
+    return;
+  }
+
+  std::vector<SpanRecord> spans = tracer.Collect();
+  ASSERT_FALSE(spans.empty());
+  bool first = true;
+  uint64_t prev_seq = 0;
+  int torn = 0;
+  for (const SpanRecord& span : spans) {
+    if (!first && span.seq <= prev_seq) {
+      ++torn;
+    }
+    first = false;
+    prev_seq = span.seq;
+    std::string_view name = span.name_view();
+    if (name.empty()) {
+      ++torn;
+      continue;
+    }
+    for (char c : name) {
+      if (!std::isprint(static_cast<unsigned char>(c))) {
+        ++torn;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(torn, 0) << "ring holds torn or non-consecutive records";
+
+  tracer.SetCapacity(Tracer::kDefaultCapacity);
+  tracer.Clear();
 }
 
 }  // namespace
