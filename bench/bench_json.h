@@ -8,20 +8,21 @@
 //
 // After the timed runs, the binary also dumps the final observability
 // snapshot in the same line shape, namespaced so it can never collide with a
-// benchmark name:
+// benchmark name (see bench/metric_lines.h, which holds the benchmark-free
+// emitter so tests can validate the exact output):
 //
 //   {"bench":"bench_update","metric":"counter/im.update.run","value":51,
 //    "unit":"count","iterations":1}
-//   {"bench":"bench_update","metric":"histogram/graphics.region.bands/p95",
-//    "value":15,"unit":"value","iterations":1}
 //
 // so BENCH_RESULTS.json answers not just "how fast" but "doing how much
 // work" (damage posts per cycle, clip reuses, span drops, ...).
 //
 // bench/run_all.sh collects these lines from every binary into
-// BENCH_RESULTS.json.  The lines are self-delimiting (one object per line,
-// always starting with {"bench":) so they survive being interleaved with the
-// human-readable table.
+// BENCH_RESULTS.json.  A benchmark that errors (SkipWithError, setup
+// failure) produces no timing line; the reporter counts those and
+// ATK_BENCH_MAIN exits non-zero with the names on stderr — a partially
+// wedged binary must fail the sweep, not pass on its surviving siblings'
+// lines.
 //
 // Replace BENCHMARK_MAIN(); at the bottom of a bench file with
 // ATK_BENCH_MAIN("bench_whatever");
@@ -36,30 +37,12 @@
 #include <utility>
 #include <vector>
 
-#include "src/observability/observability.h"
+#include "bench/metric_lines.h"
 
 namespace atk_bench {
 
-inline std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    unsigned char byte = static_cast<unsigned char>(c);
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (byte < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", byte);
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
-
-// Console reporter that additionally prints one JSON line per run.
+// Console reporter that additionally prints one JSON line per run and
+// records every errored run by name.
 class JsonLineReporter : public benchmark::ConsoleReporter {
  public:
   explicit JsonLineReporter(std::string bench) : bench_(std::move(bench)) {}
@@ -69,6 +52,7 @@ class JsonLineReporter : public benchmark::ConsoleReporter {
     std::fflush(nullptr);  // Keep the table and the JSON lines ordered.
     for (const Run& run : runs) {
       if (run.error_occurred) {
+        errored_.push_back(run.benchmark_name() + ": " + run.error_message);
         continue;
       }
       std::printf(
@@ -81,56 +65,32 @@ class JsonLineReporter : public benchmark::ConsoleReporter {
     std::fflush(stdout);
   }
 
+  const std::vector<std::string>& errored() const { return errored_; }
+
  private:
   std::string bench_;
+  std::vector<std::string> errored_;
 };
-
-// Dumps the end-of-run observability snapshot as JSON lines: every nonzero
-// counter, every gauge, and p50/p95/p99 (+ count) per populated histogram.
-// Zero counters are skipped — they are registrations the workload never hit.
-inline void EmitMetricsSnapshot(const std::string& bench) {
-  const std::string name = JsonEscape(bench);
-  auto emit = [&name](const std::string& metric, double value, const char* unit) {
-    std::printf("{\"bench\":\"%s\",\"metric\":\"%s\",\"value\":%.6g,"
-                "\"unit\":\"%s\",\"iterations\":1}\n",
-                name.c_str(), JsonEscape(metric).c_str(), value, unit);
-  };
-  atk::observability::TraceSnapshot snap = atk::observability::Snapshot();
-  // Tracer accounting goes out unconditionally, so every binary contributes
-  // a snapshot (run_all.sh treats a silent one as a failure) and ring
-  // overwrites are visible per bench, not just in-process.
-  emit("counter/obs.spans.recorded", static_cast<double>(snap.spans_recorded), "count");
-  emit("counter/obs.spans.dropped", static_cast<double>(snap.spans_dropped), "count");
-  for (const atk::observability::CounterSample& counter : snap.counters) {
-    if (counter.value != 0) {
-      emit("counter/" + counter.name, static_cast<double>(counter.value), "count");
-    }
-  }
-  for (const atk::observability::GaugeSample& gauge : snap.gauges) {
-    emit("gauge/" + gauge.name, static_cast<double>(gauge.value), "value");
-  }
-  for (const atk::observability::HistogramSample& histo : snap.histograms) {
-    if (histo.count == 0) {
-      continue;
-    }
-    emit("histogram/" + histo.name + "/count", static_cast<double>(histo.count), "count");
-    emit("histogram/" + histo.name + "/p50", static_cast<double>(histo.p50), "value");
-    emit("histogram/" + histo.name + "/p95", static_cast<double>(histo.p95), "value");
-    emit("histogram/" + histo.name + "/p99", static_cast<double>(histo.p99), "value");
-  }
-  std::fflush(stdout);
-}
 
 }  // namespace atk_bench
 
-#define ATK_BENCH_MAIN(bench_name)                                      \
-  int main(int argc, char** argv) {                                     \
-    ::benchmark::Initialize(&argc, argv);                               \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
-    ::atk_bench::JsonLineReporter reporter{bench_name};                 \
-    ::benchmark::RunSpecifiedBenchmarks(&reporter);                     \
-    ::atk_bench::EmitMetricsSnapshot(bench_name);                       \
-    ::benchmark::Shutdown();                                            \
-    return 0;                                                           \
+#define ATK_BENCH_MAIN(bench_name)                                          \
+  int main(int argc, char** argv) {                                         \
+    ::benchmark::Initialize(&argc, argv);                                   \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;     \
+    ::atk_bench::JsonLineReporter reporter{bench_name};                     \
+    ::benchmark::RunSpecifiedBenchmarks(&reporter);                         \
+    ::atk_bench::EmitMetricsSnapshot(bench_name);                           \
+    ::benchmark::Shutdown();                                                \
+    if (!reporter.errored().empty()) {                                      \
+      for (const std::string& error : reporter.errored()) {                 \
+        std::fprintf(stderr, "%s: benchmark errored: %s\n", bench_name,     \
+                     error.c_str());                                        \
+      }                                                                     \
+      std::fprintf(stderr, "%s: %zu benchmark(s) errored\n", bench_name,    \
+                   reporter.errored().size());                              \
+      return 1;                                                             \
+    }                                                                       \
+    return 0;                                                               \
   }
 #endif  // ATK_BENCH_BENCH_JSON_H_

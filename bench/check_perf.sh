@@ -23,6 +23,13 @@
 #     overhead bound.  The disabled path is a single branch, so the plain
 #     BM_EditFanOut entry doubles as the 0%-when-disabled guard.
 #
+# The baseline's `rates` entries gate the scenario suite (bench_scenarios):
+# each names a gauge from the metrics snapshot, the bench filter that
+# populates it, and a `min` (throughput floor: lines/sec ingested, docs/sec
+# round-tripped) or `max` (latency ceiling: replay fan-out p99).  The
+# recorded bounds already carry loaded-machine headroom, so they are applied
+# without extra slack — with the usual 3 attempts.
+#
 # ATK_SKIP_PERF=1 skips (exit 77, ctest's SKIP_RETURN_CODE).
 set -eu
 
@@ -49,6 +56,55 @@ measure() {
     | grep -F "\"metric\":\"$metric\"" \
     | head -1 \
     | grep -o '"value":[0-9.eE+-]*' | head -1 | cut -d: -f2
+}
+
+# Runs the bench filtered to `filter` and prints the value of a named gauge
+# from the end-of-run metrics snapshot (empty on failure to measure).
+measure_gauge() {
+  bin="$1"
+  filter="$2"
+  gauge_name="$3"
+  "$bin" --benchmark_filter="^${filter}\$" \
+      --benchmark_min_time=0.05 --benchmark_color=false 2>/dev/null \
+    | grep -o '{"bench":.*}' \
+    | grep -F "\"metric\":\"gauge/$gauge_name\"" \
+    | head -1 \
+    | grep -o '"value":[0-9.eE+-]*' | head -1 | cut -d: -f2
+}
+
+# One scenario gauge against its recorded floor (min) or ceiling (max).
+check_rate() {
+  gauge_name="$1"
+  bench="$2"
+  filter="$3"
+  min="$4"
+  max="$5"
+  bin="$BUILD_DIR/bench/$bench"
+  if [ ! -x "$bin" ]; then
+    echo "check_perf.sh: missing bench binary $bin (build the project first)" >&2
+    return 1
+  fi
+  attempt=1
+  while [ "$attempt" -le 3 ]; do
+    value="$(measure_gauge "$bin" "$filter" "$gauge_name")"
+    if [ -z "$value" ]; then
+      echo "check_perf.sh: attempt $attempt produced no measurement for gauge $gauge_name" >&2
+      attempt=$((attempt + 1))
+      continue
+    fi
+    bound="$([ -n "$min" ] && echo "min $min" || echo "max $max")"
+    echo "check_perf.sh: attempt $attempt: gauge/$gauge_name = ${value} (need $bound)" >&2
+    if [ -n "$min" ]; then
+      if awk -v v="$value" -v lim="$min" 'BEGIN { exit !(v >= lim) }'; then
+        return 0
+      fi
+    elif awk -v v="$value" -v lim="$max" 'BEGIN { exit !(v <= lim) }'; then
+      return 0
+    fi
+    attempt=$((attempt + 1))
+  done
+  echo "check_perf.sh: FAIL: gauge/$gauge_name out of bounds after 3 attempts" >&2
+  return 1
 }
 
 # One metric against its absolute baseline, with retries.
@@ -98,6 +154,27 @@ while IFS= read -r line; do
     continue
   fi
   check_metric "$metric" "$bench" "$base_ns" || failures=$((failures + 1))
+done < "$BASELINE"
+
+# Scenario-suite rate gates: one `rates` entry per line, each naming a gauge
+# plus the benchmark filter that populates it and a min or max bound.
+while IFS= read -r line; do
+  case "$line" in
+    *'"gauge"'*) ;;
+    *) continue ;;
+  esac
+  gauge_name="$(printf '%s\n' "$line" | sed 's/.*"gauge"[[:space:]]*:[[:space:]]*"\([^"]*\)".*/\1/')"
+  bench="$(printf '%s\n' "$line" | sed 's/.*"bench"[[:space:]]*:[[:space:]]*"\([^"]*\)".*/\1/')"
+  filter="$(printf '%s\n' "$line" | sed 's/.*"filter"[[:space:]]*:[[:space:]]*"\([^"]*\)".*/\1/')"
+  min="$(printf '%s\n' "$line" | sed -n 's/.*"min"[[:space:]]*:[[:space:]]*\([0-9.eE+-]*\).*/\1/p')"
+  max="$(printf '%s\n' "$line" | sed -n 's/.*"max"[[:space:]]*:[[:space:]]*\([0-9.eE+-]*\).*/\1/p')"
+  if [ -z "$gauge_name" ] || [ -z "$bench" ] || [ -z "$filter" ] ||
+     { [ -z "$min" ] && [ -z "$max" ]; }; then
+    echo "check_perf.sh: malformed rates entry: $line" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  check_rate "$gauge_name" "$bench" "$filter" "$min" "$max" || failures=$((failures + 1))
 done < "$BASELINE"
 
 # The PR-5 speedup floor: zero-copy read >= 3x the frozen copying lexer.

@@ -1,0 +1,103 @@
+// Machine-readable metric lines shared by every bench binary.
+//
+// Benchmark-free on purpose: tests include this header to validate the
+// exact JSON the benches emit (tests/test_scenarios.cc parses every line
+// with the strict parser in tests/test_json.h), so the emitter cannot drift
+// from what the suite pins without a test failing.  bench_json.h layers the
+// google-benchmark reporter and ATK_BENCH_MAIN on top.
+//
+// Line shape (one self-delimiting object per line, always starting with
+// {"bench":, so the lines survive interleaving with the console table):
+//
+//   {"bench":"bench_update","metric":"counter/im.update.run","value":51,
+//    "unit":"count","iterations":1}
+
+#ifndef ATK_BENCH_METRIC_LINES_H_
+#define ATK_BENCH_METRIC_LINES_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/observability/observability.h"
+
+namespace atk_bench {
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    unsigned char byte = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (byte < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", byte);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// One metric line in the canonical shape, written to `out`.
+inline void FormatMetricLine(std::string* out, const std::string& bench,
+                             const std::string& metric, double value,
+                             const char* unit) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\"bench\":\"%s\",\"metric\":\"%s\",\"value\":%.6g,"
+                "\"unit\":\"%s\",\"iterations\":1}",
+                JsonEscape(bench).c_str(), JsonEscape(metric).c_str(), value, unit);
+  *out = buf;
+}
+
+// Renders the end-of-run observability snapshot as JSON lines: every
+// nonzero counter, every gauge, and p50/p95/p99 (+ count) per populated
+// histogram.  Zero counters are skipped — they are registrations the
+// workload never hit.  Returned as one string (newline-terminated lines) so
+// tests can inspect exactly what a bench binary would print.
+inline std::string RenderMetricsSnapshot(const std::string& bench) {
+  std::string lines;
+  std::string line;
+  auto emit = [&](const std::string& metric, double value, const char* unit) {
+    FormatMetricLine(&line, bench, metric, value, unit);
+    lines += line;
+    lines += '\n';
+  };
+  atk::observability::TraceSnapshot snap = atk::observability::Snapshot();
+  // Tracer accounting goes out unconditionally, so every binary contributes
+  // a snapshot (run_all.sh treats a silent one as a failure) and ring
+  // overwrites are visible per bench, not just in-process.
+  emit("counter/obs.spans.recorded", static_cast<double>(snap.spans_recorded), "count");
+  emit("counter/obs.spans.dropped", static_cast<double>(snap.spans_dropped), "count");
+  for (const atk::observability::CounterSample& counter : snap.counters) {
+    if (counter.value != 0) {
+      emit("counter/" + counter.name, static_cast<double>(counter.value), "count");
+    }
+  }
+  for (const atk::observability::GaugeSample& gauge : snap.gauges) {
+    emit("gauge/" + gauge.name, static_cast<double>(gauge.value), "value");
+  }
+  for (const atk::observability::HistogramSample& histo : snap.histograms) {
+    if (histo.count == 0) {
+      continue;
+    }
+    emit("histogram/" + histo.name + "/count", static_cast<double>(histo.count), "count");
+    emit("histogram/" + histo.name + "/p50", static_cast<double>(histo.p50), "value");
+    emit("histogram/" + histo.name + "/p95", static_cast<double>(histo.p95), "value");
+    emit("histogram/" + histo.name + "/p99", static_cast<double>(histo.p99), "value");
+  }
+  return lines;
+}
+
+// Prints the snapshot on stdout (what ATK_BENCH_MAIN does after the runs).
+inline void EmitMetricsSnapshot(const std::string& bench) {
+  std::fputs(RenderMetricsSnapshot(bench).c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace atk_bench
+
+#endif  // ATK_BENCH_METRIC_LINES_H_

@@ -9,8 +9,11 @@
 # ATK_BENCH_MIN_TIME=0.5 (or similar) for steadier numbers.
 #
 # Exits non-zero when a bench binary is missing (expected set = the
-# bench_*.cpp sources next to this script), crashes, or contributes no
-# measurements — a silent hole in BENCH_RESULTS.json is a failure.
+# bench_*.cpp sources next to this script), crashes, reports errored
+# benchmarks (non-zero exit from ATK_BENCH_MAIN), or contributes timing
+# lines without a metrics snapshot (or vice versa) — a silent or partial
+# hole in BENCH_RESULTS.json is a failure, and the summary at the end names
+# every wedged binary and why.
 set -eu
 
 BUILD_DIR="${1:-build}"
@@ -25,24 +28,32 @@ fi
 
 tmp="$(mktemp)"
 raw="$(mktemp)"
-trap 'rm -f "$tmp" "$raw"' EXIT
+failed="$(mktemp)"
+trap 'rm -f "$tmp" "$raw" "$failed"' EXIT
 
-status=0
+# Records one bench failure for the end-of-run summary.
+fail() {
+  printf '%s: %s\n' "$1" "$2" >> "$failed"
+  echo "run_all.sh: $1: $2" >&2
+}
+
 for src in "$SRC_DIR"/bench_*.cpp; do
   name="$(basename "$src" .cpp)"
   bin="$BUILD_DIR/bench/$name"
   if [ ! -x "$bin" ]; then
-    echo "run_all.sh: missing bench binary $bin" >&2
-    status=1
+    fail "$name" "missing binary $bin"
     continue
   fi
   echo "== $name" >&2
   # Run the binary first so its real exit status is observed (a pipeline
-  # would report grep's status instead and mask a crash).
+  # would report grep's status instead and mask a crash).  A non-zero exit
+  # also covers errored benchmarks: ATK_BENCH_MAIN fails the binary when any
+  # benchmark errored, so a partially-wedged bench cannot pass on the JSON
+  # lines its surviving siblings emitted.
+  bench_ok=1
   if ! "$bin" --benchmark_min_time="$MIN_TIME" --benchmark_color=false > "$raw"; then
-    echo "run_all.sh: $name exited non-zero" >&2
-    status=1
-    continue
+    fail "$name" "exited non-zero (crashed or benchmarks errored)"
+    bench_ok=0
   fi
   # Console table goes to stderr-visible log; JSON lines are extracted from
   # stdout (benchmark's color codes may prefix them, hence grep -o).
@@ -50,23 +61,36 @@ for src in "$SRC_DIR"/bench_*.cpp; do
   # Timing lines vs the end-of-run metrics snapshot (counter/gauge/histogram
   # namespaces, emitted by EmitMetricsSnapshot): a binary must contribute at
   # least one of each — no timings means the benchmark ran nothing, no
-  # metrics means the snapshot plumbing broke.
+  # metrics means the snapshot plumbing broke mid-flight (timing lines with
+  # no snapshot is exactly the partially-wedged shape).
   timings="$(printf '%s\n' "$lines" | grep -c '"metric":"BM_' || true)"
   metrics="$(printf '%s\n' "$lines" \
     | grep -c '"metric":"\(counter\|gauge\|histogram\)/' || true)"
   if [ "$timings" -eq 0 ]; then
-    echo "run_all.sh: $name contributed no timed measurements" >&2
-    status=1
+    fail "$name" "contributed no timed measurements"
+    bench_ok=0
   fi
   if [ "$metrics" -eq 0 ]; then
-    echo "run_all.sh: $name contributed no metrics snapshot" >&2
-    status=1
+    if [ "$timings" -gt 0 ]; then
+      fail "$name" "emitted $timings timing line(s) but no metrics snapshot (wedged after the timed runs)"
+    else
+      fail "$name" "contributed no metrics snapshot"
+    fi
+    bench_ok=0
   fi
-  if [ -n "$lines" ]; then
+  # Only a fully-healthy binary contributes lines: partial output from a
+  # wedged bench must not launder itself into BENCH_RESULTS.json.
+  if [ "$bench_ok" -eq 1 ] && [ -n "$lines" ]; then
     printf '%s\n' "$lines" >> "$tmp"
   fi
   echo "   $timings timed, $metrics metric lines" >&2
 done
+
+if [ -s "$failed" ]; then
+  echo "run_all.sh: FAIL: $(wc -l < "$failed") wedged or missing bench binaries:" >&2
+  sed 's/^/run_all.sh:   /' "$failed" >&2
+  exit 1
+fi
 
 if [ ! -s "$tmp" ]; then
   echo "run_all.sh: no measurements collected" >&2
@@ -80,4 +104,4 @@ fi
 } > "$OUTPUT"
 
 echo "wrote $(wc -l < "$tmp") measurements to $OUTPUT" >&2
-exit "$status"
+exit 0

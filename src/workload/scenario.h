@@ -1,0 +1,40 @@
+// Shared plumbing for the application-shaped scenario suite (DESIGN.md §10).
+//
+// The suite grows `src/workload/` beyond isolated-layer generators into
+// whole-application workloads — a typescript/console stream, a messages-style
+// mail corpus, and recorded collaborative edit traces — each stressing
+// several layers at once so a regression surfaces in the scenario that
+// exercises it.  This header holds what all of them share: the determinism
+// contract's digest (FNV-1a over final bytes, the identity a replay is
+// pinned against) and the hex codec the editrace recording format uses for
+// arbitrary payload bytes.
+//
+// Determinism contract: every scenario is a pure function of its spec.  Two
+// runs with the same spec — on one thread or eight, over a clean transport
+// or a faulted one — must produce byte-identical final documents, and
+// therefore equal digests.  tests/test_scenarios.cc holds each scenario to
+// that bar.
+
+#ifndef ATK_SRC_WORKLOAD_SCENARIO_H_
+#define ATK_SRC_WORKLOAD_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace atk {
+
+// FNV-1a, 64-bit.  `seed` chains digests: Fnv1a64(b, Fnv1a64(a)) is an
+// order-sensitive digest of a then b.
+inline constexpr uint64_t kFnv1aOffset = 0xcbf29ce484222325ull;
+uint64_t Fnv1a64(std::string_view bytes, uint64_t seed = kFnv1aOffset);
+
+// Lower-case hex codec for recording arbitrary bytes inside directive args
+// (the editrace format): 7-bit printable, no datastream metacharacters, and
+// short enough chunks stay inside the §5 80-column guideline.
+std::string HexEncode(std::string_view bytes);
+bool HexDecode(std::string_view hex, std::string* out);
+
+}  // namespace atk
+
+#endif  // ATK_SRC_WORKLOAD_SCENARIO_H_

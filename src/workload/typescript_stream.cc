@@ -1,0 +1,124 @@
+#include "src/workload/typescript_stream.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/apps/standard_modules.h"
+#include "src/base/interaction_manager.h"
+#include "src/class_system/loader.h"
+#include "src/components/text/text_data.h"
+#include "src/components/text/text_view.h"
+#include "src/observability/observability.h"
+#include "src/wm/window_system.h"
+#include "src/workload/scenario.h"
+#include "src/workload/workload.h"
+
+namespace atk {
+namespace {
+
+using observability::Counter;
+using observability::MetricsRegistry;
+
+// Equal horizontal slots for the live views — a console pane next to a
+// typescript pane, both on the same transcript.
+class SlotHost : public View {
+ public:
+  void Layout() override {
+    if (graphic() == nullptr || children().empty()) {
+      return;
+    }
+    Rect b = graphic()->LocalBounds();
+    int w = std::max(1, b.width / static_cast<int>(children().size()));
+    for (size_t i = 0; i < children().size(); ++i) {
+      children()[i]->Allocate(Rect{static_cast<int>(i) * w, 0, w, b.height}, graphic());
+    }
+  }
+};
+
+}  // namespace
+
+std::string TypescriptLine(uint64_t seed, int64_t index) {
+  // Content depends only on (seed, index): any suffix of the stream can be
+  // regenerated without replaying the prefix.
+  WorkloadRng rng(seed * 0x9E3779B97F4A7C15ull + static_cast<uint64_t>(index) + 1);
+  static constexpr const char* kTags[] = {"cc", "ld", "run", "ok", "warn", "make"};
+  std::string line;
+  line += '[';
+  line += std::to_string(index);
+  line += "] ";
+  line += kTags[rng.Below(6)];
+  line += ": ";
+  int words = rng.IntIn(2, 9);
+  for (int w = 0; w < words; ++w) {
+    int len = rng.IntIn(2, 9);
+    for (int c = 0; c < len; ++c) {
+      line += static_cast<char>('a' + static_cast<char>(rng.Below(26)));
+    }
+    if (w + 1 < words) {
+      line += ' ';
+    }
+  }
+  return line;
+}
+
+TypescriptStreamResult RunTypescriptStream(const TypescriptStreamSpec& spec) {
+  RegisterStandardModules();
+  Loader::Instance().Require("text");
+
+  static Counter& lines_appended =
+      MetricsRegistry::Instance().counter("scenario.typescript.lines");
+
+  TypescriptStreamResult result;
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  auto im = InteractionManager::Create(*ws, spec.width, spec.height, "typescript");
+
+  TextData transcript;
+  SlotHost host;
+  int view_count = std::max(1, spec.views);
+  std::vector<std::unique_ptr<TextView>> views;
+  views.reserve(static_cast<size_t>(view_count));
+  for (int i = 0; i < view_count; ++i) {
+    views.push_back(std::make_unique<TextView>());
+    views.back()->SetText(&transcript);
+    host.AddChild(views.back().get());
+  }
+  TextView* tail_view = views.front().get();
+  im->SetChild(&host);
+  im->RunOnce();
+  ++result.update_cycles;
+
+  int batch = std::max(1, spec.batch_lines);
+  for (int64_t i = 0; i < spec.lines; ++i) {
+    ATK_TRACE_SPAN("scenario.typescript.append");
+    std::string line = TypescriptLine(spec.seed, i);
+    line += '\n';
+    // Tail append: every insert notifies all attached views synchronously;
+    // the damage they post coalesces until the batch's RunOnce below.
+    transcript.InsertString(transcript.size(), line);
+    lines_appended.Add(1);
+    ++result.lines;
+    result.bytes += static_cast<int64_t>(line.size());
+    if ((i + 1) % batch == 0 || i + 1 == spec.lines) {
+      // Follow the tail like a console: scroll before the repaint so the
+      // layout pass re-measures only the fresh suffix.
+      tail_view->ScrollToUnit(std::max<int64_t>(0, transcript.LineCount() - 2));
+      im->RunOnce();
+      ++result.update_cycles;
+    }
+  }
+
+  result.transcript_digest = Fnv1a64(transcript.GetAllText());
+  result.display_hash = im->window()->Display().Hash();
+  result.line_count = transcript.LineCount();
+  // The tailing view scrolls every batch, and a scroll-origin change
+  // invalidates its whole layout cache; the prefix reuse the scenario
+  // demonstrates shows up in the views holding their scroll position.
+  for (auto& view : views) {
+    result.layout_lines_reused += view->layout_lines_reused();
+    view->SetText(nullptr);
+  }
+  return result;
+}
+
+}  // namespace atk

@@ -1,0 +1,50 @@
+// Typescript/console stream scenario (DESIGN.md §10).
+//
+// The paper ships ATK inside `typescript` and `console` — programs whose
+// defining workload is a process appending output to the tail of a shared
+// transcript while live views follow along.  This scenario reproduces that
+// shape headlessly: seeded console lines are appended in batches to one
+// TextData observed by several TextViews under a real InteractionManager,
+// so every append exercises per-edit observer notification, damage
+// coalescing across a batch, and layout prefix reuse when the next repaint
+// only has to measure the new tail.
+//
+// Determinism: the result digests (transcript bytes and final framebuffer
+// hash) are pure functions of the spec.
+
+#ifndef ATK_SRC_WORKLOAD_TYPESCRIPT_STREAM_H_
+#define ATK_SRC_WORKLOAD_TYPESCRIPT_STREAM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace atk {
+
+struct TypescriptStreamSpec {
+  uint64_t seed = 1;
+  int lines = 4096;      // Total console lines appended.
+  int batch_lines = 64;  // Lines appended per update cycle (coalesced damage).
+  int views = 2;         // Live views sharing the transcript (one tails it).
+  int width = 400;
+  int height = 300;
+};
+
+struct TypescriptStreamResult {
+  int64_t lines = 0;            // Lines actually appended.
+  int64_t bytes = 0;            // Transcript bytes appended.
+  int update_cycles = 0;        // InteractionManager::RunOnce calls.
+  uint64_t transcript_digest = 0;  // FNV-1a over the final transcript text.
+  uint64_t display_hash = 0;       // Final framebuffer hash.
+  int64_t line_count = 0;          // Final TextData::LineCount().
+  uint64_t layout_lines_reused = 0;  // Prefix-reuse hits summed over all views.
+};
+
+// Generates one seeded console line (no trailing newline); exposed so tests
+// can pin the stream's content independently of the view tree.
+std::string TypescriptLine(uint64_t seed, int64_t index);
+
+TypescriptStreamResult RunTypescriptStream(const TypescriptStreamSpec& spec);
+
+}  // namespace atk
+
+#endif  // ATK_SRC_WORKLOAD_TYPESCRIPT_STREAM_H_
