@@ -13,6 +13,7 @@
 #include "src/class_system/loader.h"
 #include "src/components/text/gap_buffer.h"
 #include "src/datastream/baseline_reader.h"
+#include "src/observability/memory.h"
 #include "src/workload/workload.h"
 
 namespace atk {
@@ -72,8 +73,46 @@ void BM_ReadDocumentBySize(benchmark::State& state) {
     benchmark::DoNotOptimize(read);
   }
   state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(serialized.size()));
+  // Bytes-per-document gate (check_perf.sh): peak accounted bytes one decode
+  // of the 256-paragraph corpus adds on top of whatever is already live.
+  if (state.range(0) == 256) {
+    using atk::observability::MemoryAccountant;
+    MemoryAccountant& accountant = MemoryAccountant::Instance();
+    accountant.ResetPeaks();
+    int64_t before = accountant.total();
+    {
+      ReadContext ctx;
+      std::unique_ptr<DataObject> read = ReadDocument(serialized, &ctx);
+      benchmark::DoNotOptimize(read);
+    }
+    static atk::observability::Gauge& doc_peak =
+        atk::observability::MetricsRegistry::Instance().gauge(
+            "datastream.bench.doc_peak_bytes");
+    doc_peak.Set(accountant.peak() - before);
+  }
 }
 BENCHMARK(BM_ReadDocumentBySize)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// The identical loop with the accountant switched off: check_perf.sh holds
+// the accounted run within 2% of this one (same process, same corpus), the
+// instrumentation's whole-path overhead budget.  Everything this loop
+// charges/releases happens inside the disabled window, so the gauges stay
+// exact when accounting resumes.
+void BM_ReadDocumentBySize_Unaccounted(benchmark::State& state) {
+  Setup();
+  WorkloadRng rng(7);
+  std::unique_ptr<TextData> doc = GenerateDocument(rng, static_cast<int>(state.range(0)));
+  std::string serialized = WriteDocument(*doc);
+  atk::observability::SetMemoryAccountingEnabled(false);
+  for (auto _ : state) {
+    ReadContext ctx;
+    std::unique_ptr<DataObject> read = ReadDocument(serialized, &ctx);
+    benchmark::DoNotOptimize(read);
+  }
+  atk::observability::SetMemoryAccountingEnabled(true);
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(serialized.size()));
+}
+BENCHMARK(BM_ReadDocumentBySize_Unaccounted)->Arg(256);
 
 // The pre-PR-5 copying ingestion path, kept in-tree (baseline_reader.h) the
 // way PR 3 kept the flat-rect region algorithm: the old lexer accumulates

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/components/text/text_data.h"
+#include "src/observability/memory.h"
 #include "src/server/client_session.h"
 #include "src/server/document_server.h"
 #include "src/server/transport_sim.h"
@@ -130,6 +131,10 @@ BENCHMARK(BM_SessionAttach)->Arg(64)->Arg(256);
 // ATK_TRACE=1 ATK_TRACE_FLOWS=1.
 void RunEditFanOut(benchmark::State& state, bool traced) {
   const int sessions = static_cast<int>(state.range(0));
+  using atk::observability::MemoryAccountant;
+  MemoryAccountant& accountant = MemoryAccountant::Instance();
+  accountant.ResetPeaks();
+  const int64_t mem_before = accountant.total();
   Fleet fleet(sessions);
   for (auto& client : fleet.clients) {
     client->Connect(0);
@@ -184,6 +189,14 @@ void RunEditFanOut(benchmark::State& state, bool traced) {
                       : "server.bench.fanout_p99_us")
         .SetMax(static_cast<int64_t>(per_edit_ns[idx] / 1000.0));
   }
+  // Bytes-per-session gate (check_perf.sh): peak accounted bytes the whole
+  // fleet added over the run, amortized per session.  Skipped when the
+  // accountant is off (the Unaccounted overhead variant would record ~0).
+  if (!traced && sessions == 256 && atk::observability::MemoryAccountingEnabled()) {
+    MetricsRegistry::Instance()
+        .gauge("server.bench.session_peak_bytes")
+        .Set((accountant.peak() - mem_before + sessions - 1) / sessions);
+  }
   state.SetItemsProcessed(state.iterations() * sessions);
 }
 
@@ -192,6 +205,17 @@ BENCHMARK(BM_EditFanOut)->Arg(64)->Arg(256);
 
 void BM_EditFanOut_Traced(benchmark::State& state) { RunEditFanOut(state, true); }
 BENCHMARK(BM_EditFanOut_Traced)->Arg(64)->Arg(256);
+
+// The untraced fan-out with the memory accountant off: check_perf.sh holds
+// BM_EditFanOut/256 within 2% of this run.  The fleet is created and
+// destroyed entirely inside the disabled window, so every charge pairs with
+// its release and the gauges stay exact when accounting resumes.
+void BM_EditFanOut_Unaccounted(benchmark::State& state) {
+  atk::observability::SetMemoryAccountingEnabled(false);
+  RunEditFanOut(state, false);
+  atk::observability::SetMemoryAccountingEnabled(true);
+}
+BENCHMARK(BM_EditFanOut_Unaccounted)->Arg(256);
 
 }  // namespace
 }  // namespace server

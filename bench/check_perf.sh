@@ -21,7 +21,18 @@
 #     close its edit flows with a sane end-to-end propagation p99
 #     (histogram/server.propagation.latency_us/p99) — the PR-7 tracing
 #     overhead bound.  The disabled path is a single branch, so the plain
-#     BM_EditFanOut entry doubles as the 0%-when-disabled guard.
+#     BM_EditFanOut entry doubles as the 0%-when-disabled guard;
+#   - the memory accountant (PR 9) must cost at most 2%: the accounted
+#     document read (BM_ReadDocumentBySize/256) and edit fan-out
+#     (BM_EditFanOut/256) are each held within 1.02x of their _Unaccounted
+#     twins measured in the same session.
+#
+# The PR-9 byte gates ride on the `rates` mechanism: the accounted runs
+# publish gauge/datastream.bench.doc_peak_bytes (peak accounted bytes one
+# 256-paragraph decode adds) and gauge/server.bench.session_peak_bytes
+# (peak fleet bytes per session over the fan-out run); the baseline floors
+# them (accounting must actually be on) and caps them (a pool that stops
+# releasing shows up as a ceiling breach, not a slow drift).
 #
 # The baseline's `rates` entries gate the scenario suite (bench_scenarios):
 # each names a gauge from the metrics snapshot, the bench filter that
@@ -252,6 +263,50 @@ else
   echo "check_perf.sh: missing bench binary $SV_BIN (build the project first)" >&2
   failures=$((failures + 1))
 fi
+
+# The PR-9 accountant overhead bound: the accounted loop and its
+# _Unaccounted twin run back to back in one process; the accounted time must
+# stay within 1.02x of the unaccounted one.
+check_accounting_overhead() {
+  bin="$1"
+  accounted="$2"
+  unaccounted="$3"
+  if [ ! -x "$bin" ]; then
+    echo "check_perf.sh: missing bench binary $bin (build the project first)" >&2
+    return 1
+  fi
+  attempt=1
+  while [ "$attempt" -le 3 ]; do
+    out="$("$bin" --benchmark_filter="^($accounted|$unaccounted)\$" \
+        --benchmark_min_time=0.05 --benchmark_color=false 2>/dev/null \
+      | grep -o '{"bench":.*}')" || out=""
+    on_ns="$(printf '%s\n' "$out" \
+      | grep -F "\"metric\":\"$accounted\"" | head -1 \
+      | grep -o '"value":[0-9.eE+-]*' | cut -d: -f2)"
+    off_ns="$(printf '%s\n' "$out" \
+      | grep -F "\"metric\":\"$unaccounted\"" | head -1 \
+      | grep -o '"value":[0-9.eE+-]*' | cut -d: -f2)"
+    if [ -n "$on_ns" ] && [ -n "$off_ns" ]; then
+      echo "check_perf.sh: attempt $attempt: $accounted = ${on_ns} ns accounted," \
+        "${off_ns} ns unaccounted (need <= 1.02x)" >&2
+      if awk -v on="$on_ns" -v off="$off_ns" 'BEGIN { exit !(on <= off * 1.02) }'; then
+        return 0
+      fi
+    else
+      echo "check_perf.sh: attempt $attempt could not measure the accounting overhead" >&2
+    fi
+    attempt=$((attempt + 1))
+  done
+  echo "check_perf.sh: FAIL: $accounted above 1.02x its unaccounted twin after 3 attempts" >&2
+  return 1
+}
+
+check_accounting_overhead "$DS_BIN" \
+  "BM_ReadDocumentBySize/256" "BM_ReadDocumentBySize_Unaccounted/256" \
+  || failures=$((failures + 1))
+check_accounting_overhead "$SV_BIN" \
+  "BM_EditFanOut/256" "BM_EditFanOut_Unaccounted/256" \
+  || failures=$((failures + 1))
 
 if [ "$failures" -gt 0 ]; then
   echo "check_perf.sh: FAIL: $failures metric(s) out of bounds" >&2

@@ -14,6 +14,11 @@
 # lines without a metrics snapshot (or vice versa) — a silent or partial
 # hole in BENCH_RESULTS.json is a failure, and the summary at the end names
 # every wedged binary and why.
+#
+# Every binary's snapshot carries gauge/proc.mem.vmhwm_bytes — the kernel's
+# peak-RSS figure (VmHWM) read by metric_lines.h — so BENCH_RESULTS.json
+# records the external memory envelope next to the accountant's own byte
+# gauges.  On procfs platforms a snapshot without it is treated as wedged.
 set -eu
 
 BUILD_DIR="${1:-build}"
@@ -77,6 +82,15 @@ for src in "$SRC_DIR"/bench_*.cpp; do
       fail "$name" "contributed no metrics snapshot"
     fi
     bench_ok=0
+  fi
+  # Peak RSS rides with every snapshot on procfs platforms; a binary that
+  # lost it broke the metric_lines.h emitter, not just one gauge.
+  if [ -r /proc/self/status ] && [ "$metrics" -gt 0 ]; then
+    rss="$(printf '%s\n' "$lines" | grep -c '"metric":"gauge/proc\.mem\.vmhwm_bytes"' || true)"
+    if [ "$rss" -eq 0 ]; then
+      fail "$name" "metrics snapshot carries no proc.mem.vmhwm_bytes peak-RSS gauge"
+      bench_ok=0
+    fi
   fi
   # Only a fully-healthy binary contributes lines: partial output from a
   # wedged bench must not launder itself into BENCH_RESULTS.json.

@@ -2,11 +2,15 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <map>
 #include <mutex>
 #include <sstream>
 #include <thread>
+#include <unordered_map>
 
 #include "src/class_system/loader.h"
+#include "src/observability/memory.h"
+#include "src/observability/memsnapshot_component.h"
 
 namespace atk {
 namespace {
@@ -29,6 +33,106 @@ int ThreadsFromEnv() {
   return threads > 0 ? threads : 0;
 }
 
+// ---- Decoded-object census (DESIGN.md §8) ----------------------------------
+//
+// Every object ReadObjectBody creates is registered here with its runtime
+// ClassInfo and the byte extent of the body it was decoded from; ~DataObject
+// unregisters.  The registry stores the ClassInfo pointer (leaked statics)
+// at registration time, so the census never makes a virtual call on a live
+// object — a concurrently-destructing instance cannot race it.
+
+observability::MemoryAccount& DeferredMemAccount() {
+  // Overlay: the queued captures are views into the reader's pinned buffer,
+  // which datastream.mem.pinned already counts.
+  static observability::MemoryAccount& account =
+      observability::MemoryAccountant::Instance().overlay("datastream.mem.deferred");
+  return account;
+}
+
+observability::MemoryAccount& OrphanMemAccount() {
+  static observability::MemoryAccount& account =
+      observability::MemoryAccountant::Instance().account("datastream.mem.orphan");
+  return account;
+}
+
+observability::MemoryAccount& DataObjectMemAccount() {
+  // Overlay: decoded body bytes live in the components' own storage (gap
+  // buffers, cell vectors), which their accounts count exclusively.
+  static observability::MemoryAccount& account =
+      observability::MemoryAccountant::Instance().overlay("base.mem.dataobject");
+  return account;
+}
+
+struct LiveObjectRegistry {
+  std::mutex mu;
+  std::unordered_map<const DataObject*, std::pair<const ClassInfo*, size_t>> live;
+};
+
+LiveObjectRegistry& Registry() {
+  static LiveObjectRegistry* registry = new LiveObjectRegistry();
+  return *registry;
+}
+
+std::vector<observability::CensusRow> DataObjectCensus() {
+  std::map<std::string_view, observability::CensusRow> by_class;
+  LiveObjectRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& [object, entry] : registry.live) {
+    const auto& [info, bytes] = entry;
+    observability::CensusRow& row = by_class[info->name()];
+    if (row.name.empty()) {
+      row.name = info->name();
+    }
+    row.count += 1;
+    row.bytes += bytes;
+  }
+  std::vector<observability::CensusRow> rows;
+  rows.reserve(by_class.size());
+  for (auto& [name, row] : by_class) {
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void EnsureMemoryHooks() {
+  static bool once = [] {
+    observability::MemoryAccountant::Instance().RegisterCensusSource("dataobject",
+                                                                    &DataObjectCensus);
+    observability::InstallMemSnapshotWriter();
+    return true;
+  }();
+  (void)once;
+}
+
+void RegisterDecodedObject(const DataObject* object, size_t body_bytes) {
+  EnsureMemoryHooks();
+  LiveObjectRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto [it, inserted] =
+      registry.live.emplace(object, std::make_pair(&object->GetClassInfo(), body_bytes));
+  if (inserted) {
+    DataObjectMemAccount().Charge(static_cast<int64_t>(body_bytes));
+  }
+}
+
+void UnregisterDecodedObject(const DataObject* object) {
+  size_t bytes = 0;
+  bool found = false;
+  {
+    LiveObjectRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto it = registry.live.find(object);
+    if (it != registry.live.end()) {
+      bytes = it->second.second;
+      found = true;
+      registry.live.erase(it);
+    }
+  }
+  if (found) {
+    DataObjectMemAccount().Release(static_cast<int64_t>(bytes));
+  }
+}
+
 }  // namespace
 
 ATK_DEFINE_ABSTRACT_CLASS(DataObject, Object, "dataobject")
@@ -38,6 +142,7 @@ DataObject::~DataObject() {
   if (deferred_in_ != nullptr) {
     deferred_in_->CancelDeferred(this);
   }
+  UnregisterDecodedObject(this);
 }
 
 int64_t DataObject::Write(DataStreamWriter& writer) const {
@@ -92,6 +197,8 @@ void ReadContext::QueueDeferred(DataObject* object, std::string type, int64_t id
   child.type = std::move(type);
   child.id = id;
   child.capture = capture;
+  child.mem = observability::ScopedCharge(DeferredMemAccount(),
+                                          static_cast<int64_t>(capture.with_end.size()));
   object->deferred_in_ = this;
   deferred_.push_back(std::move(child));
 }
@@ -114,6 +221,10 @@ void ReadContext::CancelDeferred(DataObject* object) {
     std::string_view arena(child.orphan_arena);
     child.capture.body = arena.substr(0, child.capture.body.size());
     child.capture.with_end = arena;
+    // The copy is owned storage the context retains until the entry drains
+    // (or the context dies): charge it so it stops being invisible.
+    child.orphan_mem = observability::ScopedCharge(
+        OrphanMemAccount(), static_cast<int64_t>(child.orphan_arena.capacity()));
   }
 }
 
@@ -247,6 +358,7 @@ std::unique_ptr<DataObject> ReadObjectBody(DataStreamReader& reader, ReadContext
     }
     auto unknown = std::make_unique<UnknownObject>(type, std::string(raw));
     context.RegisterObject(id, unknown.get());
+    RegisterDecodedObject(unknown.get(), raw.size());
     return unknown;
   }
   context.RegisterObject(id, data.get());
@@ -255,11 +367,17 @@ std::unique_ptr<DataObject> ReadObjectBody(DataStreamReader& reader, ReadContext
     DataStreamReader::RawCapture capture;
     reader.SkipObject(type, id, &capture);
     context.QueueDeferred(data.get(), type, id, capture);
+    RegisterDecodedObject(data.get(), capture.with_end.size());
     return data;
   }
+  size_t body_from = reader.position();
   if (!data->ReadBody(reader, context)) {
     context.AddError("malformed body for object type: " + type);
   }
+  // Census entry: the class plus the byte extent its body was decoded from
+  // (embedded children land in their own entries too; the overlap is fine —
+  // census bytes are a by-class attribution, not an allocator sum).
+  RegisterDecodedObject(data.get(), reader.position() - body_from);
   return data;
 }
 

@@ -135,6 +135,14 @@ class ReadContext {
     // original buffer's lifetime was tied to the dead owner's decode).
     std::string orphan_arena;
     std::unique_ptr<ReadContext> sub;
+    // Byte accounting: `mem` holds the queued capture extent against the
+    // `datastream.mem.deferred` overlay (the bytes alias the reader's
+    // pinned buffer); `orphan_mem` holds the owned orphan_arena copy
+    // against `datastream.mem.orphan`.  Both release when the entry is
+    // drained or its context dies — the orphan copies used to be silently
+    // retained with no visibility.
+    observability::ScopedCharge mem;
+    observability::ScopedCharge orphan_mem;
   };
 
   std::map<int64_t, DataObject*> by_id_;

@@ -5,6 +5,12 @@
 
 namespace atk {
 
+observability::MemoryAccount& GapBufferMemAccount() {
+  static observability::MemoryAccount& account =
+      observability::MemoryAccountant::Instance().account("text.mem.gapbuffer");
+  return account;
+}
+
 void GapBuffer::MoveGapTo(size_t pos) {
   if (pos == gap_start_) {
     return;
@@ -32,6 +38,7 @@ void GapBuffer::GrowGap(size_t needed) {
   buffer_.resize(new_size);
   std::memmove(&buffer_[new_size - tail_len], &buffer_[gap_end_], tail_len);
   gap_end_ = new_size - tail_len;
+  SyncMem();
 }
 
 void GapBuffer::Reserve(size_t additional) { GrowGap(additional); }

@@ -10,11 +10,31 @@
 #include <string_view>
 #include <vector>
 
+#include "src/observability/memory.h"
+
 namespace atk {
+
+// The `text.mem.gapbuffer` account (all gap-buffer backing storage).
+observability::MemoryAccount& GapBufferMemAccount();
 
 class GapBuffer {
  public:
-  GapBuffer() : buffer_(kInitialCapacity), gap_start_(0), gap_end_(kInitialCapacity) {}
+  GapBuffer() : buffer_(kInitialCapacity), gap_start_(0), gap_end_(kInitialCapacity) {
+    SyncMem();
+  }
+  GapBuffer(const GapBuffer& other)
+      : buffer_(other.buffer_), gap_start_(other.gap_start_), gap_end_(other.gap_end_) {
+    SyncMem();
+  }
+  GapBuffer& operator=(const GapBuffer& other) {
+    buffer_ = other.buffer_;
+    gap_start_ = other.gap_start_;
+    gap_end_ = other.gap_end_;
+    SyncMem();
+    return *this;
+  }
+  GapBuffer(GapBuffer&&) = default;
+  GapBuffer& operator=(GapBuffer&&) = default;
 
   int64_t size() const {
     return static_cast<int64_t>(buffer_.size() - (gap_end_ - gap_start_));
@@ -55,9 +75,21 @@ class GapBuffer {
   void MoveGapTo(size_t pos);
   void GrowGap(size_t needed);
 
+  // Re-charges the accountant to this buffer's capacity.  Called only when
+  // the backing vector may have changed size (construction, GrowGap, copy),
+  // never on the per-edit path.  Re-attaches after a move-from, so a reused
+  // moved-from buffer self-heals its accounting.
+  void SyncMem() {
+    if (!mem_.attached()) {
+      mem_ = observability::ScopedCharge(GapBufferMemAccount());
+    }
+    mem_.Resize(static_cast<int64_t>(buffer_.capacity()));
+  }
+
   std::vector<char> buffer_;
   size_t gap_start_;
   size_t gap_end_;
+  observability::ScopedCharge mem_;
 };
 
 }  // namespace atk

@@ -61,16 +61,30 @@ void CountReaderOpen(size_t bytes) {
   using observability::Counter;
   using observability::MetricsRegistry;
   static Counter& opened = MetricsRegistry::Instance().counter("datastream.reader.opened");
-  static Counter& consumed = MetricsRegistry::Instance().counter("datastream.reader.bytes");
+  static Counter& consumed = MetricsRegistry::Instance().counter("datastream.reader.ingested_bytes");
   opened.Add(1);
   consumed.Add(bytes);
 }
 
 }  // namespace
 
+observability::MemoryAccount& DataStreamPinnedAccount() {
+  static observability::MemoryAccount& account =
+      observability::MemoryAccountant::Instance().account("datastream.mem.pinned");
+  return account;
+}
+
+observability::MemoryAccount& DataStreamScratchAccount() {
+  static observability::MemoryAccount& account =
+      observability::MemoryAccountant::Instance().account("datastream.mem.scratch");
+  return account;
+}
+
 DataStreamReader::DataStreamReader(std::string input) : owned_(std::move(input)) {
   data_ = owned_;
   CountReaderOpen(data_.size());
+  pinned_mem_ = observability::ScopedCharge(DataStreamPinnedAccount(),
+                                            static_cast<int64_t>(owned_.capacity()));
 }
 
 DataStreamReader::DataStreamReader(std::istream& in) {
@@ -87,6 +101,8 @@ DataStreamReader::DataStreamReader(std::istream& in) {
   } while (got == static_cast<std::streamsize>(sizeof(chunk)));
   data_ = owned_;
   CountReaderOpen(data_.size());
+  pinned_mem_ = observability::ScopedCharge(DataStreamPinnedAccount(),
+                                            static_cast<int64_t>(owned_.capacity()));
 }
 
 DataStreamReader::DataStreamReader(std::string_view pinned, size_t base_offset)
@@ -172,6 +188,11 @@ void DataStreamReader::MarkTruncated(size_t offset, std::string message) {
 std::string_view DataStreamReader::Intern(std::string&& pending) {
   scratch_bytes_ += pending.size();
   arena_.push_back(std::move(pending));
+  // Lazy attach keeps escape-free reads (and sub-readers) at zero charges.
+  if (!scratch_mem_.attached()) {
+    scratch_mem_ = observability::ScopedCharge(DataStreamScratchAccount());
+  }
+  scratch_mem_.Resize(static_cast<int64_t>(scratch_bytes_));
   return arena_.back();
 }
 

@@ -48,8 +48,15 @@
 #include <vector>
 
 #include "src/class_system/status.h"
+#include "src/observability/memory.h"
 
 namespace atk {
+
+// Memory accounts for the reader's owned pools: `datastream.mem.pinned`
+// (owning-constructor backing buffers) and `datastream.mem.scratch` (the
+// unescape arena).  Borrowed buffers are charged by their owners.
+observability::MemoryAccount& DataStreamPinnedAccount();
+observability::MemoryAccount& DataStreamScratchAccount();
 
 class DataStreamReader {
  public:
@@ -202,6 +209,9 @@ class DataStreamReader {
   // stay valid for the reader's lifetime.
   std::deque<std::string> arena_;
   size_t scratch_bytes_ = 0;
+  // Byte accounting (released when the reader dies; transferred on move).
+  observability::ScopedCharge pinned_mem_;
+  observability::ScopedCharge scratch_mem_;
 };
 
 }  // namespace atk

@@ -24,7 +24,7 @@ DataStreamWriter::~DataStreamWriter() {
   using observability::Counter;
   using observability::Gauge;
   using observability::MetricsRegistry;
-  static Counter& bytes = MetricsRegistry::Instance().counter("datastream.writer.bytes");
+  static Counter& bytes = MetricsRegistry::Instance().counter("datastream.writer.emitted_bytes");
   static Counter& diagnosed =
       MetricsRegistry::Instance().counter("datastream.writer.diagnosed");
   static Gauge& depth_max = MetricsRegistry::Instance().gauge("datastream.writer.depth_max");

@@ -3,12 +3,36 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/observability/memory.h"
+
 namespace atk {
+namespace {
+
+observability::MemoryAccount& RegionMemAccount() {
+  static observability::MemoryAccount& account =
+      observability::MemoryAccountant::Instance().account("graphics.mem.region");
+  return account;
+}
+
+}  // namespace
+
+void Region::SyncMemSlow(int64_t bytes) const {
+  RegionMemAccount().Charge(bytes - mem_accounted_);
+  mem_accounted_ = bytes;
+}
+
+void Region::ReleaseMem() const {
+  if (mem_accounted_ != 0) {
+    RegionMemAccount().Release(mem_accounted_);
+    mem_accounted_ = 0;
+  }
+}
 
 Region::Region(const Rect& rect) {
   if (!rect.IsEmpty()) {
     bands_.push_back(Band{rect.y, rect.bottom(), 0, 1});
     spans_.push_back(Span{rect.x, rect.right()});
+    SyncMem();
   }
 }
 
@@ -18,6 +42,8 @@ void Region::Clear() {
   pending_.clear();
   rects_cache_.clear();
   rects_cache_valid_ = false;
+  // clear() keeps capacity, so the charge is unchanged on purpose: the
+  // storage is still resident (the IM reuses cleared damage regions).
 }
 
 Region Region::UnionOf(const std::vector<Rect>& rects, size_t lo, size_t hi) {
@@ -49,6 +75,7 @@ void Region::EnsureCanonical() const {
   bands_ = std::move(merged.bands_);
   spans_ = std::move(merged.spans_);
   rects_cache_valid_ = false;
+  SyncMem();
 }
 
 const std::vector<Rect>& Region::rects() const {
@@ -63,6 +90,7 @@ const std::vector<Rect>& Region::rects() const {
       }
     }
     rects_cache_valid_ = true;
+    SyncMem();
   }
   return rects_cache_;
 }
@@ -415,6 +443,7 @@ void Region::Add(const Rect& rect) {
   // whole batch in with one divide-and-conquer union.
   pending_.push_back(rect);
   rects_cache_valid_ = false;
+  SyncMem();
 }
 
 void Region::Add(const Region& other) {

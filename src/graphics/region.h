@@ -42,6 +42,53 @@ class Region {
  public:
   Region() = default;
   explicit Region(const Rect& rect);
+  // Copies/moves/destruction keep the `graphics.mem.region` account exact:
+  // every Region charges its band/span/pending storage and releases it on
+  // death (see SyncMem).  The fast path is a capacity compare; the
+  // accountant is touched only when storage actually changed size.
+  Region(const Region& other)
+      : bands_(other.bands_),
+        spans_(other.spans_),
+        pending_(other.pending_),
+        rects_cache_(other.rects_cache_),
+        rects_cache_valid_(other.rects_cache_valid_) {
+    SyncMem();
+  }
+  Region& operator=(const Region& other) {
+    if (this != &other) {
+      bands_ = other.bands_;
+      spans_ = other.spans_;
+      pending_ = other.pending_;
+      rects_cache_ = other.rects_cache_;
+      rects_cache_valid_ = other.rects_cache_valid_;
+      SyncMem();
+    }
+    return *this;
+  }
+  Region(Region&& other) noexcept
+      : bands_(std::move(other.bands_)),
+        spans_(std::move(other.spans_)),
+        pending_(std::move(other.pending_)),
+        rects_cache_(std::move(other.rects_cache_)),
+        rects_cache_valid_(other.rects_cache_valid_),
+        mem_accounted_(other.mem_accounted_) {
+    other.mem_accounted_ = 0;
+    other.rects_cache_valid_ = false;
+  }
+  Region& operator=(Region&& other) noexcept {
+    if (this != &other) {
+      bands_.swap(other.bands_);
+      spans_.swap(other.spans_);
+      pending_.swap(other.pending_);
+      rects_cache_.swap(other.rects_cache_);
+      std::swap(rects_cache_valid_, other.rects_cache_valid_);
+      std::swap(mem_accounted_, other.mem_accounted_);
+      SyncMem();
+      other.SyncMem();  // `other` holds our old storage until it dies.
+    }
+    return *this;
+  }
+  ~Region() { ReleaseMem(); }
 
   bool IsEmpty() const { return bands_.empty() && pending_.empty(); }
   void Clear();
@@ -132,6 +179,20 @@ class Region {
   // Index of the first band with y2 > y, or bands_.size().
   size_t FirstBandBelow(int y) const;
 
+  // Re-charges `graphics.mem.region` with this region's storage.  Cheap
+  // capacity compare inline; the accountant call happens only on change.
+  void SyncMem() const {
+    int64_t bytes = static_cast<int64_t>(bands_.capacity() * sizeof(Band) +
+                                         spans_.capacity() * sizeof(Span) +
+                                         pending_.capacity() * sizeof(Rect) +
+                                         rects_cache_.capacity() * sizeof(Rect));
+    if (bytes != mem_accounted_) {
+      SyncMemSlow(bytes);
+    }
+  }
+  void SyncMemSlow(int64_t bytes) const;
+  void ReleaseMem() const;
+
   // Mutable so the lazy pending-batch flush can run from const accessors
   // (logical constness: the point set never changes during a flush).
   mutable std::vector<Band> bands_;  // Sorted by y1; y intervals disjoint.
@@ -141,6 +202,8 @@ class Region {
   // rects() cache, rebuilt on demand after mutations.
   mutable std::vector<Rect> rects_cache_;
   mutable bool rects_cache_valid_ = false;
+  // Bytes currently charged to `graphics.mem.region` for this instance.
+  mutable int64_t mem_accounted_ = 0;
 };
 
 }  // namespace atk

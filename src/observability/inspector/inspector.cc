@@ -81,15 +81,18 @@ InteractionManager::InspectorHandle MakeInspectorWindow(InteractionManager& host
   auto profiler = std::make_unique<FrameProfileView>();
   auto metrics = std::make_unique<MetricsPanelView>();
   auto server_panel = std::make_unique<ServerPanelView>();
+  auto memory_panel = std::make_unique<MemoryPanelView>();
   root->SetDataObject(data.get());
   tree->SetDataObject(data.get());
   profiler->SetDataObject(data.get());
   metrics->SetDataObject(data.get());
   server_panel->SetDataObject(data.get());
+  memory_panel->SetDataObject(data.get());
   root->AddChild(tree.get());
   root->AddChild(profiler.get());
   root->AddChild(metrics.get());
   root->AddChild(server_panel.get());
+  root->AddChild(memory_panel.get());
   im->SetChild(root.get());
   data->Refresh();  // First snapshot before the first paint.
 
@@ -101,6 +104,7 @@ InteractionManager::InspectorHandle MakeInspectorWindow(InteractionManager& host
   im->Adopt(std::move(profiler));
   im->Adopt(std::move(metrics));
   im->Adopt(std::move(server_panel));
+  im->Adopt(std::move(memory_panel));
   im->Adopt(std::move(data));
   im->Adopt(std::move(ws));
 
@@ -127,7 +131,7 @@ void RegisterInspectorModule() {
     ModuleSpec spec;
     spec.name = "inspector";
     spec.provides = {"inspector", "inspectorrootview", "viewtreeview", "frameprofileview",
-                     "metricspanelview", "serverpanelview"};
+                     "metricspanelview", "serverpanelview", "memorypanelview"};
     spec.depends_on = {"table"};
     spec.text_bytes = 42 * 1024;
     spec.data_bytes = 4 * 1024;
@@ -138,6 +142,7 @@ void RegisterInspectorModule() {
       ClassRegistry::Instance().Register(FrameProfileView::StaticClassInfo());
       ClassRegistry::Instance().Register(MetricsPanelView::StaticClassInfo());
       ClassRegistry::Instance().Register(ServerPanelView::StaticClassInfo());
+      ClassRegistry::Instance().Register(MemoryPanelView::StaticClassInfo());
       SetDefaultViewName("inspector", "inspectorrootview");
       ProcTable::Instance().Register("inspector-export-trace", ExportTraceProc);
       InteractionManager::SetInspectorFactory(MakeInspectorWindow);

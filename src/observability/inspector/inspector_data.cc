@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "src/base/interaction_manager.h"
+#include "src/observability/memory.h"
 #include "src/observability/trace_component.h"
 #include "src/observability/trace_export.h"
 
@@ -47,6 +48,11 @@ InspectorData::InspectorData() {
   sessions_chart_->SetTitle("rtt (ticks)");
   sessions_chart_->SetColumns(0, 1);
   sessions_chart_->SetSource(sessions_table_.get());
+  memory_table_ = std::make_unique<TableData>();
+  memory_chart_ = std::make_unique<ChartData>();
+  memory_chart_->SetTitle("pool bytes");
+  memory_chart_->SetColumns(0, 1);
+  memory_chart_->SetSource(memory_table_.get());
 }
 
 InspectorData::~InspectorData() = default;
@@ -73,6 +79,7 @@ void InspectorData::Refresh() {
   CaptureServerFlightRecords();
   RebuildMetricsTable();
   RebuildSessionsTable();
+  RebuildMemoryTable();
   ++refresh_count_;
   NotifyObservers(Change{Change::Kind::kModified});
 }
@@ -238,6 +245,39 @@ void InspectorData::RebuildSessionsTable() {
   }
   session_row_count_ = row;
   sessions_chart_->SetRowRange(0, session_row_count_ > 0 ? session_row_count_ - 1 : 0);
+}
+
+void InspectorData::RebuildMemoryTable() {
+  // The accountant is the authority here (not the gauge snapshot): it knows
+  // which accounts are overlays, carries the budget, and folds in the live
+  // DataObject census — none of which the flat gauge list can express.
+  observability::MemorySnapshot mem =
+      observability::MemoryAccountant::Instance().SnapshotMemory();
+  memory_total_bytes_ = mem.total_bytes;
+  memory_peak_bytes_ = mem.peak_bytes;
+  memory_budget_bytes_ = mem.budget_bytes;
+  int rows = static_cast<int>(mem.accounts.size() + mem.census.size());
+  if (memory_table_->rows() != rows || memory_table_->cols() != 3) {
+    memory_table_->Resize(rows, 3);
+  }
+  int row = 0;
+  for (const observability::MemoryAccountSample& account : mem.accounts) {
+    memory_table_->SetText(row, 0,
+                           account.overlay ? account.name + " (overlay)" : account.name);
+    memory_table_->SetNumber(row, 1, static_cast<double>(account.current_bytes));
+    memory_table_->SetNumber(row, 2, static_cast<double>(account.peak_bytes));
+    ++row;
+  }
+  memory_row_count_ = row;
+  for (const observability::CensusRow& census : mem.census) {
+    memory_table_->SetText(row, 0, "live " + census.name);
+    memory_table_->SetNumber(row, 1, static_cast<double>(census.bytes));
+    memory_table_->SetNumber(row, 2, static_cast<double>(census.count));
+    ++row;
+  }
+  // The chart plots the account rows only: census bytes overlap the pool
+  // bytes above them, and mixing the two would double-draw the same memory.
+  memory_chart_->SetRowRange(0, memory_row_count_ > 0 ? memory_row_count_ - 1 : 0);
 }
 
 std::string InspectorData::ExportPerfettoJson() const {

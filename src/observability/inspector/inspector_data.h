@@ -24,7 +24,10 @@
 //     publishes (RTT estimate, retransmits, send-queue depth, epoch), plus
 //     a ChartData over the RTT column; a second flight-recorder trigger
 //     freezes the ring whenever a session is evicted or resyncs
-//     (server.sessions.evicted / client.session.reconnects advance).
+//     (server.sessions.evicted / client.session.reconnects advance);
+//   * the memory panel sources — the MemoryAccountant's per-pool accounts
+//     (current/peak bytes) and the live DataObject census, as a TableData
+//     plus a ChartData over the account byte column.
 
 #ifndef ATK_SRC_OBSERVABILITY_INSPECTOR_INSPECTOR_DATA_H_
 #define ATK_SRC_OBSERVABILITY_INSPECTOR_INSPECTOR_DATA_H_
@@ -141,6 +144,19 @@ class InspectorData : public DataObject {
   ChartData* sessions_chart() { return sessions_chart_.get(); }
   int session_row_count() const { return session_row_count_; }
 
+  // ---- Memory panel sources --------------------------------------------------
+  // The heap census: one row per MemoryAccount (name, current bytes, peak
+  // bytes; overlay accounts marked in the name) followed by the top live
+  // DataObject classes from the census sources (name, bytes, count).  The
+  // chart plots current bytes over the account rows only, so the biggest
+  // pool stands out.  Totals for the header are kept alongside.
+  TableData* memory_table() { return memory_table_.get(); }
+  ChartData* memory_chart() { return memory_chart_.get(); }
+  int memory_row_count() const { return memory_row_count_; }
+  int64_t memory_total_bytes() const { return memory_total_bytes_; }
+  int64_t memory_peak_bytes() const { return memory_peak_bytes_; }
+  uint64_t memory_budget_bytes() const { return memory_budget_bytes_; }
+
   // ---- Datastream ------------------------------------------------------------
   // Persists the configuration (cadence, budget), not the live capture — a
   // reopened inspector re-snapshots the live process.
@@ -151,6 +167,7 @@ class InspectorData : public DataObject {
   void RebuildTreeRows();
   void RebuildMetricsTable();
   void RebuildSessionsTable();
+  void RebuildMemoryTable();
   void CaptureFlightRecords();
   void CaptureServerFlightRecords();
 
@@ -176,6 +193,13 @@ class InspectorData : public DataObject {
   std::unique_ptr<TableData> sessions_table_;
   std::unique_ptr<ChartData> sessions_chart_;
   int session_row_count_ = 0;
+
+  std::unique_ptr<TableData> memory_table_;
+  std::unique_ptr<ChartData> memory_chart_;
+  int memory_row_count_ = 0;
+  int64_t memory_total_bytes_ = 0;
+  int64_t memory_peak_bytes_ = 0;
+  uint64_t memory_budget_bytes_ = 0;
   // Watermarks for the server flight trigger: the ring is frozen whenever
   // either counter advances past the value seen at the previous capture.
   uint64_t last_evictions_ = 0;

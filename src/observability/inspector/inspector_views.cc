@@ -10,6 +10,7 @@ ATK_DEFINE_CLASS(ViewTreeView, View, "viewtreeview")
 ATK_DEFINE_CLASS(FrameProfileView, View, "frameprofileview")
 ATK_DEFINE_CLASS(MetricsPanelView, View, "metricspanelview")
 ATK_DEFINE_CLASS(ServerPanelView, View, "serverpanelview")
+ATK_DEFINE_CLASS(MemoryPanelView, View, "memorypanelview")
 
 namespace {
 
@@ -26,6 +27,24 @@ std::string FormatMs(uint64_t ns) {
   return buf;
 }
 
+// "512", "12.3k", "4.5m" — compact enough for the memory panel header.
+std::string FormatBytes(int64_t bytes) {
+  char buf[32];
+  double value = static_cast<double>(bytes);
+  if (bytes < 0) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(bytes));
+  } else if (bytes < 1024) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(bytes));
+  } else if (bytes < 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", value / 1024.0);
+  } else if (bytes < 1024ll * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fm", value / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fg", value / (1024.0 * 1024.0 * 1024.0));
+  }
+  return buf;
+}
+
 }  // namespace
 
 // ---- InspectorRootView ------------------------------------------------------
@@ -34,20 +53,22 @@ void InspectorRootView::Layout() {
   if (!HasGraphic() || children().empty()) {
     return;
   }
-  // Tree 30%, profiler 25%, metrics 25%, server panel 20% (whatever children
-  // exist share the proportions; a lone child takes everything).
-  static constexpr int kShares[] = {6, 5, 5, 4};
+  // Tree 25%, profiler 21%, metrics 21%, server panel 16%, memory panel 17%
+  // (whatever children exist share the proportions; a lone child takes
+  // everything).
+  static constexpr int kShares[] = {6, 5, 5, 4, 4};
+  static constexpr size_t kLastShare = std::size(kShares) - 1;
   Rect local = graphic()->LocalBounds();
   int n = static_cast<int>(children().size());
   int total_share = 0;
   for (int i = 0; i < n; ++i) {
-    total_share += kShares[std::min<size_t>(i, 3)];
+    total_share += kShares[std::min<size_t>(i, kLastShare)];
   }
   int y = 0;
   for (int i = 0; i < n; ++i) {
     View* child = children()[i];
     int h = i == n - 1 ? local.height - y
-                       : local.height * kShares[std::min<size_t>(i, 3)] / total_share;
+                       : local.height * kShares[std::min<size_t>(i, kLastShare)] / total_share;
     child->Allocate(Rect{0, y, local.width, h}, graphic());
     y += h;
   }
@@ -264,6 +285,75 @@ void ServerPanelView::FullUpdate() {
                 "server sessions: %d (rtt  queue  rexmit  epoch)  %llu flight capture(s)",
                 data->session_row_count(),
                 static_cast<unsigned long long>(data->flight_captures()));
+  g->DrawString(Point{4, 2}, header);
+  if (table_view_ != nullptr) {
+    g->DrawLine(Point{table_view_->bounds().width, table_view_->bounds().y},
+                Point{table_view_->bounds().width, g->height()});
+  }
+}
+
+// ---- MemoryPanelView --------------------------------------------------------
+
+MemoryPanelView::MemoryPanelView() = default;
+MemoryPanelView::~MemoryPanelView() = default;
+
+void MemoryPanelView::EnsureChildren() {
+  if (table_view_ == nullptr) {
+    table_view_ = std::make_unique<TableView>();
+    chart_view_ = std::make_unique<BarChartView>();
+    AddChild(table_view_.get());
+    AddChild(chart_view_.get());
+  }
+  InspectorData* data = inspector();
+  if (data != nullptr) {
+    table_view_->SetDataObject(data->memory_table());
+    chart_view_->SetDataObject(data->memory_chart());
+  }
+}
+
+void MemoryPanelView::Layout() {
+  if (!HasGraphic()) {
+    return;
+  }
+  EnsureChildren();
+  // One header line (totals + budget), then the accounts table left of its
+  // pool-bytes chart, same split as the other panels.
+  Rect local = graphic()->LocalBounds();
+  int header = LineHeight() + 2;
+  int body = std::max(local.height - header, 0);
+  int table_w = local.width * 3 / 5;
+  table_view_->Allocate(Rect{0, header, table_w, body}, graphic());
+  chart_view_->Allocate(Rect{table_w + 1, header, local.width - table_w - 1, body},
+                        graphic());
+}
+
+void MemoryPanelView::FullUpdate() {
+  Graphic* g = graphic();
+  if (g == nullptr) {
+    return;
+  }
+  g->Clear();
+  g->SetFont(PanelFont());
+  InspectorData* data = inspector();
+  if (data == nullptr) {
+    g->DrawString(Point{4, 2}, "(no inspector data)");
+    return;
+  }
+  char header[160];
+  if (data->memory_budget_bytes() > 0) {
+    std::snprintf(header, sizeof(header),
+                  "memory: %s now, %s peak, budget %s  (%d pools: cur  peak)",
+                  FormatBytes(data->memory_total_bytes()).c_str(),
+                  FormatBytes(data->memory_peak_bytes()).c_str(),
+                  FormatBytes(static_cast<int64_t>(data->memory_budget_bytes())).c_str(),
+                  data->memory_row_count());
+  } else {
+    std::snprintf(header, sizeof(header),
+                  "memory: %s now, %s peak, no budget  (%d pools: cur  peak)",
+                  FormatBytes(data->memory_total_bytes()).c_str(),
+                  FormatBytes(data->memory_peak_bytes()).c_str(),
+                  data->memory_row_count());
+  }
   g->DrawString(Point{4, 2}, header);
   if (table_view_ != nullptr) {
     g->DrawLine(Point{table_view_->bounds().width, table_view_->bounds().y},

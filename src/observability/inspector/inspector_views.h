@@ -17,8 +17,11 @@
 //     from the server.endpoint_* gauges) beside a bar chart of the RTT
 //     column, with the flight-capture count in the header so an eviction
 //     or resync capture is visible the moment it fires.
+//   * MemoryPanelView — the heap census: per-pool accounts (current/peak
+//     bytes) and the live DataObject classes beside a bar chart of pool
+//     bytes, with process total/peak and the ATK_MEM_BUDGET in the header.
 //
-// InspectorRootView stacks the four into the inspector window.
+// InspectorRootView stacks the five into the inspector window.
 
 #ifndef ATK_SRC_OBSERVABILITY_INSPECTOR_INSPECTOR_VIEWS_H_
 #define ATK_SRC_OBSERVABILITY_INSPECTOR_INSPECTOR_VIEWS_H_
@@ -89,6 +92,28 @@ class ServerPanelView : public View {
  public:
   ServerPanelView();
   ~ServerPanelView() override;
+
+  InspectorData* inspector() const { return ObjectCast<InspectorData>(data_object()); }
+
+  void Layout() override;
+  void FullUpdate() override;
+
+  TableView* table_view() const { return table_view_.get(); }
+  BarChartView* chart_view() const { return chart_view_.get(); }
+
+ private:
+  void EnsureChildren();
+
+  std::unique_ptr<TableView> table_view_;
+  std::unique_ptr<BarChartView> chart_view_;
+};
+
+class MemoryPanelView : public View {
+  ATK_DECLARE_CLASS(MemoryPanelView)
+
+ public:
+  MemoryPanelView();
+  ~MemoryPanelView() override;
 
   InspectorData* inspector() const { return ObjectCast<InspectorData>(data_object()); }
 

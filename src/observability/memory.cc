@@ -1,0 +1,391 @@
+#include "src/observability/memory.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace atk {
+namespace observability {
+
+std::atomic<bool> g_mem_accounting{true};
+
+void SetMemoryAccountingEnabled(bool enabled) {
+  g_mem_accounting.store(enabled, std::memory_order_relaxed);
+}
+
+// ---- MemoryAccount ---------------------------------------------------------
+
+MemoryAccount::MemoryAccount(std::string name, bool overlay)
+    : name_(std::move(name)), overlay_(overlay) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  current_ = &reg.gauge(name_ + "_bytes");
+  peak_ = &reg.gauge(name_ + "_peak_bytes");
+  charged_ = &reg.counter(name_ + "_charged_bytes");
+}
+
+void MemoryAccount::Charge(int64_t bytes) {
+  if (bytes == 0 || !MemoryAccountingEnabled()) {
+    return;
+  }
+  current_->Add(bytes);
+  if (bytes > 0) {
+    peak_->SetMax(current_->value());
+    charged_->Add(static_cast<uint64_t>(bytes));
+  }
+  if (!overlay_) {
+    MemoryAccountant& accountant = MemoryAccountant::Instance();
+    Gauge& total = accountant.total_gauge();
+    total.Add(bytes);
+    int64_t now = total.value();
+    if (bytes > 0) {
+      accountant.peak_gauge().SetMax(now);
+    }
+    accountant.budget_monitor().Observe(now);
+  }
+}
+
+// ---- BudgetMonitor ---------------------------------------------------------
+
+namespace {
+// Suppresses nested Observe() while a pressure callback runs on this thread
+// (an evictor releasing bytes would otherwise deadlock on mu_).
+thread_local bool tls_in_pressure_callback = false;
+}  // namespace
+
+void BudgetMonitor::SetBudget(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_ = bytes;
+  Rebuild();
+}
+
+uint64_t BudgetMonitor::budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_;
+}
+
+int BudgetMonitor::AddCallback(double fraction, PressureCallback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Threshold threshold;
+  threshold.id = next_id_++;
+  threshold.fraction = std::clamp(fraction, 1e-9, 8.0);
+  threshold.callback = std::move(callback);
+  thresholds_.push_back(std::move(threshold));
+  std::stable_sort(thresholds_.begin(), thresholds_.end(),
+                   [](const Threshold& a, const Threshold& b) {
+                     return a.fraction < b.fraction;
+                   });
+  int id = next_id_ - 1;
+  Rebuild();
+  return id;
+}
+
+void BudgetMonitor::RemoveCallback(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  thresholds_.erase(std::remove_if(thresholds_.begin(), thresholds_.end(),
+                                   [id](const Threshold& t) { return t.id == id; }),
+                    thresholds_.end());
+  Rebuild();
+}
+
+void BudgetMonitor::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  thresholds_.clear();
+  budget_ = 0;
+  Rebuild();
+}
+
+void BudgetMonitor::Rebuild() {
+  int64_t fire = INT64_MAX;
+  int64_t rearm = INT64_MIN;
+  for (Threshold& threshold : thresholds_) {
+    threshold.bytes =
+        budget_ == 0 ? INT64_MAX
+                     : static_cast<int64_t>(threshold.fraction *
+                                            static_cast<double>(budget_));
+    if (budget_ == 0) {
+      threshold.fired = false;
+      continue;
+    }
+    if (!threshold.fired) {
+      fire = std::min(fire, threshold.bytes);
+    } else {
+      rearm = std::max(rearm, threshold.bytes);
+    }
+  }
+  next_fire_.store(fire, std::memory_order_relaxed);
+  next_rearm_.store(rearm, std::memory_order_relaxed);
+}
+
+void BudgetMonitor::Observe(int64_t total) {
+  if (total < next_fire_.load(std::memory_order_relaxed) &&
+      total >= next_rearm_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  if (tls_in_pressure_callback) {
+    return;  // An evictor's own charges settle on its next outer charge.
+  }
+  std::vector<std::pair<PressureCallback, PressureEvent>> to_fire;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (budget_ == 0) {
+      return;
+    }
+    for (Threshold& threshold : thresholds_) {  // Ascending by fraction.
+      if (!threshold.fired && total >= threshold.bytes) {
+        threshold.fired = true;
+        PressureEvent event;
+        event.fraction = threshold.fraction;
+        event.budget = budget_;
+        event.total = total;
+        to_fire.emplace_back(threshold.callback, event);
+      } else if (threshold.fired && total < threshold.bytes) {
+        threshold.fired = false;
+      }
+    }
+    Rebuild();
+  }
+  if (!to_fire.empty()) {
+    tls_in_pressure_callback = true;
+    for (auto& [callback, event] : to_fire) {
+      if (callback) {
+        callback(event);
+      }
+    }
+    tls_in_pressure_callback = false;
+  }
+}
+
+// ---- MemoryAccountant ------------------------------------------------------
+
+MemoryAccountant::MemoryAccountant() {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  total_ = &reg.gauge("obs.mem.total_bytes");
+  peak_ = &reg.gauge("obs.mem.peak_bytes");
+}
+
+MemoryAccountant& MemoryAccountant::Instance() {
+  static MemoryAccountant* accountant = new MemoryAccountant();
+  return *accountant;
+}
+
+MemoryAccount& MemoryAccountant::LookUp(std::string_view name, bool overlay) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = accounts_.find(name);
+  if (it == accounts_.end()) {
+    it = accounts_
+             .emplace(std::string(name), std::unique_ptr<MemoryAccount>(
+                                             new MemoryAccount(std::string(name), overlay)))
+             .first;
+  }
+  return *it->second;
+}
+
+MemoryAccount& MemoryAccountant::account(std::string_view name) {
+  return LookUp(name, /*overlay=*/false);
+}
+
+MemoryAccount& MemoryAccountant::overlay(std::string_view name) {
+  return LookUp(name, /*overlay=*/true);
+}
+
+void MemoryAccountant::ResetPeaks() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, account] : accounts_) {
+    account->peak_->Set(account->current_->value());
+  }
+  peak_->Set(total_->value());
+}
+
+void MemoryAccountant::RegisterCensusSource(std::string name,
+                                            std::function<std::vector<CensusRow>()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [existing, unused] : census_) {
+    if (existing == name) {
+      return;
+    }
+  }
+  census_.emplace_back(std::move(name), std::move(fn));
+}
+
+std::vector<CensusRow> MemoryAccountant::RunCensus(size_t top_n) const {
+  std::vector<std::function<std::vector<CensusRow>()>> sources;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sources.reserve(census_.size());
+    for (const auto& [name, fn] : census_) {
+      sources.push_back(fn);
+    }
+  }
+  std::vector<CensusRow> rows;
+  for (const auto& fn : sources) {
+    std::vector<CensusRow> part = fn();
+    rows.insert(rows.end(), std::make_move_iterator(part.begin()),
+                std::make_move_iterator(part.end()));
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const CensusRow& a, const CensusRow& b) {
+    if (a.bytes != b.bytes) {
+      return a.bytes > b.bytes;
+    }
+    return a.count > b.count;
+  });
+  if (rows.size() > top_n) {
+    rows.resize(top_n);
+  }
+  return rows;
+}
+
+MemorySnapshot MemoryAccountant::SnapshotMemory(size_t census_top_n) const {
+  MemorySnapshot snap;
+  snap.budget_bytes = budget_.budget();
+  snap.total_bytes = total();
+  snap.peak_bytes = peak();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.accounts.reserve(accounts_.size());
+    for (const auto& [name, account] : accounts_) {  // Map order == sorted.
+      MemoryAccountSample sample;
+      sample.name = name;
+      sample.overlay = account->overlay();
+      sample.current_bytes = account->current();
+      sample.peak_bytes = account->peak();
+      sample.charged_bytes = account->charged();
+      snap.accounts.push_back(std::move(sample));
+    }
+  }
+  snap.census = RunCensus(census_top_n);
+  return snap;
+}
+
+// ---- Rendering -------------------------------------------------------------
+
+std::string MemoryToText(const MemorySnapshot& snap) {
+  std::string out;
+  out += "== atk memory snapshot ==\n";
+  out += "total " + std::to_string(snap.total_bytes) + " bytes, peak " +
+         std::to_string(snap.peak_bytes) + " bytes";
+  if (snap.budget_bytes > 0) {
+    out += ", budget " + std::to_string(snap.budget_bytes) + " bytes";
+  }
+  out += "\n";
+  if (!snap.accounts.empty()) {
+    out += "-- accounts (current/peak/charged bytes) --\n";
+    for (const MemoryAccountSample& account : snap.accounts) {
+      out += account.name + (account.overlay ? " (overlay) " : " ") +
+             std::to_string(account.current_bytes) + "/" +
+             std::to_string(account.peak_bytes) + "/" +
+             std::to_string(account.charged_bytes) + "\n";
+    }
+  }
+  if (!snap.census.empty()) {
+    out += "-- live objects by class --\n";
+    for (const CensusRow& row : snap.census) {
+      out += row.name + " x" + std::to_string(row.count) + " ~" +
+             std::to_string(row.bytes) + " bytes\n";
+    }
+  }
+  return out;
+}
+
+// ---- Env wiring ------------------------------------------------------------
+
+bool ParseByteSize(std::string_view text, uint64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  uint64_t multiplier = 1;
+  char last = text.back();
+  switch (std::tolower(static_cast<unsigned char>(last))) {
+    case 'k':
+      multiplier = uint64_t{1} << 10;
+      text.remove_suffix(1);
+      break;
+    case 'm':
+      multiplier = uint64_t{1} << 20;
+      text.remove_suffix(1);
+      break;
+    case 'g':
+      multiplier = uint64_t{1} << 30;
+      text.remove_suffix(1);
+      break;
+    default:
+      break;
+  }
+  if (text.empty()) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (char ch : text) {
+    if (!std::isdigit(static_cast<unsigned char>(ch))) {
+      return false;
+    }
+    value = value * 10 + static_cast<uint64_t>(ch - '0');
+  }
+  *out = value * multiplier;
+  return true;
+}
+
+namespace {
+
+std::atomic<bool (*)(const std::string&)> g_memsnapshot_writer{nullptr};
+
+// The ATK_MEM_SNAPSHOT destination, latched by MemoryInitFromEnv for the
+// atexit hook (getenv at exit is legal but the latch keeps behavior
+// identical if the environment mutates mid-run).
+std::string& SnapshotPath() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+void ExitMemSnapshot() {
+  const std::string& path = SnapshotPath();
+  if (path.empty()) {
+    return;
+  }
+  if (!WriteMemSnapshotFile(path)) {
+    std::fprintf(stderr, "atk: failed to write ATK_MEM_SNAPSHOT to %s\n", path.c_str());
+  }
+}
+
+}  // namespace
+
+void SetMemSnapshotWriter(bool (*writer)(const std::string& path)) {
+  g_memsnapshot_writer.store(writer, std::memory_order_release);
+}
+
+bool WriteMemSnapshotFile(const std::string& path) {
+  if (auto* writer = g_memsnapshot_writer.load(std::memory_order_acquire)) {
+    return writer(path);
+  }
+  // No §5 serializer linked in: fall back to the text rendering so the
+  // knob still produces something inspectable.
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  std::string text = MemoryToText(MemoryAccountant::Instance().SnapshotMemory());
+  bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void MemoryInitFromEnv() {
+  static bool applied = [] {
+    if (const char* budget = std::getenv("ATK_MEM_BUDGET")) {
+      uint64_t bytes = 0;
+      if (ParseByteSize(budget, &bytes)) {
+        MemoryAccountant::Instance().budget_monitor().SetBudget(bytes);
+      }
+    }
+    if (const char* path = std::getenv("ATK_MEM_SNAPSHOT")) {
+      if (path[0] != '\0') {
+        SnapshotPath() = path;
+        std::atexit(ExitMemSnapshot);
+      }
+    }
+    return true;
+  }();
+  (void)applied;
+}
+
+}  // namespace observability
+}  // namespace atk

@@ -1,0 +1,332 @@
+// Memory accounting spine — per-subsystem byte tracking under the metrics
+// registry (DESIGN.md §8).
+//
+// The toolkit's bytes live in pools scattered across every layer: gap
+// buffers under the text component, the datastream reader's pinned buffer
+// and unescape arena, deferred-decode capture queues and their orphaned
+// copies, Region band storage, the tracer's per-thread span rings
+// (including generations retired by SetCapacity/Clear, which are leaked on
+// purpose), and the server channels' send/retransmit queues.  Before this
+// module none of that was visible, so no eviction or budget policy could be
+// built or validated (the ROADMAP's lazy-decode item needs exactly that).
+//
+// Three primitives:
+//
+//   * MemoryAccount — one named pool.  `name` follows the metric convention
+//     as `<layer>.mem.<account>`; the account publishes three metrics in
+//     MetricsRegistry: gauge `<name>_bytes` (current), gauge
+//     `<name>_peak_bytes` (high-water mark) and counter
+//     `<name>_charged_bytes` (cumulative bytes ever charged).  Charge() is
+//     a handful of relaxed atomic ops; call sites cache the account
+//     reference exactly like they cache Counter references.
+//   * ScopedCharge — RAII charge: releases on destruction, transfers on
+//     move, and Resize() re-charges the delta when a container grows or
+//     shrinks.  The member-object pattern gives a pool owner exact
+//     charge/release pairing with no explicit destructor logic.
+//   * BudgetMonitor — ATK_MEM_BUDGET plumbing.  A budget in bytes plus
+//     registered pressure callbacks at fractional thresholds; callbacks
+//     fire in ascending threshold order when the process total crosses a
+//     threshold upward, re-arm when it falls back below.  The hot path adds
+//     two relaxed loads to Charge(); everything else happens only while a
+//     threshold is actually crossing.
+//
+// Accounts are *exclusive* by default: their bytes are owned storage and
+// roll into the process totals (`obs.mem.total_bytes` /
+// `obs.mem.peak_bytes`).  An *overlay* account tracks bytes that alias
+// storage already counted elsewhere (the deferred-decode queue holds views
+// into the reader's pinned buffer; decoded DataObject body bytes live in
+// gap buffers) — overlays publish the same three metrics but are excluded
+// from the totals, so the totals stay comparable to an external allocator
+// oracle (tested to within 10% on the 256-paragraph corpus).
+//
+// Census sources extend the accounts with a live-object census: a
+// registered source (the DataObject registry in src/base) reports
+// count/bytes rows by class, and SnapshotMemory() folds the top-N rows
+// into a MemorySnapshot.  src/observability/memsnapshot_component.h
+// serializes that snapshot as a `\begindata{memsnapshot,...}` document so
+// a heap census round-trips through the §5 reader/writer/salvager like any
+// other component.
+//
+// Like observability.h, this header depends on nothing but the standard
+// library: it sits below class_system so every layer can charge bytes
+// without a dependency cycle.
+
+#ifndef ATK_SRC_OBSERVABILITY_MEMORY_H_
+#define ATK_SRC_OBSERVABILITY_MEMORY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/observability/observability.h"
+
+namespace atk {
+namespace observability {
+
+// The process-wide accounting switch, exposed directly so Charge() inlines
+// its fast path to a relaxed load plus a branch.  On by default; the bench
+// harness flips it off to measure the accountant's own overhead (the
+// check_perf.sh accounted-vs-unaccounted gate).  Toggling while charges
+// are outstanding skews gauges until the pools turn over — flip it only
+// around paired create/destroy cycles.
+extern std::atomic<bool> g_mem_accounting;
+
+inline bool MemoryAccountingEnabled() {
+  return g_mem_accounting.load(std::memory_order_relaxed);
+}
+
+void SetMemoryAccountingEnabled(bool enabled);
+
+// ---- Accounts --------------------------------------------------------------
+
+class MemoryAccountant;
+
+// One named allocation pool.  Create through MemoryAccountant::account()
+// (exclusive) or MemoryAccountant::overlay(); the object never moves, so
+// call sites cache a reference in a function-local static.
+class MemoryAccount {
+ public:
+  const std::string& name() const { return name_; }
+  bool overlay() const { return overlay_; }
+
+  // Adjusts the pool size by `bytes` (negative to release).  Updates the
+  // current/peak gauges, the charged counter, and — for exclusive accounts
+  // — the process totals and the budget monitor.
+  void Charge(int64_t bytes);
+  void Release(int64_t bytes) { Charge(-bytes); }
+
+  int64_t current() const { return current_->value(); }
+  int64_t peak() const { return peak_->value(); }
+  uint64_t charged() const { return charged_->value(); }
+
+ private:
+  friend class MemoryAccountant;
+  MemoryAccount(std::string name, bool overlay);
+
+  std::string name_;
+  bool overlay_ = false;
+  Gauge* current_ = nullptr;   // <name>_bytes
+  Gauge* peak_ = nullptr;      // <name>_peak_bytes
+  Counter* charged_ = nullptr; // <name>_charged_bytes
+};
+
+// RAII charge against one account.  Movable (the charge transfers), not
+// copyable.  A default-constructed ScopedCharge is inert; Resize() on it is
+// a no-op, so pool owners that are themselves default-constructed (the
+// embedded-object sub-reader) stay valid.
+class ScopedCharge {
+ public:
+  ScopedCharge() = default;
+  explicit ScopedCharge(MemoryAccount& account, int64_t bytes = 0)
+      : account_(&account) {
+    Resize(bytes);
+  }
+  ~ScopedCharge() { Resize(0); }
+
+  ScopedCharge(ScopedCharge&& other) noexcept
+      : account_(other.account_), bytes_(other.bytes_) {
+    other.account_ = nullptr;
+    other.bytes_ = 0;
+  }
+  ScopedCharge& operator=(ScopedCharge&& other) noexcept {
+    if (this != &other) {
+      Resize(0);
+      account_ = other.account_;
+      bytes_ = other.bytes_;
+      other.account_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  ScopedCharge(const ScopedCharge&) = delete;
+  ScopedCharge& operator=(const ScopedCharge&) = delete;
+
+  // Re-charges so exactly `bytes` are held (the delta hits the account).
+  void Resize(int64_t bytes) {
+    if (account_ != nullptr && bytes != bytes_) {
+      account_->Charge(bytes - bytes_);
+      bytes_ = bytes;
+    }
+  }
+  void Add(int64_t bytes) { Resize(bytes_ + bytes); }
+
+  int64_t bytes() const { return bytes_; }
+  bool attached() const { return account_ != nullptr; }
+
+ private:
+  MemoryAccount* account_ = nullptr;
+  int64_t bytes_ = 0;
+};
+
+// ---- Budget ----------------------------------------------------------------
+
+struct PressureEvent {
+  double fraction = 0.0;   // The threshold that crossed (fraction of budget).
+  uint64_t budget = 0;     // Budget in bytes at firing time.
+  int64_t total = 0;       // Process total that crossed it.
+};
+
+using PressureCallback = std::function<void(const PressureEvent&)>;
+
+// Watches the exclusive-account process total against a byte budget.
+// Thresholds are fractions of the budget; each fires once per upward
+// crossing (ascending order when one charge crosses several at once) and
+// re-arms when the total falls back below it.  Callbacks run outside the
+// monitor's lock, on the charging thread; a callback that itself charges
+// or releases (an evictor) is re-entered safely (nested observation is
+// suppressed on the firing thread).
+class BudgetMonitor {
+ public:
+  // 0 disables the budget (no thresholds ever fire).
+  void SetBudget(uint64_t bytes);
+  uint64_t budget() const;
+
+  // Registers `callback` at `fraction` (clamped to (0, 8]); returns an id
+  // for RemoveCallback.  Fractions above 1 are legal (runaway alarms).
+  int AddCallback(double fraction, PressureCallback callback);
+  void RemoveCallback(int id);
+
+  // Drops every callback and the budget (test hygiene).
+  void Clear();
+
+  // Called by MemoryAccount::Charge with the new exclusive total.  The
+  // fast path is two relaxed loads.
+  void Observe(int64_t total);
+
+ private:
+  struct Threshold {
+    int id = 0;
+    double fraction = 0.0;
+    int64_t bytes = 0;
+    bool fired = false;
+    PressureCallback callback;
+  };
+
+  void Rebuild();  // Recomputes bytes/next_fire_/next_rearm_ (mu_ held).
+
+  mutable std::mutex mu_;
+  uint64_t budget_ = 0;
+  int next_id_ = 1;
+  std::vector<Threshold> thresholds_;  // Sorted by fraction ascending.
+  // Fast-path bounds: fire when total >= next_fire_, re-arm when total <
+  // next_rearm_.  INT64_MAX / INT64_MIN mean "never".
+  std::atomic<int64_t> next_fire_{INT64_MAX};
+  std::atomic<int64_t> next_rearm_{INT64_MIN};
+};
+
+// ---- Census ----------------------------------------------------------------
+
+// One census row: a class (or pool) name with live-instance count and an
+// estimated byte footprint.
+struct CensusRow {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t bytes = 0;
+};
+
+// ---- Snapshot --------------------------------------------------------------
+
+struct MemoryAccountSample {
+  std::string name;
+  bool overlay = false;
+  int64_t current_bytes = 0;
+  int64_t peak_bytes = 0;
+  uint64_t charged_bytes = 0;
+};
+
+struct MemorySnapshot {
+  uint64_t budget_bytes = 0;   // 0 = no budget.
+  int64_t total_bytes = 0;     // Exclusive accounts only.
+  int64_t peak_bytes = 0;
+  std::vector<MemoryAccountSample> accounts;  // Sorted by name.
+  std::vector<CensusRow> census;              // Top-N by bytes, descending.
+};
+
+// ---- Accountant ------------------------------------------------------------
+
+class MemoryAccountant {
+ public:
+  static MemoryAccountant& Instance();
+
+  // Looks up (creating on first use) the named account.  `name` must follow
+  // `<layer>.mem.<account>` (lower-case segments); the `_bytes` metric
+  // suffixes are appended here, never by callers.  The same name always
+  // yields the same object, and the exclusive/overlay kind is fixed by the
+  // first call.
+  MemoryAccount& account(std::string_view name);
+  MemoryAccount& overlay(std::string_view name);
+
+  // Process totals over exclusive accounts (mirrors obs.mem.total_bytes /
+  // obs.mem.peak_bytes).
+  int64_t total() const { return total_gauge().value(); }
+  int64_t peak() const { return peak_gauge().value(); }
+
+  // Lowers every peak gauge (accounts and process) to its current value —
+  // bench hygiene, so per-phase peaks are measurable.
+  void ResetPeaks();
+
+  BudgetMonitor& budget_monitor() { return budget_; }
+
+  // Registers a census source: `fn` returns live-object rows on demand
+  // (called by SnapshotMemory with no accountant locks held beyond the
+  // source list).  Registration is idempotent per name.
+  void RegisterCensusSource(std::string name, std::function<std::vector<CensusRow>()> fn);
+
+  // Runs every census source and returns the merged rows, largest byte
+  // footprint first, truncated to `top_n`.
+  std::vector<CensusRow> RunCensus(size_t top_n) const;
+
+  // Freezes accounts + budget + census into one snapshot.
+  MemorySnapshot SnapshotMemory(size_t census_top_n = 16) const;
+
+  // Internal: the shared totals, cached by MemoryAccount.
+  Gauge& total_gauge() const { return *total_; }
+  Gauge& peak_gauge() const { return *peak_; }
+
+ private:
+  MemoryAccountant();
+  MemoryAccount& LookUp(std::string_view name, bool overlay);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<MemoryAccount>, std::less<>> accounts_;
+  std::vector<std::pair<std::string, std::function<std::vector<CensusRow>()>>> census_;
+  Gauge* total_ = nullptr;  // obs.mem.total_bytes
+  Gauge* peak_ = nullptr;   // obs.mem.peak_bytes
+  BudgetMonitor budget_;
+};
+
+// Human-readable rendering of a snapshot (the ATK_MEM_BUDGET exit dump).
+std::string MemoryToText(const MemorySnapshot& snapshot);
+
+// Parses "4096", "64k", "16m", "2g" (case-insensitive, 1024 multiples).
+// Returns false on garbage.
+bool ParseByteSize(std::string_view text, uint64_t* out);
+
+// The §5 serializer lives one layer up (memsnapshot_component.cc, which
+// links the datastream); it installs itself here so the ATK_MEM_SNAPSHOT
+// exit hook can write a real memsnapshot document without this module
+// depending upward.  The writer returns false when the file could not be
+// written.
+void SetMemSnapshotWriter(bool (*writer)(const std::string& path));
+
+// Writes the current SnapshotMemory() to `path` through the installed
+// writer; falls back to MemoryToText when none is installed.  Returns
+// false on failure.
+bool WriteMemSnapshotFile(const std::string& path);
+
+// Reads the environment once and applies it (idempotent; called from
+// observability::InitFromEnv):
+//   ATK_MEM_BUDGET=N[k|m|g]   byte budget for the BudgetMonitor;
+//   ATK_MEM_SNAPSHOT=path     write a memsnapshot document at process exit.
+void MemoryInitFromEnv();
+
+}  // namespace observability
+}  // namespace atk
+
+#endif  // ATK_SRC_OBSERVABILITY_MEMORY_H_

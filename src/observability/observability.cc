@@ -1,6 +1,8 @@
 #include "src/observability/observability.h"
 
 #include <algorithm>
+
+#include "src/observability/memory.h"
 #include <bit>
 #include <chrono>
 #include <cstdio>
@@ -201,10 +203,20 @@ Tracer::ThreadRing* Tracer::CurrentRing() {
     return tls_ring;
   }
   std::lock_guard<std::mutex> lock(mu_);
+  // Ring storage is charged to the accountant and never released: rings_
+  // leaks every ring (and every retired generation's re-sized storage stays
+  // with its owner thread), so the bytes those design choices retain are
+  // visible instead of invisible.
+  static MemoryAccount& ring_mem =
+      MemoryAccountant::Instance().account("obs.mem.trace_ring");
   if (tls_ring == nullptr) {
     tls_ring = new ThreadRing(capacity_);
     rings_.push_back(tls_ring);
+    ring_mem.Charge(static_cast<int64_t>(sizeof(ThreadRing) +
+                                         capacity_ * sizeof(SpanRecord)));
   } else if (tls_ring->slots.size() != capacity_) {
+    ring_mem.Charge(static_cast<int64_t>(capacity_ * sizeof(SpanRecord)) -
+                    static_cast<int64_t>(tls_ring->slots.size() * sizeof(SpanRecord)));
     tls_ring->slots.assign(capacity_, SpanRecord{});
   }
   tls_ring->count.store(0, std::memory_order_relaxed);
@@ -529,6 +541,7 @@ void InitFromEnv() {
         std::atexit(ExitDump);
       }
     }
+    MemoryInitFromEnv();
     return true;
   }();
   (void)applied;

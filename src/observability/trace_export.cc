@@ -168,6 +168,20 @@ std::string TraceExport::ToPerfettoJson(const TraceSnapshot& snap) {
     out += ",\"ph\":\"C\",\"ts\":" + final_ts + ",\"pid\":1,\"args\":{\"value\":" +
            std::to_string(counter.value) + "}}";
   }
+  // Byte gauges (the memory-accounting spine's `*_bytes` family) become
+  // counter tracks, so a trace shows pool sizes alongside the spans that
+  // grew them.  Non-byte gauges stay out: point-in-time booleans and ids
+  // draw as meaningless sawtooths.
+  for (const GaugeSample& gauge : snap.gauges) {
+    if (!gauge.name.ends_with("_bytes")) {
+      continue;
+    }
+    comma();
+    out += "{\"name\":";
+    AppendJsonString(out, gauge.name);
+    out += ",\"ph\":\"C\",\"ts\":" + final_ts + ",\"pid\":1,\"args\":{\"bytes\":" +
+           std::to_string(gauge.value) + "}}";
+  }
   for (const HistogramSample& histo : snap.histograms) {
     comma();
     out += "{\"name\":";

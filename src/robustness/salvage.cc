@@ -201,7 +201,7 @@ void SalvageReport::PublishMetrics() const {
       MetricsRegistry::Instance().counter("salvage.subtree.quarantined");
   static Counter& closed = MetricsRegistry::Instance().counter("salvage.marker.closed");
   static Counter& escaped = MetricsRegistry::Instance().counter("salvage.backslash.escaped");
-  static Counter& bytes = MetricsRegistry::Instance().counter("salvage.bytes.quarantined");
+  static Counter& bytes = MetricsRegistry::Instance().counter("salvage.quarantine.dropped_bytes");
   static Counter& roots = MetricsRegistry::Instance().counter("salvage.root.synthesized");
   static Counter& resynced = MetricsRegistry::Instance().counter("salvage.stream.resynced");
   runs.Add(1);

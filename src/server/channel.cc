@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/observability/memory.h"
 #include "src/observability/observability.h"
 
 namespace atk {
@@ -10,6 +11,20 @@ namespace {
 
 using observability::Counter;
 using observability::MetricsRegistry;
+
+observability::MemoryAccount& ChannelMemAccount() {
+  static observability::MemoryAccount& account =
+      observability::MemoryAccountant::Instance().account("server.mem.channel");
+  return account;
+}
+
+// Footprint of one queued frame: the struct plus its owned payload.  size()
+// rather than capacity() so the figure survives the backlog -> in_flight_
+// move (size is move-invariant, capacity is not), keeping charge/release
+// pairing exact.
+int64_t QueuedFrameBytes(const Frame& frame) {
+  return static_cast<int64_t>(sizeof(Frame) + frame.payload.size());
+}
 
 uint64_t BackoffTicks(const Channel::Config& config, int retries) {
   uint64_t ticks = config.retransmit_base_ticks;
@@ -29,7 +44,8 @@ Channel::Channel(SimulatedLink* link, LinkDir send_dir)
 constexpr size_t kPreattachHoldCap = 32;
 
 Channel::Channel(SimulatedLink* link, LinkDir send_dir, Config config)
-    : link_(link), send_dir_(send_dir), config_(config) {}
+    : link_(link), send_dir_(send_dir), config_(config),
+      queue_mem_(ChannelMemAccount()) {}
 
 void Channel::set_session(uint32_t session) {
   session_ = session;
@@ -60,6 +76,7 @@ void Channel::Transmit(const Frame& frame, uint64_t now) {
 void Channel::SendReliable(Frame frame, uint64_t now) {
   frame.session = session_;
   frame.seq = next_seq_++;
+  queue_mem_.Add(QueuedFrameBytes(frame));
   backlog_.push_back(std::move(frame));
   FillWindow(now);
 }
@@ -97,6 +114,7 @@ void Channel::ProcessAck(uint64_t ack, uint64_t now) {
         srtt_x8_ += sample - (srtt_x8_ >> 3);
       }
     }
+    queue_mem_.Add(-QueuedFrameBytes(entry.frame));
     in_flight_.pop_front();
     ++stats_.acked;
   }
@@ -229,6 +247,7 @@ void Channel::Reset(uint32_t session) {
   session_ = session;
   next_seq_ = 1;
   last_in_ = 0;
+  queue_mem_.Resize(0);
   in_flight_.clear();
   backlog_.clear();
   preattach_hold_.clear();

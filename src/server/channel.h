@@ -26,6 +26,7 @@
 #include <deque>
 #include <vector>
 
+#include "src/observability/memory.h"
 #include "src/server/frame.h"
 #include "src/server/transport_sim.h"
 
@@ -131,6 +132,10 @@ class Channel {
   bool broken_ = false;
   bool ack_owed_ = false;
   Stats stats_;
+  // Bytes held by the send/retransmit queues (in_flight_ + backlog_),
+  // charged to `server.mem.channel`: frames charge on SendReliable, release
+  // when acked or on Reset.  Moving between the queues is charge-neutral.
+  observability::ScopedCharge queue_mem_;
 };
 
 }  // namespace server

@@ -24,6 +24,7 @@
 #include "src/components/text/text_data.h"
 #include "src/datastream/baseline_reader.h"
 #include "src/datastream/reader.h"
+#include "src/observability/memory.h"
 #include "src/robustness/salvage.h"
 #include "src/workload/corruption.h"
 #include "src/workload/workload.h"
@@ -251,6 +252,38 @@ TEST_F(DatastreamDifferential, OrphanedCaptureIsCopiedWhenOwnerDiesBeforeDrain) 
 
   ctx.DrainDeferred();
   EXPECT_TRUE(ctx.ok()) << (ctx.errors().empty() ? "" : ctx.errors().front());
+}
+
+TEST_F(DatastreamDifferential, OrphanedCaptureBytesReleaseWhenContextDies) {
+  // The orphan-copy arena CancelDeferred builds is charged to
+  // `datastream.mem.orphan` while the context holds it, and released when
+  // the context dies without draining — the leak-shaped path.  Regression:
+  // the arena used to be invisible to the accountant, so a pile-up of
+  // cancelled captures in a long-lived context could not be seen or
+  // budgeted.
+  observability::MemoryAccount& orphan =
+      observability::MemoryAccountant::Instance().account("datastream.mem.orphan");
+  const int64_t base = orphan.current();
+
+  std::string transient = "orphaned child body\n\\enddata{text,9}\n";
+  {
+    ReadContext ctx;
+    ctx.EnableDeferredDecode(2);
+    {
+      std::unique_ptr<DataObject> victim =
+          ObjectCast<DataObject>(Loader::Instance().NewObject("text"));
+      ASSERT_NE(victim, nullptr);
+      DataStreamReader::RawCapture capture;
+      capture.with_end = transient;
+      capture.body = std::string_view(transient).substr(0, transient.find("\\enddata"));
+      capture.complete = true;
+      ctx.QueueDeferred(victim.get(), "text", 9, capture);
+      // CancelDeferred copies the capture into the context's orphan arena...
+    }
+    EXPECT_GE(orphan.current(), base + static_cast<int64_t>(transient.size()));
+    // ...and the undrained context dying must hand every byte back.
+  }
+  EXPECT_EQ(orphan.current(), base);
 }
 
 }  // namespace

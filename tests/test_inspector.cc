@@ -24,6 +24,8 @@
 #include "src/components/text/text_data.h"
 #include "src/components/text/text_view.h"
 #include "src/observability/inspector/inspector.h"
+#include "src/observability/inspector/inspector_views.h"
+#include "src/observability/memory.h"
 #include "src/observability/observability.h"
 #include "src/observability/trace_component.h"
 #include "src/wm/window_system.h"
@@ -479,6 +481,126 @@ TEST(Inspector, ReconnectStormMergesExposeWithPendingDamage) {
   EXPECT_TRUE(im->inspector_open()) << "the inspector must ride out the storm";
 
   im->CloseInspector();
+  im->SetChild(nullptr);
+}
+
+TEST(Inspector, MemoryPanelTableChartAndTotals) {
+  // The memory panel derives purely from the accountant: accounts first
+  // (name, current, peak — overlays labeled), census rows behind them
+  // ("live <class>": bytes, count), and the chart clipped to the accounts.
+  observability::MemoryAccountant& accountant =
+      observability::MemoryAccountant::Instance();
+  observability::ScopedCharge charge(accountant.account("test.mem.panel"), 8192);
+  observability::ScopedCharge shadow(accountant.overlay("test.mem.panelshadow"), 512);
+
+  InspectorData data;
+  data.Refresh();
+  TableData* table = data.memory_table();
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->cols(), 3);
+  ASSERT_GT(data.memory_row_count(), 0);
+  ASSERT_LE(data.memory_row_count(), table->rows());
+
+  bool found_account = false;
+  bool found_overlay = false;
+  for (int r = 0; r < data.memory_row_count(); ++r) {
+    if (table->at(r, 0).text == "test.mem.panel") {
+      found_account = true;
+      EXPECT_EQ(table->Value(r, 1), 8192.0);
+      EXPECT_GE(table->Value(r, 2), 8192.0);  // peak
+    } else if (table->at(r, 0).text == "test.mem.panelshadow (overlay)") {
+      found_overlay = true;
+      EXPECT_EQ(table->Value(r, 1), 512.0);
+    }
+  }
+  EXPECT_TRUE(found_account);
+  EXPECT_TRUE(found_overlay);
+
+  // Totals mirror the accountant: exclusive charge counted, overlay not.
+  EXPECT_EQ(data.memory_total_bytes(), accountant.total());
+  EXPECT_GE(data.memory_peak_bytes(), data.memory_total_bytes());
+
+  // The chart is the §2 observer chain over the same table, clipped to the
+  // account rows (census rows chart in different units and stay out).
+  ChartData* chart = data.memory_chart();
+  ASSERT_NE(chart, nullptr);
+  EXPECT_EQ(chart->source(), table);
+  EXPECT_FALSE(chart->Series().empty());
+  EXPECT_LE(chart->Series().size(), static_cast<size_t>(data.memory_row_count()));
+
+  // Releasing the charge shows up on the next refresh.
+  charge.Resize(0);
+  data.Refresh();
+  for (int r = 0; r < data.memory_row_count(); ++r) {
+    if (data.memory_table()->at(r, 0).text == "test.mem.panel") {
+      EXPECT_EQ(data.memory_table()->Value(r, 1), 0.0);
+    }
+  }
+}
+
+TEST(Inspector, MemoryPanelViewLifecycle) {
+  // The live panel inside an open inspector window: demand-loaded with the
+  // module, bound to the shared InspectorData, children materialized on the
+  // first paint, and torn down cleanly with the window.
+  RegisterStandardModules();
+  std::unique_ptr<WindowSystem> ws = WindowSystem::Open("itc");
+  auto im = InteractionManager::Create(*ws, 360, 280, "host");
+  View child;
+  im->SetChild(&child);
+  im->RunOnce();
+
+  ASSERT_TRUE(im->OpenInspector());
+  InspectorData* data = GetInspectorData(im->inspector());
+  ASSERT_NE(data, nullptr);
+  data->SetRefreshPeriodNs(0);
+  im->RunOnce();
+
+  // Find the panel under the inspector window's root view.
+  MemoryPanelView* panel = nullptr;
+  std::vector<View*> stack = {im->inspector()->child()};
+  while (!stack.empty() && panel == nullptr) {
+    View* view = stack.back();
+    stack.pop_back();
+    if (view == nullptr) {
+      continue;
+    }
+    panel = ObjectCast<MemoryPanelView>(view);
+    for (View* grandchild : view->children()) {
+      stack.push_back(grandchild);
+    }
+  }
+  ASSERT_NE(panel, nullptr) << "inspector window lost its memory panel";
+  EXPECT_EQ(panel->inspector(), data);
+
+  // The first paint materialized the table/chart children over the shared
+  // InspectorData tables.
+  ASSERT_NE(panel->table_view(), nullptr);
+  ASSERT_NE(panel->chart_view(), nullptr);
+  EXPECT_EQ(panel->table_view()->data_object(), data->memory_table());
+  EXPECT_EQ(panel->chart_view()->data_object(), data->memory_chart());
+
+  // A charge landing between host cycles flows through refresh into the
+  // panel's table on the next cycle.
+  observability::MemoryAccountant& accountant =
+      observability::MemoryAccountant::Instance();
+  {
+    observability::ScopedCharge charge(accountant.account("test.mem.lifecycle"), 4096);
+    im->RunOnce();
+    bool found = false;
+    TableData* table = data->memory_table();
+    for (int r = 0; r < data->memory_row_count(); ++r) {
+      if (table->at(r, 0).text == "test.mem.lifecycle") {
+        found = true;
+        EXPECT_EQ(table->Value(r, 1), 4096.0);
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+
+  // Close tears the window (and panel) down; the host keeps painting.
+  im->CloseInspector();
+  im->RunOnce();
+  EXPECT_FALSE(im->inspector_open());
   im->SetChild(nullptr);
 }
 

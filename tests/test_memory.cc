@@ -1,0 +1,452 @@
+// The memory accounting spine (DESIGN.md §8): accounts and ScopedCharge
+// pairing, budget/pressure plumbing, the `memsnapshot` §5 component, and
+// the allocator oracle that keeps the internal totals honest.
+//
+// This binary replaces global operator new/delete with a live-byte counter
+// (a size header in front of every allocation) so the oracle test can
+// compare the accountant's exclusive totals against what the allocator
+// actually handed out — no platform mallinfo needed, and it works under
+// ASan too.  The counter is a pair of relaxed atomics, cheap enough to
+// leave on for every test in the binary.
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/standard_modules.h"
+#include "src/base/data_object.h"
+#include "src/class_system/loader.h"
+#include "src/components/text/text_data.h"
+#include "src/observability/memory.h"
+#include "src/observability/memsnapshot_component.h"
+#include "src/robustness/salvage.h"
+#include "src/workload/workload.h"
+
+namespace {
+
+std::atomic<int64_t> g_allocator_live_bytes{0};
+
+// Size header big enough to keep malloc's max_align_t guarantee.
+constexpr size_t kOracleHeader = 16;
+static_assert(kOracleHeader >= sizeof(size_t));
+static_assert(kOracleHeader % alignof(std::max_align_t) == 0);
+
+void* OracleAlloc(size_t size) {
+  void* raw = std::malloc(size + kOracleHeader);
+  if (raw == nullptr) {
+    return nullptr;
+  }
+  *static_cast<size_t*>(raw) = size;
+  g_allocator_live_bytes.fetch_add(static_cast<int64_t>(size),
+                                   std::memory_order_relaxed);
+  return static_cast<char*>(raw) + kOracleHeader;
+}
+
+void OracleFree(void* ptr) {
+  if (ptr == nullptr) {
+    return;
+  }
+  void* raw = static_cast<char*>(ptr) - kOracleHeader;
+  g_allocator_live_bytes.fetch_sub(static_cast<int64_t>(*static_cast<size_t*>(raw)),
+                                   std::memory_order_relaxed);
+  std::free(raw);
+}
+
+}  // namespace
+
+// Over-aligned types fall through to the C++17 aligned overloads (not
+// replaced here) — new and delete stay paired per overload set, so the
+// counter never sees a half of an allocation.
+void* operator new(std::size_t size) {
+  void* ptr = OracleAlloc(size);
+  if (ptr == nullptr) {
+    throw std::bad_alloc();
+  }
+  return ptr;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return OracleAlloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return OracleAlloc(size);
+}
+void operator delete(void* ptr) noexcept { OracleFree(ptr); }
+void operator delete[](void* ptr) noexcept { OracleFree(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { OracleFree(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { OracleFree(ptr); }
+void operator delete(void* ptr, const std::nothrow_t&) noexcept { OracleFree(ptr); }
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept { OracleFree(ptr); }
+
+namespace atk {
+namespace {
+
+using observability::BudgetMonitor;
+using observability::CensusRow;
+using observability::MemoryAccount;
+using observability::MemoryAccountant;
+using observability::MemoryAccountSample;
+using observability::MemorySnapshot;
+using observability::ParseByteSize;
+using observability::PressureEvent;
+using observability::ScopedCharge;
+
+TEST(Memory, ScopedChargePairsResizesAndMoves) {
+  MemoryAccountant& accountant = MemoryAccountant::Instance();
+  MemoryAccount& account = accountant.account("test.mem.pairing");
+  const int64_t base = account.current();
+  const int64_t total_base = accountant.total();
+  {
+    ScopedCharge charge(account, 1000);
+    EXPECT_EQ(account.current(), base + 1000);
+    EXPECT_EQ(accountant.total(), total_base + 1000);
+    charge.Resize(400);
+    EXPECT_EQ(account.current(), base + 400);
+    charge.Add(100);
+    EXPECT_EQ(charge.bytes(), 500);
+    // The charge transfers on move: one release, not two.
+    ScopedCharge stolen(std::move(charge));
+    EXPECT_FALSE(charge.attached());
+    EXPECT_TRUE(stolen.attached());
+    EXPECT_EQ(account.current(), base + 500);
+  }
+  EXPECT_EQ(account.current(), base);
+  EXPECT_EQ(accountant.total(), total_base);
+  EXPECT_GE(account.peak(), base + 1000);
+  // A default-constructed charge is inert everywhere.
+  ScopedCharge inert;
+  inert.Resize(1 << 20);
+  EXPECT_EQ(accountant.total(), total_base);
+}
+
+TEST(Memory, OverlayAccountsStayOutOfProcessTotals) {
+  MemoryAccountant& accountant = MemoryAccountant::Instance();
+  MemoryAccount& overlay = accountant.overlay("test.mem.shadow");
+  EXPECT_TRUE(overlay.overlay());
+  const int64_t total_before = accountant.total();
+  const int64_t overlay_before = overlay.current();
+  {
+    ScopedCharge charge(overlay, 4096);
+    EXPECT_EQ(overlay.current(), overlay_before + 4096);
+    EXPECT_EQ(accountant.total(), total_before);
+  }
+  EXPECT_EQ(overlay.current(), overlay_before);
+  // The kind is fixed by the first lookup; both accessors return the same
+  // object afterwards.
+  EXPECT_EQ(&accountant.account("test.mem.shadow"), &overlay);
+}
+
+TEST(Memory, ParseByteSizeGrammar) {
+  uint64_t bytes = 0;
+  EXPECT_TRUE(ParseByteSize("4096", &bytes));
+  EXPECT_EQ(bytes, 4096u);
+  EXPECT_TRUE(ParseByteSize("64k", &bytes));
+  EXPECT_EQ(bytes, 64u * 1024);
+  EXPECT_TRUE(ParseByteSize("16M", &bytes));
+  EXPECT_EQ(bytes, 16u * 1024 * 1024);
+  EXPECT_TRUE(ParseByteSize("2g", &bytes));
+  EXPECT_EQ(bytes, 2ull * 1024 * 1024 * 1024);
+  EXPECT_FALSE(ParseByteSize("", &bytes));
+  EXPECT_FALSE(ParseByteSize("k", &bytes));
+  EXPECT_FALSE(ParseByteSize("12q", &bytes));
+  EXPECT_FALSE(ParseByteSize("-3", &bytes));
+  EXPECT_FALSE(ParseByteSize("1.5m", &bytes));
+}
+
+TEST(Memory, BudgetCallbacksFireAscendingAndRearm) {
+  MemoryAccountant& accountant = MemoryAccountant::Instance();
+  BudgetMonitor& monitor = accountant.budget_monitor();
+  monitor.Clear();
+  // Anchor the budget to the current total so the test is immune to pools
+  // other tests left charged.
+  const int64_t base = accountant.total();
+  monitor.SetBudget(static_cast<uint64_t>(base) + 10000);
+
+  std::vector<double> fired;
+  monitor.AddCallback(0.8, [&](const PressureEvent& event) {
+    fired.push_back(event.fraction);
+    EXPECT_EQ(event.budget, static_cast<uint64_t>(base) + 10000);
+    EXPECT_GE(event.total, base + 8000);
+  });
+  monitor.AddCallback(0.5, [&](const PressureEvent& event) {
+    fired.push_back(event.fraction);
+  });
+
+  MemoryAccount& account = accountant.account("test.mem.budget");
+  ScopedCharge charge(account);
+
+  // One charge crossing both thresholds fires both, ascending.
+  charge.Resize(9000);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], 0.5);
+  EXPECT_EQ(fired[1], 0.8);
+
+  // Staying above fires nothing more; dipping between re-arms only 0.8.
+  charge.Resize(9500);
+  EXPECT_EQ(fired.size(), 2u);
+  charge.Resize(6000);
+  charge.Resize(9000);
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[2], 0.8);
+
+  // Falling below everything re-arms both.
+  charge.Resize(0);
+  charge.Resize(9000);
+  ASSERT_EQ(fired.size(), 5u);
+  EXPECT_EQ(fired[3], 0.5);
+  EXPECT_EQ(fired[4], 0.8);
+
+  charge.Resize(0);
+  monitor.Clear();
+  EXPECT_EQ(monitor.budget(), 0u);
+}
+
+TEST(Memory, BudgetCallbackMayChargeWithoutRecursing) {
+  // An evictor that releases (or even charges) from inside the pressure
+  // callback must not re-enter itself on its own thread.
+  MemoryAccountant& accountant = MemoryAccountant::Instance();
+  BudgetMonitor& monitor = accountant.budget_monitor();
+  monitor.Clear();
+  const int64_t base = accountant.total();
+  monitor.SetBudget(static_cast<uint64_t>(base) + 1000);
+
+  MemoryAccount& account = accountant.account("test.mem.evictor");
+  int fires = 0;
+  monitor.AddCallback(1.0, [&](const PressureEvent&) {
+    ++fires;
+    // Nested charge crosses the threshold again; the guard suppresses it.
+    account.Charge(500);
+    account.Release(500);
+  });
+  {
+    ScopedCharge charge(account, 2000);
+    EXPECT_EQ(fires, 1);
+  }
+  monitor.Clear();
+}
+
+MemorySnapshot MakeSampleSnapshot() {
+  MemorySnapshot snapshot;
+  snapshot.budget_bytes = 1 << 20;
+  snapshot.total_bytes = 123456;
+  snapshot.peak_bytes = 234567;
+  MemoryAccountSample text;
+  text.name = "text.mem.gapbuffer";
+  text.current_bytes = 65536;
+  text.peak_bytes = 131072;
+  text.charged_bytes = 999999;
+  MemoryAccountSample shadow;
+  shadow.name = "base.mem.dataobject";
+  shadow.overlay = true;
+  shadow.current_bytes = 4096;
+  shadow.peak_bytes = 8192;
+  shadow.charged_bytes = 55555;
+  snapshot.accounts = {text, shadow};
+  snapshot.census = {{"textdata", 12, 61440}, {"tabledata", 3, 9000}};
+  return snapshot;
+}
+
+void ExpectSnapshotsEqual(const MemorySnapshot& back, const MemorySnapshot& original) {
+  EXPECT_EQ(back.budget_bytes, original.budget_bytes);
+  EXPECT_EQ(back.total_bytes, original.total_bytes);
+  EXPECT_EQ(back.peak_bytes, original.peak_bytes);
+  ASSERT_EQ(back.accounts.size(), original.accounts.size());
+  for (size_t i = 0; i < original.accounts.size(); ++i) {
+    EXPECT_EQ(back.accounts[i].name, original.accounts[i].name);
+    EXPECT_EQ(back.accounts[i].overlay, original.accounts[i].overlay);
+    EXPECT_EQ(back.accounts[i].current_bytes, original.accounts[i].current_bytes);
+    EXPECT_EQ(back.accounts[i].peak_bytes, original.accounts[i].peak_bytes);
+    EXPECT_EQ(back.accounts[i].charged_bytes, original.accounts[i].charged_bytes);
+  }
+  ASSERT_EQ(back.census.size(), original.census.size());
+  for (size_t i = 0; i < original.census.size(); ++i) {
+    EXPECT_EQ(back.census[i].name, original.census[i].name);
+    EXPECT_EQ(back.census[i].count, original.census[i].count);
+    EXPECT_EQ(back.census[i].bytes, original.census[i].bytes);
+  }
+}
+
+TEST(Memory, MemSnapshotRoundTripsThroughDatastream) {
+  MemorySnapshot original = MakeSampleSnapshot();
+  std::string serialized = observability::MemSnapshotToDatastream(original);
+  EXPECT_NE(serialized.find("\\begindata{memsnapshot,"), std::string::npos);
+  EXPECT_NE(serialized.find("\\memmeta{"), std::string::npos);
+  EXPECT_NE(serialized.find("\\account{"), std::string::npos);
+  EXPECT_NE(serialized.find("\\census{"), std::string::npos);
+
+  MemorySnapshot back;
+  Status status = observability::MemSnapshotFromDatastream(serialized, &back);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ExpectSnapshotsEqual(back, original);
+
+  // A healthy census document passes through the salvager untouched.
+  SalvageReport report;
+  std::string salvaged = DataStreamSalvager().Salvage(serialized, &report);
+  EXPECT_TRUE(report.clean);
+  EXPECT_EQ(salvaged, serialized);
+}
+
+TEST(Memory, LiveSnapshotRoundTripsWithCensus) {
+  // The real accountant's snapshot (with the DataObject census hooked up)
+  // survives the same round trip.  The census counts *decoded* objects, so
+  // a document held alive across the snapshot guarantees at least one row.
+  RegisterStandardModules();
+  Loader::Instance().Require("text");
+  auto source = ObjectCast<TextData>(Loader::Instance().NewObject("text"));
+  ASSERT_NE(source, nullptr);
+  source->SetText("census bait\n");
+  std::unique_ptr<DataObject> doc = ReadDocument(WriteDocument(*source));
+  ASSERT_NE(doc, nullptr);
+
+  MemorySnapshot live = MemoryAccountant::Instance().SnapshotMemory();
+  EXPECT_FALSE(live.accounts.empty());
+  EXPECT_FALSE(live.census.empty());
+
+  MemorySnapshot back;
+  Status status = observability::MemSnapshotFromDatastream(
+      observability::MemSnapshotToDatastream(live), &back);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ExpectSnapshotsEqual(back, live);
+}
+
+TEST(Memory, CorruptedCensusDocumentSalvages) {
+  MemorySnapshot original = MakeSampleSnapshot();
+  std::string serialized = observability::MemSnapshotToDatastream(original);
+
+  // Knock the closing brace off one \census directive: damaged through the
+  // end of the line.  The raw document no longer parses; the salvager
+  // quarantines the damaged directive and the repaired document does,
+  // losing only that row.
+  size_t census = serialized.find("\\census{");
+  ASSERT_NE(census, std::string::npos);
+  size_t brace = serialized.find('}', census);
+  ASSERT_NE(brace, std::string::npos);
+  serialized.erase(brace, 1);
+
+  MemorySnapshot direct;
+  EXPECT_FALSE(observability::MemSnapshotFromDatastream(serialized, &direct).ok());
+
+  SalvageReport report;
+  std::string salvaged = DataStreamSalvager().Salvage(serialized, &report);
+  EXPECT_FALSE(report.clean);
+  MemorySnapshot back;
+  Status status = observability::MemSnapshotFromDatastream(salvaged, &back);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(back.total_bytes, original.total_bytes);
+  ASSERT_EQ(back.accounts.size(), original.accounts.size());
+  EXPECT_LT(back.census.size(), original.census.size());
+}
+
+TEST(Memory, TruncatedCensusDocumentSalvages) {
+  MemorySnapshot original = MakeSampleSnapshot();
+  std::string serialized = observability::MemSnapshotToDatastream(original);
+
+  // Cut the document mid-census (no \enddata).  Direct parse reports
+  // Truncated; the salvager closes the open marker.
+  size_t census = serialized.rfind("\\census{");
+  ASSERT_NE(census, std::string::npos);
+  serialized.resize(census);
+
+  MemorySnapshot direct;
+  EXPECT_EQ(observability::MemSnapshotFromDatastream(serialized, &direct).code(),
+            StatusCode::kTruncated);
+
+  SalvageReport report;
+  std::string salvaged = DataStreamSalvager().Salvage(serialized, &report);
+  EXPECT_FALSE(report.clean);
+  EXPECT_GT(report.markers_closed, 0);
+  MemorySnapshot back;
+  Status status = observability::MemSnapshotFromDatastream(salvaged, &back);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(back.accounts.size(), original.accounts.size());
+  EXPECT_EQ(back.census.size(), original.census.size() - 1);
+}
+
+TEST(Memory, AccountantAgreesWithAllocatorOracle) {
+  // The acceptance oracle: decode the 256-paragraph corpus and compare the
+  // accountant's exclusive-total growth against the allocator's live-byte
+  // growth over the same window.  The corpus is text-dominant, so nearly
+  // every live byte is gap-buffer backing storage the accountant charges;
+  // std::string/map bookkeeping the accountant deliberately ignores is the
+  // tolerated remainder (10%).
+  RegisterStandardModules();
+  Loader::Instance().Require("text");
+  MemoryAccountant& accountant = MemoryAccountant::Instance();
+  WorkloadRng rng(1988);
+  std::string serialized;
+  {
+    std::unique_ptr<TextData> generated = GenerateDocument(rng, 256, 80);
+    ASSERT_NE(generated, nullptr);
+    serialized = WriteDocument(*generated);
+  }
+  // Warm decode: faults in lazy statics (metrics, class registrations,
+  // thread-local scratch) so the measured window sees only document bytes.
+  { std::unique_ptr<DataObject> warm = ReadDocument(serialized); }
+
+  const int64_t oracle_before = g_allocator_live_bytes.load(std::memory_order_relaxed);
+  const int64_t accountant_before = accountant.total();
+  std::unique_ptr<DataObject> decoded = ReadDocument(serialized);
+  ASSERT_NE(decoded, nullptr);
+  const int64_t oracle_delta =
+      g_allocator_live_bytes.load(std::memory_order_relaxed) - oracle_before;
+  const int64_t accountant_delta = accountant.total() - accountant_before;
+
+  ASSERT_GT(oracle_delta, 0);
+  ASSERT_GT(accountant_delta, 0);
+  const double ratio =
+      static_cast<double>(accountant_delta) / static_cast<double>(oracle_delta);
+  EXPECT_GE(ratio, 0.9) << "accountant " << accountant_delta << " vs oracle "
+                        << oracle_delta;
+  EXPECT_LE(ratio, 1.1) << "accountant " << accountant_delta << " vs oracle "
+                        << oracle_delta;
+
+  // And the pairing holds: dropping the document returns the accountant to
+  // its pre-decode level exactly.
+  decoded.reset();
+  EXPECT_EQ(accountant.total(), accountant_before);
+}
+
+TEST(Memory, ConcurrentChargeReleaseProber) {
+  // TSan bait: four charging threads against one account while a prober
+  // thread snapshots, runs the census, and renders text.  The invariant is
+  // only checked after the join — during the run the point is the absence
+  // of data races, not any particular interleaving.
+  MemoryAccountant& accountant = MemoryAccountant::Instance();
+  MemoryAccount& account = accountant.account("test.mem.prober");
+  const int64_t base = account.current();
+
+  std::atomic<bool> stop{false};
+  std::thread prober([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      MemorySnapshot snapshot = accountant.SnapshotMemory(4);
+      std::string text = observability::MemoryToText(snapshot);
+      ASSERT_FALSE(text.empty());
+    }
+  });
+
+  std::vector<std::thread> chargers;
+  for (int t = 0; t < 4; ++t) {
+    chargers.emplace_back([&account] {
+      for (int i = 0; i < 20000; ++i) {
+        ScopedCharge charge(account, 64 + (i & 1023));
+        charge.Resize(32);
+      }
+    });
+  }
+  for (std::thread& thread : chargers) {
+    thread.join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  prober.join();
+
+  EXPECT_EQ(account.current(), base);
+  EXPECT_GE(account.peak(), base + 64);
+}
+
+}  // namespace
+}  // namespace atk

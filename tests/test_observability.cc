@@ -426,7 +426,7 @@ TEST(Observability, SalvageReportMetricsEquivalence) {
             static_cast<uint64_t>(report.markers_closed));
   EXPECT_EQ(registry.counter("salvage.backslash.escaped").value(),
             static_cast<uint64_t>(report.backslashes_escaped));
-  EXPECT_EQ(registry.counter("salvage.bytes.quarantined").value(), report.bytes_quarantined);
+  EXPECT_EQ(registry.counter("salvage.quarantine.dropped_bytes").value(), report.bytes_quarantined);
   EXPECT_EQ(registry.counter("salvage.root.synthesized").value(),
             report.root_synthesized ? 1u : 0u);
   EXPECT_EQ(registry.counter("salvage.stream.resynced").value(),
@@ -547,7 +547,16 @@ TEST(Observability, PerfettoExportIsValidTraceEventJson) {
     }
   }
   EXPECT_EQ(complete, snap.spans.size());
-  EXPECT_EQ(counter_events, snap.counters.size() + snap.histograms.size());
+  // Byte-valued gauges (the `_bytes` suffix, PR 9's memory accounts) ride
+  // along as Perfetto counter tracks; other gauges stay snapshot-only.
+  size_t byte_gauges = 0;
+  for (const auto& gauge : snap.gauges) {
+    if (gauge.name.ends_with("_bytes")) {
+      ++byte_gauges;
+    }
+  }
+  EXPECT_EQ(counter_events,
+            snap.counters.size() + snap.histograms.size() + byte_gauges);
   EXPECT_GE(metadata, 2u) << "process_name plus at least one thread_name";
   EXPECT_TRUE(saw_demo_counter);
   // Timestamps are rebased so the earliest span starts at zero.
@@ -816,19 +825,50 @@ TEST(Observability, MetricNamingConvention) {
     };
     return !ends_with("_ns") && !ends_with("_ms");
   };
+  // Byte-valued metrics use exactly one unit and one spelling: a `_bytes`
+  // suffix (PR 9's memory accounts set the shape: text.mem.gapbuffer_bytes,
+  // obs.mem.total_bytes).  Scaled units (`_kb`, `_mb`, ...) and vague
+  // suffixes (`_mem`) are rejected outright, and any name that talks about
+  // bytes or lives in a `.mem.` namespace must end with `_bytes` — a bare
+  // `.bytes` segment (the pre-PR-9 datastream.reader.bytes) hides the unit
+  // from the suffix rule that every dashboard keys on.
+  auto byte_unit_consistent = [](const std::string& name) {
+    auto ends_with = [&name](std::string_view suffix) {
+      return name.size() >= suffix.size() &&
+             std::string_view(name).substr(name.size() - suffix.size()) == suffix;
+    };
+    if (ends_with("_kb") || ends_with("_mb") || ends_with("_gb") ||
+        ends_with("_kib") || ends_with("_mib") || ends_with("_mem")) {
+      return false;
+    }
+    bool byte_valued = name.find("bytes") != std::string::npos ||
+                       name.find(".mem.") != std::string::npos;
+    return !byte_valued || ends_with("_bytes");
+  };
+  // The rule itself must reject the shapes it was written against.
+  EXPECT_FALSE(byte_unit_consistent("text.mem.gapbuffer_kb"));
+  EXPECT_FALSE(byte_unit_consistent("text.gapbuffer.storage_mem"));
+  EXPECT_FALSE(byte_unit_consistent("datastream.reader.bytes"));
+  EXPECT_FALSE(byte_unit_consistent("salvage.bytes.quarantined"));
+  EXPECT_FALSE(byte_unit_consistent("text.mem.gapbuffer"));
+  EXPECT_TRUE(byte_unit_consistent("text.mem.gapbuffer_bytes"));
+  EXPECT_TRUE(byte_unit_consistent("datastream.reader.ingested_bytes"));
   TraceSnapshot snap = observability::Snapshot();
   EXPECT_FALSE(snap.counters.empty());
   for (const auto& sample : snap.counters) {
     EXPECT_TRUE(well_formed(sample.name)) << "counter: " << sample.name;
     EXPECT_TRUE(unit_consistent(sample.name)) << "counter: " << sample.name;
+    EXPECT_TRUE(byte_unit_consistent(sample.name)) << "counter: " << sample.name;
   }
   for (const auto& sample : snap.gauges) {
     EXPECT_TRUE(well_formed(sample.name)) << "gauge: " << sample.name;
     EXPECT_TRUE(unit_consistent(sample.name)) << "gauge: " << sample.name;
+    EXPECT_TRUE(byte_unit_consistent(sample.name)) << "gauge: " << sample.name;
   }
   for (const auto& sample : snap.histograms) {
     EXPECT_TRUE(well_formed(sample.name)) << "histogram: " << sample.name;
     EXPECT_TRUE(unit_consistent(sample.name)) << "histogram: " << sample.name;
+    EXPECT_TRUE(byte_unit_consistent(sample.name)) << "histogram: " << sample.name;
   }
 }
 
